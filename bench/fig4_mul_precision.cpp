@@ -1,0 +1,144 @@
+//===- bench/fig4_mul_precision.cpp - Reproduce paper Figure 4 ------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4: cumulative distribution of the log2 ratio of concretization
+/// set sizes, (a) kern_mul vs our_mul and (b) bitwise_mul vs our_mul, over
+/// *every* pair of width-8 tnums where the outputs differ. A tick right of
+/// zero means our_mul was more precise by exactly that many trits.
+///
+/// The paper's headline: ~80% of differing cases favor our_mul, and all
+/// width-8 differing outputs are mutually comparable.
+///
+/// Usage: fig4_mul_precision [--width N] [--csv]
+///   --width N   tnum width to enumerate exhaustively (default 8; cost is
+///               9^N pairs, so 5..9 are practical)
+///   --csv       also dump the CDF points as CSV rows
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "tnum/TnumEnum.h"
+#include "tnum/TnumMul.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace tnums;
+
+namespace {
+
+/// Accumulated comparison of one baseline algorithm against our_mul.
+struct Comparison {
+  const char *Name;
+  MulAlgorithm Baseline;
+  uint64_t Differing = 0;
+  uint64_t Comparable = 0;
+  uint64_t OurMorePrecise = 0;
+  uint64_t BaselineMorePrecise = 0;
+  DiscreteCdf RatioCdf; ///< log2 |gamma(baseline)| - log2 |gamma(our)|.
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Width = 8;
+  bool Csv = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--width") == 0 && I + 1 < Argc)
+      Width = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (std::strcmp(Argv[I], "--csv") == 0)
+      Csv = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--width N] [--csv]\n", Argv[0]);
+      return 1;
+    }
+  }
+  if (Width < 2 || Width > 9) {
+    std::fprintf(stderr, "error: width must be in [2, 9]\n");
+    return 1;
+  }
+
+  std::printf("Figure 4: precision of our_mul vs prior algorithms "
+              "(exhaustive, width %u)\n\n",
+              Width);
+
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  Comparison Comparisons[2] = {
+      {"kern_mul", MulAlgorithm::Kern, 0, 0, 0, 0, {}},
+      {"bitwise_mul", MulAlgorithm::BitwiseOpt, 0, 0, 0, 0, {}},
+  };
+
+  uint64_t TotalPairs = 0;
+  uint64_t EqualBoth[2] = {0, 0};
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      ++TotalPairs;
+      Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
+      for (Comparison &C : Comparisons) {
+        Tnum RBase = tnumMul(P, Q, C.Baseline, Width);
+        if (RBase == ROur) {
+          ++EqualBoth[&C - Comparisons];
+          continue;
+        }
+        ++C.Differing;
+        if (!RBase.isComparableTo(ROur))
+          continue;
+        ++C.Comparable;
+        // Comparable differing tnums differ exactly in unknown-trit count,
+        // so the log2 set-size ratio is the trit-count difference.
+        int64_t Log2Ratio =
+            static_cast<int64_t>(RBase.concretizationSizeLog2()) -
+            static_cast<int64_t>(ROur.concretizationSizeLog2());
+        C.RatioCdf.add(Log2Ratio);
+        if (Log2Ratio > 0)
+          ++C.OurMorePrecise;
+        else
+          ++C.BaselineMorePrecise;
+      }
+    }
+  }
+
+  TextTable Summary({"comparison", "total pairs", "equal", "differing",
+                     "comparable", "our more precise", "% of differing"});
+  for (size_t I = 0; I != 2; ++I) {
+    const Comparison &C = Comparisons[I];
+    Summary.addRowOf(
+        formatString("%s vs our_mul", C.Name), TotalPairs, EqualBoth[I],
+        C.Differing, C.Comparable, C.OurMorePrecise,
+        formatString("%.2f%%", C.Differing == 0
+                                   ? 0.0
+                                   : 100.0 * static_cast<double>(
+                                                 C.OurMorePrecise) /
+                                         static_cast<double>(C.Differing)));
+  }
+  Summary.printAligned(stdout);
+
+  for (const Comparison &C : Comparisons) {
+    std::printf("\nCDF of log2(|gamma(%s)| / |gamma(our_mul)|) over "
+                "differing, comparable pairs:\n",
+                C.Name);
+    TextTable CdfTable({"log2 ratio", "P[ratio <= x]"});
+    for (const CdfPoint &Point : C.RatioCdf.points())
+      CdfTable.addRowOf(formatString("%+g", Point.X),
+                        formatString("%.4f", Point.CumulativeFraction));
+    CdfTable.printAligned(stdout);
+    if (Csv) {
+      std::printf("csv:comparison,log2_ratio,cum_fraction\n");
+      for (const CdfPoint &Point : C.RatioCdf.points())
+        std::printf("csv:%s,%g,%.6f\n", C.Name, Point.X,
+                    Point.CumulativeFraction);
+    }
+  }
+
+  std::printf("\npaper reference (width 8): our_mul more precise in ~80%% "
+              "of differing cases; outputs always comparable; 99.92%% of "
+              "all pairs equal for kern_mul.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- bpf/Analyzer.h - Abstract interpreter over BPF programs --*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract interpreter at the heart of the BPF substrate: a worklist
+/// fixpoint over the instruction-level CFG, tracking an AbstractState per
+/// program point. ALU instructions go through the RegValue reduced product
+/// (whose bit-level component is the tnum domain this project studies);
+/// conditional jumps refine both operands per branch direction, exactly the
+/// mechanism that lets the paper's intro example prove x <= 8 from the
+/// tnum 01µ0. Loops are handled soundly with join + widening after a visit
+/// threshold (the kernel instead bounds path exploration; widening keeps
+/// this substrate total on looping inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_BPF_ANALYZER_H
+#define TNUMS_BPF_ANALYZER_H
+
+#include "bpf/AbstractState.h"
+#include "bpf/Cfg.h"
+#include "bpf/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace tnums {
+namespace bpf {
+
+/// One safety complaint, anchored at an instruction.
+struct Violation {
+  size_t Pc;
+  std::string Message;
+};
+
+/// Everything the fixpoint produced.
+struct AnalysisResult {
+  /// False if the iteration budget ran out before a fixpoint (treat the
+  /// program as rejected).
+  bool Converged = true;
+  std::vector<Violation> Violations;
+  /// Abstract state *before* each instruction (the fixpoint solution).
+  std::vector<AbstractState> InStates;
+  /// Total instruction-transfer evaluations performed.
+  uint64_t InsnVisits = 0;
+
+  bool accepted() const { return Converged && Violations.empty(); }
+};
+
+/// Worklist abstract interpreter for one program.
+class Analyzer {
+public:
+  struct Options {
+    /// Byte size of the context region R1 points to.
+    uint64_t MemSize = 0;
+    /// Joins at one program point before widening kicks in.
+    unsigned WideningThreshold = 8;
+    /// Hard budget on transfer evaluations.
+    uint64_t MaxInsnVisits = 1 << 20;
+  };
+
+  /// \p Prog must pass Program::validate().
+  Analyzer(const Program &Prog, Options Opts);
+
+  /// Runs the fixpoint and returns states + violations.
+  AnalysisResult analyze();
+
+private:
+  /// Applies the straight-line transfer of instruction \p Pc, recording
+  /// violations into \p Result.
+  AbstractState transfer(size_t Pc, const AbstractState &In,
+                         AnalysisResult &Result);
+
+  /// Records one deduplicated violation.
+  void report(AnalysisResult &Result, size_t Pc, std::string Message);
+
+  /// Validates a memory access of \p Size bytes at abstract base \p Base +
+  /// \p Offset; returns an error description or empty string.
+  std::string checkMemoryAccess(const AbsReg &Base, int32_t Offset,
+                                unsigned Size) const;
+
+  /// Models a bounds-checked load through a stack pointer, consulting the
+  /// tracked slots (fill of an 8-byte aligned spill is precise).
+  AbsReg loadFromStack(size_t Pc, const AbstractState &In, const AbsReg &Base,
+                       const Insn &I, AnalysisResult &Result);
+
+  /// Models a bounds-checked store through a stack pointer, updating the
+  /// tracked slots in \p Out.
+  void storeToStack(size_t Pc, AbstractState &Out, const AbsReg &Base,
+                    const Insn &I, const AbsReg &Stored,
+                    AnalysisResult &Result);
+
+  const Program &Prog;
+  Cfg Graph;
+  Options Opts;
+};
+
+} // namespace bpf
+} // namespace tnums
+
+#endif // TNUMS_BPF_ANALYZER_H

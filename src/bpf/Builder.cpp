@@ -1,0 +1,61 @@
+//===- bpf/Builder.cpp - Label-based BPF program builder ------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Builder.h"
+
+using namespace tnums;
+using namespace tnums::bpf;
+
+ProgramBuilder &ProgramBuilder::label(const std::string &Name) {
+  auto [It, Inserted] = Labels.emplace(Name, Insns.size());
+  (void)It;
+  assert(Inserted && "label defined twice");
+  (void)Inserted;
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::jmp(CompareOp Cmp, Reg Dst, Reg Src,
+                                    const std::string &Target) {
+  Fixups.emplace_back(Insns.size(), Target);
+  return append(Insn::jmp(Cmp, Dst, Src, 0));
+}
+
+ProgramBuilder &ProgramBuilder::jmpImm(CompareOp Cmp, Reg Dst, int64_t Imm,
+                                       const std::string &Target) {
+  Fixups.emplace_back(Insns.size(), Target);
+  return append(Insn::jmpImm(Cmp, Dst, Imm, 0));
+}
+
+ProgramBuilder &ProgramBuilder::jmp32(CompareOp Cmp, Reg Dst, Reg Src,
+                                      const std::string &Target) {
+  Fixups.emplace_back(Insns.size(), Target);
+  return append(Insn::jmp32(Cmp, Dst, Src, 0));
+}
+
+ProgramBuilder &ProgramBuilder::jmp32Imm(CompareOp Cmp, Reg Dst, int64_t Imm,
+                                         const std::string &Target) {
+  Fixups.emplace_back(Insns.size(), Target);
+  return append(Insn::jmp32Imm(Cmp, Dst, Imm, 0));
+}
+
+ProgramBuilder &ProgramBuilder::ja(const std::string &Target) {
+  Fixups.emplace_back(Insns.size(), Target);
+  return append(Insn::ja(0));
+}
+
+Program ProgramBuilder::build() {
+  for (const auto &[Pc, Name] : Fixups) {
+    auto It = Labels.find(Name);
+    assert(It != Labels.end() && "reference to undefined label");
+    Insns[Pc].Offset =
+        static_cast<int32_t>(static_cast<int64_t>(It->second) -
+                             static_cast<int64_t>(Pc) - 1);
+  }
+  Fixups.clear();
+  Labels.clear();
+  return Program(std::move(Insns));
+}

@@ -1,0 +1,119 @@
+//===- bpf/Builder.h - Label-based BPF program builder ----------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent assembler for the miniature BPF ISA with symbolic labels, so
+/// examples and tests do not hand-compute jump displacements:
+///
+/// \code
+///   Program P = ProgramBuilder()
+///       .load(R2, R1, 0, 1)                 // r2 = *(u8 *)(r1 + 0)
+///       .jmpImm(CompareOp::Gt, R2, 8, "out") // if r2 > 8 goto out
+///       .load(R3, R1, /*Offset=*/0, 8)      // in-bounds access
+///       .label("out")
+///       .movImm(R0, 0)
+///       .exit()
+///       .build();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_BPF_BUILDER_H
+#define TNUMS_BPF_BUILDER_H
+
+#include "bpf/Program.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tnums {
+namespace bpf {
+
+/// Accumulates instructions and resolves labels at build() time. Labels
+/// may be referenced before or after their definition; build() asserts
+/// that every referenced label is defined exactly once.
+class ProgramBuilder {
+public:
+  /// Appends a raw instruction.
+  ProgramBuilder &append(Insn I) {
+    Insns.push_back(I);
+    return *this;
+  }
+
+  /// Defines \p Name at the position of the next appended instruction.
+  ProgramBuilder &label(const std::string &Name);
+
+  /// \name Instruction shorthands
+  /// @{
+  ProgramBuilder &alu(AluOp Op, Reg Dst, Reg Src) {
+    return append(Insn::alu(Op, Dst, Src));
+  }
+  ProgramBuilder &aluImm(AluOp Op, Reg Dst, int64_t Imm) {
+    return append(Insn::aluImm(Op, Dst, Imm));
+  }
+  ProgramBuilder &mov(Reg Dst, Reg Src) { return append(Insn::mov(Dst, Src)); }
+  ProgramBuilder &movImm(Reg Dst, int64_t Imm) {
+    return append(Insn::movImm(Dst, Imm));
+  }
+  ProgramBuilder &neg(Reg Dst) { return append(Insn::neg(Dst)); }
+  ProgramBuilder &alu32(AluOp Op, Reg Dst, Reg Src) {
+    return append(Insn::alu32(Op, Dst, Src));
+  }
+  ProgramBuilder &alu32Imm(AluOp Op, Reg Dst, int64_t Imm) {
+    return append(Insn::alu32Imm(Op, Dst, Imm));
+  }
+  ProgramBuilder &mov32(Reg Dst, Reg Src) {
+    return append(Insn::mov32(Dst, Src));
+  }
+  ProgramBuilder &mov32Imm(Reg Dst, int64_t Imm) {
+    return append(Insn::mov32Imm(Dst, Imm));
+  }
+  ProgramBuilder &loadImm(Reg Dst, int64_t Imm) {
+    return append(Insn::loadImm(Dst, Imm));
+  }
+  ProgramBuilder &load(Reg Dst, Reg Base, int32_t Offset, unsigned Size) {
+    return append(Insn::load(Dst, Base, Offset, Size));
+  }
+  ProgramBuilder &store(Reg Base, int32_t Offset, Reg Src, unsigned Size) {
+    return append(Insn::store(Base, Offset, Src, Size));
+  }
+  ProgramBuilder &storeImm(Reg Base, int32_t Offset, int64_t Imm,
+                           unsigned Size) {
+    return append(Insn::storeImm(Base, Offset, Imm, Size));
+  }
+  ProgramBuilder &exit() { return append(Insn::exit()); }
+  /// @}
+
+  /// \name Label-targeted control flow
+  /// @{
+  ProgramBuilder &jmp(CompareOp Cmp, Reg Dst, Reg Src,
+                      const std::string &Target);
+  ProgramBuilder &jmpImm(CompareOp Cmp, Reg Dst, int64_t Imm,
+                         const std::string &Target);
+  ProgramBuilder &ja(const std::string &Target);
+  ProgramBuilder &jmp32(CompareOp Cmp, Reg Dst, Reg Src,
+                        const std::string &Target);
+  ProgramBuilder &jmp32Imm(CompareOp Cmp, Reg Dst, int64_t Imm,
+                           const std::string &Target);
+  /// @}
+
+  /// Resolves all label references and returns the program. The builder is
+  /// left empty.
+  Program build();
+
+private:
+  std::vector<Insn> Insns;
+  std::map<std::string, size_t> Labels;
+  std::vector<std::pair<size_t, std::string>> Fixups;
+};
+
+} // namespace bpf
+} // namespace tnums
+
+#endif // TNUMS_BPF_BUILDER_H

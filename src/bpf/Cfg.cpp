@@ -1,0 +1,72 @@
+//===- bpf/Cfg.cpp - Instruction-level control-flow graph -----------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Cfg.h"
+
+#include <algorithm>
+
+using namespace tnums;
+using namespace tnums::bpf;
+
+Cfg::Cfg(const Program &Prog) {
+  assert(!Prog.validate() && "building CFG of an invalid program");
+  size_t N = Prog.size();
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+
+  for (size_t Pc = 0; Pc != N; ++Pc) {
+    const Insn &I = Prog.insn(Pc);
+    switch (I.InsnKind) {
+    case Insn::Kind::Exit:
+      break;
+    case Insn::Kind::Ja:
+      Succs[Pc].push_back(Program::jumpTarget(Pc, I));
+      break;
+    case Insn::Kind::Jmp:
+      Succs[Pc].push_back(Pc + 1); // Fall-through first.
+      if (Program::jumpTarget(Pc, I) != Pc + 1)
+        Succs[Pc].push_back(Program::jumpTarget(Pc, I));
+      break;
+    default:
+      Succs[Pc].push_back(Pc + 1);
+      break;
+    }
+    for (size_t Succ : Succs[Pc])
+      Preds[Succ].push_back(Pc);
+  }
+
+  // Iterative DFS from entry computing post-order and back-edge (loop)
+  // detection.
+  enum class Color : uint8_t { White, Grey, Black };
+  std::vector<Color> Colors(N, Color::White);
+  std::vector<size_t> PostOrder;
+  // Stack frames: (node, next successor index to visit).
+  std::vector<std::pair<size_t, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  Colors[0] = Color::Grey;
+  Reachable[0] = true;
+  while (!Stack.empty()) {
+    auto &[Node, NextSucc] = Stack.back();
+    if (NextSucc < Succs[Node].size()) {
+      size_t Succ = Succs[Node][NextSucc++];
+      if (Colors[Succ] == Color::Grey)
+        Loop = true;
+      if (Colors[Succ] == Color::White) {
+        Colors[Succ] = Color::Grey;
+        Reachable[Succ] = true;
+        Stack.emplace_back(Succ, 0);
+      }
+      continue;
+    }
+    Colors[Node] = Color::Black;
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+}

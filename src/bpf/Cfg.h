@@ -1,0 +1,65 @@
+//===- bpf/Cfg.h - Instruction-level control-flow graph ---------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow structure over a validated program, at instruction
+/// granularity (every instruction is a node, like the kernel verifier's
+/// per-insn state table). Provides successor/predecessor edges and a
+/// reverse post-order for efficient fixpoint iteration in the analyzer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_BPF_CFG_H
+#define TNUMS_BPF_CFG_H
+
+#include "bpf/Program.h"
+
+#include <vector>
+
+namespace tnums {
+namespace bpf {
+
+/// Successor/predecessor edges and iteration order for one program.
+class Cfg {
+public:
+  /// Builds the CFG of \p Prog (which must validate()).
+  explicit Cfg(const Program &Prog);
+
+  /// Successor instruction indices of \p Pc: empty for exit, one entry for
+  /// straight-line/ja, two for conditional jumps (fall-through first, then
+  /// the taken target).
+  const std::vector<size_t> &successors(size_t Pc) const {
+    return Succs[Pc];
+  }
+
+  const std::vector<size_t> &predecessors(size_t Pc) const {
+    return Preds[Pc];
+  }
+
+  /// Instructions reachable from entry, in reverse post-order.
+  const std::vector<size_t> &reversePostOrder() const { return Rpo; }
+
+  /// True if \p Pc is reachable from the entry instruction.
+  bool isReachable(size_t Pc) const { return Reachable[Pc]; }
+
+  /// True if some reachable cycle exists (the program loops).
+  bool hasLoop() const { return Loop; }
+
+  size_t size() const { return Succs.size(); }
+
+private:
+  std::vector<std::vector<size_t>> Succs;
+  std::vector<std::vector<size_t>> Preds;
+  std::vector<size_t> Rpo;
+  std::vector<bool> Reachable;
+  bool Loop = false;
+};
+
+} // namespace bpf
+} // namespace tnums
+
+#endif // TNUMS_BPF_CFG_H

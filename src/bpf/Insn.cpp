@@ -1,0 +1,303 @@
+//===- bpf/Insn.cpp - Miniature eBPF instruction set ----------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Insn.h"
+
+#include "support/Table.h"
+
+using namespace tnums;
+using namespace tnums::bpf;
+
+const char *tnums::bpf::aluOpName(AluOp Op) {
+  switch (Op) {
+  case AluOp::Add:
+    return "add";
+  case AluOp::Sub:
+    return "sub";
+  case AluOp::Mul:
+    return "mul";
+  case AluOp::Div:
+    return "div";
+  case AluOp::Mod:
+    return "mod";
+  case AluOp::And:
+    return "and";
+  case AluOp::Or:
+    return "or";
+  case AluOp::Xor:
+    return "xor";
+  case AluOp::Lsh:
+    return "lsh";
+  case AluOp::Rsh:
+    return "rsh";
+  case AluOp::Arsh:
+    return "arsh";
+  case AluOp::Mov:
+    return "mov";
+  case AluOp::Neg:
+    return "neg";
+  }
+  assert(false && "unknown alu op");
+  return "unknown";
+}
+
+BinaryOp tnums::bpf::aluOpToBinaryOp(AluOp Op) {
+  switch (Op) {
+  case AluOp::Add:
+    return BinaryOp::Add;
+  case AluOp::Sub:
+    return BinaryOp::Sub;
+  case AluOp::Mul:
+    return BinaryOp::Mul;
+  case AluOp::Div:
+    return BinaryOp::Div;
+  case AluOp::Mod:
+    return BinaryOp::Mod;
+  case AluOp::And:
+    return BinaryOp::And;
+  case AluOp::Or:
+    return BinaryOp::Or;
+  case AluOp::Xor:
+    return BinaryOp::Xor;
+  case AluOp::Lsh:
+    return BinaryOp::Lsh;
+  case AluOp::Rsh:
+    return BinaryOp::Rsh;
+  case AluOp::Arsh:
+    return BinaryOp::Arsh;
+  case AluOp::Mov:
+  case AluOp::Neg:
+    break;
+  }
+  assert(false && "Mov/Neg have no BinaryOp counterpart");
+  return BinaryOp::Add;
+}
+
+Insn Insn::alu(AluOp Op, Reg DstR, Reg SrcR) {
+  Insn I;
+  I.InsnKind = Kind::Alu;
+  I.Alu = Op;
+  I.Dst = DstR;
+  I.Src = SrcR;
+  return I;
+}
+
+Insn Insn::aluImm(AluOp Op, Reg DstR, int64_t ImmV) {
+  Insn I;
+  I.InsnKind = Kind::Alu;
+  I.Alu = Op;
+  I.Dst = DstR;
+  I.UsesImm = true;
+  I.Imm = ImmV;
+  return I;
+}
+
+Insn Insn::neg(Reg DstR) {
+  Insn I;
+  I.InsnKind = Kind::Alu;
+  I.Alu = AluOp::Neg;
+  I.Dst = DstR;
+  return I;
+}
+
+Insn Insn::loadImm(Reg DstR, int64_t ImmV) {
+  Insn I;
+  I.InsnKind = Kind::LoadImm;
+  I.Dst = DstR;
+  I.UsesImm = true;
+  I.Imm = ImmV;
+  return I;
+}
+
+Insn Insn::jmp(CompareOp Cmp, Reg DstR, Reg SrcR, int32_t OffsetV) {
+  Insn I;
+  I.InsnKind = Kind::Jmp;
+  I.Cmp = Cmp;
+  I.Dst = DstR;
+  I.Src = SrcR;
+  I.Offset = OffsetV;
+  return I;
+}
+
+Insn Insn::jmpImm(CompareOp Cmp, Reg DstR, int64_t ImmV, int32_t OffsetV) {
+  Insn I;
+  I.InsnKind = Kind::Jmp;
+  I.Cmp = Cmp;
+  I.Dst = DstR;
+  I.UsesImm = true;
+  I.Imm = ImmV;
+  I.Offset = OffsetV;
+  return I;
+}
+
+Insn Insn::ja(int32_t OffsetV) {
+  Insn I;
+  I.InsnKind = Kind::Ja;
+  I.Offset = OffsetV;
+  return I;
+}
+
+Insn Insn::load(Reg DstR, Reg Base, int32_t OffsetV, unsigned SizeV) {
+  assert((SizeV == 1 || SizeV == 2 || SizeV == 4 || SizeV == 8) &&
+         "bad access size");
+  Insn I;
+  I.InsnKind = Kind::Load;
+  I.Dst = DstR;
+  I.Src = Base;
+  I.Offset = OffsetV;
+  I.Size = static_cast<uint8_t>(SizeV);
+  return I;
+}
+
+Insn Insn::store(Reg Base, int32_t OffsetV, Reg SrcR, unsigned SizeV) {
+  assert((SizeV == 1 || SizeV == 2 || SizeV == 4 || SizeV == 8) &&
+         "bad access size");
+  Insn I;
+  I.InsnKind = Kind::Store;
+  I.Dst = Base;
+  I.Src = SrcR;
+  I.Offset = OffsetV;
+  I.Size = static_cast<uint8_t>(SizeV);
+  return I;
+}
+
+Insn Insn::storeImm(Reg Base, int32_t OffsetV, int64_t ImmV, unsigned SizeV) {
+  assert((SizeV == 1 || SizeV == 2 || SizeV == 4 || SizeV == 8) &&
+         "bad access size");
+  Insn I;
+  I.InsnKind = Kind::Store;
+  I.Dst = Base;
+  I.UsesImm = true;
+  I.Imm = ImmV;
+  I.Offset = OffsetV;
+  I.Size = static_cast<uint8_t>(SizeV);
+  return I;
+}
+
+Insn Insn::exit() { return Insn(); }
+
+std::string Insn::toString() const {
+  switch (InsnKind) {
+  case Kind::Alu: {
+    // ALU32 uses the conventional w-register spelling (clang -target bpf).
+    const char *RegPrefix = Is32 ? "w" : "r";
+    if (Alu == AluOp::Neg)
+      return formatString("%s%u = -%s%u", RegPrefix, Dst, RegPrefix, Dst);
+    if (Alu == AluOp::Mov) {
+      if (UsesImm)
+        return formatString("%s%u = %lld", RegPrefix, Dst,
+                            static_cast<long long>(Imm));
+      return formatString("%s%u = %s%u", RegPrefix, Dst, RegPrefix, Src);
+    }
+    const char *Sym = nullptr;
+    switch (Alu) {
+    case AluOp::Add:
+      Sym = "+=";
+      break;
+    case AluOp::Sub:
+      Sym = "-=";
+      break;
+    case AluOp::Mul:
+      Sym = "*=";
+      break;
+    case AluOp::Div:
+      Sym = "/=";
+      break;
+    case AluOp::Mod:
+      Sym = "%%=";
+      break;
+    case AluOp::And:
+      Sym = "&=";
+      break;
+    case AluOp::Or:
+      Sym = "|=";
+      break;
+    case AluOp::Xor:
+      Sym = "^=";
+      break;
+    case AluOp::Lsh:
+      Sym = "<<=";
+      break;
+    case AluOp::Rsh:
+      Sym = ">>=";
+      break;
+    case AluOp::Arsh:
+      Sym = "s>>=";
+      break;
+    case AluOp::Mov:
+    case AluOp::Neg:
+      break;
+    }
+    if (UsesImm)
+      return formatString("%s%u %s %lld", RegPrefix, Dst, Sym,
+                          static_cast<long long>(Imm));
+    return formatString("%s%u %s %s%u", RegPrefix, Dst, Sym, RegPrefix, Src);
+  }
+  case Kind::Jmp: {
+    const char *JmpPrefix = Is32 ? "w" : "r";
+    std::string Lhs = formatString("%s%u", JmpPrefix, Dst);
+    std::string Rhs = UsesImm
+                          ? formatString("%lld", static_cast<long long>(Imm))
+                          : formatString("%s%u", JmpPrefix, Src);
+    const char *Sym = nullptr;
+    switch (Cmp) {
+    case CompareOp::Eq:
+      Sym = "==";
+      break;
+    case CompareOp::Ne:
+      Sym = "!=";
+      break;
+    case CompareOp::Lt:
+      Sym = "<";
+      break;
+    case CompareOp::Le:
+      Sym = "<=";
+      break;
+    case CompareOp::Gt:
+      Sym = ">";
+      break;
+    case CompareOp::Ge:
+      Sym = ">=";
+      break;
+    case CompareOp::SLt:
+      Sym = "s<";
+      break;
+    case CompareOp::SLe:
+      Sym = "s<=";
+      break;
+    case CompareOp::SGt:
+      Sym = "s>";
+      break;
+    case CompareOp::SGe:
+      Sym = "s>=";
+      break;
+    case CompareOp::Set:
+      Sym = "&";
+      break;
+    }
+    return formatString("if %s %s %s goto %+d", Lhs.c_str(), Sym, Rhs.c_str(),
+                        Offset);
+  }
+  case Kind::Ja:
+    return formatString("goto %+d", Offset);
+  case Kind::LoadImm:
+    return formatString("r%u = %lld ll", Dst, static_cast<long long>(Imm));
+  case Kind::Load:
+    return formatString("r%u = *(u%u *)(r%u %+d)", Dst, Size * 8, Src,
+                        Offset);
+  case Kind::Store:
+    if (UsesImm)
+      return formatString("*(u%u *)(r%u %+d) = %lld", Size * 8, Dst, Offset,
+                          static_cast<long long>(Imm));
+    return formatString("*(u%u *)(r%u %+d) = r%u", Size * 8, Dst, Offset,
+                        Src);
+  case Kind::Exit:
+    return "exit";
+  }
+  assert(false && "unknown insn kind");
+  return "<bad>";
+}

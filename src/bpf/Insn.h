@@ -1,0 +1,161 @@
+//===- bpf/Insn.h - Miniature eBPF instruction set --------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A faithful miniature of the eBPF instruction subset the paper's analyzer
+/// reasons about: 64-bit ALU operations (the concrete operations of §II-B:
+/// add, sub, mul, div, or, and, lsh, rsh, neg, mod, xor, arsh, mov),
+/// conditional jumps, immediate loads, and loads/stores through the two
+/// pointer registers the substrate models (R1 = context/packet memory,
+/// R10 = stack frame pointer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_BPF_INSN_H
+#define TNUMS_BPF_INSN_H
+
+#include "domain/RegValue.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tnums {
+namespace bpf {
+
+/// BPF general-purpose registers. R0 holds return values, R1 the context
+/// pointer at entry, R10 the (read-only) frame pointer.
+enum Reg : uint8_t {
+  R0,
+  R1,
+  R2,
+  R3,
+  R4,
+  R5,
+  R6,
+  R7,
+  R8,
+  R9,
+  R10,
+};
+
+/// Number of architectural registers.
+inline constexpr unsigned NumRegs = 11;
+
+/// \name Machine model constants (shared by interpreter and analyzer)
+/// @{
+/// Synthetic base address of the context memory region.
+inline constexpr uint64_t MemBase = 0x1000'0000;
+/// Synthetic address one past the top of the stack (R10 at entry).
+inline constexpr uint64_t StackBase = 0x2000'0000;
+/// Size of the BPF stack frame in bytes (kernel value).
+inline constexpr uint64_t StackSize = 512;
+/// The analyzer tracks the stack at 8-byte slot granularity; slot i covers
+/// frame offsets [-8 * (i + 1), -8 * i).
+inline constexpr unsigned NumStackSlots = StackSize / 8;
+/// @}
+
+/// 64-bit ALU operations (BPF_ALU64 class).
+enum class AluOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  And,
+  Or,
+  Xor,
+  Lsh,
+  Rsh,
+  Arsh,
+  Mov,
+  Neg,
+};
+
+/// Stable lower-case mnemonic ("add", "mov", ...).
+const char *aluOpName(AluOp Op);
+
+/// Maps the two-operand AluOps onto the domain-layer BinaryOp (asserts on
+/// Mov/Neg, which have no BinaryOp counterpart).
+BinaryOp aluOpToBinaryOp(AluOp Op);
+
+/// One instruction. A tagged union kept flat (no inheritance) so programs
+/// are trivially copyable, like real BPF bytecode.
+struct Insn {
+  enum class Kind : uint8_t {
+    Alu,     ///< Dst = Dst op Src/Imm (or Mov/Neg).
+    Jmp,     ///< if (Dst cmp Src/Imm) goto pc + 1 + Offset.
+    Ja,      ///< goto pc + 1 + Offset.
+    LoadImm, ///< Dst = Imm (64-bit).
+    Load,    ///< Dst = *(Size bytes *)(Src + Offset).
+    Store,   ///< *(Size bytes *)(Dst + Offset) = Src/Imm.
+    Exit,    ///< return R0.
+  };
+
+  Kind InsnKind = Kind::Exit;
+  AluOp Alu = AluOp::Mov;       ///< Valid for Kind::Alu.
+  CompareOp Cmp = CompareOp::Eq; ///< Valid for Kind::Jmp.
+  uint8_t Dst = 0;              ///< Destination register.
+  uint8_t Src = 0;              ///< Source register (when !UsesImm).
+  bool UsesImm = false;         ///< Source operand is Imm, not Src.
+  int64_t Imm = 0;              ///< Immediate operand.
+  int32_t Offset = 0;           ///< Jump displacement or memory offset.
+  uint8_t Size = 8;             ///< Memory access size in bytes {1,2,4,8}.
+  bool Is32 = false;            ///< ALU32/JMP32: operate on the low 32
+                                ///< bits (BPF_ALU / BPF_JMP32 classes).
+
+  /// \name Factories
+  /// @{
+  static Insn alu(AluOp Op, Reg Dst, Reg Src);
+  static Insn aluImm(AluOp Op, Reg Dst, int64_t Imm);
+  static Insn neg(Reg Dst);
+  static Insn mov(Reg Dst, Reg Src) { return alu(AluOp::Mov, Dst, Src); }
+  static Insn movImm(Reg Dst, int64_t Imm) {
+    return aluImm(AluOp::Mov, Dst, Imm);
+  }
+  static Insn alu32(AluOp Op, Reg Dst, Reg Src) {
+    Insn I = alu(Op, Dst, Src);
+    I.Is32 = true;
+    return I;
+  }
+  static Insn alu32Imm(AluOp Op, Reg Dst, int64_t Imm) {
+    Insn I = aluImm(Op, Dst, Imm);
+    I.Is32 = true;
+    return I;
+  }
+  static Insn mov32(Reg Dst, Reg Src) { return alu32(AluOp::Mov, Dst, Src); }
+  static Insn mov32Imm(Reg Dst, int64_t Imm) {
+    return alu32Imm(AluOp::Mov, Dst, Imm);
+  }
+  static Insn loadImm(Reg Dst, int64_t Imm);
+  static Insn jmp(CompareOp Cmp, Reg Dst, Reg Src, int32_t Offset);
+  static Insn jmpImm(CompareOp Cmp, Reg Dst, int64_t Imm, int32_t Offset);
+  static Insn jmp32(CompareOp Cmp, Reg Dst, Reg Src, int32_t Offset) {
+    Insn I = jmp(Cmp, Dst, Src, Offset);
+    I.Is32 = true;
+    return I;
+  }
+  static Insn jmp32Imm(CompareOp Cmp, Reg Dst, int64_t Imm, int32_t Offset) {
+    Insn I = jmpImm(Cmp, Dst, Imm, Offset);
+    I.Is32 = true;
+    return I;
+  }
+  static Insn ja(int32_t Offset);
+  static Insn load(Reg Dst, Reg Base, int32_t Offset, unsigned Size);
+  static Insn store(Reg Base, int32_t Offset, Reg Src, unsigned Size);
+  static Insn storeImm(Reg Base, int32_t Offset, int64_t Imm, unsigned Size);
+  static Insn exit();
+  /// @}
+
+  /// Disassembles to one line of text (no trailing newline), e.g.
+  /// "r2 &= 0xff" or "if r2 > 8 goto +3".
+  std::string toString() const;
+};
+
+} // namespace bpf
+} // namespace tnums
+
+#endif // TNUMS_BPF_INSN_H

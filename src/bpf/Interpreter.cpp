@@ -1,0 +1,223 @@
+//===- bpf/Interpreter.cpp - Concrete BPF interpreter ---------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Interpreter.h"
+
+#include "support/Table.h"
+
+using namespace tnums;
+using namespace tnums::bpf;
+
+Interpreter::Interpreter(Program ProgV, std::vector<uint8_t> &MemoryV)
+    : Prog(std::move(ProgV)), Memory(MemoryV) {
+  assert(!Prog.validate() && "interpreting a structurally invalid program");
+  Regs[R1] = MemBase;
+  Regs[R2] = Memory.size();
+  Regs[R10] = StackBase;
+  Inited[R1] = Inited[R2] = Inited[R10] = true;
+}
+
+const uint8_t *Interpreter::resolve(uint64_t Addr, unsigned Size) const {
+  if (Addr >= MemBase && Size <= Memory.size() &&
+      Addr - MemBase <= Memory.size() - Size)
+    return Memory.data() + (Addr - MemBase);
+  uint64_t StackLow = StackBase - StackSize;
+  if (Addr >= StackLow && Addr - StackLow <= StackSize - Size &&
+      Addr < StackBase)
+    return Stack.data() + (Addr - StackLow);
+  return nullptr;
+}
+
+uint8_t *Interpreter::resolveMutable(uint64_t Addr, unsigned Size) {
+  return const_cast<uint8_t *>(
+      static_cast<const Interpreter *>(this)->resolve(Addr, Size));
+}
+
+bool Interpreter::loadBytes(uint64_t Addr, unsigned Size,
+                            uint64_t &Out) const {
+  const uint8_t *Ptr = resolve(Addr, Size);
+  if (!Ptr)
+    return false;
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != Size; ++I)
+    Value |= static_cast<uint64_t>(Ptr[I]) << (8 * I);
+  Out = Value;
+  return true;
+}
+
+bool Interpreter::storeBytes(uint64_t Addr, unsigned Size, uint64_t Value) {
+  uint8_t *Ptr = resolveMutable(Addr, Size);
+  if (!Ptr)
+    return false;
+  for (unsigned I = 0; I != Size; ++I)
+    Ptr[I] = static_cast<uint8_t>(Value >> (8 * I));
+  return true;
+}
+
+/// The concrete 64-bit ALU semantics (BPF conventions: x / 0 == 0,
+/// x % 0 == x, shift amounts masked to 63).
+static uint64_t evalAlu64(AluOp Op, uint64_t L, uint64_t R) {
+  switch (Op) {
+  case AluOp::Add:
+    return L + R;
+  case AluOp::Sub:
+    return L - R;
+  case AluOp::Mul:
+    return L * R;
+  case AluOp::Div:
+    return R == 0 ? 0 : L / R;
+  case AluOp::Mod:
+    return R == 0 ? L : L % R;
+  case AluOp::And:
+    return L & R;
+  case AluOp::Or:
+    return L | R;
+  case AluOp::Xor:
+    return L ^ R;
+  case AluOp::Lsh:
+    return L << (R & 63);
+  case AluOp::Rsh:
+    return L >> (R & 63);
+  case AluOp::Arsh:
+    return static_cast<uint64_t>(static_cast<int64_t>(L) >> (R & 63));
+  case AluOp::Mov:
+    return R;
+  case AluOp::Neg:
+    return 0 - L;
+  }
+  assert(false && "unknown alu op");
+  return 0;
+}
+
+/// BPF_ALU (32-bit) semantics: operate on the low halves, mask shift
+/// amounts to 31, and zero-extend the result into the full register.
+static uint64_t evalAlu(AluOp Op, uint64_t L, uint64_t R, bool Is32) {
+  if (!Is32)
+    return evalAlu64(Op, L, R);
+  uint32_t L32 = static_cast<uint32_t>(L);
+  uint32_t R32 = static_cast<uint32_t>(R);
+  switch (Op) {
+  case AluOp::Lsh:
+    return static_cast<uint32_t>(L32 << (R32 & 31));
+  case AluOp::Rsh:
+    return L32 >> (R32 & 31);
+  case AluOp::Arsh:
+    return static_cast<uint32_t>(static_cast<int32_t>(L32) >> (R32 & 31));
+  default:
+    return static_cast<uint32_t>(evalAlu64(Op, L32, R32));
+  }
+}
+
+ExecResult Interpreter::run(uint64_t StepLimit) {
+  size_t Pc = 0;
+  ExecResult Result;
+
+  auto Trap = [&](ExecResult::Status St, std::string Message) {
+    Result.St = St;
+    Result.FaultPc = Pc;
+    Result.Message = std::move(Message);
+    return Result;
+  };
+  auto RequireInit = [&](uint8_t RegNum) { return Inited[RegNum]; };
+
+  for (uint64_t Steps = 0; Steps != StepLimit; ++Steps) {
+    assert(Pc < Prog.size() && "validated program cannot run off the end");
+    const Insn &I = Prog.insn(Pc);
+    switch (I.InsnKind) {
+    case Insn::Kind::Alu: {
+      if (I.Alu == AluOp::Neg) {
+        if (!RequireInit(I.Dst))
+          return Trap(ExecResult::Status::UninitRead, "neg of uninit reg");
+        Regs[I.Dst] = evalAlu(AluOp::Neg, Regs[I.Dst], 0, I.Is32);
+        break;
+      }
+      uint64_t Rhs;
+      if (I.UsesImm) {
+        Rhs = static_cast<uint64_t>(I.Imm);
+      } else {
+        if (!RequireInit(I.Src))
+          return Trap(ExecResult::Status::UninitRead, "read of uninit reg");
+        Rhs = Regs[I.Src];
+      }
+      if (I.Alu == AluOp::Mov) {
+        Regs[I.Dst] = I.Is32 ? static_cast<uint32_t>(Rhs) : Rhs;
+        Inited[I.Dst] = true;
+        break;
+      }
+      if (!RequireInit(I.Dst))
+        return Trap(ExecResult::Status::UninitRead, "read of uninit reg");
+      Regs[I.Dst] = evalAlu(I.Alu, Regs[I.Dst], Rhs, I.Is32);
+      break;
+    }
+    case Insn::Kind::LoadImm:
+      Regs[I.Dst] = static_cast<uint64_t>(I.Imm);
+      Inited[I.Dst] = true;
+      break;
+    case Insn::Kind::Load: {
+      if (!RequireInit(I.Src))
+        return Trap(ExecResult::Status::UninitRead, "load via uninit reg");
+      uint64_t Addr = Regs[I.Src] + static_cast<int64_t>(I.Offset);
+      uint64_t Value;
+      if (!loadBytes(Addr, I.Size, Value))
+        return Trap(ExecResult::Status::OutOfBounds,
+                    formatString("load of %u bytes at 0x%llx out of bounds",
+                                 I.Size,
+                                 static_cast<unsigned long long>(Addr)));
+      Regs[I.Dst] = Value;
+      Inited[I.Dst] = true;
+      break;
+    }
+    case Insn::Kind::Store: {
+      if (!RequireInit(I.Dst))
+        return Trap(ExecResult::Status::UninitRead, "store via uninit reg");
+      uint64_t Value;
+      if (I.UsesImm) {
+        Value = static_cast<uint64_t>(I.Imm);
+      } else {
+        if (!RequireInit(I.Src))
+          return Trap(ExecResult::Status::UninitRead, "store of uninit reg");
+        Value = Regs[I.Src];
+      }
+      uint64_t Addr = Regs[I.Dst] + static_cast<int64_t>(I.Offset);
+      if (!storeBytes(Addr, I.Size, Value))
+        return Trap(ExecResult::Status::OutOfBounds,
+                    formatString("store of %u bytes at 0x%llx out of bounds",
+                                 I.Size,
+                                 static_cast<unsigned long long>(Addr)));
+      break;
+    }
+    case Insn::Kind::Jmp: {
+      if (!RequireInit(I.Dst))
+        return Trap(ExecResult::Status::UninitRead, "jump on uninit reg");
+      uint64_t Rhs;
+      if (I.UsesImm) {
+        Rhs = static_cast<uint64_t>(I.Imm);
+      } else {
+        if (!RequireInit(I.Src))
+          return Trap(ExecResult::Status::UninitRead, "jump on uninit reg");
+        Rhs = Regs[I.Src];
+      }
+      if (applyConcreteCompare(I.Cmp, Regs[I.Dst], Rhs,
+                               I.Is32 ? 32 : MaxBitWidth)) {
+        Pc = Program::jumpTarget(Pc, I);
+        continue;
+      }
+      break;
+    }
+    case Insn::Kind::Ja:
+      Pc = Program::jumpTarget(Pc, I);
+      continue;
+    case Insn::Kind::Exit:
+      if (!RequireInit(R0))
+        return Trap(ExecResult::Status::UninitRead, "exit with uninit r0");
+      Result.ReturnValue = Regs[R0];
+      return Result;
+    }
+    ++Pc;
+  }
+  return Trap(ExecResult::Status::StepLimit, "step limit exhausted");
+}

@@ -1,0 +1,93 @@
+//===- bpf/Interpreter.h - Concrete BPF interpreter -------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes BPF programs concretely. This is the ground-truth oracle the
+/// differential tests run against the abstract analyzer: a program the
+/// Verifier accepts must never trap here, on any input memory, and every
+/// concrete register value must lie inside the analyzer's abstract value at
+/// the corresponding program point.
+///
+/// Pointer model: the context register R1 holds the synthetic address
+/// MemBase of a caller-provided byte buffer, R2 holds the buffer length,
+/// and R10 holds StackBase, the top of a descending 512-byte stack. Any
+/// access outside [MemBase, MemBase + MemSize) and
+/// [StackBase - StackSize, StackBase) traps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_BPF_INTERPRETER_H
+#define TNUMS_BPF_INTERPRETER_H
+
+#include "bpf/Program.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnums {
+namespace bpf {
+
+/// Outcome of one concrete execution.
+struct ExecResult {
+  enum class Status {
+    Ok,            ///< exit reached; ReturnValue is R0.
+    OutOfBounds,   ///< memory access escaped both regions.
+    UninitRead,    ///< read of a register never written.
+    StepLimit,     ///< ran longer than the step budget.
+  };
+
+  Status St = Status::Ok;
+  uint64_t ReturnValue = 0;
+  size_t FaultPc = 0;     ///< Faulting instruction for non-Ok statuses.
+  std::string Message;    ///< Human-readable diagnosis.
+
+  bool ok() const { return St == Status::Ok; }
+};
+
+/// Concrete executor over a validated program.
+class Interpreter {
+public:
+  /// \p Memory is the context region R1 points to; it is read and written
+  /// in place. The program must have passed Program::validate(). The
+  /// interpreter stores its own copy of the program, so temporaries are
+  /// safe to pass.
+  Interpreter(Program Prog, std::vector<uint8_t> &Memory);
+
+  /// Runs from instruction 0 until exit, a trap, or \p StepLimit executed
+  /// instructions.
+  ExecResult run(uint64_t StepLimit = 1 << 20);
+
+  /// Register file after run() (for differential state inspection).
+  const std::array<uint64_t, NumRegs> &registers() const { return Regs; }
+
+  /// Per-register initialization flags after run().
+  const std::array<bool, NumRegs> &initialized() const { return Inited; }
+
+private:
+  /// Reads \p Size bytes little-endian at synthetic address \p Addr.
+  /// Returns false on out-of-bounds.
+  bool loadBytes(uint64_t Addr, unsigned Size, uint64_t &Out) const;
+  bool storeBytes(uint64_t Addr, unsigned Size, uint64_t Value);
+
+  /// Resolves a synthetic address to a host pointer, or nullptr if the
+  /// access [Addr, Addr + Size) is not fully inside one region.
+  const uint8_t *resolve(uint64_t Addr, unsigned Size) const;
+  uint8_t *resolveMutable(uint64_t Addr, unsigned Size);
+
+  Program Prog;
+  std::vector<uint8_t> &Memory;
+  std::array<uint8_t, StackSize> Stack = {};
+  std::array<uint64_t, NumRegs> Regs = {};
+  std::array<bool, NumRegs> Inited = {};
+};
+
+} // namespace bpf
+} // namespace tnums
+
+#endif // TNUMS_BPF_INTERPRETER_H

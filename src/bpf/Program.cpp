@@ -1,0 +1,68 @@
+//===- bpf/Program.cpp - BPF program container and validation -------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Program.h"
+
+#include "support/Table.h"
+
+using namespace tnums;
+using namespace tnums::bpf;
+
+std::optional<std::string> Program::validate() const {
+  if (Insns.empty())
+    return std::string("program is empty");
+
+  for (size_t Pc = 0; Pc != Insns.size(); ++Pc) {
+    const Insn &I = Insns[Pc];
+    auto Fail = [&](const std::string &Why) {
+      return formatString("insn %zu (%s): %s", Pc, I.toString().c_str(),
+                          Why.c_str());
+    };
+
+    if (I.Dst >= NumRegs || I.Src >= NumRegs)
+      return Fail("register number out of range");
+
+    switch (I.InsnKind) {
+    case Insn::Kind::Alu:
+    case Insn::Kind::LoadImm:
+      if (I.Dst == R10)
+        return Fail("write to frame pointer r10");
+      break;
+    case Insn::Kind::Load:
+      if (I.Dst == R10)
+        return Fail("write to frame pointer r10");
+      [[fallthrough]];
+    case Insn::Kind::Store:
+      if (I.Size != 1 && I.Size != 2 && I.Size != 4 && I.Size != 8)
+        return Fail("bad memory access size");
+      break;
+    case Insn::Kind::Jmp:
+    case Insn::Kind::Ja: {
+      int64_t Target = static_cast<int64_t>(Pc) + 1 + I.Offset;
+      if (Target < 0 || Target >= static_cast<int64_t>(Insns.size()))
+        return Fail("jump out of range");
+      break;
+    }
+    case Insn::Kind::Exit:
+      break;
+    }
+
+    // The final instruction must not fall through past the end.
+    bool FallsThrough = I.InsnKind != Insn::Kind::Ja &&
+                        I.InsnKind != Insn::Kind::Exit;
+    if (FallsThrough && Pc + 1 == Insns.size())
+      return Fail("fall-through past end of program");
+  }
+  return std::nullopt;
+}
+
+std::string Program::disassemble() const {
+  std::string Text;
+  for (size_t Pc = 0; Pc != Insns.size(); ++Pc)
+    Text += formatString("%4zu: %s\n", Pc, Insns[Pc].toString().c_str());
+  return Text;
+}

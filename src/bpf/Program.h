@@ -1,0 +1,67 @@
+//===- bpf/Program.h - BPF program container and validation -----*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BPF program is a flat instruction vector, like kernel bytecode.
+/// Structural validation (register numbers, jump targets, terminator
+/// placement) happens here; *semantic* safety is the Verifier's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_BPF_PROGRAM_H
+#define TNUMS_BPF_PROGRAM_H
+
+#include "bpf/Insn.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tnums {
+namespace bpf {
+
+/// An immutable sequence of instructions.
+class Program {
+public:
+  Program() = default;
+  explicit Program(std::vector<Insn> InsnsV) : Insns(std::move(InsnsV)) {}
+
+  size_t size() const { return Insns.size(); }
+  bool empty() const { return Insns.empty(); }
+  const Insn &insn(size_t I) const {
+    assert(I < Insns.size() && "instruction index out of range");
+    return Insns[I];
+  }
+
+  std::vector<Insn>::const_iterator begin() const { return Insns.begin(); }
+  std::vector<Insn>::const_iterator end() const { return Insns.end(); }
+
+  /// Structural validation: register numbers in range, R10 never written,
+  /// jump displacements land inside the program, no fall-through past the
+  /// last instruction, memory access sizes in {1,2,4,8}. Returns a
+  /// diagnostic for the first problem found, or std::nullopt if well
+  /// formed. (Mirrors the kernel's pre-pass before abstract
+  /// interpretation.)
+  std::optional<std::string> validate() const;
+
+  /// The target instruction index of the jump/fall-through successors of
+  /// instruction \p Pc, without validation.
+  static size_t jumpTarget(size_t Pc, const Insn &I) {
+    return Pc + 1 + static_cast<int64_t>(I.Offset);
+  }
+
+  /// Numbered disassembly listing, one instruction per line.
+  std::string disassemble() const;
+
+private:
+  std::vector<Insn> Insns;
+};
+
+} // namespace bpf
+} // namespace tnums
+
+#endif // TNUMS_BPF_PROGRAM_H

@@ -1,0 +1,49 @@
+//===- bpf/Verifier.h - BPF safety verifier ---------------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing entry point of the BPF substrate: structural validation
+/// followed by abstract interpretation, yielding an accept/reject verdict
+/// with diagnostics -- the miniature of the kernel loader path the paper's
+/// static analyzer lives in. Accepted programs never trap in the concrete
+/// Interpreter on any input (the differential test suite checks this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_BPF_VERIFIER_H
+#define TNUMS_BPF_VERIFIER_H
+
+#include "bpf/Analyzer.h"
+
+#include <string>
+
+namespace tnums {
+namespace bpf {
+
+/// The verdict for one program.
+struct VerifierReport {
+  bool Accepted = false;
+  /// Structural problem, if validation already failed.
+  std::string StructuralError;
+  /// Semantic complaints from the analyzer.
+  std::vector<Violation> Violations;
+  /// Fixpoint states (empty if validation failed).
+  std::vector<AbstractState> InStates;
+
+  /// Annotated disassembly: every instruction with its incoming abstract
+  /// state and any violation anchored there.
+  std::string toString(const Program &Prog) const;
+};
+
+/// Verifies \p Prog against a \p MemSize-byte context region.
+VerifierReport verifyProgram(const Program &Prog, uint64_t MemSize,
+                             Analyzer::Options Opts = {});
+
+} // namespace bpf
+} // namespace tnums
+
+#endif // TNUMS_BPF_VERIFIER_H

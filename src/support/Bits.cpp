@@ -1,0 +1,24 @@
+//===- support/Bits.cpp - Bit-manipulation utilities ----------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bits.h"
+
+using namespace tnums;
+
+bool tnums::parseBinary(const char *Text, unsigned Length, uint64_t &Result) {
+  if (Length == 0 || Length > MaxBitWidth)
+    return false;
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != Length; ++I) {
+    char C = Text[I];
+    if (C != '0' && C != '1')
+      return false;
+    Value = (Value << 1) | uint64_t(C - '0');
+  }
+  Result = Value;
+  return true;
+}

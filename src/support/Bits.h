@@ -1,0 +1,84 @@
+//===- support/Bits.h - Bit-manipulation utilities --------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Width-parametric bit-manipulation helpers shared by the tnum domain, the
+/// verification oracles, and the BPF substrate. All operations are defined on
+/// uint64_t carriers; a "width" parameter N in [1, 64] selects the number of
+/// low-order bits that are semantically meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_BITS_H
+#define TNUMS_SUPPORT_BITS_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace tnums {
+
+/// Maximum bit width supported by the library (the kernel's tnum width).
+inline constexpr unsigned MaxBitWidth = 64;
+
+/// Returns a mask with the low \p Width bits set.
+///
+/// \pre 1 <= Width <= 64.
+constexpr uint64_t lowBitsMask(unsigned Width) {
+  assert(Width >= 1 && Width <= MaxBitWidth && "width out of range");
+  return Width == MaxBitWidth ? ~uint64_t(0) : ((uint64_t(1) << Width) - 1);
+}
+
+/// Truncates \p V to the low \p Width bits.
+constexpr uint64_t truncateToWidth(uint64_t V, unsigned Width) {
+  return V & lowBitsMask(Width);
+}
+
+/// Returns true if \p V has no bits set at or above position \p Width.
+constexpr bool fitsWidth(uint64_t V, unsigned Width) {
+  return (V & ~lowBitsMask(Width)) == 0;
+}
+
+/// Extracts bit \p Pos of \p V as 0 or 1.
+constexpr uint64_t bitAt(uint64_t V, unsigned Pos) {
+  assert(Pos < MaxBitWidth && "bit position out of range");
+  return (V >> Pos) & 1;
+}
+
+/// Sign-extends the low \p Width bits of \p V to a full 64-bit signed value.
+constexpr int64_t signExtend(uint64_t V, unsigned Width) {
+  assert(Width >= 1 && Width <= MaxBitWidth && "width out of range");
+  if (Width == MaxBitWidth)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = uint64_t(1) << (Width - 1);
+  uint64_t Truncated = truncateToWidth(V, Width);
+  return static_cast<int64_t>((Truncated ^ SignBit) - SignBit);
+}
+
+/// Number of set bits in \p V.
+constexpr unsigned popCount(uint64_t V) {
+  return static_cast<unsigned>(std::popcount(V));
+}
+
+/// Arithmetic right shift of the low \p Width bits of \p V by \p Amount,
+/// replicating the width-local sign bit. The result is truncated to
+/// \p Width bits again (high bits zero).
+constexpr uint64_t arithmeticShiftRight(uint64_t V, unsigned Amount,
+                                        unsigned Width) {
+  assert(Amount < Width && "shift amount must be < width");
+  int64_t Extended = signExtend(V, Width);
+  return truncateToWidth(static_cast<uint64_t>(Extended >> Amount), Width);
+}
+
+/// Parses \p Text as an unsigned binary string ("0101..."), most significant
+/// bit first. Returns false on any non-binary character or overflow past 64
+/// bits. Used by the tnum string parser and the BPF assembler.
+bool parseBinary(const char *Text, unsigned Length, uint64_t &Result);
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_BITS_H

@@ -1,0 +1,16 @@
+//===- support/CycleTimer.cpp - Cycle-accurate timing ---------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CycleTimer.h"
+
+const char *tnums::cycleCounterUnit() {
+#if TNUMS_HAVE_RDTSC
+  return "cycles";
+#else
+  return "ns";
+#endif
+}

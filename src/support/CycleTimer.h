@@ -1,0 +1,66 @@
+//===- support/CycleTimer.h - Cycle-accurate timing -------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RDTSC-based cycle measurement matching the paper's §IV-B methodology
+/// ("CPU cycles measured using the RDTSC time stamp counter", minimum over
+/// repeated trials per input). Falls back to std::chrono::steady_clock
+/// nanoseconds on non-x86 hosts; the unit is reported by unitName().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_CYCLETIMER_H
+#define TNUMS_SUPPORT_CYCLETIMER_H
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#define TNUMS_HAVE_RDTSC 1
+#else
+#include <chrono>
+#define TNUMS_HAVE_RDTSC 0
+#endif
+
+namespace tnums {
+
+/// Reads the platform cycle (or nanosecond) counter with a serializing
+/// barrier so that the measured region cannot be reordered around the read.
+inline uint64_t readCycleCounter() {
+#if TNUMS_HAVE_RDTSC
+  unsigned Aux;
+  return __rdtscp(&Aux);
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Human-readable unit of readCycleCounter() deltas.
+const char *cycleCounterUnit();
+
+/// Measures \p Trials invocations of \p Fn and returns the minimum counter
+/// delta, mirroring the paper's min-of-10-trials protocol. \p Fn must be a
+/// callable returning a value that is accumulated into \p Sink to defeat
+/// dead-code elimination.
+template <typename FnT>
+uint64_t minCyclesOverTrials(unsigned Trials, FnT &&Fn, uint64_t &Sink) {
+  uint64_t Best = ~uint64_t(0);
+  for (unsigned I = 0; I != Trials; ++I) {
+    uint64_t Begin = readCycleCounter();
+    Sink += Fn();
+    uint64_t End = readCycleCounter();
+    uint64_t Delta = End - Begin;
+    if (Delta < Best)
+      Best = Delta;
+  }
+  return Best;
+}
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_CYCLETIMER_H

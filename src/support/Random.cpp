@@ -1,0 +1,54 @@
+//===- support/Random.cpp - Deterministic pseudo-random numbers -----------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace tnums;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotateLeft(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Xoshiro256::reseed(uint64_t Seed) {
+  uint64_t Mix = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(Mix);
+}
+
+uint64_t Xoshiro256::next() {
+  uint64_t Result = rotateLeft(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotateLeft(State[3], 45);
+  return Result;
+}
+
+uint64_t Xoshiro256::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be nonzero");
+  // Rejection sampling: draw until the value falls inside the largest
+  // multiple of Bound representable in 64 bits.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}

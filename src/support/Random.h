@@ -1,0 +1,51 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) used by the randomized
+/// refutation campaigns and the performance harnesses. We avoid <random>
+/// engines so that streams are reproducible across standard libraries, which
+/// matters when EXPERIMENTS.md records seeds next to measured numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_RANDOM_H
+#define TNUMS_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace tnums {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded through splitmix64 so any 64-bit seed yields a
+/// well-mixed state.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns true with probability Numerator/Denominator.
+  bool nextChance(uint64_t Numerator, uint64_t Denominator) {
+    return nextBelow(Denominator) < Numerator;
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_RANDOM_H

@@ -1,0 +1,104 @@
+//===- support/Stats.cpp - CDF and summary statistics ---------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace tnums;
+
+double DiscreteCdf::fractionBelow(int64_t Bucket) const {
+  if (Total == 0)
+    return 0.0;
+  uint64_t Below = 0;
+  for (const auto &[Key, Count] : Counts) {
+    if (Key >= Bucket)
+      break;
+    Below += Count;
+  }
+  return static_cast<double>(Below) / static_cast<double>(Total);
+}
+
+double DiscreteCdf::fractionAt(int64_t Bucket) const {
+  if (Total == 0)
+    return 0.0;
+  auto It = Counts.find(Bucket);
+  if (It == Counts.end())
+    return 0.0;
+  return static_cast<double>(It->second) / static_cast<double>(Total);
+}
+
+std::vector<CdfPoint> DiscreteCdf::points() const {
+  std::vector<CdfPoint> Points;
+  Points.reserve(Counts.size());
+  uint64_t Running = 0;
+  for (const auto &[Key, Count] : Counts) {
+    Running += Count;
+    Points.push_back({static_cast<double>(Key),
+                      static_cast<double>(Running) /
+                          static_cast<double>(Total)});
+  }
+  return Points;
+}
+
+double SampleSummary::mean() const {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (uint64_t S : Samples)
+    Sum += static_cast<double>(S);
+  return Sum / static_cast<double>(Samples.size());
+}
+
+uint64_t SampleSummary::min() const {
+  assert(!Samples.empty() && "min of empty sample set");
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+uint64_t SampleSummary::max() const {
+  assert(!Samples.empty() && "max of empty sample set");
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+void SampleSummary::ensureSorted() {
+  if (Sorted)
+    return;
+  std::sort(Samples.begin(), Samples.end());
+  Sorted = true;
+}
+
+double SampleSummary::percentile(double P) {
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  assert(!Samples.empty() && "percentile of empty sample set");
+  ensureSorted();
+  if (Samples.size() == 1)
+    return static_cast<double>(Samples.front());
+  double Rank = P / 100.0 * static_cast<double>(Samples.size() - 1);
+  size_t Lower = static_cast<size_t>(std::floor(Rank));
+  size_t Upper = static_cast<size_t>(std::ceil(Rank));
+  double Weight = Rank - static_cast<double>(Lower);
+  return static_cast<double>(Samples[Lower]) * (1.0 - Weight) +
+         static_cast<double>(Samples[Upper]) * Weight;
+}
+
+std::vector<CdfPoint> SampleSummary::cdf(unsigned MaxPoints) {
+  std::vector<CdfPoint> Points;
+  if (Samples.empty() || MaxPoints == 0)
+    return Points;
+  ensureSorted();
+  size_t Count = Samples.size();
+  size_t Step = std::max<size_t>(1, Count / MaxPoints);
+  for (size_t I = Step - 1; I < Count; I += Step)
+    Points.push_back({static_cast<double>(Samples[I]),
+                      static_cast<double>(I + 1) /
+                          static_cast<double>(Count)});
+  if (Points.empty() || Points.back().CumulativeFraction < 1.0)
+    Points.push_back({static_cast<double>(Samples.back()), 1.0});
+  return Points;
+}

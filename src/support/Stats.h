@@ -1,0 +1,87 @@
+//===- support/Stats.h - CDF and summary statistics -------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators for the cumulative distributions plotted in the paper's
+/// Figures 4 and 5 and for simple summary statistics (mean, percentiles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_STATS_H
+#define TNUMS_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace tnums {
+
+/// One (x, cumulative fraction) point of an empirical CDF.
+struct CdfPoint {
+  double X;
+  double CumulativeFraction;
+};
+
+/// Accumulates discrete observations keyed by an integral bucket and renders
+/// an exact empirical CDF. Figure 4 buckets by the log2 set-size ratio (one
+/// bucket per trit of precision difference), so an exact map-based CDF is
+/// both feasible and faithful.
+class DiscreteCdf {
+public:
+  /// Records one observation of \p Bucket.
+  void add(int64_t Bucket) {
+    ++Counts[Bucket];
+    ++Total;
+  }
+
+  /// Number of observations recorded.
+  uint64_t totalCount() const { return Total; }
+
+  /// Fraction of observations with bucket strictly below \p Bucket.
+  double fractionBelow(int64_t Bucket) const;
+
+  /// Fraction of observations with bucket equal to \p Bucket.
+  double fractionAt(int64_t Bucket) const;
+
+  /// Renders the CDF as (bucket, P[value <= bucket]) points in increasing
+  /// bucket order. Empty if no observations were added.
+  std::vector<CdfPoint> points() const;
+
+private:
+  std::map<int64_t, uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+/// Streaming summary of a sequence of non-negative samples (cycle counts in
+/// Figure 5). Stores all samples to allow exact percentiles; the Figure 5
+/// workload (tens of millions of u64 samples) fits comfortably in memory.
+class SampleSummary {
+public:
+  void add(uint64_t Sample) { Samples.push_back(Sample); }
+
+  uint64_t count() const { return Samples.size(); }
+  double mean() const;
+  uint64_t min() const;
+  uint64_t max() const;
+
+  /// Exact percentile with linear interpolation; \p P in [0, 100].
+  /// Sorts lazily on first query.
+  double percentile(double P);
+
+  /// Renders an empirical CDF downsampled to at most \p MaxPoints points.
+  std::vector<CdfPoint> cdf(unsigned MaxPoints);
+
+private:
+  void ensureSorted();
+
+  std::vector<uint64_t> Samples;
+  bool Sorted = false;
+};
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_STATS_H

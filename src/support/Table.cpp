@@ -1,0 +1,89 @@
+//===- support/Table.cpp - Aligned text tables and CSV output -------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdarg>
+
+using namespace tnums;
+
+TextTable::TextTable(std::vector<std::string> HeaderCells)
+    : Header(std::move(HeaderCells)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::toCell(double V) { return formatString("%.4g", V); }
+
+void TextTable::printAligned(std::FILE *Out) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C)
+      std::fprintf(Out, "%s%-*s", C == 0 ? "" : "  ",
+                   static_cast<int>(Widths[C]), Row[C].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Header);
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    RuleWidth += Widths[C] + (C == 0 ? 0 : 2);
+  std::string Rule(RuleWidth, '-');
+  std::fprintf(Out, "%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+static std::string escapeCsvCell(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Escaped = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Escaped += '"';
+    Escaped += C;
+  }
+  Escaped += '"';
+  return Escaped;
+}
+
+void TextTable::printCsv(std::FILE *Out) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C)
+      std::fprintf(Out, "%s%s", C == 0 ? "" : ",",
+                   escapeCsvCell(Row[C]).c_str());
+    std::fprintf(Out, "\n");
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string tnums::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Needed >= 0 && "format error");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}

@@ -1,0 +1,65 @@
+//===- support/Table.h - Aligned text tables and CSV output -----*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal table renderer used by the benchmark harnesses to print the same
+/// rows the paper reports (Table I, Figure 4/5 series) both human-readably
+/// and as CSV for replotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_TABLE_H
+#define TNUMS_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tnums {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// plain-text table or as CSV. The first row added is treated as the header.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience formatter for mixed-type rows.
+  template <typename... Ts> void addRowOf(const Ts &...Cells) {
+    addRow({toCell(Cells)...});
+  }
+
+  /// Writes an aligned table (header, rule, rows) to \p Out.
+  void printAligned(std::FILE *Out) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  void printCsv(std::FILE *Out) const;
+
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+
+private:
+  static std::string toCell(const std::string &S) { return S; }
+  static std::string toCell(const char *S) { return S; }
+  static std::string toCell(double V);
+  static std::string toCell(uint64_t V) { return std::to_string(V); }
+  static std::string toCell(int64_t V) { return std::to_string(V); }
+  static std::string toCell(unsigned V) { return std::to_string(V); }
+  static std::string toCell(int V) { return std::to_string(V); }
+
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// printf-style helper returning std::string, used to format table cells.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_TABLE_H

@@ -1,0 +1,61 @@
+//===- tnum/TnumEnum.cpp - Enumerating tnums and their members ------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumEnum.h"
+
+using namespace tnums;
+
+uint64_t tnums::numWellFormedTnums(unsigned Width) {
+  assert(Width >= 1 && Width <= 40 && "3^Width would overflow");
+  uint64_t Count = 1;
+  for (unsigned I = 0; I != Width; ++I)
+    Count *= 3;
+  return Count;
+}
+
+std::vector<Tnum> tnums::allWellFormedTnums(unsigned Width) {
+  assert(Width >= 1 && Width <= 16 && "enumeration infeasible at this width");
+  std::vector<Tnum> Tnums;
+  Tnums.reserve(numWellFormedTnums(Width));
+  uint64_t WidthMask = lowBitsMask(Width);
+  // For each mask M (the unknown positions), the value may be any subset of
+  // the remaining positions; 2^(n-k) values per k-bit mask sums to 3^n.
+  for (uint64_t Mask = 0;; Mask = (Mask + 1) & WidthMask) {
+    uint64_t ValueSpace = WidthMask & ~Mask;
+    uint64_t Value = 0;
+    for (;;) {
+      Tnums.push_back(Tnum(Value, Mask));
+      if (Value == ValueSpace)
+        break;
+      Value = (Value - ValueSpace) & ValueSpace;
+    }
+    if (Mask == WidthMask)
+      break;
+  }
+  return Tnums;
+}
+
+std::vector<uint64_t> tnums::allMembers(const Tnum &P) {
+  std::vector<uint64_t> Members;
+  if (P.isBottom())
+    return Members;
+  assert(P.numUnknownBits() <= 30 && "member enumeration infeasible");
+  Members.reserve(P.concretizationSize());
+  forEachMember(P, [&](uint64_t M) { Members.push_back(M); });
+  return Members;
+}
+
+Tnum tnums::abstractOf(const std::vector<uint64_t> &Values) {
+  Tnum Acc = Tnum::makeBottom();
+  for (uint64_t V : Values)
+    Acc = abstractInsert(Acc, V);
+  return Acc;
+}
+
+Tnum tnums::abstractInsert(Tnum Acc, uint64_t Value) {
+  return Acc.joinWith(Tnum::makeConstant(Value));
+}

@@ -1,0 +1,54 @@
+//===- tnum/TnumMul.cpp - Tnum multiplication algorithms ------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumMul.h"
+
+using namespace tnums;
+
+const char *tnums::mulAlgorithmName(MulAlgorithm Algorithm) {
+  switch (Algorithm) {
+  case MulAlgorithm::Kern:
+    return "kern_mul";
+  case MulAlgorithm::BitwiseNaive:
+    return "bitwise_mul_naive";
+  case MulAlgorithm::BitwiseOpt:
+    return "bitwise_mul_opt";
+  case MulAlgorithm::OurSimplified:
+    return "our_mul_simplified";
+  case MulAlgorithm::Our:
+    return "our_mul";
+  case MulAlgorithm::OurFullLoop:
+    return "our_mul_full_loop";
+  }
+  assert(false && "unknown multiplication algorithm");
+  return "unknown";
+}
+
+Tnum tnums::tnumMul(Tnum P, Tnum Q, MulAlgorithm Algorithm, unsigned Width) {
+  Tnum Result;
+  switch (Algorithm) {
+  case MulAlgorithm::Kern:
+    Result = kernMul(P, Q);
+    break;
+  case MulAlgorithm::BitwiseNaive:
+    Result = bitwiseMulNaive(P, Q, Width);
+    break;
+  case MulAlgorithm::BitwiseOpt:
+    Result = bitwiseMulOpt(P, Q, Width);
+    break;
+  case MulAlgorithm::OurSimplified:
+    Result = ourMulSimplified(P, Q, Width);
+    break;
+  case MulAlgorithm::Our:
+    Result = ourMul(P, Q);
+    break;
+  case MulAlgorithm::OurFullLoop:
+    Result = ourMulFullLoop(P, Q, Width);
+    break;
+  }
+  return tnumTruncate(Result, Width);
+}

@@ -1,0 +1,169 @@
+//===- tnum/TnumOps.cpp - Tnum transfer functions -------------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumOps.h"
+
+#include <bit>
+
+using namespace tnums;
+
+Tnum tnums::tnumArshift(Tnum P, unsigned Shift, unsigned Width) {
+  assert(P.isWellFormed() && "transfer function on ⊥");
+  assert(P.fitsWidth(Width) && "operand wider than requested width");
+  assert(Shift < Width && "shift amount out of range");
+  // Arithmetic-shifting the mask replicates an unknown sign trit into the
+  // vacated positions, exactly like the kernel's 32/64-bit special cases.
+  uint64_t V = arithmeticShiftRight(P.value(), Shift, Width);
+  uint64_t M = arithmeticShiftRight(P.mask(), Shift, Width);
+  return Tnum(V, M);
+}
+
+Tnum tnums::tnumCast(Tnum P, unsigned Bytes) {
+  assert(Bytes >= 1 && Bytes <= 8 && "cast size out of range");
+  return tnumTruncate(P, Bytes * 8);
+}
+
+Tnum tnums::tnumDiv(Tnum P, Tnum Q, unsigned Width) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  if (P.isConstant() && Q.isConstant()) {
+    uint64_t Divisor = Q.constantValue();
+    uint64_t Result =
+        Divisor == 0 ? 0 : P.constantValue() / Divisor; // BPF: x / 0 == 0.
+    return Tnum::makeConstant(truncateToWidth(Result, Width));
+  }
+  return Tnum::makeUnknown(Width);
+}
+
+Tnum tnums::tnumMod(Tnum P, Tnum Q, unsigned Width) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  if (P.isConstant() && Q.isConstant()) {
+    uint64_t Divisor = Q.constantValue();
+    // BPF convention: x % 0 leaves the dividend unchanged.
+    uint64_t Result = Divisor == 0 ? P.constantValue()
+                                   : P.constantValue() % Divisor;
+    return Tnum::makeConstant(truncateToWidth(Result, Width));
+  }
+  return Tnum::makeUnknown(Width);
+}
+
+namespace {
+
+/// One trit as a pair of possibility flags.
+struct TritSet {
+  bool CanBe0;
+  bool CanBe1;
+};
+
+TritSet tritSetAt(const Tnum &T, unsigned Pos) {
+  if (bitAt(T.mask(), Pos))
+    return {true, true};
+  bool IsOne = bitAt(T.value(), Pos) != 0;
+  return {!IsOne, IsOne};
+}
+
+/// Ripples a trit-level adder/subtractor across the width. For each bit,
+/// enumerate the feasible (p, q, carry) combinations (at most 8) and
+/// collect which result/carry-out values are possible -- the per-bit
+/// optimal transfer, composed bit by bit like Regehr & Duongsaa's
+/// operators. \p IsSub selects the full-subtractor equations
+/// (Definition 23) over the full-adder ones (Definition 1).
+Tnum rippleArithmetic(Tnum P, Tnum Q, unsigned Width, bool IsSub) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  uint64_t ResultValue = 0;
+  uint64_t ResultMask = 0;
+  TritSet Carry = {true, false}; // Carry/borrow into bit 0 is 0.
+  for (unsigned I = 0; I != Width; ++I) {
+    TritSet PBit = tritSetAt(P, I);
+    TritSet QBit = tritSetAt(Q, I);
+    bool ResultCan[2] = {false, false};
+    bool CarryCan[2] = {false, false};
+    for (unsigned PV = 0; PV != 2; ++PV) {
+      if (!(PV ? PBit.CanBe1 : PBit.CanBe0))
+        continue;
+      for (unsigned QV = 0; QV != 2; ++QV) {
+        if (!(QV ? QBit.CanBe1 : QBit.CanBe0))
+          continue;
+        for (unsigned CV = 0; CV != 2; ++CV) {
+          if (!(CV ? Carry.CanBe1 : Carry.CanBe0))
+            continue;
+          unsigned R = PV ^ QV ^ CV;
+          unsigned CarryOut =
+              IsSub ? (((PV ^ 1) & QV) | (CV & ((PV ^ QV) ^ 1)))
+                    : ((PV & QV) | (CV & (PV ^ QV)));
+          ResultCan[R] = true;
+          CarryCan[CarryOut] = true;
+        }
+      }
+    }
+    if (ResultCan[0] && ResultCan[1])
+      ResultMask |= uint64_t(1) << I;
+    else if (ResultCan[1])
+      ResultValue |= uint64_t(1) << I;
+    Carry = {CarryCan[0], CarryCan[1]};
+  }
+  return Tnum(ResultValue, ResultMask);
+}
+
+} // namespace
+
+Tnum tnums::rippleAdd(Tnum P, Tnum Q, unsigned Width) {
+  return rippleArithmetic(P, Q, Width, /*IsSub=*/false);
+}
+
+Tnum tnums::rippleSub(Tnum P, Tnum Q, unsigned Width) {
+  return rippleArithmetic(P, Q, Width, /*IsSub=*/true);
+}
+
+namespace {
+
+/// Joins ShiftOne(P, Amt) over every masked shift amount consistent with
+/// \p Amount. Factored out of the three by-tnum shift operators.
+template <typename ShiftOneFn>
+Tnum joinOverShiftAmounts(Tnum Amount, unsigned Width, ShiftOneFn ShiftOne) {
+  assert((Width & (Width - 1)) == 0 &&
+         "variable shifts require a power-of-two width");
+  // BPF semantics mask the amount to Width - 1, so only the low
+  // log2(Width) bits of the amount tnum matter.
+  unsigned AmountBits = static_cast<unsigned>(std::countr_zero(Width));
+  Tnum MaskedAmount = AmountBits == 0 ? Tnum::makeConstant(0)
+                                      : tnumTruncate(Amount, AmountBits);
+  Tnum Result = Tnum::makeBottom();
+  for (unsigned Amt = 0; Amt != Width; ++Amt) {
+    if (!MaskedAmount.contains(Amt))
+      continue;
+    Result = Result.joinWith(ShiftOne(Amt));
+    if (Result.isUnknown(Width))
+      break; // Already top at this width; further joins cannot grow it.
+  }
+  assert(!Result.isBottom() && "masked amount tnum had no members");
+  return Result;
+}
+
+} // namespace
+
+Tnum tnums::tnumLshiftByTnum(Tnum P, Tnum Amount, unsigned Width) {
+  assert(P.isWellFormed() && Amount.isWellFormed() && "transfer on ⊥");
+  assert(P.fitsWidth(Width) && "operand wider than requested width");
+  return joinOverShiftAmounts(Amount, Width, [&](unsigned Amt) {
+    return tnumTruncate(tnumLshift(P, Amt), Width);
+  });
+}
+
+Tnum tnums::tnumRshiftByTnum(Tnum P, Tnum Amount, unsigned Width) {
+  assert(P.isWellFormed() && Amount.isWellFormed() && "transfer on ⊥");
+  assert(P.fitsWidth(Width) && "operand wider than requested width");
+  return joinOverShiftAmounts(
+      Amount, Width, [&](unsigned Amt) { return tnumRshift(P, Amt); });
+}
+
+Tnum tnums::tnumArshiftByTnum(Tnum P, Tnum Amount, unsigned Width) {
+  assert(P.isWellFormed() && Amount.isWellFormed() && "transfer on ⊥");
+  assert(P.fitsWidth(Width) && "operand wider than requested width");
+  return joinOverShiftAmounts(Amount, Width, [&](unsigned Amt) {
+    return tnumArshift(P, Amt, Width);
+  });
+}

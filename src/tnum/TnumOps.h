@@ -1,0 +1,212 @@
+//===- tnum/TnumOps.h - Tnum transfer functions -----------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract transfer functions over tnums for every non-multiplication BPF
+/// ALU operation (multiplication variants have their own header,
+/// TnumMul.h). Addition and subtraction are the kernel's O(1) algorithms
+/// (paper Listings 1 and 6), proved sound and *optimal* in §III-B. The
+/// bitwise operators follow Miné's optimal bitfield-domain operators as
+/// implemented in the kernel. Division and modulo have no precise abstract
+/// operator in the kernel; as in the paper (§II-B) they conservatively
+/// return all-unknown unless both operands are constants.
+///
+/// The O(1) operators are defined inline: like the kernel's tnum.c, each
+/// is a handful of machine instructions, and the multiplication algorithms
+/// invoke them per loop iteration -- a call boundary here would dominate
+/// the Figure 5 cycle measurements.
+///
+/// All functions require well-formed (non-bottom) inputs -- the analyzer
+/// layer (domain/RegValue.h) filters bottom before calling transfer
+/// functions -- and operate on the full 64-bit carrier. Width-n semantics
+/// (n < 64) are obtained by keeping operands within the width (see
+/// Tnum::fitsWidth) and truncating results with tnumTruncate(); carries
+/// propagate only upward, so 64-bit-op-then-truncate equals the native
+/// n-bit operation for add, sub, and mul.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_TNUM_TNUMOPS_H
+#define TNUMS_TNUM_TNUMOPS_H
+
+#include "tnum/Tnum.h"
+
+namespace tnums {
+
+/// Kernel tnum_add (paper Listing 1). Sound and optimal for any width
+/// (Theorem 6); runs in O(1) machine operations.
+inline Tnum tnumAdd(Tnum P, Tnum Q) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  // Sv is the minimum-carry addition (Lemma 2), Sigma the maximum-carry
+  // addition (Lemma 3); their xor marks exactly the carry positions that
+  // vary across concrete additions (Lemmas 4 and 5).
+  uint64_t Sm = P.mask() + Q.mask();
+  uint64_t Sv = P.value() + Q.value();
+  uint64_t Sigma = Sm + Sv;
+  uint64_t Chi = Sigma ^ Sv;
+  uint64_t Mu = Chi | P.mask() | Q.mask();
+  return Tnum(Sv & ~Mu, Mu);
+}
+
+/// Kernel tnum_sub (paper Listing 6). Sound and optimal (Theorem 22).
+inline Tnum tnumSub(Tnum P, Tnum Q) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  // Alpha is the minimum-borrow subtraction (Lemma 24), Beta the
+  // maximum-borrow subtraction (Lemma 25).
+  uint64_t Dv = P.value() - Q.value();
+  uint64_t Alpha = Dv + P.mask();
+  uint64_t Beta = Dv - Q.mask();
+  uint64_t Chi = Alpha ^ Beta;
+  uint64_t Mu = Chi | P.mask() | Q.mask();
+  return Tnum(Dv & ~Mu, Mu);
+}
+
+/// Negation, defined as 0 - P.
+inline Tnum tnumNeg(Tnum P) { return tnumSub(Tnum::makeConstant(0), P); }
+
+/// Optimal bitwise AND.
+inline Tnum tnumAnd(Tnum P, Tnum Q) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  // A result bit can be 1 only where both operands may be 1; it is known
+  // wherever it is certainly 0 (either side known 0) or certainly 1 (both
+  // sides known 1).
+  uint64_t Alpha = P.value() | P.mask();
+  uint64_t Beta = Q.value() | Q.mask();
+  uint64_t V = P.value() & Q.value();
+  return Tnum(V, Alpha & Beta & ~V);
+}
+
+/// Optimal bitwise OR.
+inline Tnum tnumOr(Tnum P, Tnum Q) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  uint64_t V = P.value() | Q.value();
+  uint64_t Mu = P.mask() | Q.mask();
+  return Tnum(V, Mu & ~V);
+}
+
+/// Optimal bitwise XOR.
+inline Tnum tnumXor(Tnum P, Tnum Q) {
+  assert(P.isWellFormed() && Q.isWellFormed() && "transfer function on ⊥");
+  uint64_t V = P.value() ^ Q.value();
+  uint64_t Mu = P.mask() | Q.mask();
+  return Tnum(V & ~Mu, Mu);
+}
+
+/// Logical left shift by a known amount. \p Shift must be < 64. The result
+/// is not truncated; callers doing width-n arithmetic follow with
+/// tnumTruncate().
+inline Tnum tnumLshift(Tnum P, unsigned Shift) {
+  assert(P.isWellFormed() && "transfer function on ⊥");
+  assert(Shift < MaxBitWidth && "shift amount out of range");
+  return Tnum(P.value() << Shift, P.mask() << Shift);
+}
+
+/// Logical right shift by a known amount. \p Shift must be < 64.
+inline Tnum tnumRshift(Tnum P, unsigned Shift) {
+  assert(P.isWellFormed() && "transfer function on ⊥");
+  assert(Shift < MaxBitWidth && "shift amount out of range");
+  return Tnum(P.value() >> Shift, P.mask() >> Shift);
+}
+
+/// Truncation to the low \p Width bits (generalizes kernel tnum_cast from
+/// byte granularity to bit granularity).
+inline Tnum tnumTruncate(Tnum P, unsigned Width) {
+  assert(P.isWellFormed() && "transfer function on ⊥");
+  return Tnum(truncateToWidth(P.value(), Width),
+              truncateToWidth(P.mask(), Width));
+}
+
+/// Arithmetic right shift by a known amount at bit width \p Width: the
+/// width-local sign trit is replicated. Requires P.fitsWidth(Width) and
+/// Shift < Width. Matches kernel tnum_arshift generalized from the 32/64
+/// special cases to any width.
+Tnum tnumArshift(Tnum P, unsigned Shift, unsigned Width);
+
+/// Kernel tnum_cast: truncation to \p Bytes * 8 bits. \p Bytes in [1, 8].
+Tnum tnumCast(Tnum P, unsigned Bytes);
+
+/// Unsigned division at width \p Width. Exact when both operands are
+/// constants (using the BPF convention x / 0 == 0); otherwise returns
+/// all-unknown at the width, as the kernel verifier does.
+Tnum tnumDiv(Tnum P, Tnum Q, unsigned Width = MaxBitWidth);
+
+/// Unsigned modulo at width \p Width. Exact when both operands are
+/// constants (BPF convention x % 0 == x); otherwise all-unknown.
+Tnum tnumMod(Tnum P, Tnum Q, unsigned Width = MaxBitWidth);
+
+/// Left shift by an *abstract* amount at width \p Width (a power of two up
+/// to 64): the BPF semantics mask the amount to Width - 1, and the result
+/// is the join over every feasible masked amount. Sound, and exact-join
+/// precise (at most Width joins).
+Tnum tnumLshiftByTnum(Tnum P, Tnum Amount, unsigned Width);
+
+/// Logical right shift by an abstract amount; same conventions as
+/// tnumLshiftByTnum.
+Tnum tnumRshiftByTnum(Tnum P, Tnum Amount, unsigned Width);
+
+/// Arithmetic right shift by an abstract amount; same conventions as
+/// tnumLshiftByTnum.
+Tnum tnumArshiftByTnum(Tnum P, Tnum Amount, unsigned Width);
+
+//===----------------------------------------------------------------------===//
+// Ripple-carry baselines (Regehr & Duongsaa). The paper's §II positions
+// the kernel's O(1) add/sub against the only prior arithmetic operators
+// in this domain, which ripple a trit-valued carry/borrow through the
+// bits in O(n). They are sound; bench/ripple_vs_kernel_add quantifies the
+// "much slower" claim and the precision relationship.
+//===----------------------------------------------------------------------===//
+
+/// Regehr & Duongsaa-style abstract addition: a trit-level full adder
+/// rippled across \p Width bits. O(Width).
+Tnum rippleAdd(Tnum P, Tnum Q, unsigned Width = MaxBitWidth);
+
+/// Trit-level full-subtractor ripple, the subtraction counterpart.
+Tnum rippleSub(Tnum P, Tnum Q, unsigned Width = MaxBitWidth);
+
+//===----------------------------------------------------------------------===//
+// Subregister helpers (kernel tnum.h): BPF ALU32 instructions operate on
+// the low 32 bits of a register and zero-extend the result, so the
+// verifier constantly splits and re-joins tnums at the 32-bit boundary.
+//===----------------------------------------------------------------------===//
+
+/// The low 32 bits of \p P (kernel tnum_subreg).
+inline Tnum tnumSubreg(Tnum P) { return tnumTruncate(P, 32); }
+
+/// \p P with its low 32 bits forced to known zero (kernel
+/// tnum_clear_subreg).
+inline Tnum tnumClearSubreg(Tnum P) {
+  assert(P.isWellFormed() && "transfer function on ⊥");
+  return tnumLshift(tnumRshift(P, 32), 32);
+}
+
+/// \p Reg with its low 32 bits replaced by \p Subreg's low 32 bits (kernel
+/// tnum_with_subreg). \p Subreg must fit 32 bits.
+inline Tnum tnumWithSubreg(Tnum Reg, Tnum Subreg) {
+  assert(Subreg.fitsWidth(32) && "subreg wider than 32 bits");
+  return tnumOr(tnumClearSubreg(Reg), Subreg);
+}
+
+/// \p Reg with its low 32 bits replaced by the constant \p Value (kernel
+/// tnum_const_subreg).
+inline Tnum tnumConstSubreg(Tnum Reg, uint32_t Value) {
+  return tnumWithSubreg(Reg, Tnum::makeConstant(Value));
+}
+
+/// True if every member of gamma(\p P) is aligned to \p Size bytes, a
+/// power of two (kernel tnum_is_aligned: no possibly-set bit below the
+/// alignment). Size 0 counts as aligned, matching the kernel.
+inline bool tnumIsAligned(Tnum P, uint64_t Size) {
+  assert(P.isWellFormed() && "alignment query on ⊥");
+  if (Size == 0)
+    return true;
+  assert((Size & (Size - 1)) == 0 && "alignment must be a power of two");
+  return ((P.value() | P.mask()) & (Size - 1)) == 0;
+}
+
+} // namespace tnums
+
+#endif // TNUMS_TNUM_TNUMOPS_H

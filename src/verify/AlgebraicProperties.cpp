@@ -1,0 +1,75 @@
+//===- verify/AlgebraicProperties.cpp - Algebraic property search ---------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/AlgebraicProperties.h"
+
+#include "tnum/TnumEnum.h"
+#include "tnum/TnumOps.h"
+
+using namespace tnums;
+
+std::optional<AssociativityWitness>
+tnums::findAddNonAssociativityWitness(unsigned Width) {
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      Tnum PQ = tnumTruncate(tnumAdd(P, Q), Width);
+      for (const Tnum &R : Universe) {
+        Tnum LeftFirst = tnumTruncate(tnumAdd(PQ, R), Width);
+        Tnum RightFirst = tnumTruncate(
+            tnumAdd(P, tnumTruncate(tnumAdd(Q, R), Width)), Width);
+        if (LeftFirst != RightFirst)
+          return AssociativityWitness{P, Q, R, LeftFirst, RightFirst};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<InverseWitness>
+tnums::findAddSubNonInverseWitness(unsigned Width) {
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      Tnum RoundTrip = tnumTruncate(
+          tnumSub(tnumTruncate(tnumAdd(P, Q), Width), Q), Width);
+      if (RoundTrip != P)
+        return InverseWitness{P, Q, RoundTrip};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Shared pair sweep for commutativity of an arbitrary binary operator.
+template <typename OpT>
+static std::optional<CommutativityWitness>
+findNonCommutativityWitness(unsigned Width, OpT Op) {
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      Tnum Forward = Op(P, Q);
+      Tnum Backward = Op(Q, P);
+      if (Forward != Backward)
+        return CommutativityWitness{P, Q, Forward, Backward};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CommutativityWitness>
+tnums::findMulNonCommutativityWitness(MulAlgorithm Mul, unsigned Width) {
+  return findNonCommutativityWitness(Width, [&](Tnum P, Tnum Q) {
+    return tnumMul(P, Q, Mul, Width);
+  });
+}
+
+std::optional<CommutativityWitness>
+tnums::findAddNonCommutativityWitness(unsigned Width) {
+  return findNonCommutativityWitness(Width, [&](Tnum P, Tnum Q) {
+    return tnumTruncate(tnumAdd(P, Q), Width);
+  });
+}

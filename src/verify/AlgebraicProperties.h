@@ -1,0 +1,78 @@
+//===- verify/AlgebraicProperties.h - Algebraic property search -*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Search procedures for the three non-obvious properties the paper's
+/// bounded verification uncovered (§III-A): (1) tnum addition is not
+/// associative, (2) tnum addition and subtraction are not inverses, and
+/// (3) the kernel's tnum multiplication is not commutative. Each search
+/// either finds a concrete witness tuple at the given width or proves the
+/// property by exhaustion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_VERIFY_ALGEBRAICPROPERTIES_H
+#define TNUMS_VERIFY_ALGEBRAICPROPERTIES_H
+
+#include "tnum/Tnum.h"
+#include "tnum/TnumMul.h"
+
+#include <optional>
+
+namespace tnums {
+
+/// Witness that (P + Q) + R != P + (Q + R) under tnum_add.
+struct AssociativityWitness {
+  Tnum P;
+  Tnum Q;
+  Tnum R;
+  Tnum LeftFirst;  ///< tnum_add(tnum_add(P, Q), R)
+  Tnum RightFirst; ///< tnum_add(P, tnum_add(Q, R))
+};
+
+/// Exhaustively searches width-\p Width tnum triples for a witness of
+/// tnum_add non-associativity. Returns std::nullopt if addition is
+/// associative at that width (it is not for Width >= 2). Cost 27^Width.
+std::optional<AssociativityWitness>
+findAddNonAssociativityWitness(unsigned Width);
+
+/// Witness that tnum_sub(tnum_add(P, Q), Q) != P: addition followed by
+/// subtraction of the same abstract operand does not return P.
+struct InverseWitness {
+  Tnum P;
+  Tnum Q;
+  Tnum RoundTrip; ///< tnum_sub(tnum_add(P, Q), Q)
+};
+
+/// Exhaustively searches width-\p Width pairs for a witness that add/sub
+/// are not inverse operations.
+std::optional<InverseWitness> findAddSubNonInverseWitness(unsigned Width);
+
+/// Witness that op(P, Q) != op(Q, P).
+struct CommutativityWitness {
+  Tnum P;
+  Tnum Q;
+  Tnum Forward;  ///< op(P, Q)
+  Tnum Backward; ///< op(Q, P)
+};
+
+/// Exhaustively searches width-\p Width pairs for a commutativity violation
+/// of multiplication algorithm \p Mul. kern_mul yields a witness
+/// (observation 3 of §III-A); our_mul does too (partial products are built
+/// from P's trits but Q's bits), which is fine -- commutativity is not a
+/// soundness requirement.
+std::optional<CommutativityWitness>
+findMulNonCommutativityWitness(MulAlgorithm Mul, unsigned Width);
+
+/// Exhaustively checks that tnum_add is commutative at \p Width (it is:
+/// the algorithm is symmetric in P and Q).
+std::optional<CommutativityWitness>
+findAddNonCommutativityWitness(unsigned Width);
+
+} // namespace tnums
+
+#endif // TNUMS_VERIFY_ALGEBRAICPROPERTIES_H

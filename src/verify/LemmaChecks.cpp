@@ -1,0 +1,176 @@
+//===- verify/LemmaChecks.cpp - Executable paper lemmas -------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/LemmaChecks.h"
+
+#include "support/Table.h"
+#include "tnum/TnumEnum.h"
+
+using namespace tnums;
+
+bool tnums::checkMinCarriesLemma(Tnum P, Tnum Q, unsigned Width) {
+  uint64_t WidthMask = lowBitsMask(Width);
+  uint64_t Svc = carryInSequence(P.value(), Q.value()) & WidthMask;
+  bool Holds = true;
+  forEachMember(P, [&](uint64_t X) {
+    forEachMember(Q, [&](uint64_t Y) {
+      uint64_t Cin = carryInSequence(X, Y) & WidthMask;
+      // Every carry set in the sv addition must be set in every concrete
+      // addition.
+      if ((Svc & ~Cin) != 0)
+        Holds = false;
+    });
+  });
+  return Holds;
+}
+
+bool tnums::checkMaxCarriesLemma(Tnum P, Tnum Q, unsigned Width) {
+  uint64_t WidthMask = lowBitsMask(Width);
+  uint64_t SigmaC =
+      carryInSequence(P.value() + P.mask(), Q.value() + Q.mask()) & WidthMask;
+  bool Holds = true;
+  forEachMember(P, [&](uint64_t X) {
+    forEachMember(Q, [&](uint64_t Y) {
+      uint64_t Cin = carryInSequence(X, Y) & WidthMask;
+      // No concrete addition may carry where the Sigma addition did not.
+      if ((Cin & ~SigmaC) != 0)
+        Holds = false;
+    });
+  });
+  return Holds;
+}
+
+bool tnums::checkCaptureUncertaintyLemma(Tnum P, Tnum Q, unsigned Width) {
+  uint64_t WidthMask = lowBitsMask(Width);
+  uint64_t Svc = carryInSequence(P.value(), Q.value()) & WidthMask;
+  uint64_t SigmaC =
+      carryInSequence(P.value() + P.mask(), Q.value() + Q.mask()) & WidthMask;
+  uint64_t ChiC = Svc ^ SigmaC;
+
+  // AndAll/OrAll fold every concrete carry sequence; a position varies
+  // across concrete additions iff OrAll has it and AndAll does not.
+  uint64_t AndAll = ~uint64_t(0);
+  uint64_t OrAll = 0;
+  forEachMember(P, [&](uint64_t X) {
+    forEachMember(Q, [&](uint64_t Y) {
+      uint64_t Cin = carryInSequence(X, Y) & WidthMask;
+      AndAll &= Cin;
+      OrAll |= Cin;
+    });
+  });
+  uint64_t Varying = (OrAll & ~AndAll) & WidthMask;
+  return ChiC == Varying;
+}
+
+bool tnums::checkMaskEquivalenceLemma(Tnum P, Tnum Q) {
+  uint64_t Sv = P.value() + Q.value();
+  uint64_t Sm = P.mask() + Q.mask();
+  uint64_t Sigma = Sv + Sm;
+  uint64_t Svc = carryInSequence(P.value(), Q.value());
+  uint64_t SigmaC =
+      carryInSequence(P.value() + P.mask(), Q.value() + Q.mask());
+  uint64_t FromResults = (Sv ^ Sigma) | P.mask() | Q.mask();
+  uint64_t FromCarries = (Svc ^ SigmaC) | P.mask() | Q.mask();
+  return FromResults == FromCarries;
+}
+
+bool tnums::checkMinBorrowsLemma(Tnum P, Tnum Q, unsigned Width) {
+  uint64_t WidthMask = lowBitsMask(Width);
+  uint64_t BAlpha =
+      borrowInSequence(P.value() + P.mask(), Q.value()) & WidthMask;
+  bool Holds = true;
+  forEachMember(P, [&](uint64_t X) {
+    forEachMember(Q, [&](uint64_t Y) {
+      uint64_t Bin = borrowInSequence(X, Y) & WidthMask;
+      if ((BAlpha & ~Bin) != 0)
+        Holds = false;
+    });
+  });
+  return Holds;
+}
+
+bool tnums::checkMaxBorrowsLemma(Tnum P, Tnum Q, unsigned Width) {
+  uint64_t WidthMask = lowBitsMask(Width);
+  uint64_t BBeta =
+      borrowInSequence(P.value(), Q.value() + Q.mask()) & WidthMask;
+  bool Holds = true;
+  forEachMember(P, [&](uint64_t X) {
+    forEachMember(Q, [&](uint64_t Y) {
+      uint64_t Bin = borrowInSequence(X, Y) & WidthMask;
+      if ((Bin & ~BBeta) != 0)
+        Holds = false;
+    });
+  });
+  return Holds;
+}
+
+bool tnums::checkSetUnionWithZeroLemma(Tnum P) {
+  Tnum Q(0, P.value() | P.mask());
+  return P.isSubsetOf(Q) && Q.contains(0);
+}
+
+bool tnums::checkValueMaskDecomposition(Tnum T, unsigned Width) {
+  uint64_t WidthMask = lowBitsMask(Width);
+  bool Holds = true;
+  forEachMember(T, [&](uint64_t X) {
+    // x - T.v must only have bits inside the mask (Property P0). At width n
+    // the subtraction cannot borrow past the width because x >= T.v.
+    uint64_t Residue = (X - T.value()) & WidthMask;
+    if ((Residue & ~T.mask()) != 0)
+      Holds = false;
+  });
+  return Holds;
+}
+
+const char *const tnums::AllLemmaNames[] = {
+    "min-carries",   "max-carries", "capture-uncertainty",
+    "mask-equivalence", "min-borrows", "max-borrows",
+    "set-union-zero",   "value-mask-decomp", nullptr};
+
+std::optional<std::string>
+tnums::sweepLemmaExhaustive(const std::string &Lemma, unsigned Width) {
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+
+  // Unary lemmas sweep the universe once.
+  if (Lemma == "set-union-zero" || Lemma == "value-mask-decomp") {
+    for (const Tnum &P : Universe) {
+      bool Holds = Lemma == "set-union-zero"
+                       ? checkSetUnionWithZeroLemma(P)
+                       : checkValueMaskDecomposition(P, Width);
+      if (!Holds)
+        return formatString("%s fails at P=%s", Lemma.c_str(),
+                            P.toString(Width).c_str());
+    }
+    return std::nullopt;
+  }
+
+  bool (*Check)(Tnum, Tnum, unsigned) = nullptr;
+  if (Lemma == "min-carries")
+    Check = checkMinCarriesLemma;
+  else if (Lemma == "max-carries")
+    Check = checkMaxCarriesLemma;
+  else if (Lemma == "capture-uncertainty")
+    Check = checkCaptureUncertaintyLemma;
+  else if (Lemma == "mask-equivalence")
+    Check = [](Tnum P, Tnum Q, unsigned) {
+      return checkMaskEquivalenceLemma(P, Q);
+    };
+  else if (Lemma == "min-borrows")
+    Check = checkMinBorrowsLemma;
+  else if (Lemma == "max-borrows")
+    Check = checkMaxBorrowsLemma;
+  else
+    return formatString("unknown lemma '%s'", Lemma.c_str());
+
+  for (const Tnum &P : Universe)
+    for (const Tnum &Q : Universe)
+      if (!Check(P, Q, Width))
+        return formatString("%s fails at P=%s Q=%s", Lemma.c_str(),
+                            P.toString(Width).c_str(),
+                            Q.toString(Width).c_str());
+  return std::nullopt;
+}

@@ -1,0 +1,92 @@
+//===- verify/LemmaChecks.h - Executable paper lemmas -----------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper proves tnum_add/tnum_sub sound and optimal through a chain of
+/// lemmas about the carry (resp. borrow) sequences of concrete additions
+/// drawn from the operand tnums (§III-B, supplementary §VII). This header
+/// encodes each lemma as an executable predicate so the test suite can
+/// validate the proof structure itself at bounded width -- the offline
+/// stand-in for the paper's "paper-and-pen proofs checked by spot tests".
+///
+/// Carry/borrow extraction uses the full-adder identity r = p ^ q ^ cin
+/// (Definition 1): the carry-in sequence of p + q is p ^ q ^ (p + q), and
+/// the borrow-in sequence of p - q is p ^ q ^ (p - q).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_VERIFY_LEMMACHECKS_H
+#define TNUMS_VERIFY_LEMMACHECKS_H
+
+#include "tnum/Tnum.h"
+
+#include <optional>
+#include <string>
+
+namespace tnums {
+
+/// The sequence of carry-in bits of the addition \p A + \p B: bit k is the
+/// carry into position k (so bit 0 is always 0).
+inline uint64_t carryInSequence(uint64_t A, uint64_t B) {
+  return A ^ B ^ (A + B);
+}
+
+/// The sequence of borrow-in bits of the subtraction \p A - \p B.
+inline uint64_t borrowInSequence(uint64_t A, uint64_t B) {
+  return A ^ B ^ (A - B);
+}
+
+/// Lemma 2 (minimum carries): the carry sequence of P.v + Q.v is a bitwise
+/// lower bound of the carry sequence of every concrete p + q. Checks all
+/// member pairs within \p Width; requires small concretizations.
+bool checkMinCarriesLemma(Tnum P, Tnum Q, unsigned Width);
+
+/// Lemma 3 (maximum carries): the carry sequence of
+/// (P.v + P.m) + (Q.v + Q.m) is a bitwise upper bound of every concrete
+/// carry sequence.
+bool checkMaxCarriesLemma(Tnum P, Tnum Q, unsigned Width);
+
+/// Lemma 4 (capture uncertainty): positions where the min and max carry
+/// sequences agree are fixed across all concrete additions; positions where
+/// they differ are realized both ways by some concrete additions.
+bool checkCaptureUncertaintyLemma(Tnum P, Tnum Q, unsigned Width);
+
+/// Lemma 5 (mask-expression equivalence):
+/// (sv ^ Sigma) | P.m | Q.m == (svc ^ Sigmac) | P.m | Q.m. Pure bit
+/// identity, no member enumeration.
+bool checkMaskEquivalenceLemma(Tnum P, Tnum Q);
+
+/// Lemma 24 (minimum borrows): the borrow sequence of (P.v + P.m) - Q.v
+/// bitwise lower-bounds every concrete borrow sequence of p - q.
+bool checkMinBorrowsLemma(Tnum P, Tnum Q, unsigned Width);
+
+/// Lemma 25 (maximum borrows): the borrow sequence of P.v - (Q.v + Q.m)
+/// bitwise upper-bounds every concrete borrow sequence.
+bool checkMaxBorrowsLemma(Tnum P, Tnum Q, unsigned Width);
+
+/// Lemma 8 (tnum set union with zero): for Q = (0, P.v | P.m),
+/// gamma(P) ⊆ gamma(Q) and 0 ∈ gamma(Q).
+bool checkSetUnionWithZeroLemma(Tnum P);
+
+/// Property P0 (value-mask decomposition of a single tnum): every
+/// x ∈ gamma(T) decomposes as T.v + x'' with x'' ∈ gamma((0, T.m)).
+bool checkValueMaskDecomposition(Tnum T, unsigned Width);
+
+/// Sweeps one lemma over every well-formed tnum pair at \p Width and
+/// returns a description of the first violation, or std::nullopt if the
+/// lemma holds everywhere. \p Lemma selects by name:
+/// "min-carries", "max-carries", "capture-uncertainty", "mask-equivalence",
+/// "min-borrows", "max-borrows", "set-union-zero", "value-mask-decomp".
+std::optional<std::string> sweepLemmaExhaustive(const std::string &Lemma,
+                                                unsigned Width);
+
+/// Names accepted by sweepLemmaExhaustive, null-terminated.
+extern const char *const AllLemmaNames[];
+
+} // namespace tnums
+
+#endif // TNUMS_VERIFY_LEMMACHECKS_H

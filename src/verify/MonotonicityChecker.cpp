@@ -1,0 +1,54 @@
+//===- verify/MonotonicityChecker.cpp - Operator monotonicity -------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/MonotonicityChecker.h"
+
+#include "support/Table.h"
+#include "tnum/TnumEnum.h"
+
+using namespace tnums;
+
+std::string MonotonicityCounterexample::toString(unsigned Width) const {
+  return formatString(
+      "P1=%s ⊑ P2=%s, Q1=%s ⊑ Q2=%s, but op(P1,Q1)=%s ⋢ op(P2,Q2)=%s",
+      P1.toString(Width).c_str(), P2.toString(Width).c_str(),
+      Q1.toString(Width).c_str(), Q2.toString(Width).c_str(),
+      R1.toString(Width).c_str(), R2.toString(Width).c_str());
+}
+
+MonotonicityReport tnums::checkMonotonicityExhaustive(BinaryOp Op,
+                                                      unsigned Width,
+                                                      MulAlgorithm Mul) {
+  assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
+         "shift verification requires a power-of-two width");
+  MonotonicityReport Report;
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  for (const Tnum &P2 : Universe) {
+    for (const Tnum &Q2 : Universe) {
+      Tnum R2 = applyAbstractBinary(Op, P2, Q2, Width, Mul);
+      bool Stop = false;
+      forEachSubTnum(P2, [&](Tnum P1) {
+        if (Stop)
+          return;
+        forEachSubTnum(Q2, [&](Tnum Q1) {
+          if (Stop)
+            return;
+          ++Report.QuadruplesChecked;
+          Tnum R1 = applyAbstractBinary(Op, P1, Q1, Width, Mul);
+          if (!R1.isSubsetOf(R2)) {
+            Report.Failure =
+                MonotonicityCounterexample{P1, Q1, P2, Q2, R1, R2};
+            Stop = true;
+          }
+        });
+      });
+      if (Stop)
+        return Report;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,66 @@
+//===- verify/OptimalityChecker.h - Optimality/precision checks -*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks whether an abstract operator equals the *optimal* abstraction
+/// alpha ∘ f ∘ gamma (the maximally precise sound operator, §II-A). The
+/// paper proves tnum_add/tnum_sub optimal (Theorems 6/22) and notes every
+/// multiplication algorithm is non-optimal; these checkers confirm both
+/// facts exhaustively at bounded width and quantify *how far* from optimal
+/// an operator is (used by the precision experiments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_VERIFY_OPTIMALITYCHECKER_H
+#define TNUMS_VERIFY_OPTIMALITYCHECKER_H
+
+#include "verify/Oracle.h"
+
+#include <optional>
+#include <string>
+
+namespace tnums {
+
+/// The optimal abstraction alpha(opC(gamma(P), gamma(Q))) at \p Width,
+/// computed by brute-force enumeration of both concretizations. This is
+/// the yardstick every operator is measured against; cost is
+/// |gamma(P)| * |gamma(Q)| concrete evaluations.
+Tnum optimalAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width);
+
+/// Witness that an operator is not optimal on some input pair: the
+/// operator's result R strictly over-approximates the optimal result.
+struct OptimalityCounterexample {
+  Tnum P;
+  Tnum Q;
+  Tnum Actual;
+  Tnum Optimal;
+
+  std::string toString(unsigned Width) const;
+};
+
+/// Outcome of an exhaustive optimality check.
+struct OptimalityReport {
+  uint64_t PairsChecked = 0;
+  /// Pairs where the operator matched the optimal abstraction exactly.
+  uint64_t OptimalPairs = 0;
+  /// First pair (if any) where it did not.
+  std::optional<OptimalityCounterexample> Failure;
+
+  bool isOptimalEverywhere() const { return !Failure.has_value(); }
+};
+
+/// Exhaustively compares \p Op against the optimal abstraction at \p Width.
+/// Stops at the first non-optimal pair if \p StopAtFirst, else keeps
+/// counting OptimalPairs (and retains the first counterexample).
+OptimalityReport
+checkOptimalityExhaustive(BinaryOp Op, unsigned Width,
+                          MulAlgorithm Mul = MulAlgorithm::Our,
+                          bool StopAtFirst = true);
+
+} // namespace tnums
+
+#endif // TNUMS_VERIFY_OPTIMALITYCHECKER_H

@@ -1,0 +1,111 @@
+//===- verify/Oracle.cpp - Concrete/abstract operator pairs ---------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Oracle.h"
+
+#include "tnum/TnumOps.h"
+
+using namespace tnums;
+
+const char *tnums::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "add";
+  case BinaryOp::Sub:
+    return "sub";
+  case BinaryOp::Mul:
+    return "mul";
+  case BinaryOp::Div:
+    return "div";
+  case BinaryOp::Mod:
+    return "mod";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  case BinaryOp::Xor:
+    return "xor";
+  case BinaryOp::Lsh:
+    return "lsh";
+  case BinaryOp::Rsh:
+    return "rsh";
+  case BinaryOp::Arsh:
+    return "arsh";
+  }
+  assert(false && "unknown binary op");
+  return "unknown";
+}
+
+bool tnums::isShiftOp(BinaryOp Op) {
+  return Op == BinaryOp::Lsh || Op == BinaryOp::Rsh || Op == BinaryOp::Arsh;
+}
+
+uint64_t tnums::applyConcreteBinary(BinaryOp Op, uint64_t X, uint64_t Y,
+                                    unsigned Width) {
+  X = truncateToWidth(X, Width);
+  Y = truncateToWidth(Y, Width);
+  switch (Op) {
+  case BinaryOp::Add:
+    return truncateToWidth(X + Y, Width);
+  case BinaryOp::Sub:
+    return truncateToWidth(X - Y, Width);
+  case BinaryOp::Mul:
+    return truncateToWidth(X * Y, Width);
+  case BinaryOp::Div:
+    return Y == 0 ? 0 : X / Y; // BPF: division by zero yields 0.
+  case BinaryOp::Mod:
+    return Y == 0 ? X : X % Y; // BPF: modulo by zero yields the dividend.
+  case BinaryOp::And:
+    return X & Y;
+  case BinaryOp::Or:
+    return X | Y;
+  case BinaryOp::Xor:
+    return X ^ Y;
+  case BinaryOp::Lsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    return truncateToWidth(X << (Y & (Width - 1)), Width);
+  case BinaryOp::Rsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    return X >> (Y & (Width - 1));
+  case BinaryOp::Arsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    return arithmeticShiftRight(X, static_cast<unsigned>(Y & (Width - 1)),
+                                Width);
+  }
+  assert(false && "unknown binary op");
+  return 0;
+}
+
+Tnum tnums::applyAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width,
+                                MulAlgorithm Mul) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return tnumTruncate(tnumAdd(P, Q), Width);
+  case BinaryOp::Sub:
+    return tnumTruncate(tnumSub(P, Q), Width);
+  case BinaryOp::Mul:
+    return tnumMul(P, Q, Mul, Width);
+  case BinaryOp::Div:
+    return tnumDiv(P, Q, Width);
+  case BinaryOp::Mod:
+    return tnumMod(P, Q, Width);
+  case BinaryOp::And:
+    return tnumAnd(P, Q);
+  case BinaryOp::Or:
+    return tnumOr(P, Q);
+  case BinaryOp::Xor:
+    return tnumXor(P, Q);
+  case BinaryOp::Lsh:
+    return tnumLshiftByTnum(P, Q, Width);
+  case BinaryOp::Rsh:
+    return tnumRshiftByTnum(P, Q, Width);
+  case BinaryOp::Arsh:
+    return tnumArshiftByTnum(P, Q, Width);
+  }
+  assert(false && "unknown binary op");
+  return Tnum::makeBottom();
+}

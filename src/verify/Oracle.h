@@ -1,0 +1,72 @@
+//===- verify/Oracle.h - Concrete/abstract operator pairs -------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pairs every abstract tnum operator with the width-n concrete BPF
+/// operation it abstracts, so the soundness/optimality checkers can state
+/// the paper's verification condition (Eqn. 11) uniformly:
+///
+///   forall wf P, Q, forall x in gamma(P), y in gamma(Q):
+///     opC(x, y) in gamma(opT(P, Q))
+///
+/// The concrete semantics follow the BPF instruction set the paper targets:
+/// wrap-around arithmetic at the width, x / 0 == 0, x % 0 == x, and shift
+/// amounts masked to Width - 1 (power-of-two widths).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_VERIFY_ORACLE_H
+#define TNUMS_VERIFY_ORACLE_H
+
+#include "tnum/Tnum.h"
+#include "tnum/TnumMul.h"
+
+namespace tnums {
+
+/// The binary operations the BPF analyzer needs abstract operators for
+/// (§II-B list, minus the unary neg which is Sub(0, x)).
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  And,
+  Or,
+  Xor,
+  Lsh,
+  Rsh,
+  Arsh,
+};
+
+/// All BinaryOp enumerators, for sweeping harnesses.
+inline constexpr BinaryOp AllBinaryOps[] = {
+    BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div,
+    BinaryOp::Mod, BinaryOp::And, BinaryOp::Or,  BinaryOp::Xor,
+    BinaryOp::Lsh, BinaryOp::Rsh, BinaryOp::Arsh};
+
+/// Stable lower-case name ("add", "arsh", ...).
+const char *binaryOpName(BinaryOp Op);
+
+/// True for Lsh/Rsh/Arsh, whose checkers require a power-of-two width
+/// (shift amounts are masked to Width - 1).
+bool isShiftOp(BinaryOp Op);
+
+/// The width-\p Width concrete semantics of \p Op applied to the low
+/// \p Width bits of \p X and \p Y. Result fits the width.
+uint64_t applyConcreteBinary(BinaryOp Op, uint64_t X, uint64_t Y,
+                             unsigned Width);
+
+/// The abstract transfer function for \p Op, truncated to \p Width.
+/// Multiplication is computed with \p Mul so that every algorithm variant
+/// can be pushed through the same verification pipeline.
+Tnum applyAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width,
+                         MulAlgorithm Mul = MulAlgorithm::Our);
+
+} // namespace tnums
+
+#endif // TNUMS_VERIFY_ORACLE_H

@@ -1,0 +1,224 @@
+//===- tests/DifferentialTest.cpp - Abstract vs concrete fuzzing ----------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end soundness fuzzing of the whole stack: generate random BPF
+/// programs, analyze them, and execute them concretely on random inputs.
+/// Two oracles must hold:
+///
+///   1. Verifier-accepted programs never trap in the interpreter.
+///   2. At the exit instruction, every concrete scalar register value lies
+///      inside the analyzer's abstract value for that register.
+///
+/// This is the whole-system analogue of the paper's per-operator soundness
+/// condition (Eqn. 8), and the strongest evidence that the tnum transfer
+/// functions, the reduced product, and the branch refinement compose
+/// soundly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Builder.h"
+#include "bpf/Interpreter.h"
+#include "bpf/Verifier.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+using namespace tnums::bpf;
+
+namespace {
+
+constexpr uint64_t MemSize = 32;
+constexpr Reg ScratchRegs[] = {R3, R4, R5, R6, R7, R8};
+
+/// Generates a random program of ALU64/ALU32 work over scratch registers
+/// seeded from memory loads, sprinkled with scalar spill/fill round trips
+/// and up to two forward branches (64- or 32-bit guards).
+Program generateProgram(Xoshiro256 &Rng) {
+  ProgramBuilder B;
+  unsigned NumScratch = sizeof(ScratchRegs) / sizeof(ScratchRegs[0]);
+
+  // Seed every scratch register: from memory (unknown to the analyzer) or
+  // a constant.
+  for (Reg R : ScratchRegs) {
+    if (Rng.nextChance(1, 2)) {
+      unsigned Size = 1u << Rng.nextBelow(3); // 1, 2, or 4 bytes
+      int32_t Offset = static_cast<int32_t>(Rng.nextBelow(MemSize - Size));
+      B.load(R, R1, Offset, Size);
+    } else {
+      B.movImm(R, static_cast<int64_t>(Rng.next() >> Rng.nextBelow(60)));
+    }
+  }
+
+  constexpr AluOp Ops[] = {AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Div,
+                           AluOp::Mod, AluOp::And, AluOp::Or,  AluOp::Xor,
+                           AluOp::Lsh, AluOp::Rsh, AluOp::Arsh};
+  constexpr CompareOp Cmps[] = {CompareOp::Eq,  CompareOp::Ne, CompareOp::Lt,
+                                CompareOp::Le,  CompareOp::Gt, CompareOp::Ge,
+                                CompareOp::SLt, CompareOp::SLe,
+                                CompareOp::SGt, CompareOp::SGe,
+                                CompareOp::Set};
+
+  unsigned NumBranches = static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned Block = 0; Block <= NumBranches; ++Block) {
+    unsigned NumAlu = 2 + static_cast<unsigned>(Rng.nextBelow(6));
+    for (unsigned I = 0; I != NumAlu; ++I) {
+      // Occasionally interleave a scalar spill/fill dance or a negation.
+      if (Rng.nextChance(1, 8)) {
+        Reg R = ScratchRegs[Rng.nextBelow(NumScratch)];
+        int32_t SlotOff = Rng.nextChance(1, 2) ? -8 : -16;
+        B.store(R10, SlotOff, R, 8);
+        B.load(ScratchRegs[Rng.nextBelow(NumScratch)], R10, SlotOff, 8);
+        continue;
+      }
+      if (Rng.nextChance(1, 12)) {
+        B.neg(ScratchRegs[Rng.nextBelow(NumScratch)]);
+        continue;
+      }
+      AluOp Op = Ops[Rng.nextBelow(sizeof(Ops) / sizeof(Ops[0]))];
+      Reg Dst = ScratchRegs[Rng.nextBelow(NumScratch)];
+      bool Is32 = Rng.nextChance(1, 3); // Mix ALU32 into the stream.
+      if (Rng.nextChance(1, 2)) {
+        Reg Src = ScratchRegs[Rng.nextBelow(NumScratch)];
+        if (Is32)
+          B.alu32(Op, Dst, Src);
+        else
+          B.alu(Op, Dst, Src);
+      } else {
+        int64_t Imm = static_cast<int64_t>(Rng.next() >> Rng.nextBelow(60));
+        if (Is32)
+          B.alu32Imm(Op, Dst, Imm);
+        else
+          B.aluImm(Op, Dst, Imm);
+      }
+    }
+    if (Block != NumBranches) {
+      // Forward branch over nothing-in-particular: both directions land on
+      // the next block, but the refinement still kicks in.
+      CompareOp Cmp = Cmps[Rng.nextBelow(sizeof(Cmps) / sizeof(Cmps[0]))];
+      Reg Dst = ScratchRegs[Rng.nextBelow(NumScratch)];
+      std::string Label = "block" + std::to_string(Block);
+      bool Jmp32 = Rng.nextChance(1, 3); // Mix JMP32 guards in too.
+      if (Rng.nextChance(1, 2)) {
+        int64_t Imm = static_cast<int64_t>(Rng.nextBelow(512));
+        if (Jmp32)
+          B.jmp32Imm(Cmp, Dst, Imm, Label);
+        else
+          B.jmpImm(Cmp, Dst, Imm, Label);
+      } else {
+        Reg Src = ScratchRegs[Rng.nextBelow(NumScratch)];
+        if (Jmp32)
+          B.jmp32(Cmp, Dst, Src, Label);
+        else
+          B.jmp(Cmp, Dst, Src, Label);
+      }
+      // A small then-block the branch skips.
+      Reg ThenDst = ScratchRegs[Rng.nextBelow(NumScratch)];
+      B.aluImm(Ops[Rng.nextBelow(sizeof(Ops) / sizeof(Ops[0]))], ThenDst,
+               static_cast<int64_t>(Rng.nextBelow(1024)));
+      B.label(Label);
+    }
+  }
+
+  B.mov(R0, ScratchRegs[Rng.nextBelow(NumScratch)]);
+  B.exit();
+  return B.build();
+}
+
+TEST(Differential, AcceptedProgramsNeverTrapAndStayContained) {
+  Xoshiro256 Rng(0xD1FF);
+  unsigned Accepted = 0;
+  for (unsigned Iter = 0; Iter != 300; ++Iter) {
+    Program P = generateProgram(Rng);
+    ASSERT_FALSE(P.validate().has_value());
+
+    VerifierReport Report = verifyProgram(P, MemSize);
+    ASSERT_TRUE(Report.Accepted) << "generator emits only safe programs\n"
+                                 << Report.toString(P);
+    ++Accepted;
+
+    size_t ExitPc = P.size() - 1;
+    ASSERT_EQ(P.insn(ExitPc).InsnKind, Insn::Kind::Exit);
+    const AbstractState &Final = Report.InStates[ExitPc];
+    ASSERT_TRUE(Final.Reachable);
+
+    // Run each accepted program on several random memories.
+    for (unsigned Run = 0; Run != 10; ++Run) {
+      std::vector<uint8_t> Mem(MemSize);
+      for (uint8_t &Byte : Mem)
+        Byte = static_cast<uint8_t>(Rng.next());
+      Interpreter Interp(P, Mem);
+      ExecResult R = Interp.run();
+      ASSERT_TRUE(R.ok()) << "accepted program trapped: " << R.Message
+                          << "\n"
+                          << Report.toString(P);
+
+      // Oracle 2: concrete register values inside abstract ones.
+      for (unsigned RegNum = 0; RegNum != NumRegs; ++RegNum) {
+        const AbsReg &Abs = Final.Regs[RegNum];
+        if (!Abs.isScalar())
+          continue;
+        if (!Interp.initialized()[RegNum])
+          continue;
+        EXPECT_TRUE(Abs.value().contains(Interp.registers()[RegNum]))
+            << "r" << RegNum << " = " << Interp.registers()[RegNum]
+            << " escapes " << Abs.toString() << "\n"
+            << Report.toString(P);
+      }
+    }
+  }
+  EXPECT_EQ(Accepted, 300u);
+}
+
+TEST(Differential, BoundsCheckedAccessPatternsSurviveFuzzing) {
+  // A family of guard-then-access programs with randomized guard constants
+  // and access sizes: the verifier's verdict must agree with concrete
+  // reality (accepted => no trap on 20 random memories).
+  Xoshiro256 Rng(0xFACE);
+  unsigned Tested = 0;
+  for (unsigned Iter = 0; Iter != 200; ++Iter) {
+    unsigned Size = 1u << Rng.nextBelow(4);
+    uint64_t Guard = Rng.nextBelow(40);
+    Program P = ProgramBuilder()
+                    .load(R3, R1, 0, 1)
+                    .jmpImm(CompareOp::Gt, R3, static_cast<int64_t>(Guard),
+                            "reject")
+                    .alu(AluOp::Add, R3, R1)
+                    .load(R0, R3, 0, Size)
+                    .exit()
+                    .label("reject")
+                    .movImm(R0, 0)
+                    .exit()
+                    .build();
+    VerifierReport Report = verifyProgram(P, MemSize);
+    bool ReallySafe = Guard + Size <= MemSize;
+    // The analyzer is sound: it must reject all actually-unsafe variants.
+    if (!ReallySafe) {
+      EXPECT_FALSE(Report.Accepted) << "guard=" << Guard << " size=" << Size;
+    }
+    // And precise enough to accept this simple safe pattern.
+    if (ReallySafe) {
+      EXPECT_TRUE(Report.Accepted) << "guard=" << Guard << " size=" << Size
+                                   << "\n"
+                                   << Report.toString(P);
+    }
+    if (!Report.Accepted)
+      continue;
+    ++Tested;
+    for (unsigned Run = 0; Run != 20; ++Run) {
+      std::vector<uint8_t> Mem(MemSize);
+      for (uint8_t &Byte : Mem)
+        Byte = static_cast<uint8_t>(Rng.next());
+      ExecResult R = Interpreter(P, Mem).run();
+      EXPECT_TRUE(R.ok()) << R.Message;
+    }
+  }
+  EXPECT_GT(Tested, 0u);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/OracleTest.cpp - Concrete semantics oracle tests -------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verification substrate is only as trustworthy as its concrete
+/// oracle, so this suite pins applyConcreteBinary / applyConcreteCompare
+/// against independently written reference semantics (mirroring the
+/// paper's spot-checks of its SMT encodings against the kernel C code).
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/Oracle.h"
+
+#include "support/Random.h"
+#include "domain/RegValue.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+
+namespace {
+
+TEST(ConcreteOracle, WidthWrapAround) {
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Add, 255, 1, 8), 0u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Sub, 0, 1, 8), 255u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Mul, 16, 16, 8), 0u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Add, ~uint64_t(0), 1, 64), 0u);
+}
+
+TEST(ConcreteOracle, TruncatesInputsFirst) {
+  // 0x1FF at width 8 is 0xFF.
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::And, 0x1FF, 0xFF, 8), 0xFFu);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Div, 0x1FF, 0x10, 8), 0xFu);
+}
+
+TEST(ConcreteOracle, BpfDivModConventions) {
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Div, 7, 0, 8), 0u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Mod, 7, 0, 8), 7u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Div, 7, 2, 8), 3u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Mod, 7, 2, 8), 1u);
+}
+
+TEST(ConcreteOracle, ShiftMaskingPerWidth) {
+  // Amount is masked to Width - 1.
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Lsh, 1, 9, 8), 2u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Lsh, 1, 8, 8), 1u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Rsh, 0x80, 7, 8), 1u);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Arsh, 0x80, 7, 8), 0xFFu);
+  EXPECT_EQ(applyConcreteBinary(BinaryOp::Arsh, 0x40, 6, 8), 1u);
+}
+
+TEST(ConcreteOracle, MatchesNativeAtWidth64) {
+  Xoshiro256 Rng(31337);
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t X = Rng.next();
+    uint64_t Y = Rng.next();
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Add, X, Y, 64), X + Y);
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Sub, X, Y, 64), X - Y);
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Mul, X, Y, 64), X * Y);
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::And, X, Y, 64), X & Y);
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Or, X, Y, 64), X | Y);
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Xor, X, Y, 64), X ^ Y);
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Lsh, X, Y, 64), X << (Y & 63));
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Rsh, X, Y, 64), X >> (Y & 63));
+    EXPECT_EQ(applyConcreteBinary(BinaryOp::Arsh, X, Y, 64),
+              static_cast<uint64_t>(static_cast<int64_t>(X) >> (Y & 63)));
+  }
+}
+
+TEST(ConcreteOracle, ResultAlwaysFitsWidth) {
+  Xoshiro256 Rng(4711);
+  for (unsigned Width : {1u, 4u, 8u, 16u, 32u, 63u, 64u}) {
+    for (int I = 0; I != 500; ++I) {
+      uint64_t X = Rng.next();
+      uint64_t Y = Rng.next();
+      for (BinaryOp Op : AllBinaryOps) {
+        if (isShiftOp(Op) && (Width & (Width - 1)) != 0)
+          continue;
+        EXPECT_TRUE(
+            fitsWidth(applyConcreteBinary(Op, X, Y, Width), Width))
+            << binaryOpName(Op) << " width " << Width;
+      }
+    }
+  }
+}
+
+TEST(CompareOracle, SignedVsUnsignedDisagree) {
+  // -1 vs 0 at width 8: 0xFF.
+  EXPECT_TRUE(applyConcreteCompare(CompareOp::Gt, 0xFF, 0, 8));
+  EXPECT_TRUE(applyConcreteCompare(CompareOp::SLt, 0xFF, 0, 8));
+  EXPECT_FALSE(applyConcreteCompare(CompareOp::SGt, 0xFF, 0, 8));
+  EXPECT_FALSE(applyConcreteCompare(CompareOp::Lt, 0xFF, 0, 8));
+}
+
+TEST(CompareOracle, NegationPairsPartitionEverything) {
+  // For every pair, exactly one of {op, negation} holds.
+  Xoshiro256 Rng(99);
+  struct Dual {
+    CompareOp A;
+    CompareOp B;
+  };
+  for (Dual D : {Dual{CompareOp::Eq, CompareOp::Ne},
+                 Dual{CompareOp::Lt, CompareOp::Ge},
+                 Dual{CompareOp::Le, CompareOp::Gt},
+                 Dual{CompareOp::SLt, CompareOp::SGe},
+                 Dual{CompareOp::SLe, CompareOp::SGt}}) {
+    for (int I = 0; I != 2000; ++I) {
+      uint64_t X = Rng.next();
+      uint64_t Y = Rng.next();
+      EXPECT_NE(applyConcreteCompare(D.A, X, Y, 64),
+                applyConcreteCompare(D.B, X, Y, 64));
+    }
+  }
+}
+
+TEST(CompareOracle, SetSemantics) {
+  EXPECT_TRUE(applyConcreteCompare(CompareOp::Set, 0b1100, 0b0100, 8));
+  EXPECT_FALSE(applyConcreteCompare(CompareOp::Set, 0b1100, 0b0011, 8));
+  EXPECT_FALSE(applyConcreteCompare(CompareOp::Set, 0xFF, 0, 8));
+}
+
+TEST(CompareOracle, WidthTruncation) {
+  // 0x100 at width 8 is 0.
+  EXPECT_TRUE(applyConcreteCompare(CompareOp::Eq, 0x100, 0, 8));
+  EXPECT_TRUE(applyConcreteCompare(CompareOp::Eq, 0x100, 0x200, 8));
+}
+
+TEST(Names, AreStableAndUnique) {
+  std::set<std::string> Seen;
+  for (BinaryOp Op : AllBinaryOps)
+    EXPECT_TRUE(Seen.insert(binaryOpName(Op)).second);
+  EXPECT_EQ(Seen.size(), 11u);
+}
+
+} // namespace

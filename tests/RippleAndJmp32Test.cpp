@@ -1,0 +1,274 @@
+//===- tests/RippleAndJmp32Test.cpp - R&D baselines and JMP32 -------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Regehr & Duongsaa ripple-carry add/sub baselines (the
+/// paper's §II prior art) and for 32-bit conditional jumps (BPF_JMP32)
+/// with subregister branch refinement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Builder.h"
+#include "bpf/Interpreter.h"
+#include "bpf/Verifier.h"
+#include "support/Random.h"
+#include "tnum/TnumEnum.h"
+#include "tnum/TnumOps.h"
+#include "verify/SoundnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+using namespace tnums::bpf;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Ripple-carry add/sub
+//===----------------------------------------------------------------------===//
+
+TEST(RippleAdd, ConstantsAddExactly) {
+  EXPECT_EQ(rippleAdd(Tnum::makeConstant(41), Tnum::makeConstant(1), 64),
+            Tnum::makeConstant(42));
+  EXPECT_EQ(rippleSub(Tnum::makeConstant(10), Tnum::makeConstant(3), 64),
+            Tnum::makeConstant(7));
+}
+
+TEST(RippleAdd, PaperFigure2Example) {
+  Tnum P = *Tnum::parse("10u0");
+  Tnum Q = *Tnum::parse("10u1");
+  EXPECT_EQ(rippleAdd(P, Q, 5).toString(5), "10uu1");
+}
+
+TEST(RippleAdd, SoundExhaustiveSmallWidths) {
+  for (unsigned W : {1u, 2u, 3u, 4u}) {
+    for (const Tnum &P : allWellFormedTnums(W)) {
+      for (const Tnum &Q : allWellFormedTnums(W)) {
+        Tnum RA = rippleAdd(P, Q, W);
+        Tnum RS = rippleSub(P, Q, W);
+        forEachMember(P, [&](uint64_t X) {
+          forEachMember(Q, [&](uint64_t Y) {
+            EXPECT_TRUE(RA.contains((X + Y) & lowBitsMask(W)));
+            EXPECT_TRUE(RS.contains((X - Y) & lowBitsMask(W)));
+          });
+        });
+      }
+    }
+  }
+}
+
+TEST(RippleAdd, OutputEquivalentToKernelOperators) {
+  // The surprising empirical finding (bench/ripple_vs_kernel_add [c]):
+  // the per-bit-optimal ripple composition produces exactly the kernel's
+  // optimal results -- exhaustively at width 5, randomized at 64 bits.
+  for (const Tnum &P : allWellFormedTnums(5)) {
+    for (const Tnum &Q : allWellFormedTnums(5)) {
+      EXPECT_EQ(rippleAdd(P, Q, 5), tnumTruncate(tnumAdd(P, Q), 5));
+      EXPECT_EQ(rippleSub(P, Q, 5), tnumTruncate(tnumSub(P, Q), 5));
+    }
+  }
+  Xoshiro256 Rng(0x1CE);
+  for (int I = 0; I != 20000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    Tnum Q = randomWellFormedTnum(Rng, 64);
+    EXPECT_EQ(rippleAdd(P, Q, 64), tnumAdd(P, Q));
+    EXPECT_EQ(rippleSub(P, Q, 64), tnumSub(P, Q));
+  }
+}
+
+TEST(RippleAdd, NarrowWidthLeavesHighBitsZero) {
+  Tnum P = *Tnum::parse("uu");
+  Tnum R = rippleAdd(P, P, 3);
+  EXPECT_TRUE(R.fitsWidth(3));
+}
+
+//===----------------------------------------------------------------------===//
+// JMP32: domain-level refinement
+//===----------------------------------------------------------------------===//
+
+TEST(Jmp32Refine, RefinesLowHalfOnly) {
+  // A fully unknown 64-bit value compared as w < 8: the low subregister
+  // bounds shrink, the high half stays unknown.
+  RegValue L = RegValue::makeTop(64);
+  RegValue K = RegValue::makeConstant(8, 64);
+  refineByComparison32(CompareOp::Lt, /*Taken=*/true, L, K);
+  ASSERT_FALSE(L.isBottom());
+  // Low 29 bits above bit 2 are known zero; high 32 bits unknown.
+  EXPECT_EQ(L.tnum().tritAt(3), Trit::Zero);
+  EXPECT_EQ(L.tnum().tritAt(31), Trit::Zero);
+  EXPECT_EQ(L.tnum().tritAt(32), Trit::Unknown);
+  // Values like 2^32 + 3 (low half 3 < 8) must survive.
+  EXPECT_TRUE(L.contains((uint64_t(1) << 32) + 3));
+  EXPECT_FALSE(L.contains(9));
+}
+
+TEST(Jmp32Refine, BoundsTransferWhenValueFits32Bits) {
+  RegValue L = RegValue::fromUnsignedRange(0, 100, 64);
+  RegValue K = RegValue::makeConstant(8, 64);
+  refineByComparison32(CompareOp::Lt, /*Taken=*/true, L, K);
+  EXPECT_EQ(L.unsignedBounds().max(), 7u);
+}
+
+TEST(Jmp32Refine, InfeasibleBranchGoesBottom) {
+  RegValue L = RegValue::makeConstant(5, 64);
+  RegValue K = RegValue::makeConstant(5, 64);
+  refineByComparison32(CompareOp::Ne, /*Taken=*/true, L, K);
+  EXPECT_TRUE(L.isBottom());
+}
+
+class Jmp32Soundness : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(Jmp32Soundness, KeepsSatisfyingPairs) {
+  CompareOp Op = GetParam();
+  Xoshiro256 Rng(0x32C + static_cast<uint64_t>(Op));
+  for (int I = 0; I != 1500; ++I) {
+    Tnum TL = randomWellFormedTnum(Rng, 64);
+    Tnum TR = randomWellFormedTnum(Rng, 64);
+    for (bool Taken : {false, true}) {
+      RegValue L = RegValue::fromTnum(TL, 64);
+      RegValue R = RegValue::fromTnum(TR, 64);
+      refineByComparison32(Op, Taken, L, R);
+      for (int S = 0; S != 6; ++S) {
+        uint64_t X = TL.value() | (Rng.next() & TL.mask());
+        uint64_t Y = TR.value() | (Rng.next() & TR.mask());
+        if (applyConcreteCompare(Op, X, Y, 32) != Taken)
+          continue;
+        EXPECT_TRUE(L.contains(X) && R.contains(Y))
+            << compareOpName(Op) << " taken=" << Taken << " x=" << X
+            << " y=" << Y;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCompares, Jmp32Soundness,
+    ::testing::Values(CompareOp::Eq, CompareOp::Ne, CompareOp::Lt,
+                      CompareOp::Le, CompareOp::Gt, CompareOp::Ge,
+                      CompareOp::SLt, CompareOp::SLe, CompareOp::SGt,
+                      CompareOp::SGe, CompareOp::Set),
+    [](const ::testing::TestParamInfo<CompareOp> &Info) {
+      return std::string(compareOpName(Info.param));
+    });
+
+//===----------------------------------------------------------------------===//
+// JMP32: interpreter + verifier
+//===----------------------------------------------------------------------===//
+
+TEST(Jmp32Interp, ComparesLowHalves) {
+  // r3 = 2^32 + 3. As a 64-bit compare r3 > 8; as a 32-bit compare w3 < 8.
+  Program P = ProgramBuilder()
+                  .loadImm(R3, (int64_t(1) << 32) + 3)
+                  .movImm(R0, 0)
+                  .jmp32Imm(CompareOp::Lt, R3, 8, "low_small")
+                  .exit()
+                  .label("low_small")
+                  .movImm(R0, 1)
+                  .exit()
+                  .build();
+  std::vector<uint8_t> Mem(16, 0);
+  ExecResult R = Interpreter(P, Mem).run();
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue, 1u);
+}
+
+TEST(Jmp32Interp, SignedUsesBit31) {
+  // 0x80000000 is negative as s32 but positive as s64.
+  Program P = ProgramBuilder()
+                  .loadImm(R3, 0x8000'0000)
+                  .movImm(R0, 0)
+                  .jmp32Imm(CompareOp::SLt, R3, 0, "neg32")
+                  .exit()
+                  .label("neg32")
+                  .movImm(R0, 1)
+                  .exit()
+                  .build();
+  std::vector<uint8_t> Mem(16, 0);
+  ExecResult R = Interpreter(P, Mem).run();
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue, 1u);
+}
+
+TEST(Jmp32Verifier, GuardProvesBoundAfterZeroExtension) {
+  // The JMP32 guard bounds only the low half, so it suffices once the
+  // value is known to fit 32 bits (via w-mov zero extension).
+  Program P = ProgramBuilder()
+                  .load(R3, R1, 0, 8)
+                  .mov32(R3, R3) // now r3 == w3
+                  .jmp32Imm(CompareOp::Gt, R3, 8, "reject")
+                  .alu(AluOp::Add, R3, R1)
+                  .load(R0, R3, 0, 8)
+                  .exit()
+                  .label("reject")
+                  .movImm(R0, 0)
+                  .exit()
+                  .build();
+  VerifierReport R = verifyProgram(P, 16);
+  EXPECT_TRUE(R.Accepted) << R.toString(P);
+}
+
+TEST(Jmp32Verifier, GuardAloneDoesNotBoundHighHalf) {
+  // Without the zero extension the high half may be anything, so the
+  // access must be rejected: soundness of the subregister refinement.
+  Program P = ProgramBuilder()
+                  .load(R3, R1, 0, 8)
+                  .jmp32Imm(CompareOp::Gt, R3, 8, "reject")
+                  .alu(AluOp::Add, R3, R1)
+                  .load(R0, R3, 0, 8)
+                  .exit()
+                  .label("reject")
+                  .movImm(R0, 0)
+                  .exit()
+                  .build();
+  EXPECT_FALSE(verifyProgram(P, 16).Accepted);
+}
+
+TEST(Jmp32Verifier, DifferentialFuzzing) {
+  // Random programs mixing 64- and 32-bit guards before an access; the
+  // verifier's verdicts must be concretely safe.
+  Xoshiro256 Rng(0x32F);
+  unsigned Accepted = 0;
+  for (unsigned Iter = 0; Iter != 150; ++Iter) {
+    bool ZeroExtend = Rng.nextChance(1, 2);
+    bool Use32Guard = Rng.nextChance(1, 2);
+    uint64_t Guard = Rng.nextBelow(16);
+    ProgramBuilder B;
+    B.load(R3, R1, 0, 8);
+    if (ZeroExtend)
+      B.mov32(R3, R3);
+    if (Use32Guard)
+      B.jmp32Imm(CompareOp::Gt, R3, static_cast<int64_t>(Guard), "reject");
+    else
+      B.jmpImm(CompareOp::Gt, R3, static_cast<int64_t>(Guard), "reject");
+    B.alu(AluOp::Add, R3, R1);
+    B.load(R0, R3, 0, 8);
+    B.exit();
+    B.label("reject");
+    B.movImm(R0, 0);
+    B.exit();
+    Program P = B.build();
+
+    VerifierReport Report = verifyProgram(P, 32);
+    bool ShouldAccept = (!Use32Guard || ZeroExtend) && Guard + 8 <= 32;
+    EXPECT_EQ(Report.Accepted, ShouldAccept)
+        << "zext=" << ZeroExtend << " guard32=" << Use32Guard
+        << " guard=" << Guard << "\n"
+        << Report.toString(P);
+    if (!Report.Accepted)
+      continue;
+    ++Accepted;
+    for (unsigned Run = 0; Run != 10; ++Run) {
+      std::vector<uint8_t> Mem(32);
+      for (uint8_t &Byte : Mem)
+        Byte = static_cast<uint8_t>(Rng.next());
+      EXPECT_TRUE(Interpreter(P, Mem).run().ok());
+    }
+  }
+  EXPECT_GT(Accepted, 0u);
+}
+
+} // namespace

@@ -1,0 +1,250 @@
+//===- tests/SupportTest.cpp - Support library unit tests -----------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bits.h"
+#include "support/CycleTimer.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace tnums;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Bits
+//===----------------------------------------------------------------------===//
+
+TEST(Bits, LowBitsMask) {
+  EXPECT_EQ(lowBitsMask(1), 1u);
+  EXPECT_EQ(lowBitsMask(8), 0xFFu);
+  EXPECT_EQ(lowBitsMask(63), 0x7FFF'FFFF'FFFF'FFFFu);
+  EXPECT_EQ(lowBitsMask(64), ~uint64_t(0));
+}
+
+TEST(Bits, TruncateAndFits) {
+  EXPECT_EQ(truncateToWidth(0x1FF, 8), 0xFFu);
+  EXPECT_TRUE(fitsWidth(0xFF, 8));
+  EXPECT_FALSE(fitsWidth(0x100, 8));
+  EXPECT_TRUE(fitsWidth(~uint64_t(0), 64));
+}
+
+TEST(Bits, BitAt) {
+  EXPECT_EQ(bitAt(0b1010, 1), 1u);
+  EXPECT_EQ(bitAt(0b1010, 2), 0u);
+  EXPECT_EQ(bitAt(uint64_t(1) << 63, 63), 1u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(signExtend(0b1000, 4), -8);
+  EXPECT_EQ(signExtend(0b0111, 4), 7);
+  EXPECT_EQ(signExtend(0xFF, 8), -1);
+  EXPECT_EQ(signExtend(0xFF, 9), 255);
+  EXPECT_EQ(signExtend(~uint64_t(0), 64), -1);
+}
+
+TEST(Bits, SignExtendIsIdempotentOnWidth) {
+  Xoshiro256 Rng(1);
+  for (int I = 0; I != 1000; ++I) {
+    unsigned Width = 1 + static_cast<unsigned>(Rng.nextBelow(64));
+    uint64_t V = Rng.next() & lowBitsMask(Width);
+    int64_t S = signExtend(V, Width);
+    // Re-truncating the extension recovers the original bits.
+    EXPECT_EQ(truncateToWidth(static_cast<uint64_t>(S), Width), V);
+  }
+}
+
+TEST(Bits, ArithmeticShiftRight) {
+  EXPECT_EQ(arithmeticShiftRight(0b1000, 2, 4), 0b1110u);
+  EXPECT_EQ(arithmeticShiftRight(0b0100, 2, 4), 0b0001u);
+  EXPECT_EQ(arithmeticShiftRight(0x8000'0000'0000'0000u, 63, 64),
+            ~uint64_t(0));
+}
+
+TEST(Bits, ParseBinary) {
+  uint64_t V = 0;
+  EXPECT_TRUE(parseBinary("1011", 4, V));
+  EXPECT_EQ(V, 0b1011u);
+  EXPECT_FALSE(parseBinary("10a1", 4, V));
+  EXPECT_FALSE(parseBinary("", 0, V));
+  std::string Wide(65, '1');
+  EXPECT_FALSE(parseBinary(Wide.c_str(), 65, V));
+  std::string Max(64, '1');
+  EXPECT_TRUE(parseBinary(Max.c_str(), 64, V));
+  EXPECT_EQ(V, ~uint64_t(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, DeterministicGivenSeed) {
+  Xoshiro256 A(42);
+  Xoshiro256 B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Xoshiro256 A(1);
+  Xoshiro256 B(2);
+  unsigned Matches = 0;
+  for (int I = 0; I != 100; ++I)
+    Matches += A.next() == B.next();
+  EXPECT_LT(Matches, 3u);
+}
+
+TEST(Random, NextBelowStaysInRange) {
+  Xoshiro256 Rng(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 1000ull, (1ull << 63) + 1}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Random, NextBelowIsRoughlyUniform) {
+  Xoshiro256 Rng(9);
+  unsigned Counts[8] = {};
+  constexpr unsigned Draws = 80000;
+  for (unsigned I = 0; I != Draws; ++I)
+    ++Counts[Rng.nextBelow(8)];
+  for (unsigned C : Counts) {
+    EXPECT_GT(C, Draws / 8 - Draws / 40);
+    EXPECT_LT(C, Draws / 8 + Draws / 40);
+  }
+}
+
+TEST(Random, ReseedRestartsStream) {
+  Xoshiro256 Rng(5);
+  uint64_t First = Rng.next();
+  Rng.next();
+  Rng.reseed(5);
+  EXPECT_EQ(Rng.next(), First);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, DiscreteCdfPoints) {
+  DiscreteCdf Cdf;
+  for (int64_t V : {-1, -1, 0, 2, 2, 2})
+    Cdf.add(V);
+  EXPECT_EQ(Cdf.totalCount(), 6u);
+  EXPECT_DOUBLE_EQ(Cdf.fractionAt(-1), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(Cdf.fractionBelow(2), 3.0 / 6.0);
+  std::vector<CdfPoint> Points = Cdf.points();
+  ASSERT_EQ(Points.size(), 3u);
+  EXPECT_DOUBLE_EQ(Points.back().CumulativeFraction, 1.0);
+  EXPECT_DOUBLE_EQ(Points[0].X, -1.0);
+}
+
+TEST(Stats, EmptyCdf) {
+  DiscreteCdf Cdf;
+  EXPECT_EQ(Cdf.totalCount(), 0u);
+  EXPECT_TRUE(Cdf.points().empty());
+  EXPECT_DOUBLE_EQ(Cdf.fractionBelow(5), 0.0);
+}
+
+TEST(Stats, SampleSummaryMoments) {
+  SampleSummary S;
+  for (uint64_t V : {10u, 20u, 30u, 40u})
+    S.add(V);
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_DOUBLE_EQ(S.mean(), 25.0);
+  EXPECT_EQ(S.min(), 10u);
+  EXPECT_EQ(S.max(), 40u);
+  EXPECT_DOUBLE_EQ(S.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 25.0);
+}
+
+TEST(Stats, SampleSummaryCdfDownsampling) {
+  SampleSummary S;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    S.add(V);
+  std::vector<CdfPoint> Points = S.cdf(10);
+  ASSERT_FALSE(Points.empty());
+  EXPECT_LE(Points.size(), 11u);
+  EXPECT_DOUBLE_EQ(Points.back().CumulativeFraction, 1.0);
+  for (size_t I = 1; I < Points.size(); ++I)
+    EXPECT_GE(Points[I].X, Points[I - 1].X);
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(Table, AlignedRendering) {
+  TextTable T({"name", "value"});
+  T.addRowOf("x", 42);
+  T.addRowOf("longer-name", 7);
+  char *Buffer = nullptr;
+  size_t Size = 0;
+  FILE *Mem = open_memstream(&Buffer, &Size);
+  T.printAligned(Mem);
+  fclose(Mem);
+  std::string Text(Buffer, Size);
+  free(Buffer);
+  EXPECT_NE(Text.find("name         value"), std::string::npos);
+  EXPECT_NE(Text.find("longer-name  7"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  TextTable T({"a", "b"});
+  T.addRow({"plain", "has,comma"});
+  T.addRow({"has\"quote", "x"});
+  char *Buffer = nullptr;
+  size_t Size = 0;
+  FILE *Mem = open_memstream(&Buffer, &Size);
+  T.printCsv(Mem);
+  fclose(Mem);
+  std::string Text(Buffer, Size);
+  free(Buffer);
+  EXPECT_NE(Text.find("plain,\"has,comma\""), std::string::npos);
+  EXPECT_NE(Text.find("\"has\"\"quote\",x"), std::string::npos);
+}
+
+TEST(Table, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  // Long outputs exceed any fixed internal buffer.
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+//===----------------------------------------------------------------------===//
+// CycleTimer
+//===----------------------------------------------------------------------===//
+
+TEST(CycleTimer, CounterIsMonotonicEnough) {
+  uint64_t A = readCycleCounter();
+  uint64_t B = readCycleCounter();
+  EXPECT_GE(B, A);
+  EXPECT_NE(std::strlen(cycleCounterUnit()), 0u);
+}
+
+TEST(CycleTimer, MinOverTrialsRunsAllTrials) {
+  uint64_t Sink = 0;
+  unsigned Calls = 0;
+  uint64_t Best = minCyclesOverTrials(
+      10,
+      [&] {
+        ++Calls;
+        return uint64_t(1);
+      },
+      Sink);
+  EXPECT_EQ(Calls, 10u);
+  EXPECT_EQ(Sink, 10u);
+  EXPECT_LT(Best, ~uint64_t(0));
+}
+
+} // namespace

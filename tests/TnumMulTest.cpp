@@ -1,0 +1,217 @@
+//===- tests/TnumMulTest.cpp - Multiplication algorithm tests -------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumMul.h"
+
+#include "support/Random.h"
+#include "tnum/TnumEnum.h"
+#include "tnum/TnumOps.h"
+#include "verify/OptimalityChecker.h"
+#include "verify/SoundnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+
+namespace {
+
+constexpr MulAlgorithm AllMulAlgorithms[] = {
+    MulAlgorithm::Kern,          MulAlgorithm::BitwiseNaive,
+    MulAlgorithm::BitwiseOpt,    MulAlgorithm::OurSimplified,
+    MulAlgorithm::Our,           MulAlgorithm::OurFullLoop};
+
+TEST(TnumMul, PaperFigure3Example) {
+  // Fig. 3: P = µ01, Q = µ10; our_mul returns (00010, 11100) = µµµ10.
+  Tnum P = *Tnum::parse("u01");
+  Tnum Q = *Tnum::parse("u10");
+  Tnum R = ourMul(P, Q);
+  EXPECT_EQ(R.value(), 0b00010u);
+  EXPECT_EQ(R.mask(), 0b11100u);
+  EXPECT_EQ(R.toString(5), "uuu10");
+  // gamma(R) from the figure: {2, 6, 10, 14, 18, 22, 26, 30}.
+  for (uint64_t V : {2u, 6u, 10u, 14u, 18u, 22u, 26u, 30u})
+    EXPECT_TRUE(R.contains(V));
+}
+
+TEST(TnumMul, PaperWidth9PrecisionExample) {
+  // §IV: P = 000000011, Q = 011µ011µµ: kern_mul gives µµµµ0µµµµ while
+  // our_mul gives 0µµµµµµµµ -- incomparable outputs.
+  Tnum P = *Tnum::parse("000000011");
+  Tnum Q = *Tnum::parse("011u011uu");
+  Tnum RKern = tnumMul(P, Q, MulAlgorithm::Kern, 9);
+  Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, 9);
+  EXPECT_EQ(RKern.toString(9), "uuuu0uuuu");
+  EXPECT_EQ(ROur.toString(9), "0uuuuuuuu");
+  EXPECT_FALSE(RKern.isComparableTo(ROur));
+}
+
+TEST(TnumMul, ConstantsMultiplyExactly) {
+  for (MulAlgorithm Alg : AllMulAlgorithms) {
+    Tnum R = tnumMul(Tnum::makeConstant(6), Tnum::makeConstant(7), Alg);
+    EXPECT_EQ(R, Tnum::makeConstant(42)) << mulAlgorithmName(Alg);
+  }
+}
+
+TEST(TnumMul, MulByZeroIsZero) {
+  Xoshiro256 Rng(23);
+  for (int I = 0; I != 200; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    for (MulAlgorithm Alg : AllMulAlgorithms)
+      EXPECT_EQ(tnumMul(P, Tnum::makeConstant(0), Alg),
+                Tnum::makeConstant(0))
+          << mulAlgorithmName(Alg);
+  }
+}
+
+TEST(TnumMul, MulByOneKeepsKnownBits) {
+  // P * 1 concretely equals P; sound algorithms must keep gamma(P) inside.
+  Xoshiro256 Rng(29);
+  for (int I = 0; I != 200; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 16);
+    for (MulAlgorithm Alg : AllMulAlgorithms) {
+      Tnum R = tnumMul(P, Tnum::makeConstant(1), Alg);
+      EXPECT_TRUE(P.isSubsetOf(R)) << mulAlgorithmName(Alg);
+    }
+  }
+}
+
+TEST(TnumMul, OurMulEqualsSimplified) {
+  // Lemma 11: the two listings are input-output equivalent; exhaustive at
+  // width 5, randomized at width 64.
+  std::vector<Tnum> Universe = allWellFormedTnums(5);
+  for (const Tnum &P : Universe)
+    for (const Tnum &Q : Universe)
+      EXPECT_EQ(tnumMul(P, Q, MulAlgorithm::Our, 5),
+                tnumMul(P, Q, MulAlgorithm::OurSimplified, 5))
+          << "P=" << P.toString(5) << " Q=" << Q.toString(5);
+
+  Xoshiro256 Rng(31);
+  for (int I = 0; I != 5000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    Tnum Q = randomWellFormedTnum(Rng, 64);
+    EXPECT_EQ(ourMul(P, Q), ourMulSimplified(P, Q));
+    EXPECT_EQ(ourMul(P, Q), ourMulFullLoop(P, Q));
+  }
+}
+
+TEST(TnumMul, BitwiseNaiveEqualsOptimized) {
+  // The §IV machine-arithmetic rewrite must not change results.
+  std::vector<Tnum> Universe = allWellFormedTnums(5);
+  for (const Tnum &P : Universe)
+    for (const Tnum &Q : Universe)
+      EXPECT_EQ(tnumMul(P, Q, MulAlgorithm::BitwiseNaive, 5),
+                tnumMul(P, Q, MulAlgorithm::BitwiseOpt, 5));
+}
+
+class MulSoundness : public ::testing::TestWithParam<MulAlgorithm> {};
+
+TEST_P(MulSoundness, ExhaustiveWidth4) {
+  SoundnessReport Report =
+      checkSoundnessExhaustive(BinaryOp::Mul, 4, GetParam());
+  EXPECT_TRUE(Report.holds()) << Report.Failure->toString(4);
+}
+
+TEST_P(MulSoundness, ExhaustiveWidth5) {
+  SoundnessReport Report =
+      checkSoundnessExhaustive(BinaryOp::Mul, 5, GetParam());
+  EXPECT_TRUE(Report.holds()) << Report.Failure->toString(5);
+}
+
+TEST_P(MulSoundness, Random64Bit) {
+  Xoshiro256 Rng(0xBEEF);
+  SoundnessReport Report = checkSoundnessRandom(
+      BinaryOp::Mul, 64, /*NumPairs=*/2000, /*SamplesPerPair=*/8, Rng,
+      GetParam());
+  EXPECT_TRUE(Report.holds()) << Report.Failure->toString(64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MulSoundness, ::testing::ValuesIn(AllMulAlgorithms),
+    [](const ::testing::TestParamInfo<MulAlgorithm> &Info) {
+      return std::string(mulAlgorithmName(Info.param));
+    });
+
+TEST(TnumMulPrecision, NoAlgorithmIsOptimal) {
+  // §III-C: our_mul is sound but *not* optimal; neither are the others.
+  for (MulAlgorithm Alg : AllMulAlgorithms) {
+    OptimalityReport Report =
+        checkOptimalityExhaustive(BinaryOp::Mul, 4, Alg);
+    EXPECT_FALSE(Report.isOptimalEverywhere()) << mulAlgorithmName(Alg);
+  }
+}
+
+TEST(TnumMulPrecision, OurMulNeverLosesToOptimalLowerBound) {
+  // Sanity: every algorithm's output contains the optimal abstraction
+  // (soundness implies optimal ⊑ result).
+  std::vector<Tnum> Universe = allWellFormedTnums(4);
+  for (const Tnum &P : Universe)
+    for (const Tnum &Q : Universe) {
+      Tnum Optimal = optimalAbstractBinary(BinaryOp::Mul, P, Q, 4);
+      for (MulAlgorithm Alg : AllMulAlgorithms)
+        EXPECT_TRUE(Optimal.isSubsetOf(tnumMul(P, Q, Alg, 4)))
+            << mulAlgorithmName(Alg) << " P=" << P.toString(4)
+            << " Q=" << Q.toString(4);
+    }
+}
+
+TEST(TnumMulPrecision, MostlyMorePreciseThanKernAtWidth8Sampled) {
+  // Fig. 4 headline: where outputs differ and are comparable, our_mul is
+  // more precise than kern_mul in ~80% of the cases at width 8. Sampled
+  // here (the full sweep is bench/fig4_mul_precision).
+  Xoshiro256 Rng(37);
+  uint64_t Differ = 0;
+  uint64_t OurMorePrecise = 0;
+  for (int I = 0; I != 200000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 8);
+    Tnum Q = randomWellFormedTnum(Rng, 8);
+    Tnum RKern = tnumMul(P, Q, MulAlgorithm::Kern, 8);
+    Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, 8);
+    if (RKern == ROur)
+      continue;
+    ++Differ;
+    if (ROur.isSubsetOf(RKern))
+      ++OurMorePrecise;
+  }
+  ASSERT_GT(Differ, 0u);
+  // The paper reports ~80%; leave slack for the sampling distribution.
+  EXPECT_GT(static_cast<double>(OurMorePrecise) /
+                static_cast<double>(Differ),
+            0.5);
+}
+
+TEST(TnumMulPrecision, EqualOutputsDominateAtWidth8) {
+  // §IV-A: our_mul and kern_mul agree on 99.92% of all width-8 pairs.
+  Xoshiro256 Rng(41);
+  uint64_t Total = 100000;
+  uint64_t Equal = 0;
+  for (uint64_t I = 0; I != Total; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 8);
+    Tnum Q = randomWellFormedTnum(Rng, 8);
+    if (tnumMul(P, Q, MulAlgorithm::Kern, 8) ==
+        tnumMul(P, Q, MulAlgorithm::Our, 8))
+      ++Equal;
+  }
+  EXPECT_GT(static_cast<double>(Equal) / static_cast<double>(Total), 0.9);
+}
+
+TEST(TnumMul, WidthTruncationConsistency) {
+  // Computing at 64 bits and truncating equals computing within the width:
+  // verified against concrete products, exhaustively at width 4.
+  std::vector<Tnum> Universe = allWellFormedTnums(4);
+  for (const Tnum &P : Universe)
+    for (const Tnum &Q : Universe) {
+      Tnum R = tnumMul(P, Q, MulAlgorithm::Our, 4);
+      EXPECT_TRUE(R.fitsWidth(4));
+      forEachMember(P, [&](uint64_t X) {
+        forEachMember(Q, [&](uint64_t Y) {
+          EXPECT_TRUE(R.contains((X * Y) & 0xF));
+        });
+      });
+    }
+}
+
+} // namespace

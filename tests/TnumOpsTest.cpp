@@ -1,0 +1,260 @@
+//===- tests/TnumOpsTest.cpp - Transfer function unit tests ---------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumOps.h"
+
+#include "support/Random.h"
+#include "tnum/TnumEnum.h"
+#include "verify/Oracle.h"
+#include "verify/OptimalityChecker.h"
+#include "verify/SoundnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+
+namespace {
+
+TEST(TnumAdd, PaperFigure2Example) {
+  // Fig. 2: P = 10µ0, Q = 10µ1, result 10µµ1 at width 5.
+  Tnum P = *Tnum::parse("10u0");
+  Tnum Q = *Tnum::parse("10u1");
+  EXPECT_EQ(tnumAdd(P, Q).toString(5), "10uu1");
+}
+
+TEST(TnumAdd, IntroUncertaintyAmplification) {
+  // §I: a = 11...1 constant, b ∈ {0, 1}: one uncertain input bit makes
+  // every output bit of a + b unknown (at width 4: 1111 + 000µ = µµµµ).
+  Tnum A = Tnum::makeConstant(0xF);
+  Tnum B = *Tnum::parse("000u");
+  Tnum R = tnumTruncate(tnumAdd(A, B), 4);
+  EXPECT_EQ(R, Tnum::makeUnknown(4));
+}
+
+TEST(TnumAdd, ConstantsAddExactly) {
+  Tnum R = tnumAdd(Tnum::makeConstant(41), Tnum::makeConstant(1));
+  EXPECT_EQ(R, Tnum::makeConstant(42));
+}
+
+TEST(TnumSub, ConstantsSubtractExactly) {
+  Tnum R = tnumSub(Tnum::makeConstant(10), Tnum::makeConstant(3));
+  EXPECT_EQ(R, Tnum::makeConstant(7));
+  // Wrap-around under zero is two's complement.
+  EXPECT_EQ(tnumSub(Tnum::makeConstant(0), Tnum::makeConstant(1)),
+            Tnum::makeConstant(~uint64_t(0)));
+}
+
+TEST(TnumNeg, MatchesSubFromZero) {
+  Xoshiro256 Rng(7);
+  for (int I = 0; I != 1000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    EXPECT_EQ(tnumNeg(P), tnumSub(Tnum::makeConstant(0), P));
+  }
+}
+
+TEST(TnumBitwise, KnownExamples) {
+  Tnum A = *Tnum::parse("1u0");
+  Tnum B = *Tnum::parse("11u");
+  EXPECT_EQ(tnumAnd(A, B).toString(3), "1u0");
+  EXPECT_EQ(tnumOr(A, B).toString(3), "11u");
+  EXPECT_EQ(tnumXor(A, B).toString(3), "0uu");
+}
+
+TEST(TnumBitwise, AndWithZeroIsZero) {
+  Xoshiro256 Rng(11);
+  for (int I = 0; I != 1000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    EXPECT_EQ(tnumAnd(P, Tnum::makeConstant(0)), Tnum::makeConstant(0));
+  }
+}
+
+TEST(TnumBitwise, OrWithAllOnesIsAllOnes) {
+  Xoshiro256 Rng(13);
+  Tnum Ones = Tnum::makeConstant(~uint64_t(0));
+  for (int I = 0; I != 1000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    EXPECT_EQ(tnumOr(P, Ones), Ones);
+  }
+}
+
+TEST(TnumBitwise, XorSelfKillsKnownBitsOnly) {
+  Tnum P = *Tnum::parse("1u1");
+  // x ^ y with x, y drawn independently from P: known bits cancel, unknown
+  // bits stay unknown (the abstract op cannot see the correlation).
+  EXPECT_EQ(tnumXor(P, P).toString(3), "0u0");
+}
+
+TEST(TnumShift, FixedAmounts) {
+  Tnum P = *Tnum::parse("1u1");
+  EXPECT_EQ(tnumLshift(P, 2).toString(5), "1u100");
+  EXPECT_EQ(tnumRshift(P, 1).toString(5), "0001u");
+}
+
+TEST(TnumArshift, ReplicatesKnownSign) {
+  // Width 4, known-negative 1u10 >>s 1 = 11u1.
+  Tnum P = *Tnum::parse("1u10");
+  EXPECT_EQ(tnumArshift(P, 1, 4).toString(4), "11u1");
+}
+
+TEST(TnumArshift, ReplicatesUnknownSign) {
+  // Unknown sign trit smears into vacated positions.
+  Tnum P = *Tnum::parse("u100");
+  EXPECT_EQ(tnumArshift(P, 2, 4).toString(4), "uuu1");
+}
+
+TEST(TnumArshift, Width64MatchesKernelSpecialCase) {
+  Xoshiro256 Rng(17);
+  for (int I = 0; I != 1000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    unsigned Shift = static_cast<unsigned>(Rng.nextBelow(63)) + 1;
+    // Kernel 64-bit case: both halves shifted with s64 arithmetic.
+    Tnum Expected(
+        static_cast<uint64_t>(static_cast<int64_t>(P.value()) >> Shift),
+        static_cast<uint64_t>(static_cast<int64_t>(P.mask()) >> Shift));
+    EXPECT_EQ(tnumArshift(P, Shift, 64), Expected);
+  }
+}
+
+TEST(TnumCast, TruncatesLikeKernel) {
+  Tnum P(0x0034'5678'9abc'de00, 0xff00'0000'0000'00ff);
+  ASSERT_TRUE(P.isWellFormed());
+  Tnum C = tnumCast(P, 4);
+  EXPECT_EQ(C.value(), 0x9abc'de00u);
+  EXPECT_EQ(C.mask(), 0xffu);
+}
+
+TEST(TnumDivMod, ConstantsExact) {
+  EXPECT_EQ(tnumDiv(Tnum::makeConstant(42), Tnum::makeConstant(5)),
+            Tnum::makeConstant(8));
+  EXPECT_EQ(tnumMod(Tnum::makeConstant(42), Tnum::makeConstant(5)),
+            Tnum::makeConstant(2));
+  // BPF conventions for zero divisors.
+  EXPECT_EQ(tnumDiv(Tnum::makeConstant(42), Tnum::makeConstant(0)),
+            Tnum::makeConstant(0));
+  EXPECT_EQ(tnumMod(Tnum::makeConstant(42), Tnum::makeConstant(0)),
+            Tnum::makeConstant(42));
+}
+
+TEST(TnumDivMod, NonConstantGoesToTop) {
+  Tnum P = *Tnum::parse("1u");
+  EXPECT_TRUE(tnumDiv(P, Tnum::makeConstant(2), 8).isUnknown(8));
+  EXPECT_TRUE(tnumMod(Tnum::makeConstant(9), P, 8).isUnknown(8));
+}
+
+TEST(TnumShiftByTnum, ConstantAmountIsPrecise) {
+  Tnum P = *Tnum::parse("01u1");
+  Tnum R = tnumLshiftByTnum(P, Tnum::makeConstant(2), 8);
+  EXPECT_EQ(R, tnumTruncate(tnumLshift(P, 2), 8));
+}
+
+TEST(TnumShiftByTnum, JoinsOverFeasibleAmounts) {
+  Tnum P = Tnum::makeConstant(1);
+  Tnum Amount = *Tnum::parse("00u"); // amount ∈ {0, 1}
+  Tnum R = tnumLshiftByTnum(P, Amount, 8);
+  EXPECT_TRUE(R.contains(1)); // 1 << 0
+  EXPECT_TRUE(R.contains(2)); // 1 << 1
+  EXPECT_FALSE(R.contains(4));
+}
+
+TEST(TnumShiftByTnum, MasksAmountLikeBpf) {
+  // Amount 9 at width 8 is masked to 1.
+  Tnum R = tnumLshiftByTnum(Tnum::makeConstant(1), Tnum::makeConstant(9), 8);
+  EXPECT_EQ(R, Tnum::makeConstant(2));
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive soundness sweeps (the §III-A bounded verification, as a test).
+//===----------------------------------------------------------------------===//
+
+class OpSoundness : public ::testing::TestWithParam<BinaryOp> {};
+
+TEST_P(OpSoundness, ExhaustiveWidth4) {
+  BinaryOp Op = GetParam();
+  SoundnessReport Report = checkSoundnessExhaustive(Op, 4);
+  EXPECT_TRUE(Report.holds())
+      << binaryOpName(Op) << ": " << Report.Failure->toString(4);
+  EXPECT_EQ(Report.PairsChecked, 81u * 81u);
+}
+
+TEST_P(OpSoundness, Random64Bit) {
+  BinaryOp Op = GetParam();
+  Xoshiro256 Rng(0xC0FFEE);
+  SoundnessReport Report =
+      checkSoundnessRandom(Op, 64, /*NumPairs=*/2000, /*SamplesPerPair=*/8,
+                           Rng);
+  EXPECT_TRUE(Report.holds())
+      << binaryOpName(Op) << ": " << Report.Failure->toString(64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpSoundness, ::testing::ValuesIn(AllBinaryOps),
+    [](const ::testing::TestParamInfo<BinaryOp> &Info) {
+      return std::string(binaryOpName(Info.param));
+    });
+
+class OpSoundnessWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OpSoundnessWidth, AddSubExhaustive) {
+  unsigned Width = GetParam();
+  EXPECT_TRUE(checkSoundnessExhaustive(BinaryOp::Add, Width).holds());
+  EXPECT_TRUE(checkSoundnessExhaustive(BinaryOp::Sub, Width).holds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, OpSoundnessWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+//===----------------------------------------------------------------------===//
+// Optimality: add/sub and the bitwise ops are maximally precise
+// (Theorems 6 and 22; Miné's optimal bitfield operators).
+//===----------------------------------------------------------------------===//
+
+class OpOptimality : public ::testing::TestWithParam<BinaryOp> {};
+
+TEST_P(OpOptimality, ExhaustiveWidth4) {
+  BinaryOp Op = GetParam();
+  OptimalityReport Report = checkOptimalityExhaustive(Op, 4);
+  EXPECT_TRUE(Report.isOptimalEverywhere())
+      << binaryOpName(Op) << ": " << Report.Failure->toString(4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptimalOps, OpOptimality,
+    ::testing::Values(BinaryOp::Add, BinaryOp::Sub, BinaryOp::And,
+                      BinaryOp::Or, BinaryOp::Xor),
+    [](const ::testing::TestParamInfo<BinaryOp> &Info) {
+      return std::string(binaryOpName(Info.param));
+    });
+
+TEST(OpOptimalityNegative, DivIsNotOptimal) {
+  // The conservative all-unknown div must be non-optimal somewhere.
+  OptimalityReport Report = checkOptimalityExhaustive(BinaryOp::Div, 3);
+  EXPECT_FALSE(Report.isOptimalEverywhere());
+}
+
+TEST(TnumTruncate, DropsHighBits) {
+  Tnum P(0b1111'0101, 0b0000'1010);
+  Tnum T = tnumTruncate(P, 4);
+  EXPECT_EQ(T.value(), 0b0101u);
+  EXPECT_EQ(T.mask(), 0b1010u);
+}
+
+TEST(TnumTruncate, SoundForWidthArithmetic) {
+  // 64-bit add then truncate equals width-n add: exhaustive at width 3
+  // against the concrete op.
+  std::vector<Tnum> Universe = allWellFormedTnums(3);
+  for (const Tnum &P : Universe)
+    for (const Tnum &Q : Universe) {
+      Tnum R = tnumTruncate(tnumAdd(P, Q), 3);
+      forEachMember(P, [&](uint64_t X) {
+        forEachMember(Q, [&](uint64_t Y) {
+          EXPECT_TRUE(R.contains((X + Y) & 7));
+        });
+      });
+    }
+}
+
+} // namespace

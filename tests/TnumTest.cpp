@@ -1,0 +1,281 @@
+//===- tests/TnumTest.cpp - Tnum value/lattice unit tests -----------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tnum/Tnum.h"
+#include "tnum/TnumEnum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace tnums;
+
+namespace {
+
+TEST(TnumBasics, DefaultIsConstantZero) {
+  Tnum T;
+  EXPECT_TRUE(T.isConstant());
+  EXPECT_EQ(T.constantValue(), 0u);
+  EXPECT_TRUE(T.contains(0));
+  EXPECT_FALSE(T.contains(1));
+}
+
+TEST(TnumBasics, ConstantFactory) {
+  Tnum T = Tnum::makeConstant(0xdeadbeef);
+  EXPECT_TRUE(T.isWellFormed());
+  EXPECT_TRUE(T.isConstant());
+  EXPECT_EQ(T.constantValue(), 0xdeadbeefu);
+  EXPECT_EQ(T.concretizationSize(), 1u);
+}
+
+TEST(TnumBasics, UnknownFactory) {
+  Tnum T = Tnum::makeUnknown(8);
+  EXPECT_TRUE(T.isUnknown(8));
+  EXPECT_FALSE(T.isUnknown(16));
+  EXPECT_EQ(T.numUnknownBits(), 8u);
+  EXPECT_EQ(T.concretizationSize(), 256u);
+  for (uint64_t V = 0; V != 256; ++V)
+    EXPECT_TRUE(T.contains(V));
+  EXPECT_FALSE(T.contains(256));
+}
+
+TEST(TnumBasics, FullWidthUnknownSaturatesSize) {
+  Tnum T = Tnum::makeUnknown(64);
+  EXPECT_EQ(T.concretizationSize(), ~uint64_t(0));
+  EXPECT_EQ(T.concretizationSizeLog2(), 64u);
+}
+
+TEST(TnumBasics, BottomIsIllFormed) {
+  Tnum B = Tnum::makeBottom();
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_FALSE(B.isWellFormed());
+  EXPECT_FALSE(B.contains(0));
+  EXPECT_EQ(B.concretizationSize(), 0u);
+  // Eqn. 4: any pair with value & mask != 0 denotes bottom.
+  EXPECT_TRUE(Tnum(1, 1).isBottom());
+  EXPECT_TRUE(Tnum(0b101, 0b100).isBottom());
+}
+
+TEST(TnumBasics, TritAccessors) {
+  // 01u0: bit3=0, bit2=1, bit1=µ, bit0=0.
+  Tnum T = *Tnum::parse("01u0");
+  EXPECT_EQ(T.tritAt(0), Trit::Zero);
+  EXPECT_EQ(T.tritAt(1), Trit::Unknown);
+  EXPECT_EQ(T.tritAt(2), Trit::One);
+  EXPECT_EQ(T.tritAt(3), Trit::Zero);
+}
+
+TEST(TnumBasics, MinMaxMember) {
+  Tnum T = *Tnum::parse("1u0u");
+  EXPECT_EQ(T.minMember(), 0b1000u);
+  EXPECT_EQ(T.maxMember(), 0b1101u);
+}
+
+TEST(TnumParse, RoundTrips) {
+  for (const char *Text : {"0", "1", "u", "01u0", "uuuu", "10u1u0"}) {
+    std::optional<Tnum> T = Tnum::parse(Text);
+    ASSERT_TRUE(T.has_value()) << Text;
+    EXPECT_EQ(T->toString(static_cast<unsigned>(std::string(Text).size())),
+              Text);
+  }
+}
+
+TEST(TnumParse, AcceptsAlternateUnknownChars) {
+  EXPECT_EQ(*Tnum::parse("0x1"), *Tnum::parse("0u1"));
+  EXPECT_EQ(*Tnum::parse("0X1"), *Tnum::parse("0U1"));
+}
+
+TEST(TnumParse, RejectsBadInput) {
+  EXPECT_FALSE(Tnum::parse("").has_value());
+  EXPECT_FALSE(Tnum::parse("012").has_value());
+  EXPECT_FALSE(Tnum::parse("01 0").has_value());
+  EXPECT_FALSE(Tnum::parse(std::string(65, '0')).has_value());
+}
+
+TEST(TnumParse, PaperIntroExample) {
+  // The paper's intro: 4-bit x = 01µ0 concretizes to {0100, 0110}.
+  Tnum T = *Tnum::parse("01u0");
+  EXPECT_TRUE(T.contains(0b0100));
+  EXPECT_TRUE(T.contains(0b0110));
+  EXPECT_EQ(T.concretizationSize(), 2u);
+  EXPECT_LE(T.maxMember(), 8u); // The analyzer infers x <= 8.
+}
+
+TEST(TnumToString, BottomRendering) {
+  EXPECT_EQ(Tnum::makeBottom().toString(4), "<bottom>");
+}
+
+TEST(TnumToString, VmRendering) {
+  EXPECT_EQ(Tnum(0x10, 0x2).toVmString(),
+            "(v=0x0000000000000010, m=0x0000000000000002)");
+}
+
+TEST(TnumOrder, ReflexiveAndBottomLeast) {
+  for (const Tnum &T : allWellFormedTnums(3)) {
+    EXPECT_TRUE(T.isSubsetOf(T));
+    EXPECT_TRUE(Tnum::makeBottom().isSubsetOf(T));
+    EXPECT_FALSE(T.isSubsetOf(Tnum::makeBottom()));
+  }
+}
+
+TEST(TnumOrder, AgreesWithConcretization) {
+  // P ⊑A Q iff gamma(P) ⊆ gamma(Q), checked exhaustively at width 4.
+  std::vector<Tnum> Universe = allWellFormedTnums(4);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      bool ConcreteSubset = true;
+      forEachMember(P, [&](uint64_t X) {
+        if (!Q.contains(X))
+          ConcreteSubset = false;
+      });
+      EXPECT_EQ(P.isSubsetOf(Q), ConcreteSubset)
+          << "P=" << P.toString(4) << " Q=" << Q.toString(4);
+    }
+  }
+}
+
+TEST(TnumLattice, JoinIsLeastUpperBound) {
+  std::vector<Tnum> Universe = allWellFormedTnums(3);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      Tnum J = P.joinWith(Q);
+      EXPECT_TRUE(P.isSubsetOf(J));
+      EXPECT_TRUE(Q.isSubsetOf(J));
+      // Least: no strictly smaller upper bound exists.
+      for (const Tnum &R : Universe)
+        if (P.isSubsetOf(R) && Q.isSubsetOf(R)) {
+          EXPECT_TRUE(J.isSubsetOf(R));
+        }
+    }
+  }
+}
+
+TEST(TnumLattice, MeetIsGreatestLowerBound) {
+  std::vector<Tnum> Universe = allWellFormedTnums(3);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      Tnum M = P.meetWith(Q);
+      EXPECT_TRUE(M.isSubsetOf(P));
+      EXPECT_TRUE(M.isSubsetOf(Q));
+      for (const Tnum &R : Universe)
+        if (R.isSubsetOf(P) && R.isSubsetOf(Q)) {
+          EXPECT_TRUE(R.isSubsetOf(M));
+        }
+    }
+  }
+}
+
+TEST(TnumLattice, MeetDetectsContradiction) {
+  Tnum A = *Tnum::parse("10u");
+  Tnum B = *Tnum::parse("11u");
+  EXPECT_TRUE(A.meetWith(B).isBottom());
+  EXPECT_EQ(A.meetWith(B), Tnum::makeBottom());
+}
+
+TEST(TnumLattice, JoinConcretizationCover) {
+  // gamma(P) ∪ gamma(Q) ⊆ gamma(P ∨ Q), exhaustively at width 4.
+  std::vector<Tnum> Universe = allWellFormedTnums(4);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      Tnum J = P.joinWith(Q);
+      forEachMember(P, [&](uint64_t X) { EXPECT_TRUE(J.contains(X)); });
+      forEachMember(Q, [&](uint64_t X) { EXPECT_TRUE(J.contains(X)); });
+    }
+  }
+}
+
+TEST(TnumRange, CoversRangeExactlyWhenAligned) {
+  // [8, 11] shares the prefix 10xx: tnum 10uu is exact.
+  Tnum T = Tnum::makeRange(8, 11);
+  EXPECT_EQ(T, *Tnum::parse("10uu"));
+}
+
+TEST(TnumRange, SoundOverApproximation) {
+  for (uint64_t Min = 0; Min != 32; ++Min)
+    for (uint64_t Max = Min; Max != 32; ++Max) {
+      Tnum T = Tnum::makeRange(Min, Max);
+      for (uint64_t V = Min; V <= Max; ++V)
+        EXPECT_TRUE(T.contains(V))
+            << "range [" << Min << ", " << Max << "] value " << V;
+    }
+}
+
+TEST(TnumRange, ConstantRange) {
+  EXPECT_EQ(Tnum::makeRange(42, 42), Tnum::makeConstant(42));
+}
+
+TEST(TnumRange, FullRangeIsUnknown) {
+  EXPECT_EQ(Tnum::makeRange(0, ~uint64_t(0)), Tnum::makeUnknown());
+}
+
+TEST(TnumEnumeration, CountsMatch3PowN) {
+  EXPECT_EQ(numWellFormedTnums(1), 3u);
+  EXPECT_EQ(numWellFormedTnums(2), 9u);
+  EXPECT_EQ(numWellFormedTnums(8), 6561u);
+  for (unsigned W = 1; W <= 6; ++W)
+    EXPECT_EQ(allWellFormedTnums(W).size(), numWellFormedTnums(W));
+}
+
+TEST(TnumEnumeration, AllDistinctAndWellFormed) {
+  std::vector<Tnum> Universe = allWellFormedTnums(5);
+  std::set<std::pair<uint64_t, uint64_t>> Seen;
+  for (const Tnum &T : Universe) {
+    EXPECT_TRUE(T.isWellFormed());
+    EXPECT_TRUE(T.fitsWidth(5));
+    EXPECT_TRUE(Seen.emplace(T.value(), T.mask()).second);
+  }
+}
+
+TEST(TnumEnumeration, MembersMatchContains) {
+  Tnum T = *Tnum::parse("u01u");
+  std::vector<uint64_t> Members = allMembers(T);
+  EXPECT_EQ(Members.size(), 4u);
+  for (uint64_t M : Members)
+    EXPECT_TRUE(T.contains(M));
+  EXPECT_TRUE(std::is_sorted(Members.begin(), Members.end()));
+}
+
+TEST(TnumAbstraction, MatchesPaperDefinition) {
+  // alpha({1,2,3}) at width 2 is µµ (Fig. 1 example (i)).
+  EXPECT_EQ(abstractOf({1, 2, 3}), Tnum::makeUnknown(2));
+  // alpha({2,3}) is 1µ (example (ii)); gamma(alpha({2,3})) == {2,3} exactly.
+  Tnum T = abstractOf({2, 3});
+  EXPECT_EQ(T, *Tnum::parse("1u"));
+  EXPECT_EQ(T.concretizationSize(), 2u);
+}
+
+TEST(TnumAbstraction, GaloisExtensive) {
+  // C ⊆ gamma(alpha(C)) for all subsets C of width-3 values.
+  for (uint64_t Bits = 1; Bits != 256; ++Bits) {
+    std::vector<uint64_t> Set;
+    for (uint64_t V = 0; V != 8; ++V)
+      if ((Bits >> V) & 1)
+        Set.push_back(V);
+    Tnum T = abstractOf(Set);
+    for (uint64_t V : Set)
+      EXPECT_TRUE(T.contains(V));
+  }
+}
+
+TEST(TnumAbstraction, GaloisReductive) {
+  // alpha(gamma(T)) == T for every well-formed tnum (α∘γ reductive holds
+  // with equality in this domain; supplementary Property G4).
+  for (const Tnum &T : allWellFormedTnums(5))
+    EXPECT_EQ(abstractOf(allMembers(T)), T);
+}
+
+TEST(TnumAbstraction, AlphaMonotonic) {
+  // C1 ⊆ C2 => alpha(C1) ⊑ alpha(C2); sampled over nested value sets.
+  std::vector<uint64_t> C1{5, 9};
+  std::vector<uint64_t> C2{5, 9, 12};
+  std::vector<uint64_t> C3{5, 9, 12, 0};
+  EXPECT_TRUE(abstractOf(C1).isSubsetOf(abstractOf(C2)));
+  EXPECT_TRUE(abstractOf(C2).isSubsetOf(abstractOf(C3)));
+}
+
+} // namespace

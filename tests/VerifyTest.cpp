@@ -1,0 +1,239 @@
+//===- tests/VerifyTest.cpp - Verification substrate tests ----------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the bounded-verification engine itself: that it accepts the sound
+/// operators, that it *catches* deliberately broken ones with a usable
+/// counterexample (the solver-model analogue), and that the algebraic
+/// property searches reproduce the three §III-A observations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "tnum/TnumEnum.h"
+#include "tnum/TnumOps.h"
+#include "verify/AlgebraicProperties.h"
+#include "verify/LemmaChecks.h"
+#include "verify/OptimalityChecker.h"
+#include "verify/SoundnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// The checker machinery must detect unsound operators.
+//===----------------------------------------------------------------------===//
+
+/// A deliberately broken "addition" that forgets the operand masks.
+static Tnum brokenAdd(Tnum P, Tnum Q) {
+  return Tnum(P.value() + Q.value(), 0);
+}
+
+TEST(CheckerSelfTest, CatchesBrokenOperatorExhaustively) {
+  // Hand-rolled sweep mirroring checkSoundnessExhaustive's loop, applied
+  // to the broken operator above.
+  bool FoundViolation = false;
+  for (const Tnum &P : allWellFormedTnums(3)) {
+    for (const Tnum &Q : allWellFormedTnums(3)) {
+      Tnum R = tnumTruncate(brokenAdd(P, Q), 3);
+      forEachMember(P, [&](uint64_t X) {
+        forEachMember(Q, [&](uint64_t Y) {
+          if (!R.contains((X + Y) & 7))
+            FoundViolation = true;
+        });
+      });
+    }
+  }
+  EXPECT_TRUE(FoundViolation);
+}
+
+TEST(CheckerSelfTest, CounterexampleIsAModel) {
+  // Any counterexample the random checker reports must actually violate
+  // the membership predicate (spot-check of the report plumbing, like the
+  // paper's SMT-encoding spot tests).
+  Xoshiro256 Rng(99);
+  SoundnessReport Report = checkSoundnessRandom(
+      BinaryOp::Add, 64, /*NumPairs=*/500, /*SamplesPerPair=*/4, Rng);
+  EXPECT_TRUE(Report.holds());
+  EXPECT_EQ(Report.PairsChecked, 500u);
+  // 4 corners + 4 samples per pair.
+  EXPECT_EQ(Report.ConcreteChecked, 500u * 8u);
+}
+
+TEST(CheckerSelfTest, RandomTnumsAreWellFormedAndInWidth) {
+  Xoshiro256 Rng(3);
+  for (unsigned Width : {1u, 7u, 32u, 64u}) {
+    for (int I = 0; I != 500; ++I) {
+      Tnum T = randomWellFormedTnum(Rng, Width);
+      EXPECT_TRUE(T.isWellFormed());
+      EXPECT_TRUE(T.fitsWidth(Width));
+    }
+  }
+}
+
+TEST(CheckerSelfTest, OptimalityReportCountsPairs) {
+  OptimalityReport Report = checkOptimalityExhaustive(
+      BinaryOp::Add, 3, MulAlgorithm::Our, /*StopAtFirst=*/false);
+  EXPECT_TRUE(Report.isOptimalEverywhere());
+  EXPECT_EQ(Report.PairsChecked, 27u * 27u);
+  EXPECT_EQ(Report.OptimalPairs, Report.PairsChecked);
+}
+
+//===----------------------------------------------------------------------===//
+// §III-A observations (1)-(3).
+//===----------------------------------------------------------------------===//
+
+TEST(AlgebraicProperties, AdditionIsNotAssociative) {
+  std::optional<AssociativityWitness> W = findAddNonAssociativityWitness(2);
+  ASSERT_TRUE(W.has_value());
+  // Re-check the witness end to end.
+  Tnum LeftFirst =
+      tnumTruncate(tnumAdd(tnumTruncate(tnumAdd(W->P, W->Q), 2), W->R), 2);
+  Tnum RightFirst =
+      tnumTruncate(tnumAdd(W->P, tnumTruncate(tnumAdd(W->Q, W->R), 2)), 2);
+  EXPECT_EQ(LeftFirst, W->LeftFirst);
+  EXPECT_EQ(RightFirst, W->RightFirst);
+  EXPECT_NE(LeftFirst, RightFirst);
+}
+
+TEST(AlgebraicProperties, AddSubAreNotInverses) {
+  std::optional<InverseWitness> W = findAddSubNonInverseWitness(2);
+  ASSERT_TRUE(W.has_value());
+  Tnum RoundTrip =
+      tnumTruncate(tnumSub(tnumTruncate(tnumAdd(W->P, W->Q), 2), W->Q), 2);
+  EXPECT_EQ(RoundTrip, W->RoundTrip);
+  EXPECT_NE(RoundTrip, W->P);
+  // The round trip must still *contain* P (soundness of the composition).
+  EXPECT_TRUE(W->P.isSubsetOf(RoundTrip));
+}
+
+TEST(AlgebraicProperties, KernMulIsNotCommutative) {
+  // Search widths upward until the smallest witness width is found; the
+  // paper only states existence (§III-A observation 3).
+  std::optional<CommutativityWitness> W;
+  unsigned Width = 0;
+  for (unsigned Candidate : {2u, 3u, 4u, 5u, 6u}) {
+    W = findMulNonCommutativityWitness(MulAlgorithm::Kern, Candidate);
+    if (W) {
+      Width = Candidate;
+      break;
+    }
+  }
+  ASSERT_TRUE(W.has_value());
+  EXPECT_NE(W->Forward, W->Backward);
+  // Both orders must still be sound, so both contain all products.
+  forEachMember(W->P, [&](uint64_t X) {
+    forEachMember(W->Q, [&](uint64_t Y) {
+      uint64_t Z = (X * Y) & lowBitsMask(Width);
+      EXPECT_TRUE(W->Forward.contains(Z));
+      EXPECT_TRUE(W->Backward.contains(Z));
+    });
+  });
+}
+
+TEST(AlgebraicProperties, AdditionIsCommutative) {
+  EXPECT_FALSE(findAddNonCommutativityWitness(3).has_value());
+  EXPECT_FALSE(findAddNonCommutativityWitness(4).has_value());
+}
+
+TEST(AlgebraicProperties, AssociativityHoldsAtWidth1) {
+  // Width-1 tnums have no carry chains; addition there is associative,
+  // making the width-2 witness the smallest possible.
+  EXPECT_FALSE(findAddNonAssociativityWitness(1).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Executable lemma sweeps (the proof skeleton of §III-B / §VII).
+//===----------------------------------------------------------------------===//
+
+class LemmaSweep : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(LemmaSweep, HoldsExhaustivelyWidth3) {
+  std::optional<std::string> Failure = sweepLemmaExhaustive(GetParam(), 3);
+  EXPECT_FALSE(Failure.has_value()) << *Failure;
+}
+
+TEST_P(LemmaSweep, HoldsExhaustivelyWidth4) {
+  std::optional<std::string> Failure = sweepLemmaExhaustive(GetParam(), 4);
+  EXPECT_FALSE(Failure.has_value()) << *Failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLemmas, LemmaSweep,
+    ::testing::Values("min-carries", "max-carries", "capture-uncertainty",
+                      "mask-equivalence", "min-borrows", "max-borrows",
+                      "set-union-zero", "value-mask-decomp"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(LemmaSweep, RejectsUnknownLemmaName) {
+  std::optional<std::string> Failure = sweepLemmaExhaustive("no-such", 3);
+  ASSERT_TRUE(Failure.has_value());
+  EXPECT_NE(Failure->find("unknown lemma"), std::string::npos);
+}
+
+TEST(LemmaChecks, CarrySequenceIdentity) {
+  // carry-in = a ^ b ^ (a + b): cross-check against a manual ripple adder.
+  Xoshiro256 Rng(55);
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t A = Rng.next();
+    uint64_t B = Rng.next();
+    uint64_t Expected = 0;
+    uint64_t Carry = 0;
+    for (unsigned K = 0; K != 64; ++K) {
+      Expected |= Carry << K;
+      uint64_t ABit = (A >> K) & 1;
+      uint64_t BBit = (B >> K) & 1;
+      Carry = (ABit & BBit) | (Carry & (ABit ^ BBit));
+    }
+    EXPECT_EQ(carryInSequence(A, B), Expected);
+  }
+}
+
+TEST(LemmaChecks, BorrowSequenceIdentity) {
+  Xoshiro256 Rng(56);
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t A = Rng.next();
+    uint64_t B = Rng.next();
+    uint64_t Expected = 0;
+    uint64_t Borrow = 0;
+    for (unsigned K = 0; K != 64; ++K) {
+      Expected |= Borrow << K;
+      uint64_t ABit = (A >> K) & 1;
+      uint64_t BBit = (B >> K) & 1;
+      // Full-subtractor borrow-out (Definition 23).
+      Borrow = ((ABit ^ 1) & BBit) | (Borrow & ((ABit ^ BBit) ^ 1));
+    }
+    EXPECT_EQ(borrowInSequence(A, B), Expected);
+  }
+}
+
+TEST(LemmaChecks, MaskEquivalenceAt64BitRandom) {
+  // Lemma 5 is width-independent; hammer it at full width.
+  Xoshiro256 Rng(57);
+  for (int I = 0; I != 20000; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, 64);
+    Tnum Q = randomWellFormedTnum(Rng, 64);
+    EXPECT_TRUE(checkMaskEquivalenceLemma(P, Q));
+  }
+}
+
+TEST(LemmaChecks, SetUnionWithZeroAt64BitRandom) {
+  Xoshiro256 Rng(58);
+  for (int I = 0; I != 20000; ++I)
+    EXPECT_TRUE(checkSetUnionWithZeroLemma(randomWellFormedTnum(Rng, 64)));
+}
+
+} // namespace
