@@ -1,0 +1,131 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -----------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace tnums;
+
+namespace {
+/// Index of the worker deque owned by the calling thread in its pool, or
+/// -1 when the caller is not a pool thread. Lets tasks submitted from
+/// inside a task land on the submitter's own deque (LIFO locality) and
+/// keeps wait() usable from external threads only.
+thread_local int CurrentWorkerIndex = -1;
+thread_local const ThreadPool *CurrentPool = nullptr;
+} // namespace
+
+unsigned ThreadPool::hardwareConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    ThreadCount = hardwareConcurrency();
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I != ThreadCount; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  // Deques must all exist before any thread can try to steal.
+  for (unsigned I = 0; I != ThreadCount; ++I)
+    Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::unique_ptr<Worker> &W : Workers)
+    W->Thread.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "submitting an empty task");
+  unsigned Target;
+  {
+    // The pending count must rise BEFORE the task becomes visible in a
+    // deque: a running worker may pop and finish it (decrementing the
+    // count) the instant it is published.
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+    ++PendingTasks;
+    if (CurrentPool == this && CurrentWorkerIndex >= 0) {
+      Target = static_cast<unsigned>(CurrentWorkerIndex);
+    } else {
+      Target = NextSubmitIndex;
+      NextSubmitIndex = (NextSubmitIndex + 1) % threadCount();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Workers[Target]->Mutex);
+    Workers[Target]->Deque.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+bool ThreadPool::popOwn(unsigned Index, std::function<void()> &Task) {
+  Worker &W = *Workers[Index];
+  std::lock_guard<std::mutex> Lock(W.Mutex);
+  if (W.Deque.empty())
+    return false;
+  Task = std::move(W.Deque.back());
+  W.Deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::stealFrom(unsigned ThiefIndex, std::function<void()> &Task) {
+  // Scan victims starting after the thief so contention spreads out.
+  unsigned N = threadCount();
+  for (unsigned Offset = 1; Offset != N; ++Offset) {
+    Worker &Victim = *Workers[(ThiefIndex + Offset) % N];
+    std::lock_guard<std::mutex> Lock(Victim.Mutex);
+    if (Victim.Deque.empty())
+      continue;
+    Task = std::move(Victim.Deque.front());
+    Victim.Deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentWorkerIndex = static_cast<int>(Index);
+  CurrentPool = this;
+  for (;;) {
+    std::function<void()> Task;
+    if (popOwn(Index, Task) || stealFrom(Index, Task)) {
+      Task();
+      Task = nullptr; // Destroy captures before bookkeeping.
+      std::lock_guard<std::mutex> Lock(SleepMutex);
+      assert(PendingTasks != 0 && "pending-task underflow");
+      if (--PendingTasks == 0)
+        AllDone.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(SleepMutex);
+    if (ShuttingDown)
+      return;
+    if (PendingTasks == 0) {
+      WorkAvailable.wait(Lock, [this] { return PendingTasks != 0 || ShuttingDown; });
+      continue;
+    }
+    // Tasks are pending but none were visible to pop/steal: another worker
+    // holds them all in flight. Sleep until something new is submitted or
+    // everything drains, re-checking the deques on each wakeup.
+    WorkAvailable.wait_for(Lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadPool::wait() {
+  assert(CurrentPool != this && "wait() from inside a pool task deadlocks");
+  std::unique_lock<std::mutex> Lock(SleepMutex);
+  AllDone.wait(Lock, [this] { return PendingTasks == 0; });
+}

@@ -1,0 +1,88 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the exhaustive verification
+/// sweeps (verify/ParallelSweep.h). Each worker owns a deque: it pushes
+/// and pops its own tasks LIFO at the back, while idle workers steal FIFO
+/// from the front of a victim's deque -- the classic Chase-Lev discipline
+/// (here with a per-deque lock; sweep tasks are coarse chunks of thousands
+/// of tnum pairs, so queue contention is nowhere near the critical path).
+///
+/// The pool is deliberately minimal: fire-and-forget submit() plus a
+/// barrier-style wait(). Callers that need results or deterministic
+/// ordering keep their own per-task slots and merge after wait(), which is
+/// exactly what the parallel sweeps do to stay bit-reproducible across
+/// thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_THREADPOOL_H
+#define TNUMS_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tnums {
+
+class ThreadPool {
+public:
+  /// Spawns \p ThreadCount workers; 0 means hardwareConcurrency().
+  explicit ThreadPool(unsigned ThreadCount = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task. Safe from any thread, including from inside a
+  /// running task (a worker pushes onto its own deque; external callers
+  /// round-robin across deques).
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far -- including tasks those
+  /// tasks spawned -- has finished running.
+  void wait();
+
+  /// std::thread::hardware_concurrency() clamped to at least 1.
+  static unsigned hardwareConcurrency();
+
+private:
+  struct Worker {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Deque;
+    std::thread Thread;
+  };
+
+  void workerLoop(unsigned Index);
+  bool popOwn(unsigned Index, std::function<void()> &Task);
+  bool stealFrom(unsigned ThiefIndex, std::function<void()> &Task);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+
+  /// Guards sleeping/wakeup and the bookkeeping counters below.
+  std::mutex SleepMutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t PendingTasks = 0; // queued + currently running
+  bool ShuttingDown = false;
+  unsigned NextSubmitIndex = 0; // round-robin target for external submits
+};
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_THREADPOOL_H

@@ -186,6 +186,13 @@ enum class MulAlgorithm {
   OurFullLoop,
 };
 
+/// All MulAlgorithm enumerators, for sweeping harnesses. Keep in sync with
+/// the enum so new algorithms automatically join every campaign.
+inline constexpr MulAlgorithm AllMulAlgorithms[] = {
+    MulAlgorithm::Kern,          MulAlgorithm::BitwiseNaive,
+    MulAlgorithm::BitwiseOpt,    MulAlgorithm::OurSimplified,
+    MulAlgorithm::Our,           MulAlgorithm::OurFullLoop};
+
 /// Short stable name used in benchmark output ("kern_mul", "our_mul", ...).
 const char *mulAlgorithmName(MulAlgorithm Algorithm);
 

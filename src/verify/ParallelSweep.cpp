@@ -1,0 +1,245 @@
+//===- verify/ParallelSweep.cpp - Parallel exhaustive verification --------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/ParallelSweep.h"
+
+#include "support/ThreadPool.h"
+#include "tnum/TnumEnum.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+using namespace tnums;
+
+namespace {
+
+/// The row-major (P, Q) pair grid a sweep walks, pre-chunked. Pair index
+/// I maps to P = Universe[I / N], Q = Universe[I % N] -- the exact order
+/// the serial checkers use, which is what makes "minimum failing chunk,
+/// first failure inside it" equal the serial witness.
+struct PairGrid {
+  std::vector<Tnum> Universe;
+  uint64_t NumTnums;
+  uint64_t TotalPairs;
+  uint64_t ChunkPairs;
+  uint64_t NumChunks;
+};
+
+PairGrid makeGrid(unsigned Width, const SweepConfig &Config) {
+  PairGrid Grid;
+  Grid.Universe = allWellFormedTnums(Width);
+  Grid.NumTnums = Grid.Universe.size();
+  Grid.TotalPairs = Grid.NumTnums * Grid.NumTnums;
+  Grid.ChunkPairs = std::max<uint64_t>(1, Config.ChunkPairs);
+  Grid.NumChunks = (Grid.TotalPairs + Grid.ChunkPairs - 1) / Grid.ChunkPairs;
+  return Grid;
+}
+
+/// Runs \p Fn(ChunkIndex) over [0, NumChunks). With one thread (or one
+/// chunk) this degenerates to a plain loop -- no pool, no atomics on the
+/// caller's stack frame -- so NumThreads == 1 is genuinely serial.
+/// Otherwise each pool worker self-schedules chunks off a shared atomic
+/// counter; the chunks are coarse, so the counter is not contended.
+void runOnPool(const SweepConfig &Config, uint64_t NumChunks,
+               const std::function<void(uint64_t)> &Fn) {
+  unsigned Threads =
+      Config.NumThreads ? Config.NumThreads : ThreadPool::hardwareConcurrency();
+  if (Threads == 1 || NumChunks <= 1) {
+    for (uint64_t Chunk = 0; Chunk != NumChunks; ++Chunk)
+      Fn(Chunk);
+    return;
+  }
+  ThreadPool Pool(Threads);
+  std::atomic<uint64_t> NextChunk{0};
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.submit([&NextChunk, NumChunks, &Fn] {
+      for (;;) {
+        uint64_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
+        if (Chunk >= NumChunks)
+          return;
+        Fn(Chunk);
+      }
+    });
+  Pool.wait();
+}
+
+/// Lowers \p Into to \p Chunk if Chunk is smaller (atomic min).
+void atomicMin(std::atomic<uint64_t> &Into, uint64_t Chunk) {
+  uint64_t Current = Into.load(std::memory_order_acquire);
+  while (Chunk < Current &&
+         !Into.compare_exchange_weak(Current, Chunk,
+                                     std::memory_order_acq_rel))
+    ;
+}
+
+} // namespace
+
+SoundnessReport tnums::checkSoundnessExhaustiveParallel(
+    BinaryOp Concrete, const AbstractBinaryFn &Abstract, unsigned Width,
+    const SweepConfig &Config) {
+  assert((!isShiftOp(Concrete) || (Width & (Width - 1)) == 0) &&
+         "shift verification requires a power-of-two width");
+  PairGrid Grid = makeGrid(Width, Config);
+
+  std::atomic<uint64_t> PairsChecked{0};
+  std::atomic<uint64_t> ConcreteChecked{0};
+  // Lowest chunk index with a violation; chunks above it are cancelled,
+  // chunks at or below it always finish, so the final value's witness is
+  // the serial-order first counterexample.
+  std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
+  std::mutex FailuresMutex;
+  std::map<uint64_t, SoundnessCounterexample> FailureByChunk;
+
+  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
+    if (Chunk > FirstFailChunk.load(std::memory_order_acquire))
+      return;
+    uint64_t Begin = Chunk * Grid.ChunkPairs;
+    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
+    uint64_t LocalPairs = 0;
+    uint64_t LocalConcrete = 0;
+    for (uint64_t Index = Begin; Index != End; ++Index) {
+      if (Chunk > FirstFailChunk.load(std::memory_order_relaxed))
+        break;
+      const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
+      const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
+      ++LocalPairs;
+      Tnum R = Abstract(P, Q);
+      bool Sound = true;
+      forEachMember(P, [&](uint64_t X) {
+        if (!Sound)
+          return;
+        forEachMember(Q, [&](uint64_t Y) {
+          if (!Sound)
+            return;
+          ++LocalConcrete;
+          uint64_t Z = applyConcreteBinary(Concrete, X, Y, Width);
+          if (!R.contains(Z)) {
+            Sound = false;
+            {
+              std::lock_guard<std::mutex> Lock(FailuresMutex);
+              FailureByChunk.emplace(Chunk,
+                                     SoundnessCounterexample{P, Q, X, Y, Z, R});
+            }
+            atomicMin(FirstFailChunk, Chunk);
+          }
+        });
+      });
+      if (!Sound)
+        break; // This chunk's first (= serial-order) violation is recorded.
+    }
+    PairsChecked.fetch_add(LocalPairs, std::memory_order_relaxed);
+    ConcreteChecked.fetch_add(LocalConcrete, std::memory_order_relaxed);
+  });
+
+  SoundnessReport Report;
+  Report.PairsChecked = PairsChecked.load();
+  Report.ConcreteChecked = ConcreteChecked.load();
+  uint64_t FailChunk = FirstFailChunk.load();
+  if (FailChunk != UINT64_MAX) {
+    std::lock_guard<std::mutex> Lock(FailuresMutex);
+    Report.Failure = FailureByChunk.at(FailChunk);
+  }
+  return Report;
+}
+
+SoundnessReport
+tnums::checkSoundnessExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                        MulAlgorithm Mul,
+                                        const SweepConfig &Config) {
+  return checkSoundnessExhaustiveParallel(
+      Op,
+      [Op, Width, Mul](const Tnum &P, const Tnum &Q) {
+        return applyAbstractBinary(Op, P, Q, Width, Mul);
+      },
+      Width, Config);
+}
+
+OptimalityReport
+tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                         MulAlgorithm Mul,
+                                         const SweepConfig &Config,
+                                         bool StopAtFirst) {
+  assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
+         "shift verification requires a power-of-two width");
+  PairGrid Grid = makeGrid(Width, Config);
+
+  std::atomic<uint64_t> PairsChecked{0};
+  std::atomic<uint64_t> OptimalPairs{0};
+  // Only consulted in StopAtFirst mode; same protocol as the soundness
+  // sweep (cancel strictly-above, always finish at-or-below), so the
+  // witness stays the serial-order first non-optimal pair either way.
+  std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
+  std::mutex FailuresMutex;
+  std::map<uint64_t, OptimalityCounterexample> FailureByChunk;
+
+  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
+    if (StopAtFirst && Chunk > FirstFailChunk.load(std::memory_order_acquire))
+      return;
+    uint64_t Begin = Chunk * Grid.ChunkPairs;
+    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
+    uint64_t LocalPairs = 0;
+    uint64_t LocalOptimal = 0;
+    bool ChunkHasFailure = false;
+    for (uint64_t Index = Begin; Index != End; ++Index) {
+      if (StopAtFirst &&
+          (ChunkHasFailure ||
+           Chunk > FirstFailChunk.load(std::memory_order_relaxed)))
+        break;
+      const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
+      const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
+      ++LocalPairs;
+      Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
+      Tnum Optimal = optimalAbstractBinary(Op, P, Q, Width);
+      if (Actual == Optimal) {
+        ++LocalOptimal;
+        continue;
+      }
+      if (!ChunkHasFailure) {
+        ChunkHasFailure = true;
+        {
+          std::lock_guard<std::mutex> Lock(FailuresMutex);
+          FailureByChunk.emplace(
+              Chunk, OptimalityCounterexample{P, Q, Actual, Optimal});
+        }
+        atomicMin(FirstFailChunk, Chunk);
+      }
+    }
+    PairsChecked.fetch_add(LocalPairs, std::memory_order_relaxed);
+    OptimalPairs.fetch_add(LocalOptimal, std::memory_order_relaxed);
+  });
+
+  OptimalityReport Report;
+  Report.PairsChecked = PairsChecked.load();
+  Report.OptimalPairs = OptimalPairs.load();
+  std::lock_guard<std::mutex> Lock(FailuresMutex);
+  if (!FailureByChunk.empty())
+    Report.Failure = FailureByChunk.begin()->second; // Lowest chunk index.
+  return Report;
+}
+
+std::vector<MulSweepResult>
+tnums::sweepMulSoundness(const std::vector<unsigned> &Widths,
+                         const SweepConfig &Config) {
+  std::vector<MulSweepResult> Results;
+  Results.reserve(Widths.size() * std::size(AllMulAlgorithms));
+  for (unsigned Width : Widths) {
+    for (MulAlgorithm Algorithm : AllMulAlgorithms) {
+      auto Start = std::chrono::steady_clock::now();
+      SoundnessReport Report =
+          checkSoundnessExhaustiveParallel(BinaryOp::Mul, Width, Algorithm,
+                                           Config);
+      std::chrono::duration<double> Elapsed =
+          std::chrono::steady_clock::now() - Start;
+      Results.push_back({Algorithm, Width, Report, Elapsed.count()});
+    }
+  }
+  return Results;
+}

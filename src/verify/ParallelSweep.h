@@ -1,0 +1,113 @@
+//===- verify/ParallelSweep.h - Parallel exhaustive verification -*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multithreaded form of the bounded verification engine. The serial
+/// checkers (SoundnessChecker.h, OptimalityChecker.h) walk the 9^n grid of
+/// well-formed tnum pairs in row-major order; at the widths the paper's
+/// campaign targets (kern_mul was SMT-verified only up to n = 8) that walk
+/// costs 16^n concrete evaluations and stops being interactive. This
+/// engine splits the same grid into fixed-size chunks of consecutive
+/// (P, Q) pair indices and runs them on a work-stealing thread pool
+/// (support/ThreadPool.h), pushing exhaustive sweeps to width 10-12.
+///
+/// Determinism contract: results are bit-identical for every thread count,
+/// including 1, and identical to the serial checkers.
+///
+///  * When the property holds, every chunk is fully scanned, so the
+///    PairsChecked / ConcreteChecked totals (and OptimalPairs) are exact
+///    grid totals -- independent of scheduling.
+///  * When the property fails, the reported counterexample is the FIRST
+///    one in serial row-major order: each chunk stops at its own first
+///    violation, chunks above the lowest failing chunk are cancelled, and
+///    chunks below it always run to completion, so the minimum failing
+///    chunk's witness is exactly the serial witness. The work counters
+///    then reflect only the work actually performed (cancellation makes
+///    them scheduling-dependent), mirroring the serial early-exit counts
+///    only approximately; treat them as progress indicators on failure.
+///
+/// The checkers accept an injectable abstract operator so the test suite
+/// can feed deliberately broken transfer functions through the exact same
+/// machinery and observe the deterministic witness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_VERIFY_PARALLELSWEEP_H
+#define TNUMS_VERIFY_PARALLELSWEEP_H
+
+#include "verify/OptimalityChecker.h"
+#include "verify/SoundnessChecker.h"
+
+#include <functional>
+#include <vector>
+
+namespace tnums {
+
+/// Tuning knobs for a parallel sweep.
+struct SweepConfig {
+  /// Worker threads; 0 means ThreadPool::hardwareConcurrency().
+  unsigned NumThreads = 0;
+
+  /// Consecutive (P, Q) pair indices per work chunk. The default keeps
+  /// chunks coarse enough that queue traffic is negligible yet fine
+  /// enough that 4-16 threads load-balance across the wildly varying
+  /// |gamma(P)| * |gamma(Q)| chunk costs.
+  uint64_t ChunkPairs = 4096;
+};
+
+/// An abstract binary transfer function as the sweep sees it: inputs are
+/// well-formed width-n tnums, the result is already truncated to width.
+/// Signature matches applyAbstractBinary after binding Op/Width/Mul.
+using AbstractBinaryFn = std::function<Tnum(const Tnum &, const Tnum &)>;
+
+/// Parallel equivalent of checkSoundnessExhaustive: verifies Eqn. 11 for
+/// \p Op at \p Width over every well-formed tnum pair, multithreaded.
+SoundnessReport
+checkSoundnessExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                 MulAlgorithm Mul = MulAlgorithm::Our,
+                                 const SweepConfig &Config = SweepConfig());
+
+/// Same, but with an injected abstract operator: \p Concrete supplies the
+/// concrete semantics (and the shift-width restriction), \p Abstract the
+/// transfer function under test.
+SoundnessReport
+checkSoundnessExhaustiveParallel(BinaryOp Concrete, const AbstractBinaryFn &Abstract,
+                                 unsigned Width,
+                                 const SweepConfig &Config = SweepConfig());
+
+/// Parallel equivalent of checkOptimalityExhaustive. By default scans the
+/// full grid, making OptimalPairs / PairsChecked exact totals. With
+/// \p StopAtFirst, chunks above the lowest non-optimal chunk are
+/// cancelled (the soundness checker's protocol), trading exact counts on
+/// failure for an early exit. Either way the reported counterexample is
+/// the serial-order first non-optimal pair.
+OptimalityReport
+checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                  MulAlgorithm Mul = MulAlgorithm::Our,
+                                  const SweepConfig &Config = SweepConfig(),
+                                  bool StopAtFirst = false);
+
+/// One (algorithm, width) cell of a multiplication soundness campaign.
+struct MulSweepResult {
+  MulAlgorithm Algorithm;
+  unsigned Width;
+  SoundnessReport Report;
+  double Seconds; // wall-clock for this cell
+};
+
+/// Sweeps ALL six multiplication algorithms at each width in \p Widths
+/// through the parallel soundness checker -- the paper's SIII-A
+/// multiplication campaign, beyond its n = 8 SMT horizon. Cells are
+/// ordered (width-major, algorithm-minor) and each cell's report obeys the
+/// determinism contract above.
+std::vector<MulSweepResult>
+sweepMulSoundness(const std::vector<unsigned> &Widths,
+                  const SweepConfig &Config = SweepConfig());
+
+} // namespace tnums
+
+#endif // TNUMS_VERIFY_PARALLELSWEEP_H

@@ -1,0 +1,229 @@
+//===- tests/ParallelSweepTest.cpp - Parallel verification engine tests ---===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel sweep's contract is bit-reproducibility: same reports as
+/// the serial checkers, for every thread count and chunk size, including
+/// the counterexample a deliberately broken operator produces. Widths here
+/// stay small so the default suite is quick; set TNUMS_SLOW_TESTS=1 to
+/// also run the width-8 serial/parallel agreement sweep (the paper's SMT
+/// verification horizon for kern_mul; several minutes of CPU).
+///
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumEnum.h"
+#include "tnum/TnumOps.h"
+#include "verify/ParallelSweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace tnums;
+
+namespace {
+
+/// Configurations that exercise the scheduler: serial degenerate path,
+/// more threads than this machine likely has, chunks smaller than a row,
+/// chunks so large everything lands in one chunk.
+const SweepConfig kConfigs[] = {
+    {/*NumThreads=*/1, /*ChunkPairs=*/1},
+    {/*NumThreads=*/2, /*ChunkPairs=*/7},
+    {/*NumThreads=*/4, /*ChunkPairs=*/64},
+    {/*NumThreads=*/8, /*ChunkPairs=*/4096},
+    {/*NumThreads=*/0, /*ChunkPairs=*/257},
+};
+
+void expectSameSoundnessReport(const SoundnessReport &Serial,
+                               const SoundnessReport &Parallel) {
+  EXPECT_EQ(Serial.holds(), Parallel.holds());
+  // A holding sweep scans the full grid, so the work counters are exact
+  // totals on both sides; on failure only the witness is comparable.
+  if (Serial.holds()) {
+    EXPECT_EQ(Serial.PairsChecked, Parallel.PairsChecked);
+    EXPECT_EQ(Serial.ConcreteChecked, Parallel.ConcreteChecked);
+  }
+}
+
+TEST(ParallelSweep, AgreesWithSerialOnEveryOperatorAtWidth4) {
+  for (BinaryOp Op : AllBinaryOps) {
+    SoundnessReport Serial = checkSoundnessExhaustive(Op, 4);
+    for (const SweepConfig &Config : kConfigs) {
+      SoundnessReport Parallel =
+          checkSoundnessExhaustiveParallel(Op, 4, MulAlgorithm::Our, Config);
+      SCOPED_TRACE(binaryOpName(Op));
+      expectSameSoundnessReport(Serial, Parallel);
+      EXPECT_TRUE(Parallel.holds());
+    }
+  }
+}
+
+TEST(ParallelSweep, AgreesWithSerialOnEveryMulAlgorithmAtWidth5) {
+  SweepConfig Config{/*NumThreads=*/4, /*ChunkPairs=*/128};
+  for (MulAlgorithm Alg : AllMulAlgorithms) {
+    SCOPED_TRACE(mulAlgorithmName(Alg));
+    SoundnessReport Serial = checkSoundnessExhaustive(BinaryOp::Mul, 5, Alg);
+    SoundnessReport Parallel =
+        checkSoundnessExhaustiveParallel(BinaryOp::Mul, 5, Alg, Config);
+    expectSameSoundnessReport(Serial, Parallel);
+    EXPECT_TRUE(Parallel.holds());
+  }
+}
+
+TEST(ParallelSweep, AgreesWithSerialAtWidth8WhenSlowTestsEnabled) {
+  const char *Enabled = std::getenv("TNUMS_SLOW_TESTS");
+  if (!Enabled || Enabled[0] == '0')
+    GTEST_SKIP() << "set TNUMS_SLOW_TESTS=1 to run the width-8 sweep "
+                    "(the paper's kern_mul SMT horizon; minutes of CPU)";
+  SoundnessReport Serial =
+      checkSoundnessExhaustive(BinaryOp::Mul, 8, MulAlgorithm::Our);
+  SoundnessReport Parallel = checkSoundnessExhaustiveParallel(
+      BinaryOp::Mul, 8, MulAlgorithm::Our, SweepConfig());
+  expectSameSoundnessReport(Serial, Parallel);
+  EXPECT_TRUE(Parallel.holds());
+}
+
+//===----------------------------------------------------------------------===//
+// Failure determinism: a broken operator must yield the serial-order-first
+// counterexample no matter how the chunks get scheduled.
+//===----------------------------------------------------------------------===//
+
+/// tnum_add with its lowest unknown trit laundered into a known bit -- a
+/// classic soundness bug (claiming knowledge the operator does not have).
+Tnum brokenAdd(const Tnum &P, const Tnum &Q, unsigned Width) {
+  Tnum R = tnumTruncate(tnumAdd(P, Q), Width);
+  uint64_t M = R.mask();
+  if (M == 0)
+    return R;
+  uint64_t Lowest = M & (0 - M);
+  return Tnum(R.value(), M & ~Lowest);
+}
+
+/// Independent reference scan: the first violation in row-major pair
+/// order, member-odometer order, computed with plain loops (no engine).
+SoundnessCounterexample firstViolationByHand(unsigned Width) {
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  for (const Tnum &P : Universe) {
+    for (const Tnum &Q : Universe) {
+      Tnum R = brokenAdd(P, Q, Width);
+      SoundnessCounterexample Found;
+      bool HasFound = false;
+      forEachMember(P, [&](uint64_t X) {
+        forEachMember(Q, [&](uint64_t Y) {
+          if (HasFound)
+            return;
+          uint64_t Z = applyConcreteBinary(BinaryOp::Add, X, Y, Width);
+          if (!R.contains(Z)) {
+            Found = SoundnessCounterexample{P, Q, X, Y, Z, R};
+            HasFound = true;
+          }
+        });
+      });
+      if (HasFound)
+        return Found;
+    }
+  }
+  ADD_FAILURE() << "brokenAdd unexpectedly sound";
+  return SoundnessCounterexample{};
+}
+
+TEST(ParallelSweep, BrokenOperatorYieldsSerialFirstCounterexample) {
+  constexpr unsigned Width = 4;
+  AbstractBinaryFn Broken = [](const Tnum &P, const Tnum &Q) {
+    return brokenAdd(P, Q, Width);
+  };
+  SoundnessCounterexample Expected = firstViolationByHand(Width);
+  for (const SweepConfig &Config : kConfigs) {
+    SoundnessReport Report =
+        checkSoundnessExhaustiveParallel(BinaryOp::Add, Broken, Width, Config);
+    ASSERT_TRUE(Report.Failure.has_value());
+    const SoundnessCounterexample &Got = *Report.Failure;
+    EXPECT_EQ(Got.P, Expected.P);
+    EXPECT_EQ(Got.Q, Expected.Q);
+    EXPECT_EQ(Got.X, Expected.X);
+    EXPECT_EQ(Got.Y, Expected.Y);
+    EXPECT_EQ(Got.Z, Expected.Z);
+    EXPECT_EQ(Got.R, Expected.R);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Optimality
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSweep, OptimalityAgreesWithSerialFullScan) {
+  SweepConfig Config{/*NumThreads=*/3, /*ChunkPairs=*/50};
+  // Add is optimal everywhere (Theorem 6); our_mul is not (SIII-C).
+  for (BinaryOp Op : {BinaryOp::Add, BinaryOp::Mul}) {
+    SCOPED_TRACE(binaryOpName(Op));
+    OptimalityReport Serial = checkOptimalityExhaustive(
+        Op, 4, MulAlgorithm::Our, /*StopAtFirst=*/false);
+    OptimalityReport Parallel =
+        checkOptimalityExhaustiveParallel(Op, 4, MulAlgorithm::Our, Config);
+    EXPECT_EQ(Serial.PairsChecked, Parallel.PairsChecked);
+    EXPECT_EQ(Serial.OptimalPairs, Parallel.OptimalPairs);
+    ASSERT_EQ(Serial.Failure.has_value(), Parallel.Failure.has_value());
+    if (Serial.Failure) {
+      EXPECT_EQ(Serial.Failure->P, Parallel.Failure->P);
+      EXPECT_EQ(Serial.Failure->Q, Parallel.Failure->Q);
+      EXPECT_EQ(Serial.Failure->Actual, Parallel.Failure->Actual);
+      EXPECT_EQ(Serial.Failure->Optimal, Parallel.Failure->Optimal);
+    }
+  }
+  EXPECT_TRUE(checkOptimalityExhaustiveParallel(BinaryOp::Add, 4)
+                  .isOptimalEverywhere());
+  EXPECT_FALSE(checkOptimalityExhaustiveParallel(BinaryOp::Mul, 4)
+                   .isOptimalEverywhere());
+}
+
+TEST(ParallelSweep, OptimalityStopAtFirstKeepsSerialWitness) {
+  OptimalityReport Serial = checkOptimalityExhaustive(
+      BinaryOp::Mul, 4, MulAlgorithm::Our, /*StopAtFirst=*/true);
+  ASSERT_TRUE(Serial.Failure.has_value());
+  for (const SweepConfig &Config : kConfigs) {
+    OptimalityReport Parallel = checkOptimalityExhaustiveParallel(
+        BinaryOp::Mul, 4, MulAlgorithm::Our, Config, /*StopAtFirst=*/true);
+    ASSERT_TRUE(Parallel.Failure.has_value());
+    // Early exit makes the work counters chunk-granular, but the witness
+    // must still be the serial-order first non-optimal pair.
+    EXPECT_EQ(Serial.Failure->P, Parallel.Failure->P);
+    EXPECT_EQ(Serial.Failure->Q, Parallel.Failure->Q);
+    EXPECT_EQ(Serial.Failure->Actual, Parallel.Failure->Actual);
+    EXPECT_EQ(Serial.Failure->Optimal, Parallel.Failure->Optimal);
+    // Chunks below the failing one always complete, in-flight chunks above
+    // may add a bounded amount of extra work before noticing cancellation.
+    EXPECT_GE(Parallel.PairsChecked, Serial.PairsChecked);
+    uint64_t NumTnums = numWellFormedTnums(4);
+    EXPECT_LE(Parallel.PairsChecked, NumTnums * NumTnums);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The six-algorithm campaign driver
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSweep, MulCampaignCoversAllSixAlgorithmsPerWidth) {
+  std::vector<MulSweepResult> Results =
+      sweepMulSoundness({4, 5}, SweepConfig{/*NumThreads=*/2,
+                                            /*ChunkPairs=*/512});
+  ASSERT_EQ(Results.size(), 12u);
+  for (const MulSweepResult &Cell : Results) {
+    SCOPED_TRACE(mulAlgorithmName(Cell.Algorithm));
+    EXPECT_TRUE(Cell.Report.holds());
+    uint64_t NumTnums = numWellFormedTnums(Cell.Width);
+    EXPECT_EQ(Cell.Report.PairsChecked, NumTnums * NumTnums);
+    EXPECT_GE(Cell.Seconds, 0.0);
+  }
+  // Width-major ordering, all six algorithms per width.
+  EXPECT_EQ(Results[0].Width, 4u);
+  EXPECT_EQ(Results[5].Width, 4u);
+  EXPECT_EQ(Results[6].Width, 5u);
+  EXPECT_EQ(Results[0].Algorithm, MulAlgorithm::Kern);
+  EXPECT_EQ(Results[4].Algorithm, MulAlgorithm::Our);
+}
+
+} // namespace

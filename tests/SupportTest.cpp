@@ -10,9 +10,11 @@
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <set>
 
@@ -245,6 +247,74 @@ TEST(CycleTimer, MinOverTrialsRunsAllTrials) {
   EXPECT_EQ(Calls, 10u);
   EXPECT_EQ(Sink, 10u);
   EXPECT_LT(Best, ~uint64_t(0));
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, DefaultConstructionUsesHardwareConcurrency) {
+  ThreadPool Pool;
+  EXPECT_EQ(Pool.threadCount(), ThreadPool::hardwareConcurrency());
+  EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Counter{0};
+  for (unsigned I = 0; I != 1000; ++I)
+    Pool.submit([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 1000u);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Counter{0};
+  for (unsigned Batch = 0; Batch != 3; ++Batch) {
+    for (unsigned I = 0; I != 100; ++I)
+      Pool.submit([&Counter] { ++Counter; });
+    Pool.wait();
+    EXPECT_EQ(Counter.load(), (Batch + 1) * 100);
+  }
+}
+
+TEST(ThreadPool, WaitCoversTasksSpawnedByTasks) {
+  ThreadPool Pool(3);
+  std::atomic<unsigned> Counter{0};
+  for (unsigned I = 0; I != 50; ++I)
+    Pool.submit([&Pool, &Counter] {
+      // A worker re-submitting lands on its own deque (LIFO locality);
+      // wait() must still see the child as pending.
+      Pool.submit([&Counter] { ++Counter; });
+    });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 50u);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool Pool(2);
+  Pool.wait();
+  Pool.wait();
+}
+
+TEST(ThreadPool, SingleThreadPoolStillDrains) {
+  ThreadPool Pool(1);
+  std::atomic<unsigned> Counter{0};
+  for (unsigned I = 0; I != 200; ++I)
+    Pool.submit([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 200u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<unsigned> Counter{0};
+  {
+    ThreadPool Pool(2);
+    for (unsigned I = 0; I != 100; ++I)
+      Pool.submit([&Counter] { ++Counter; });
+  }
+  EXPECT_EQ(Counter.load(), 100u);
 }
 
 } // namespace

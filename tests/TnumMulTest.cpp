@@ -19,11 +19,6 @@ using namespace tnums;
 
 namespace {
 
-constexpr MulAlgorithm AllMulAlgorithms[] = {
-    MulAlgorithm::Kern,          MulAlgorithm::BitwiseNaive,
-    MulAlgorithm::BitwiseOpt,    MulAlgorithm::OurSimplified,
-    MulAlgorithm::Our,           MulAlgorithm::OurFullLoop};
-
 TEST(TnumMul, PaperFigure3Example) {
   // Fig. 3: P = µ01, Q = µ10; our_mul returns (00010, 11100) = µµµ10.
   Tnum P = *Tnum::parse("u01");
