@@ -14,10 +14,15 @@
 /// The paper's headline: ~80% of differing cases favor our_mul, and all
 /// width-8 differing outputs are mutually comparable.
 ///
-/// Usage: fig4_mul_precision [--width N] [--csv]
+/// Usage: fig4_mul_precision [--width N] [--csv] [--jobs N]
 ///   --width N   tnum width to enumerate exhaustively (default 8; cost is
 ///               9^N pairs, so 5..9 are practical)
 ///   --csv       also dump the CDF points as CSV rows
+///   --jobs N    worker threads (default: hardware concurrency)
+///
+/// The pair walk runs on the sweep engine's pool (verify/ParallelSweep.h);
+/// the counters and CDF are order-independent multiset reductions, so the
+/// output is identical for every job count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,10 +30,13 @@
 #include "support/Table.h"
 #include "tnum/TnumEnum.h"
 #include "tnum/TnumMul.h"
+#include "verify/ParallelSweep.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 using namespace tnums;
 
@@ -50,13 +58,22 @@ struct Comparison {
 int main(int Argc, char **Argv) {
   unsigned Width = 8;
   bool Csv = false;
+  unsigned Jobs = 0; // SweepConfig convention: 0 = hardware concurrency.
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--width") == 0 && I + 1 < Argc)
       Width = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (std::strcmp(Argv[I], "--csv") == 0)
       Csv = true;
-    else {
-      std::fprintf(stderr, "usage: %s [--width N] [--csv]\n", Argv[0]);
+    else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
+      long Value = std::atol(Argv[++I]);
+      if (Value < 0 || Value > 1024) {
+        std::fprintf(stderr, "error: --jobs must be in [0, 1024]\n");
+        return 1;
+      }
+      Jobs = static_cast<unsigned>(Value);
+    } else {
+      std::fprintf(stderr, "usage: %s [--width N] [--csv] [--jobs N]\n",
+                   Argv[0]);
       return 1;
     }
   }
@@ -77,33 +94,62 @@ int main(int Argc, char **Argv) {
 
   uint64_t TotalPairs = 0;
   uint64_t EqualBoth[2] = {0, 0};
-  for (const Tnum &P : Universe) {
-    for (const Tnum &Q : Universe) {
-      ++TotalPairs;
-      Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
-      for (Comparison &C : Comparisons) {
-        Tnum RBase = tnumMul(P, Q, C.Baseline, Width);
-        if (RBase == ROur) {
-          ++EqualBoth[&C - Comparisons];
-          continue;
+  const uint64_t NumTnums = Universe.size();
+  SweepConfig Config;
+  Config.NumThreads = Jobs;
+  std::mutex Merge;
+  forEachIndexRangeParallel(
+      NumTnums * NumTnums, Config, [&](uint64_t Begin, uint64_t End) {
+        // Range-local accumulators; the CDF buckets merge as a histogram
+        // (a multiset is order-independent, so the CDF is deterministic).
+        uint64_t LTotal = 0;
+        uint64_t LEqual[2] = {0, 0};
+        struct LocalCmp {
+          uint64_t Differing = 0, Comparable = 0;
+          uint64_t OurMorePrecise = 0, BaselineMorePrecise = 0;
+          std::map<int64_t, uint64_t> Buckets;
+        } Local[2];
+        for (uint64_t Index = Begin; Index != End; ++Index) {
+          const Tnum &P = Universe[Index / NumTnums];
+          const Tnum &Q = Universe[Index % NumTnums];
+          ++LTotal;
+          Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
+          for (size_t CI = 0; CI != 2; ++CI) {
+            Tnum RBase = tnumMul(P, Q, Comparisons[CI].Baseline, Width);
+            if (RBase == ROur) {
+              ++LEqual[CI];
+              continue;
+            }
+            ++Local[CI].Differing;
+            if (!RBase.isComparableTo(ROur))
+              continue;
+            ++Local[CI].Comparable;
+            // Comparable differing tnums differ exactly in unknown-trit
+            // count, so the log2 set-size ratio is the trit-count
+            // difference.
+            int64_t Log2Ratio =
+                static_cast<int64_t>(RBase.concretizationSizeLog2()) -
+                static_cast<int64_t>(ROur.concretizationSizeLog2());
+            ++Local[CI].Buckets[Log2Ratio];
+            if (Log2Ratio > 0)
+              ++Local[CI].OurMorePrecise;
+            else
+              ++Local[CI].BaselineMorePrecise;
+          }
         }
-        ++C.Differing;
-        if (!RBase.isComparableTo(ROur))
-          continue;
-        ++C.Comparable;
-        // Comparable differing tnums differ exactly in unknown-trit count,
-        // so the log2 set-size ratio is the trit-count difference.
-        int64_t Log2Ratio =
-            static_cast<int64_t>(RBase.concretizationSizeLog2()) -
-            static_cast<int64_t>(ROur.concretizationSizeLog2());
-        C.RatioCdf.add(Log2Ratio);
-        if (Log2Ratio > 0)
-          ++C.OurMorePrecise;
-        else
-          ++C.BaselineMorePrecise;
-      }
-    }
-  }
+        std::lock_guard<std::mutex> Lock(Merge);
+        TotalPairs += LTotal;
+        for (size_t CI = 0; CI != 2; ++CI) {
+          EqualBoth[CI] += LEqual[CI];
+          Comparisons[CI].Differing += Local[CI].Differing;
+          Comparisons[CI].Comparable += Local[CI].Comparable;
+          Comparisons[CI].OurMorePrecise += Local[CI].OurMorePrecise;
+          Comparisons[CI].BaselineMorePrecise +=
+              Local[CI].BaselineMorePrecise;
+          for (const auto &[Bucket, Count] : Local[CI].Buckets)
+            Comparisons[CI].RatioCdf.addCount(Bucket, Count);
+        }
+      });
 
   TextTable Summary({"comparison", "total pairs", "equal", "differing",
                      "comparable", "our more precise", "% of differing"});

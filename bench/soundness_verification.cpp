@@ -20,12 +20,18 @@
 ///
 /// The exhaustive sections run on the parallel sweep engine
 /// (verify/ParallelSweep.h); --jobs 1 selects the serial path and
-/// --compare-serial additionally times the serial checkers on the
+/// --compare-serial additionally times the scalar serial checkers on the
 /// multiplication campaign and reports the speedup.
+///
+/// --simd={auto,on,off} selects the member-scan path (support/SimdBatch.h):
+/// the batched 64-lane kernels (auto/on) or the scalar reference (off).
+/// Reports are bit-identical across modes; only the throughput moves, so
+/// running once with --simd=on and once with --simd=off is the A/B
+/// measurement of the kernel (compare the Mevals/s column).
 ///
 /// Usage: soundness_verification [--width N] [--mul-width N]
 ///                               [--random-pairs N] [--jobs N]
-///                               [--compare-serial]
+///                               [--simd={auto,on,off}] [--compare-serial]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +68,7 @@ int main(int Argc, char **Argv) {
   unsigned MulWidth = 5;
   uint64_t RandomPairs = 20000;
   unsigned Jobs = ThreadPool::hardwareConcurrency();
+  SimdMode Simd = SimdMode::Auto;
   bool CompareSerial = false;
   bool BadArgs = false;
   // Widths live in [1, 16]: 3^17 tnum pairs is already out of enumeration
@@ -92,6 +99,19 @@ int main(int Argc, char **Argv) {
       ParseBounded(Argv[++I], 0, 1024, Jobs);
       if (Jobs == 0)
         Jobs = ThreadPool::hardwareConcurrency();
+    } else if (std::strncmp(Argv[I], "--simd", 6) == 0) {
+      // Accepts --simd=MODE and "--simd MODE".
+      const char *Text = nullptr;
+      if (Argv[I][6] == '=')
+        Text = Argv[I] + 7;
+      else if (Argv[I][6] == '\0' && I + 1 < Argc)
+        Text = Argv[++I];
+      std::optional<SimdMode> Parsed =
+          Text ? parseSimdMode(Text) : std::nullopt;
+      if (Parsed)
+        Simd = *Parsed;
+      else
+        BadArgs = true;
     } else if (std::strcmp(Argv[I], "--compare-serial") == 0)
       CompareSerial = true;
     else
@@ -100,12 +120,16 @@ int main(int Argc, char **Argv) {
   if (BadArgs) {
     std::fprintf(stderr,
                  "usage: %s [--width 1..16] [--mul-width 1..16] "
-                 "[--random-pairs N] [--jobs 0..1024] [--compare-serial]\n",
+                 "[--random-pairs N] [--jobs 0..1024] "
+                 "[--simd={auto,on,off}] [--compare-serial]\n",
                  Argv[0]);
     return 1;
   }
   SweepConfig Sweep;
   Sweep.NumThreads = Jobs;
+  Sweep.Simd = Simd;
+  std::printf("member-scan path: --simd=%s resolves to %s on this host\n\n",
+              simdModeName(Simd), simdPathDescription(Simd));
 
   bool AllHold = true;
 
@@ -137,29 +161,47 @@ int main(int Argc, char **Argv) {
   std::printf("[2] exhaustive soundness of each multiplication algorithm at "
               "width %u (%u jobs)\n\n",
               MulWidth, Sweep.NumThreads);
-  TextTable MulTable(
-      {"algorithm", "soundness", "pairs", "concrete evals", "seconds"});
+  TextTable MulTable({"algorithm", "soundness", "pairs", "concrete evals",
+                      "seconds", "Mevals/s"});
   std::vector<MulSweepResult> Campaign = sweepMulSoundness({MulWidth}, Sweep);
   double ParallelSeconds = 0;
+  uint64_t CampaignEvals = 0;
   for (const MulSweepResult &Cell : Campaign) {
     AllHold &= Cell.Report.holds();
     ParallelSeconds += Cell.Seconds;
+    CampaignEvals += Cell.Report.ConcreteChecked;
     MulTable.addRowOf(mulAlgorithmName(Cell.Algorithm),
                       Cell.Report.holds() ? "sound" : "UNSOUND",
                       Cell.Report.PairsChecked, Cell.Report.ConcreteChecked,
-                      formatString("%.3f", Cell.Seconds));
+                      formatString("%.3f", Cell.Seconds),
+                      formatString("%.1f", Cell.Seconds > 0
+                                               ? Cell.Report.ConcreteChecked /
+                                                     Cell.Seconds / 1e6
+                                               : 0.0));
   }
   MulTable.printAligned(stdout);
+  // ConcreteChecked/sec over the whole campaign: the A/B figure of merit
+  // for --simd on/off (identical eval counts, different wall-clock).
+  std::printf("campaign throughput: %.1f Mevals/s "
+              "(%llu concrete evals in %.3f s; --simd=%s, %u jobs)\n",
+              ParallelSeconds > 0 ? CampaignEvals / ParallelSeconds / 1e6
+                                  : 0.0,
+              static_cast<unsigned long long>(CampaignEvals), ParallelSeconds,
+              simdModeName(Simd), Sweep.NumThreads);
   if (CompareSerial) {
+    // The reference is the scalar serial checker (SimdMode::Off) whatever
+    // --simd selected, so the speedup always reads "fast path vs the
+    // pre-batching baseline".
     double SerialSeconds = timeSeconds([&] {
       for (const MulSweepResult &Cell : Campaign)
         AllHold &= checkSoundnessExhaustive(BinaryOp::Mul, MulWidth,
-                                            Cell.Algorithm)
+                                            Cell.Algorithm, SimdMode::Off)
                        .holds();
     });
-    std::printf("serial %.3f s vs parallel %.3f s with %u jobs: "
-                "speedup %.2fx\n",
+    std::printf("scalar serial %.3f s vs parallel %.3f s with %u jobs "
+                "(--simd=%s): speedup %.2fx\n",
                 SerialSeconds, ParallelSeconds, Sweep.NumThreads,
+                simdModeName(Simd),
                 ParallelSeconds > 0 ? SerialSeconds / ParallelSeconds : 0.0);
   }
   std::printf("paper: kern_mul SMT-verified up to n = 8 (pass --mul-width 8 "
@@ -233,7 +275,7 @@ int main(int Argc, char **Argv) {
        {MulAlgorithm::Kern, MulAlgorithm::BitwiseOpt, MulAlgorithm::Our}) {
     for (unsigned W = 4; W <= 5; ++W) {
       MonotonicityReport Report =
-          checkMonotonicityExhaustive(BinaryOp::Mul, W, Alg);
+          checkMonotonicityExhaustiveParallel(BinaryOp::Mul, W, Alg, Sweep);
       MonoTable.addRowOf(mulAlgorithmName(Alg), W,
                          Report.holds()
                              ? std::string("monotone")

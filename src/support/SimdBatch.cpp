@@ -1,0 +1,169 @@
+//===- support/SimdBatch.cpp - Bitsliced SIMD batch kernels ---------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SimdBatch.h"
+
+#include <cstring>
+
+#if TNUMS_SIMD_HAVE_X86_KERNELS
+#include <immintrin.h>
+#endif
+
+using namespace tnums;
+
+std::optional<SimdMode> tnums::parseSimdMode(const char *Text) {
+  if (std::strcmp(Text, "auto") == 0)
+    return SimdMode::Auto;
+  if (std::strcmp(Text, "on") == 0)
+    return SimdMode::On;
+  if (std::strcmp(Text, "off") == 0)
+    return SimdMode::Off;
+  return std::nullopt;
+}
+
+const char *tnums::simdModeName(SimdMode Mode) {
+  switch (Mode) {
+  case SimdMode::Auto:
+    return "auto";
+  case SimdMode::On:
+    return "on";
+  case SimdMode::Off:
+    return "off";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Portable kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t nonMemberMaskScalar(const uint64_t *Z, unsigned N, uint64_t V,
+                             uint64_t NotM) {
+  uint64_t Mask = 0;
+  for (unsigned I = 0; I != N; ++I)
+    Mask |= uint64_t((Z[I] & NotM) != V) << I;
+  return Mask;
+}
+
+void reduceAndOrScalar(const uint64_t *Z, unsigned N, uint64_t *AndAcc,
+                       uint64_t *OrAcc) {
+  uint64_t A = *AndAcc;
+  uint64_t O = *OrAcc;
+  for (unsigned I = 0; I != N; ++I) {
+    A &= Z[I];
+    O |= Z[I];
+  }
+  *AndAcc = A;
+  *OrAcc = O;
+}
+
+} // namespace
+
+const SimdKernels &tnums::scalarSimdKernels() {
+  static const SimdKernels Kernels = {nonMemberMaskScalar, reduceAndOrScalar,
+                                      "scalar"};
+  return Kernels;
+}
+
+//===----------------------------------------------------------------------===//
+// AVX2 kernels
+//
+// Compiled with a per-function target attribute rather than a file-wide
+// -mavx2 so the translation unit stays safe to build into a generic x86-64
+// binary; the functions are only ever *called* after cpuHasAvx2() says the
+// host can execute them.
+//===----------------------------------------------------------------------===//
+
+#if TNUMS_SIMD_HAVE_X86_KERNELS
+
+namespace {
+
+__attribute__((target("avx2"))) uint64_t
+nonMemberMaskAvx2(const uint64_t *Z, unsigned N, uint64_t V, uint64_t NotM) {
+  const __m256i Vv = _mm256_set1_epi64x(static_cast<long long>(V));
+  const __m256i NotMv = _mm256_set1_epi64x(static_cast<long long>(NotM));
+  uint64_t Mask = 0;
+  unsigned I = 0;
+  for (; I + 4 <= N; I += 4) {
+    __m256i Lane =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Z + I));
+    __m256i Eq = _mm256_cmpeq_epi64(_mm256_and_si256(Lane, NotMv), Vv);
+    // movemask_pd extracts the 4 lane sign bits (all-ones on equality).
+    unsigned Members = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(Eq)));
+    Mask |= uint64_t(~Members & 0xF) << I;
+  }
+  for (; I != N; ++I)
+    Mask |= uint64_t((Z[I] & NotM) != V) << I;
+  return Mask;
+}
+
+__attribute__((target("avx2"))) void reduceAndOrAvx2(const uint64_t *Z,
+                                                     unsigned N,
+                                                     uint64_t *AndAcc,
+                                                     uint64_t *OrAcc) {
+  __m256i A = _mm256_set1_epi64x(-1);
+  __m256i O = _mm256_setzero_si256();
+  unsigned I = 0;
+  for (; I + 4 <= N; I += 4) {
+    __m256i Lane =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Z + I));
+    A = _mm256_and_si256(A, Lane);
+    O = _mm256_or_si256(O, Lane);
+  }
+  alignas(SimdBatchAlign) uint64_t ATmp[4];
+  alignas(SimdBatchAlign) uint64_t OTmp[4];
+  _mm256_store_si256(reinterpret_cast<__m256i *>(ATmp), A);
+  _mm256_store_si256(reinterpret_cast<__m256i *>(OTmp), O);
+  uint64_t AFold = ATmp[0] & ATmp[1] & ATmp[2] & ATmp[3];
+  uint64_t OFold = OTmp[0] | OTmp[1] | OTmp[2] | OTmp[3];
+  for (; I != N; ++I) {
+    AFold &= Z[I];
+    OFold |= Z[I];
+  }
+  *AndAcc &= AFold;
+  *OrAcc |= OFold;
+}
+
+} // namespace
+
+bool tnums::cpuHasAvx2() {
+  static const bool Has = __builtin_cpu_supports("avx2");
+  return Has;
+}
+
+const SimdKernels *tnums::avx2SimdKernels() {
+  if (!cpuHasAvx2())
+    return nullptr;
+  static const SimdKernels Kernels = {nonMemberMaskAvx2, reduceAndOrAvx2,
+                                      "avx2"};
+  return &Kernels;
+}
+
+#else // !TNUMS_SIMD_HAVE_X86_KERNELS
+
+bool tnums::cpuHasAvx2() { return false; }
+
+const SimdKernels *tnums::avx2SimdKernels() { return nullptr; }
+
+#endif
+
+const SimdKernels &tnums::selectSimdKernels(SimdMode Mode) {
+  if (Mode == SimdMode::Off)
+    return scalarSimdKernels();
+  if (const SimdKernels *Avx2 = avx2SimdKernels())
+    return *Avx2;
+  return scalarSimdKernels();
+}
+
+const char *tnums::simdPathDescription(SimdMode Mode) {
+  if (!simdModeBatches(Mode))
+    return "scalar reference";
+  return avx2SimdKernels() ? "batched/avx2" : "batched/scalar";
+}

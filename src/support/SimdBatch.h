@@ -1,0 +1,127 @@
+//===- support/SimdBatch.h - Bitsliced SIMD batch kernels -------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-parallel kernels for the exhaustive verification sweeps. The hot
+/// loop of every sweep is the membership predicate c in gamma(R), i.e.
+/// (c & ~R.m) == R.v (Eqn. 9), evaluated billions of times per campaign.
+/// This layer batches that predicate over 64-lane chunks of concrete
+/// values: the portable kernel is a plain loop the compiler can
+/// auto-vectorize, and an AVX2 specialization (4 lanes per ymm compare)
+/// is selected behind *runtime* dispatch, so one binary runs correctly on
+/// any x86-64 host and fast on CI-class hardware.
+///
+/// The kernels return a 64-bit occupancy mask -- bit j set iff lane j
+/// FAILED the membership test -- rather than a boolean, so callers recover
+/// the serial-order-first counterexample with a single countr_zero and the
+/// exact work counters the determinism contract requires (see
+/// verify/ParallelSweep.h).
+///
+/// Layering: this file knows nothing about tnums; it operates on raw
+/// (value, ~mask) words. The tnum-aware batch enumerator lives in
+/// tnum/TnumMembers.h and the checkers that consume both live in verify/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_SIMDBATCH_H
+#define TNUMS_SUPPORT_SIMDBATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+/// True when this build target can contain AVX2 code paths behind
+/// per-function target attributes (the functions are only *called* after
+/// cpuHasAvx2() says the host executes them). Shared by SimdBatch.cpp and
+/// the fused per-op scan loops in verify/SoundnessChecker.cpp.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TNUMS_SIMD_HAVE_X86_KERNELS 1
+#else
+#define TNUMS_SIMD_HAVE_X86_KERNELS 0
+#endif
+
+namespace tnums {
+
+/// Lanes per batch. 64 so that one batch's membership outcome packs into
+/// one uint64_t occupancy mask.
+inline constexpr unsigned SimdBatchLanes = 64;
+
+/// Byte alignment for batch buffers (one AVX2 ymm register).
+inline constexpr size_t SimdBatchAlign = 32;
+
+/// How a sweep selects its membership path.
+///
+///   * Off  -- the scalar reference path: one member per callback through
+///             forEachMember x Tnum::contains, exactly the pre-batching
+///             code. This is the baseline the differential tests (and the
+///             --simd A/B benchmark) pin the fast path against.
+///   * Auto -- the batched path with the best kernel the host supports
+///             (AVX2 when the CPU has it, otherwise the portable kernel).
+///   * On   -- the batched path, unconditionally. Same kernel selection as
+///             Auto; the distinct name exists so scripts can assert they
+///             asked for batching rather than inherited a default.
+enum class SimdMode {
+  Auto,
+  On,
+  Off,
+};
+
+/// Parses "auto" / "on" / "off". Returns std::nullopt on anything else.
+std::optional<SimdMode> parseSimdMode(const char *Text);
+
+/// Stable lower-case name ("auto", "on", "off").
+const char *simdModeName(SimdMode Mode);
+
+/// True when \p Mode routes sweeps through the batched kernels.
+inline bool simdModeBatches(SimdMode Mode) { return Mode != SimdMode::Off; }
+
+/// True if the running CPU supports the AVX2 kernels (runtime check, not a
+/// compile-time one -- the binary always contains the portable fallback).
+bool cpuHasAvx2();
+
+/// One resolved set of batch kernels. Both implementations compute
+/// identical results; only the instruction mix differs.
+struct SimdKernels {
+  /// Returns the occupancy mask of membership FAILURES over \p N lanes
+  /// (N <= SimdBatchLanes): bit j is set iff (Z[j] & NotM) != V, i.e. lane
+  /// j is not a member of the tnum (V, M) with NotM = ~M. Bits >= N are
+  /// clear. Note that for an ill-formed (bottom) tnum some bit has V=1
+  /// inside M, making the compare false in every lane -- exactly
+  /// Tnum::contains' "bottom contains nothing", with no extra branch.
+  uint64_t (*NonMemberMask)(const uint64_t *Z, unsigned N, uint64_t V,
+                            uint64_t NotM);
+
+  /// Folds AND/OR accumulators over \p N lanes: *AndAcc &= Z[j],
+  /// *OrAcc |= Z[j]. The two reductions of the abstraction function
+  /// alpha (Eqn. 5), batched for the optimality sweeps.
+  void (*ReduceAndOr)(const uint64_t *Z, unsigned N, uint64_t *AndAcc,
+                      uint64_t *OrAcc);
+
+  /// Kernel name for diagnostics: "scalar" or "avx2".
+  const char *Name;
+};
+
+/// The portable kernels. Always available.
+const SimdKernels &scalarSimdKernels();
+
+/// The AVX2 kernels, or nullptr when the build target or running CPU
+/// cannot execute them.
+const SimdKernels *avx2SimdKernels();
+
+/// The kernels \p Mode resolves to on this host. Off resolves to the
+/// scalar kernels too (callers on the Off path normally bypass batching
+/// entirely, but the resolution is still total so diagnostics can print
+/// it).
+const SimdKernels &selectSimdKernels(SimdMode Mode);
+
+/// Human-readable description of what \p Mode runs on this host, e.g.
+/// "batched/avx2" or "scalar reference".
+const char *simdPathDescription(SimdMode Mode);
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_SIMDBATCH_H

@@ -38,6 +38,14 @@ public:
     ++Total;
   }
 
+  /// Records \p Count observations of \p Bucket at once -- the merge
+  /// primitive for histograms accumulated per worker in parallel walks
+  /// (bench/fig4_mul_precision). Equivalent to Count calls to add().
+  void addCount(int64_t Bucket, uint64_t Count) {
+    Counts[Bucket] += Count;
+    Total += Count;
+  }
+
   /// Number of observations recorded.
   uint64_t totalCount() const { return Total; }
 

@@ -1,0 +1,27 @@
+//===- tnum/TnumMembers.cpp - Batched concretization enumeration ----------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumMembers.h"
+
+using namespace tnums;
+
+void tnums::materializeMembers(const Tnum &P, std::vector<uint64_t> &Out) {
+  Out.clear();
+  if (P.isBottom())
+    return;
+  assert(P.numUnknownBits() <= 30 && "member materialization infeasible");
+  Out.reserve(uint64_t(1) << P.numUnknownBits());
+  uint64_t Value = P.value();
+  uint64_t Mask = P.mask();
+  uint64_t Subset = 0;
+  for (;;) {
+    Out.push_back(Value | Subset);
+    if (Subset == Mask)
+      break;
+    Subset = (Subset - Mask) & Mask;
+  }
+}

@@ -9,6 +9,9 @@
 
 #include "support/Table.h"
 #include "tnum/TnumEnum.h"
+#include "tnum/TnumMembers.h"
+
+#include <algorithm>
 
 using namespace tnums;
 
@@ -24,6 +27,29 @@ Tnum tnums::optimalAbstractBinary(BinaryOp Op, Tnum P, Tnum Q,
   return Acc;
 }
 
+Tnum tnums::optimalAbstractBinaryBatched(BinaryOp Op, unsigned Width,
+                                         const Tnum &P, const uint64_t *Ys,
+                                         uint64_t NumYs,
+                                         const SimdKernels &Kernels) {
+  assert(P.isWellFormed() && "optimal abstraction of ⊥");
+  assert(NumYs != 0 && "gamma(Q) of a well-formed tnum is never empty");
+  // alpha over a non-empty set C is (AND of C, AND xor OR) (Eqn. 5);
+  // folding constants through joinWith computes exactly these two
+  // reductions, so accumulating them directly is the batched equivalent.
+  uint64_t AndAcc = ~uint64_t(0);
+  uint64_t OrAcc = 0;
+  alignas(SimdBatchAlign) uint64_t Zs[SimdBatchLanes];
+  forEachMember(P, [&](uint64_t X) {
+    for (uint64_t Base = 0; Base < NumYs; Base += SimdBatchLanes) {
+      unsigned N = static_cast<unsigned>(
+          std::min<uint64_t>(SimdBatchLanes, NumYs - Base));
+      applyConcreteBinaryBatch(Op, X, Ys + Base, Zs, N, Width);
+      Kernels.ReduceAndOr(Zs, N, &AndAcc, &OrAcc);
+    }
+  });
+  return Tnum(AndAcc, AndAcc ^ OrAcc);
+}
+
 std::string OptimalityCounterexample::toString(unsigned Width) const {
   return formatString("P=%s Q=%s actual=%s optimal=%s",
                       P.toString(Width).c_str(), Q.toString(Width).c_str(),
@@ -33,16 +59,27 @@ std::string OptimalityCounterexample::toString(unsigned Width) const {
 
 OptimalityReport tnums::checkOptimalityExhaustive(BinaryOp Op, unsigned Width,
                                                   MulAlgorithm Mul,
-                                                  bool StopAtFirst) {
+                                                  bool StopAtFirst,
+                                                  SimdMode Simd) {
   assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
          "shift verification requires a power-of-two width");
   OptimalityReport Report;
   std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  const bool Batched = simdModeBatches(Simd);
+  const SimdKernels &Kernels = selectSimdKernels(Simd);
+  std::vector<uint64_t> Ys;
   for (const Tnum &P : Universe) {
     for (const Tnum &Q : Universe) {
       ++Report.PairsChecked;
       Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
-      Tnum Optimal = optimalAbstractBinary(Op, P, Q, Width);
+      Tnum Optimal;
+      if (Batched) {
+        materializeMembers(Q, Ys);
+        Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys.data(),
+                                               Ys.size(), Kernels);
+      } else {
+        Optimal = optimalAbstractBinary(Op, P, Q, Width);
+      }
       if (Actual == Optimal) {
         ++Report.OptimalPairs;
         continue;

@@ -18,6 +18,7 @@
 #ifndef TNUMS_VERIFY_OPTIMALITYCHECKER_H
 #define TNUMS_VERIFY_OPTIMALITYCHECKER_H
 
+#include "support/SimdBatch.h"
 #include "verify/Oracle.h"
 
 #include <optional>
@@ -30,6 +31,18 @@ namespace tnums {
 /// the yardstick every operator is measured against; cost is
 /// |gamma(P)| * |gamma(Q)| concrete evaluations.
 Tnum optimalAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width);
+
+/// Batched form of optimalAbstractBinary, shared by the serial and
+/// parallel optimality sweeps. \p Ys must be gamma(Q) materialized in
+/// subset-odometer order (tnum/TnumMembers.h) with NumYs >= 1, and
+/// \p Kernels a backend from support/SimdBatch.h. Instead of folding each
+/// concrete output through abstractInsert, the two reductions of alpha
+/// (Eqn. 5) -- AND of all outputs and OR of all outputs -- run over whole
+/// batches; alpha(C) = (AND, AND xor OR) falls out at the end. Bit-
+/// identical to the scalar fold for every input.
+Tnum optimalAbstractBinaryBatched(BinaryOp Op, unsigned Width, const Tnum &P,
+                                  const uint64_t *Ys, uint64_t NumYs,
+                                  const SimdKernels &Kernels);
 
 /// Witness that an operator is not optimal on some input pair: the
 /// operator's result R strictly over-approximates the optimal result.
@@ -55,11 +68,15 @@ struct OptimalityReport {
 
 /// Exhaustively compares \p Op against the optimal abstraction at \p Width.
 /// Stops at the first non-optimal pair if \p StopAtFirst, else keeps
-/// counting OptimalPairs (and retains the first counterexample).
+/// counting OptimalPairs (and retains the first counterexample). \p Simd
+/// selects the member-scan path; every mode produces a bit-identical
+/// report (SimdMode::Off is the scalar reference the differential tests
+/// pin the batched kernels against).
 OptimalityReport
 checkOptimalityExhaustive(BinaryOp Op, unsigned Width,
                           MulAlgorithm Mul = MulAlgorithm::Our,
-                          bool StopAtFirst = true);
+                          bool StopAtFirst = true,
+                          SimdMode Simd = SimdMode::Auto);
 
 } // namespace tnums
 

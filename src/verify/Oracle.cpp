@@ -80,6 +80,68 @@ uint64_t tnums::applyConcreteBinary(BinaryOp Op, uint64_t X, uint64_t Y,
   return 0;
 }
 
+void tnums::applyConcreteBinaryBatch(BinaryOp Op, uint64_t X,
+                                     const uint64_t *Ys, uint64_t *Zs,
+                                     unsigned N, unsigned Width) {
+  const uint64_t WMask = lowBitsMask(Width);
+  X &= WMask;
+  switch (Op) {
+  case BinaryOp::Add:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = (X + (Ys[I] & WMask)) & WMask;
+    return;
+  case BinaryOp::Sub:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = (X - (Ys[I] & WMask)) & WMask;
+    return;
+  case BinaryOp::Mul:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = (X * (Ys[I] & WMask)) & WMask;
+    return;
+  case BinaryOp::Div:
+    for (unsigned I = 0; I != N; ++I) {
+      uint64_t Y = Ys[I] & WMask;
+      Zs[I] = Y == 0 ? 0 : X / Y;
+    }
+    return;
+  case BinaryOp::Mod:
+    for (unsigned I = 0; I != N; ++I) {
+      uint64_t Y = Ys[I] & WMask;
+      Zs[I] = Y == 0 ? X : X % Y;
+    }
+    return;
+  case BinaryOp::And:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = X & Ys[I] & WMask;
+    return;
+  case BinaryOp::Or:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = X | (Ys[I] & WMask);
+    return;
+  case BinaryOp::Xor:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = X ^ (Ys[I] & WMask);
+    return;
+  case BinaryOp::Lsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = (X << (Ys[I] & WMask & (Width - 1))) & WMask;
+    return;
+  case BinaryOp::Rsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = X >> (Ys[I] & WMask & (Width - 1));
+    return;
+  case BinaryOp::Arsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = arithmeticShiftRight(
+          X, static_cast<unsigned>(Ys[I] & WMask & (Width - 1)), Width);
+    return;
+  }
+  assert(false && "unknown binary op");
+}
+
 Tnum tnums::applyAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width,
                                 MulAlgorithm Mul) {
   switch (Op) {

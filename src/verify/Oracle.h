@@ -61,6 +61,14 @@ bool isShiftOp(BinaryOp Op);
 uint64_t applyConcreteBinary(BinaryOp Op, uint64_t X, uint64_t Y,
                              unsigned Width);
 
+/// Batch form of applyConcreteBinary for the SIMD membership sweeps:
+/// Zs[j] = opC(X, Ys[j]) at \p Width for j in [0, N). Semantically
+/// identical to N scalar calls, but the operator dispatch is hoisted out
+/// of the loop and each per-op loop body is simple enough for the
+/// compiler to pipeline or vectorize. \p Zs must not alias \p Ys.
+void applyConcreteBinaryBatch(BinaryOp Op, uint64_t X, const uint64_t *Ys,
+                              uint64_t *Zs, unsigned N, unsigned Width);
+
 /// The abstract transfer function for \p Op, truncated to \p Width.
 /// Multiplication is computed with \p Mul so that every algorithm variant
 /// can be pushed through the same verification pipeline.

@@ -9,6 +9,7 @@
 
 #include "support/ThreadPool.h"
 #include "tnum/TnumEnum.h"
+#include "tnum/TnumMembers.h"
 
 #include <algorithm>
 #include <atomic>
@@ -98,6 +99,9 @@ SoundnessReport tnums::checkSoundnessExhaustiveParallel(
   std::mutex FailuresMutex;
   std::map<uint64_t, SoundnessCounterexample> FailureByChunk;
 
+  const bool Batched = simdModeBatches(Config.Simd);
+  const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
+
   runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
     if (Chunk > FirstFailChunk.load(std::memory_order_acquire))
       return;
@@ -105,6 +109,9 @@ SoundnessReport tnums::checkSoundnessExhaustiveParallel(
     uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
     uint64_t LocalPairs = 0;
     uint64_t LocalConcrete = 0;
+    // Chunk-local gamma(Q) staging buffer for the batched path; refilled
+    // per pair, capacity retained across the chunk.
+    std::vector<uint64_t> Ys;
     for (uint64_t Index = Begin; Index != End; ++Index) {
       if (Chunk > FirstFailChunk.load(std::memory_order_relaxed))
         break;
@@ -113,25 +120,40 @@ SoundnessReport tnums::checkSoundnessExhaustiveParallel(
       ++LocalPairs;
       Tnum R = Abstract(P, Q);
       bool Sound = true;
-      forEachMember(P, [&](uint64_t X) {
-        if (!Sound)
-          return;
-        forEachMember(Q, [&](uint64_t Y) {
+      if (Batched) {
+        materializeMembers(Q, Ys);
+        std::optional<SoundnessCounterexample> Violation =
+            scanPairMembersBatched(Concrete, Width, P, Q, R, Ys.data(),
+                                   Ys.size(), Kernels, LocalConcrete);
+        if (Violation) {
+          Sound = false;
+          {
+            std::lock_guard<std::mutex> Lock(FailuresMutex);
+            FailureByChunk.emplace(Chunk, *Violation);
+          }
+          atomicMin(FirstFailChunk, Chunk);
+        }
+      } else {
+        forEachMember(P, [&](uint64_t X) {
           if (!Sound)
             return;
-          ++LocalConcrete;
-          uint64_t Z = applyConcreteBinary(Concrete, X, Y, Width);
-          if (!R.contains(Z)) {
-            Sound = false;
-            {
-              std::lock_guard<std::mutex> Lock(FailuresMutex);
-              FailureByChunk.emplace(Chunk,
-                                     SoundnessCounterexample{P, Q, X, Y, Z, R});
+          forEachMember(Q, [&](uint64_t Y) {
+            if (!Sound)
+              return;
+            ++LocalConcrete;
+            uint64_t Z = applyConcreteBinary(Concrete, X, Y, Width);
+            if (!R.contains(Z)) {
+              Sound = false;
+              {
+                std::lock_guard<std::mutex> Lock(FailuresMutex);
+                FailureByChunk.emplace(
+                    Chunk, SoundnessCounterexample{P, Q, X, Y, Z, R});
+              }
+              atomicMin(FirstFailChunk, Chunk);
             }
-            atomicMin(FirstFailChunk, Chunk);
-          }
+          });
         });
-      });
+      }
       if (!Sound)
         break; // This chunk's first (= serial-order) violation is recorded.
     }
@@ -180,6 +202,9 @@ tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
   std::mutex FailuresMutex;
   std::map<uint64_t, OptimalityCounterexample> FailureByChunk;
 
+  const bool Batched = simdModeBatches(Config.Simd);
+  const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
+
   runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
     if (StopAtFirst && Chunk > FirstFailChunk.load(std::memory_order_acquire))
       return;
@@ -187,6 +212,7 @@ tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
     uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
     uint64_t LocalPairs = 0;
     uint64_t LocalOptimal = 0;
+    std::vector<uint64_t> Ys;
     bool ChunkHasFailure = false;
     for (uint64_t Index = Begin; Index != End; ++Index) {
       if (StopAtFirst &&
@@ -197,7 +223,14 @@ tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
       const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
       ++LocalPairs;
       Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
-      Tnum Optimal = optimalAbstractBinary(Op, P, Q, Width);
+      Tnum Optimal;
+      if (Batched) {
+        materializeMembers(Q, Ys);
+        Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys.data(),
+                                               Ys.size(), Kernels);
+      } else {
+        Optimal = optimalAbstractBinary(Op, P, Q, Width);
+      }
       if (Actual == Optimal) {
         ++LocalOptimal;
         continue;
@@ -223,6 +256,78 @@ tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
   if (!FailureByChunk.empty())
     Report.Failure = FailureByChunk.begin()->second; // Lowest chunk index.
   return Report;
+}
+
+MonotonicityReport
+tnums::checkMonotonicityExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                           MulAlgorithm Mul,
+                                           const SweepConfig &Config) {
+  assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
+         "shift verification requires a power-of-two width");
+  PairGrid Grid = makeGrid(Width, Config);
+
+  std::atomic<uint64_t> QuadruplesChecked{0};
+  std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
+  std::mutex FailuresMutex;
+  std::map<uint64_t, MonotonicityCounterexample> FailureByChunk;
+
+  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
+    if (Chunk > FirstFailChunk.load(std::memory_order_acquire))
+      return;
+    uint64_t Begin = Chunk * Grid.ChunkPairs;
+    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
+    uint64_t LocalQuadruples = 0;
+    for (uint64_t Index = Begin; Index != End; ++Index) {
+      if (Chunk > FirstFailChunk.load(std::memory_order_relaxed))
+        break;
+      const Tnum &P2 = Grid.Universe[Index / Grid.NumTnums];
+      const Tnum &Q2 = Grid.Universe[Index % Grid.NumTnums];
+      Tnum R2 = applyAbstractBinary(Op, P2, Q2, Width, Mul);
+      bool Stop = false;
+      forEachSubTnum(P2, [&](Tnum P1) {
+        if (Stop)
+          return;
+        forEachSubTnum(Q2, [&](Tnum Q1) {
+          if (Stop)
+            return;
+          ++LocalQuadruples;
+          Tnum R1 = applyAbstractBinary(Op, P1, Q1, Width, Mul);
+          if (!R1.isSubsetOf(R2)) {
+            Stop = true;
+            {
+              std::lock_guard<std::mutex> Lock(FailuresMutex);
+              FailureByChunk.emplace(
+                  Chunk, MonotonicityCounterexample{P1, Q1, P2, Q2, R1, R2});
+            }
+            atomicMin(FirstFailChunk, Chunk);
+          }
+        });
+      });
+      if (Stop)
+        break; // This chunk's first (= serial-order) violation is recorded.
+    }
+    QuadruplesChecked.fetch_add(LocalQuadruples, std::memory_order_relaxed);
+  });
+
+  MonotonicityReport Report;
+  Report.QuadruplesChecked = QuadruplesChecked.load();
+  uint64_t FailChunk = FirstFailChunk.load();
+  if (FailChunk != UINT64_MAX) {
+    std::lock_guard<std::mutex> Lock(FailuresMutex);
+    Report.Failure = FailureByChunk.at(FailChunk);
+  }
+  return Report;
+}
+
+void tnums::forEachIndexRangeParallel(
+    uint64_t Total, const SweepConfig &Config,
+    const std::function<void(uint64_t, uint64_t)> &Fn) {
+  uint64_t ChunkSize = std::max<uint64_t>(1, Config.ChunkPairs);
+  uint64_t NumChunks = (Total + ChunkSize - 1) / ChunkSize;
+  runOnPool(Config, NumChunks, [&](uint64_t Chunk) {
+    uint64_t Begin = Chunk * ChunkSize;
+    Fn(Begin, std::min(Total, Begin + ChunkSize));
+  });
 }
 
 std::vector<MulSweepResult>

@@ -39,6 +39,7 @@
 #ifndef TNUMS_VERIFY_PARALLELSWEEP_H
 #define TNUMS_VERIFY_PARALLELSWEEP_H
 
+#include "verify/MonotonicityChecker.h"
 #include "verify/OptimalityChecker.h"
 #include "verify/SoundnessChecker.h"
 
@@ -57,6 +58,11 @@ struct SweepConfig {
   /// enough that 4-16 threads load-balance across the wildly varying
   /// |gamma(P)| * |gamma(Q)| chunk costs.
   uint64_t ChunkPairs = 4096;
+
+  /// Member-scan path (support/SimdBatch.h): batched 64-lane kernels by
+  /// default, SimdMode::Off for the scalar reference. Orthogonal to the
+  /// determinism contract -- every mode produces bit-identical reports.
+  SimdMode Simd = SimdMode::Auto;
 };
 
 /// An abstract binary transfer function as the sweep sees it: inputs are
@@ -90,6 +96,29 @@ checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
                                   MulAlgorithm Mul = MulAlgorithm::Our,
                                   const SweepConfig &Config = SweepConfig(),
                                   bool StopAtFirst = false);
+
+/// Parallel equivalent of checkMonotonicityExhaustive: chunks the same
+/// row-major (P2, Q2) grid across the pool; each pair's sub-tnum walk
+/// stays scalar (it visits abstract values, not members, so the SIMD
+/// kernels do not apply). Same determinism protocol as the soundness
+/// sweep: the reported counterexample is the serial-order first
+/// violation, QuadruplesChecked is the exact grid total when the property
+/// holds and a progress indicator on failure.
+MonotonicityReport
+checkMonotonicityExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                    MulAlgorithm Mul = MulAlgorithm::Our,
+                                    const SweepConfig &Config = SweepConfig());
+
+/// Schedules \p Fn(Begin, End) over consecutive chunks of the row-major
+/// index space [0, Total) on the sweep pool -- the building block the
+/// Table I / Fig. 4 pair walks use to run order-independent reductions
+/// (counter sums, histograms) in parallel. Ranges are disjoint and cover
+/// [0, Total) exactly once; \p Fn runs concurrently and must synchronize
+/// any merging into shared state itself. With NumThreads == 1 the ranges
+/// run inline, in increasing order, on the calling thread.
+void forEachIndexRangeParallel(
+    uint64_t Total, const SweepConfig &Config,
+    const std::function<void(uint64_t, uint64_t)> &Fn);
 
 /// One (algorithm, width) cell of a multiplication soundness campaign.
 struct MulSweepResult {

@@ -10,6 +10,14 @@
 #include "support/Random.h"
 #include "support/Table.h"
 #include "tnum/TnumEnum.h"
+#include "tnum/TnumMembers.h"
+
+#include <algorithm>
+#include <bit>
+
+#if TNUMS_SIMD_HAVE_X86_KERNELS
+#include <immintrin.h>
+#endif
 
 using namespace tnums;
 
@@ -44,18 +52,252 @@ static bool checkAllMembers(BinaryOp Op, unsigned Width, const Tnum &P,
   return Sound;
 }
 
+//===----------------------------------------------------------------------===//
+// Fused evaluate-and-test scan
+//
+// The generic batched path materializes each batch of concrete results
+// into a stack buffer (applyConcreteBinaryBatch) and then runs the
+// membership kernel over it. For the hot wrap-around operators the two
+// passes fuse: compute Z in a register and compare it in place, skipping
+// the round trip through memory. On a violation only the occupancy mask
+// survives; the caller recomputes the one concrete Z scalar (violations
+// end the whole sweep, so that cost is unobservable).
+//
+// Preconditions shared with scanPairMembersBatched: X and every Ys[j]
+// already fit the width (they are members of width-fitting tnums), which
+// is what lets add/sub/mul get by with a single result mask and the
+// bitwise ops with none.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when \p Op at \p Width has a fused AVX2 scan loop below. The
+/// multiplication loop computes 64-bit lanes with a 32x32 low multiply,
+/// exact only while both operands and the product stay under 2^32 -- i.e.
+/// Width <= 16, which covers every enumerable sweep width.
+bool hasFusedScan(BinaryOp Op, unsigned Width) {
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::And:
+  case BinaryOp::Or:
+  case BinaryOp::Xor:
+    return true;
+  case BinaryOp::Mul:
+    return Width <= 16;
+  default:
+    return false;
+  }
+}
+
+#if TNUMS_SIMD_HAVE_X86_KERNELS
+
+/// Membership test of four already-computed result lanes: the 4-bit
+/// failure mask of Z against (V, NotM), exactly like SimdBatch's
+/// nonMemberMaskAvx2 inner step.
+__attribute__((target("avx2"), always_inline)) inline unsigned
+laneFailures(__m256i Z, __m256i NotMv, __m256i Vv) {
+  __m256i Eq = _mm256_cmpeq_epi64(_mm256_and_si256(Z, NotMv), Vv);
+  unsigned Members =
+      static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(Eq)));
+  return ~Members & 0xF;
+}
+
+/// Fused AVX2 scan: returns the non-member occupancy mask of
+/// opC(X, Ys[j]) against (V, NotM) over N <= 64 lanes, without
+/// materializing the results. Only called for ops where
+/// hasFusedScan() holds and after cpuHasAvx2() gating.
+__attribute__((target("avx2"))) uint64_t
+fusedNonMemberScanAvx2(BinaryOp Op, uint64_t X, const uint64_t *Ys,
+                       unsigned N, uint64_t WMask, uint64_t V,
+                       uint64_t NotM) {
+  const __m256i Xv = _mm256_set1_epi64x(static_cast<long long>(X));
+  const __m256i WMaskv = _mm256_set1_epi64x(static_cast<long long>(WMask));
+  const __m256i Vv = _mm256_set1_epi64x(static_cast<long long>(V));
+  const __m256i NotMv = _mm256_set1_epi64x(static_cast<long long>(NotM));
+  uint64_t Mask = 0;
+  unsigned I = 0;
+
+  // Per-op vector loops (the dispatch runs once per call, i.e. once per
+  // <= 64 evaluations).
+  switch (Op) {
+  case BinaryOp::Add:
+    for (; I + 4 <= N; I += 4) {
+      __m256i Y = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Ys + I));
+      __m256i Z = _mm256_and_si256(_mm256_add_epi64(Xv, Y), WMaskv);
+      Mask |= uint64_t(laneFailures(Z, NotMv, Vv)) << I;
+    }
+    break;
+  case BinaryOp::Sub:
+    for (; I + 4 <= N; I += 4) {
+      __m256i Y = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Ys + I));
+      __m256i Z = _mm256_and_si256(_mm256_sub_epi64(Xv, Y), WMaskv);
+      Mask |= uint64_t(laneFailures(Z, NotMv, Vv)) << I;
+    }
+    break;
+  case BinaryOp::Mul:
+    // Lanes hold width <= 16 values: the high 32 bits of every lane are
+    // zero, so an 8x32-bit low multiply yields the exact 64-bit products
+    // (odd 32-bit elements multiply 0 * 0).
+    for (; I + 4 <= N; I += 4) {
+      __m256i Y = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Ys + I));
+      __m256i Z = _mm256_and_si256(_mm256_mullo_epi32(Xv, Y), WMaskv);
+      Mask |= uint64_t(laneFailures(Z, NotMv, Vv)) << I;
+    }
+    break;
+  case BinaryOp::And:
+    for (; I + 4 <= N; I += 4) {
+      __m256i Y = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Ys + I));
+      Mask |= uint64_t(laneFailures(_mm256_and_si256(Xv, Y), NotMv, Vv)) << I;
+    }
+    break;
+  case BinaryOp::Or:
+    for (; I + 4 <= N; I += 4) {
+      __m256i Y = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Ys + I));
+      Mask |= uint64_t(laneFailures(_mm256_or_si256(Xv, Y), NotMv, Vv)) << I;
+    }
+    break;
+  case BinaryOp::Xor:
+    for (; I + 4 <= N; I += 4) {
+      __m256i Y = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Ys + I));
+      Mask |= uint64_t(laneFailures(_mm256_xor_si256(Xv, Y), NotMv, Vv)) << I;
+    }
+    break;
+  default:
+    assert(false && "op has no fused scan loop");
+  }
+
+  // Scalar tail (N is rarely a multiple of 4 at small widths).
+  for (; I != N; ++I) {
+    uint64_t Z;
+    switch (Op) {
+    case BinaryOp::Add:
+      Z = (X + Ys[I]) & WMask;
+      break;
+    case BinaryOp::Sub:
+      Z = (X - Ys[I]) & WMask;
+      break;
+    case BinaryOp::Mul:
+      Z = (X * Ys[I]) & WMask;
+      break;
+    case BinaryOp::And:
+      Z = X & Ys[I];
+      break;
+    case BinaryOp::Or:
+      Z = X | Ys[I];
+      break;
+    case BinaryOp::Xor:
+      Z = X ^ Ys[I];
+      break;
+    default:
+      assert(false && "op has no fused scan tail");
+      Z = 0;
+      break;
+    }
+    Mask |= uint64_t((Z & NotM) != V) << I;
+  }
+  return Mask;
+}
+
+#endif // TNUMS_SIMD_HAVE_X86_KERNELS
+
+/// Whether the (Kernels, Op, Width) combination routes through the fused
+/// AVX2 scan instead of the two-pass batch + membership kernel.
+bool useFusedScan(const SimdKernels &Kernels, BinaryOp Op, unsigned Width) {
+#if TNUMS_SIMD_HAVE_X86_KERNELS
+  return &Kernels == avx2SimdKernels() && hasFusedScan(Op, Width);
+#else
+  (void)Kernels;
+  (void)Op;
+  (void)Width;
+  return false;
+#endif
+}
+
+} // namespace
+
+std::optional<SoundnessCounterexample> tnums::scanPairMembersBatched(
+    BinaryOp Op, unsigned Width, const Tnum &P, const Tnum &Q, const Tnum &R,
+    const uint64_t *Ys, uint64_t NumYs, const SimdKernels &Kernels,
+    uint64_t &ConcreteChecked) {
+  if (P.isBottom() || NumYs == 0)
+    return std::nullopt; // Empty gamma on either side: nothing to scan.
+  // (Z & ~R.m) == R.v is Tnum::contains without the well-formedness
+  // branch: an ill-formed R has a value bit inside its mask, making the
+  // compare false in every lane, which is exactly "bottom contains
+  // nothing".
+  const uint64_t V = R.value();
+  const uint64_t NotM = ~R.mask();
+  const uint64_t WMask = lowBitsMask(Width);
+  const bool Fused = useFusedScan(Kernels, Op, Width);
+  alignas(SimdBatchAlign) uint64_t Zs[SimdBatchLanes];
+  std::optional<SoundnessCounterexample> Result;
+  // X walks gamma(P) through the one canonical member enumerator; only
+  // the Y axis is batched. A violation ends the whole sweep, so the
+  // remaining no-op visits after one is found cost nothing that matters.
+  forEachMember(P, [&](uint64_t X) {
+    if (Result)
+      return;
+    for (uint64_t Base = 0; Base < NumYs; Base += SimdBatchLanes) {
+      unsigned N = static_cast<unsigned>(
+          std::min<uint64_t>(SimdBatchLanes, NumYs - Base));
+      uint64_t Bad;
+#if TNUMS_SIMD_HAVE_X86_KERNELS
+      if (Fused) {
+        Bad = fusedNonMemberScanAvx2(Op, X, Ys + Base, N, WMask, V, NotM);
+      } else {
+        applyConcreteBinaryBatch(Op, X, Ys + Base, Zs, N, Width);
+        Bad = Kernels.NonMemberMask(Zs, N, V, NotM);
+      }
+#else
+      (void)Fused;
+      (void)WMask;
+      applyConcreteBinaryBatch(Op, X, Ys + Base, Zs, N, Width);
+      Bad = Kernels.NonMemberMask(Zs, N, V, NotM);
+#endif
+      if (Bad) {
+        // The scalar scan counts each evaluation before testing it, so a
+        // violation at batch offset J has consumed Base + J + 1 of this
+        // X's evaluations.
+        unsigned J = static_cast<unsigned>(std::countr_zero(Bad));
+        uint64_t Y = Ys[Base + J];
+        // The fused path never materializes Z; recompute the single
+        // witness value (a violation terminates the whole sweep).
+        uint64_t Z = Fused ? applyConcreteBinary(Op, X, Y, Width) : Zs[J];
+        ConcreteChecked += Base + J + 1;
+        Result = SoundnessCounterexample{P, Q, X, Y, Z, R};
+        return;
+      }
+    }
+    ConcreteChecked += NumYs;
+  });
+  return Result;
+}
+
 SoundnessReport tnums::checkSoundnessExhaustive(BinaryOp Op, unsigned Width,
-                                                MulAlgorithm Mul) {
+                                                MulAlgorithm Mul,
+                                                SimdMode Simd) {
   assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
          "shift verification requires a power-of-two width");
   SoundnessReport Report;
   std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  const bool Batched = simdModeBatches(Simd);
+  const SimdKernels &Kernels = selectSimdKernels(Simd);
+  std::vector<uint64_t> Ys;
   for (const Tnum &P : Universe) {
     for (const Tnum &Q : Universe) {
       ++Report.PairsChecked;
       Tnum R = applyAbstractBinary(Op, P, Q, Width, Mul);
-      if (!checkAllMembers(Op, Width, P, Q, R, Report))
+      if (Batched) {
+        materializeMembers(Q, Ys);
+        Report.Failure = scanPairMembersBatched(Op, Width, P, Q, R, Ys.data(),
+                                                Ys.size(), Kernels,
+                                                Report.ConcreteChecked);
+        if (Report.Failure)
+          return Report;
+      } else if (!checkAllMembers(Op, Width, P, Q, R, Report)) {
         return Report;
+      }
     }
   }
   return Report;

@@ -24,6 +24,7 @@
 #ifndef TNUMS_VERIFY_SOUNDNESSCHECKER_H
 #define TNUMS_VERIFY_SOUNDNESSCHECKER_H
 
+#include "support/SimdBatch.h"
 #include "verify/Oracle.h"
 
 #include <cstdint>
@@ -61,9 +62,27 @@ struct SoundnessReport {
 /// Complete bounded verification of \p Op at \p Width by enumerating every
 /// well-formed tnum pair and every concrete member pair. Cost is 16^Width
 /// concrete evaluations; keep Width <= 6 (Width <= 8 only if you can wait).
-/// Shift operators additionally require a power-of-two width.
+/// Shift operators additionally require a power-of-two width. \p Simd
+/// selects the member-scan path (support/SimdBatch.h); every mode produces
+/// a bit-identical report -- SimdMode::Off is the scalar reference the
+/// differential tests pin the batched kernels against.
 SoundnessReport checkSoundnessExhaustive(BinaryOp Op, unsigned Width,
-                                         MulAlgorithm Mul = MulAlgorithm::Our);
+                                         MulAlgorithm Mul = MulAlgorithm::Our,
+                                         SimdMode Simd = SimdMode::Auto);
+
+/// The batched member scan of one (P, Q) cell, shared by the serial and
+/// parallel soundness sweeps. \p Ys must be gamma(\p Q) materialized in
+/// subset-odometer order (tnum/TnumMembers.h) and \p Kernels a backend
+/// from support/SimdBatch.h. Walks X over gamma(P) (outer) against the Y
+/// batches (inner) -- the scalar scan's exact order -- growing
+/// \p ConcreteChecked by exactly what the scalar scan counts (every
+/// evaluation up to and including a violation) and returning the
+/// serial-order-first counterexample, if any.
+std::optional<SoundnessCounterexample>
+scanPairMembersBatched(BinaryOp Op, unsigned Width, const Tnum &P,
+                       const Tnum &Q, const Tnum &R, const uint64_t *Ys,
+                       uint64_t NumYs, const SimdKernels &Kernels,
+                       uint64_t &ConcreteChecked);
 
 /// Randomized refutation campaign at any width (typically 64): draws
 /// \p NumPairs random well-formed tnum pairs and, for each, checks

@@ -1,0 +1,405 @@
+//===- tests/SimdMembershipTest.cpp - SIMD membership differential tests --===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential harness pinning the batched SIMD membership path
+/// (support/SimdBatch.h, tnum/TnumMembers.h, the fused scan loops in
+/// verify/SoundnessChecker.cpp) bit-for-bit to the scalar reference
+/// checkers. A hand-vectorized hot path silently diverging from the
+/// reference is the failure mode this file exists to catch, so every
+/// assertion compares full reports -- witnesses AND exact work counters --
+/// not just verdicts.
+///
+/// Widths stay in 4..8; the width-8 exhaustive mul campaign is gated
+/// behind TNUMS_SLOW_TESTS=1 like ParallelSweepTest's.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/SimdBatch.h"
+#include "tnum/TnumEnum.h"
+#include "tnum/TnumMembers.h"
+#include "tnum/TnumOps.h"
+#include "verify/ParallelSweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+using namespace tnums;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Batch enumeration: TnumMembers must visit gamma(P) in forEachMember's
+// exact order, batch boundaries included.
+//===----------------------------------------------------------------------===//
+
+std::vector<uint64_t> membersViaCallback(const Tnum &P) {
+  std::vector<uint64_t> Out;
+  forEachMember(P, [&](uint64_t X) { Out.push_back(X); });
+  return Out;
+}
+
+std::vector<uint64_t> membersViaStream(const Tnum &P) {
+  std::vector<uint64_t> Out;
+  MemberStream Stream(P);
+  alignas(SimdBatchAlign) uint64_t Buf[SimdBatchLanes];
+  while (unsigned N = Stream.nextBatch(Buf))
+    Out.insert(Out.end(), Buf, Buf + N);
+  return Out;
+}
+
+TEST(TnumMembers, MaterializeMatchesForEachMemberOnRandomTnums) {
+  Xoshiro256 Rng(20220402);
+  std::vector<uint64_t> Materialized;
+  for (unsigned Width = 4; Width <= 8; ++Width) {
+    for (int I = 0; I != 200; ++I) {
+      Tnum P = randomWellFormedTnum(Rng, Width);
+      materializeMembers(P, Materialized);
+      EXPECT_EQ(Materialized, membersViaCallback(P))
+          << "width " << Width << " P=" << P.toString(Width);
+    }
+  }
+}
+
+TEST(TnumMembers, StreamMatchesForEachMemberAcrossBatchBoundaries) {
+  // |gamma| = 2^popcount(mask): exercise < 64 (one short batch), == 64
+  // (exactly one full batch, empty tail), and > 64 (full batches then a
+  // boundary at 256).
+  for (const char *Text : {"0000", "u0u0", "uuuuu0", "uuuuuu", "uuuuuuuu"}) {
+    Tnum P = *Tnum::parse(Text);
+    EXPECT_EQ(membersViaStream(P), membersViaCallback(P)) << Text;
+  }
+}
+
+TEST(TnumMembers, BottomAndConstantEdgeCases) {
+  std::vector<uint64_t> Materialized;
+  materializeMembers(Tnum::makeBottom(), Materialized);
+  EXPECT_TRUE(Materialized.empty());
+  EXPECT_TRUE(membersViaStream(Tnum::makeBottom()).empty());
+
+  materializeMembers(Tnum::makeConstant(42), Materialized);
+  EXPECT_EQ(Materialized, std::vector<uint64_t>{42});
+
+  MemberStream Stream(Tnum::makeConstant(7));
+  EXPECT_FALSE(Stream.exhausted());
+  Stream.reset();
+  alignas(SimdBatchAlign) uint64_t Buf[SimdBatchLanes];
+  EXPECT_EQ(Stream.nextBatch(Buf), 1u);
+  EXPECT_EQ(Buf[0], 7u);
+  EXPECT_TRUE(Stream.exhausted());
+  EXPECT_EQ(Stream.nextBatch(Buf), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel differential: the AVX2 backend must agree with the portable one
+// on every lane count and every bit pattern we can throw at it.
+//===----------------------------------------------------------------------===//
+
+TEST(SimdKernels, Avx2AgreesWithScalarOnRandomBatches) {
+  const SimdKernels *Avx2 = avx2SimdKernels();
+  if (!Avx2)
+    GTEST_SKIP() << "host has no AVX2; portable kernels are the only path";
+  const SimdKernels &Scalar = scalarSimdKernels();
+  Xoshiro256 Rng(7);
+  alignas(SimdBatchAlign) uint64_t Z[SimdBatchLanes];
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    unsigned N = 1 + static_cast<unsigned>(Rng.next() % SimdBatchLanes);
+    for (unsigned I = 0; I != N; ++I)
+      Z[I] = Rng.next() & 0xFF; // Small values: frequent (non-)membership.
+    uint64_t M = Rng.next() & 0xFF;
+    uint64_t V = Rng.next() & 0xFF & ~M;
+    uint64_t ScalarMask = Scalar.NonMemberMask(Z, N, V, ~M);
+    uint64_t Avx2Mask = Avx2->NonMemberMask(Z, N, V, ~M);
+    ASSERT_EQ(ScalarMask, Avx2Mask) << "N=" << N;
+    if (N < SimdBatchLanes) { // Bits at and above N must stay clear.
+      EXPECT_EQ(ScalarMask >> N, 0u);
+    }
+
+    uint64_t AndS = ~uint64_t(0), OrS = 0, AndV = ~uint64_t(0), OrV = 0;
+    Scalar.ReduceAndOr(Z, N, &AndS, &OrS);
+    Avx2->ReduceAndOr(Z, N, &AndV, &OrV);
+    EXPECT_EQ(AndS, AndV);
+    EXPECT_EQ(OrS, OrV);
+  }
+}
+
+TEST(SimdKernels, ModeResolutionIsTotal) {
+  EXPECT_STREQ(selectSimdKernels(SimdMode::Off).Name, "scalar");
+  EXPECT_EQ(parseSimdMode("auto"), SimdMode::Auto);
+  EXPECT_EQ(parseSimdMode("on"), SimdMode::On);
+  EXPECT_EQ(parseSimdMode("off"), SimdMode::Off);
+  EXPECT_EQ(parseSimdMode("fast"), std::nullopt);
+  // On/Auto resolve identically; the AVX2 backend is host-dependent.
+  EXPECT_STREQ(selectSimdKernels(SimdMode::On).Name,
+               selectSimdKernels(SimdMode::Auto).Name);
+  if (cpuHasAvx2()) {
+    EXPECT_STREQ(selectSimdKernels(SimdMode::On).Name, "avx2");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pair-scan differential: the batched scan of one (P, Q) cell -- the fused
+// AVX2 loops included -- must reproduce the scalar scan's counterexample
+// and exact evaluation count on membership-violating R as well as sound R.
+//===----------------------------------------------------------------------===//
+
+struct ScalarScanResult {
+  std::optional<SoundnessCounterexample> Failure;
+  uint64_t ConcreteChecked = 0;
+};
+
+/// The pre-batching reference scan: forEachMember x contains, counting
+/// every evaluation up to and including a violation.
+ScalarScanResult scanPairScalar(BinaryOp Op, unsigned Width, const Tnum &P,
+                                const Tnum &Q, const Tnum &R) {
+  ScalarScanResult Result;
+  bool Stop = false;
+  forEachMember(P, [&](uint64_t X) {
+    if (Stop)
+      return;
+    forEachMember(Q, [&](uint64_t Y) {
+      if (Stop)
+        return;
+      ++Result.ConcreteChecked;
+      uint64_t Z = applyConcreteBinary(Op, X, Y, Width);
+      if (!R.contains(Z)) {
+        Result.Failure = SoundnessCounterexample{P, Q, X, Y, Z, R};
+        Stop = true;
+      }
+    });
+  });
+  return Result;
+}
+
+TEST(BatchedPairScan, AgreesWithScalarScanOnRandomCells) {
+  Xoshiro256 Rng(99);
+  std::vector<uint64_t> Ys;
+  const SimdKernels &Kernels = selectSimdKernels(SimdMode::Auto);
+  // Ops with fused AVX2 loops and ops without (div goes through the
+  // generic batch + membership kernel path).
+  const BinaryOp Ops[] = {BinaryOp::Add, BinaryOp::Mul, BinaryOp::Xor,
+                          BinaryOp::Div};
+  for (unsigned Width = 4; Width <= 8; ++Width) {
+    for (int Trial = 0; Trial != 300; ++Trial) {
+      Tnum P = randomWellFormedTnum(Rng, Width);
+      Tnum Q = randomWellFormedTnum(Rng, Width);
+      // Random R: often violated, sometimes sound, occasionally bottom.
+      Tnum R = randomWellFormedTnum(Rng, Width);
+      if (Trial % 5 == 0)
+        R = Tnum::makeBottom();
+      for (BinaryOp Op : Ops) {
+        ScalarScanResult Reference = scanPairScalar(Op, Width, P, Q, R);
+        materializeMembers(Q, Ys);
+        uint64_t Checked = 0;
+        std::optional<SoundnessCounterexample> Failure =
+            scanPairMembersBatched(Op, Width, P, Q, R, Ys.data(), Ys.size(),
+                                   Kernels, Checked);
+        ASSERT_EQ(Reference.Failure.has_value(), Failure.has_value())
+            << binaryOpName(Op) << " width " << Width;
+        EXPECT_EQ(Reference.ConcreteChecked, Checked);
+        if (Reference.Failure) {
+          EXPECT_EQ(Reference.Failure->X, Failure->X);
+          EXPECT_EQ(Reference.Failure->Y, Failure->Y);
+          EXPECT_EQ(Reference.Failure->Z, Failure->Z);
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-report equivalence: SimdMode::On and SimdMode::Off must produce
+// bit-identical SoundnessReport / OptimalityReport contents.
+//===----------------------------------------------------------------------===//
+
+TEST(SimdSweep, SerialSoundnessBitIdenticalAcrossModesAtWidth4) {
+  for (BinaryOp Op : AllBinaryOps) {
+    SCOPED_TRACE(binaryOpName(Op));
+    SoundnessReport Off =
+        checkSoundnessExhaustive(Op, 4, MulAlgorithm::Our, SimdMode::Off);
+    SoundnessReport On =
+        checkSoundnessExhaustive(Op, 4, MulAlgorithm::Our, SimdMode::On);
+    EXPECT_EQ(Off.holds(), On.holds());
+    EXPECT_EQ(Off.PairsChecked, On.PairsChecked);
+    EXPECT_EQ(Off.ConcreteChecked, On.ConcreteChecked);
+  }
+}
+
+TEST(SimdSweep, SerialOptimalityBitIdenticalAcrossModesAtWidth4) {
+  for (BinaryOp Op : {BinaryOp::Add, BinaryOp::Mul, BinaryOp::Div}) {
+    SCOPED_TRACE(binaryOpName(Op));
+    OptimalityReport Off = checkOptimalityExhaustive(
+        Op, 4, MulAlgorithm::Our, /*StopAtFirst=*/false, SimdMode::Off);
+    OptimalityReport On = checkOptimalityExhaustive(
+        Op, 4, MulAlgorithm::Our, /*StopAtFirst=*/false, SimdMode::On);
+    EXPECT_EQ(Off.PairsChecked, On.PairsChecked);
+    EXPECT_EQ(Off.OptimalPairs, On.OptimalPairs);
+    ASSERT_EQ(Off.Failure.has_value(), On.Failure.has_value());
+    if (Off.Failure) {
+      EXPECT_EQ(Off.Failure->P, On.Failure->P);
+      EXPECT_EQ(Off.Failure->Q, On.Failure->Q);
+      EXPECT_EQ(Off.Failure->Actual, On.Failure->Actual);
+      EXPECT_EQ(Off.Failure->Optimal, On.Failure->Optimal);
+    }
+  }
+}
+
+TEST(SimdSweep, BatchedOptimalAbstractionMatchesScalarFold) {
+  Xoshiro256 Rng(5);
+  std::vector<uint64_t> Ys;
+  for (unsigned Width = 4; Width <= 8; ++Width) {
+    for (int Trial = 0; Trial != 200; ++Trial) {
+      Tnum P = randomWellFormedTnum(Rng, Width);
+      Tnum Q = randomWellFormedTnum(Rng, Width);
+      materializeMembers(Q, Ys);
+      for (BinaryOp Op : {BinaryOp::Add, BinaryOp::Mul}) {
+        Tnum Scalar = optimalAbstractBinary(Op, P, Q, Width);
+        for (SimdMode Mode : {SimdMode::Off, SimdMode::On}) {
+          Tnum Batched = optimalAbstractBinaryBatched(
+              Op, Width, P, Ys.data(), Ys.size(), selectSimdKernels(Mode));
+          EXPECT_EQ(Scalar, Batched)
+              << binaryOpName(Op) << " width " << Width << " mode "
+              << simdModeName(Mode);
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Witness determinism of the SIMD sweep: the same five scheduler configs
+// ParallelSweepTest exercises, now crossed with the simd modes. A broken
+// operator must yield the serial-order-first counterexample everywhere.
+//===----------------------------------------------------------------------===//
+
+/// tnum_add with its lowest unknown trit laundered into a known bit (the
+/// same deliberately unsound operator ParallelSweepTest uses).
+Tnum brokenAdd(const Tnum &P, const Tnum &Q, unsigned Width) {
+  Tnum R = tnumTruncate(tnumAdd(P, Q), Width);
+  uint64_t M = R.mask();
+  if (M == 0)
+    return R;
+  uint64_t Lowest = M & (0 - M);
+  return Tnum(R.value(), M & ~Lowest);
+}
+
+TEST(SimdSweep, BrokenOperatorWitnessDeterministicAcrossSchedulersAndModes) {
+  constexpr unsigned Width = 4;
+  AbstractBinaryFn Broken = [](const Tnum &P, const Tnum &Q) {
+    return brokenAdd(P, Q, Width);
+  };
+  // Scalar serial-order-first reference witness.
+  SweepConfig Reference;
+  Reference.NumThreads = 1;
+  Reference.ChunkPairs = 1;
+  Reference.Simd = SimdMode::Off;
+  SoundnessReport Expected =
+      checkSoundnessExhaustiveParallel(BinaryOp::Add, Broken, Width, Reference);
+  ASSERT_TRUE(Expected.Failure.has_value());
+
+  const SweepConfig Schedulers[] = {
+      {/*NumThreads=*/1, /*ChunkPairs=*/1},
+      {/*NumThreads=*/2, /*ChunkPairs=*/7},
+      {/*NumThreads=*/4, /*ChunkPairs=*/64},
+      {/*NumThreads=*/8, /*ChunkPairs=*/4096},
+      {/*NumThreads=*/0, /*ChunkPairs=*/257},
+  };
+  for (SimdMode Mode : {SimdMode::Off, SimdMode::On, SimdMode::Auto}) {
+    for (SweepConfig Config : Schedulers) {
+      Config.Simd = Mode;
+      SoundnessReport Report = checkSoundnessExhaustiveParallel(
+          BinaryOp::Add, Broken, Width, Config);
+      SCOPED_TRACE(simdModeName(Mode));
+      ASSERT_TRUE(Report.Failure.has_value());
+      EXPECT_EQ(Report.Failure->P, Expected.Failure->P);
+      EXPECT_EQ(Report.Failure->Q, Expected.Failure->Q);
+      EXPECT_EQ(Report.Failure->X, Expected.Failure->X);
+      EXPECT_EQ(Report.Failure->Y, Expected.Failure->Y);
+      EXPECT_EQ(Report.Failure->Z, Expected.Failure->Z);
+      EXPECT_EQ(Report.Failure->R, Expected.Failure->R);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel monotonicity agrees with the serial checker, witness included
+// (kern_mul is non-monotone at width 5 -- a real, deterministic witness).
+//===----------------------------------------------------------------------===//
+
+TEST(SimdSweep, ParallelMonotonicityAgreesWithSerial) {
+  // Monotone case: exact quadruple totals must match.
+  MonotonicityReport Serial =
+      checkMonotonicityExhaustive(BinaryOp::Add, 4, MulAlgorithm::Our);
+  MonotonicityReport Parallel = checkMonotonicityExhaustiveParallel(
+      BinaryOp::Add, 4, MulAlgorithm::Our,
+      SweepConfig{/*NumThreads=*/4, /*ChunkPairs=*/64});
+  EXPECT_TRUE(Serial.holds());
+  EXPECT_TRUE(Parallel.holds());
+  EXPECT_EQ(Serial.QuadruplesChecked, Parallel.QuadruplesChecked);
+
+  // Non-monotone case: the witness must be the serial-order first one for
+  // every scheduler shape.
+  MonotonicityReport SerialBad =
+      checkMonotonicityExhaustive(BinaryOp::Mul, 5, MulAlgorithm::Kern);
+  ASSERT_FALSE(SerialBad.holds());
+  for (const SweepConfig &Config :
+       {SweepConfig{1, 1}, SweepConfig{3, 100}, SweepConfig{0, 4096}}) {
+    MonotonicityReport ParallelBad = checkMonotonicityExhaustiveParallel(
+        BinaryOp::Mul, 5, MulAlgorithm::Kern, Config);
+    ASSERT_FALSE(ParallelBad.holds());
+    EXPECT_EQ(SerialBad.Failure->P1, ParallelBad.Failure->P1);
+    EXPECT_EQ(SerialBad.Failure->Q1, ParallelBad.Failure->Q1);
+    EXPECT_EQ(SerialBad.Failure->P2, ParallelBad.Failure->P2);
+    EXPECT_EQ(SerialBad.Failure->Q2, ParallelBad.Failure->Q2);
+    EXPECT_EQ(SerialBad.Failure->R1, ParallelBad.Failure->R1);
+    EXPECT_EQ(SerialBad.Failure->R2, ParallelBad.Failure->R2);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The exhaustive mul campaign on the SIMD path: width 6 always, width 8
+// (the paper's SMT horizon) behind TNUMS_SLOW_TESTS=1.
+//===----------------------------------------------------------------------===//
+
+void expectMulCampaignBitIdentical(unsigned Width) {
+  for (MulAlgorithm Alg : AllMulAlgorithms) {
+    SCOPED_TRACE(mulAlgorithmName(Alg));
+    // Scalar serial checker: the pre-batching reference.
+    SoundnessReport Reference =
+        checkSoundnessExhaustive(BinaryOp::Mul, Width, Alg, SimdMode::Off);
+    // SIMD path, serial and parallel scheduling.
+    SoundnessReport Simd =
+        checkSoundnessExhaustive(BinaryOp::Mul, Width, Alg, SimdMode::On);
+    SweepConfig Config;
+    Config.Simd = SimdMode::On;
+    SoundnessReport Parallel =
+        checkSoundnessExhaustiveParallel(BinaryOp::Mul, Width, Alg, Config);
+    for (const SoundnessReport *Report : {&Simd, &Parallel}) {
+      EXPECT_TRUE(Report->holds());
+      EXPECT_EQ(Reference.PairsChecked, Report->PairsChecked);
+      EXPECT_EQ(Reference.ConcreteChecked, Report->ConcreteChecked);
+    }
+    EXPECT_TRUE(Reference.holds());
+  }
+}
+
+TEST(SimdSweep, Width6MulCampaignBitIdenticalToScalarSerial) {
+  expectMulCampaignBitIdentical(6);
+}
+
+TEST(SimdSweep, Width8MulCampaignBitIdenticalWhenSlowTestsEnabled) {
+  const char *Enabled = std::getenv("TNUMS_SLOW_TESTS");
+  if (!Enabled || Enabled[0] == '0')
+    GTEST_SKIP() << "set TNUMS_SLOW_TESTS=1 to run the width-8 campaign "
+                    "(the paper's kern_mul SMT horizon; minutes of CPU)";
+  expectMulCampaignBitIdentical(8);
+}
+
+} // namespace
