@@ -26,6 +26,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/ArgParse.h"
 #include "support/Stats.h"
 #include "support/Table.h"
 #include "tnum/TnumEnum.h"
@@ -59,26 +60,22 @@ int main(int Argc, char **Argv) {
   unsigned Width = 8;
   bool Csv = false;
   unsigned Jobs = 0; // SweepConfig convention: 0 = hardware concurrency.
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--width") == 0 && I + 1 < Argc)
-      Width = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (std::strcmp(Argv[I], "--csv") == 0)
+  ArgParser Args(Argc, Argv);
+  while (Args.more()) {
+    if (Args.matchUnsigned("--width", 2, 9, Width))
+      continue;
+    if (Args.matchFlag("--csv")) {
       Csv = true;
-    else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
-      long Value = std::atol(Argv[++I]);
-      if (Value < 0 || Value > 1024) {
-        std::fprintf(stderr, "error: --jobs must be in [0, 1024]\n");
-        return 1;
-      }
-      Jobs = static_cast<unsigned>(Value);
-    } else {
-      std::fprintf(stderr, "usage: %s [--width N] [--csv] [--jobs N]\n",
-                   Argv[0]);
-      return 1;
+      continue;
     }
+    if (Args.matchJobs(Jobs))
+      continue;
+    Args.reject();
   }
-  if (Width < 2 || Width > 9) {
-    std::fprintf(stderr, "error: width must be in [2, 9]\n");
+  if (Args.failed()) {
+    std::fprintf(stderr,
+                 "usage: %s [--width 2..9] [--csv] [--jobs 0..1024]\n",
+                 Argv[0]);
     return 1;
   }
 

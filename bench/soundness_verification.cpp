@@ -35,6 +35,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/ArgParse.h"
 #include "support/Random.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
@@ -70,53 +71,37 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = ThreadPool::hardwareConcurrency();
   SimdMode Simd = SimdMode::Auto;
   bool CompareSerial = false;
-  bool BadArgs = false;
-  // Widths live in [1, 16]: 3^17 tnum pairs is already out of enumeration
-  // reach, and rejecting early beats exploding inside the sweep.
-  auto ParseBounded = [&](const char *Text, unsigned Min, unsigned Max,
-                          unsigned &Out) {
-    char *End = nullptr;
-    long Value = std::strtol(Text, &End, 10);
-    if (End == Text || *End != '\0' || Value < long(Min) || Value > long(Max))
-      BadArgs = true;
-    else
-      Out = static_cast<unsigned>(Value);
-  };
-  for (int I = 1; I < Argc && !BadArgs; ++I) {
-    if (std::strcmp(Argv[I], "--width") == 0 && I + 1 < Argc)
-      ParseBounded(Argv[++I], 1, 16, Width);
-    else if (std::strcmp(Argv[I], "--mul-width") == 0 && I + 1 < Argc)
-      ParseBounded(Argv[++I], 1, 16, MulWidth);
-    else if (std::strcmp(Argv[I], "--random-pairs") == 0 && I + 1 < Argc) {
-      const char *Text = Argv[++I];
-      char *End = nullptr;
-      RandomPairs = std::strtoull(Text, &End, 10);
-      if (End == Text || *End != '\0' || std::strchr(Text, '-'))
-        BadArgs = true;
-    }
-    else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
-      // 0 keeps the SweepConfig convention: use hardware concurrency.
-      ParseBounded(Argv[++I], 0, 1024, Jobs);
-      if (Jobs == 0)
-        Jobs = ThreadPool::hardwareConcurrency();
-    } else if (std::strncmp(Argv[I], "--simd", 6) == 0) {
-      // Accepts --simd=MODE and "--simd MODE".
-      const char *Text = nullptr;
-      if (Argv[I][6] == '=')
-        Text = Argv[I] + 7;
-      else if (Argv[I][6] == '\0' && I + 1 < Argc)
-        Text = Argv[++I];
-      std::optional<SimdMode> Parsed =
-          Text ? parseSimdMode(Text) : std::nullopt;
-      if (Parsed)
-        Simd = *Parsed;
-      else
-        BadArgs = true;
-    } else if (std::strcmp(Argv[I], "--compare-serial") == 0)
+  const char *SimdText = nullptr;
+  ArgParser Args(Argc, Argv);
+  while (Args.more()) {
+    // Widths live in [1, 16]: 3^17 tnum pairs is already out of
+    // enumeration reach, and rejecting early beats exploding inside the
+    // sweep.
+    if (Args.matchUnsigned("--width", 1, 16, Width))
+      continue;
+    if (Args.matchUnsigned("--mul-width", 1, 16, MulWidth))
+      continue;
+    if (Args.matchU64("--random-pairs", 0, UINT64_MAX, RandomPairs))
+      continue;
+    if (Args.matchJobs(Jobs))
+      continue;
+    if (Args.matchString("--simd", SimdText)) // --simd=MODE or --simd MODE
+      continue;
+    if (Args.matchFlag("--compare-serial")) {
       CompareSerial = true;
+      continue;
+    }
+    Args.reject();
+  }
+  bool BadArgs = Args.failed();
+  if (SimdText) {
+    if (std::optional<SimdMode> Parsed = parseSimdMode(SimdText))
+      Simd = *Parsed;
     else
       BadArgs = true;
   }
+  if (Jobs == 0) // Keeps the SweepConfig convention: hardware concurrency.
+    Jobs = ThreadPool::hardwareConcurrency();
   if (BadArgs) {
     std::fprintf(stderr,
                  "usage: %s [--width 1..16] [--mul-width 1..16] "

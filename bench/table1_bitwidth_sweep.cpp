@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/ArgParse.h"
 #include "support/Table.h"
 #include "tnum/TnumEnum.h"
 #include "tnum/TnumMul.h"
@@ -38,27 +39,21 @@ int main(int Argc, char **Argv) {
   unsigned MinWidth = 5;
   unsigned MaxWidth = 8;
   unsigned Jobs = 0; // SweepConfig convention: 0 = hardware concurrency.
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--min-width") == 0 && I + 1 < Argc)
-      MinWidth = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (std::strcmp(Argv[I], "--max-width") == 0 && I + 1 < Argc)
-      MaxWidth = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
-      long Value = std::atol(Argv[++I]);
-      if (Value < 0 || Value > 1024) {
-        std::fprintf(stderr, "error: --jobs must be in [0, 1024]\n");
-        return 1;
-      }
-      Jobs = static_cast<unsigned>(Value);
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--min-width N] [--max-width N] [--jobs N]\n",
-                   Argv[0]);
-      return 1;
-    }
+  ArgParser Args(Argc, Argv);
+  while (Args.more()) {
+    if (Args.matchUnsigned("--min-width", 2, 10, MinWidth))
+      continue;
+    if (Args.matchUnsigned("--max-width", 2, 10, MaxWidth))
+      continue;
+    if (Args.matchJobs(Jobs))
+      continue;
+    Args.reject();
   }
-  if (MinWidth < 2 || MaxWidth > 10 || MinWidth > MaxWidth) {
-    std::fprintf(stderr, "error: widths must satisfy 2 <= min <= max <= 10\n");
+  if (Args.failed() || MinWidth > MaxWidth) {
+    std::fprintf(stderr,
+                 "usage: %s [--min-width N] [--max-width N] [--jobs N] "
+                 "with 2 <= min <= max <= 10\n",
+                 Argv[0]);
     return 1;
   }
 

@@ -1,0 +1,242 @@
+//===- bench/verifier_throughput.cpp - Batched verifier scaling -----------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput harness for the batched verification service
+/// (service/VerificationService.h): generate a seeded stream of BPF
+/// programs, verify the whole batch at several worker counts, and report
+/// the scaling curve (programs/s, insn-visits/s, speedup over one job)
+/// plus the accept/reject breakdown. A per-batch verdict fingerprint
+/// cross-checks the determinism contract -- every jobs count must produce
+/// bit-identical per-program verdicts and violation lists, and the run
+/// fails (exit 1) if any diverges.
+///
+/// Usage: verifier_throughput [--programs N] [--seed S]
+///                            [--profile {alu,bounds,packet,loops,mixed}]
+///                            [--jobs N] [--scaling] [--mem N]
+///                            [--fuzz N] [--json FILE]
+///
+///   --jobs N     max worker count (default: hardware concurrency); the
+///                batch always also runs at --jobs 1 for the baseline.
+///   --scaling    fill in the powers of two between 1 and --jobs.
+///   --fuzz N     additionally run an N-program differential fuzz
+///                campaign (service/DifferentialFuzz.h) at the same seed
+///                and fail on any finding.
+///   --json FILE  append-free machine-readable dump of the scaling table
+///                (the CI perf-trajectory artifact BENCH_verifier.json).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/DifferentialFuzz.h"
+#include "service/ProgramGen.h"
+#include "service/VerificationService.h"
+#include "support/ArgParse.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace tnums;
+using namespace tnums::service;
+
+namespace {
+
+/// One row of the scaling curve.
+struct ScalingPoint {
+  unsigned Jobs;
+  BatchStats Stats;
+  uint64_t Fingerprint;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Programs = 20000;
+  uint64_t Seed = 2022;
+  uint64_t MemSize = 32;
+  uint64_t FuzzPrograms = 0;
+  unsigned Jobs = ThreadPool::hardwareConcurrency();
+  bool Scaling = false;
+  const char *ProfileText = "mixed";
+  const char *JsonPath = nullptr;
+
+  ArgParser Args(Argc, Argv);
+  while (Args.more()) {
+    if (Args.matchU64("--programs", 1, uint64_t(1) << 32, Programs))
+      continue;
+    if (Args.matchU64("--seed", 0, UINT64_MAX, Seed))
+      continue;
+    if (Args.matchU64("--mem", 16, uint64_t(1) << 20, MemSize))
+      continue;
+    if (Args.matchU64("--fuzz", 0, uint64_t(1) << 32, FuzzPrograms))
+      continue;
+    if (Args.matchJobs(Jobs))
+      continue;
+    if (Args.matchFlag("--scaling")) {
+      Scaling = true;
+      continue;
+    }
+    if (Args.matchString("--profile", ProfileText))
+      continue;
+    if (Args.matchString("--json", JsonPath))
+      continue;
+    Args.reject();
+  }
+  std::optional<GenProfile> Profile =
+      Args.failed() ? std::nullopt : parseGenProfile(ProfileText);
+  if (!Profile) {
+    std::fprintf(stderr,
+                 "usage: %s [--programs N] [--seed S] "
+                 "[--profile {alu,bounds,packet,loops,mixed}] "
+                 "[--jobs 0..1024] [--scaling] [--mem N] [--fuzz N] "
+                 "[--json FILE]\n",
+                 Argv[0]);
+    return 1;
+  }
+  if (Jobs == 0)
+    Jobs = ThreadPool::hardwareConcurrency();
+
+  //===--------------------------------------------------------------------===//
+  // Generate the request stream once; every jobs count verifies the same
+  // batch.
+  //===--------------------------------------------------------------------===//
+  GenOptions Gen;
+  Gen.Profile = *Profile;
+  Gen.MemSize = MemSize;
+  ProgramGen Generator(Seed, Gen);
+  std::vector<VerifyRequest> Requests;
+  Requests.reserve(Programs);
+  uint64_t TotalInsns = 0;
+  for (uint64_t Index = 0; Index != Programs; ++Index) {
+    VerifyRequest Request;
+    Request.Prog = Generator.next();
+    Request.MemSize = MemSize;
+    TotalInsns += Request.Prog.size();
+    Requests.push_back(std::move(Request));
+  }
+  std::printf("batched verification: %llu %s-profile programs "
+              "(%.1f insns/program, seed %llu, %llu-byte region)\n\n",
+              static_cast<unsigned long long>(Programs),
+              genProfileName(*Profile),
+              Programs ? static_cast<double>(TotalInsns) / Programs : 0.0,
+              static_cast<unsigned long long>(Seed),
+              static_cast<unsigned long long>(MemSize));
+
+  std::vector<unsigned> JobCounts{1};
+  if (Scaling)
+    for (unsigned J = 2; J < Jobs; J *= 2)
+      JobCounts.push_back(J);
+  if (Jobs > 1)
+    JobCounts.push_back(Jobs);
+
+  std::vector<ScalingPoint> Curve;
+  for (unsigned J : JobCounts) {
+    ServiceConfig Config;
+    Config.NumThreads = J;
+    BatchResult Batch = VerificationService(Config).verifyBatch(Requests);
+    Curve.push_back({J, Batch.Stats, verdictFingerprint(Batch)});
+  }
+
+  bool Deterministic = true;
+  for (const ScalingPoint &Point : Curve)
+    Deterministic &= Point.Fingerprint == Curve.front().Fingerprint;
+
+  const BatchStats &Base = Curve.front().Stats;
+  TextTable Table({"jobs", "seconds", "programs/s", "Minsn-visits/s",
+                   "speedup", "verdict fingerprint"});
+  for (const ScalingPoint &Point : Curve)
+    Table.addRowOf(Point.Jobs, formatString("%.3f", Point.Stats.Seconds),
+                   formatString("%.0f", Point.Stats.programsPerSecond()),
+                   formatString("%.2f",
+                                Point.Stats.insnVisitsPerSecond() / 1e6),
+                   formatString("%.2fx", Point.Stats.Seconds > 0
+                                             ? Base.Seconds /
+                                                   Point.Stats.Seconds
+                                             : 0.0),
+                   formatString("%016llx",
+                                static_cast<unsigned long long>(
+                                    Point.Fingerprint)));
+  Table.printAligned(stdout);
+  std::printf("\nverdicts: %llu accepted, %llu rejected structural, "
+              "%llu rejected semantic (%llu insn visits)\n",
+              static_cast<unsigned long long>(Base.Accepted),
+              static_cast<unsigned long long>(Base.RejectedStructural),
+              static_cast<unsigned long long>(Base.RejectedSemantic),
+              static_cast<unsigned long long>(Base.InsnVisits));
+  std::printf("determinism: per-program verdicts %s across jobs counts\n",
+              Deterministic ? "bit-identical" : "DIVERGED");
+
+  //===--------------------------------------------------------------------===//
+  // Optional differential fuzz pass at the same seed.
+  //===--------------------------------------------------------------------===//
+  bool FuzzClean = true;
+  if (FuzzPrograms) {
+    FuzzConfig Fuzz;
+    Fuzz.Programs = FuzzPrograms;
+    Fuzz.Gen = Gen;
+    Fuzz.Service.NumThreads = Jobs;
+    FuzzReport Report = runDifferentialFuzz(Seed, Fuzz);
+    FuzzClean = Report.clean();
+    std::printf("\ndifferential fuzz: %s\n", Report.toString().c_str());
+    for (const FuzzFinding &Finding : Report.Findings)
+      std::printf("  FINDING [%s] program %zu:\n%s\n", Finding.Kind.c_str(),
+                  Finding.ProgramIndex, Finding.Details.c_str());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Machine-readable dump for the CI perf-trajectory artifact.
+  //===--------------------------------------------------------------------===//
+  if (JsonPath) {
+    std::FILE *Json = std::fopen(JsonPath, "w");
+    if (!Json) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(Json,
+                 "{\n"
+                 "  \"bench\": \"verifier_throughput\",\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"profile\": \"%s\",\n"
+                 "  \"programs\": %llu,\n"
+                 "  \"mem_size\": %llu,\n"
+                 "  \"accepted\": %llu,\n"
+                 "  \"rejected_structural\": %llu,\n"
+                 "  \"rejected_semantic\": %llu,\n"
+                 "  \"insn_visits\": %llu,\n"
+                 "  \"deterministic\": %s,\n"
+                 "  \"verdict_fingerprint\": \"%016llx\",\n"
+                 "  \"scaling\": [\n",
+                 static_cast<unsigned long long>(Seed),
+                 genProfileName(*Profile),
+                 static_cast<unsigned long long>(Programs),
+                 static_cast<unsigned long long>(MemSize),
+                 static_cast<unsigned long long>(Base.Accepted),
+                 static_cast<unsigned long long>(Base.RejectedStructural),
+                 static_cast<unsigned long long>(Base.RejectedSemantic),
+                 static_cast<unsigned long long>(Base.InsnVisits),
+                 Deterministic ? "true" : "false",
+                 static_cast<unsigned long long>(Curve.front().Fingerprint));
+    for (size_t I = 0; I != Curve.size(); ++I)
+      std::fprintf(Json,
+                   "    {\"jobs\": %u, \"seconds\": %.6f, "
+                   "\"programs_per_s\": %.1f, \"insn_visits_per_s\": %.1f, "
+                   "\"speedup\": %.3f}%s\n",
+                   Curve[I].Jobs, Curve[I].Stats.Seconds,
+                   Curve[I].Stats.programsPerSecond(),
+                   Curve[I].Stats.insnVisitsPerSecond(),
+                   Curve[I].Stats.Seconds > 0
+                       ? Base.Seconds / Curve[I].Stats.Seconds
+                       : 0.0,
+                   I + 1 == Curve.size() ? "" : ",");
+    std::fprintf(Json, "  ]\n}\n");
+    std::fclose(Json);
+    std::printf("\nwrote %s\n", JsonPath);
+  }
+
+  return Deterministic && FuzzClean ? 0 : 1;
+}

@@ -10,14 +10,24 @@
 #include "bpf/Interpreter.h" // StackSize
 #include "support/Table.h"
 
-#include <deque>
-#include <set>
 
 using namespace tnums;
 using namespace tnums::bpf;
 
 Analyzer::Analyzer(const Program &ProgV, Options OptsV)
-    : Prog(ProgV), Graph(ProgV), Opts(OptsV) {}
+    : Prog(&ProgV), Graph(ProgV), Opts(OptsV) {}
+
+AnalysisResult Analyzer::analyze() {
+  assert(Prog && "no program bound; use analyze(Prog, Opts)");
+  return run();
+}
+
+AnalysisResult Analyzer::analyze(const Program &ProgV, const Options &OptsV) {
+  Prog = &ProgV;
+  Opts = OptsV;
+  Graph.rebuild(ProgV);
+  return run();
+}
 
 void Analyzer::report(AnalysisResult &Result, size_t Pc,
                       std::string Message) {
@@ -147,7 +157,7 @@ void Analyzer::storeToStack(size_t Pc, AbstractState &Out, const AbsReg &Base,
 
 AbstractState Analyzer::transfer(size_t Pc, const AbstractState &In,
                                  AnalysisResult &Result) {
-  const Insn &I = Prog.insn(Pc);
+  const Insn &I = Prog->insn(Pc);
   AbstractState Out = In;
 
   switch (I.InsnKind) {
@@ -318,16 +328,42 @@ AbstractState Analyzer::transfer(size_t Pc, const AbstractState &In,
   return Out;
 }
 
-AnalysisResult Analyzer::analyze() {
+AnalysisResult Analyzer::run() {
   AnalysisResult Result;
-  size_t N = Prog.size();
+  size_t N = Prog->size();
   Result.InStates.assign(N, AbstractState::makeUnreachable());
   Result.InStates[0] = AbstractState::makeEntry(Opts.MemSize);
 
-  std::vector<unsigned> JoinCounts(N, 0);
-  std::deque<size_t> Worklist{0};
-  std::vector<bool> InWorklist(N, false);
-  InWorklist[0] = true;
+  JoinCounts.assign(N, 0);
+
+  // The worklist pops the pending instruction that is earliest in the
+  // CFG's reverse post-order: straight-line runs stabilize before their
+  // join points, and a loop body re-runs only after its head settles --
+  // the iteration order the Cfg precomputes. Pending is indexed by RPO
+  // position; ScanFrom is a floor below which no position is pending, so
+  // popping is a forward scan that back-edge pushes rewind.
+  const std::vector<size_t> &Rpo = Graph.reversePostOrder();
+  const size_t NumRpo = Rpo.size();
+  RpoPosition.assign(N, SIZE_MAX);
+  for (size_t I = 0; I != NumRpo; ++I)
+    RpoPosition[Rpo[I]] = I;
+  Pending.assign(NumRpo, false);
+  assert(NumRpo != 0 && RpoPosition[0] == 0 && "entry leads the RPO");
+  Pending[0] = true;
+  size_t NumPending = 1;
+  size_t ScanFrom = 0;
+
+  auto Push = [&](size_t Target) {
+    size_t Pos = RpoPosition[Target];
+    assert(Pos != SIZE_MAX &&
+           "propagation into a CFG-unreachable instruction");
+    if (!Pending[Pos]) {
+      Pending[Pos] = true;
+      ++NumPending;
+      if (Pos < ScanFrom)
+        ScanFrom = Pos;
+    }
+  };
 
   /// Widening: any register still growing after the threshold jumps to the
   /// top of its kind so chains stay finite.
@@ -361,26 +397,25 @@ AnalysisResult Analyzer::analyze() {
     if (Joined == Slot)
       return;
     Slot = Joined;
-    if (!InWorklist[Target]) {
-      InWorklist[Target] = true;
-      Worklist.push_back(Target);
-    }
+    Push(Target);
   };
 
-  while (!Worklist.empty()) {
+  while (NumPending != 0) {
     if (++Result.InsnVisits > Opts.MaxInsnVisits) {
       Result.Converged = false;
       report(Result, 0, "analysis did not converge within the visit budget");
       break;
     }
-    size_t Pc = Worklist.front();
-    Worklist.pop_front();
-    InWorklist[Pc] = false;
+    while (!Pending[ScanFrom])
+      ++ScanFrom;
+    size_t Pc = Rpo[ScanFrom];
+    Pending[ScanFrom] = false;
+    --NumPending;
 
     const AbstractState &In = Result.InStates[Pc];
     if (!In.Reachable)
       continue;
-    const Insn &I = Prog.insn(Pc);
+    const Insn &I = Prog->insn(Pc);
 
     switch (I.InsnKind) {
     case Insn::Kind::Exit: {

@@ -66,8 +66,19 @@ public:
   /// \p Prog must pass Program::validate().
   Analyzer(const Program &Prog, Options Opts);
 
-  /// Runs the fixpoint and returns states + violations.
+  /// An unbound engine for analyzing a stream of programs via
+  /// analyze(Prog, Opts). Construct once per worker and reuse: the CFG
+  /// edge storage and the fixpoint worklist scratch are recycled across
+  /// programs, which is the per-worker amortization the batch service
+  /// (service/VerificationService.h) relies on.
+  Analyzer() = default;
+
+  /// Runs the fixpoint on the program bound at construction.
   AnalysisResult analyze();
+
+  /// Rebinds the engine to \p Prog (which must pass Program::validate())
+  /// and runs the fixpoint, recycling internal storage.
+  AnalysisResult analyze(const Program &Prog, const Options &Opts);
 
 private:
   /// Applies the straight-line transfer of instruction \p Pc, recording
@@ -94,9 +105,23 @@ private:
                     const Insn &I, const AbsReg &Stored,
                     AnalysisResult &Result);
 
-  const Program &Prog;
+  /// Runs the fixpoint over the currently bound program.
+  AnalysisResult run();
+
+  const Program *Prog = nullptr;
   Cfg Graph;
   Options Opts;
+
+  /// \name Fixpoint scratch, recycled across analyze() calls.
+  /// @{
+  std::vector<unsigned> JoinCounts;
+  /// Instruction index -> position in the CFG's reverse post-order
+  /// (SIZE_MAX for CFG-unreachable instructions).
+  std::vector<size_t> RpoPosition;
+  /// Worklist membership, indexed by RPO position (the worklist pops the
+  /// lowest pending position -- see run()).
+  std::vector<bool> Pending;
+  /// @}
 };
 
 } // namespace bpf

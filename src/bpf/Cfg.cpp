@@ -12,12 +12,26 @@
 using namespace tnums;
 using namespace tnums::bpf;
 
-Cfg::Cfg(const Program &Prog) {
+void Cfg::rebuild(const Program &Prog) {
   assert(!Prog.validate() && "building CFG of an invalid program");
   size_t N = Prog.size();
-  Succs.resize(N);
-  Preds.resize(N);
+  // Clear-in-place instead of assign, and never shrink the outer vectors
+  // (size() reports NumInsns, not Succs.size()): the inner edge vectors
+  // keep their capacity across a stream of variably sized programs, so a
+  // long-lived engine stops allocating after its high-water program (the
+  // batch service's per-worker amortization).
+  NumInsns = N;
+  if (Succs.size() < N) {
+    Succs.resize(N);
+    Preds.resize(N);
+  }
+  for (size_t Pc = 0; Pc != N; ++Pc) {
+    Succs[Pc].clear();
+    Preds[Pc].clear();
+  }
   Reachable.assign(N, false);
+  Rpo.clear();
+  Loop = false;
 
   for (size_t Pc = 0; Pc != N; ++Pc) {
     const Insn &I = Prog.insn(Pc);
@@ -41,12 +55,11 @@ Cfg::Cfg(const Program &Prog) {
   }
 
   // Iterative DFS from entry computing post-order and back-edge (loop)
-  // detection.
-  enum class Color : uint8_t { White, Grey, Black };
-  std::vector<Color> Colors(N, Color::White);
-  std::vector<size_t> PostOrder;
-  // Stack frames: (node, next successor index to visit).
-  std::vector<std::pair<size_t, size_t>> Stack;
+  // detection. The traversal scratch lives on the object so rebuild()
+  // reuses its capacity along with the edge vectors.
+  Colors.assign(N, Color::White);
+  PostOrder.clear();
+  Stack.clear();
   Stack.emplace_back(0, 0);
   Colors[0] = Color::Grey;
   Reachable[0] = true;

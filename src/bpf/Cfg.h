@@ -26,8 +26,17 @@ namespace bpf {
 /// Successor/predecessor edges and iteration order for one program.
 class Cfg {
 public:
+  /// An empty CFG; call rebuild() before use.
+  Cfg() = default;
+
   /// Builds the CFG of \p Prog (which must validate()).
-  explicit Cfg(const Program &Prog);
+  explicit Cfg(const Program &Prog) { rebuild(Prog); }
+
+  /// Rebuilds the CFG for \p Prog (which must validate()), recycling the
+  /// edge/order storage of the previous program. This is what lets a
+  /// long-lived analysis engine (service/VerificationService.h) process a
+  /// stream of programs without reallocating the graph for each one.
+  void rebuild(const Program &Prog);
 
   /// Successor instruction indices of \p Pc: empty for exit, one entry for
   /// straight-line/ja, two for conditional jumps (fall-through first, then
@@ -49,14 +58,28 @@ public:
   /// True if some reachable cycle exists (the program loops).
   bool hasLoop() const { return Loop; }
 
-  size_t size() const { return Succs.size(); }
+  /// Instruction count of the current program.
+  size_t size() const { return NumInsns; }
 
 private:
+  /// Logical size; the edge vectors below are high-water sized (rebuild
+  /// never shrinks them) so their per-node capacity survives a stream of
+  /// variably sized programs.
+  size_t NumInsns = 0;
   std::vector<std::vector<size_t>> Succs;
   std::vector<std::vector<size_t>> Preds;
   std::vector<size_t> Rpo;
   std::vector<bool> Reachable;
   bool Loop = false;
+
+  /// \name rebuild()'s DFS scratch, recycled like the edge vectors.
+  /// @{
+  enum class Color : uint8_t { White, Grey, Black };
+  std::vector<Color> Colors;
+  std::vector<size_t> PostOrder;
+  /// Stack frames: (node, next successor index to visit).
+  std::vector<std::pair<size_t, size_t>> Stack;
+  /// @}
 };
 
 } // namespace bpf

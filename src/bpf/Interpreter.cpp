@@ -215,6 +215,7 @@ ExecResult Interpreter::run(uint64_t StepLimit) {
       if (!RequireInit(R0))
         return Trap(ExecResult::Status::UninitRead, "exit with uninit r0");
       Result.ReturnValue = Regs[R0];
+      Result.ExitPc = Pc;
       return Result;
     }
     ++Pc;

@@ -44,6 +44,10 @@ struct ExecResult {
 
   Status St = Status::Ok;
   uint64_t ReturnValue = 0;
+  size_t ExitPc = 0;      ///< The exit instruction reached (Ok only) --
+                          ///< lets differential oracles compare the
+                          ///< concrete register file against the abstract
+                          ///< state at the exit the run actually took.
   size_t FaultPc = 0;     ///< Faulting instruction for non-Ok statuses.
   std::string Message;    ///< Human-readable diagnosis.
 

@@ -1,0 +1,181 @@
+//===- service/DifferentialFuzz.cpp - Whole-service fuzz oracle -----------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DifferentialFuzz.h"
+
+#include "bpf/Interpreter.h"
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace tnums;
+using namespace tnums::bpf;
+using namespace tnums::service;
+
+std::string FuzzReport::toString() const {
+  return formatString(
+      "%llu programs (%llu accepted, %llu structural rejects, %llu semantic "
+      "rejects), %llu concrete runs (%llu hit the step budget), %zu findings",
+      static_cast<unsigned long long>(Programs),
+      static_cast<unsigned long long>(Accepted),
+      static_cast<unsigned long long>(RejectedStructural),
+      static_cast<unsigned long long>(RejectedSemantic),
+      static_cast<unsigned long long>(ConcreteRuns),
+      static_cast<unsigned long long>(StepLimitRuns), Findings.size());
+}
+
+namespace {
+
+/// Requests per verify-then-check slice. The containment oracle needs the
+/// per-instruction fixpoint states, but only for the slice currently
+/// being checked -- slicing bounds the campaign's resident state tables
+/// to one slice's worth regardless of Config.Programs, without touching
+/// any oracle or determinism property (verdicts are per-program pure, and
+/// the generation sequence is independent of the slicing).
+constexpr uint64_t SlicePrograms = 256;
+
+/// Oracles 1-3 over one verified slice; \p SliceBegin maps slice slots
+/// back to campaign-wide program indices (used in findings and as the
+/// per-program memory seed, so slicing cannot change either).
+void runOracles(uint64_t Seed, const FuzzConfig &Config, uint64_t SliceBegin,
+                const std::vector<VerifyRequest> &Requests,
+                const BatchResult &Batch, FuzzReport &Report) {
+  for (size_t Slot = 0; Slot != Requests.size(); ++Slot) {
+    size_t Index = static_cast<size_t>(SliceBegin) + Slot;
+    const VerifyResult &Verdict = Batch.Results[Slot];
+    const Program &P = Requests[Slot].Prog;
+
+    if (!Verdict.Accepted) {
+      // Oracle 3: every rejection is witnessed.
+      if (Verdict.StructuralError.empty() && Verdict.Violations.empty())
+        Report.Findings.push_back({Index, "unwitnessed-rejection",
+                                   "rejected with no structural error and "
+                                   "no violations\n" +
+                                       P.disassemble()});
+      continue;
+    }
+
+    for (unsigned Run = 0; Run != Config.RunsPerProgram; ++Run) {
+      Xoshiro256 MemRng(Seed ^ (0x9E3779B97F4A7C15ull * (Index + 1) + Run));
+      std::vector<uint8_t> Mem(Config.Gen.MemSize);
+      for (uint8_t &Byte : Mem)
+        Byte = static_cast<uint8_t>(MemRng.next());
+
+      Interpreter Interp(P, Mem);
+      ExecResult R = Interp.run(Config.StepLimit);
+      ++Report.ConcreteRuns;
+
+      if (R.St == ExecResult::Status::StepLimit) {
+        ++Report.StepLimitRuns; // Tolerated: see the header's oracle 1.
+        continue;
+      }
+      // Oracle 1: accepted programs never trap.
+      if (!R.ok()) {
+        Report.Findings.push_back(
+            {Index, "accepted-program-trap",
+             formatString("run %u trapped at insn %zu: %s\n", Run, R.FaultPc,
+                          R.Message.c_str()) +
+                 P.disassemble()});
+        break; // Further runs of a broken program add no information.
+      }
+
+      // Oracle 2: concrete register values lie inside the fixpoint
+      // abstract state at the exit this run actually reached.
+      const AbstractState &Final = Verdict.InStates[R.ExitPc];
+      if (!Final.Reachable) {
+        Report.Findings.push_back(
+            {Index, "unreachable-exit",
+             formatString("run %u exited at insn %zu, which the fixpoint "
+                          "marks unreachable\n",
+                          Run, R.ExitPc) +
+                 P.disassemble()});
+        break;
+      }
+      bool Escaped = false;
+      for (unsigned RegNum = 0; RegNum != NumRegs && !Escaped; ++RegNum) {
+        const AbsReg &Abs = Final.Regs[RegNum];
+        if (!Abs.isScalar() || !Interp.initialized()[RegNum])
+          continue;
+        if (!Abs.value().contains(Interp.registers()[RegNum])) {
+          Report.Findings.push_back(
+              {Index, "containment-escape",
+               formatString("run %u: r%u = %llu escapes %s at exit insn "
+                            "%zu\n",
+                            Run, RegNum,
+                            static_cast<unsigned long long>(
+                                Interp.registers()[RegNum]),
+                            Abs.toString().c_str(), R.ExitPc) +
+                   P.disassemble()});
+          Escaped = true;
+        }
+      }
+      if (Escaped)
+        break;
+    }
+  }
+}
+
+} // namespace
+
+FuzzReport tnums::service::runDifferentialFuzz(uint64_t Seed,
+                                               const FuzzConfig &Config) {
+  FuzzReport Report;
+
+  ProgramGen Gen(Seed, Config.Gen);
+  ServiceConfig ServiceCfg = Config.Service;
+  ServiceCfg.KeepStates = true;
+  ServiceCfg.StopAtFirstReject = false;
+  VerificationService Service(ServiceCfg);
+
+  // The mutation chain crosses slice boundaries: every MutateEvery-th
+  // program is a mutant of its predecessor.
+  Program Predecessor;
+  std::vector<VerifyRequest> Requests;
+  for (uint64_t SliceBegin = 0; SliceBegin < Config.Programs;
+       SliceBegin += SlicePrograms) {
+    uint64_t SliceEnd =
+        std::min<uint64_t>(Config.Programs, SliceBegin + SlicePrograms);
+
+    // Phase 1: the deterministic program stream for this slice.
+    Requests.clear();
+    Requests.reserve(SliceEnd - SliceBegin);
+    for (uint64_t Index = SliceBegin; Index != SliceEnd; ++Index) {
+      bool Mutant = Config.MutateEvery && Index > 0 &&
+                    Index % Config.MutateEvery == 0;
+      Program P = Mutant ? Gen.mutate(Predecessor) : Gen.next();
+      if (std::optional<std::string> Error = P.validate()) {
+        // The generator contract says this cannot happen; report rather
+        // than assert so a fuzz campaign surfaces it as a finding.
+        Report.Findings.push_back(
+            {static_cast<size_t>(Index), "invalid-generated-program",
+             *Error + "\n" + P.disassemble()});
+        P = Gen.next(); // Keep the stream going with a fresh draw.
+      }
+      // The copy is only needed when the NEXT program will mutate it.
+      if (Config.MutateEvery && (Index + 1) % Config.MutateEvery == 0)
+        Predecessor = P;
+      VerifyRequest Request;
+      Request.Prog = std::move(P);
+      Request.MemSize = Config.Gen.MemSize;
+      Requests.push_back(std::move(Request));
+    }
+
+    // Phase 2: batch verification with fixpoint states retained (for
+    // this slice only).
+    BatchResult Batch = Service.verifyBatch(Requests);
+    Report.Programs += Batch.Stats.Programs;
+    Report.Accepted += Batch.Stats.Accepted;
+    Report.RejectedStructural += Batch.Stats.RejectedStructural;
+    Report.RejectedSemantic += Batch.Stats.RejectedSemantic;
+
+    // Phase 3: the differential oracles, program by program in index
+    // order (findings are deterministic). Input memories derive from
+    // (Seed, program index, run), independent of scheduling.
+    runOracles(Seed, Config, SliceBegin, Requests, Batch, Report);
+  }
+  return Report;
+}

@@ -1,0 +1,93 @@
+//===- service/DifferentialFuzz.h - Whole-service fuzz oracle ---*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the generate -> verify -> execute loop: a deterministic fuzz
+/// campaign over ProgramGen's scenario space, batch-verified by the
+/// VerificationService and cross-checked against the concrete Interpreter.
+/// Three oracles must hold for every program:
+///
+///   1. Accepted programs never trap (no out-of-bounds access, no read of
+///      an uninitialized register) on any of the random input memories.
+///      Exhausting the step budget is NOT a trap: the substrate's verifier
+///      proves memory safety, and mutated loop guards can legitimately
+///      produce accepted-but-nonterminating programs (the kernel instead
+///      rejects unbounded loops; our analyzer stays total via widening).
+///   2. At the exit instruction each run actually reached, every concrete
+///      scalar register value lies inside the analyzer's fixpoint abstract
+///      value there -- the whole-system form of the paper's Eqn. 8.
+///   3. Rejections are witnessed: a rejected program carries a structural
+///      error or at least one analyzer violation (no silent rejects).
+///
+/// The campaign is a pure function of (seed, config): program streams,
+/// input memories, and therefore findings reproduce bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SERVICE_DIFFERENTIALFUZZ_H
+#define TNUMS_SERVICE_DIFFERENTIALFUZZ_H
+
+#include "service/ProgramGen.h"
+#include "service/VerificationService.h"
+
+namespace tnums {
+namespace service {
+
+/// Campaign shape.
+struct FuzzConfig {
+  /// Programs to generate and verify.
+  uint64_t Programs = 500;
+  /// Random input memories each accepted program is executed on.
+  unsigned RunsPerProgram = 8;
+  /// Every Nth program is a structure-preserving mutant of its
+  /// predecessor instead of a fresh draw (0 disables mutation).
+  unsigned MutateEvery = 4;
+  /// Generator profile and region size.
+  GenOptions Gen;
+  /// Batch engine configuration. KeepStates is forced on (the containment
+  /// oracle reads the fixpoint states); StopAtFirstReject is forced off
+  /// (every program must be checked).
+  ServiceConfig Service;
+  /// Concrete step budget per run (see oracle 1 for why exhausting it is
+  /// tolerated).
+  uint64_t StepLimit = 1 << 20;
+};
+
+/// One oracle violation, with enough context to reproduce it.
+struct FuzzFinding {
+  size_t ProgramIndex;
+  std::string Kind; ///< "accepted-program-trap", "containment-escape",
+                    ///< "unreachable-exit", "unwitnessed-rejection",
+                    ///< "invalid-generated-program".
+  std::string Details;
+};
+
+/// Campaign outcome.
+struct FuzzReport {
+  uint64_t Programs = 0;
+  uint64_t Accepted = 0;
+  uint64_t RejectedStructural = 0;
+  uint64_t RejectedSemantic = 0;
+  uint64_t ConcreteRuns = 0;
+  /// Runs that exhausted the step budget (tolerated; tracked so a mutation
+  /// profile that goes non-terminating everywhere is visible).
+  uint64_t StepLimitRuns = 0;
+  std::vector<FuzzFinding> Findings;
+
+  bool clean() const { return Findings.empty(); }
+
+  /// One-line campaign summary.
+  std::string toString() const;
+};
+
+/// Runs the campaign. Deterministic in (\p Seed, \p Config).
+FuzzReport runDifferentialFuzz(uint64_t Seed, const FuzzConfig &Config);
+
+} // namespace service
+} // namespace tnums
+
+#endif // TNUMS_SERVICE_DIFFERENTIALFUZZ_H

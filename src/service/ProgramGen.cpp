@@ -1,0 +1,397 @@
+//===- service/ProgramGen.cpp - Seeded BPF program generator --------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ProgramGen.h"
+
+#include "bpf/Builder.h"
+
+#include <cassert>
+#include <cstring>
+#include <iterator>
+
+using namespace tnums;
+using namespace tnums::bpf;
+using namespace tnums::service;
+
+namespace {
+
+constexpr Reg Scratch[] = {R3, R4, R5, R6, R7, R8};
+constexpr unsigned NumScratch = std::size(Scratch);
+
+/// The two-operand arithmetic/bitwise ops (everything except Mov/Neg).
+constexpr AluOp ArithOps[] = {AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Div,
+                              AluOp::Mod, AluOp::And, AluOp::Or,  AluOp::Xor,
+                              AluOp::Lsh, AluOp::Rsh, AluOp::Arsh};
+
+constexpr CompareOp Compares[] = {CompareOp::Eq,  CompareOp::Ne,
+                                  CompareOp::Lt,  CompareOp::Le,
+                                  CompareOp::Gt,  CompareOp::Ge,
+                                  CompareOp::SLt, CompareOp::SLe,
+                                  CompareOp::SGt, CompareOp::SGe,
+                                  CompareOp::Set};
+
+} // namespace
+
+const char *tnums::service::genProfileName(GenProfile Profile) {
+  switch (Profile) {
+  case GenProfile::AluMix:
+    return "alu";
+  case GenProfile::BoundsCheck:
+    return "bounds";
+  case GenProfile::PacketFilter:
+    return "packet";
+  case GenProfile::Loops:
+    return "loops";
+  case GenProfile::Mixed:
+    return "mixed";
+  }
+  assert(false && "unknown profile");
+  return "?";
+}
+
+std::optional<GenProfile> tnums::service::parseGenProfile(const char *Text) {
+  for (GenProfile P : {GenProfile::AluMix, GenProfile::BoundsCheck,
+                       GenProfile::PacketFilter, GenProfile::Loops,
+                       GenProfile::Mixed})
+    if (std::strcmp(Text, genProfileName(P)) == 0)
+      return P;
+  return std::nullopt;
+}
+
+ProgramGen::ProgramGen(uint64_t Seed, GenOptions OptsV)
+    : Rng(Seed), Opts(OptsV) {
+  assert(Opts.MemSize >= 16 && "profiles assume a >= 16-byte region");
+}
+
+//===----------------------------------------------------------------------===//
+// AluMix: straight-line ALU64/ALU32 work over memory-seeded scratch
+// registers with forward JMP/JMP32 guards and scalar spill/fill round
+// trips. Every emitted access is trivially in bounds, so these programs
+// are always accepted -- the throughput baseline workload.
+//===----------------------------------------------------------------------===//
+
+Program ProgramGen::genAluMix() {
+  ProgramBuilder B;
+
+  // Seed every scratch register: from memory (unknown to the analyzer) or
+  // a constant.
+  for (Reg R : Scratch) {
+    if (Rng.nextChance(1, 2)) {
+      unsigned Size = 1u << Rng.nextBelow(3); // 1, 2, or 4 bytes
+      int32_t Offset =
+          static_cast<int32_t>(Rng.nextBelow(Opts.MemSize - Size));
+      B.load(R, R1, Offset, Size);
+    } else {
+      B.movImm(R, static_cast<int64_t>(Rng.next() >> Rng.nextBelow(60)));
+    }
+  }
+
+  unsigned NumBranches = static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned Block = 0; Block <= NumBranches; ++Block) {
+    unsigned NumAlu = 2 + static_cast<unsigned>(Rng.nextBelow(6));
+    for (unsigned I = 0; I != NumAlu; ++I) {
+      // Occasionally interleave a scalar spill/fill dance or a negation.
+      if (Rng.nextChance(1, 8)) {
+        Reg R = Scratch[Rng.nextBelow(NumScratch)];
+        int32_t SlotOff = Rng.nextChance(1, 2) ? -8 : -16;
+        B.store(R10, SlotOff, R, 8);
+        B.load(Scratch[Rng.nextBelow(NumScratch)], R10, SlotOff, 8);
+        continue;
+      }
+      if (Rng.nextChance(1, 12)) {
+        B.neg(Scratch[Rng.nextBelow(NumScratch)]);
+        continue;
+      }
+      AluOp Op = ArithOps[Rng.nextBelow(std::size(ArithOps))];
+      Reg Dst = Scratch[Rng.nextBelow(NumScratch)];
+      bool Is32 = Rng.nextChance(1, 3); // Mix ALU32 into the stream.
+      if (Rng.nextChance(1, 2)) {
+        Reg Src = Scratch[Rng.nextBelow(NumScratch)];
+        if (Is32)
+          B.alu32(Op, Dst, Src);
+        else
+          B.alu(Op, Dst, Src);
+      } else {
+        int64_t Imm = static_cast<int64_t>(Rng.next() >> Rng.nextBelow(60));
+        if (Is32)
+          B.alu32Imm(Op, Dst, Imm);
+        else
+          B.aluImm(Op, Dst, Imm);
+      }
+    }
+    if (Block != NumBranches) {
+      // Forward branch landing on the next block either way; the
+      // refinement still kicks in on both edges.
+      CompareOp Cmp = Compares[Rng.nextBelow(std::size(Compares))];
+      Reg Dst = Scratch[Rng.nextBelow(NumScratch)];
+      std::string Label = "block" + std::to_string(Block);
+      bool Jmp32 = Rng.nextChance(1, 3); // Mix JMP32 guards in too.
+      if (Rng.nextChance(1, 2)) {
+        int64_t Imm = static_cast<int64_t>(Rng.nextBelow(512));
+        if (Jmp32)
+          B.jmp32Imm(Cmp, Dst, Imm, Label);
+        else
+          B.jmpImm(Cmp, Dst, Imm, Label);
+      } else {
+        Reg Src = Scratch[Rng.nextBelow(NumScratch)];
+        if (Jmp32)
+          B.jmp32(Cmp, Dst, Src, Label);
+        else
+          B.jmp(Cmp, Dst, Src, Label);
+      }
+      // A small then-block the branch skips.
+      B.aluImm(ArithOps[Rng.nextBelow(std::size(ArithOps))],
+               Scratch[Rng.nextBelow(NumScratch)],
+               static_cast<int64_t>(Rng.nextBelow(1024)));
+      B.label(Label);
+    }
+  }
+
+  B.mov(R0, Scratch[Rng.nextBelow(NumScratch)]);
+  B.exit();
+  return B.build();
+}
+
+//===----------------------------------------------------------------------===//
+// BoundsCheck: the paper's SI guard-then-access idioms with randomized
+// constants straddling the region size, so the stream deliberately mixes
+// provably-safe accepts with justified rejects.
+//===----------------------------------------------------------------------===//
+
+Program ProgramGen::genBoundsCheck() {
+  ProgramBuilder B;
+  const uint64_t Mem = Opts.MemSize;
+  const unsigned Size = 1u << Rng.nextBelow(4);
+
+  switch (Rng.nextBelow(3)) {
+  case 0: {
+    // Tnum masking (the paper's intro example): r3 <= M by AND, then a
+    // computed access at r1 + r3 + O. Safe iff M + O + Size <= Mem.
+    static constexpr uint64_t Masks[] = {1, 3, 6, 7, 14, 15, 24, 31, 63};
+    uint64_t M = Masks[Rng.nextBelow(std::size(Masks))];
+    int32_t O = static_cast<int32_t>(Rng.nextBelow(8));
+    B.load(R3, R1, 0, 1);
+    B.aluImm(AluOp::And, R3, static_cast<int64_t>(M));
+    B.alu(AluOp::Add, R3, R1);
+    B.load(R0, R3, O, Size);
+    B.exit();
+    break;
+  }
+  case 1: {
+    // Branch bound: reject when the untrusted index exceeds the guard.
+    // Safe iff Guard + Size <= Mem; Guard is drawn past Mem so both
+    // verdicts occur.
+    uint64_t Guard = Rng.nextBelow(Mem + 8);
+    B.load(R3, R1, 0, Rng.nextChance(1, 2) ? 1 : 2);
+    if (Rng.nextChance(1, 3))
+      B.jmp32Imm(CompareOp::Gt, R3, static_cast<int64_t>(Guard), "reject");
+    else
+      B.jmpImm(CompareOp::Gt, R3, static_cast<int64_t>(Guard), "reject");
+    B.alu(AluOp::Add, R3, R1);
+    B.load(R0, R3, 0, Size);
+    B.exit();
+    B.label("reject");
+    B.movImm(R0, 0);
+    B.exit();
+    break;
+  }
+  default: {
+    // Length precondition on R2 plus a branch bound on the index -- the
+    // double-guard shape real filters use.
+    uint64_t Guard = Rng.nextBelow(Mem);
+    B.jmpImm(CompareOp::Lt, R2, static_cast<int64_t>(8 + Rng.nextBelow(Mem)),
+             "reject");
+    B.load(R3, R1, 0, 1);
+    B.jmpImm(CompareOp::Ge, R3, static_cast<int64_t>(Guard + 1), "reject");
+    B.alu(AluOp::Add, R3, R1);
+    B.load(R4, R3, 0, Size);
+    B.mov(R0, R4);
+    B.exit();
+    B.label("reject");
+    B.movImm(R0, 1);
+    B.exit();
+    break;
+  }
+  }
+  return B.build();
+}
+
+//===----------------------------------------------------------------------===//
+// PacketFilter: miniature XDP-style filters -- length check against R2,
+// type dispatch, masked offset reads, hash mixing. Mostly accepted; a
+// deliberate fraction reads past the region to keep rejects in the mix.
+//===----------------------------------------------------------------------===//
+
+Program ProgramGen::genPacketFilter() {
+  ProgramBuilder B;
+  const uint64_t Mem = Opts.MemSize;
+
+  // Length precondition; R2 carries the region size at entry.
+  B.jmpImm(CompareOp::Lt, R2, static_cast<int64_t>(16 + Rng.nextBelow(8)),
+           "drop");
+
+  B.load(R3, R1, 0, 1); // type byte
+  B.jmpImm(CompareOp::Eq, R3, 0, "drop");
+  B.jmpImm(CompareOp::Eq, R3, 1, "word");
+
+  // Default arm: hash the flags byte mixed with a masked-offset read.
+  B.load(R4, R1, 1, 1);
+  B.mov(R5, R4);
+  B.aluImm(AluOp::And, R5, Rng.nextChance(1, 2) ? 7 : 15);
+  B.alu(AluOp::Add, R5, R1);
+  B.load(R6, R5, 0, 1);
+  B.mov(R0, R4);
+  B.aluImm(AluOp::Mul, R0, static_cast<int64_t>(1 + Rng.nextBelow(255)));
+  B.alu(AluOp::Xor, R0, R6);
+  if (Rng.nextChance(1, 2))
+    B.alu32Imm(AluOp::Lsh, R0, static_cast<int64_t>(Rng.nextBelow(8)));
+  B.ja("out");
+
+  // Type-1 arm: hash a payload word. 1-in-8 draws place the word so it
+  // hangs past the region -- a justified reject.
+  B.label("word");
+  unsigned WordSize = Rng.nextChance(1, 2) ? 4 : 8;
+  int32_t WordOff =
+      Rng.nextChance(1, 8)
+          ? static_cast<int32_t>(Mem - WordSize + 1 + Rng.nextBelow(4))
+          : static_cast<int32_t>(
+                8 * Rng.nextBelow((Mem - WordSize) / 8 + 1));
+  B.load(R7, R1, WordOff, WordSize);
+  B.mov(R0, R7);
+  B.aluImm(AluOp::Rsh, R0, static_cast<int64_t>(7 + Rng.nextBelow(24)));
+  B.alu(AluOp::Xor, R0, R7);
+  B.aluImm(AluOp::Mul, R0, 0x9E3779B9);
+  B.ja("out");
+
+  B.label("drop");
+  B.movImm(R0, 0);
+
+  B.label("out");
+  B.aluImm(AluOp::And, R0, 0x7FFFFFFF); // fold to a 31-bit verdict
+  B.exit();
+  return B.build();
+}
+
+//===----------------------------------------------------------------------===//
+// Loops: bounded counting loops -- constant or memory-seeded trip counts
+// -- whose back edges push the analyzer through join + widening, with an
+// optional masked access inside the body.
+//===----------------------------------------------------------------------===//
+
+Program ProgramGen::genLoop() {
+  ProgramBuilder B;
+  const int64_t Trip = static_cast<int64_t>(1 + Rng.nextBelow(12));
+
+  auto EmitBody = [&] {
+    if (Rng.nextChance(1, 2)) {
+      // Masked access indexed by the induction variable.
+      B.mov(R5, R6);
+      B.aluImm(AluOp::And, R5, 7);
+      B.alu(AluOp::Add, R5, R1);
+      B.load(R4, R5, 0, 1);
+      B.alu(AluOp::Xor, R7, R4);
+    } else {
+      B.aluImm(ArithOps[Rng.nextBelow(std::size(ArithOps))], R7,
+               static_cast<int64_t>(Rng.nextBelow(1 << 16)));
+    }
+  };
+
+  if (Rng.nextChance(1, 2)) {
+    // Count up to a constant: widening tops the induction variable, the
+    // back-edge guard re-bounds it.
+    B.movImm(R6, 0);
+    B.movImm(R7, static_cast<int64_t>(Rng.next() >> 32));
+    B.label("loop");
+    EmitBody();
+    B.aluImm(AluOp::Add, R6, 1);
+    B.jmpImm(CompareOp::Lt, R6, Trip, "loop");
+    B.mov(R0, R7);
+    B.exit();
+  } else {
+    // Count down from a memory-seeded (masked, so bounded) trip count.
+    B.load(R6, R1, 0, 1);
+    B.aluImm(AluOp::And, R6, 15);
+    B.movImm(R7, 0);
+    B.label("head");
+    B.jmpImm(CompareOp::Eq, R6, 0, "done");
+    EmitBody();
+    B.alu(AluOp::Add, R7, R6);
+    B.aluImm(AluOp::Sub, R6, 1);
+    B.ja("head");
+    B.label("done");
+    B.mov(R0, R7);
+    B.exit();
+  }
+  return B.build();
+}
+
+Program ProgramGen::next() {
+  GenProfile Profile = Opts.Profile;
+  if (Profile == GenProfile::Mixed) {
+    constexpr GenProfile Concrete[] = {GenProfile::AluMix,
+                                       GenProfile::BoundsCheck,
+                                       GenProfile::PacketFilter,
+                                       GenProfile::Loops};
+    Profile = Concrete[Rng.nextBelow(std::size(Concrete))];
+  }
+  switch (Profile) {
+  case GenProfile::AluMix:
+    return genAluMix();
+  case GenProfile::BoundsCheck:
+    return genBoundsCheck();
+  case GenProfile::PacketFilter:
+    return genPacketFilter();
+  case GenProfile::Loops:
+    return genLoop();
+  case GenProfile::Mixed:
+    break;
+  }
+  assert(false && "unreachable profile");
+  return Program();
+}
+
+Program ProgramGen::mutate(const Program &Base) {
+  std::vector<Insn> Insns(Base.begin(), Base.end());
+  if (Insns.empty())
+    return Base;
+  unsigned Edits = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned E = 0; E != Edits; ++E) {
+    Insn &I = Insns[Rng.nextBelow(Insns.size())];
+    switch (I.InsnKind) {
+    case Insn::Kind::Alu:
+      if (I.Alu != AluOp::Mov && I.Alu != AluOp::Neg && Rng.nextChance(1, 2))
+        I.Alu = ArithOps[Rng.nextBelow(std::size(ArithOps))];
+      else if (I.UsesImm && I.Alu != AluOp::Neg)
+        I.Imm ^= static_cast<int64_t>(Rng.next() >> (1 + Rng.nextBelow(56)));
+      else
+        I.Is32 = !I.Is32;
+      break;
+    case Insn::Kind::LoadImm:
+      I.Imm ^= static_cast<int64_t>(Rng.next() >> (1 + Rng.nextBelow(56)));
+      break;
+    case Insn::Kind::Jmp:
+      // Displacements stay fixed (structure-preserving); only the
+      // predicate and its width are fair game.
+      if (Rng.nextChance(1, 2))
+        I.Cmp = Compares[Rng.nextBelow(std::size(Compares))];
+      else
+        I.Is32 = !I.Is32;
+      break;
+    case Insn::Kind::Load:
+    case Insn::Kind::Store:
+      if (Rng.nextChance(1, 2))
+        I.Size = 1u << Rng.nextBelow(4);
+      else
+        I.Offset += static_cast<int32_t>(Rng.nextBelow(9)) - 4;
+      break;
+    case Insn::Kind::Ja:
+    case Insn::Kind::Exit:
+      break; // Control structure is never mutated.
+    }
+  }
+  return Program(std::move(Insns));
+}

@@ -1,0 +1,104 @@
+//===- service/ProgramGen.h - Seeded BPF program generator ------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured random BPF programs for the batched verification service and
+/// the differential fuzz harness: the workload generator that turns the
+/// single-program substrate into a many-program campaign. Programs span
+/// the scenario space the paper motivates --
+///
+///   * AluMix:       straight-line ALU64/ALU32 streams over memory-seeded
+///                   scratch registers, forward JMP/JMP32 guards, scalar
+///                   spill/fill round trips (always verifier-safe);
+///   * BoundsCheck:  the SI guard-then-access idioms -- tnum masking and
+///                   branch bounds in front of a computed access, with
+///                   randomized constants that straddle the region size,
+///                   so the stream mixes accepts with justified rejects;
+///   * PacketFilter: miniature XDP-style filters (length check on R2,
+///                   type dispatch, masked offset reads, hash mixing);
+///   * Loops:        bounded counting loops (constant and memory-seeded
+///                   trip counts) that push the analyzer through join +
+///                   widening;
+///   * Mixed:        a uniform draw over the four shapes per program.
+///
+/// Every generated program passes Program::validate() by construction
+/// (tests pin this); *semantic* acceptance is intentionally mixed so batch
+/// runs exercise both verdicts. A structure-preserving mutate() corrupts
+/// immediates, operators, compares, widths, and access shapes without
+/// breaking structural validity, to probe the analyzer just outside the
+/// generator's grammar.
+///
+/// Determinism: the instruction stream is a pure function of (seed,
+/// options, call sequence) -- the service determinism tests rely on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SERVICE_PROGRAMGEN_H
+#define TNUMS_SERVICE_PROGRAMGEN_H
+
+#include "bpf/Program.h"
+#include "support/Random.h"
+
+#include <optional>
+
+namespace tnums {
+namespace service {
+
+/// The scenario families the generator draws from.
+enum class GenProfile : uint8_t {
+  AluMix,
+  BoundsCheck,
+  PacketFilter,
+  Loops,
+  Mixed,
+};
+
+/// Stable lower-case profile name ("alu", "bounds", ...).
+const char *genProfileName(GenProfile Profile);
+
+/// Parses a profile name as printed by genProfileName; nullopt otherwise.
+std::optional<GenProfile> parseGenProfile(const char *Text);
+
+/// Generator tuning.
+struct GenOptions {
+  GenProfile Profile = GenProfile::Mixed;
+  /// Byte size of the context region the programs target (and the
+  /// verifier/interpreter must be run with). Must be >= 16.
+  uint64_t MemSize = 32;
+};
+
+/// Seeded structured program source. next() draws a fresh program from the
+/// configured profile; mutate() perturbs an existing one.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed, GenOptions Opts = GenOptions());
+
+  /// The next program in the stream. Always structurally valid.
+  bpf::Program next();
+
+  /// A structure-preserving mutation of \p Base: 1-3 random edits to
+  /// immediates / ALU ops / compares / 32-bit flags / access sizes and
+  /// offsets, never touching jump displacements or destination registers,
+  /// so the result still passes Program::validate().
+  bpf::Program mutate(const bpf::Program &Base);
+
+  const GenOptions &options() const { return Opts; }
+
+private:
+  bpf::Program genAluMix();
+  bpf::Program genBoundsCheck();
+  bpf::Program genPacketFilter();
+  bpf::Program genLoop();
+
+  Xoshiro256 Rng;
+  GenOptions Opts;
+};
+
+} // namespace service
+} // namespace tnums
+
+#endif // TNUMS_SERVICE_PROGRAMGEN_H

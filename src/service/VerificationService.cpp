@@ -1,0 +1,158 @@
+//===- service/VerificationService.cpp - Batched BPF verification ---------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/VerificationService.h"
+
+#include "support/Atomic.h"
+#include "support/ChunkSchedule.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+using namespace tnums;
+using namespace tnums::bpf;
+using namespace tnums::service;
+
+namespace {
+
+/// Verifies one request into \p Out with a caller-owned (per-worker,
+/// reused) analyzer engine.
+void verifyInto(const VerifyRequest &Request, const ServiceConfig &Config,
+                Analyzer &Engine, VerifyResult &Out) {
+  Out.Done = true;
+  if (std::optional<std::string> Error = Request.Prog.validate()) {
+    Out.Accepted = false;
+    Out.StructuralError = std::move(*Error);
+    return;
+  }
+  Analyzer::Options Opts = Request.AnalyzerOpts;
+  Opts.MemSize = Request.MemSize;
+  AnalysisResult Result = Engine.analyze(Request.Prog, Opts);
+  Out.Accepted = Result.accepted();
+  Out.Violations = std::move(Result.Violations);
+  Out.InsnVisits = Result.InsnVisits;
+  if (Config.KeepStates)
+    Out.InStates = std::move(Result.InStates);
+}
+
+} // namespace
+
+std::string BatchStats::toString() const {
+  return formatString(
+      "%llu programs in %.3f s (%.0f programs/s, %.2f Minsn-visits/s): "
+      "%llu accepted, %llu rejected structural, %llu rejected semantic",
+      static_cast<unsigned long long>(Programs), Seconds,
+      programsPerSecond(), insnVisitsPerSecond() / 1e6,
+      static_cast<unsigned long long>(Accepted),
+      static_cast<unsigned long long>(RejectedStructural),
+      static_cast<unsigned long long>(RejectedSemantic));
+}
+
+uint64_t tnums::service::verdictFingerprint(const BatchResult &Batch) {
+  uint64_t Hash = 1469598103934665603ull; // FNV-1a offset basis
+  auto Mix = [&Hash](uint64_t Value) {
+    for (unsigned Byte = 0; Byte != 8; ++Byte) {
+      Hash ^= (Value >> (8 * Byte)) & 0xFF;
+      Hash *= 1099511628211ull;
+    }
+  };
+  auto MixString = [&Hash](const std::string &Text) {
+    for (unsigned char C : Text) {
+      Hash ^= C;
+      Hash *= 1099511628211ull;
+    }
+    Hash ^= 0xFF; // Terminator so "ab" + "c" != "a" + "bc".
+    Hash *= 1099511628211ull;
+  };
+  for (const VerifyResult &R : Batch.Results) {
+    Mix(R.Done ? 1 : 0);
+    if (!R.Done)
+      continue;
+    Mix(R.Accepted ? 1 : 0);
+    Mix(R.InsnVisits);
+    MixString(R.StructuralError);
+    Mix(R.Violations.size());
+    for (const Violation &V : R.Violations) {
+      Mix(V.Pc);
+      MixString(V.Message);
+    }
+  }
+  return Hash;
+}
+
+VerifyResult
+VerificationService::verifyOne(const VerifyRequest &Request) const {
+  VerifyResult Result;
+  Analyzer Engine;
+  verifyInto(Request, Config, Engine, Result);
+  return Result;
+}
+
+BatchResult
+VerificationService::verifyBatch(const std::vector<VerifyRequest> &Requests) const {
+  BatchResult Batch;
+  Batch.Results.resize(Requests.size());
+  auto Start = std::chrono::steady_clock::now();
+
+  const uint64_t Total = Requests.size();
+  const uint64_t ChunkPrograms = std::max<uint64_t>(1, Config.ChunkPrograms);
+  const uint64_t NumChunks = (Total + ChunkPrograms - 1) / ChunkPrograms;
+
+  // Lowest chunk index containing a reject; only consulted in
+  // StopAtFirstReject mode. Same protocol as the sweeps: cancel strictly
+  // above, always finish at or below, so the first Done reject in index
+  // order is exactly the serial-order first reject.
+  std::atomic<uint64_t> FirstRejectChunk{UINT64_MAX};
+
+  forEachChunkOnPool(
+      Config.NumThreads, NumChunks,
+      // One engine per worker: its CFG storage and fixpoint scratch are
+      // recycled across every program that worker processes.
+      [] { return Analyzer(); },
+      [&](uint64_t Chunk, Analyzer &Engine) {
+        if (Config.StopAtFirstReject &&
+            Chunk > FirstRejectChunk.load(std::memory_order_acquire))
+          return;
+        uint64_t Begin = Chunk * ChunkPrograms;
+        uint64_t End = std::min(Total, Begin + ChunkPrograms);
+        for (uint64_t Index = Begin; Index != End; ++Index) {
+          if (Config.StopAtFirstReject &&
+              Chunk > FirstRejectChunk.load(std::memory_order_relaxed))
+            break;
+          VerifyResult &Out = Batch.Results[Index];
+          verifyInto(Requests[Index], Config, Engine, Out);
+          if (!Out.Accepted && Config.StopAtFirstReject) {
+            atomicMinU64(FirstRejectChunk, Chunk);
+            break; // This chunk's first (= serial-order) reject stands.
+          }
+        }
+      });
+
+  std::chrono::duration<double> Elapsed =
+      std::chrono::steady_clock::now() - Start;
+  Batch.Stats.Seconds = Elapsed.count();
+  for (size_t Index = 0; Index != Batch.Results.size(); ++Index) {
+    const VerifyResult &R = Batch.Results[Index];
+    if (!R.Done)
+      continue;
+    ++Batch.Stats.Programs;
+    Batch.Stats.InsnVisits += R.InsnVisits;
+    if (R.Accepted) {
+      ++Batch.Stats.Accepted;
+    } else {
+      if (!R.StructuralError.empty())
+        ++Batch.Stats.RejectedStructural;
+      else
+        ++Batch.Stats.RejectedSemantic;
+      if (!Batch.FirstRejected)
+        Batch.FirstRejected = Index;
+    }
+  }
+  return Batch;
+}

@@ -1,0 +1,102 @@
+//===- support/ArgParse.cpp - Tiny bench-driver argv parser ---------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+using namespace tnums;
+
+std::optional<uint64_t> tnums::parseBoundedU64(const char *Text, uint64_t Min,
+                                               uint64_t Max) {
+  if (!Text || *Text == '\0' || std::strchr(Text, '-'))
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long Value = std::strtoull(Text, &End, 10);
+  if (errno == ERANGE || End == Text || *End != '\0' || Value < Min ||
+      Value > Max)
+    return std::nullopt;
+  return static_cast<uint64_t>(Value);
+}
+
+bool ArgParser::matchFlag(const char *Name) {
+  if (!more() || std::strcmp(Argv[Index], Name) != 0)
+    return false;
+  ++Index;
+  return true;
+}
+
+ArgParser::Match ArgParser::takeValue(const char *Name, const char *&Text) {
+  if (!more())
+    return Match::None;
+  const char *Arg = Argv[Index];
+  size_t NameLen = std::strlen(Name);
+  if (std::strncmp(Arg, Name, NameLen) != 0)
+    return Match::None;
+  if (Arg[NameLen] == '=') { // --name=value
+    ++Index;
+    Text = Arg + NameLen + 1;
+    return Match::Value;
+  }
+  if (Arg[NameLen] != '\0')
+    return Match::None; // A longer option that merely shares the prefix.
+  if (Index + 1 >= Argc) { // --name with nothing after it
+    Error = true;
+    ++Index;
+    return Match::Error;
+  }
+  Index += 2;
+  Text = Argv[Index - 1];
+  return Match::Value;
+}
+
+bool ArgParser::matchUnsigned(const char *Name, unsigned Min, unsigned Max,
+                              unsigned &Out) {
+  uint64_t Wide = Out;
+  if (!matchU64(Name, Min, Max, Wide))
+    return false;
+  if (!Error)
+    Out = static_cast<unsigned>(Wide);
+  return true;
+}
+
+bool ArgParser::matchU64(const char *Name, uint64_t Min, uint64_t Max,
+                         uint64_t &Out) {
+  const char *Text = nullptr;
+  switch (takeValue(Name, Text)) {
+  case Match::None:
+    return false;
+  case Match::Error:
+    return true;
+  case Match::Value:
+    break;
+  }
+  std::optional<uint64_t> Value = parseBoundedU64(Text, Min, Max);
+  if (!Value) {
+    Error = true;
+    return true;
+  }
+  Out = *Value;
+  return true;
+}
+
+bool ArgParser::matchString(const char *Name, const char *&Out) {
+  const char *Text = nullptr;
+  switch (takeValue(Name, Text)) {
+  case Match::None:
+    return false;
+  case Match::Error:
+    return true;
+  case Match::Value:
+    Out = Text;
+    return true;
+  }
+  return false;
+}

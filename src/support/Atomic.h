@@ -1,0 +1,37 @@
+//===- support/Atomic.h - Small lock-free helpers ---------------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared atomic primitives for the chunk-cancellation protocols: the
+/// parallel sweeps (verify/ParallelSweep.cpp) and the batch verification
+/// service (service/VerificationService.cpp) both track the lowest failing
+/// chunk index with an atomic fetch-min.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_ATOMIC_H
+#define TNUMS_SUPPORT_ATOMIC_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace tnums {
+
+/// Lowers \p Into to \p Value if Value is smaller (atomic fetch-min). The
+/// release half of acq_rel pairs with the acquire loads the cancellation
+/// checks use.
+inline void atomicMinU64(std::atomic<uint64_t> &Into, uint64_t Value) {
+  uint64_t Current = Into.load(std::memory_order_acquire);
+  while (Value < Current &&
+         !Into.compare_exchange_weak(Current, Value,
+                                     std::memory_order_acq_rel))
+    ;
+}
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_ATOMIC_H

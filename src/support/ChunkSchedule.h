@@ -1,0 +1,71 @@
+//===- support/ChunkSchedule.h - Self-scheduled chunk execution -*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chunk-scheduling loop shared by the parallel sweeps
+/// (verify/ParallelSweep.cpp) and the batch verification service
+/// (service/VerificationService.cpp): workers self-schedule coarse chunks
+/// off one atomic counter, with a genuinely serial degenerate path --
+/// callers layer their own cancellation protocols and result merging on
+/// top (see support/Atomic.h for the shared fetch-min they use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_CHUNKSCHEDULE_H
+#define TNUMS_SUPPORT_CHUNKSCHEDULE_H
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace tnums {
+
+/// The 0-means-hardware-concurrency convention every parallel knob in the
+/// repo follows (SweepConfig::NumThreads, ServiceConfig::NumThreads).
+inline unsigned resolveThreadCount(unsigned Threads) {
+  return Threads ? Threads : ThreadPool::hardwareConcurrency();
+}
+
+/// Runs \p Body(Chunk, Worker) over [0, \p NumChunks), where \p MakeWorker
+/// constructs one long-lived per-worker state object (an Analyzer engine,
+/// a scratch block, or just an int when none is needed) whose storage
+/// amortizes across every chunk that worker processes.
+///
+/// With one thread (or one chunk) this degenerates to a plain loop over
+/// increasing chunk indices on the calling thread -- no pool, no atomics
+/// -- so Threads == 1 is genuinely serial. Otherwise each pool worker
+/// self-schedules chunks off a shared atomic counter; chunks are coarse,
+/// so the counter is not contended.
+template <typename MakeWorkerT, typename BodyT>
+void forEachChunkOnPool(unsigned Threads, uint64_t NumChunks,
+                        const MakeWorkerT &MakeWorker, const BodyT &Body) {
+  Threads = resolveThreadCount(Threads);
+  if (Threads == 1 || NumChunks <= 1) {
+    auto Worker = MakeWorker();
+    for (uint64_t Chunk = 0; Chunk != NumChunks; ++Chunk)
+      Body(Chunk, Worker);
+    return;
+  }
+  ThreadPool Pool(Threads);
+  std::atomic<uint64_t> NextChunk{0};
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.submit([&NextChunk, NumChunks, &MakeWorker, &Body] {
+      auto Worker = MakeWorker();
+      for (;;) {
+        uint64_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
+        if (Chunk >= NumChunks)
+          return;
+        Body(Chunk, Worker);
+      }
+    });
+  Pool.wait();
+}
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_CHUNKSCHEDULE_H

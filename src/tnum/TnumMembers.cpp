@@ -9,6 +9,37 @@
 
 using namespace tnums;
 
+MemberTable::MemberTable(const std::vector<Tnum> &Universe) {
+  uint64_t Total = 0;
+  for (const Tnum &T : Universe)
+    Total += T.isBottom() ? 0 : uint64_t(1) << T.numUnknownBits();
+  Flat.reserve(Total);
+  Offsets.reserve(Universe.size() + 1);
+  Offsets.push_back(0);
+  for (const Tnum &T : Universe) {
+    if (!T.isBottom()) {
+      // The subset odometer, inlined: identical order to
+      // materializeMembers / forEachMember.
+      uint64_t Value = T.value();
+      uint64_t Mask = T.mask();
+      uint64_t Subset = 0;
+      for (;;) {
+        Flat.push_back(Value | Subset);
+        if (Subset == Mask)
+          break;
+        Subset = (Subset - Mask) & Mask;
+      }
+    }
+    Offsets.push_back(Flat.size());
+  }
+}
+
+uint64_t tnums::memberTableBytes(unsigned Width) {
+  // Sigma_{k} C(Width, k) 2^(Width-k) 2^k = 4^Width members; the offset
+  // index adds 3^Width + 1 words on top, which the shift below dominates.
+  return (uint64_t(1) << (2 * Width)) * sizeof(uint64_t);
+}
+
 void tnums::materializeMembers(const Tnum &P, std::vector<uint64_t> &Out) {
   Out.clear();
   if (P.isBottom())

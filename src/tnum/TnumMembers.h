@@ -84,6 +84,38 @@ private:
 /// |gamma(P)| to be vector-materializable (<= 2^30 members).
 void materializeMembers(const Tnum &P, std::vector<uint64_t> &Out);
 
+/// A per-universe member table: gamma(U[i]) for every tnum of a universe,
+/// materialized once (in subset-odometer order, like materializeMembers)
+/// into one flat buffer. The exhaustive sweeps walk the full (P, Q) grid,
+/// so each Q's concretization is re-materialized |U| times when done per
+/// pair; memoizing it here trades Sigma |gamma| = 4^n words of memory
+/// (8 MiB at width 10, 128 MiB at width 12) for dropping that refill from
+/// the cell scan entirely. Batched-path outputs are bit-identical either
+/// way -- the table stores exactly what materializeMembers produces.
+class MemberTable {
+public:
+  MemberTable() = default;
+
+  /// Builds the table for \p Universe. Every member of every tnum is
+  /// stored, so the caller gates construction on memberTableBytes().
+  explicit MemberTable(const std::vector<Tnum> &Universe);
+
+  /// gamma(U[i]) as a flat span.
+  const uint64_t *members(size_t I) const { return Flat.data() + Offsets[I]; }
+  uint64_t numMembers(size_t I) const { return Offsets[I + 1] - Offsets[I]; }
+
+  bool empty() const { return Offsets.empty(); }
+
+private:
+  std::vector<uint64_t> Flat;
+  std::vector<uint64_t> Offsets; ///< Offsets[i] .. Offsets[i+1] spans U[i].
+};
+
+/// Bytes a MemberTable over the full width-\p Width universe occupies:
+/// Sigma over well-formed tnums of |gamma| = 4^Width entries of 8 bytes
+/// (plus the offset index, one word per tnum).
+uint64_t memberTableBytes(unsigned Width);
+
 } // namespace tnums
 
 #endif // TNUMS_TNUM_TNUMMEMBERS_H

@@ -7,7 +7,8 @@
 
 #include "verify/ParallelSweep.h"
 
-#include "support/ThreadPool.h"
+#include "support/Atomic.h"
+#include "support/ChunkSchedule.h"
 #include "tnum/TnumEnum.h"
 #include "tnum/TnumMembers.h"
 
@@ -44,41 +45,100 @@ PairGrid makeGrid(unsigned Width, const SweepConfig &Config) {
   return Grid;
 }
 
-/// Runs \p Fn(ChunkIndex) over [0, NumChunks). With one thread (or one
-/// chunk) this degenerates to a plain loop -- no pool, no atomics on the
-/// caller's stack frame -- so NumThreads == 1 is genuinely serial.
-/// Otherwise each pool worker self-schedules chunks off a shared atomic
-/// counter; the chunks are coarse, so the counter is not contended.
+/// Runs \p Fn(ChunkIndex) over [0, NumChunks) on the shared
+/// chunk-scheduling loop (support/ChunkSchedule.h); the sweeps carry no
+/// per-worker state, so the worker slot is a placeholder.
 void runOnPool(const SweepConfig &Config, uint64_t NumChunks,
                const std::function<void(uint64_t)> &Fn) {
-  unsigned Threads =
-      Config.NumThreads ? Config.NumThreads : ThreadPool::hardwareConcurrency();
-  if (Threads == 1 || NumChunks <= 1) {
-    for (uint64_t Chunk = 0; Chunk != NumChunks; ++Chunk)
-      Fn(Chunk);
-    return;
-  }
-  ThreadPool Pool(Threads);
-  std::atomic<uint64_t> NextChunk{0};
-  for (unsigned T = 0; T != Threads; ++T)
-    Pool.submit([&NextChunk, NumChunks, &Fn] {
-      for (;;) {
-        uint64_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
-        if (Chunk >= NumChunks)
-          return;
-        Fn(Chunk);
-      }
-    });
-  Pool.wait();
+  forEachChunkOnPool(
+      Config.NumThreads, NumChunks, [] { return 0; },
+      [&Fn](uint64_t Chunk, int &) { Fn(Chunk); });
 }
 
-/// Lowers \p Into to \p Chunk if Chunk is smaller (atomic min).
-void atomicMin(std::atomic<uint64_t> &Into, uint64_t Chunk) {
-  uint64_t Current = Into.load(std::memory_order_acquire);
-  while (Chunk < Current &&
-         !Into.compare_exchange_weak(Current, Chunk,
-                                     std::memory_order_acq_rel))
-    ;
+/// The chunk / first-fail-chunk cancellation protocol, shared by the three
+/// sweeps (soundness, optimality, monotonicity) that used to each carry a
+/// near-verbatim copy. Templated on the counterexample type, a chunk-local
+/// counter block (which doubles as per-chunk scratch -- e.g. the gamma(Q)
+/// staging buffer -- since one instance lives per chunk, never shared
+/// across threads), and the per-pair body.
+///
+///   Body(Index, P, Q, Local) -> std::optional<CounterexampleT>
+///   Merge(Local)             -- fold the chunk's counters into the totals
+///
+/// With \p CancelOnFailure (the soundness protocol) a failing chunk stops
+/// at its own first violation, chunks strictly above the lowest failing
+/// chunk are cancelled, and chunks at or below it always finish -- so the
+/// returned counterexample is the serial row-major first one. Without it
+/// (optimality's exact-count mode) every chunk full-scans and only the
+/// lowest chunk's first witness is kept; the result is the serial-order
+/// first counterexample either way.
+template <typename CounterexampleT, typename LocalT, typename BodyT,
+          typename MergeT>
+std::optional<CounterexampleT>
+sweepPairGrid(const PairGrid &Grid, const SweepConfig &Config,
+              bool CancelOnFailure, const BodyT &Body, const MergeT &Merge) {
+  // Lowest chunk index with a violation; the final value's witness is the
+  // serial-order first counterexample.
+  std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
+  std::mutex FailuresMutex;
+  std::map<uint64_t, CounterexampleT> FailureByChunk;
+
+  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
+    if (CancelOnFailure &&
+        Chunk > FirstFailChunk.load(std::memory_order_acquire))
+      return;
+    uint64_t Begin = Chunk * Grid.ChunkPairs;
+    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
+    LocalT Local{};
+    bool ChunkHasFailure = false;
+    for (uint64_t Index = Begin; Index != End; ++Index) {
+      if (CancelOnFailure &&
+          Chunk > FirstFailChunk.load(std::memory_order_relaxed))
+        break;
+      const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
+      const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
+      std::optional<CounterexampleT> Failure = Body(Index, P, Q, Local);
+      if (Failure && !ChunkHasFailure) {
+        ChunkHasFailure = true;
+        {
+          std::lock_guard<std::mutex> Lock(FailuresMutex);
+          FailureByChunk.emplace(Chunk, std::move(*Failure));
+        }
+        atomicMinU64(FirstFailChunk, Chunk);
+      }
+      if (ChunkHasFailure && CancelOnFailure)
+        break; // This chunk's first (= serial-order) violation is recorded.
+    }
+    Merge(Local);
+  });
+
+  std::lock_guard<std::mutex> Lock(FailuresMutex);
+  if (FailureByChunk.empty())
+    return std::nullopt;
+  return std::move(FailureByChunk.begin()->second); // Lowest chunk index.
+}
+
+/// The memoized member table when the batched path is on and the whole
+/// universe's gamma fits the configured budget; disengaged otherwise.
+std::optional<MemberTable> makeMemberTable(const PairGrid &Grid,
+                                           unsigned Width, bool Batched,
+                                           const SweepConfig &Config) {
+  std::optional<MemberTable> Members;
+  if (Batched && Config.MemberTableBytesCap &&
+      memberTableBytes(Width) <= Config.MemberTableBytesCap)
+    Members.emplace(Grid.Universe);
+  return Members;
+}
+
+/// Resolves gamma(Q) for one pair: from the memoized table when present,
+/// else materialized into the chunk-local staging buffer \p Ys.
+std::pair<const uint64_t *, uint64_t>
+resolveMembers(const std::optional<MemberTable> &Members, uint64_t QIndex,
+               const Tnum &Q, std::vector<uint64_t> &Ys) {
+  if (Members)
+    return {Members->members(QIndex), Members->numMembers(QIndex)};
+  materializeMembers(Q, Ys);
+  return {Ys.data(), Ys.size()};
 }
 
 } // namespace
@@ -92,83 +152,57 @@ SoundnessReport tnums::checkSoundnessExhaustiveParallel(
 
   std::atomic<uint64_t> PairsChecked{0};
   std::atomic<uint64_t> ConcreteChecked{0};
-  // Lowest chunk index with a violation; chunks above it are cancelled,
-  // chunks at or below it always finish, so the final value's witness is
-  // the serial-order first counterexample.
-  std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
-  std::mutex FailuresMutex;
-  std::map<uint64_t, SoundnessCounterexample> FailureByChunk;
 
   const bool Batched = simdModeBatches(Config.Simd);
   const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
+  std::optional<MemberTable> Members =
+      makeMemberTable(Grid, Width, Batched, Config);
 
-  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
-    if (Chunk > FirstFailChunk.load(std::memory_order_acquire))
-      return;
-    uint64_t Begin = Chunk * Grid.ChunkPairs;
-    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
-    uint64_t LocalPairs = 0;
-    uint64_t LocalConcrete = 0;
-    // Chunk-local gamma(Q) staging buffer for the batched path; refilled
-    // per pair, capacity retained across the chunk.
+  struct Local {
+    uint64_t Pairs = 0;
+    uint64_t Concrete = 0;
+    // Chunk-local gamma(Q) staging buffer for the non-memoized batched
+    // path; refilled per pair, capacity retained across the chunk.
     std::vector<uint64_t> Ys;
-    for (uint64_t Index = Begin; Index != End; ++Index) {
-      if (Chunk > FirstFailChunk.load(std::memory_order_relaxed))
-        break;
-      const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
-      const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
-      ++LocalPairs;
-      Tnum R = Abstract(P, Q);
-      bool Sound = true;
-      if (Batched) {
-        materializeMembers(Q, Ys);
-        std::optional<SoundnessCounterexample> Violation =
-            scanPairMembersBatched(Concrete, Width, P, Q, R, Ys.data(),
-                                   Ys.size(), Kernels, LocalConcrete);
-        if (Violation) {
-          Sound = false;
-          {
-            std::lock_guard<std::mutex> Lock(FailuresMutex);
-            FailureByChunk.emplace(Chunk, *Violation);
-          }
-          atomicMin(FirstFailChunk, Chunk);
-        }
-      } else {
-        forEachMember(P, [&](uint64_t X) {
-          if (!Sound)
-            return;
-          forEachMember(Q, [&](uint64_t Y) {
-            if (!Sound)
-              return;
-            ++LocalConcrete;
-            uint64_t Z = applyConcreteBinary(Concrete, X, Y, Width);
-            if (!R.contains(Z)) {
-              Sound = false;
-              {
-                std::lock_guard<std::mutex> Lock(FailuresMutex);
-                FailureByChunk.emplace(
-                    Chunk, SoundnessCounterexample{P, Q, X, Y, Z, R});
-              }
-              atomicMin(FirstFailChunk, Chunk);
+  };
+
+  std::optional<SoundnessCounterexample> Failure =
+      sweepPairGrid<SoundnessCounterexample, Local>(
+          Grid, Config, /*CancelOnFailure=*/true,
+          [&](uint64_t Index, const Tnum &P, const Tnum &Q,
+              Local &L) -> std::optional<SoundnessCounterexample> {
+            ++L.Pairs;
+            Tnum R = Abstract(P, Q);
+            if (Batched) {
+              auto [Ys, NumYs] =
+                  resolveMembers(Members, Index % Grid.NumTnums, Q, L.Ys);
+              return scanPairMembersBatched(Concrete, Width, P, Q, R, Ys,
+                                            NumYs, Kernels, L.Concrete);
             }
+            std::optional<SoundnessCounterexample> Violation;
+            forEachMember(P, [&](uint64_t X) {
+              if (Violation)
+                return;
+              forEachMember(Q, [&](uint64_t Y) {
+                if (Violation)
+                  return;
+                ++L.Concrete;
+                uint64_t Z = applyConcreteBinary(Concrete, X, Y, Width);
+                if (!R.contains(Z))
+                  Violation = SoundnessCounterexample{P, Q, X, Y, Z, R};
+              });
+            });
+            return Violation;
+          },
+          [&](const Local &L) {
+            PairsChecked.fetch_add(L.Pairs, std::memory_order_relaxed);
+            ConcreteChecked.fetch_add(L.Concrete, std::memory_order_relaxed);
           });
-        });
-      }
-      if (!Sound)
-        break; // This chunk's first (= serial-order) violation is recorded.
-    }
-    PairsChecked.fetch_add(LocalPairs, std::memory_order_relaxed);
-    ConcreteChecked.fetch_add(LocalConcrete, std::memory_order_relaxed);
-  });
 
   SoundnessReport Report;
   Report.PairsChecked = PairsChecked.load();
   Report.ConcreteChecked = ConcreteChecked.load();
-  uint64_t FailChunk = FirstFailChunk.load();
-  if (FailChunk != UINT64_MAX) {
-    std::lock_guard<std::mutex> Lock(FailuresMutex);
-    Report.Failure = FailureByChunk.at(FailChunk);
-  }
+  Report.Failure = std::move(Failure);
   return Report;
 }
 
@@ -195,66 +229,53 @@ tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
 
   std::atomic<uint64_t> PairsChecked{0};
   std::atomic<uint64_t> OptimalPairs{0};
-  // Only consulted in StopAtFirst mode; same protocol as the soundness
-  // sweep (cancel strictly-above, always finish at-or-below), so the
-  // witness stays the serial-order first non-optimal pair either way.
-  std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
-  std::mutex FailuresMutex;
-  std::map<uint64_t, OptimalityCounterexample> FailureByChunk;
 
   const bool Batched = simdModeBatches(Config.Simd);
   const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
+  std::optional<MemberTable> Members =
+      makeMemberTable(Grid, Width, Batched, Config);
 
-  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
-    if (StopAtFirst && Chunk > FirstFailChunk.load(std::memory_order_acquire))
-      return;
-    uint64_t Begin = Chunk * Grid.ChunkPairs;
-    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
-    uint64_t LocalPairs = 0;
-    uint64_t LocalOptimal = 0;
+  struct Local {
+    uint64_t Pairs = 0;
+    uint64_t Optimal = 0;
     std::vector<uint64_t> Ys;
-    bool ChunkHasFailure = false;
-    for (uint64_t Index = Begin; Index != End; ++Index) {
-      if (StopAtFirst &&
-          (ChunkHasFailure ||
-           Chunk > FirstFailChunk.load(std::memory_order_relaxed)))
-        break;
-      const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
-      const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
-      ++LocalPairs;
-      Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
-      Tnum Optimal;
-      if (Batched) {
-        materializeMembers(Q, Ys);
-        Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys.data(),
-                                               Ys.size(), Kernels);
-      } else {
-        Optimal = optimalAbstractBinary(Op, P, Q, Width);
-      }
-      if (Actual == Optimal) {
-        ++LocalOptimal;
-        continue;
-      }
-      if (!ChunkHasFailure) {
-        ChunkHasFailure = true;
-        {
-          std::lock_guard<std::mutex> Lock(FailuresMutex);
-          FailureByChunk.emplace(
-              Chunk, OptimalityCounterexample{P, Q, Actual, Optimal});
-        }
-        atomicMin(FirstFailChunk, Chunk);
-      }
-    }
-    PairsChecked.fetch_add(LocalPairs, std::memory_order_relaxed);
-    OptimalPairs.fetch_add(LocalOptimal, std::memory_order_relaxed);
-  });
+  };
+
+  // StopAtFirst selects the soundness cancellation protocol (early exit,
+  // scheduling-dependent counts on failure); the default full-scan keeps
+  // OptimalPairs / PairsChecked exact grid totals. Either way the witness
+  // is the serial-order first non-optimal pair.
+  std::optional<OptimalityCounterexample> Failure =
+      sweepPairGrid<OptimalityCounterexample, Local>(
+          Grid, Config, /*CancelOnFailure=*/StopAtFirst,
+          [&](uint64_t Index, const Tnum &P, const Tnum &Q,
+              Local &L) -> std::optional<OptimalityCounterexample> {
+            ++L.Pairs;
+            Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
+            Tnum Optimal;
+            if (Batched) {
+              auto [Ys, NumYs] =
+                  resolveMembers(Members, Index % Grid.NumTnums, Q, L.Ys);
+              Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys, NumYs,
+                                                     Kernels);
+            } else {
+              Optimal = optimalAbstractBinary(Op, P, Q, Width);
+            }
+            if (Actual == Optimal) {
+              ++L.Optimal;
+              return std::nullopt;
+            }
+            return OptimalityCounterexample{P, Q, Actual, Optimal};
+          },
+          [&](const Local &L) {
+            PairsChecked.fetch_add(L.Pairs, std::memory_order_relaxed);
+            OptimalPairs.fetch_add(L.Optimal, std::memory_order_relaxed);
+          });
 
   OptimalityReport Report;
   Report.PairsChecked = PairsChecked.load();
   Report.OptimalPairs = OptimalPairs.load();
-  std::lock_guard<std::mutex> Lock(FailuresMutex);
-  if (!FailureByChunk.empty())
-    Report.Failure = FailureByChunk.begin()->second; // Lowest chunk index.
+  Report.Failure = std::move(Failure);
   return Report;
 }
 
@@ -267,55 +288,41 @@ tnums::checkMonotonicityExhaustiveParallel(BinaryOp Op, unsigned Width,
   PairGrid Grid = makeGrid(Width, Config);
 
   std::atomic<uint64_t> QuadruplesChecked{0};
-  std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
-  std::mutex FailuresMutex;
-  std::map<uint64_t, MonotonicityCounterexample> FailureByChunk;
 
-  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
-    if (Chunk > FirstFailChunk.load(std::memory_order_acquire))
-      return;
-    uint64_t Begin = Chunk * Grid.ChunkPairs;
-    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
-    uint64_t LocalQuadruples = 0;
-    for (uint64_t Index = Begin; Index != End; ++Index) {
-      if (Chunk > FirstFailChunk.load(std::memory_order_relaxed))
-        break;
-      const Tnum &P2 = Grid.Universe[Index / Grid.NumTnums];
-      const Tnum &Q2 = Grid.Universe[Index % Grid.NumTnums];
-      Tnum R2 = applyAbstractBinary(Op, P2, Q2, Width, Mul);
-      bool Stop = false;
-      forEachSubTnum(P2, [&](Tnum P1) {
-        if (Stop)
-          return;
-        forEachSubTnum(Q2, [&](Tnum Q1) {
-          if (Stop)
-            return;
-          ++LocalQuadruples;
-          Tnum R1 = applyAbstractBinary(Op, P1, Q1, Width, Mul);
-          if (!R1.isSubsetOf(R2)) {
-            Stop = true;
-            {
-              std::lock_guard<std::mutex> Lock(FailuresMutex);
-              FailureByChunk.emplace(
-                  Chunk, MonotonicityCounterexample{P1, Q1, P2, Q2, R1, R2});
-            }
-            atomicMin(FirstFailChunk, Chunk);
-          }
-        });
-      });
-      if (Stop)
-        break; // This chunk's first (= serial-order) violation is recorded.
-    }
-    QuadruplesChecked.fetch_add(LocalQuadruples, std::memory_order_relaxed);
-  });
+  struct Local {
+    uint64_t Quadruples = 0;
+  };
+
+  std::optional<MonotonicityCounterexample> Failure =
+      sweepPairGrid<MonotonicityCounterexample, Local>(
+          Grid, Config, /*CancelOnFailure=*/true,
+          [&](uint64_t, const Tnum &P2, const Tnum &Q2,
+              Local &L) -> std::optional<MonotonicityCounterexample> {
+            Tnum R2 = applyAbstractBinary(Op, P2, Q2, Width, Mul);
+            std::optional<MonotonicityCounterexample> Violation;
+            forEachSubTnum(P2, [&](Tnum P1) {
+              if (Violation)
+                return;
+              forEachSubTnum(Q2, [&](Tnum Q1) {
+                if (Violation)
+                  return;
+                ++L.Quadruples;
+                Tnum R1 = applyAbstractBinary(Op, P1, Q1, Width, Mul);
+                if (!R1.isSubsetOf(R2))
+                  Violation =
+                      MonotonicityCounterexample{P1, Q1, P2, Q2, R1, R2};
+              });
+            });
+            return Violation;
+          },
+          [&](const Local &L) {
+            QuadruplesChecked.fetch_add(L.Quadruples,
+                                        std::memory_order_relaxed);
+          });
 
   MonotonicityReport Report;
   Report.QuadruplesChecked = QuadruplesChecked.load();
-  uint64_t FailChunk = FirstFailChunk.load();
-  if (FailChunk != UINT64_MAX) {
-    std::lock_guard<std::mutex> Lock(FailuresMutex);
-    Report.Failure = FailureByChunk.at(FailChunk);
-  }
+  Report.Failure = std::move(Failure);
   return Report;
 }
 

@@ -63,6 +63,14 @@ struct SweepConfig {
   /// default, SimdMode::Off for the scalar reference. Orthogonal to the
   /// determinism contract -- every mode produces bit-identical reports.
   SimdMode Simd = SimdMode::Auto;
+
+  /// Budget for memoizing the per-universe member table
+  /// (tnum/TnumMembers.h): when gamma of the whole universe fits
+  /// (4^width * 8 bytes <= cap), the batched sweeps build it once and stop
+  /// re-materializing gamma(Q) per (P, Q) pair. The default covers widths
+  /// <= 12 (128 MiB); wider sweeps fall back to per-pair materialization.
+  /// Zero disables memoization. Bit-identical reports either way.
+  uint64_t MemberTableBytesCap = uint64_t(1) << 28;
 };
 
 /// An abstract binary transfer function as the sweep sees it: inputs are

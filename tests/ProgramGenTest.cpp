@@ -1,0 +1,143 @@
+//===- tests/ProgramGenTest.cpp - Program generator invariants ------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the generator contract the service and fuzz layers rely on:
+/// every generated program (and every mutant) passes Program::validate(),
+/// streams are deterministic in the seed, rejections carry witnesses, and
+/// the verdict-mixing profiles really produce both verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ProgramGen.h"
+
+#include "bpf/Interpreter.h"
+#include "bpf/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+using namespace tnums::bpf;
+using namespace tnums::service;
+
+namespace {
+
+constexpr GenProfile AllProfiles[] = {GenProfile::AluMix,
+                                      GenProfile::BoundsCheck,
+                                      GenProfile::PacketFilter,
+                                      GenProfile::Loops, GenProfile::Mixed};
+
+TEST(ProgramGen, EveryProfileEmitsOnlyStructurallyValidPrograms) {
+  for (GenProfile Profile : AllProfiles) {
+    GenOptions Opts;
+    Opts.Profile = Profile;
+    ProgramGen Gen(0xBEEF ^ static_cast<uint64_t>(Profile), Opts);
+    for (unsigned I = 0; I != 200; ++I) {
+      Program P = Gen.next();
+      EXPECT_FALSE(P.validate().has_value())
+          << genProfileName(Profile) << " program " << I << ":\n"
+          << P.disassemble();
+      EXPECT_GT(P.size(), 0u);
+    }
+  }
+}
+
+TEST(ProgramGen, MutationChainsStayStructurallyValid) {
+  GenOptions Opts;
+  ProgramGen Gen(0xCAFE, Opts);
+  for (unsigned I = 0; I != 50; ++I) {
+    Program P = Gen.next();
+    // Mutants of mutants: structural validity must survive arbitrarily
+    // deep edit chains.
+    for (unsigned Depth = 0; Depth != 8; ++Depth) {
+      P = Gen.mutate(P);
+      ASSERT_FALSE(P.validate().has_value())
+          << "mutation depth " << Depth << ":\n"
+          << P.disassemble();
+    }
+  }
+}
+
+TEST(ProgramGen, StreamIsDeterministicInTheSeed) {
+  GenOptions Opts;
+  ProgramGen A(42, Opts);
+  ProgramGen B(42, Opts);
+  bool AnyDifferentFromThirdSeed = false;
+  ProgramGen C(43, Opts);
+  for (unsigned I = 0; I != 50; ++I) {
+    Program PA = A.next();
+    Program PB = B.next();
+    EXPECT_EQ(PA.disassemble(), PB.disassemble()) << "program " << I;
+    AnyDifferentFromThirdSeed |= PA.disassemble() != C.next().disassemble();
+  }
+  EXPECT_TRUE(AnyDifferentFromThirdSeed);
+}
+
+TEST(ProgramGen, BoundsCheckProfileMixesVerdictsAndRejectsAreWitnessed) {
+  GenOptions Opts;
+  Opts.Profile = GenProfile::BoundsCheck;
+  ProgramGen Gen(2022, Opts);
+  unsigned Accepted = 0;
+  unsigned Rejected = 0;
+  for (unsigned I = 0; I != 200; ++I) {
+    Program P = Gen.next();
+    VerifierReport Report = verifyProgram(P, Opts.MemSize);
+    if (Report.Accepted) {
+      ++Accepted;
+    } else {
+      ++Rejected;
+      // Rejections must be witnessed by a structural error or violation.
+      EXPECT_TRUE(!Report.StructuralError.empty() ||
+                  !Report.Violations.empty())
+          << P.disassemble();
+    }
+  }
+  // The guard constants straddle the region size by construction, so a
+  // healthy stream contains plenty of both verdicts.
+  EXPECT_GT(Accepted, 20u);
+  EXPECT_GT(Rejected, 20u);
+}
+
+TEST(ProgramGen, AluMixProfileIsAlwaysAccepted) {
+  GenOptions Opts;
+  Opts.Profile = GenProfile::AluMix;
+  ProgramGen Gen(7, Opts);
+  for (unsigned I = 0; I != 100; ++I) {
+    Program P = Gen.next();
+    VerifierReport Report = verifyProgram(P, Opts.MemSize);
+    EXPECT_TRUE(Report.Accepted) << Report.toString(P);
+  }
+}
+
+TEST(ProgramGen, LoopProfileConvergesAndTerminatesConcretely) {
+  GenOptions Opts;
+  Opts.Profile = GenProfile::Loops;
+  ProgramGen Gen(99, Opts);
+  for (unsigned I = 0; I != 100; ++I) {
+    Program P = Gen.next();
+    VerifierReport Report = verifyProgram(P, Opts.MemSize);
+    // Widening must keep the analyzer total on every looping shape.
+    EXPECT_TRUE(Report.Accepted) << Report.toString(P);
+    if (!Report.Accepted)
+      continue;
+    std::vector<uint8_t> Mem(Opts.MemSize, 0xFF); // Max trip counts.
+    ExecResult R = Interpreter(P, Mem).run(/*StepLimit=*/4096);
+    EXPECT_TRUE(R.ok()) << R.Message << "\n" << P.disassemble();
+  }
+}
+
+TEST(ProgramGen, ParseAndPrintProfileNamesRoundTrip) {
+  for (GenProfile Profile : AllProfiles) {
+    std::optional<GenProfile> Parsed =
+        parseGenProfile(genProfileName(Profile));
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_EQ(*Parsed, Profile);
+  }
+  EXPECT_FALSE(parseGenProfile("warp-drive").has_value());
+}
+
+} // namespace

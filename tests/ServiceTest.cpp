@@ -1,0 +1,205 @@
+//===- tests/ServiceTest.cpp - Batched verification service ---------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locks down the batch engine's determinism contract (bit-identical
+/// results across thread counts, chunk sizes, and repeated runs), its
+/// agreement with the single-program verifyProgram path (which also pins
+/// the reusable per-worker Analyzer against the bind-once constructor),
+/// the StopAtFirstReject cancellation protocol, and the end-to-end
+/// differential fuzz smoke the default ctest tier runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/DifferentialFuzz.h"
+#include "service/ProgramGen.h"
+#include "service/VerificationService.h"
+
+#include "bpf/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnums;
+using namespace tnums::bpf;
+using namespace tnums::service;
+
+namespace {
+
+constexpr uint64_t MemSize = 32;
+
+std::vector<VerifyRequest> makeBatch(uint64_t Seed, uint64_t Count,
+                                     GenProfile Profile = GenProfile::Mixed) {
+  GenOptions Opts;
+  Opts.Profile = Profile;
+  Opts.MemSize = MemSize;
+  ProgramGen Gen(Seed, Opts);
+  std::vector<VerifyRequest> Requests;
+  Requests.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    VerifyRequest Request;
+    Request.Prog = Gen.next();
+    Request.MemSize = MemSize;
+    Requests.push_back(std::move(Request));
+  }
+  return Requests;
+}
+
+TEST(Service, AgreesWithSingleProgramVerifierIncludingStates) {
+  std::vector<VerifyRequest> Requests = makeBatch(11, 120);
+  ServiceConfig Config;
+  Config.NumThreads = 4;
+  Config.ChunkPrograms = 7; // Deliberately odd chunking.
+  Config.KeepStates = true;
+  BatchResult Batch = VerificationService(Config).verifyBatch(Requests);
+  ASSERT_EQ(Batch.Results.size(), Requests.size());
+
+  for (size_t I = 0; I != Requests.size(); ++I) {
+    const VerifyResult &R = Batch.Results[I];
+    ASSERT_TRUE(R.Done);
+    // The reference path constructs a fresh Analyzer per program; the
+    // service reuses one engine per worker. Verdicts, violations, AND the
+    // full fixpoint state tables must agree exactly.
+    VerifierReport Ref = verifyProgram(Requests[I].Prog, MemSize);
+    EXPECT_EQ(R.Accepted, Ref.Accepted);
+    EXPECT_EQ(R.StructuralError, Ref.StructuralError);
+    ASSERT_EQ(R.Violations.size(), Ref.Violations.size());
+    for (size_t V = 0; V != R.Violations.size(); ++V) {
+      EXPECT_EQ(R.Violations[V].Pc, Ref.Violations[V].Pc);
+      EXPECT_EQ(R.Violations[V].Message, Ref.Violations[V].Message);
+    }
+    ASSERT_EQ(R.InStates.size(), Ref.InStates.size());
+    for (size_t S = 0; S != R.InStates.size(); ++S)
+      EXPECT_TRUE(R.InStates[S] == Ref.InStates[S]) << "state " << S;
+  }
+}
+
+TEST(Service, BitIdenticalAcrossJobsChunksAndReruns) {
+  std::vector<VerifyRequest> Requests = makeBatch(2022, 300);
+
+  std::vector<uint64_t> Fingerprints;
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    ServiceConfig Config;
+    Config.NumThreads = Jobs;
+    Fingerprints.push_back(
+        verdictFingerprint(VerificationService(Config).verifyBatch(Requests)));
+  }
+  // A hostile chunking (1 program per chunk) and a rerun of the first
+  // configuration must also agree.
+  ServiceConfig Fine;
+  Fine.NumThreads = 8;
+  Fine.ChunkPrograms = 1;
+  Fingerprints.push_back(
+      verdictFingerprint(VerificationService(Fine).verifyBatch(Requests)));
+  ServiceConfig Rerun;
+  Rerun.NumThreads = 1;
+  Fingerprints.push_back(
+      verdictFingerprint(VerificationService(Rerun).verifyBatch(Requests)));
+
+  for (uint64_t F : Fingerprints)
+    EXPECT_EQ(F, Fingerprints.front());
+
+  // Same seed, fresh generation: identical batch, identical fingerprint.
+  std::vector<VerifyRequest> Again = makeBatch(2022, 300);
+  EXPECT_EQ(verdictFingerprint(
+                VerificationService(ServiceConfig()).verifyBatch(Again)),
+            Fingerprints.front());
+
+  // A different seed must not collide (this would catch a fingerprint
+  // that ignores its inputs).
+  std::vector<VerifyRequest> Other = makeBatch(2023, 300);
+  EXPECT_NE(verdictFingerprint(
+                VerificationService(ServiceConfig()).verifyBatch(Other)),
+            Fingerprints.front());
+}
+
+TEST(Service, StatsAccountForEveryVerdict) {
+  std::vector<VerifyRequest> Requests = makeBatch(5, 200);
+  // Add one structurally invalid program (hand-rolled out-of-range jump).
+  {
+    std::vector<Insn> Bad;
+    Bad.push_back(Insn::ja(5));
+    Bad.push_back(Insn::exit());
+    VerifyRequest Request;
+    Request.Prog = Program(std::move(Bad));
+    Request.MemSize = MemSize;
+    Requests.push_back(std::move(Request));
+  }
+  BatchResult Batch =
+      VerificationService(ServiceConfig()).verifyBatch(Requests);
+  EXPECT_EQ(Batch.Stats.Programs, Requests.size());
+  EXPECT_EQ(Batch.Stats.Accepted + Batch.Stats.RejectedStructural +
+                Batch.Stats.RejectedSemantic,
+            Batch.Stats.Programs);
+  EXPECT_GE(Batch.Stats.RejectedStructural, 1u);
+  EXPECT_GT(Batch.Stats.InsnVisits, 0u);
+  ASSERT_TRUE(Batch.FirstRejected.has_value());
+  // FirstRejected is the first rejected index in serial order.
+  for (size_t I = 0; I != *Batch.FirstRejected; ++I)
+    EXPECT_TRUE(Batch.Results[I].Accepted);
+  EXPECT_FALSE(Batch.Results[*Batch.FirstRejected].Accepted);
+}
+
+TEST(Service, StopAtFirstRejectMatchesSerialOrderFirstReject) {
+  std::vector<VerifyRequest> Requests = makeBatch(17, 400);
+
+  BatchResult Full =
+      VerificationService(ServiceConfig()).verifyBatch(Requests);
+  ASSERT_TRUE(Full.FirstRejected.has_value())
+      << "batch has no reject; pick another seed";
+
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    ServiceConfig Config;
+    Config.NumThreads = Jobs;
+    Config.ChunkPrograms = 16;
+    Config.StopAtFirstReject = true;
+    BatchResult Stopped = VerificationService(Config).verifyBatch(Requests);
+    ASSERT_TRUE(Stopped.FirstRejected.has_value());
+    // The cancellation protocol (cancel strictly above the lowest
+    // rejecting chunk, always finish at or below) makes the witness exact
+    // for every scheduler interleaving.
+    EXPECT_EQ(*Stopped.FirstRejected, *Full.FirstRejected);
+    for (size_t I = 0; I <= *Full.FirstRejected; ++I)
+      EXPECT_TRUE(Stopped.Results[I].Done) << "index " << I;
+    // And the work performed never exceeds the full scan.
+    EXPECT_LE(Stopped.Stats.Programs, Full.Stats.Programs);
+  }
+}
+
+TEST(Service, DifferentialFuzzSmokeFindsNothing) {
+  // The default-tier fuzz smoke from the issue checklist: N ~= 500
+  // programs across the whole scenario space, mutants included, on the
+  // multithreaded service. Any finding is a soundness bug somewhere in
+  // the generator -> analyzer -> interpreter stack.
+  FuzzConfig Config;
+  Config.Programs = 500;
+  FuzzReport Report = runDifferentialFuzz(0xF00D, Config);
+  EXPECT_EQ(Report.Programs, 500u);
+  EXPECT_GT(Report.Accepted, 0u);
+  EXPECT_GT(Report.ConcreteRuns, 0u);
+  for (const FuzzFinding &Finding : Report.Findings)
+    ADD_FAILURE() << Finding.Kind << " at program " << Finding.ProgramIndex
+                  << ":\n"
+                  << Finding.Details;
+  EXPECT_TRUE(Report.clean()) << Report.toString();
+}
+
+TEST(Service, FuzzReportIsDeterministic) {
+  FuzzConfig Config;
+  Config.Programs = 120;
+  FuzzReport A = runDifferentialFuzz(31337, Config);
+  Config.Service.NumThreads = 3; // Scheduling must not leak into the report.
+  FuzzReport B = runDifferentialFuzz(31337, Config);
+  EXPECT_EQ(A.Programs, B.Programs);
+  EXPECT_EQ(A.Accepted, B.Accepted);
+  EXPECT_EQ(A.RejectedStructural, B.RejectedStructural);
+  EXPECT_EQ(A.RejectedSemantic, B.RejectedSemantic);
+  EXPECT_EQ(A.ConcreteRuns, B.ConcreteRuns);
+  EXPECT_EQ(A.StepLimitRuns, B.StepLimitRuns);
+  EXPECT_EQ(A.Findings.size(), B.Findings.size());
+}
+
+} // namespace
