@@ -15,14 +15,19 @@
 /// width-8 differing outputs are mutually comparable.
 ///
 /// Usage: fig4_mul_precision [--width N] [--csv] [--jobs N]
+///                           [--checkpoint-dir D] [--resume]
+///                           [--shards K] [--shard-index I]
+///                           [--shard-pairs N]
+///
 ///   --width N   tnum width to enumerate exhaustively (default 8; cost is
 ///               9^N pairs, so 5..9 are practical)
 ///   --csv       also dump the CDF points as CSV rows
 ///   --jobs N    worker threads (default: hardware concurrency)
 ///
-/// The pair walk runs on the sweep engine's pool (verify/ParallelSweep.h);
-/// the counters and CDF are order-independent multiset reductions, so the
-/// output is identical for every job count.
+/// The pair walk is one cell of a checkpointed campaign
+/// (verify/Campaign.h): counters and CDF buckets are order-independent
+/// multiset reductions, serialized per shard, so the merged figure is
+/// identical for every job count, shard split, or resume.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,8 +36,9 @@
 #include "support/Table.h"
 #include "tnum/TnumEnum.h"
 #include "tnum/TnumMul.h"
-#include "verify/ParallelSweep.h"
+#include "verify/Campaign.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +48,16 @@
 using namespace tnums;
 
 namespace {
+
+/// Shard-local accumulator of one baseline-vs-our_mul comparison.
+struct CmpCounters {
+  uint64_t Equal = 0;
+  uint64_t Differing = 0;
+  uint64_t Comparable = 0;
+  uint64_t OurMorePrecise = 0;
+  uint64_t BaselineMorePrecise = 0;
+  std::map<int64_t, uint64_t> Buckets;
+};
 
 /// Accumulated comparison of one baseline algorithm against our_mul.
 struct Comparison {
@@ -54,12 +70,70 @@ struct Comparison {
   DiscreteCdf RatioCdf; ///< log2 |gamma(baseline)| - log2 |gamma(our)|.
 };
 
+/// One shard's payload: the pair total plus both comparisons' counters
+/// and histogram buckets, line-oriented and deterministic (std::map keeps
+/// buckets sorted).
+std::string serializeShard(uint64_t Total, const CmpCounters (&C)[2]) {
+  std::string Payload = formatString("total %" PRIu64 "\n", Total);
+  for (size_t I = 0; I != 2; ++I) {
+    Payload += formatString(
+        "cmp %zu %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+        "\n",
+        I, C[I].Equal, C[I].Differing, C[I].Comparable, C[I].OurMorePrecise,
+        C[I].BaselineMorePrecise);
+    for (const auto &[Bucket, Count] : C[I].Buckets)
+      Payload += formatString("bucket %zu %" PRId64 " %" PRIu64 "\n", I,
+                              Bucket, Count);
+  }
+  return Payload;
+}
+
+bool parseShard(const std::string &Payload, uint64_t &Total,
+                CmpCounters (&C)[2]) {
+  size_t Pos = 0;
+  bool SawTotal = false;
+  bool SawCmp[2] = {false, false};
+  while (Pos < Payload.size()) {
+    size_t Eol = Payload.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Payload.size();
+    std::string Line = Payload.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    uint64_t V[5];
+    size_t CI;
+    int64_t Bucket;
+    if (std::sscanf(Line.c_str(), "total %" SCNu64, &V[0]) == 1) {
+      Total = V[0];
+      SawTotal = true;
+    } else if (std::sscanf(Line.c_str(),
+                           "cmp %zu %" SCNu64 " %" SCNu64 " %" SCNu64
+                           " %" SCNu64 " %" SCNu64,
+                           &CI, &V[0], &V[1], &V[2], &V[3], &V[4]) == 6 &&
+               CI < 2) {
+      C[CI].Equal = V[0];
+      C[CI].Differing = V[1];
+      C[CI].Comparable = V[2];
+      C[CI].OurMorePrecise = V[3];
+      C[CI].BaselineMorePrecise = V[4];
+      SawCmp[CI] = true;
+    } else if (std::sscanf(Line.c_str(), "bucket %zu %" SCNd64 " %" SCNu64,
+                           &CI, &Bucket, &V[0]) == 3 &&
+               CI < 2) {
+      C[CI].Buckets[Bucket] = V[0];
+    } else if (!Line.empty()) {
+      return false;
+    }
+  }
+  return SawTotal && SawCmp[0] && SawCmp[1];
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   unsigned Width = 8;
   bool Csv = false;
   unsigned Jobs = 0; // SweepConfig convention: 0 = hardware concurrency.
+  CampaignIO IO;
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
     if (Args.matchUnsigned("--width", 2, 9, Width))
@@ -70,12 +144,14 @@ int main(int Argc, char **Argv) {
     }
     if (Args.matchJobs(Jobs))
       continue;
+    if (matchCampaignArgs(Args, IO))
+      continue;
     Args.reject();
   }
   if (Args.failed()) {
     std::fprintf(stderr,
-                 "usage: %s [--width 2..9] [--csv] [--jobs 0..1024]\n",
-                 Argv[0]);
+                 "usage: %s [--width 2..9] [--csv] [--jobs 0..1024] %s\n",
+                 Argv[0], CampaignArgsUsage);
     return 1;
   }
 
@@ -83,70 +159,123 @@ int main(int Argc, char **Argv) {
               "(exhaustive, width %u)\n\n",
               Width);
 
-  std::vector<Tnum> Universe = allWellFormedTnums(Width);
   Comparison Comparisons[2] = {
       {"kern_mul", MulAlgorithm::Kern, 0, 0, 0, 0, {}},
       {"bitwise_mul", MulAlgorithm::BitwiseOpt, 0, 0, 0, 0, {}},
   };
 
-  uint64_t TotalPairs = 0;
-  uint64_t EqualBoth[2] = {0, 0};
-  const uint64_t NumTnums = Universe.size();
   SweepConfig Config;
   Config.NumThreads = Jobs;
-  std::mutex Merge;
-  forEachIndexRangeParallel(
-      NumTnums * NumTnums, Config, [&](uint64_t Begin, uint64_t End) {
-        // Range-local accumulators; the CDF buckets merge as a histogram
-        // (a multiset is order-independent, so the CDF is deterministic).
-        uint64_t LTotal = 0;
-        uint64_t LEqual[2] = {0, 0};
-        struct LocalCmp {
-          uint64_t Differing = 0, Comparable = 0;
-          uint64_t OurMorePrecise = 0, BaselineMorePrecise = 0;
-          std::map<int64_t, uint64_t> Buckets;
-        } Local[2];
-        for (uint64_t Index = Begin; Index != End; ++Index) {
-          const Tnum &P = Universe[Index / NumTnums];
-          const Tnum &Q = Universe[Index % NumTnums];
-          ++LTotal;
-          Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
-          for (size_t CI = 0; CI != 2; ++CI) {
-            Tnum RBase = tnumMul(P, Q, Comparisons[CI].Baseline, Width);
-            if (RBase == ROur) {
-              ++LEqual[CI];
-              continue;
-            }
-            ++Local[CI].Differing;
-            if (!RBase.isComparableTo(ROur))
-              continue;
-            ++Local[CI].Comparable;
-            // Comparable differing tnums differ exactly in unknown-trit
-            // count, so the log2 set-size ratio is the trit-count
-            // difference.
-            int64_t Log2Ratio =
-                static_cast<int64_t>(RBase.concretizationSizeLog2()) -
-                static_cast<int64_t>(ROur.concretizationSizeLog2());
-            ++Local[CI].Buckets[Log2Ratio];
-            if (Log2Ratio > 0)
-              ++Local[CI].OurMorePrecise;
-            else
-              ++Local[CI].BaselineMorePrecise;
-          }
+  const uint64_t NumTnums = numWellFormedTnums(Width);
+  std::vector<Tnum> Universe; // Built lazily: resumed runs may not need it.
+  auto universe = [&]() -> const std::vector<Tnum> & {
+    if (Universe.empty())
+      Universe = allWellFormedTnums(Width);
+    return Universe;
+  };
+
+  Fnv1a Hash;
+  Hash.mixString("tnums-fig4 v1");
+  Hash.mixU64(Width);
+  Hash.mixU64(IO.ShardPairs);
+
+  uint64_t TotalPairs = 0;
+  uint64_t EqualBoth[2] = {0, 0};
+  ShardDriveResult Drive = driveCampaignShards(
+      {NumTnums * NumTnums}, Hash.digest(), IO,
+      [&](size_t, uint64_t Begin, uint64_t End, ShardRecord &Out) {
+        // Resolve the universe BEFORE the parallel walk: the lazy build
+        // must not race between pool workers.
+        const std::vector<Tnum> &U = universe();
+        uint64_t ShardTotal = 0;
+        CmpCounters Shard[2];
+        std::mutex Merge;
+        forEachIndexRangeParallel(
+            Begin, End, Config, [&](uint64_t ChunkBegin, uint64_t ChunkEnd) {
+              // Range-local accumulators; the CDF buckets merge as a
+              // histogram (a multiset is order-independent, so the CDF is
+              // deterministic).
+              uint64_t LTotal = 0;
+              CmpCounters Local[2];
+              for (uint64_t Index = ChunkBegin; Index != ChunkEnd; ++Index) {
+                const Tnum &P = U[Index / NumTnums];
+                const Tnum &Q = U[Index % NumTnums];
+                ++LTotal;
+                Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
+                for (size_t CI = 0; CI != 2; ++CI) {
+                  Tnum RBase =
+                      tnumMul(P, Q, Comparisons[CI].Baseline, Width);
+                  if (RBase == ROur) {
+                    ++Local[CI].Equal;
+                    continue;
+                  }
+                  ++Local[CI].Differing;
+                  if (!RBase.isComparableTo(ROur))
+                    continue;
+                  ++Local[CI].Comparable;
+                  // Comparable differing tnums differ exactly in
+                  // unknown-trit count, so the log2 set-size ratio is the
+                  // trit-count difference.
+                  int64_t Log2Ratio =
+                      static_cast<int64_t>(RBase.concretizationSizeLog2()) -
+                      static_cast<int64_t>(ROur.concretizationSizeLog2());
+                  ++Local[CI].Buckets[Log2Ratio];
+                  if (Log2Ratio > 0)
+                    ++Local[CI].OurMorePrecise;
+                  else
+                    ++Local[CI].BaselineMorePrecise;
+                }
+              }
+              std::lock_guard<std::mutex> Lock(Merge);
+              ShardTotal += LTotal;
+              for (size_t CI = 0; CI != 2; ++CI) {
+                Shard[CI].Equal += Local[CI].Equal;
+                Shard[CI].Differing += Local[CI].Differing;
+                Shard[CI].Comparable += Local[CI].Comparable;
+                Shard[CI].OurMorePrecise += Local[CI].OurMorePrecise;
+                Shard[CI].BaselineMorePrecise +=
+                    Local[CI].BaselineMorePrecise;
+                for (const auto &[Bucket, Count] : Local[CI].Buckets)
+                  Shard[CI].Buckets[Bucket] += Count;
+              }
+            });
+        Out.Payload = serializeShard(ShardTotal, Shard);
+      },
+      [&](size_t, uint64_t, uint64_t, const ShardRecord &Record,
+          std::string &Error) {
+        uint64_t ShardTotal = 0;
+        CmpCounters Shard[2];
+        if (!parseShard(Record.Payload, ShardTotal, Shard)) {
+          Error = "malformed Figure 4 shard payload";
+          return false;
         }
-        std::lock_guard<std::mutex> Lock(Merge);
-        TotalPairs += LTotal;
+        TotalPairs += ShardTotal;
         for (size_t CI = 0; CI != 2; ++CI) {
-          EqualBoth[CI] += LEqual[CI];
-          Comparisons[CI].Differing += Local[CI].Differing;
-          Comparisons[CI].Comparable += Local[CI].Comparable;
-          Comparisons[CI].OurMorePrecise += Local[CI].OurMorePrecise;
+          EqualBoth[CI] += Shard[CI].Equal;
+          Comparisons[CI].Differing += Shard[CI].Differing;
+          Comparisons[CI].Comparable += Shard[CI].Comparable;
+          Comparisons[CI].OurMorePrecise += Shard[CI].OurMorePrecise;
           Comparisons[CI].BaselineMorePrecise +=
-              Local[CI].BaselineMorePrecise;
-          for (const auto &[Bucket, Count] : Local[CI].Buckets)
+              Shard[CI].BaselineMorePrecise;
+          for (const auto &[Bucket, Count] : Shard[CI].Buckets)
             Comparisons[CI].RatioCdf.addCount(Bucket, Count);
         }
+        return true;
       });
+  if (!Drive.ok()) {
+    std::fprintf(stderr, "error: %s\n", Drive.Error.c_str());
+    return 1;
+  }
+  printCampaignStatus(Drive.ShardsTotal, Drive.ShardsRun,
+                      Drive.ShardsResumed, Drive.ShardsSkipped,
+                      IO.CheckpointDir);
+  if (!Drive.Complete) {
+    std::printf("campaign PARTIAL: run the remaining --shard-index "
+                "invocations (or --resume) against the same "
+                "--checkpoint-dir to complete the figure\n");
+    return 0;
+  }
+  std::printf("\n");
 
   TextTable Summary({"comparison", "total pairs", "equal", "differing",
                      "comparable", "our more precise", "% of differing"});

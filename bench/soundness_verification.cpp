@@ -10,28 +10,50 @@
 /// substitute engine (exhaustive enumeration = the same bounded property
 /// the SMT queries decide, plus randomized 64-bit refutation):
 ///
-///   1. soundness of every tnum operator, exhaustively per width;
+///   1. soundness + optimality of every tnum operator, exhaustively;
 ///   2. soundness of every multiplication algorithm (the paper verified
 ///      kern_mul only up to n = 8; --mul-width 8 reproduces that instance,
-///      and the parallel sweep engine makes --mul-width 10-12 reachable);
-///   3. optimality of add/sub/bitwise ops, non-optimality of the muls;
+///      and the campaign engine makes --mul-width 10-12 reachable);
+///   3. randomized 64-bit refutation;
 ///   4. the three §III-A observations with concrete witnesses;
-///   5. the §III-B/§VII proof lemmas swept exhaustively.
+///   5. the §III-B/§VII proof lemmas swept exhaustively;
+///   6. monotonicity of the multiplication algorithms.
 ///
-/// The exhaustive sections run on the parallel sweep engine
-/// (verify/ParallelSweep.h); --jobs 1 selects the serial path and
-/// --compare-serial additionally times the scalar serial checkers on the
-/// multiplication campaign and reports the speedup.
+/// The exhaustive sections (1, 2, 6) compile into ONE declarative
+/// CampaignSpec (verify/Campaign.h) and run on the checkpointed, sharded
+/// campaign engine:
 ///
-/// --simd={auto,on,off} selects the member-scan path (support/SimdBatch.h):
-/// the batched 64-lane kernels (auto/on) or the scalar reference (off).
-/// Reports are bit-identical across modes; only the throughput moves, so
-/// running once with --simd=on and once with --simd=off is the A/B
-/// measurement of the kernel (compare the Mevals/s column).
+///   --checkpoint-dir D   durable shard store; a killed run resumes with
+///                        --resume and loses at most one shard of work
+///   --resume             reuse shards already in --checkpoint-dir
+///   --shards K           split the shard manifest across K invocations
+///   --shard-index I      this invocation's slice (0-based); every
+///                        invocation points at the same --checkpoint-dir,
+///                        and whichever one finds the manifest complete
+///                        prints the merged report
+///   --shard-pairs N      pair indices per shard (default 2^20)
+///
+/// Merged reports are bit-identical to an uninterrupted serial run no
+/// matter how the shards were split, killed, or resumed (the campaign
+/// determinism contract, docs/CAMPAIGN.md).
+///
+/// --simd={auto,on,off} selects the member-scan path (support/SimdBatch.h);
+/// reports are bit-identical across modes, so --simd=on vs --simd=off is
+/// the A/B measurement of the batched kernels. --compare-serial times the
+/// scalar serial checkers on the multiplication campaign.
+/// --optimality={first,full} picks first-witness-only (default; the
+/// ROADMAP's deterministic early-exit mode) or exact-total optimality
+/// scans, and --compare-optimality re-times the optimality cells with the
+/// memoized-concretization path disabled to show the per-cell speedup.
 ///
 /// Usage: soundness_verification [--width N] [--mul-width N]
 ///                               [--random-pairs N] [--jobs N]
 ///                               [--simd={auto,on,off}] [--compare-serial]
+///                               [--optimality={first,full}]
+///                               [--compare-optimality]
+///                               [--checkpoint-dir D] [--resume]
+///                               [--shards K] [--shard-index I]
+///                               [--shard-pairs N]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,9 +63,8 @@
 #include "support/ThreadPool.h"
 #include "tnum/TnumEnum.h"
 #include "verify/AlgebraicProperties.h"
+#include "verify/Campaign.h"
 #include "verify/LemmaChecks.h"
-#include "verify/MonotonicityChecker.h"
-#include "verify/ParallelSweep.h"
 
 #include <chrono>
 #include <cstdio>
@@ -62,6 +83,11 @@ template <typename FnT> double timeSeconds(FnT &&Fn) {
       std::chrono::steady_clock::now() - Start;
   return Elapsed.count();
 }
+
+/// Mul algorithms whose monotonicity section 6 reports (the paper-adjacent
+/// trio; the campaign accepts any).
+constexpr MulAlgorithm MonoAlgorithms[] = {
+    MulAlgorithm::Kern, MulAlgorithm::BitwiseOpt, MulAlgorithm::Our};
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -71,7 +97,11 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = ThreadPool::hardwareConcurrency();
   SimdMode Simd = SimdMode::Auto;
   bool CompareSerial = false;
+  bool CompareOptimality = false;
+  bool NoTiming = false;
   const char *SimdText = nullptr;
+  const char *OptimalityText = nullptr;
+  CampaignIO IO;
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
     // Widths live in [1, 16]: 3^17 tnum pairs is already out of
@@ -87,10 +117,25 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchString("--simd", SimdText)) // --simd=MODE or --simd MODE
       continue;
+    if (Args.matchString("--optimality", OptimalityText))
+      continue;
     if (Args.matchFlag("--compare-serial")) {
       CompareSerial = true;
       continue;
     }
+    if (Args.matchFlag("--compare-optimality")) {
+      CompareOptimality = true;
+      continue;
+    }
+    // Suppress wall-clock columns so the report is byte-for-byte
+    // deterministic -- how CI diffs a sharded+resumed campaign against
+    // the single-invocation run.
+    if (Args.matchFlag("--no-timing")) {
+      NoTiming = true;
+      continue;
+    }
+    if (matchCampaignArgs(Args, IO))
+      continue;
     Args.reject();
   }
   bool BadArgs = Args.failed();
@@ -100,14 +145,25 @@ int main(int Argc, char **Argv) {
     else
       BadArgs = true;
   }
+  bool OptimalityEarlyExit = true;
+  if (OptimalityText) {
+    if (std::strcmp(OptimalityText, "first") == 0)
+      OptimalityEarlyExit = true;
+    else if (std::strcmp(OptimalityText, "full") == 0)
+      OptimalityEarlyExit = false;
+    else
+      BadArgs = true;
+  }
   if (Jobs == 0) // Keeps the SweepConfig convention: hardware concurrency.
     Jobs = ThreadPool::hardwareConcurrency();
   if (BadArgs) {
-    std::fprintf(stderr,
-                 "usage: %s [--width 1..16] [--mul-width 1..16] "
-                 "[--random-pairs N] [--jobs 0..1024] "
-                 "[--simd={auto,on,off}] [--compare-serial]\n",
-                 Argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [--width 1..16] [--mul-width 1..16] [--random-pairs N] "
+        "[--jobs 0..1024] [--simd={auto,on,off}] [--compare-serial] "
+        "[--optimality={first,full}] [--compare-optimality] [--no-timing] "
+        "%s\n",
+        Argv[0], CampaignArgsUsage);
     return 1;
   }
   SweepConfig Sweep;
@@ -116,31 +172,159 @@ int main(int Argc, char **Argv) {
   std::printf("member-scan path: --simd=%s resolves to %s on this host\n\n",
               simdModeName(Simd), simdPathDescription(Simd));
 
+  //===--------------------------------------------------------------------===//
+  // Compile the exhaustive sections into one campaign spec.
+  //===--------------------------------------------------------------------===//
+  CampaignSpec Spec;
+  Spec.OptimalityEarlyExit = OptimalityEarlyExit;
+
+  // Section 1: soundness + optimality of every operator at --width.
+  struct OpCells {
+    BinaryOp Op;
+    bool Skipped;
+    size_t Soundness; ///< Cell indices into Spec.Cells.
+    size_t Optimality;
+  };
+  std::vector<OpCells> Sec1;
+  for (BinaryOp Op : AllBinaryOps) {
+    if (isShiftOp(Op) && (Width & (Width - 1)) != 0) {
+      Sec1.push_back({Op, true, 0, 0});
+      continue;
+    }
+    size_t Soundness = Spec.Cells.size();
+    Spec.Cells.push_back(
+        {Op, MulAlgorithm::Our, Width, CampaignProperty::Soundness});
+    size_t Optimality = Spec.Cells.size();
+    Spec.Cells.push_back(
+        {Op, MulAlgorithm::Our, Width, CampaignProperty::Optimality});
+    Sec1.push_back({Op, false, Soundness, Optimality});
+  }
+
+  // Section 2: soundness of every mul algorithm at --mul-width.
+  std::vector<size_t> Sec2;
+  for (MulAlgorithm Algorithm : AllMulAlgorithms) {
+    Sec2.push_back(Spec.Cells.size());
+    Spec.Cells.push_back({BinaryOp::Mul, Algorithm, MulWidth,
+                          CampaignProperty::Soundness});
+  }
+
+  // Section 6: monotonicity of the mul trio at widths 4-5.
+  struct MonoCell {
+    MulAlgorithm Algorithm;
+    unsigned Width;
+    size_t Cell;
+  };
+  std::vector<MonoCell> Sec6;
+  for (MulAlgorithm Algorithm : MonoAlgorithms)
+    for (unsigned W = 4; W <= 5; ++W) {
+      Sec6.push_back({Algorithm, W, Spec.Cells.size()});
+      Spec.Cells.push_back(
+          {BinaryOp::Mul, Algorithm, W, CampaignProperty::Monotonicity});
+    }
+
+  CampaignResult Campaign = runCampaign(Spec, IO, Sweep);
+  if (!Campaign.ok()) {
+    std::fprintf(stderr, "error: %s\n", Campaign.Error.c_str());
+    return 1;
+  }
+  printCampaignStatus(Campaign.ShardsTotal, Campaign.ShardsRun,
+                      Campaign.ShardsResumed, Campaign.ShardsSkipped,
+                      IO.CheckpointDir);
+  if (!Campaign.Complete) {
+    uint64_t Merged = 0, Needed = 0;
+    for (const CampaignCellResult &Cell : Campaign.Cells) {
+      Merged += Cell.ShardsMerged;
+      // A complete cell needed exactly what it merged (early exit may
+      // leave the rest of its manifest dead forever); an incomplete cell
+      // may still terminate early, so its full manifest is an upper
+      // bound, not a promise.
+      Needed += Cell.Complete ? Cell.ShardsMerged : Cell.ShardsTotal;
+    }
+    std::printf("campaign PARTIAL: %llu/%llu shards merged (upper bound; "
+                "early exits can retire cells sooner); run the remaining "
+                "--shard-index invocations (or --resume) against the same "
+                "--checkpoint-dir to complete and print the merged "
+                "report\n",
+                static_cast<unsigned long long>(Merged),
+                static_cast<unsigned long long>(Needed));
+    return 0;
+  }
+  std::printf("\n");
+
   bool AllHold = true;
 
   //===--------------------------------------------------------------------===//
   std::printf("[1] exhaustive soundness + optimality of every operator at "
-              "width %u (%u jobs)\n\n",
-              Width, Sweep.NumThreads);
-  TextTable OpTable({"op", "soundness", "optimality", "concrete evals"});
-  for (BinaryOp Op : AllBinaryOps) {
-    if (isShiftOp(Op) && (Width & (Width - 1)) != 0) {
-      OpTable.addRowOf(binaryOpName(Op), "skipped (width not 2^k)", "-", "-");
+              "width %u (%u jobs, optimality=%s)\n\n",
+              Width, Sweep.NumThreads, OptimalityEarlyExit ? "first" : "full");
+  TextTable OpTable({"op", "soundness", "optimality", "concrete evals",
+                     "opt seconds"});
+  for (const OpCells &Row : Sec1) {
+    if (Row.Skipped) {
+      OpTable.addRowOf(binaryOpName(Row.Op), "skipped (width not 2^k)", "-",
+                       "-", "-");
       continue;
     }
-    SoundnessReport Sound =
-        checkSoundnessExhaustiveParallel(Op, Width, MulAlgorithm::Our, Sweep);
-    OptimalityReport Precise = checkOptimalityExhaustiveParallel(
-        Op, Width, MulAlgorithm::Our, Sweep, /*StopAtFirst=*/true);
+    const CampaignCellResult &Sound = Campaign.Cells[Row.Soundness];
+    const CampaignCellResult &Precise = Campaign.Cells[Row.Optimality];
     AllHold &= Sound.holds();
-    OpTable.addRowOf(binaryOpName(Op), Sound.holds() ? "sound" : "UNSOUND",
-                     Precise.isOptimalEverywhere() ? "optimal"
-                                                   : "not optimal",
-                     Sound.ConcreteChecked);
+    OpTable.addRowOf(binaryOpName(Row.Op),
+                     Sound.holds() ? "sound" : "UNSOUND",
+                     Precise.holds() ? "optimal" : "not optimal",
+                     Sound.Soundness.ConcreteChecked,
+                     NoTiming ? std::string("-")
+                              : formatString("%.3f", Precise.Seconds));
   }
   OpTable.printAligned(stdout);
   std::printf("paper: all ops sound; add/sub/bitwise also optimal; div/mod "
               "conservatively imprecise.\n\n");
+
+  if (CompareOptimality) {
+    // A/B the memoized-concretization restructuring: rerun only the
+    // optimality cells with the per-pair gamma(P) re-enumeration the
+    // refactor replaced, and diff the reports (they must be identical).
+    CampaignSpec OptSpec;
+    OptSpec.OptimalityEarlyExit = OptimalityEarlyExit;
+    std::vector<size_t> Twins; ///< Memoized twin cells in the main run.
+    for (const OpCells &Row : Sec1)
+      if (!Row.Skipped) {
+        OptSpec.Cells.push_back(Spec.Cells[Row.Optimality]);
+        Twins.push_back(Row.Optimality);
+      }
+    SweepConfig Legacy = Sweep;
+    Legacy.MemoizeOptimality = false;
+    CampaignResult LegacyRun = runCampaign(OptSpec, CampaignIO(), Legacy);
+    if (!LegacyRun.ok()) {
+      std::fprintf(stderr, "error: %s\n", LegacyRun.Error.c_str());
+      return 1;
+    }
+    TextTable CmpTable({"op", "memoized s", "legacy s", "speedup",
+                        "reports"});
+    bool Identical = true;
+    for (size_t I = 0; I != OptSpec.Cells.size(); ++I) {
+      size_t Twin = Twins[I];
+      const OptimalityReport &A = Campaign.Cells[Twin].Optimality;
+      const OptimalityReport &B = LegacyRun.Cells[I].Optimality;
+      bool Same = A.PairsChecked == B.PairsChecked &&
+                  A.OptimalPairs == B.OptimalPairs &&
+                  A.isOptimalEverywhere() == B.isOptimalEverywhere();
+      Identical &= Same;
+      double MemoSeconds = Campaign.Cells[Twin].Seconds;
+      double LegacySeconds = LegacyRun.Cells[I].Seconds;
+      CmpTable.addRowOf(binaryOpName(OptSpec.Cells[I].Op),
+                        formatString("%.3f", MemoSeconds),
+                        formatString("%.3f", LegacySeconds),
+                        formatString("%.2fx", MemoSeconds > 0
+                                                  ? LegacySeconds / MemoSeconds
+                                                  : 0.0),
+                        Same ? "identical" : "DIVERGED");
+    }
+    std::printf("memoized vs legacy optimality scan (gamma(P) hoisted "
+                "across the Q axis vs re-enumerated per pair):\n");
+    CmpTable.printAligned(stdout);
+    std::printf("\n");
+    AllHold &= Identical;
+  }
 
   //===--------------------------------------------------------------------===//
   std::printf("[2] exhaustive soundness of each multiplication algorithm at "
@@ -148,39 +332,46 @@ int main(int Argc, char **Argv) {
               MulWidth, Sweep.NumThreads);
   TextTable MulTable({"algorithm", "soundness", "pairs", "concrete evals",
                       "seconds", "Mevals/s"});
-  std::vector<MulSweepResult> Campaign = sweepMulSoundness({MulWidth}, Sweep);
   double ParallelSeconds = 0;
   uint64_t CampaignEvals = 0;
-  for (const MulSweepResult &Cell : Campaign) {
-    AllHold &= Cell.Report.holds();
-    ParallelSeconds += Cell.Seconds;
-    CampaignEvals += Cell.Report.ConcreteChecked;
-    MulTable.addRowOf(mulAlgorithmName(Cell.Algorithm),
-                      Cell.Report.holds() ? "sound" : "UNSOUND",
-                      Cell.Report.PairsChecked, Cell.Report.ConcreteChecked,
-                      formatString("%.3f", Cell.Seconds),
-                      formatString("%.1f", Cell.Seconds > 0
-                                               ? Cell.Report.ConcreteChecked /
-                                                     Cell.Seconds / 1e6
-                                               : 0.0));
+  for (size_t Cell : Sec2) {
+    const CampaignCellResult &Row = Campaign.Cells[Cell];
+    AllHold &= Row.holds();
+    ParallelSeconds += Row.Seconds;
+    CampaignEvals += Row.Soundness.ConcreteChecked;
+    MulTable.addRowOf(mulAlgorithmName(Row.Cell.Mul),
+                      Row.holds() ? "sound" : "UNSOUND",
+                      Row.Soundness.PairsChecked,
+                      Row.Soundness.ConcreteChecked,
+                      NoTiming ? std::string("-")
+                               : formatString("%.3f", Row.Seconds),
+                      NoTiming ? std::string("-")
+                               : formatString(
+                                     "%.1f",
+                                     Row.Seconds > 0
+                                         ? Row.Soundness.ConcreteChecked /
+                                               Row.Seconds / 1e6
+                                         : 0.0));
   }
   MulTable.printAligned(stdout);
   // ConcreteChecked/sec over the whole campaign: the A/B figure of merit
   // for --simd on/off (identical eval counts, different wall-clock).
-  std::printf("campaign throughput: %.1f Mevals/s "
-              "(%llu concrete evals in %.3f s; --simd=%s, %u jobs)\n",
-              ParallelSeconds > 0 ? CampaignEvals / ParallelSeconds / 1e6
-                                  : 0.0,
-              static_cast<unsigned long long>(CampaignEvals), ParallelSeconds,
-              simdModeName(Simd), Sweep.NumThreads);
+  if (!NoTiming)
+    std::printf("campaign throughput: %.1f Mevals/s "
+                "(%llu concrete evals in %.3f s; --simd=%s, %u jobs)\n",
+                ParallelSeconds > 0 ? CampaignEvals / ParallelSeconds / 1e6
+                                    : 0.0,
+                static_cast<unsigned long long>(CampaignEvals),
+                ParallelSeconds, simdModeName(Simd), Sweep.NumThreads);
   if (CompareSerial) {
     // The reference is the scalar serial checker (SimdMode::Off) whatever
     // --simd selected, so the speedup always reads "fast path vs the
     // pre-batching baseline".
     double SerialSeconds = timeSeconds([&] {
-      for (const MulSweepResult &Cell : Campaign)
+      for (size_t Cell : Sec2)
         AllHold &= checkSoundnessExhaustive(BinaryOp::Mul, MulWidth,
-                                            Cell.Algorithm, SimdMode::Off)
+                                            Campaign.Cells[Cell].Cell.Mul,
+                                            SimdMode::Off)
                        .holds();
     });
     std::printf("scalar serial %.3f s vs parallel %.3f s with %u jobs "
@@ -256,16 +447,14 @@ int main(int Argc, char **Argv) {
   std::printf("\n[6] monotonicity of the multiplication algorithms "
               "(extension beyond the paper)\n\n");
   TextTable MonoTable({"algorithm", "width", "verdict"});
-  for (MulAlgorithm Alg :
-       {MulAlgorithm::Kern, MulAlgorithm::BitwiseOpt, MulAlgorithm::Our}) {
-    for (unsigned W = 4; W <= 5; ++W) {
-      MonotonicityReport Report =
-          checkMonotonicityExhaustiveParallel(BinaryOp::Mul, W, Alg, Sweep);
-      MonoTable.addRowOf(mulAlgorithmName(Alg), W,
-                         Report.holds()
-                             ? std::string("monotone")
-                             : "NON-MONOTONE: " + Report.Failure->toString(W));
-    }
+  for (const MonoCell &Row : Sec6) {
+    const CampaignCellResult &Cell = Campaign.Cells[Row.Cell];
+    MonoTable.addRowOf(mulAlgorithmName(Row.Algorithm), Row.Width,
+                       Cell.holds()
+                           ? std::string("monotone")
+                           : "NON-MONOTONE: " +
+                                 Cell.Monotonicity.Failure->toString(
+                                     Row.Width));
   }
   MonoTable.printAligned(stdout);
   std::printf("finding: the strength-reduced accumulators (P.v * Q.v) make "

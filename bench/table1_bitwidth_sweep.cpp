@@ -14,11 +14,17 @@
 /// share (75% at n=5 up to 80.2% at n=10).
 ///
 /// Usage: table1_bitwidth_sweep [--min-width N] [--max-width N] [--jobs N]
-///   Widths default to 5..8 exhaustively (9^N pairs). The per-width pair
-///   walk is embarrassingly parallel and runs on the sweep engine's pool
-///   (verify/ParallelSweep.h) -- the counters are order-independent sums,
-///   so the table is identical for every job count. Width 9-10 match the
-///   paper's full table and stay practical on a multicore host.
+///                              [--checkpoint-dir D] [--resume]
+///                              [--shards K] [--shard-index I]
+///                              [--shard-pairs N]
+///
+///   Widths default to 5..8 exhaustively (9^N pairs). Each width is one
+///   cell of a checkpointed campaign (verify/Campaign.h): its pair walk
+///   shards like the verification sweeps, every shard's six counters are
+///   checkpointed, and the merge is an order-independent sum -- so the
+///   table is identical for every job count, shard split, or resume.
+///   Width 9-10 match the paper's full table; with --checkpoint-dir a
+///   preempted width-10 run resumes instead of restarting.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +32,9 @@
 #include "support/Table.h"
 #include "tnum/TnumEnum.h"
 #include "tnum/TnumMul.h"
-#include "verify/ParallelSweep.h"
+#include "verify/Campaign.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,10 +42,81 @@
 
 using namespace tnums;
 
+namespace {
+
+/// The six order-independent counters of one Table I row (= one cell).
+struct Row {
+  uint64_t Total = 0;
+  uint64_t Equal = 0;
+  uint64_t Differ = 0;
+  uint64_t Comparable = 0;
+  uint64_t KernWins = 0;
+  uint64_t OurWins = 0;
+};
+
+/// Accumulates [Begin, End) of \p Universe's pair grid into \p Out,
+/// parallel over the sweep pool. Deterministic: plain sums.
+void scanRange(const std::vector<Tnum> &Universe, unsigned Width,
+               uint64_t Begin, uint64_t End, const SweepConfig &Config,
+               Row &Out) {
+  const uint64_t NumTnums = Universe.size();
+  std::mutex Merge;
+  forEachIndexRangeParallel(Begin, End, Config, [&](uint64_t ChunkBegin,
+                                                    uint64_t ChunkEnd) {
+    Row Local;
+    for (uint64_t Index = ChunkBegin; Index != ChunkEnd; ++Index) {
+      const Tnum &P = Universe[Index / NumTnums];
+      const Tnum &Q = Universe[Index % NumTnums];
+      ++Local.Total;
+      Tnum RKern = tnumMul(P, Q, MulAlgorithm::Kern, Width);
+      Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
+      if (RKern == ROur) {
+        ++Local.Equal;
+        continue;
+      }
+      ++Local.Differ;
+      if (!RKern.isComparableTo(ROur))
+        continue;
+      ++Local.Comparable;
+      if (ROur.isSubsetOf(RKern))
+        ++Local.OurWins;
+      else
+        ++Local.KernWins;
+    }
+    std::lock_guard<std::mutex> Lock(Merge);
+    Out.Total += Local.Total;
+    Out.Equal += Local.Equal;
+    Out.Differ += Local.Differ;
+    Out.Comparable += Local.Comparable;
+    Out.KernWins += Local.KernWins;
+    Out.OurWins += Local.OurWins;
+  });
+}
+
+std::string serializeRow(const Row &R) {
+  return formatString("total %" PRIu64 "\nequal %" PRIu64 "\ndiffer %" PRIu64
+                      "\ncomparable %" PRIu64 "\nkern_wins %" PRIu64
+                      "\nour_wins %" PRIu64 "\n",
+                      R.Total, R.Equal, R.Differ, R.Comparable, R.KernWins,
+                      R.OurWins);
+}
+
+bool parseRow(const std::string &Payload, Row &R) {
+  return std::sscanf(Payload.c_str(),
+                     "total %" SCNu64 "\nequal %" SCNu64 "\ndiffer %" SCNu64
+                     "\ncomparable %" SCNu64 "\nkern_wins %" SCNu64
+                     "\nour_wins %" SCNu64,
+                     &R.Total, &R.Equal, &R.Differ, &R.Comparable,
+                     &R.KernWins, &R.OurWins) == 6;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   unsigned MinWidth = 5;
   unsigned MaxWidth = 8;
   unsigned Jobs = 0; // SweepConfig convention: 0 = hardware concurrency.
+  CampaignIO IO;
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
     if (Args.matchUnsigned("--min-width", 2, 10, MinWidth))
@@ -47,82 +125,103 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchJobs(Jobs))
       continue;
+    if (matchCampaignArgs(Args, IO))
+      continue;
     Args.reject();
   }
   if (Args.failed() || MinWidth > MaxWidth) {
     std::fprintf(stderr,
-                 "usage: %s [--min-width N] [--max-width N] [--jobs N] "
+                 "usage: %s [--min-width N] [--max-width N] [--jobs N] %s "
                  "with 2 <= min <= max <= 10\n",
-                 Argv[0]);
+                 Argv[0], CampaignArgsUsage);
     return 1;
   }
 
   std::printf("Table I: kern_mul vs our_mul across bitwidths (exhaustive "
               "over all tnum pairs)\n\n");
 
+  SweepConfig Config;
+  Config.NumThreads = Jobs;
+
+  // One campaign cell per width. Universes build lazily: a resumed
+  // invocation whose widths are all checkpointed never enumerates them.
+  const unsigned NumWidths = MaxWidth - MinWidth + 1;
+  std::vector<uint64_t> CellPairs;
+  for (unsigned Width = MinWidth; Width <= MaxWidth; ++Width) {
+    uint64_t NumTnums = numWellFormedTnums(Width);
+    CellPairs.push_back(NumTnums * NumTnums);
+  }
+  std::vector<std::vector<Tnum>> Universes(NumWidths);
+  auto universeFor = [&](size_t Cell) -> const std::vector<Tnum> & {
+    if (Universes[Cell].empty())
+      Universes[Cell] = allWellFormedTnums(MinWidth + Cell);
+    return Universes[Cell];
+  };
+
+  Fnv1a Hash;
+  Hash.mixString("tnums-table1 v1");
+  Hash.mixU64(MinWidth);
+  Hash.mixU64(MaxWidth);
+  Hash.mixU64(IO.ShardPairs);
+
+  std::vector<Row> Rows(NumWidths);
+  ShardDriveResult Drive = driveCampaignShards(
+      CellPairs, Hash.digest(), IO,
+      [&](size_t Cell, uint64_t Begin, uint64_t End, ShardRecord &Out) {
+        Row Shard;
+        scanRange(universeFor(Cell), MinWidth + Cell, Begin, End, Config,
+                  Shard);
+        Out.Payload = serializeRow(Shard);
+      },
+      [&](size_t Cell, uint64_t, uint64_t, const ShardRecord &Record,
+          std::string &Error) {
+        Row Shard;
+        if (!parseRow(Record.Payload, Shard)) {
+          Error = formatString("malformed Table I shard for width %zu",
+                               MinWidth + Cell);
+          return false;
+        }
+        Row &R = Rows[Cell];
+        R.Total += Shard.Total;
+        R.Equal += Shard.Equal;
+        R.Differ += Shard.Differ;
+        R.Comparable += Shard.Comparable;
+        R.KernWins += Shard.KernWins;
+        R.OurWins += Shard.OurWins;
+        return true;
+      });
+  if (!Drive.ok()) {
+    std::fprintf(stderr, "error: %s\n", Drive.Error.c_str());
+    return 1;
+  }
+  printCampaignStatus(Drive.ShardsTotal, Drive.ShardsRun,
+                      Drive.ShardsResumed, Drive.ShardsSkipped,
+                      IO.CheckpointDir);
+  if (!Drive.Complete) {
+    std::printf("campaign PARTIAL: run the remaining --shard-index "
+                "invocations (or --resume) against the same "
+                "--checkpoint-dir to complete the table\n");
+    return 0;
+  }
+  std::printf("\n");
+
   TextTable Table({"bitwidth", "total pairs", "equal", "equal %",
                    "differing", "differ %", "comparable %", "kern wins %",
                    "our wins %"});
-
-  for (unsigned Width = MinWidth; Width <= MaxWidth; ++Width) {
-    std::vector<Tnum> Universe = allWellFormedTnums(Width);
-    const uint64_t NumTnums = Universe.size();
-    uint64_t Total = 0;
-    uint64_t Equal = 0;
-    uint64_t Differ = 0;
-    uint64_t Comparable = 0;
-    uint64_t KernWins = 0;
-    uint64_t OurWins = 0;
-
-    SweepConfig Config;
-    Config.NumThreads = Jobs;
-    std::mutex Merge;
-    forEachIndexRangeParallel(
-        NumTnums * NumTnums, Config, [&](uint64_t Begin, uint64_t End) {
-          uint64_t LTotal = 0, LEqual = 0, LDiffer = 0, LComparable = 0;
-          uint64_t LKernWins = 0, LOurWins = 0;
-          for (uint64_t Index = Begin; Index != End; ++Index) {
-            const Tnum &P = Universe[Index / NumTnums];
-            const Tnum &Q = Universe[Index % NumTnums];
-            ++LTotal;
-            Tnum RKern = tnumMul(P, Q, MulAlgorithm::Kern, Width);
-            Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
-            if (RKern == ROur) {
-              ++LEqual;
-              continue;
-            }
-            ++LDiffer;
-            if (!RKern.isComparableTo(ROur))
-              continue;
-            ++LComparable;
-            if (ROur.isSubsetOf(RKern))
-              ++LOurWins;
-            else
-              ++LKernWins;
-          }
-          std::lock_guard<std::mutex> Lock(Merge);
-          Total += LTotal;
-          Equal += LEqual;
-          Differ += LDiffer;
-          Comparable += LComparable;
-          KernWins += LKernWins;
-          OurWins += LOurWins;
-        });
-
+  for (size_t Cell = 0; Cell != Rows.size(); ++Cell) {
+    const Row &R = Rows[Cell];
     auto Pct = [](uint64_t Part, uint64_t Whole) {
       return formatString("%.3f%%", Whole == 0 ? 0.0
                                                : 100.0 *
                                                      static_cast<double>(Part) /
                                                      static_cast<double>(Whole));
     };
-    Table.addRowOf(Width, Total, Equal, Pct(Equal, Total), Differ,
-                   Pct(Differ, Total), Pct(Comparable, Differ),
-                   Pct(KernWins, Comparable), Pct(OurWins, Comparable));
-    std::printf("width %u done (%llu pairs)\n", Width,
-                static_cast<unsigned long long>(Total));
+    Table.addRowOf(MinWidth + Cell, R.Total, R.Equal, Pct(R.Equal, R.Total),
+                   R.Differ, Pct(R.Differ, R.Total),
+                   Pct(R.Comparable, R.Differ),
+                   Pct(R.KernWins, R.Comparable),
+                   Pct(R.OurWins, R.Comparable));
   }
-
-  std::printf("\n");
   Table.printAligned(stdout);
   std::printf("\npaper reference: equal %% falls 99.986 -> 99.895, our-wins "
               "%% rises 75.0 -> 80.2 as width goes 5 -> 10; all differing "

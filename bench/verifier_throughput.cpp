@@ -163,11 +163,12 @@ int main(int Argc, char **Argv) {
                                     Point.Fingerprint)));
   Table.printAligned(stdout);
   std::printf("\nverdicts: %llu accepted, %llu rejected structural, "
-              "%llu rejected semantic (%llu insn visits)\n",
+              "%llu rejected semantic (%llu insn visits, %llu dedup hits)\n",
               static_cast<unsigned long long>(Base.Accepted),
               static_cast<unsigned long long>(Base.RejectedStructural),
               static_cast<unsigned long long>(Base.RejectedSemantic),
-              static_cast<unsigned long long>(Base.InsnVisits));
+              static_cast<unsigned long long>(Base.InsnVisits),
+              static_cast<unsigned long long>(Base.DedupHits));
   std::printf("determinism: per-program verdicts %s across jobs counts\n",
               Deterministic ? "bit-identical" : "DIVERGED");
 
@@ -208,6 +209,7 @@ int main(int Argc, char **Argv) {
                  "  \"rejected_structural\": %llu,\n"
                  "  \"rejected_semantic\": %llu,\n"
                  "  \"insn_visits\": %llu,\n"
+                 "  \"dedup_hits\": %llu,\n"
                  "  \"deterministic\": %s,\n"
                  "  \"verdict_fingerprint\": \"%016llx\",\n"
                  "  \"scaling\": [\n",
@@ -219,6 +221,7 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(Base.RejectedStructural),
                  static_cast<unsigned long long>(Base.RejectedSemantic),
                  static_cast<unsigned long long>(Base.InsnVisits),
+                 static_cast<unsigned long long>(Base.DedupHits),
                  Deterministic ? "true" : "false",
                  static_cast<unsigned long long>(Curve.front().Fingerprint));
     for (size_t I = 0; I != Curve.size(); ++I)

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for BENCH_verifier.json.
+
+Compares the verifier-throughput numbers a CI run just produced against
+the committed snapshot in bench/baselines/. Two classes of check:
+
+ * Verdict identity (exact): the generator is seeded and every verdict is
+   a pure function of its program, so accepted/rejected counts, the
+   verdict fingerprint, insn visits, and the determinism flag must match
+   the baseline bit for bit on ANY machine. A mismatch means the analyzer
+   or generator semantics changed -- refresh the baseline deliberately
+   (rerun the bench with the baseline's command line and commit the new
+   JSON) or find the bug.
+
+ * Throughput (generous tolerance): CI runners vary wildly, so the gate
+   only fails when single-job programs/s falls below ``--min-throughput-
+   ratio`` (default 0.4) of the baseline -- a 2.5x slowdown. That catches
+   accidental algorithmic regressions (e.g. losing the per-worker engine
+   reuse) while shrugging off runner noise. Tune the ratio per workflow
+   if a runner class proves noisier.
+
+Exit status: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot load {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_verifier.json from this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--min-throughput-ratio",
+        type=float,
+        default=0.4,
+        help="fail if jobs=1 programs/s drops below this fraction of the "
+        "baseline (default %(default)s; generous on purpose)",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = []
+
+    def same(key):
+        if current.get(key) != baseline.get(key):
+            failures.append(
+                f"{key}: current {current.get(key)!r} != baseline "
+                f"{baseline.get(key)!r}"
+            )
+
+    # The workload must be the same experiment before numbers compare.
+    for key in ("bench", "seed", "profile", "programs", "mem_size"):
+        same(key)
+    if failures:
+        print("bench gate: baseline and run are DIFFERENT experiments:")
+        for failure in failures:
+            print(f"  {failure}")
+        print(
+            "refresh bench/baselines/ with the workflow's exact bench "
+            "command if the workload change was intentional"
+        )
+        return 1
+
+    # Machine-independent semantics: exact.
+    for key in (
+        "accepted",
+        "rejected_structural",
+        "rejected_semantic",
+        "insn_visits",
+        "dedup_hits",
+        "verdict_fingerprint",
+        "deterministic",
+    ):
+        same(key)
+
+    # Machine-dependent throughput: generous floor on the jobs=1 point
+    # (every run records it; higher job counts depend on runner cores).
+    def single_job_rate(data, name):
+        for point in data.get("scaling", []):
+            if point.get("jobs") == 1:
+                return point.get("programs_per_s", 0.0)
+        failures.append(f"{name} has no jobs=1 scaling point")
+        return None
+
+    current_rate = single_job_rate(current, "current run")
+    baseline_rate = single_job_rate(baseline, "baseline")
+    if current_rate is not None and baseline_rate:
+        ratio = current_rate / baseline_rate
+        floor = args.min_throughput_ratio
+        print(
+            f"bench gate: jobs=1 throughput {current_rate:.0f} programs/s "
+            f"vs baseline {baseline_rate:.0f} ({ratio:.2f}x, floor {floor})"
+        )
+        if ratio < floor:
+            failures.append(
+                f"jobs=1 throughput regressed to {ratio:.2f}x of baseline "
+                f"(floor {floor})"
+            )
+
+    if failures:
+        print("bench gate: REGRESSION detected:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("bench gate: ok (verdicts identical, throughput within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,14 @@
 #include "service/VerificationService.h"
 
 #include "support/Atomic.h"
+#include "support/Checkpoint.h"
 #include "support/ChunkSchedule.h"
 #include "support/Table.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <unordered_map>
 
 using namespace tnums;
 using namespace tnums::bpf;
@@ -41,17 +43,96 @@ void verifyInto(const VerifyRequest &Request, const ServiceConfig &Config,
     Out.InStates = std::move(Result.InStates);
 }
 
+//===----------------------------------------------------------------------===//
+// Content-hash request dedup
+//
+// Two requests with identical canonicalized program bytes and identical
+// verdict-relevant options necessarily produce identical verdicts (a
+// verdict is a pure function of the request), so a batch only needs to
+// analyze the first occurrence. Hash buckets are confirmed by exact
+// field-wise comparison -- a collision degrades to a miss, never to a
+// wrong verdict.
+//===----------------------------------------------------------------------===//
+
+/// Canonical digest of everything that can influence a verdict: the
+/// per-instruction fields (field-wise, not memcpy, so struct padding
+/// never leaks in) plus the context size and analyzer knobs.
+uint64_t hashRequest(const VerifyRequest &Request) {
+  Fnv1a Hash;
+  Hash.mixU64(Request.MemSize);
+  Hash.mixU64(Request.AnalyzerOpts.WideningThreshold);
+  Hash.mixU64(Request.AnalyzerOpts.MaxInsnVisits);
+  Hash.mixU64(Request.Prog.size());
+  for (const Insn &I : Request.Prog) {
+    Hash.mixU64(static_cast<uint64_t>(I.InsnKind));
+    Hash.mixU64(static_cast<uint64_t>(I.Alu));
+    Hash.mixU64(static_cast<uint64_t>(I.Cmp));
+    Hash.mixU64(I.Dst);
+    Hash.mixU64(I.Src);
+    Hash.mixU64(I.UsesImm ? 1 : 0);
+    Hash.mixU64(static_cast<uint64_t>(I.Imm));
+    Hash.mixU64(static_cast<uint64_t>(static_cast<int64_t>(I.Offset)));
+    Hash.mixU64(I.Size);
+    Hash.mixU64(I.Is32 ? 1 : 0);
+  }
+  return Hash.digest();
+}
+
+bool sameInsn(const Insn &A, const Insn &B) {
+  return A.InsnKind == B.InsnKind && A.Alu == B.Alu && A.Cmp == B.Cmp &&
+         A.Dst == B.Dst && A.Src == B.Src && A.UsesImm == B.UsesImm &&
+         A.Imm == B.Imm && A.Offset == B.Offset && A.Size == B.Size &&
+         A.Is32 == B.Is32;
+}
+
+bool sameRequest(const VerifyRequest &A, const VerifyRequest &B) {
+  if (A.MemSize != B.MemSize ||
+      A.AnalyzerOpts.WideningThreshold != B.AnalyzerOpts.WideningThreshold ||
+      A.AnalyzerOpts.MaxInsnVisits != B.AnalyzerOpts.MaxInsnVisits ||
+      A.Prog.size() != B.Prog.size())
+    return false;
+  for (size_t I = 0; I != A.Prog.size(); ++I)
+    if (!sameInsn(A.Prog.insn(I), B.Prog.insn(I)))
+      return false;
+  return true;
+}
+
+/// Representative[i] = index of the first request identical to
+/// Requests[i] (== i for first occurrences, which are the ones actually
+/// scheduled).
+std::vector<size_t>
+computeRepresentatives(const std::vector<VerifyRequest> &Requests) {
+  std::vector<size_t> Representative(Requests.size());
+  std::unordered_map<uint64_t, std::vector<size_t>> Buckets;
+  Buckets.reserve(Requests.size());
+  for (size_t Index = 0; Index != Requests.size(); ++Index) {
+    std::vector<size_t> &Bucket = Buckets[hashRequest(Requests[Index])];
+    size_t Found = Index;
+    for (size_t Earlier : Bucket)
+      if (sameRequest(Requests[Earlier], Requests[Index])) {
+        Found = Earlier;
+        break;
+      }
+    Representative[Index] = Found;
+    if (Found == Index)
+      Bucket.push_back(Index);
+  }
+  return Representative;
+}
+
 } // namespace
 
 std::string BatchStats::toString() const {
   return formatString(
       "%llu programs in %.3f s (%.0f programs/s, %.2f Minsn-visits/s): "
-      "%llu accepted, %llu rejected structural, %llu rejected semantic",
+      "%llu accepted, %llu rejected structural, %llu rejected semantic, "
+      "%llu dedup hits",
       static_cast<unsigned long long>(Programs), Seconds,
       programsPerSecond(), insnVisitsPerSecond() / 1e6,
       static_cast<unsigned long long>(Accepted),
       static_cast<unsigned long long>(RejectedStructural),
-      static_cast<unsigned long long>(RejectedSemantic));
+      static_cast<unsigned long long>(RejectedSemantic),
+      static_cast<unsigned long long>(DedupHits));
 }
 
 uint64_t tnums::service::verdictFingerprint(const BatchResult &Batch) {
@@ -100,14 +181,33 @@ VerificationService::verifyBatch(const std::vector<VerifyRequest> &Requests) con
   Batch.Results.resize(Requests.size());
   auto Start = std::chrono::steady_clock::now();
 
-  const uint64_t Total = Requests.size();
+  // With dedup, only first occurrences are scheduled; duplicates inherit
+  // their representative's verdict after the pool drains. Without it,
+  // every index is its own representative and Unique is the identity.
+  std::vector<size_t> Representative;
+  std::vector<size_t> Unique;
+  if (Config.DedupPrograms) {
+    Representative = computeRepresentatives(Requests);
+    Unique.reserve(Requests.size());
+    for (size_t Index = 0; Index != Representative.size(); ++Index)
+      if (Representative[Index] == Index)
+        Unique.push_back(Index);
+  } else {
+    Unique.resize(Requests.size());
+    for (size_t Index = 0; Index != Unique.size(); ++Index)
+      Unique[Index] = Index;
+  }
+
+  const uint64_t Total = Unique.size();
   const uint64_t ChunkPrograms = std::max<uint64_t>(1, Config.ChunkPrograms);
   const uint64_t NumChunks = (Total + ChunkPrograms - 1) / ChunkPrograms;
 
   // Lowest chunk index containing a reject; only consulted in
   // StopAtFirstReject mode. Same protocol as the sweeps: cancel strictly
   // above, always finish at or below, so the first Done reject in index
-  // order is exactly the serial-order first reject.
+  // order is exactly the serial-order first reject. (Dedup preserves
+  // this: the unique stream keeps first-occurrence order, and every
+  // duplicate both follows and matches its representative.)
   std::atomic<uint64_t> FirstRejectChunk{UINT64_MAX};
 
   forEachChunkOnPool(
@@ -121,10 +221,11 @@ VerificationService::verifyBatch(const std::vector<VerifyRequest> &Requests) con
           return;
         uint64_t Begin = Chunk * ChunkPrograms;
         uint64_t End = std::min(Total, Begin + ChunkPrograms);
-        for (uint64_t Index = Begin; Index != End; ++Index) {
+        for (uint64_t Position = Begin; Position != End; ++Position) {
           if (Config.StopAtFirstReject &&
               Chunk > FirstRejectChunk.load(std::memory_order_relaxed))
             break;
+          size_t Index = Unique[Position];
           VerifyResult &Out = Batch.Results[Index];
           verifyInto(Requests[Index], Config, Engine, Out);
           if (!Out.Accepted && Config.StopAtFirstReject) {
@@ -133,6 +234,15 @@ VerificationService::verifyBatch(const std::vector<VerifyRequest> &Requests) con
           }
         }
       });
+
+  if (Config.DedupPrograms)
+    for (size_t Index = 0; Index != Representative.size(); ++Index) {
+      size_t Rep = Representative[Index];
+      if (Rep == Index || !Batch.Results[Rep].Done)
+        continue;
+      Batch.Results[Index] = Batch.Results[Rep];
+      ++Batch.Stats.DedupHits;
+    }
 
   std::chrono::duration<double> Elapsed =
       std::chrono::steady_clock::now() - Start;

@@ -71,6 +71,18 @@ struct ServiceConfig {
   /// rejected request (the ParallelSweep cancellation protocol). For
   /// loader-style "stop at the first bad program in the bundle" flows.
   bool StopAtFirstReject = false;
+
+  /// Content-hash verdict dedup: requests whose canonicalized program
+  /// bytes (and verdict-relevant options) are identical to an earlier
+  /// request in the batch are served the first occurrence's verdict
+  /// instead of being re-analyzed. A verdict is a pure function of the
+  /// request, so full-batch results -- and verdictFingerprint -- are
+  /// bit-identical with dedup on or off; only BatchStats::DedupHits and
+  /// the wall clock move. (Under StopAtFirstReject, a duplicate is filled
+  /// whenever its representative ran, which can fill entries a
+  /// non-deduped schedule would have cancelled -- the set of cancelled
+  /// entries is best-effort in that mode either way.)
+  bool DedupPrograms = true;
 };
 
 /// One program to verify against a MemSize-byte context region.
@@ -99,11 +111,14 @@ struct VerifyResult {
 
 /// Aggregate throughput accounting for one batch.
 struct BatchStats {
-  uint64_t Programs = 0;           ///< Requests actually verified (Done).
+  uint64_t Programs = 0;           ///< Requests with a verdict (Done),
+                                   ///< including dedup-served duplicates.
   uint64_t Accepted = 0;
   uint64_t RejectedStructural = 0;
   uint64_t RejectedSemantic = 0;
   uint64_t InsnVisits = 0;
+  uint64_t DedupHits = 0;          ///< Duplicates served from an earlier
+                                   ///< identical request's verdict.
   double Seconds = 0;              ///< Wall clock for the whole batch.
 
   double programsPerSecond() const {

@@ -1,0 +1,241 @@
+//===- support/Checkpoint.cpp - Durable campaign shard store --------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Checkpoint.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace tnums;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *ManifestName = "campaign.manifest";
+constexpr const char *ManifestMagic = "tnums-campaign-manifest v1";
+constexpr const char *ShardMagic = "tnums-campaign-shard v1";
+
+/// Writes \p Contents to \p Path durably: temp sibling + fsync + rename +
+/// directory fsync. Returns false with \p Error set on any syscall
+/// failure. The temp name embeds the pid so concurrent invocations
+/// sharing the directory never collide mid-write.
+bool writeFileDurable(const std::string &Path, const std::string &Contents,
+                      std::string &Error) {
+  std::string Temp = formatString("%s.tmp.%ld", Path.c_str(),
+                                  static_cast<long>(::getpid()));
+  int Fd = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Error = formatString("cannot create %s: %s", Temp.c_str(),
+                         std::strerror(errno));
+    return false;
+  }
+  size_t Written = 0;
+  while (Written != Contents.size()) {
+    ssize_t N = ::write(Fd, Contents.data() + Written,
+                        Contents.size() - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = formatString("cannot write %s: %s", Temp.c_str(),
+                           std::strerror(errno));
+      ::close(Fd);
+      ::unlink(Temp.c_str());
+      return false;
+    }
+    Written += static_cast<size_t>(N);
+  }
+  if (::fsync(Fd) != 0) {
+    Error = formatString("cannot fsync %s: %s", Temp.c_str(),
+                         std::strerror(errno));
+    ::close(Fd);
+    ::unlink(Temp.c_str());
+    return false;
+  }
+  ::close(Fd);
+  if (::rename(Temp.c_str(), Path.c_str()) != 0) {
+    Error = formatString("cannot rename %s -> %s: %s", Temp.c_str(),
+                         Path.c_str(), std::strerror(errno));
+    ::unlink(Temp.c_str());
+    return false;
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  std::string Dir = fs::path(Path).parent_path().string();
+  if (Dir.empty())
+    Dir = ".";
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd); // Best-effort; some filesystems refuse dir fsync.
+    ::close(DirFd);
+  }
+  return true;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::nullopt;
+  std::string Contents;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) != 0)
+    Contents.append(Buf, N);
+  std::fclose(File);
+  return Contents;
+}
+
+/// Pops the first line (without the newline) off \p Text.
+std::string takeLine(std::string &Text) {
+  size_t Eol = Text.find('\n');
+  std::string Line = Text.substr(0, Eol);
+  Text.erase(0, Eol == std::string::npos ? Text.size() : Eol + 1);
+  return Line;
+}
+
+/// Parses "<key> <hex-or-dec u64>"; nullopt unless the line starts with
+/// exactly \p Key followed by one value.
+std::optional<uint64_t> parseKeyedU64(const std::string &Line,
+                                      const char *Key, bool Hex) {
+  size_t KeyLen = std::strlen(Key);
+  if (Line.compare(0, KeyLen, Key) != 0 || Line.size() <= KeyLen ||
+      Line[KeyLen] != ' ')
+    return std::nullopt;
+  const char *Text = Line.c_str() + KeyLen + 1;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long Value = std::strtoull(Text, &End, Hex ? 16 : 10);
+  if (errno != 0 || End == Text || *End != '\0')
+    return std::nullopt;
+  return static_cast<uint64_t>(Value);
+}
+
+std::string manifestContents(uint64_t Fingerprint, uint64_t NumShards) {
+  return formatString("%s\nfingerprint %016" PRIx64 "\nshards %" PRIu64 "\n",
+                      ManifestMagic, Fingerprint, NumShards);
+}
+
+} // namespace
+
+std::string CheckpointStore::shardPath(uint64_t Index) const {
+  return formatString("%s/shard-%08" PRIu64 ".ckpt", Dir.c_str(), Index);
+}
+
+std::optional<CheckpointStore>
+CheckpointStore::open(const std::string &Dir, uint64_t Fingerprint,
+                      uint64_t NumShards, std::string &Error) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    Error = formatString("cannot create checkpoint directory %s: %s",
+                         Dir.c_str(), Ec.message().c_str());
+    return std::nullopt;
+  }
+  std::string ManifestPath = Dir + "/" + ManifestName;
+  if (std::optional<std::string> Existing = readFile(ManifestPath)) {
+    // Resuming: the directory must belong to this exact campaign.
+    std::string Text = *Existing;
+    std::string Magic = takeLine(Text);
+    std::optional<uint64_t> HaveFp =
+        parseKeyedU64(takeLine(Text), "fingerprint", /*Hex=*/true);
+    std::optional<uint64_t> HaveShards =
+        parseKeyedU64(takeLine(Text), "shards", /*Hex=*/false);
+    if (Magic != ManifestMagic || !HaveFp || !HaveShards) {
+      Error = formatString("%s is not a v1 campaign manifest",
+                           ManifestPath.c_str());
+      return std::nullopt;
+    }
+    if (*HaveFp != Fingerprint || *HaveShards != NumShards) {
+      Error = formatString(
+          "checkpoint directory %s belongs to a different campaign "
+          "(manifest fingerprint %016" PRIx64 "/%" PRIu64
+          " shards, this spec %016" PRIx64 "/%" PRIu64
+          " shards); refusing to mix state",
+          Dir.c_str(), *HaveFp, *HaveShards, Fingerprint, NumShards);
+      return std::nullopt;
+    }
+  } else if (!writeFileDurable(ManifestPath,
+                               manifestContents(Fingerprint, NumShards),
+                               Error)) {
+    return std::nullopt;
+  }
+  return CheckpointStore(Dir, Fingerprint);
+}
+
+bool CheckpointStore::storeShard(uint64_t Index, const ShardRecord &Record,
+                                 std::string &Error) const {
+  std::string Contents =
+      formatString("%s\nfingerprint %016" PRIx64 "\nshard %" PRIu64
+                   "\nterminal %d\n",
+                   ShardMagic, Fingerprint, Index, Record.Terminal ? 1 : 0);
+  Contents += Record.Payload;
+  return writeFileDurable(shardPath(Index), Contents, Error);
+}
+
+std::optional<ShardRecord>
+CheckpointStore::loadShard(uint64_t Index, std::string &Error) const {
+  Error.clear();
+  std::string Path = shardPath(Index);
+  std::optional<std::string> Contents = readFile(Path);
+  if (!Contents)
+    return std::nullopt; // Not completed yet; Error stays empty.
+  std::string Text = std::move(*Contents);
+  std::string Magic = takeLine(Text);
+  std::optional<uint64_t> Fp =
+      parseKeyedU64(takeLine(Text), "fingerprint", /*Hex=*/true);
+  std::optional<uint64_t> Shard =
+      parseKeyedU64(takeLine(Text), "shard", /*Hex=*/false);
+  std::optional<uint64_t> Terminal =
+      parseKeyedU64(takeLine(Text), "terminal", /*Hex=*/false);
+  if (Magic != ShardMagic || !Fp || !Shard || !Terminal ||
+      (*Terminal != 0 && *Terminal != 1)) {
+    Error = formatString("%s is not a v1 campaign shard file", Path.c_str());
+    return std::nullopt;
+  }
+  if (*Fp != Fingerprint || *Shard != Index) {
+    Error = formatString("%s belongs to a different campaign or shard "
+                         "(fingerprint %016" PRIx64 ", shard %" PRIu64 ")",
+                         Path.c_str(), *Fp, *Shard);
+    return std::nullopt;
+  }
+  ShardRecord Record;
+  Record.Terminal = *Terminal == 1;
+  Record.Payload = std::move(Text);
+  return Record;
+}
+
+bool CheckpointStore::hasShard(uint64_t Index) const {
+  struct stat St;
+  return ::stat(shardPath(Index).c_str(), &St) == 0;
+}
+
+std::vector<uint64_t> CheckpointStore::completedShards() const {
+  std::vector<uint64_t> Indices;
+  std::error_code Ec;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, Ec)) {
+    std::string Name = Entry.path().filename().string();
+    uint64_t Index;
+    char Trailer[6] = {};
+    // shard-<index>.ckpt, and nothing after the suffix (excludes temps).
+    if (std::sscanf(Name.c_str(), "shard-%" SCNu64 ".ckp%5s", &Index,
+                    Trailer) == 2 &&
+        std::strcmp(Trailer, "t") == 0)
+      Indices.push_back(Index);
+  }
+  std::sort(Indices.begin(), Indices.end());
+  return Indices;
+}

@@ -1,0 +1,134 @@
+//===- support/Checkpoint.h - Durable campaign shard store ------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk state a checkpointed campaign (verify/Campaign.h) survives
+/// preemption with: one directory holding a manifest plus one small file
+/// per *completed* shard. The store knows nothing about what a shard
+/// means -- payloads are opaque text the campaign layer serializes -- it
+/// only guarantees durability and identity:
+///
+///  * Shard writes are atomic and durable: payloads land in a temp file,
+///    are fsync'd, and are renamed into place (then the directory is
+///    fsync'd). A killed process therefore leaves either a complete,
+///    loadable shard file or nothing -- never a torn one -- which is what
+///    makes "kill anywhere, resume, merge" safe.
+///  * Every file carries a format version and the campaign fingerprint
+///    (a digest of the spec that produced the manifest). Opening a
+///    directory written by a different campaign, or loading a shard whose
+///    fingerprint disagrees, fails loudly instead of merging garbage.
+///
+/// Multiple invocations may share one directory concurrently (the
+/// --shards=K / --shard-index=i farming mode): they write disjoint shard
+/// files, and identical manifest rewrites are idempotent.
+///
+/// Format (v1, line-oriented text; see docs/CAMPAIGN.md):
+///
+///   campaign.manifest:   tnums-campaign-manifest v1
+///                        fingerprint <hex64>
+///                        shards <N>
+///
+///   shard-<index>.ckpt:  tnums-campaign-shard v1
+///                        fingerprint <hex64>
+///                        shard <index>
+///                        terminal <0|1>
+///                        <payload lines...>
+///
+/// "terminal" marks a shard whose outcome ends its cell early (the
+/// early-exit optimality mode): the merge may stop there, so shards after
+/// it are allowed to be missing forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_CHECKPOINT_H
+#define TNUMS_SUPPORT_CHECKPOINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tnums {
+
+/// What one completed shard contributes on resume.
+struct ShardRecord {
+  std::string Payload;   ///< Campaign-layer serialized shard result.
+  bool Terminal = false; ///< Ends its cell early (early-exit witness).
+};
+
+/// A campaign checkpoint directory. Open it once per invocation; all
+/// methods are safe against concurrent invocations writing *other*
+/// shards into the same directory.
+class CheckpointStore {
+public:
+  /// Opens \p Dir for the campaign identified by \p Fingerprint over
+  /// \p NumShards shards, creating the directory and manifest when absent.
+  /// Fails (nullopt, \p Error set) when the directory already holds a
+  /// manifest for a different campaign -- resuming must never mix state
+  /// from two specs.
+  static std::optional<CheckpointStore> open(const std::string &Dir,
+                                             uint64_t Fingerprint,
+                                             uint64_t NumShards,
+                                             std::string &Error);
+
+  /// Durably records shard \p Index: temp file + fsync + rename + dir
+  /// fsync. Safe across invocations racing on the same shard: last
+  /// rename wins, and every writer's payload merges to the same result
+  /// (payloads are deterministic up to informational fields like the
+  /// campaign layer's "seconds").
+  bool storeShard(uint64_t Index, const ShardRecord &Record,
+                  std::string &Error) const;
+
+  /// Loads shard \p Index if its file exists. nullopt with \p Error empty
+  /// means "not completed yet"; nullopt with \p Error set means the file
+  /// exists but is unreadable or belongs to a different campaign.
+  std::optional<ShardRecord> loadShard(uint64_t Index,
+                                       std::string &Error) const;
+
+  /// True when shard \p Index has a completed file.
+  bool hasShard(uint64_t Index) const;
+
+  /// Indices of every completed shard file present, ascending.
+  std::vector<uint64_t> completedShards() const;
+
+  const std::string &path() const { return Dir; }
+
+private:
+  CheckpointStore(std::string DirV, uint64_t FingerprintV)
+      : Dir(std::move(DirV)), Fingerprint(FingerprintV) {}
+
+  std::string shardPath(uint64_t Index) const;
+
+  std::string Dir;
+  uint64_t Fingerprint;
+};
+
+/// FNV-1a over a byte run -- the digest the campaign layer fingerprints
+/// specs with (shared here so every front end hashes identically).
+class Fnv1a {
+public:
+  void mixByte(unsigned char Byte) {
+    Hash = (Hash ^ Byte) * 1099511628211ull;
+  }
+  void mixU64(uint64_t Value) {
+    for (unsigned Byte = 0; Byte != 8; ++Byte)
+      mixByte(static_cast<unsigned char>(Value >> (8 * Byte)));
+  }
+  void mixString(const std::string &Text) {
+    for (unsigned char C : Text)
+      mixByte(C);
+    mixByte(0xFF); // Terminator so "ab"+"c" != "a"+"bc".
+  }
+  uint64_t digest() const { return Hash; }
+
+private:
+  uint64_t Hash = 1469598103934665603ull; // FNV-1a offset basis
+};
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_CHECKPOINT_H

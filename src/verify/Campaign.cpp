@@ -1,0 +1,846 @@
+//===- verify/Campaign.cpp - Checkpointed, sharded campaigns --------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Campaign.h"
+
+#include "support/ArgParse.h"
+#include "support/Table.h"
+#include "tnum/TnumEnum.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+using namespace tnums;
+
+const char *tnums::campaignPropertyName(CampaignProperty Property) {
+  switch (Property) {
+  case CampaignProperty::Soundness:
+    return "soundness";
+  case CampaignProperty::Optimality:
+    return "optimality";
+  case CampaignProperty::Monotonicity:
+    return "monotonicity";
+  }
+  return "?";
+}
+
+void CampaignSpec::addGrid(BinaryOp Op, MulAlgorithm Mul,
+                           const std::vector<unsigned> &Widths,
+                           const std::vector<CampaignProperty> &Properties) {
+  for (unsigned Width : Widths)
+    for (CampaignProperty Property : Properties)
+      Cells.push_back(CampaignCell{Op, Mul, Width, Property});
+}
+
+bool CampaignCellResult::holds() const {
+  switch (Cell.Property) {
+  case CampaignProperty::Soundness:
+    return Soundness.holds();
+  case CampaignProperty::Optimality:
+    return Optimality.isOptimalEverywhere();
+  case CampaignProperty::Monotonicity:
+    return Monotonicity.holds();
+  }
+  return false;
+}
+
+void tnums::printCampaignStatus(uint64_t ShardsTotal, uint64_t ShardsRun,
+                                uint64_t ShardsResumed,
+                                uint64_t ShardsSkipped,
+                                const std::string &CheckpointDir) {
+  std::printf("campaign: %llu shards total, %llu run here, %llu resumed "
+              "from checkpoint",
+              static_cast<unsigned long long>(ShardsTotal),
+              static_cast<unsigned long long>(ShardsRun),
+              static_cast<unsigned long long>(ShardsResumed));
+  if (ShardsSkipped)
+    std::printf(", %llu skipped past early-exit witnesses",
+                static_cast<unsigned long long>(ShardsSkipped));
+  if (!CheckpointDir.empty())
+    std::printf("; checkpoint dir %s", CheckpointDir.c_str());
+  std::printf("\n");
+}
+
+bool tnums::matchCampaignArgs(ArgParser &Args, CampaignIO &IO) {
+  const char *Dir = nullptr;
+  if (Args.matchString("--checkpoint-dir", Dir)) {
+    if (Dir) // Unset when the value was missing (the parser latched it).
+      IO.CheckpointDir = Dir;
+    return true;
+  }
+  if (Args.matchFlag("--resume")) {
+    IO.Resume = true;
+    return true;
+  }
+  if (Args.matchUnsigned("--shards", 1, 4096, IO.Shards))
+    return true;
+  if (Args.matchUnsigned("--shard-index", 0, 4095, IO.ShardIndex))
+    return true;
+  if (Args.matchU64("--shard-pairs", 1, UINT64_MAX, IO.ShardPairs))
+    return true;
+  // Time-box the invocation: stop after N shards (resume later). Also how
+  // CI simulates preemption at a shard boundary.
+  if (Args.matchU64("--max-shards", 1, UINT64_MAX, IO.MaxShardsThisRun))
+    return true;
+  return false;
+}
+
+uint64_t tnums::campaignFingerprint(const CampaignSpec &Spec,
+                                    const CampaignIO &IO) {
+  Fnv1a Hash;
+  Hash.mixString("tnums-campaign v1");
+  Hash.mixU64(Spec.Cells.size());
+  for (const CampaignCell &Cell : Spec.Cells) {
+    Hash.mixU64(static_cast<uint64_t>(Cell.Op));
+    Hash.mixU64(static_cast<uint64_t>(Cell.Mul));
+    Hash.mixU64(Cell.Width);
+    Hash.mixU64(static_cast<uint64_t>(Cell.Property));
+  }
+  Hash.mixU64(Spec.OptimalityEarlyExit ? 1 : 0);
+  Hash.mixString(Spec.OverrideTag);
+  Hash.mixU64(IO.ShardPairs);
+  return Hash.digest();
+}
+
+//===----------------------------------------------------------------------===//
+// Generic sharded driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One manifest entry: a contiguous pair-index range of one cell.
+struct ShardRef {
+  size_t Cell;
+  uint64_t Begin;
+  uint64_t End;
+};
+
+/// The deterministic manifest: cell-major, ranges ascending. A pure
+/// function of the cell sizes and ShardPairs -- every invocation of a
+/// campaign computes the identical list, which is what shard files are
+/// keyed by.
+std::vector<ShardRef> buildManifest(const std::vector<uint64_t> &CellPairs,
+                                    uint64_t ShardPairs) {
+  std::vector<ShardRef> Manifest;
+  for (size_t Cell = 0; Cell != CellPairs.size(); ++Cell) {
+    uint64_t Total = CellPairs[Cell];
+    if (Total == 0) {
+      // A degenerate empty cell still occupies one manifest slot so the
+      // merge sees it and can mark it complete.
+      Manifest.push_back(ShardRef{Cell, 0, 0});
+      continue;
+    }
+    for (uint64_t Begin = 0; Begin < Total;) {
+      uint64_t End = Total - Begin > ShardPairs ? Begin + ShardPairs : Total;
+      Manifest.push_back(ShardRef{Cell, Begin, End});
+      Begin = End;
+    }
+  }
+  return Manifest;
+}
+
+} // namespace
+
+ShardDriveResult tnums::driveCampaignShards(
+    const std::vector<uint64_t> &CellTotalPairs, uint64_t Fingerprint,
+    const CampaignIO &IO, const RunShardFn &Run, const MergeShardFn &Merge,
+    std::vector<bool> *CellComplete) {
+  ShardDriveResult Result;
+  if (IO.Shards == 0 || IO.ShardIndex >= IO.Shards) {
+    Result.Error = formatString("bad shard split: index %u of %u",
+                                IO.ShardIndex, IO.Shards);
+    return Result;
+  }
+  if (IO.Shards > 1 && IO.CheckpointDir.empty()) {
+    Result.Error = "--shards > 1 requires a checkpoint directory "
+                   "(shard results meet on disk)";
+    return Result;
+  }
+  if (IO.ShardPairs == 0) {
+    Result.Error = "ShardPairs must be positive";
+    return Result;
+  }
+
+  const std::vector<ShardRef> Manifest =
+      buildManifest(CellTotalPairs, IO.ShardPairs);
+  Result.ShardsTotal = Manifest.size();
+
+  std::optional<CheckpointStore> Store;
+  if (!IO.CheckpointDir.empty()) {
+    std::string Error;
+    Store = CheckpointStore::open(IO.CheckpointDir, Fingerprint,
+                                  Manifest.size(), Error);
+    if (!Store) {
+      Result.Error = std::move(Error);
+      return Result;
+    }
+    if (!IO.Resume) {
+      for (uint64_t Id = 0; Id != Manifest.size(); ++Id)
+        if (Id % IO.Shards == IO.ShardIndex && Store->hasShard(Id)) {
+          Result.Error = formatString(
+              "checkpoint directory %s already holds shard %" PRIu64
+              " of this invocation's slice; pass --resume to reuse it or "
+              "point at a fresh directory",
+              IO.CheckpointDir.c_str(), Id);
+          return Result;
+        }
+    }
+  }
+
+  // Results this invocation has in hand (computed or loaded), keyed by
+  // manifest index. The merge below prefers this cache and falls back to
+  // the store for shards other invocations completed after we passed
+  // them in the execution loop.
+  std::map<uint64_t, ShardRecord> Cache;
+  // Lowest terminal shard per cell seen so far; later shards of that
+  // cell are dead (early-exit) and are skipped, not run.
+  std::map<size_t, uint64_t> CellTerminalShard;
+
+  auto isDead = [&](const ShardRef &Ref, uint64_t Id) {
+    auto It = CellTerminalShard.find(Ref.Cell);
+    return It != CellTerminalShard.end() && Id > It->second;
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Execution: walk the manifest in order, running owned shards and
+  // absorbing already-checkpointed ones.
+  //===--------------------------------------------------------------------===//
+  for (uint64_t Id = 0; Id != Manifest.size(); ++Id) {
+    const ShardRef &Ref = Manifest[Id];
+    if (isDead(Ref, Id)) {
+      ++Result.ShardsSkipped;
+      continue;
+    }
+    const bool Owned = Id % IO.Shards == IO.ShardIndex;
+    if (Store && Store->hasShard(Id)) {
+      std::string Error;
+      std::optional<ShardRecord> Record = Store->loadShard(Id, Error);
+      if (!Record) {
+        Result.Error = Error.empty()
+                           ? formatString("shard %" PRIu64 " vanished", Id)
+                           : std::move(Error);
+        return Result;
+      }
+      if (Record->Terminal)
+        CellTerminalShard.emplace(Ref.Cell, Id);
+      Cache.emplace(Id, std::move(*Record));
+      if (Owned)
+        ++Result.ShardsResumed;
+      continue;
+    }
+    if (!Owned)
+      continue;
+    if (IO.MaxShardsThisRun && Result.ShardsRun >= IO.MaxShardsThisRun)
+      continue; // Time-box hit: leave the rest for a resume.
+    ShardRecord Record;
+    Run(Ref.Cell, Ref.Begin, Ref.End, Record);
+    if (Store) {
+      std::string Error;
+      if (!Store->storeShard(Id, Record, Error)) {
+        Result.Error = std::move(Error);
+        return Result;
+      }
+    }
+    if (Record.Terminal)
+      CellTerminalShard.emplace(Ref.Cell, Id);
+    Cache.emplace(Id, std::move(Record));
+    ++Result.ShardsRun;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Merge: manifest order, stopping each cell at its terminal shard (or
+  // its first missing one). Because the order is fixed and every payload
+  // is deterministic, the merged result is bit-identical no matter which
+  // invocations produced which shards, or in how many runs.
+  //===--------------------------------------------------------------------===//
+  if (CellComplete)
+    CellComplete->assign(CellTotalPairs.size(), false);
+  bool AllComplete = true;
+  for (size_t Cell = 0; Cell != CellTotalPairs.size(); ++Cell) {
+    bool Complete = true;
+    for (uint64_t Id = 0; Id != Manifest.size(); ++Id) {
+      const ShardRef &Ref = Manifest[Id];
+      if (Ref.Cell != Cell)
+        continue;
+      const ShardRecord *Record = nullptr;
+      auto It = Cache.find(Id);
+      if (It != Cache.end()) {
+        Record = &It->second;
+      } else if (Store && Store->hasShard(Id)) {
+        std::string Error;
+        std::optional<ShardRecord> Loaded = Store->loadShard(Id, Error);
+        if (!Loaded) {
+          Result.Error = Error.empty()
+                             ? formatString("shard %" PRIu64 " vanished", Id)
+                             : std::move(Error);
+          return Result;
+        }
+        Record = &Cache.emplace(Id, std::move(*Loaded)).first->second;
+      }
+      if (!Record) {
+        Complete = false;
+        break;
+      }
+      std::string Error;
+      if (!Merge(Cell, Ref.Begin, Ref.End, *Record, Error)) {
+        Result.Error = Error.empty() ? formatString("shard %" PRIu64
+                                                    " failed to merge",
+                                                    Id)
+                                     : std::move(Error);
+        return Result;
+      }
+      if (Record->Terminal)
+        break; // The cell ends here by construction.
+    }
+    if (CellComplete)
+      (*CellComplete)[Cell] = Complete;
+    AllComplete &= Complete;
+  }
+  Result.Complete = AllComplete;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Property shard payloads
+//
+// Line-oriented key/value text (hex for tnum words). Every field that
+// the merge folds into a report is a deterministic function of the
+// shard's range; only the informational "seconds" field varies between
+// writers, which is why it is excluded from every bit-identity claim.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string hexTnum(const Tnum &T) {
+  return formatString("%016" PRIx64 " %016" PRIx64, T.value(), T.mask());
+}
+
+/// Fields shared by every property payload.
+struct PayloadReader {
+  std::map<std::string, std::string> Fields;
+
+  explicit PayloadReader(const std::string &Payload) {
+    size_t Pos = 0;
+    while (Pos < Payload.size()) {
+      size_t Eol = Payload.find('\n', Pos);
+      if (Eol == std::string::npos)
+        Eol = Payload.size();
+      std::string Line = Payload.substr(Pos, Eol - Pos);
+      Pos = Eol + 1;
+      size_t Space = Line.find(' ');
+      if (Space == std::string::npos || Space == 0)
+        continue;
+      Fields.emplace(Line.substr(0, Space), Line.substr(Space + 1));
+    }
+  }
+
+  bool u64(const char *Key, uint64_t &Out) const {
+    auto It = Fields.find(Key);
+    if (It == Fields.end())
+      return false;
+    char *End = nullptr;
+    errno = 0;
+    unsigned long long Value = std::strtoull(It->second.c_str(), &End, 10);
+    if (errno != 0 || End == It->second.c_str() || *End != '\0')
+      return false;
+    Out = static_cast<uint64_t>(Value);
+    return true;
+  }
+
+  bool seconds(double &Out) const {
+    auto It = Fields.find("seconds");
+    if (It == Fields.end())
+      return false;
+    Out = std::strtod(It->second.c_str(), nullptr);
+    return true;
+  }
+
+  /// Parses \p Count whitespace-separated hex words from field \p Key.
+  bool hexWords(const char *Key, uint64_t *Out, unsigned Count) const {
+    auto It = Fields.find(Key);
+    if (It == Fields.end())
+      return false;
+    const char *Text = It->second.c_str();
+    for (unsigned I = 0; I != Count; ++I) {
+      char *End = nullptr;
+      errno = 0;
+      unsigned long long Value = std::strtoull(Text, &End, 16);
+      if (errno != 0 || End == Text)
+        return false;
+      Out[I] = static_cast<uint64_t>(Value);
+      Text = End;
+    }
+    return *Text == '\0' || *Text == ' ';
+  }
+
+  bool has(const char *Key) const { return Fields.count(Key) != 0; }
+};
+
+std::string serializeSoundnessShard(const SoundnessReport &Report,
+                                    double Seconds) {
+  std::string Payload = formatString(
+      "pairs %" PRIu64 "\nconcrete %" PRIu64 "\nseconds %.9g\n",
+      Report.PairsChecked, Report.ConcreteChecked, Seconds);
+  if (Report.Failure) {
+    const SoundnessCounterexample &W = *Report.Failure;
+    Payload += formatString("witness %s %s %016" PRIx64 " %016" PRIx64
+                            " %016" PRIx64 " %s\n",
+                            hexTnum(W.P).c_str(), hexTnum(W.Q).c_str(), W.X,
+                            W.Y, W.Z, hexTnum(W.R).c_str());
+  }
+  return Payload;
+}
+
+bool parseSoundnessShard(const std::string &Payload, SoundnessReport &Out,
+                         double &Seconds) {
+  PayloadReader Reader(Payload);
+  if (!Reader.u64("pairs", Out.PairsChecked) ||
+      !Reader.u64("concrete", Out.ConcreteChecked) ||
+      !Reader.seconds(Seconds))
+    return false;
+  if (Reader.has("witness")) {
+    uint64_t W[9];
+    if (!Reader.hexWords("witness", W, 9))
+      return false;
+    Out.Failure = SoundnessCounterexample{Tnum(W[0], W[1]), Tnum(W[2], W[3]),
+                                          W[4], W[5], W[6],
+                                          Tnum(W[7], W[8])};
+  }
+  return true;
+}
+
+std::string serializeOptimalityShard(const OptimalityReport &Report,
+                                     double Seconds) {
+  std::string Payload = formatString(
+      "pairs %" PRIu64 "\noptimal %" PRIu64 "\nseconds %.9g\n",
+      Report.PairsChecked, Report.OptimalPairs, Seconds);
+  if (Report.Failure) {
+    const OptimalityCounterexample &W = *Report.Failure;
+    Payload += formatString("witness %s %s %s %s\n", hexTnum(W.P).c_str(),
+                            hexTnum(W.Q).c_str(), hexTnum(W.Actual).c_str(),
+                            hexTnum(W.Optimal).c_str());
+  }
+  return Payload;
+}
+
+bool parseOptimalityShard(const std::string &Payload, OptimalityReport &Out,
+                          double &Seconds) {
+  PayloadReader Reader(Payload);
+  if (!Reader.u64("pairs", Out.PairsChecked) ||
+      !Reader.u64("optimal", Out.OptimalPairs) || !Reader.seconds(Seconds))
+    return false;
+  if (Reader.has("witness")) {
+    uint64_t W[8];
+    if (!Reader.hexWords("witness", W, 8))
+      return false;
+    Out.Failure = OptimalityCounterexample{Tnum(W[0], W[1]), Tnum(W[2], W[3]),
+                                           Tnum(W[4], W[5]),
+                                           Tnum(W[6], W[7])};
+  }
+  return true;
+}
+
+std::string serializeMonotonicityShard(const MonotonicityReport &Report,
+                                       double Seconds) {
+  std::string Payload =
+      formatString("quadruples %" PRIu64 "\nseconds %.9g\n",
+                   Report.QuadruplesChecked, Seconds);
+  if (Report.Failure) {
+    const MonotonicityCounterexample &W = *Report.Failure;
+    Payload += formatString("witness %s %s %s %s %s %s\n",
+                            hexTnum(W.P1).c_str(), hexTnum(W.Q1).c_str(),
+                            hexTnum(W.P2).c_str(), hexTnum(W.Q2).c_str(),
+                            hexTnum(W.R1).c_str(), hexTnum(W.R2).c_str());
+  }
+  return Payload;
+}
+
+bool parseMonotonicityShard(const std::string &Payload,
+                            MonotonicityReport &Out, double &Seconds) {
+  PayloadReader Reader(Payload);
+  if (!Reader.u64("quadruples", Out.QuadruplesChecked) ||
+      !Reader.seconds(Seconds))
+    return false;
+  if (Reader.has("witness")) {
+    uint64_t W[12];
+    if (!Reader.hexWords("witness", W, 12))
+      return false;
+    Out.Failure = MonotonicityCounterexample{
+        Tnum(W[0], W[1]), Tnum(W[2], W[3]),  Tnum(W[4], W[5]),
+        Tnum(W[6], W[7]), Tnum(W[8], W[9]), Tnum(W[10], W[11])};
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Serial-prefix normalization
+//
+// The range sweeps' work counters are scheduling-dependent when a shard
+// fails (cancellation). Checkpointed shards must be deterministic, so a
+// failing shard is re-normalized to the exact counts a serial walk of
+// [Begin, FailIndex] would have produced -- which also makes the merged
+// campaign report equal the *serial* checker's report bit for bit.
+//===----------------------------------------------------------------------===//
+
+/// Concrete evaluations a serial scan of the witness pair performs: every
+/// member pair up to and including the first violating one.
+uint64_t evalsUpToViolation(BinaryOp Concrete, unsigned Width, const Tnum &P,
+                            const Tnum &Q, const Tnum &R) {
+  uint64_t Count = 0;
+  bool Done = false;
+  forEachMember(P, [&](uint64_t X) {
+    if (Done)
+      return;
+    forEachMember(Q, [&](uint64_t Y) {
+      if (Done)
+        return;
+      ++Count;
+      if (!R.contains(applyConcreteBinary(Concrete, X, Y, Width)))
+        Done = true;
+    });
+  });
+  return Count;
+}
+
+/// Quadruples a serial scan of the witness pair performs, analogously.
+uint64_t quadsUpToViolation(BinaryOp Op, MulAlgorithm Mul, unsigned Width,
+                            const Tnum &P2, const Tnum &Q2) {
+  Tnum R2 = applyAbstractBinary(Op, P2, Q2, Width, Mul);
+  uint64_t Count = 0;
+  bool Done = false;
+  forEachSubTnum(P2, [&](Tnum P1) {
+    if (Done)
+      return;
+    forEachSubTnum(Q2, [&](Tnum Q1) {
+      if (Done)
+        return;
+      ++Count;
+      if (!applyAbstractBinary(Op, P1, Q1, Width, Mul).isSubsetOf(R2))
+        Done = true;
+    });
+  });
+  return Count;
+}
+
+uint64_t pow3(unsigned Exp) {
+  uint64_t Value = 1;
+  while (Exp--)
+    Value *= 3;
+  return Value;
+}
+
+void normalizeSoundnessFailure(BinaryOp Concrete, const SweepGrid &Grid,
+                               uint64_t Begin, uint64_t FailIndex,
+                               SoundnessReport &Report) {
+  assert(Report.Failure && "nothing to normalize");
+  Report.PairsChecked = FailIndex - Begin + 1;
+  uint64_t Concrete2 = 0;
+  for (uint64_t Index = Begin; Index != FailIndex; ++Index) {
+    const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
+    const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
+    // Fully-scanned pairs cost exactly |gamma(P)| * |gamma(Q)| evals.
+    Concrete2 += uint64_t(1) << (std::popcount(P.mask()) +
+                                 std::popcount(Q.mask()));
+  }
+  const SoundnessCounterexample &W = *Report.Failure;
+  Concrete2 += evalsUpToViolation(Concrete, Grid.Width, W.P, W.Q, W.R);
+  Report.ConcreteChecked = Concrete2;
+}
+
+void normalizeMonotonicityFailure(BinaryOp Op, MulAlgorithm Mul,
+                                  const SweepGrid &Grid, uint64_t Begin,
+                                  uint64_t FailIndex,
+                                  MonotonicityReport &Report) {
+  assert(Report.Failure && "nothing to normalize");
+  uint64_t Quads = 0;
+  for (uint64_t Index = Begin; Index != FailIndex; ++Index) {
+    const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
+    const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
+    // A fully-scanned pair visits every refinement pair: the down-set of
+    // a tnum with k unknown trits has 3^k elements.
+    Quads += pow3(static_cast<unsigned>(std::popcount(P.mask()))) *
+             pow3(static_cast<unsigned>(std::popcount(Q.mask())));
+  }
+  const MonotonicityCounterexample &W = *Report.Failure;
+  Quads += quadsUpToViolation(Op, Mul, Grid.Width, W.P2, W.Q2);
+  Report.QuadruplesChecked = Quads;
+}
+
+/// Early-exit optimality: rescan [Begin, FailIndex) serially to recover
+/// the exact prefix OptimalPairs count. The witness is almost always in
+/// the first shard of a non-optimal cell, so the rescan is short in
+/// practice.
+void normalizeOptimalityFailure(BinaryOp Op, MulAlgorithm Mul,
+                                const SweepGrid &Grid,
+                                const SweepConfig &Config, uint64_t Begin,
+                                uint64_t FailIndex,
+                                OptimalityReport &Report) {
+  assert(Report.Failure && "nothing to normalize");
+  Report.PairsChecked = FailIndex - Begin + 1;
+  const bool Batched = simdModeBatches(Config.Simd);
+  const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
+  std::vector<uint64_t> Xs;
+  std::vector<uint64_t> Ys;
+  uint64_t XsIndex = UINT64_MAX;
+  uint64_t Optimal = 0;
+  for (uint64_t Index = Begin; Index != FailIndex; ++Index) {
+    const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
+    const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
+    Tnum Actual = applyAbstractBinary(Op, P, Q, Grid.Width, Mul);
+    Tnum Best;
+    if (Batched) {
+      const uint64_t *XsPtr;
+      uint64_t NumXs;
+      uint64_t PIndex = Index / Grid.NumTnums;
+      if (Grid.Members) {
+        XsPtr = Grid.Members->members(PIndex);
+        NumXs = Grid.Members->numMembers(PIndex);
+      } else {
+        if (XsIndex != PIndex) {
+          materializeMembers(P, Xs);
+          XsIndex = PIndex;
+        }
+        XsPtr = Xs.data();
+        NumXs = Xs.size();
+      }
+      const uint64_t *YsPtr;
+      uint64_t NumYs;
+      if (Grid.Members) {
+        YsPtr = Grid.Members->members(Index % Grid.NumTnums);
+        NumYs = Grid.Members->numMembers(Index % Grid.NumTnums);
+      } else {
+        materializeMembers(Q, Ys);
+        YsPtr = Ys.data();
+        NumYs = Ys.size();
+      }
+      Best = optimalAbstractBinaryMembers(Op, Grid.Width, XsPtr, NumXs,
+                                          YsPtr, NumYs, Kernels);
+    } else {
+      Best = optimalAbstractBinary(Op, P, Q, Grid.Width);
+    }
+    if (Actual == Best)
+      ++Optimal;
+  }
+  Report.OptimalPairs = Optimal;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// runCampaign
+//===----------------------------------------------------------------------===//
+
+CampaignResult tnums::runCampaign(const CampaignSpec &Spec,
+                                  const CampaignIO &IO,
+                                  const SweepConfig &Config) {
+  CampaignResult Result;
+  if (Spec.SoundnessOverride && Spec.OverrideTag.empty()) {
+    Result.Error = "a SoundnessOverride requires an OverrideTag (the "
+                   "fingerprint cannot hash a function)";
+    return Result;
+  }
+  for (const CampaignCell &Cell : Spec.Cells)
+    if (isShiftOp(Cell.Op) && (Cell.Width & (Cell.Width - 1)) != 0) {
+      Result.Error = formatString(
+          "cell %s/%s: shift verification requires a power-of-two width, "
+          "got %u",
+          binaryOpName(Cell.Op), campaignPropertyName(Cell.Property),
+          Cell.Width);
+      return Result;
+    }
+
+  // One grid (universe + member table) per width, shared by every cell,
+  // shard, and property at that width; built on first use.
+  std::map<unsigned, SweepGrid> Grids;
+  auto gridFor = [&](unsigned Width) -> const SweepGrid & {
+    auto It = Grids.find(Width);
+    if (It == Grids.end())
+      It = Grids.emplace(Width, makeSweepGrid(Width, Config)).first;
+    return It->second;
+  };
+
+  std::vector<uint64_t> CellPairs;
+  CellPairs.reserve(Spec.Cells.size());
+  for (const CampaignCell &Cell : Spec.Cells) {
+    uint64_t NumTnums = numWellFormedTnums(Cell.Width);
+    CellPairs.push_back(NumTnums * NumTnums);
+  }
+
+  Result.Cells.resize(Spec.Cells.size());
+  for (size_t I = 0; I != Spec.Cells.size(); ++I)
+    Result.Cells[I].Cell = Spec.Cells[I];
+
+  auto abstractFor = [&](const CampaignCell &Cell) -> AbstractBinaryFn {
+    if (Spec.SoundnessOverride)
+      return Spec.SoundnessOverride;
+    BinaryOp Op = Cell.Op;
+    MulAlgorithm Mul = Cell.Mul;
+    unsigned Width = Cell.Width;
+    return [Op, Mul, Width](const Tnum &P, const Tnum &Q) {
+      return applyAbstractBinary(Op, P, Q, Width, Mul);
+    };
+  };
+
+  RunShardFn Run = [&](size_t CellIndex, uint64_t Begin, uint64_t End,
+                       ShardRecord &Out) {
+    const CampaignCell &Cell = Spec.Cells[CellIndex];
+    const SweepGrid &Grid = gridFor(Cell.Width);
+    auto Start = std::chrono::steady_clock::now();
+    std::optional<uint64_t> FailIndex;
+    switch (Cell.Property) {
+    case CampaignProperty::Soundness: {
+      SoundnessReport Report =
+          checkSoundnessRangeParallel(Cell.Op, abstractFor(Cell), Grid,
+                                      Begin, End, Config, &FailIndex);
+      if (Report.Failure) {
+        normalizeSoundnessFailure(Cell.Op, Grid, Begin, *FailIndex, Report);
+        Out.Terminal = true; // Soundness cells stop at the first witness.
+      }
+      std::chrono::duration<double> Elapsed =
+          std::chrono::steady_clock::now() - Start;
+      Out.Payload = serializeSoundnessShard(Report, Elapsed.count());
+      return;
+    }
+    case CampaignProperty::Optimality: {
+      OptimalityReport Report = checkOptimalityRangeParallel(
+          Cell.Op, Cell.Mul, Grid, Begin, End, Config,
+          /*StopAtFirst=*/Spec.OptimalityEarlyExit, &FailIndex);
+      if (Report.Failure && Spec.OptimalityEarlyExit) {
+        normalizeOptimalityFailure(Cell.Op, Cell.Mul, Grid, Config, Begin,
+                                   *FailIndex, Report);
+        Out.Terminal = true;
+      }
+      std::chrono::duration<double> Elapsed =
+          std::chrono::steady_clock::now() - Start;
+      Out.Payload = serializeOptimalityShard(Report, Elapsed.count());
+      return;
+    }
+    case CampaignProperty::Monotonicity: {
+      MonotonicityReport Report = checkMonotonicityRangeParallel(
+          Cell.Op, Cell.Mul, Grid, Begin, End, Config, &FailIndex);
+      if (Report.Failure) {
+        normalizeMonotonicityFailure(Cell.Op, Cell.Mul, Grid, Begin,
+                                     *FailIndex, Report);
+        Out.Terminal = true;
+      }
+      std::chrono::duration<double> Elapsed =
+          std::chrono::steady_clock::now() - Start;
+      Out.Payload = serializeMonotonicityShard(Report, Elapsed.count());
+      return;
+    }
+    }
+  };
+
+  MergeShardFn Merge = [&](size_t CellIndex, uint64_t, uint64_t,
+                           const ShardRecord &Record,
+                           std::string &Error) -> bool {
+    CampaignCellResult &Cell = Result.Cells[CellIndex];
+    double Seconds = 0;
+    bool Ok = false;
+    switch (Cell.Cell.Property) {
+    case CampaignProperty::Soundness: {
+      SoundnessReport Shard;
+      Ok = parseSoundnessShard(Record.Payload, Shard, Seconds);
+      if (Ok) {
+        Cell.Soundness.PairsChecked += Shard.PairsChecked;
+        Cell.Soundness.ConcreteChecked += Shard.ConcreteChecked;
+        if (Shard.Failure && !Cell.Soundness.Failure)
+          Cell.Soundness.Failure = Shard.Failure;
+      }
+      break;
+    }
+    case CampaignProperty::Optimality: {
+      OptimalityReport Shard;
+      Ok = parseOptimalityShard(Record.Payload, Shard, Seconds);
+      if (Ok) {
+        Cell.Optimality.PairsChecked += Shard.PairsChecked;
+        Cell.Optimality.OptimalPairs += Shard.OptimalPairs;
+        if (Shard.Failure && !Cell.Optimality.Failure)
+          Cell.Optimality.Failure = Shard.Failure;
+      }
+      break;
+    }
+    case CampaignProperty::Monotonicity: {
+      MonotonicityReport Shard;
+      Ok = parseMonotonicityShard(Record.Payload, Shard, Seconds);
+      if (Ok) {
+        Cell.Monotonicity.QuadruplesChecked += Shard.QuadruplesChecked;
+        if (Shard.Failure && !Cell.Monotonicity.Failure)
+          Cell.Monotonicity.Failure = Shard.Failure;
+      }
+      break;
+    }
+    }
+    if (!Ok) {
+      Error = formatString("malformed %s shard payload for cell %zu",
+                           campaignPropertyName(Cell.Cell.Property),
+                           CellIndex);
+      return false;
+    }
+    Cell.Seconds += Seconds;
+    ++Cell.ShardsMerged;
+    return true;
+  };
+
+  std::vector<bool> CellComplete;
+  uint64_t Fingerprint = campaignFingerprint(Spec, IO);
+  ShardDriveResult Drive = driveCampaignShards(CellPairs, Fingerprint, IO,
+                                               Run, Merge, &CellComplete);
+  Result.ShardsTotal = Drive.ShardsTotal;
+  Result.ShardsRun = Drive.ShardsRun;
+  Result.ShardsResumed = Drive.ShardsResumed;
+  Result.ShardsSkipped = Drive.ShardsSkipped;
+  if (!Drive.ok()) {
+    Result.Error = std::move(Drive.Error);
+    return Result;
+  }
+  Result.Complete = Drive.Complete;
+  for (size_t I = 0; I != Result.Cells.size(); ++I) {
+    Result.Cells[I].Complete = CellComplete[I];
+    // ShardsTotal per cell: count manifest entries (recompute cheaply;
+    // the (Total - 1) form cannot overflow for huge ShardPairs).
+    uint64_t Total = CellPairs[I];
+    Result.Cells[I].ShardsTotal =
+        Total == 0 ? 1 : (Total - 1) / IO.ShardPairs + 1;
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// sweepMulSoundness -- now a thin wrapper over the campaign engine
+//===----------------------------------------------------------------------===//
+
+std::vector<MulSweepResult>
+tnums::sweepMulSoundness(const std::vector<unsigned> &Widths,
+                         const SweepConfig &Config) {
+  CampaignSpec Spec;
+  for (unsigned Width : Widths)
+    for (MulAlgorithm Algorithm : AllMulAlgorithms)
+      Spec.Cells.push_back(CampaignCell{BinaryOp::Mul, Algorithm, Width,
+                                        CampaignProperty::Soundness});
+  // In-memory, single-invocation: one shard per cell keeps the scheduling
+  // identical to the pre-campaign full-grid sweep.
+  CampaignIO IO;
+  IO.ShardPairs = UINT64_MAX;
+  CampaignResult Campaign = runCampaign(Spec, IO, Config);
+  assert(Campaign.ok() && Campaign.Complete &&
+         "in-memory mul campaign cannot fail to run");
+  std::vector<MulSweepResult> Results;
+  Results.reserve(Campaign.Cells.size());
+  for (const CampaignCellResult &Cell : Campaign.Cells)
+    Results.push_back(MulSweepResult{Cell.Cell.Mul, Cell.Cell.Width,
+                                     Cell.Soundness, Cell.Seconds});
+  return Results;
+}

@@ -1,0 +1,259 @@
+//===- verify/Campaign.h - Checkpointed, sharded campaigns ------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign engine: the paper's exhaustive soundness / optimality /
+/// monotonicity verification restated as a declarative spec that compiles
+/// to a deterministic shard manifest, survives preemption through the
+/// durable shard store (support/Checkpoint.h), splits across machines
+/// (--shards=K / --shard-index=i), and merges order-independently into
+/// reports that are bit-identical to an uninterrupted serial run.
+///
+///  * A CampaignSpec is a list of cells (operator x mul-algorithm x width
+///    x property). Each cell's row-major (P, Q) pair grid is cut into
+///    contiguous shards of CampaignIO::ShardPairs indices; the manifest
+///    (cell-major, ranges ascending) is a pure function of the spec and
+///    ShardPairs, so every invocation -- any thread count, SIMD mode, or
+///    chunk size -- agrees on shard identities. That is what lets shard
+///    files from different machines and different runs merge.
+///
+///  * Shard results are normalized before they are recorded: a failing
+///    shard stores the exact *serial-prefix* counters (what the serial
+///    checker would have counted walking the shard's range and stopping
+///    at the witness) instead of the parallel engine's scheduling-
+///    dependent progress counters. Merging therefore reproduces the
+///    serial checkers' reports bit-for-bit -- including the serial-order
+///    first counterexample -- from ANY interleaving of shard
+///    completions, partial resumes, or multi-invocation splits.
+///
+///  * Optimality cells default to full scans (exact OptimalPairs totals,
+///    matching checkOptimalityExhaustive with StopAtFirst = false). With
+///    CampaignSpec::OptimalityEarlyExit the first witness-carrying shard
+///    is terminal: later shards of that cell are skipped (and may stay
+///    missing forever), and the merged report equals the serial
+///    StopAtFirst = true report. Soundness and monotonicity cells are
+///    always terminal-on-witness, mirroring their serial checkers.
+///
+/// The generic driver underneath (driveCampaignShards) is also exposed:
+/// the Table I / Fig. 4 front ends run their custom order-independent
+/// reductions through the same manifest / checkpoint / merge machinery,
+/// which is how every sweep front end shares one resume story. See
+/// docs/CAMPAIGN.md for the format and the determinism contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_VERIFY_CAMPAIGN_H
+#define TNUMS_VERIFY_CAMPAIGN_H
+
+#include "support/Checkpoint.h"
+#include "verify/ParallelSweep.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tnums {
+
+/// The properties a campaign can verify per cell.
+enum class CampaignProperty : uint8_t {
+  Soundness,
+  Optimality,
+  Monotonicity,
+};
+
+/// Stable lower-case name ("soundness", ...).
+const char *campaignPropertyName(CampaignProperty Property);
+
+/// One (operator, algorithm, width, property) cell of a campaign. Mul is
+/// only meaningful for BinaryOp::Mul cells; keep it MulAlgorithm::Our
+/// elsewhere so equal cells fingerprint equally.
+struct CampaignCell {
+  BinaryOp Op = BinaryOp::Add;
+  MulAlgorithm Mul = MulAlgorithm::Our;
+  unsigned Width = 4;
+  CampaignProperty Property = CampaignProperty::Soundness;
+};
+
+/// A declarative campaign: which cells to verify and how optimality
+/// cells terminate.
+struct CampaignSpec {
+  std::vector<CampaignCell> Cells;
+
+  /// First-witness-only optimality (the ROADMAP's deterministic
+  /// early-exit mode): an optimality shard that finds a witness is
+  /// terminal for its cell, and the merged cell report equals the serial
+  /// checker's StopAtFirst = true report.
+  bool OptimalityEarlyExit = false;
+
+  /// Test hook: when set, every Soundness cell verifies this operator
+  /// instead of applyAbstractBinary(Op, ...), so deliberately broken
+  /// transfer functions flow through the full shard/checkpoint/merge
+  /// machinery. OverrideTag must then name the override -- it is folded
+  /// into the fingerprint in place of the (unhashable) function.
+  AbstractBinaryFn SoundnessOverride;
+  std::string OverrideTag;
+
+  /// Appends the cross product of \p Properties over \p Widths for one
+  /// (Op, Mul) -- the "algorithms x widths x properties" builder.
+  void addGrid(BinaryOp Op, MulAlgorithm Mul,
+               const std::vector<unsigned> &Widths,
+               const std::vector<CampaignProperty> &Properties);
+};
+
+/// Sharding / checkpointing knobs, shared by every campaign front end.
+struct CampaignIO {
+  /// Directory for the durable shard store. Empty runs the campaign
+  /// entirely in memory (no resume, single invocation).
+  std::string CheckpointDir;
+
+  /// Allow shards this invocation owns to be satisfied by files already
+  /// in CheckpointDir. Off (the default) refuses a directory that
+  /// already holds owned shards, so stale state is never reused by
+  /// accident. Shards owned by OTHER invocations of a --shards split are
+  /// always readable at merge time -- that is the farming mode's data
+  /// path, not a resume.
+  bool Resume = false;
+
+  /// Split the manifest across \p Shards invocations; this invocation
+  /// executes the shards with (manifest index % Shards) == ShardIndex.
+  /// Requires a CheckpointDir when Shards > 1 (results meet on disk).
+  unsigned Shards = 1;
+  unsigned ShardIndex = 0;
+
+  /// Pair indices per shard before the final short shard. The manifest
+  /// -- and therefore the campaign fingerprint -- depends on this value
+  /// and nothing else about scheduling, so a campaign may be resumed
+  /// with a different thread count, chunk size, or SIMD mode.
+  uint64_t ShardPairs = uint64_t(1) << 20;
+
+  /// Stop executing after this many shards have been RUN this invocation
+  /// (0 = unlimited). Time-boxes an invocation at a shard boundary; the
+  /// kill-and-resume tests drive it to drop checkpoints mid-flight.
+  uint64_t MaxShardsThisRun = 0;
+};
+
+/// One cell's merged outcome. Exactly the report field matching
+/// Cell.Property is meaningful.
+struct CampaignCellResult {
+  CampaignCell Cell;
+  SoundnessReport Soundness;
+  OptimalityReport Optimality;
+  MonotonicityReport Monotonicity;
+
+  /// All shards this cell needs were available and merged. (An early-exit
+  /// optimality cell is complete at its terminal shard.)
+  bool Complete = false;
+  uint64_t ShardsTotal = 0;
+  uint64_t ShardsMerged = 0;
+  /// Compute seconds summed over merged shards (informational: it is the
+  /// one merged quantity that is NOT deterministic).
+  double Seconds = 0;
+
+  /// Property-specific "no counterexample" (meaningful when Complete).
+  bool holds() const;
+};
+
+/// Outcome of one runCampaign invocation.
+struct CampaignResult {
+  /// Every cell merged to completion. False is normal for a partial
+  /// --shards / MaxShardsThisRun invocation: the missing shards live in
+  /// other invocations, and a later resume merges them.
+  bool Complete = false;
+  std::vector<CampaignCellResult> Cells; ///< 1:1 with CampaignSpec::Cells.
+
+  uint64_t ShardsTotal = 0;   ///< Manifest size.
+  uint64_t ShardsRun = 0;     ///< Executed by this invocation.
+  uint64_t ShardsResumed = 0; ///< Owned shards satisfied from checkpoint.
+  uint64_t ShardsSkipped = 0; ///< Skipped past a terminal (early-exit) shard.
+
+  /// Non-empty on hard failure (bad IO config, checkpoint mismatch, I/O
+  /// error); Cells are then meaningless.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+class ArgParser;
+
+/// Consumes one of the shared campaign flags at \p Args' cursor into
+/// \p IO -- --checkpoint-dir D, --resume, --shards K, --shard-index I,
+/// --shard-pairs N, --max-shards N -- returning true when it did. The
+/// one place the flag names and bounds live; every campaign front end
+/// calls this once per parse-loop iteration like the other match*
+/// helpers (support/ArgParse.h).
+bool matchCampaignArgs(ArgParser &Args, CampaignIO &IO);
+
+/// The usage-string fragment matching matchCampaignArgs, so the front
+/// ends' help text cannot drift from the parser.
+inline constexpr const char *CampaignArgsUsage =
+    "[--checkpoint-dir D] [--resume] [--shards K] [--shard-index I] "
+    "[--shard-pairs N] [--max-shards N]";
+
+/// The spec fingerprint guarding checkpoint directories: a digest of the
+/// format version, every cell, the early-exit mode, the override tag, and
+/// ShardPairs. Scheduling knobs (threads, chunk size, SIMD mode, member
+/// table cap) are deliberately excluded -- reports are bit-identical
+/// across them, so resuming under a different configuration is sound.
+uint64_t campaignFingerprint(const CampaignSpec &Spec, const CampaignIO &IO);
+
+/// Runs (its slice of) the campaign, checkpointing each completed shard,
+/// then merges every available shard in manifest order.
+CampaignResult runCampaign(const CampaignSpec &Spec, const CampaignIO &IO,
+                           const SweepConfig &Config);
+
+//===----------------------------------------------------------------------===//
+// Generic sharded reduction -- the driver under runCampaign, exposed for
+// front ends whose per-pair work is not one of the three properties (the
+// Table I / Fig. 4 walks). Payloads are opaque deterministic strings.
+//===----------------------------------------------------------------------===//
+
+/// Aggregate outcome of driveCampaignShards.
+struct ShardDriveResult {
+  bool Complete = false;
+  uint64_t ShardsTotal = 0;
+  uint64_t ShardsRun = 0;
+  uint64_t ShardsResumed = 0;
+  uint64_t ShardsSkipped = 0;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Computes one shard: fill \p Out with the serialized, deterministic
+/// result of pair range [\p Begin, \p End) of cell \p Cell. Set
+/// Out.Terminal to end the cell at this shard (early exit).
+using RunShardFn = std::function<void(size_t Cell, uint64_t Begin,
+                                      uint64_t End, ShardRecord &Out)>;
+
+/// Folds one shard into the caller's accumulators. Called in manifest
+/// order (cell-major, ranges ascending), never past a terminal shard.
+/// Return false (after setting \p Error) on a malformed payload.
+using MergeShardFn =
+    std::function<bool(size_t Cell, uint64_t Begin, uint64_t End,
+                       const ShardRecord &Record, std::string &Error)>;
+
+/// Prints the one-line shard-progress banner every campaign front end
+/// emits ("campaign: N shards total, ..."), so the wording cannot drift
+/// between benches. The skipped count only appears when nonzero (it is
+/// only meaningful for early-exit property campaigns).
+void printCampaignStatus(uint64_t ShardsTotal, uint64_t ShardsRun,
+                         uint64_t ShardsResumed, uint64_t ShardsSkipped,
+                         const std::string &CheckpointDir);
+
+/// Shards each cell's [0, CellTotalPairs[c]) range per \p IO, executes
+/// this invocation's slice via \p Run (persisting to IO.CheckpointDir when
+/// set), then merges every available shard in manifest order via
+/// \p Merge. \p CellComplete (optional, resized to the cell count)
+/// reports which cells merged to completion.
+ShardDriveResult driveCampaignShards(
+    const std::vector<uint64_t> &CellTotalPairs, uint64_t Fingerprint,
+    const CampaignIO &IO, const RunShardFn &Run, const MergeShardFn &Merge,
+    std::vector<bool> *CellComplete = nullptr);
+
+} // namespace tnums
+
+#endif // TNUMS_VERIFY_CAMPAIGN_H

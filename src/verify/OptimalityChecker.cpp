@@ -50,6 +50,46 @@ Tnum tnums::optimalAbstractBinaryBatched(BinaryOp Op, unsigned Width,
   return Tnum(AndAcc, AndAcc ^ OrAcc);
 }
 
+Tnum tnums::optimalAbstractBinaryMembers(BinaryOp Op, unsigned Width,
+                                         const uint64_t *Xs, uint64_t NumXs,
+                                         const uint64_t *Ys, uint64_t NumYs,
+                                         const SimdKernels &Kernels) {
+  assert(NumXs != 0 && NumYs != 0 &&
+         "gamma of a well-formed tnum is never empty");
+  // Same two reductions as optimalAbstractBinaryBatched, but with both
+  // concretizations memoized as flat lists the batch can run over EITHER
+  // operand -- the AND/OR fold is order-independent, so batching over the
+  // longer axis (instead of always gamma(Q)) keeps the 64-lane kernels
+  // full even when the other concretization is tiny. |gamma| is 2^k, so
+  // one axis always divides evenly into full batches whenever it has
+  // >= 64 members. Bit-identical to the scalar fold for every input.
+  uint64_t AndAcc = ~uint64_t(0);
+  uint64_t OrAcc = 0;
+  alignas(SimdBatchAlign) uint64_t Zs[SimdBatchLanes];
+  if (NumXs > NumYs) {
+    for (uint64_t YI = 0; YI != NumYs; ++YI) {
+      uint64_t Y = Ys[YI];
+      for (uint64_t Base = 0; Base < NumXs; Base += SimdBatchLanes) {
+        unsigned N = static_cast<unsigned>(
+            std::min<uint64_t>(SimdBatchLanes, NumXs - Base));
+        applyConcreteBinaryBatchLhs(Op, Xs + Base, Y, Zs, N, Width);
+        Kernels.ReduceAndOr(Zs, N, &AndAcc, &OrAcc);
+      }
+    }
+  } else {
+    for (uint64_t XI = 0; XI != NumXs; ++XI) {
+      uint64_t X = Xs[XI];
+      for (uint64_t Base = 0; Base < NumYs; Base += SimdBatchLanes) {
+        unsigned N = static_cast<unsigned>(
+            std::min<uint64_t>(SimdBatchLanes, NumYs - Base));
+        applyConcreteBinaryBatch(Op, X, Ys + Base, Zs, N, Width);
+        Kernels.ReduceAndOr(Zs, N, &AndAcc, &OrAcc);
+      }
+    }
+  }
+  return Tnum(AndAcc, AndAcc ^ OrAcc);
+}
+
 std::string OptimalityCounterexample::toString(unsigned Width) const {
   return formatString("P=%s Q=%s actual=%s optimal=%s",
                       P.toString(Width).c_str(), Q.toString(Width).c_str(),
@@ -67,15 +107,22 @@ OptimalityReport tnums::checkOptimalityExhaustive(BinaryOp Op, unsigned Width,
   std::vector<Tnum> Universe = allWellFormedTnums(Width);
   const bool Batched = simdModeBatches(Simd);
   const SimdKernels &Kernels = selectSimdKernels(Simd);
+  std::vector<uint64_t> Xs;
   std::vector<uint64_t> Ys;
   for (const Tnum &P : Universe) {
+    // gamma(P) is staged once per row and reused across the whole Q axis
+    // (the memoized-concretization restructuring; order and results are
+    // bit-identical to the per-pair enumeration it replaced).
+    if (Batched)
+      materializeMembers(P, Xs);
     for (const Tnum &Q : Universe) {
       ++Report.PairsChecked;
       Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
       Tnum Optimal;
       if (Batched) {
         materializeMembers(Q, Ys);
-        Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys.data(),
+        Optimal = optimalAbstractBinaryMembers(Op, Width, Xs.data(),
+                                               Xs.size(), Ys.data(),
                                                Ys.size(), Kernels);
       } else {
         Optimal = optimalAbstractBinary(Op, P, Q, Width);

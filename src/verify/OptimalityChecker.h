@@ -44,6 +44,19 @@ Tnum optimalAbstractBinaryBatched(BinaryOp Op, unsigned Width, const Tnum &P,
                                   const uint64_t *Ys, uint64_t NumYs,
                                   const SimdKernels &Kernels);
 
+/// Fully-memoized form: BOTH concretizations arrive as flat member lists
+/// in subset-odometer order (gamma(P) in \p Xs, gamma(Q) in \p Ys), so
+/// nothing is re-enumerated per (P, Q) pair. This is what lets the
+/// optimality sweeps hoist a per-P member list across the whole Q axis --
+/// from the per-universe MemberTable when it fits the byte cap, or staged
+/// once per P row otherwise -- instead of walking the subset odometer of
+/// gamma(P) again for every pair. Bit-identical to the scalar fold and to
+/// optimalAbstractBinaryBatched for every input.
+Tnum optimalAbstractBinaryMembers(BinaryOp Op, unsigned Width,
+                                  const uint64_t *Xs, uint64_t NumXs,
+                                  const uint64_t *Ys, uint64_t NumYs,
+                                  const SimdKernels &Kernels);
+
 /// Witness that an operator is not optimal on some input pair: the
 /// operator's result R strictly over-approximates the optimal result.
 struct OptimalityCounterexample {

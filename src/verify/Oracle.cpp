@@ -142,6 +142,65 @@ void tnums::applyConcreteBinaryBatch(BinaryOp Op, uint64_t X,
   assert(false && "unknown binary op");
 }
 
+void tnums::applyConcreteBinaryBatchLhs(BinaryOp Op, const uint64_t *Xs,
+                                        uint64_t Y, uint64_t *Zs, unsigned N,
+                                        unsigned Width) {
+  const uint64_t WMask = lowBitsMask(Width);
+  Y &= WMask;
+  switch (Op) {
+  case BinaryOp::Add:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = ((Xs[I] & WMask) + Y) & WMask;
+    return;
+  case BinaryOp::Sub:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = ((Xs[I] & WMask) - Y) & WMask;
+    return;
+  case BinaryOp::Mul:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = ((Xs[I] & WMask) * Y) & WMask;
+    return;
+  case BinaryOp::Div:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = Y == 0 ? 0 : (Xs[I] & WMask) / Y;
+    return;
+  case BinaryOp::Mod:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = Y == 0 ? (Xs[I] & WMask) : (Xs[I] & WMask) % Y;
+    return;
+  case BinaryOp::And:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = Xs[I] & Y & WMask;
+    return;
+  case BinaryOp::Or:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = (Xs[I] & WMask) | Y;
+    return;
+  case BinaryOp::Xor:
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = (Xs[I] & WMask) ^ Y;
+    return;
+  case BinaryOp::Lsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = ((Xs[I] & WMask) << (Y & (Width - 1))) & WMask;
+    return;
+  case BinaryOp::Rsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = (Xs[I] & WMask) >> (Y & (Width - 1));
+    return;
+  case BinaryOp::Arsh:
+    assert((Width & (Width - 1)) == 0 && "shift semantics need 2^k width");
+    for (unsigned I = 0; I != N; ++I)
+      Zs[I] = arithmeticShiftRight(Xs[I] & WMask,
+                                   static_cast<unsigned>(Y & (Width - 1)),
+                                   Width);
+    return;
+  }
+  assert(false && "unknown binary op");
+}
+
 Tnum tnums::applyAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width,
                                 MulAlgorithm Mul) {
   switch (Op) {

@@ -69,6 +69,15 @@ uint64_t applyConcreteBinary(BinaryOp Op, uint64_t X, uint64_t Y,
 void applyConcreteBinaryBatch(BinaryOp Op, uint64_t X, const uint64_t *Ys,
                               uint64_t *Zs, unsigned N, unsigned Width);
 
+/// Mirror of applyConcreteBinaryBatch with the batch on the LEFT operand:
+/// Zs[j] = opC(Xs[j], Y) at \p Width for j in [0, N). The optimality
+/// reduction is an order-independent AND/OR fold over all (x, y) pairs,
+/// so it may batch over whichever concretization is longer; the
+/// non-commutative operators (sub, div, mod, shifts) need this spelled
+/// out rather than a swapped call. \p Zs must not alias \p Xs.
+void applyConcreteBinaryBatchLhs(BinaryOp Op, const uint64_t *Xs, uint64_t Y,
+                                 uint64_t *Zs, unsigned N, unsigned Width);
+
 /// The abstract transfer function for \p Op, truncated to \p Width.
 /// Multiplication is computed with \p Mul so that every algorithm variant
 /// can be pushed through the same verification pipeline.

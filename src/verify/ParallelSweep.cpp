@@ -10,40 +10,16 @@
 #include "support/Atomic.h"
 #include "support/ChunkSchedule.h"
 #include "tnum/TnumEnum.h"
-#include "tnum/TnumMembers.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <chrono>
 #include <map>
 #include <mutex>
 
 using namespace tnums;
 
 namespace {
-
-/// The row-major (P, Q) pair grid a sweep walks, pre-chunked. Pair index
-/// I maps to P = Universe[I / N], Q = Universe[I % N] -- the exact order
-/// the serial checkers use, which is what makes "minimum failing chunk,
-/// first failure inside it" equal the serial witness.
-struct PairGrid {
-  std::vector<Tnum> Universe;
-  uint64_t NumTnums;
-  uint64_t TotalPairs;
-  uint64_t ChunkPairs;
-  uint64_t NumChunks;
-};
-
-PairGrid makeGrid(unsigned Width, const SweepConfig &Config) {
-  PairGrid Grid;
-  Grid.Universe = allWellFormedTnums(Width);
-  Grid.NumTnums = Grid.Universe.size();
-  Grid.TotalPairs = Grid.NumTnums * Grid.NumTnums;
-  Grid.ChunkPairs = std::max<uint64_t>(1, Config.ChunkPairs);
-  Grid.NumChunks = (Grid.TotalPairs + Grid.ChunkPairs - 1) / Grid.ChunkPairs;
-  return Grid;
-}
 
 /// Runs \p Fn(ChunkIndex) over [0, NumChunks) on the shared
 /// chunk-scheduling loop (support/ChunkSchedule.h); the sweeps carry no
@@ -55,12 +31,20 @@ void runOnPool(const SweepConfig &Config, uint64_t NumChunks,
       [&Fn](uint64_t Chunk, int &) { Fn(Chunk); });
 }
 
+/// A failing pair: its grid index (for the Campaign layer's serial-prefix
+/// re-normalization) plus the property-specific witness.
+template <typename CounterexampleT> struct IndexedFailure {
+  uint64_t Index;
+  CounterexampleT Witness;
+};
+
 /// The chunk / first-fail-chunk cancellation protocol, shared by the three
 /// sweeps (soundness, optimality, monotonicity) that used to each carry a
-/// near-verbatim copy. Templated on the counterexample type, a chunk-local
-/// counter block (which doubles as per-chunk scratch -- e.g. the gamma(Q)
-/// staging buffer -- since one instance lives per chunk, never shared
-/// across threads), and the per-pair body.
+/// near-verbatim copy, applied to the pair-index range [Begin, End) of
+/// \p Grid. Templated on the counterexample type, a chunk-local counter
+/// block (which doubles as per-chunk scratch -- e.g. the gamma(Q) staging
+/// buffer -- since one instance lives per chunk, never shared across
+/// threads), and the per-pair body.
 ///
 ///   Body(Index, P, Q, Local) -> std::optional<CounterexampleT>
 ///   Merge(Local)             -- fold the chunk's counters into the totals
@@ -68,30 +52,35 @@ void runOnPool(const SweepConfig &Config, uint64_t NumChunks,
 /// With \p CancelOnFailure (the soundness protocol) a failing chunk stops
 /// at its own first violation, chunks strictly above the lowest failing
 /// chunk are cancelled, and chunks at or below it always finish -- so the
-/// returned counterexample is the serial row-major first one. Without it
-/// (optimality's exact-count mode) every chunk full-scans and only the
-/// lowest chunk's first witness is kept; the result is the serial-order
-/// first counterexample either way.
+/// returned counterexample is the serial row-major first one in the
+/// range. Without it (optimality's exact-count mode) every chunk
+/// full-scans and only the lowest chunk's first witness is kept; the
+/// result is the serial-order first counterexample either way.
 template <typename CounterexampleT, typename LocalT, typename BodyT,
           typename MergeT>
-std::optional<CounterexampleT>
-sweepPairGrid(const PairGrid &Grid, const SweepConfig &Config,
-              bool CancelOnFailure, const BodyT &Body, const MergeT &Merge) {
+std::optional<IndexedFailure<CounterexampleT>>
+sweepPairGrid(const SweepGrid &Grid, uint64_t Begin, uint64_t End,
+              const SweepConfig &Config, bool CancelOnFailure,
+              const BodyT &Body, const MergeT &Merge) {
+  assert(Begin <= End && End <= Grid.TotalPairs && "range out of grid");
+  const uint64_t ChunkPairs = std::max<uint64_t>(1, Config.ChunkPairs);
+  const uint64_t NumChunks = (End - Begin + ChunkPairs - 1) / ChunkPairs;
+
   // Lowest chunk index with a violation; the final value's witness is the
   // serial-order first counterexample.
   std::atomic<uint64_t> FirstFailChunk{UINT64_MAX};
   std::mutex FailuresMutex;
-  std::map<uint64_t, CounterexampleT> FailureByChunk;
+  std::map<uint64_t, IndexedFailure<CounterexampleT>> FailureByChunk;
 
-  runOnPool(Config, Grid.NumChunks, [&](uint64_t Chunk) {
+  runOnPool(Config, NumChunks, [&](uint64_t Chunk) {
     if (CancelOnFailure &&
         Chunk > FirstFailChunk.load(std::memory_order_acquire))
       return;
-    uint64_t Begin = Chunk * Grid.ChunkPairs;
-    uint64_t End = std::min(Grid.TotalPairs, Begin + Grid.ChunkPairs);
+    uint64_t ChunkBegin = Begin + Chunk * ChunkPairs;
+    uint64_t ChunkEnd = std::min(End, ChunkBegin + ChunkPairs);
     LocalT Local{};
     bool ChunkHasFailure = false;
-    for (uint64_t Index = Begin; Index != End; ++Index) {
+    for (uint64_t Index = ChunkBegin; Index != ChunkEnd; ++Index) {
       if (CancelOnFailure &&
           Chunk > FirstFailChunk.load(std::memory_order_relaxed))
         break;
@@ -102,7 +91,9 @@ sweepPairGrid(const PairGrid &Grid, const SweepConfig &Config,
         ChunkHasFailure = true;
         {
           std::lock_guard<std::mutex> Lock(FailuresMutex);
-          FailureByChunk.emplace(Chunk, std::move(*Failure));
+          FailureByChunk.emplace(
+              Chunk,
+              IndexedFailure<CounterexampleT>{Index, std::move(*Failure)});
         }
         atomicMinU64(FirstFailChunk, Chunk);
       }
@@ -118,18 +109,6 @@ sweepPairGrid(const PairGrid &Grid, const SweepConfig &Config,
   return std::move(FailureByChunk.begin()->second); // Lowest chunk index.
 }
 
-/// The memoized member table when the batched path is on and the whole
-/// universe's gamma fits the configured budget; disengaged otherwise.
-std::optional<MemberTable> makeMemberTable(const PairGrid &Grid,
-                                           unsigned Width, bool Batched,
-                                           const SweepConfig &Config) {
-  std::optional<MemberTable> Members;
-  if (Batched && Config.MemberTableBytesCap &&
-      memberTableBytes(Width) <= Config.MemberTableBytesCap)
-    Members.emplace(Grid.Universe);
-  return Members;
-}
-
 /// Resolves gamma(Q) for one pair: from the memoized table when present,
 /// else materialized into the chunk-local staging buffer \p Ys.
 std::pair<const uint64_t *, uint64_t>
@@ -141,22 +120,38 @@ resolveMembers(const std::optional<MemberTable> &Members, uint64_t QIndex,
   return {Ys.data(), Ys.size()};
 }
 
+void publishFailureIndex(std::optional<uint64_t> *Out,
+                         std::optional<uint64_t> Index) {
+  if (Out)
+    *Out = Index;
+}
+
 } // namespace
 
-SoundnessReport tnums::checkSoundnessExhaustiveParallel(
-    BinaryOp Concrete, const AbstractBinaryFn &Abstract, unsigned Width,
-    const SweepConfig &Config) {
-  assert((!isShiftOp(Concrete) || (Width & (Width - 1)) == 0) &&
-         "shift verification requires a power-of-two width");
-  PairGrid Grid = makeGrid(Width, Config);
+SweepGrid tnums::makeSweepGrid(unsigned Width, const SweepConfig &Config) {
+  SweepGrid Grid;
+  Grid.Width = Width;
+  Grid.Universe = allWellFormedTnums(Width);
+  Grid.NumTnums = Grid.Universe.size();
+  Grid.TotalPairs = Grid.NumTnums * Grid.NumTnums;
+  if (simdModeBatches(Config.Simd) && Config.MemberTableBytesCap &&
+      memberTableBytes(Width) <= Config.MemberTableBytesCap)
+    Grid.Members.emplace(Grid.Universe);
+  return Grid;
+}
 
+SoundnessReport tnums::checkSoundnessRangeParallel(
+    BinaryOp Concrete, const AbstractBinaryFn &Abstract,
+    const SweepGrid &Grid, uint64_t Begin, uint64_t End,
+    const SweepConfig &Config, std::optional<uint64_t> *FailurePairIndex) {
+  assert((!isShiftOp(Concrete) || (Grid.Width & (Grid.Width - 1)) == 0) &&
+         "shift verification requires a power-of-two width");
   std::atomic<uint64_t> PairsChecked{0};
   std::atomic<uint64_t> ConcreteChecked{0};
 
   const bool Batched = simdModeBatches(Config.Simd);
   const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
-  std::optional<MemberTable> Members =
-      makeMemberTable(Grid, Width, Batched, Config);
+  const unsigned Width = Grid.Width;
 
   struct Local {
     uint64_t Pairs = 0;
@@ -166,16 +161,17 @@ SoundnessReport tnums::checkSoundnessExhaustiveParallel(
     std::vector<uint64_t> Ys;
   };
 
-  std::optional<SoundnessCounterexample> Failure =
+  std::optional<IndexedFailure<SoundnessCounterexample>> Failure =
       sweepPairGrid<SoundnessCounterexample, Local>(
-          Grid, Config, /*CancelOnFailure=*/true,
+          Grid, Begin, End, Config, /*CancelOnFailure=*/true,
           [&](uint64_t Index, const Tnum &P, const Tnum &Q,
               Local &L) -> std::optional<SoundnessCounterexample> {
             ++L.Pairs;
             Tnum R = Abstract(P, Q);
             if (Batched) {
               auto [Ys, NumYs] =
-                  resolveMembers(Members, Index % Grid.NumTnums, Q, L.Ys);
+                  resolveMembers(Grid.Members, Index % Grid.NumTnums, Q,
+                                 L.Ys);
               return scanPairMembersBatched(Concrete, Width, P, Q, R, Ys,
                                             NumYs, Kernels, L.Concrete);
             }
@@ -202,60 +198,76 @@ SoundnessReport tnums::checkSoundnessExhaustiveParallel(
   SoundnessReport Report;
   Report.PairsChecked = PairsChecked.load();
   Report.ConcreteChecked = ConcreteChecked.load();
-  Report.Failure = std::move(Failure);
+  if (Failure) {
+    publishFailureIndex(FailurePairIndex, Failure->Index);
+    Report.Failure = std::move(Failure->Witness);
+  } else {
+    publishFailureIndex(FailurePairIndex, std::nullopt);
+  }
   return Report;
 }
 
-SoundnessReport
-tnums::checkSoundnessExhaustiveParallel(BinaryOp Op, unsigned Width,
-                                        MulAlgorithm Mul,
-                                        const SweepConfig &Config) {
-  return checkSoundnessExhaustiveParallel(
-      Op,
-      [Op, Width, Mul](const Tnum &P, const Tnum &Q) {
-        return applyAbstractBinary(Op, P, Q, Width, Mul);
-      },
-      Width, Config);
-}
-
-OptimalityReport
-tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
-                                         MulAlgorithm Mul,
-                                         const SweepConfig &Config,
-                                         bool StopAtFirst) {
-  assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
+OptimalityReport tnums::checkOptimalityRangeParallel(
+    BinaryOp Op, MulAlgorithm Mul, const SweepGrid &Grid, uint64_t Begin,
+    uint64_t End, const SweepConfig &Config, bool StopAtFirst,
+    std::optional<uint64_t> *FailurePairIndex) {
+  assert((!isShiftOp(Op) || (Grid.Width & (Grid.Width - 1)) == 0) &&
          "shift verification requires a power-of-two width");
-  PairGrid Grid = makeGrid(Width, Config);
-
   std::atomic<uint64_t> PairsChecked{0};
   std::atomic<uint64_t> OptimalPairs{0};
 
   const bool Batched = simdModeBatches(Config.Simd);
+  const bool Memoize = Batched && Config.MemoizeOptimality;
   const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
-  std::optional<MemberTable> Members =
-      makeMemberTable(Grid, Width, Batched, Config);
+  const unsigned Width = Grid.Width;
 
   struct Local {
     uint64_t Pairs = 0;
     uint64_t Optimal = 0;
     std::vector<uint64_t> Ys;
+    // Per-P member list staged once per row when the member table is not
+    // engaged: chunks walk consecutive indices, so P changes at most
+    // every NumTnums pairs and the refill amortizes across the Q axis.
+    std::vector<uint64_t> Xs;
+    uint64_t XsIndex = UINT64_MAX;
   };
 
   // StopAtFirst selects the soundness cancellation protocol (early exit,
   // scheduling-dependent counts on failure); the default full-scan keeps
   // OptimalPairs / PairsChecked exact grid totals. Either way the witness
   // is the serial-order first non-optimal pair.
-  std::optional<OptimalityCounterexample> Failure =
+  std::optional<IndexedFailure<OptimalityCounterexample>> Failure =
       sweepPairGrid<OptimalityCounterexample, Local>(
-          Grid, Config, /*CancelOnFailure=*/StopAtFirst,
+          Grid, Begin, End, Config, /*CancelOnFailure=*/StopAtFirst,
           [&](uint64_t Index, const Tnum &P, const Tnum &Q,
               Local &L) -> std::optional<OptimalityCounterexample> {
             ++L.Pairs;
             Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
             Tnum Optimal;
-            if (Batched) {
+            if (Memoize) {
               auto [Ys, NumYs] =
-                  resolveMembers(Members, Index % Grid.NumTnums, Q, L.Ys);
+                  resolveMembers(Grid.Members, Index % Grid.NumTnums, Q,
+                                 L.Ys);
+              const uint64_t *Xs;
+              uint64_t NumXs;
+              uint64_t PIndex = Index / Grid.NumTnums;
+              if (Grid.Members) {
+                Xs = Grid.Members->members(PIndex);
+                NumXs = Grid.Members->numMembers(PIndex);
+              } else {
+                if (L.XsIndex != PIndex) {
+                  materializeMembers(P, L.Xs);
+                  L.XsIndex = PIndex;
+                }
+                Xs = L.Xs.data();
+                NumXs = L.Xs.size();
+              }
+              Optimal = optimalAbstractBinaryMembers(Op, Width, Xs, NumXs,
+                                                     Ys, NumYs, Kernels);
+            } else if (Batched) {
+              auto [Ys, NumYs] =
+                  resolveMembers(Grid.Members, Index % Grid.NumTnums, Q,
+                                 L.Ys);
               Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys, NumYs,
                                                      Kernels);
             } else {
@@ -275,27 +287,31 @@ tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
   OptimalityReport Report;
   Report.PairsChecked = PairsChecked.load();
   Report.OptimalPairs = OptimalPairs.load();
-  Report.Failure = std::move(Failure);
+  if (Failure) {
+    publishFailureIndex(FailurePairIndex, Failure->Index);
+    Report.Failure = std::move(Failure->Witness);
+  } else {
+    publishFailureIndex(FailurePairIndex, std::nullopt);
+  }
   return Report;
 }
 
-MonotonicityReport
-tnums::checkMonotonicityExhaustiveParallel(BinaryOp Op, unsigned Width,
-                                           MulAlgorithm Mul,
-                                           const SweepConfig &Config) {
-  assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
+MonotonicityReport tnums::checkMonotonicityRangeParallel(
+    BinaryOp Op, MulAlgorithm Mul, const SweepGrid &Grid, uint64_t Begin,
+    uint64_t End, const SweepConfig &Config,
+    std::optional<uint64_t> *FailurePairIndex) {
+  assert((!isShiftOp(Op) || (Grid.Width & (Grid.Width - 1)) == 0) &&
          "shift verification requires a power-of-two width");
-  PairGrid Grid = makeGrid(Width, Config);
-
   std::atomic<uint64_t> QuadruplesChecked{0};
+  const unsigned Width = Grid.Width;
 
   struct Local {
     uint64_t Quadruples = 0;
   };
 
-  std::optional<MonotonicityCounterexample> Failure =
+  std::optional<IndexedFailure<MonotonicityCounterexample>> Failure =
       sweepPairGrid<MonotonicityCounterexample, Local>(
-          Grid, Config, /*CancelOnFailure=*/true,
+          Grid, Begin, End, Config, /*CancelOnFailure=*/true,
           [&](uint64_t, const Tnum &P2, const Tnum &Q2,
               Local &L) -> std::optional<MonotonicityCounterexample> {
             Tnum R2 = applyAbstractBinary(Op, P2, Q2, Width, Mul);
@@ -322,36 +338,68 @@ tnums::checkMonotonicityExhaustiveParallel(BinaryOp Op, unsigned Width,
 
   MonotonicityReport Report;
   Report.QuadruplesChecked = QuadruplesChecked.load();
-  Report.Failure = std::move(Failure);
+  if (Failure) {
+    publishFailureIndex(FailurePairIndex, Failure->Index);
+    Report.Failure = std::move(Failure->Witness);
+  } else {
+    publishFailureIndex(FailurePairIndex, std::nullopt);
+  }
   return Report;
+}
+
+SoundnessReport tnums::checkSoundnessExhaustiveParallel(
+    BinaryOp Concrete, const AbstractBinaryFn &Abstract, unsigned Width,
+    const SweepConfig &Config) {
+  SweepGrid Grid = makeSweepGrid(Width, Config);
+  return checkSoundnessRangeParallel(Concrete, Abstract, Grid, 0,
+                                     Grid.TotalPairs, Config);
+}
+
+SoundnessReport
+tnums::checkSoundnessExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                        MulAlgorithm Mul,
+                                        const SweepConfig &Config) {
+  return checkSoundnessExhaustiveParallel(
+      Op,
+      [Op, Width, Mul](const Tnum &P, const Tnum &Q) {
+        return applyAbstractBinary(Op, P, Q, Width, Mul);
+      },
+      Width, Config);
+}
+
+OptimalityReport
+tnums::checkOptimalityExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                         MulAlgorithm Mul,
+                                         const SweepConfig &Config,
+                                         bool StopAtFirst) {
+  SweepGrid Grid = makeSweepGrid(Width, Config);
+  return checkOptimalityRangeParallel(Op, Mul, Grid, 0, Grid.TotalPairs,
+                                      Config, StopAtFirst);
+}
+
+MonotonicityReport
+tnums::checkMonotonicityExhaustiveParallel(BinaryOp Op, unsigned Width,
+                                           MulAlgorithm Mul,
+                                           const SweepConfig &Config) {
+  SweepGrid Grid = makeSweepGrid(Width, Config);
+  return checkMonotonicityRangeParallel(Op, Mul, Grid, 0, Grid.TotalPairs,
+                                        Config);
+}
+
+void tnums::forEachIndexRangeParallel(
+    uint64_t Begin, uint64_t End, const SweepConfig &Config,
+    const std::function<void(uint64_t, uint64_t)> &Fn) {
+  assert(Begin <= End && "bad index range");
+  uint64_t ChunkSize = std::max<uint64_t>(1, Config.ChunkPairs);
+  uint64_t NumChunks = (End - Begin + ChunkSize - 1) / ChunkSize;
+  runOnPool(Config, NumChunks, [&](uint64_t Chunk) {
+    uint64_t ChunkBegin = Begin + Chunk * ChunkSize;
+    Fn(ChunkBegin, std::min(End, ChunkBegin + ChunkSize));
+  });
 }
 
 void tnums::forEachIndexRangeParallel(
     uint64_t Total, const SweepConfig &Config,
     const std::function<void(uint64_t, uint64_t)> &Fn) {
-  uint64_t ChunkSize = std::max<uint64_t>(1, Config.ChunkPairs);
-  uint64_t NumChunks = (Total + ChunkSize - 1) / ChunkSize;
-  runOnPool(Config, NumChunks, [&](uint64_t Chunk) {
-    uint64_t Begin = Chunk * ChunkSize;
-    Fn(Begin, std::min(Total, Begin + ChunkSize));
-  });
-}
-
-std::vector<MulSweepResult>
-tnums::sweepMulSoundness(const std::vector<unsigned> &Widths,
-                         const SweepConfig &Config) {
-  std::vector<MulSweepResult> Results;
-  Results.reserve(Widths.size() * std::size(AllMulAlgorithms));
-  for (unsigned Width : Widths) {
-    for (MulAlgorithm Algorithm : AllMulAlgorithms) {
-      auto Start = std::chrono::steady_clock::now();
-      SoundnessReport Report =
-          checkSoundnessExhaustiveParallel(BinaryOp::Mul, Width, Algorithm,
-                                           Config);
-      std::chrono::duration<double> Elapsed =
-          std::chrono::steady_clock::now() - Start;
-      Results.push_back({Algorithm, Width, Report, Elapsed.count()});
-    }
-  }
-  return Results;
+  forEachIndexRangeParallel(0, Total, Config, Fn);
 }

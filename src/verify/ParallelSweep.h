@@ -15,6 +15,14 @@
 /// (P, Q) pair indices and runs them on a work-stealing thread pool
 /// (support/ThreadPool.h), pushing exhaustive sweeps to width 10-12.
 ///
+/// Since the Campaign refactor the engine is *range-based*: a SweepGrid
+/// (the enumerated universe plus the optional memoized member table) is
+/// built once per width and any number of [Begin, End) pair-index ranges
+/// are swept against it. The classic full-grid entry points below are
+/// wrappers over the range [0, TotalPairs); verify/Campaign.h layers
+/// sharding, checkpointing, and order-independent merging on top of the
+/// range form.
+///
 /// Determinism contract: results are bit-identical for every thread count,
 /// including 1, and identical to the serial checkers.
 ///
@@ -29,6 +37,9 @@
 ///    then reflect only the work actually performed (cancellation makes
 ///    them scheduling-dependent), mirroring the serial early-exit counts
 ///    only approximately; treat them as progress indicators on failure.
+///    (The Campaign layer re-normalizes failing shards to the exact
+///    serial-prefix counts, which is what makes its merged reports
+///    deterministic; see docs/CAMPAIGN.md.)
 ///
 /// The checkers accept an injectable abstract operator so the test suite
 /// can feed deliberately broken transfer functions through the exact same
@@ -39,11 +50,13 @@
 #ifndef TNUMS_VERIFY_PARALLELSWEEP_H
 #define TNUMS_VERIFY_PARALLELSWEEP_H
 
+#include "tnum/TnumMembers.h"
 #include "verify/MonotonicityChecker.h"
 #include "verify/OptimalityChecker.h"
 #include "verify/SoundnessChecker.h"
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 namespace tnums {
@@ -71,12 +84,63 @@ struct SweepConfig {
   /// <= 12 (128 MiB); wider sweeps fall back to per-pair materialization.
   /// Zero disables memoization. Bit-identical reports either way.
   uint64_t MemberTableBytesCap = uint64_t(1) << 28;
+
+  /// Optimality scans only: feed the memoized gamma(P) member list
+  /// (from the member table, or staged once per P row) to the batched
+  /// alpha reduction instead of re-enumerating gamma(P) per (P, Q) pair.
+  /// Off selects the legacy per-pair enumeration -- the A/B reference for
+  /// bench/soundness_verification's --compare-optimality. Bit-identical
+  /// reports either way.
+  bool MemoizeOptimality = true;
 };
 
 /// An abstract binary transfer function as the sweep sees it: inputs are
 /// well-formed width-n tnums, the result is already truncated to width.
 /// Signature matches applyAbstractBinary after binding Op/Width/Mul.
 using AbstractBinaryFn = std::function<Tnum(const Tnum &, const Tnum &)>;
+
+/// The row-major (P, Q) pair grid every sweep walks: pair index I maps to
+/// P = Universe[I / NumTnums], Q = Universe[I % NumTnums] -- the exact
+/// order the serial checkers use, which is what makes "minimum failing
+/// chunk, first failure inside it" equal the serial witness. Build one
+/// per width (makeSweepGrid) and sweep any number of ranges against it:
+/// the universe enumeration and the member table are the per-width state
+/// the Campaign layer shares across every shard and property of a cell.
+struct SweepGrid {
+  unsigned Width = 0;
+  std::vector<Tnum> Universe;
+  uint64_t NumTnums = 0;
+  uint64_t TotalPairs = 0;
+  /// Engaged when the batched path is on and gamma of the whole universe
+  /// fits SweepConfig::MemberTableBytesCap (see tnum/TnumMembers.h).
+  std::optional<MemberTable> Members;
+};
+
+/// Enumerates the width-\p Width universe and, when \p Config's batched
+/// path and byte cap allow, memoizes the member table.
+SweepGrid makeSweepGrid(unsigned Width, const SweepConfig &Config);
+
+/// Range forms of the three sweeps: scan pair indices [\p Begin, \p End)
+/// of \p Grid under the determinism contract above, restricted to the
+/// range (the "serial order" is the ascending index order of the range).
+/// When the sweep fails and \p FailurePairIndex is non-null, it receives
+/// the failing pair's grid index -- the Campaign layer uses it to
+/// re-normalize failing shards to exact serial-prefix counters.
+SoundnessReport checkSoundnessRangeParallel(
+    BinaryOp Concrete, const AbstractBinaryFn &Abstract,
+    const SweepGrid &Grid, uint64_t Begin, uint64_t End,
+    const SweepConfig &Config,
+    std::optional<uint64_t> *FailurePairIndex = nullptr);
+
+OptimalityReport checkOptimalityRangeParallel(
+    BinaryOp Op, MulAlgorithm Mul, const SweepGrid &Grid, uint64_t Begin,
+    uint64_t End, const SweepConfig &Config, bool StopAtFirst,
+    std::optional<uint64_t> *FailurePairIndex = nullptr);
+
+MonotonicityReport checkMonotonicityRangeParallel(
+    BinaryOp Op, MulAlgorithm Mul, const SweepGrid &Grid, uint64_t Begin,
+    uint64_t End, const SweepConfig &Config,
+    std::optional<uint64_t> *FailurePairIndex = nullptr);
 
 /// Parallel equivalent of checkSoundnessExhaustive: verifies Eqn. 11 for
 /// \p Op at \p Width over every well-formed tnum pair, multithreaded.
@@ -128,6 +192,12 @@ void forEachIndexRangeParallel(
     uint64_t Total, const SweepConfig &Config,
     const std::function<void(uint64_t, uint64_t)> &Fn);
 
+/// Subrange form: chunks [\p Begin, \p End) instead of [0, Total) -- what
+/// a checkpointed shard of a Table I / Fig. 4 walk runs.
+void forEachIndexRangeParallel(
+    uint64_t Begin, uint64_t End, const SweepConfig &Config,
+    const std::function<void(uint64_t, uint64_t)> &Fn);
+
 /// One (algorithm, width) cell of a multiplication soundness campaign.
 struct MulSweepResult {
   MulAlgorithm Algorithm;
@@ -140,7 +210,10 @@ struct MulSweepResult {
 /// through the parallel soundness checker -- the paper's SIII-A
 /// multiplication campaign, beyond its n = 8 SMT horizon. Cells are
 /// ordered (width-major, algorithm-minor) and each cell's report obeys the
-/// determinism contract above.
+/// determinism contract above. Since the Campaign refactor this is a thin
+/// wrapper over runCampaign (verify/Campaign.h) without checkpointing;
+/// front ends that want resume/sharding should build a CampaignSpec
+/// directly.
 std::vector<MulSweepResult>
 sweepMulSoundness(const std::vector<unsigned> &Widths,
                   const SweepConfig &Config = SweepConfig());

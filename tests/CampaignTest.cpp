@@ -1,0 +1,394 @@
+//===- tests/CampaignTest.cpp - Checkpointed campaign engine tests --------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign engine's contract is that the merged report is
+/// bit-identical to the serial checkers' -- counters AND witness -- no
+/// matter how the shard manifest was split across invocations, killed at
+/// shard boundaries, resumed, or scheduled. These tests drive exactly
+/// those interleavings: multi-shard in-memory runs across scheduler
+/// configs, kill-and-resume at several boundaries, --shards splits
+/// executed out of order in separate invocations, a deliberately broken
+/// operator flowing through checkpoint files, and the durable store's
+/// fingerprint guards.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tnum/TnumEnum.h"
+#include "verify/Campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <stdlib.h>
+
+using namespace tnums;
+
+namespace {
+
+/// Fresh unique checkpoint directory under the test temp root.
+std::string makeCheckpointDir() {
+  std::string Template = testing::TempDir() + "campaignXXXXXX";
+  std::vector<char> Buf(Template.begin(), Template.end());
+  Buf.push_back('\0');
+  const char *Dir = mkdtemp(Buf.data());
+  EXPECT_NE(Dir, nullptr);
+  return std::string(Dir) + "/ckpt"; // Let the store create the leaf dir.
+}
+
+/// Scheduler configs exercising the degenerate serial path, odd chunking,
+/// and oversubscription (this mirrors ParallelSweepTest's kConfigs).
+const SweepConfig kConfigs[] = {
+    {/*NumThreads=*/1, /*ChunkPairs=*/1},
+    {/*NumThreads=*/2, /*ChunkPairs=*/7},
+    {/*NumThreads=*/8, /*ChunkPairs=*/64},
+};
+
+/// A mixed spec touching every property, with cells that hold and cells
+/// that fail (mul optimality at width 4, kern_mul monotonicity at width
+/// 5), so the serial-prefix normalization is exercised alongside the
+/// full-scan sums.
+CampaignSpec mixedSpec(bool EarlyExit) {
+  CampaignSpec Spec;
+  Spec.OptimalityEarlyExit = EarlyExit;
+  Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, 4,
+                        CampaignProperty::Soundness});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Soundness});
+  Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, 4,
+                        CampaignProperty::Optimality});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Optimality});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Kern, 5,
+                        CampaignProperty::Monotonicity});
+  return Spec;
+}
+
+void expectSameSoundness(const SoundnessReport &Want,
+                         const SoundnessReport &Got) {
+  EXPECT_EQ(Want.PairsChecked, Got.PairsChecked);
+  EXPECT_EQ(Want.ConcreteChecked, Got.ConcreteChecked);
+  ASSERT_EQ(Want.Failure.has_value(), Got.Failure.has_value());
+  if (Want.Failure) {
+    EXPECT_EQ(Want.Failure->P, Got.Failure->P);
+    EXPECT_EQ(Want.Failure->Q, Got.Failure->Q);
+    EXPECT_EQ(Want.Failure->X, Got.Failure->X);
+    EXPECT_EQ(Want.Failure->Y, Got.Failure->Y);
+    EXPECT_EQ(Want.Failure->Z, Got.Failure->Z);
+    EXPECT_EQ(Want.Failure->R, Got.Failure->R);
+  }
+}
+
+void expectSameOptimality(const OptimalityReport &Want,
+                          const OptimalityReport &Got) {
+  EXPECT_EQ(Want.PairsChecked, Got.PairsChecked);
+  EXPECT_EQ(Want.OptimalPairs, Got.OptimalPairs);
+  ASSERT_EQ(Want.Failure.has_value(), Got.Failure.has_value());
+  if (Want.Failure) {
+    EXPECT_EQ(Want.Failure->P, Got.Failure->P);
+    EXPECT_EQ(Want.Failure->Q, Got.Failure->Q);
+    EXPECT_EQ(Want.Failure->Actual, Got.Failure->Actual);
+    EXPECT_EQ(Want.Failure->Optimal, Got.Failure->Optimal);
+  }
+}
+
+void expectSameMonotonicity(const MonotonicityReport &Want,
+                            const MonotonicityReport &Got) {
+  EXPECT_EQ(Want.QuadruplesChecked, Got.QuadruplesChecked);
+  ASSERT_EQ(Want.Failure.has_value(), Got.Failure.has_value());
+  if (Want.Failure) {
+    EXPECT_EQ(Want.Failure->P1, Got.Failure->P1);
+    EXPECT_EQ(Want.Failure->Q1, Got.Failure->Q1);
+    EXPECT_EQ(Want.Failure->P2, Got.Failure->P2);
+    EXPECT_EQ(Want.Failure->Q2, Got.Failure->Q2);
+    EXPECT_EQ(Want.Failure->R1, Got.Failure->R1);
+    EXPECT_EQ(Want.Failure->R2, Got.Failure->R2);
+  }
+}
+
+/// Asserts the merged campaign equals the SERIAL checkers bit for bit:
+/// the strongest form of the determinism contract (the parallel engines'
+/// own counters are only scheduling-independent when the property holds;
+/// the campaign normalizes failures back to serial-prefix counts).
+void expectMatchesSerialCheckers(const CampaignSpec &Spec,
+                                 const CampaignResult &Campaign) {
+  ASSERT_TRUE(Campaign.ok()) << Campaign.Error;
+  ASSERT_TRUE(Campaign.Complete);
+  ASSERT_EQ(Campaign.Cells.size(), Spec.Cells.size());
+  for (size_t I = 0; I != Spec.Cells.size(); ++I) {
+    const CampaignCell &Cell = Spec.Cells[I];
+    const CampaignCellResult &Got = Campaign.Cells[I];
+    SCOPED_TRACE(testing::Message()
+                 << binaryOpName(Cell.Op) << "/"
+                 << campaignPropertyName(Cell.Property) << "/w"
+                 << Cell.Width);
+    EXPECT_TRUE(Got.Complete);
+    switch (Cell.Property) {
+    case CampaignProperty::Soundness:
+      expectSameSoundness(
+          checkSoundnessExhaustive(Cell.Op, Cell.Width, Cell.Mul),
+          Got.Soundness);
+      break;
+    case CampaignProperty::Optimality:
+      expectSameOptimality(
+          checkOptimalityExhaustive(Cell.Op, Cell.Width, Cell.Mul,
+                                    /*StopAtFirst=*/Spec.OptimalityEarlyExit),
+          Got.Optimality);
+      break;
+    case CampaignProperty::Monotonicity:
+      expectSameMonotonicity(
+          checkMonotonicityExhaustive(Cell.Op, Cell.Width, Cell.Mul),
+          Got.Monotonicity);
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Merged reports == serial checkers, across schedulers and shard sizes
+//===----------------------------------------------------------------------===//
+
+TEST(Campaign, MergedReportsMatchSerialCheckersAcrossConfigs) {
+  for (bool EarlyExit : {true, false}) {
+    CampaignSpec Spec = mixedSpec(EarlyExit);
+    for (const SweepConfig &Config : kConfigs) {
+      for (uint64_t ShardPairs : {uint64_t(100), uint64_t(1000),
+                                  uint64_t(1) << 20}) {
+        SCOPED_TRACE(testing::Message()
+                     << "early-exit " << EarlyExit << " threads "
+                     << Config.NumThreads << " shard-pairs " << ShardPairs);
+        CampaignIO IO;
+        IO.ShardPairs = ShardPairs;
+        expectMatchesSerialCheckers(Spec, runCampaign(Spec, IO, Config));
+      }
+    }
+  }
+}
+
+TEST(Campaign, EarlyExitSkipsShardsPastTheWitness) {
+  CampaignSpec Spec;
+  Spec.OptimalityEarlyExit = true;
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Optimality});
+  CampaignIO IO;
+  IO.ShardPairs = 200; // 6561 pairs -> 33 shards; the witness comes early.
+  CampaignResult Campaign = runCampaign(Spec, IO, kConfigs[1]);
+  ASSERT_TRUE(Campaign.ok()) << Campaign.Error;
+  ASSERT_TRUE(Campaign.Complete);
+  EXPECT_GT(Campaign.ShardsSkipped, 0u);
+  EXPECT_LT(Campaign.ShardsRun, Campaign.ShardsTotal);
+  expectSameOptimality(checkOptimalityExhaustive(BinaryOp::Mul, 4,
+                                                 MulAlgorithm::Our,
+                                                 /*StopAtFirst=*/true),
+                       Campaign.Cells[0].Optimality);
+}
+
+//===----------------------------------------------------------------------===//
+// Kill-and-resume at shard boundaries
+//===----------------------------------------------------------------------===//
+
+TEST(Campaign, KillAndResumeMergesBitIdentical) {
+  CampaignSpec Spec = mixedSpec(/*EarlyExit=*/true);
+  for (const SweepConfig &Config : kConfigs) {
+    // Drop the run at several shard boundaries: after 1, 3, and 7 shards.
+    for (uint64_t KillAfter : {uint64_t(1), uint64_t(3), uint64_t(7)}) {
+      SCOPED_TRACE(testing::Message() << "threads " << Config.NumThreads
+                                      << " kill-after " << KillAfter);
+      std::string Dir = makeCheckpointDir();
+      CampaignIO IO;
+      IO.CheckpointDir = Dir;
+      IO.ShardPairs = 997; // Prime, so shard edges never align with rows.
+      IO.MaxShardsThisRun = KillAfter;
+      CampaignResult Killed = runCampaign(Spec, IO, Config);
+      ASSERT_TRUE(Killed.ok()) << Killed.Error;
+      EXPECT_FALSE(Killed.Complete);
+      EXPECT_EQ(Killed.ShardsRun, KillAfter);
+
+      // Resume with a DIFFERENT scheduler (the checkpoint format is
+      // scheduling-agnostic) and merge to completion.
+      CampaignIO ResumeIO;
+      ResumeIO.CheckpointDir = Dir;
+      ResumeIO.ShardPairs = IO.ShardPairs;
+      ResumeIO.Resume = true;
+      CampaignResult Resumed =
+          runCampaign(Spec, ResumeIO, kConfigs[KillAfter % 3]);
+      ASSERT_TRUE(Resumed.ok()) << Resumed.Error;
+      EXPECT_EQ(Resumed.ShardsResumed, KillAfter);
+      expectMatchesSerialCheckers(Spec, Resumed);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-invocation --shards split
+//===----------------------------------------------------------------------===//
+
+TEST(Campaign, ShardSplitAcrossInvocationsMergesBitIdentical) {
+  CampaignSpec Spec = mixedSpec(/*EarlyExit=*/false);
+  std::string Dir = makeCheckpointDir();
+  // Four invocations executed OUT of order, each its own runCampaign call
+  // (as if farmed to four machines); one of them is killed mid-slice and
+  // resumed. Whichever invocation sees the last shard completes the merge.
+  const unsigned Order[] = {2, 0, 3, 1};
+  CampaignResult Last;
+  for (unsigned Step = 0; Step != 4; ++Step) {
+    CampaignIO IO;
+    IO.CheckpointDir = Dir;
+    IO.ShardPairs = 1500;
+    IO.Shards = 4;
+    IO.ShardIndex = Order[Step];
+    if (Order[Step] == 3) {
+      // Kill this invocation after one shard, then resume it.
+      IO.MaxShardsThisRun = 1;
+      CampaignResult Killed = runCampaign(Spec, IO, kConfigs[0]);
+      ASSERT_TRUE(Killed.ok()) << Killed.Error;
+      EXPECT_FALSE(Killed.Complete);
+      IO.MaxShardsThisRun = 0;
+      IO.Resume = true;
+    }
+    Last = runCampaign(Spec, IO, kConfigs[Step % 3]);
+    ASSERT_TRUE(Last.ok()) << Last.Error;
+    EXPECT_EQ(Last.Complete, Step == 3);
+  }
+  expectMatchesSerialCheckers(Spec, Last);
+}
+
+//===----------------------------------------------------------------------===//
+// Broken operator through the full checkpoint machinery
+//===----------------------------------------------------------------------===//
+
+/// tnum_add, except one specific pair's result drops a member (the
+/// ParallelSweepTest idiom): deliberately unsound, deterministic witness.
+Tnum brokenAdd(const Tnum &P, const Tnum &Q, unsigned Width) {
+  Tnum R = applyAbstractBinary(BinaryOp::Add, P, Q, Width);
+  Tnum BadP(1, 2);  // 0b0?1 at width >= 2
+  Tnum BadQ(0, 1);  // 0b00?
+  if (P == BadP && Q == BadQ)
+    return Tnum(R.value(), 0); // Forget the unknown bits: drops members.
+  return R;
+}
+
+TEST(Campaign, BrokenOperatorWitnessSurvivesKillResumeAndSplit) {
+  constexpr unsigned Width = 4;
+  CampaignSpec Spec;
+  Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, Width,
+                        CampaignProperty::Soundness});
+  Spec.SoundnessOverride = [](const Tnum &P, const Tnum &Q) {
+    return brokenAdd(P, Q, Width);
+  };
+  Spec.OverrideTag = "broken-add-v1";
+
+  // Reference: the injectable engine with one thread IS the serial walk
+  // (ascending chunks, stop at the violation), so its counters are the
+  // serial-prefix counts the campaign must reproduce.
+  SweepConfig Serial{/*NumThreads=*/1, /*ChunkPairs=*/1};
+  SoundnessReport Want = checkSoundnessExhaustiveParallel(
+      BinaryOp::Add, Spec.SoundnessOverride, Width, Serial);
+  ASSERT_TRUE(Want.Failure.has_value());
+
+  for (const SweepConfig &Config : kConfigs) {
+    SCOPED_TRACE(testing::Message() << "threads " << Config.NumThreads);
+    std::string Dir = makeCheckpointDir();
+    CampaignIO IO;
+    IO.CheckpointDir = Dir;
+    IO.ShardPairs = 313;
+    IO.MaxShardsThisRun = 2; // Kill after two shards...
+    CampaignResult Killed = runCampaign(Spec, IO, Config);
+    ASSERT_TRUE(Killed.ok()) << Killed.Error;
+    IO.MaxShardsThisRun = 0; // ...and resume to completion.
+    IO.Resume = true;
+    CampaignResult Campaign = runCampaign(Spec, IO, Config);
+    ASSERT_TRUE(Campaign.ok()) << Campaign.Error;
+    ASSERT_TRUE(Campaign.Complete);
+    expectSameSoundness(Want, Campaign.Cells[0].Soundness);
+    // The failing shard is terminal: the cell needs no shards past it.
+    EXPECT_FALSE(Campaign.Cells[0].holds());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Durable store guards
+//===----------------------------------------------------------------------===//
+
+TEST(Campaign, RefusesCheckpointDirOfDifferentSpec) {
+  std::string Dir = makeCheckpointDir();
+  CampaignSpec Spec = mixedSpec(/*EarlyExit=*/true);
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997;
+  ASSERT_TRUE(runCampaign(Spec, IO, kConfigs[0]).ok());
+
+  // Same directory, different spec (one more cell): must refuse.
+  CampaignSpec Other = Spec;
+  Other.Cells.push_back({BinaryOp::Xor, MulAlgorithm::Our, 4,
+                         CampaignProperty::Soundness});
+  CampaignResult Refused = runCampaign(Other, IO, kConfigs[0]);
+  EXPECT_FALSE(Refused.ok());
+  EXPECT_NE(Refused.Error.find("different campaign"), std::string::npos)
+      << Refused.Error;
+
+  // Different ShardPairs changes the manifest: also a different campaign.
+  CampaignIO OtherIO = IO;
+  OtherIO.ShardPairs = 500;
+  EXPECT_FALSE(runCampaign(Spec, OtherIO, kConfigs[0]).ok());
+}
+
+TEST(Campaign, RefusesReusingOwnedShardsWithoutResume) {
+  std::string Dir = makeCheckpointDir();
+  CampaignSpec Spec = mixedSpec(/*EarlyExit=*/true);
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997;
+  ASSERT_TRUE(runCampaign(Spec, IO, kConfigs[0]).ok());
+  CampaignResult Again = runCampaign(Spec, IO, kConfigs[0]);
+  EXPECT_FALSE(Again.ok());
+  EXPECT_NE(Again.Error.find("--resume"), std::string::npos) << Again.Error;
+  IO.Resume = true;
+  CampaignResult Resumed = runCampaign(Spec, IO, kConfigs[0]);
+  ASSERT_TRUE(Resumed.ok()) << Resumed.Error;
+  // Everything satisfied from disk: nothing re-run.
+  EXPECT_EQ(Resumed.ShardsRun, 0u);
+  expectMatchesSerialCheckers(Spec, Resumed);
+}
+
+TEST(Campaign, StoreRoundTripsShardsAndRejectsForeignFiles) {
+  std::string Dir = makeCheckpointDir();
+  std::string Error;
+  std::optional<CheckpointStore> Store =
+      CheckpointStore::open(Dir, /*Fingerprint=*/0xabcdef, /*NumShards=*/4,
+                            Error);
+  ASSERT_TRUE(Store.has_value()) << Error;
+  ShardRecord Record;
+  Record.Payload = "pairs 1\nconcrete 2\nseconds 0\n";
+  Record.Terminal = true;
+  ASSERT_TRUE(Store->storeShard(2, Record, Error)) << Error;
+  EXPECT_TRUE(Store->hasShard(2));
+  EXPECT_FALSE(Store->hasShard(1));
+  std::optional<ShardRecord> Loaded = Store->loadShard(2, Error);
+  ASSERT_TRUE(Loaded.has_value()) << Error;
+  EXPECT_EQ(Loaded->Payload, Record.Payload);
+  EXPECT_TRUE(Loaded->Terminal);
+  EXPECT_EQ(Store->completedShards(), std::vector<uint64_t>{2});
+
+  // A store opened with a different fingerprint must refuse the dir.
+  EXPECT_FALSE(
+      CheckpointStore::open(Dir, /*Fingerprint=*/0x123, 4, Error).has_value());
+
+  // Torn/corrupt shard files are load errors, not silent absences.
+  std::string Bogus = Dir + "/shard-00000003.ckpt";
+  std::FILE *File = std::fopen(Bogus.c_str(), "w");
+  ASSERT_NE(File, nullptr);
+  std::fputs("not a shard\n", File);
+  std::fclose(File);
+  EXPECT_FALSE(Store->loadShard(3, Error).has_value());
+  EXPECT_FALSE(Error.empty());
+}
+
+} // namespace

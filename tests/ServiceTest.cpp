@@ -187,6 +187,72 @@ TEST(Service, DifferentialFuzzSmokeFindsNothing) {
   EXPECT_TRUE(Report.clean()) << Report.toString();
 }
 
+TEST(Service, DedupServesDuplicatesBitIdentically) {
+  // A batch with deliberate duplicates: every program appears three times,
+  // interleaved, under distinct request indices.
+  std::vector<VerifyRequest> Base = makeBatch(23, 40);
+  std::vector<VerifyRequest> Requests;
+  for (const VerifyRequest &Request : Base)
+    for (int Copy = 0; Copy != 3; ++Copy)
+      Requests.push_back(Request);
+
+  ServiceConfig On;
+  On.NumThreads = 4;
+  On.ChunkPrograms = 5;
+  On.KeepStates = true;
+  ServiceConfig Off = On;
+  Off.DedupPrograms = false;
+  BatchResult WithDedup = VerificationService(On).verifyBatch(Requests);
+  BatchResult Without = VerificationService(Off).verifyBatch(Requests);
+
+  // Verdicts are a pure function of the request, so dedup must be
+  // invisible in the results -- fingerprint included -- and visible only
+  // in the stats.
+  EXPECT_EQ(verdictFingerprint(WithDedup), verdictFingerprint(Without));
+  ASSERT_EQ(WithDedup.Results.size(), Without.Results.size());
+  for (size_t I = 0; I != WithDedup.Results.size(); ++I) {
+    const VerifyResult &A = WithDedup.Results[I];
+    const VerifyResult &B = Without.Results[I];
+    EXPECT_EQ(A.Accepted, B.Accepted);
+    EXPECT_EQ(A.InsnVisits, B.InsnVisits);
+    ASSERT_EQ(A.InStates.size(), B.InStates.size());
+    for (size_t S = 0; S != A.InStates.size(); ++S)
+      EXPECT_TRUE(A.InStates[S] == B.InStates[S]) << "request " << I;
+  }
+  // At least the 80 appended copies were served from the cache (the
+  // generator may emit its own collisions on top).
+  EXPECT_GE(WithDedup.Stats.DedupHits, 2 * Base.size());
+  EXPECT_EQ(Without.Stats.DedupHits, 0u);
+  // Aggregate stats stay exact batch totals either way.
+  EXPECT_EQ(WithDedup.Stats.Programs, Without.Stats.Programs);
+  EXPECT_EQ(WithDedup.Stats.Accepted, Without.Stats.Accepted);
+  EXPECT_EQ(WithDedup.Stats.InsnVisits, Without.Stats.InsnVisits);
+  EXPECT_EQ(WithDedup.FirstRejected, Without.FirstRejected);
+}
+
+TEST(Service, DedupDistinguishesOptionsAndNearMisses) {
+  std::vector<VerifyRequest> Requests = makeBatch(5, 1);
+  // Same program, different context size: NOT a duplicate (verdicts can
+  // differ -- a bounds check valid at 64 bytes may be invalid at 32).
+  VerifyRequest BiggerMem = Requests[0];
+  BiggerMem.MemSize = 64;
+  Requests.push_back(BiggerMem);
+  // Same program, different analyzer budget: also not a duplicate.
+  VerifyRequest TighterBudget = Requests[0];
+  TighterBudget.AnalyzerOpts.MaxInsnVisits = 128;
+  Requests.push_back(TighterBudget);
+  // A genuine duplicate.
+  Requests.push_back(Requests[0]);
+
+  ServiceConfig Config;
+  Config.NumThreads = 1;
+  BatchResult Batch = VerificationService(Config).verifyBatch(Requests);
+  EXPECT_EQ(Batch.Stats.DedupHits, 1u);
+  ASSERT_EQ(Batch.Results.size(), 4u);
+  EXPECT_EQ(Batch.Results[3].Accepted, Batch.Results[0].Accepted);
+  EXPECT_EQ(Batch.Results[3].InsnVisits, Batch.Results[0].InsnVisits);
+}
+
 TEST(Service, FuzzReportIsDeterministic) {
   FuzzConfig Config;
   Config.Programs = 120;
