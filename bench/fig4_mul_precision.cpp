@@ -175,14 +175,24 @@ int main(int Argc, char **Argv) {
   };
 
   Fnv1a Hash;
-  Hash.mixString("tnums-fig4 v1");
+  Hash.mixString("tnums-fig4 v2");
   Hash.mixU64(Width);
   Hash.mixU64(IO.ShardPairs);
+
+  // Content fingerprint of the one cell: the figure compares kern_mul and
+  // bitwise_mul_opt against our_mul, so a version bump of any of the
+  // three invalidates checkpointed shards on resume.
+  Fnv1a CellHash;
+  CellHash.mixString("tnums-fig4-cell v2");
+  CellHash.mixU64(Width);
+  CellHash.mixU64(opFingerprint(BinaryOp::Mul, MulAlgorithm::Kern));
+  CellHash.mixU64(opFingerprint(BinaryOp::Mul, MulAlgorithm::BitwiseOpt));
+  CellHash.mixU64(opFingerprint(BinaryOp::Mul, MulAlgorithm::Our));
 
   uint64_t TotalPairs = 0;
   uint64_t EqualBoth[2] = {0, 0};
   ShardDriveResult Drive = driveCampaignShards(
-      {NumTnums * NumTnums}, Hash.digest(), IO,
+      {NumTnums * NumTnums}, {CellHash.digest()}, Hash.digest(), IO,
       [&](size_t, uint64_t Begin, uint64_t End, ShardRecord &Out) {
         // Resolve the universe BEFORE the parallel walk: the lazy build
         // must not race between pool workers.
@@ -268,7 +278,7 @@ int main(int Argc, char **Argv) {
   }
   printCampaignStatus(Drive.ShardsTotal, Drive.ShardsRun,
                       Drive.ShardsResumed, Drive.ShardsSkipped,
-                      IO.CheckpointDir);
+                      Drive.ShardsInvalidated, IO.CheckpointDir);
   if (!Drive.Complete) {
     std::printf("campaign PARTIAL: run the remaining --shard-index "
                 "invocations (or --resume) against the same "

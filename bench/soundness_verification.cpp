@@ -37,6 +37,22 @@
 /// matter how the shards were split, killed, or resumed (the campaign
 /// determinism contract, docs/CAMPAIGN.md).
 ///
+/// Campaigns are also *incremental across transfer-function changes*
+/// (docs/CAMPAIGN.md): every checkpointed cell is keyed on the content
+/// fingerprint of the operator it verified, so resuming after an
+/// algorithm change re-runs only the invalidated cells.
+///
+///   --diff-baseline D    compare this run against the checkpoint store
+///                        of an earlier run of the same campaign shape:
+///                        which cells an incremental resume would reuse
+///                        vs re-run, and whether any verdict changed
+///   --flip-mul ALGO      test-only: re-register the named multiplication
+///                        algorithm under a flipped content fingerprint
+///                        (semantics unchanged). Resuming against a
+///                        checkpoint written without the flip re-executes
+///                        exactly that algorithm's soundness cells -- the
+///                        CI incremental smoke leg drives this
+///
 /// --simd={auto,on,off} selects the member-scan path (support/SimdBatch.h);
 /// reports are bit-identical across modes, so --simd=on vs --simd=off is
 /// the A/B measurement of the batched kernels. --compare-serial times the
@@ -51,6 +67,7 @@
 ///                               [--simd={auto,on,off}] [--compare-serial]
 ///                               [--optimality={first,full}]
 ///                               [--compare-optimality]
+///                               [--diff-baseline D] [--flip-mul ALGO]
 ///                               [--checkpoint-dir D] [--resume]
 ///                               [--shards K] [--shard-index I]
 ///                               [--shard-pairs N]
@@ -88,6 +105,24 @@ template <typename FnT> double timeSeconds(FnT &&Fn) {
 /// trio; the campaign accepts any).
 constexpr MulAlgorithm MonoAlgorithms[] = {
     MulAlgorithm::Kern, MulAlgorithm::BitwiseOpt, MulAlgorithm::Our};
+
+/// Parses a multiplication algorithm by its stable name ("our_mul", ...).
+std::optional<MulAlgorithm> parseMulAlgorithmName(const char *Text) {
+  for (MulAlgorithm Algorithm : AllMulAlgorithms)
+    if (std::strcmp(mulAlgorithmName(Algorithm), Text) == 0)
+      return Algorithm;
+  return std::nullopt;
+}
+
+/// The cell label used by the accounting and diff reports:
+/// "mul[our_mul]/w5/soundness", "add/w4/optimality", ...
+std::string cellLabel(const CampaignCell &Cell) {
+  std::string Op = binaryOpName(Cell.Op);
+  if (Cell.Op == BinaryOp::Mul)
+    Op += formatString("[%s]", mulAlgorithmName(Cell.Mul));
+  return formatString("%s/w%u/%s", Op.c_str(), Cell.Width,
+                      campaignPropertyName(Cell.Property));
+}
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -101,6 +136,8 @@ int main(int Argc, char **Argv) {
   bool NoTiming = false;
   const char *SimdText = nullptr;
   const char *OptimalityText = nullptr;
+  const char *DiffBaselineDir = nullptr;
+  const char *FlipMulText = nullptr;
   CampaignIO IO;
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
@@ -118,6 +155,14 @@ int main(int Argc, char **Argv) {
     if (Args.matchString("--simd", SimdText)) // --simd=MODE or --simd MODE
       continue;
     if (Args.matchString("--optimality", OptimalityText))
+      continue;
+    // Incremental re-verification: report reuse/re-run/verdict deltas
+    // against an earlier run's checkpoint store.
+    if (Args.matchString("--diff-baseline", DiffBaselineDir))
+      continue;
+    // Test-only: flip one mul algorithm's content fingerprint without
+    // changing its semantics (the CI incremental smoke leg).
+    if (Args.matchString("--flip-mul", FlipMulText))
       continue;
     if (Args.matchFlag("--compare-serial")) {
       CompareSerial = true;
@@ -154,6 +199,12 @@ int main(int Argc, char **Argv) {
     else
       BadArgs = true;
   }
+  std::optional<MulAlgorithm> FlipMul;
+  if (FlipMulText) {
+    FlipMul = parseMulAlgorithmName(FlipMulText);
+    if (!FlipMul)
+      BadArgs = true;
+  }
   if (Jobs == 0) // Keeps the SweepConfig convention: hardware concurrency.
     Jobs = ThreadPool::hardwareConcurrency();
   if (BadArgs) {
@@ -162,6 +213,7 @@ int main(int Argc, char **Argv) {
         "usage: %s [--width 1..16] [--mul-width 1..16] [--random-pairs N] "
         "[--jobs 0..1024] [--simd={auto,on,off}] [--compare-serial] "
         "[--optimality={first,full}] [--compare-optimality] [--no-timing] "
+        "[--diff-baseline D] [--flip-mul ALGO] "
         "%s\n",
         Argv[0], CampaignArgsUsage);
     return 1;
@@ -222,6 +274,21 @@ int main(int Argc, char **Argv) {
           {BinaryOp::Mul, Algorithm, W, CampaignProperty::Monotonicity});
     }
 
+  if (FlipMul) {
+    // Same semantics, different registered fingerprint: resuming against
+    // a pre-flip checkpoint invalidates exactly this algorithm's
+    // soundness cells, and the merged report stays byte-identical.
+    MulAlgorithm Algorithm = *FlipMul;
+    Spec.SoundnessOverride = [Algorithm](const Tnum &P, const Tnum &Q,
+                                         unsigned Width) {
+      return applyAbstractBinary(BinaryOp::Mul, P, Q, Width, Algorithm);
+    };
+    Spec.OverrideTag =
+        formatString("fingerprint-flip %s", mulAlgorithmName(Algorithm));
+    Spec.OverrideOp = BinaryOp::Mul;
+    Spec.OverrideMul = Algorithm;
+  }
+
   CampaignResult Campaign = runCampaign(Spec, IO, Sweep);
   if (!Campaign.ok()) {
     std::fprintf(stderr, "error: %s\n", Campaign.Error.c_str());
@@ -229,7 +296,20 @@ int main(int Argc, char **Argv) {
   }
   printCampaignStatus(Campaign.ShardsTotal, Campaign.ShardsRun,
                       Campaign.ShardsResumed, Campaign.ShardsSkipped,
-                      IO.CheckpointDir);
+                      Campaign.ShardsInvalidated, IO.CheckpointDir);
+  if (!IO.CheckpointDir.empty()) {
+    // Executed-cell accounting: which cells this invocation computed vs
+    // served from the store (the incremental-reuse evidence). Prefixed
+    // "campaign" like the banner, so CI's byte-for-byte report diffs can
+    // filter every line that legitimately varies across resumes.
+    for (const CampaignCellResult &Cell : Campaign.Cells)
+      std::printf("campaign cell %s: %llu run, %llu resumed, "
+                  "%llu invalidated\n",
+                  cellLabel(Cell.Cell).c_str(),
+                  static_cast<unsigned long long>(Cell.ShardsRun),
+                  static_cast<unsigned long long>(Cell.ShardsResumed),
+                  static_cast<unsigned long long>(Cell.ShardsInvalidated));
+  }
   if (!Campaign.Complete) {
     uint64_t Merged = 0, Needed = 0;
     for (const CampaignCellResult &Cell : Campaign.Cells) {
@@ -248,6 +328,36 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Merged),
                 static_cast<unsigned long long>(Needed));
     return 0;
+  }
+  if (DiffBaselineDir) {
+    CampaignDiffResult Diff =
+        diffCampaignBaseline(Spec, IO, DiffBaselineDir, Campaign);
+    if (!Diff.ok()) {
+      std::fprintf(stderr, "error: --diff-baseline: %s\n",
+                   Diff.Error.c_str());
+      return 1;
+    }
+    std::printf("\nincremental diff vs baseline %s: %llu cells reused, "
+                "%llu re-run, %llu verdicts changed\n",
+                DiffBaselineDir,
+                static_cast<unsigned long long>(Diff.CellsReused),
+                static_cast<unsigned long long>(Diff.CellsRerun),
+                static_cast<unsigned long long>(Diff.CellsVerdictChanged));
+    TextTable DiffTable({"cell", "incremental resume", "verdict", "report"});
+    for (const CampaignCellDiff &Cell : Diff.Cells) {
+      const char *Status = !Cell.InBaseline ? "absent"
+                           : Cell.Reused    ? "reused"
+                                            : "re-run";
+      bool Comparable = Cell.BaselineComplete;
+      DiffTable.addRowOf(cellLabel(Cell.Cell), Status,
+                         !Comparable           ? "-"
+                         : Cell.VerdictChanged ? "CHANGED"
+                                               : "unchanged",
+                         !Comparable          ? "-"
+                         : Cell.ReportChanged ? "differs"
+                                              : "identical");
+    }
+    DiffTable.printAligned(stdout);
   }
   std::printf("\n");
 

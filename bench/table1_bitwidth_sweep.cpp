@@ -159,14 +159,28 @@ int main(int Argc, char **Argv) {
   };
 
   Fnv1a Hash;
-  Hash.mixString("tnums-table1 v1");
+  Hash.mixString("tnums-table1 v2");
   Hash.mixU64(MinWidth);
   Hash.mixU64(MaxWidth);
   Hash.mixU64(IO.ShardPairs);
 
+  // Per-cell content fingerprints: each width cell compares kern_mul
+  // against our_mul, so bumping either algorithm's version tag
+  // invalidates (and re-runs) exactly the checkpointed width cells on
+  // resume, like the verification campaigns.
+  std::vector<uint64_t> CellFingerprints;
+  for (unsigned Width = MinWidth; Width <= MaxWidth; ++Width) {
+    Fnv1a CellHash;
+    CellHash.mixString("tnums-table1-cell v2");
+    CellHash.mixU64(Width);
+    CellHash.mixU64(opFingerprint(BinaryOp::Mul, MulAlgorithm::Kern));
+    CellHash.mixU64(opFingerprint(BinaryOp::Mul, MulAlgorithm::Our));
+    CellFingerprints.push_back(CellHash.digest());
+  }
+
   std::vector<Row> Rows(NumWidths);
   ShardDriveResult Drive = driveCampaignShards(
-      CellPairs, Hash.digest(), IO,
+      CellPairs, CellFingerprints, Hash.digest(), IO,
       [&](size_t Cell, uint64_t Begin, uint64_t End, ShardRecord &Out) {
         Row Shard;
         scanRange(universeFor(Cell), MinWidth + Cell, Begin, End, Config,
@@ -196,7 +210,7 @@ int main(int Argc, char **Argv) {
   }
   printCampaignStatus(Drive.ShardsTotal, Drive.ShardsRun,
                       Drive.ShardsResumed, Drive.ShardsSkipped,
-                      IO.CheckpointDir);
+                      Drive.ShardsInvalidated, IO.CheckpointDir);
   if (!Drive.Complete) {
     std::printf("campaign PARTIAL: run the remaining --shard-index "
                 "invocations (or --resume) against the same "

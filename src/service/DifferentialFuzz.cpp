@@ -19,13 +19,16 @@ using namespace tnums::service;
 std::string FuzzReport::toString() const {
   return formatString(
       "%llu programs (%llu accepted, %llu structural rejects, %llu semantic "
-      "rejects), %llu concrete runs (%llu hit the step budget), %zu findings",
+      "rejects), %llu concrete runs (%llu hit the step budget; %llu "
+      "programs zero-coverage), %zu findings",
       static_cast<unsigned long long>(Programs),
       static_cast<unsigned long long>(Accepted),
       static_cast<unsigned long long>(RejectedStructural),
       static_cast<unsigned long long>(RejectedSemantic),
       static_cast<unsigned long long>(ConcreteRuns),
-      static_cast<unsigned long long>(StepLimitRuns), Findings.size());
+      static_cast<unsigned long long>(StepLimitRuns),
+      static_cast<unsigned long long>(ZeroCoveragePrograms),
+      Findings.size());
 }
 
 namespace {
@@ -59,6 +62,9 @@ void runOracles(uint64_t Seed, const FuzzConfig &Config, uint64_t SliceBegin,
       continue;
     }
 
+    // Runs of this program that got past the step budget: only those
+    // exercise oracles 1-2. A program where none did is zero-coverage.
+    unsigned CoveredRuns = 0;
     for (unsigned Run = 0; Run != Config.RunsPerProgram; ++Run) {
       Xoshiro256 MemRng(Seed ^ (0x9E3779B97F4A7C15ull * (Index + 1) + Run));
       std::vector<uint8_t> Mem(Config.Gen.MemSize);
@@ -73,6 +79,7 @@ void runOracles(uint64_t Seed, const FuzzConfig &Config, uint64_t SliceBegin,
         ++Report.StepLimitRuns; // Tolerated: see the header's oracle 1.
         continue;
       }
+      ++CoveredRuns;
       // Oracle 1: accepted programs never trap.
       if (!R.ok()) {
         Report.Findings.push_back(
@@ -116,6 +123,8 @@ void runOracles(uint64_t Seed, const FuzzConfig &Config, uint64_t SliceBegin,
       if (Escaped)
         break;
     }
+    if (Config.RunsPerProgram && CoveredRuns == 0)
+      ++Report.ZeroCoveragePrograms;
   }
 }
 
@@ -177,5 +186,20 @@ FuzzReport tnums::service::runDifferentialFuzz(uint64_t Seed,
     // (Seed, program index, run), independent of scheduling.
     runOracles(Seed, Config, SliceBegin, Requests, Batch, Report);
   }
+
+  // A campaign in which EVERY accepted program was zero-coverage proved
+  // nothing: oracles 1-2 never actually fired, so "0 findings" would be
+  // vacuous. Fail loudly instead of reporting a clean run -- shard
+  // farming at deep widths hits this when a StepLimit is tuned too low
+  // for a loop-heavy profile.
+  if (Config.RunsPerProgram && Report.Accepted > 0 &&
+      Report.ZeroCoveragePrograms == Report.Accepted)
+    Report.Findings.push_back(
+        {0, "zero-coverage-campaign",
+         formatString("all %llu accepted programs exhausted the %llu-step "
+                      "budget on every run; oracles 1-2 checked nothing "
+                      "(raise StepLimit or change the profile)",
+                      static_cast<unsigned long long>(Report.Accepted),
+                      static_cast<unsigned long long>(Config.StepLimit))});
   return Report;
 }

@@ -62,7 +62,8 @@ struct FuzzFinding {
   size_t ProgramIndex;
   std::string Kind; ///< "accepted-program-trap", "containment-escape",
                     ///< "unreachable-exit", "unwitnessed-rejection",
-                    ///< "invalid-generated-program".
+                    ///< "invalid-generated-program",
+                    ///< "zero-coverage-campaign".
   std::string Details;
 };
 
@@ -76,6 +77,14 @@ struct FuzzReport {
   /// Runs that exhausted the step budget (tolerated; tracked so a mutation
   /// profile that goes non-terminating everywhere is visible).
   uint64_t StepLimitRuns = 0;
+  /// Accepted programs whose runs ALL hit the step budget. Individually
+  /// tolerated (oracle 1's contract), but such a program contributes
+  /// nothing to oracles 1-2 -- no run ever finished, so no trap and no
+  /// containment was ever actually checked. Tracked so a StepLimit (or
+  /// mutation profile) that silently zeroes the campaign's coverage is
+  /// visible; a campaign where EVERY accepted program is zero-coverage
+  /// fails outright (a "zero-coverage-campaign" finding).
+  uint64_t ZeroCoveragePrograms = 0;
   std::vector<FuzzFinding> Findings;
 
   bool clean() const { return Findings.empty(); }

@@ -10,14 +10,19 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
+#include <random>
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -28,17 +33,46 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char *ManifestName = "campaign.manifest";
-constexpr const char *ManifestMagic = "tnums-campaign-manifest v1";
-constexpr const char *ShardMagic = "tnums-campaign-shard v1";
+constexpr const char *ManifestMagic = "tnums-campaign-manifest v2";
+constexpr const char *ShardMagic = "tnums-campaign-shard v2";
+/// The previous format's magics: recognized only to refuse them with a
+/// migration message instead of a generic parse error. v1 shards carry no
+/// per-cell fingerprint, so reusing them could silently serve verdicts of
+/// transfer functions that have since changed.
+constexpr const char *ManifestMagicV1 = "tnums-campaign-manifest v1";
+constexpr const char *ShardMagicV1 = "tnums-campaign-shard v1";
+
+/// A per-call temp-name nonce: process-random seed mixed with a counter.
+/// Temp names embed this besides the pid because pids recycle -- a
+/// crashed writer's pid can be reassigned to a live invocation sharing
+/// the directory, and two same-pid writers (or sweep-vs-writer races on a
+/// recycled pid) must never address the same temp file.
+uint64_t tempNonce() {
+  static std::atomic<uint64_t> Counter{0};
+  static const uint64_t Seed = [] {
+    std::random_device Device;
+    uint64_t S = (static_cast<uint64_t>(Device()) << 32) ^ Device();
+    S ^= static_cast<uint64_t>(::getpid()) * 0x9E3779B97F4A7C15ull;
+    S ^= static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return S;
+  }();
+  Fnv1a Hash;
+  Hash.mixU64(Seed);
+  Hash.mixU64(Counter.fetch_add(1, std::memory_order_relaxed));
+  return Hash.digest();
+}
 
 /// Writes \p Contents to \p Path durably: temp sibling + fsync + rename +
 /// directory fsync. Returns false with \p Error set on any syscall
-/// failure. The temp name embeds the pid so concurrent invocations
-/// sharing the directory never collide mid-write.
+/// failure. The temp name embeds the pid (so open() can sweep temps whose
+/// writer died) plus a random nonce (so writers never collide even across
+/// pid recycling).
 bool writeFileDurable(const std::string &Path, const std::string &Contents,
                       std::string &Error) {
-  std::string Temp = formatString("%s.tmp.%ld", Path.c_str(),
-                                  static_cast<long>(::getpid()));
+  std::string Temp =
+      formatString("%s.tmp.%ld.%016" PRIx64, Path.c_str(),
+                   static_cast<long>(::getpid()), tempNonce());
   int Fd = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (Fd < 0) {
     Error = formatString("cannot create %s: %s", Temp.c_str(),
@@ -67,7 +101,14 @@ bool writeFileDurable(const std::string &Path, const std::string &Contents,
     ::unlink(Temp.c_str());
     return false;
   }
-  ::close(Fd);
+  // close() is where NFS and quota-full filesystems surface deferred
+  // write errors; ignoring it here could rename a torn shard into place.
+  if (::close(Fd) != 0) {
+    Error = formatString("cannot close %s (deferred write error): %s",
+                         Temp.c_str(), std::strerror(errno));
+    ::unlink(Temp.c_str());
+    return false;
+  }
   if (::rename(Temp.c_str(), Path.c_str()) != 0) {
     Error = formatString("cannot rename %s -> %s: %s", Temp.c_str(),
                          Path.c_str(), std::strerror(errno));
@@ -76,14 +117,55 @@ bool writeFileDurable(const std::string &Path, const std::string &Contents,
   }
   // Make the rename itself durable: fsync the containing directory.
   std::string Dir = fs::path(Path).parent_path().string();
-  if (Dir.empty())
-    Dir = ".";
-  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  int DirFd =
+      ::open(Dir.empty() ? "." : Dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (DirFd >= 0) {
     ::fsync(DirFd); // Best-effort; some filesystems refuse dir fsync.
     ::close(DirFd);
   }
   return true;
+}
+
+/// Minimum idle age before a dead-pid temp file is considered orphaned.
+/// The pid test is only meaningful on the machine that created the file;
+/// in the cross-machine farming mode (one checkpoint dir on NFS) a
+/// remote writer's pid looks dead locally, so the sweep additionally
+/// requires the file to have been idle far longer than any in-flight
+/// writeFileDurable. A genuine orphan is swept by whichever invocation
+/// opens the store after the grace period.
+constexpr time_t OrphanTempGraceSeconds = 15 * 60;
+
+/// Unlinks temp files in \p Dir whose writer is provably dead. A temp
+/// name is "<target>.tmp.<pid>[.<nonce>]"; the file is an orphan when
+/// kill(pid, 0) reports ESRCH AND its mtime is older than the grace
+/// period above. A live pid -- even one recycled to an unrelated process
+/// -- leaves the file alone: sweeping is an opportunistic cleanup, and
+/// the nonce already guarantees no live writer can be addressed by a new
+/// one.
+void sweepOrphanedTemps(const std::string &Dir) {
+  std::error_code Ec;
+  const time_t Now = ::time(nullptr);
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, Ec)) {
+    std::string Name = Entry.path().filename().string();
+    size_t Marker = Name.rfind(".tmp.");
+    if (Marker == std::string::npos)
+      continue;
+    const char *PidText = Name.c_str() + Marker + 5;
+    char *End = nullptr;
+    errno = 0;
+    long Pid = std::strtol(PidText, &End, 10);
+    if (errno != 0 || End == PidText || Pid <= 0)
+      continue;
+    if (*End != '\0' && *End != '.')
+      continue; // Not one of our temp names.
+    if (::kill(static_cast<pid_t>(Pid), 0) == 0 || errno != ESRCH)
+      continue; // A live (or indeterminate) writer on this machine.
+    struct stat St;
+    if (::stat(Entry.path().c_str(), &St) != 0 ||
+        Now - St.st_mtime < OrphanTempGraceSeconds)
+      continue; // Too fresh: could be a remote machine's live writer.
+    ::unlink(Entry.path().c_str()); // Best-effort; races are benign.
+  }
 }
 
 std::optional<std::string> readFile(const std::string &Path) {
@@ -145,17 +227,27 @@ CheckpointStore::open(const std::string &Dir, uint64_t Fingerprint,
                          Dir.c_str(), Ec.message().c_str());
     return std::nullopt;
   }
+  sweepOrphanedTemps(Dir);
   std::string ManifestPath = Dir + "/" + ManifestName;
   if (std::optional<std::string> Existing = readFile(ManifestPath)) {
     // Resuming: the directory must belong to this exact campaign.
     std::string Text = *Existing;
     std::string Magic = takeLine(Text);
+    if (Magic == ManifestMagicV1) {
+      Error = formatString(
+          "%s is a v1 checkpoint store; the v2 per-cell format cannot "
+          "safely reuse it (v1 shards carry no operator fingerprints, so "
+          "verdicts of since-changed transfer functions would be served "
+          "silently) -- point at a fresh directory and re-run",
+          Dir.c_str());
+      return std::nullopt;
+    }
     std::optional<uint64_t> HaveFp =
         parseKeyedU64(takeLine(Text), "fingerprint", /*Hex=*/true);
     std::optional<uint64_t> HaveShards =
         parseKeyedU64(takeLine(Text), "shards", /*Hex=*/false);
     if (Magic != ManifestMagic || !HaveFp || !HaveShards) {
-      Error = formatString("%s is not a v1 campaign manifest",
+      Error = formatString("%s is not a v2 campaign manifest",
                            ManifestPath.c_str());
       return std::nullopt;
     }
@@ -178,10 +270,11 @@ CheckpointStore::open(const std::string &Dir, uint64_t Fingerprint,
 
 bool CheckpointStore::storeShard(uint64_t Index, const ShardRecord &Record,
                                  std::string &Error) const {
-  std::string Contents =
-      formatString("%s\nfingerprint %016" PRIx64 "\nshard %" PRIu64
-                   "\nterminal %d\n",
-                   ShardMagic, Fingerprint, Index, Record.Terminal ? 1 : 0);
+  std::string Contents = formatString(
+      "%s\nfingerprint %016" PRIx64 "\nshard %" PRIu64 "\ncell %" PRIu64
+      "\ncellfp %016" PRIx64 "\nterminal %d\n",
+      ShardMagic, Fingerprint, Index, Record.Cell, Record.CellFingerprint,
+      Record.Terminal ? 1 : 0);
   Contents += Record.Payload;
   return writeFileDurable(shardPath(Index), Contents, Error);
 }
@@ -195,15 +288,26 @@ CheckpointStore::loadShard(uint64_t Index, std::string &Error) const {
     return std::nullopt; // Not completed yet; Error stays empty.
   std::string Text = std::move(*Contents);
   std::string Magic = takeLine(Text);
+  if (Magic == ShardMagicV1) {
+    Error = formatString(
+        "%s is a v1 campaign shard (no per-cell operator fingerprint); "
+        "v1 state cannot be reused -- point at a fresh directory",
+        Path.c_str());
+    return std::nullopt;
+  }
   std::optional<uint64_t> Fp =
       parseKeyedU64(takeLine(Text), "fingerprint", /*Hex=*/true);
   std::optional<uint64_t> Shard =
       parseKeyedU64(takeLine(Text), "shard", /*Hex=*/false);
+  std::optional<uint64_t> Cell =
+      parseKeyedU64(takeLine(Text), "cell", /*Hex=*/false);
+  std::optional<uint64_t> CellFp =
+      parseKeyedU64(takeLine(Text), "cellfp", /*Hex=*/true);
   std::optional<uint64_t> Terminal =
       parseKeyedU64(takeLine(Text), "terminal", /*Hex=*/false);
-  if (Magic != ShardMagic || !Fp || !Shard || !Terminal ||
-      (*Terminal != 0 && *Terminal != 1)) {
-    Error = formatString("%s is not a v1 campaign shard file", Path.c_str());
+  if (Magic != ShardMagic || !Fp || !Shard || !Cell || !CellFp ||
+      !Terminal || (*Terminal != 0 && *Terminal != 1)) {
+    Error = formatString("%s is not a v2 campaign shard file", Path.c_str());
     return std::nullopt;
   }
   if (*Fp != Fingerprint || *Shard != Index) {
@@ -214,8 +318,18 @@ CheckpointStore::loadShard(uint64_t Index, std::string &Error) const {
   }
   ShardRecord Record;
   Record.Terminal = *Terminal == 1;
+  Record.Cell = *Cell;
+  Record.CellFingerprint = *CellFp;
   Record.Payload = std::move(Text);
   return Record;
+}
+
+bool CheckpointStore::removeShard(uint64_t Index, std::string &Error) const {
+  if (::unlink(shardPath(Index).c_str()) == 0 || errno == ENOENT)
+    return true;
+  Error = formatString("cannot remove stale shard %s: %s",
+                       shardPath(Index).c_str(), std::strerror(errno));
+  return false;
 }
 
 bool CheckpointStore::hasShard(uint64_t Index) const {

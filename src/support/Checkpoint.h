@@ -14,27 +14,45 @@
 ///
 ///  * Shard writes are atomic and durable: payloads land in a temp file,
 ///    are fsync'd, and are renamed into place (then the directory is
-///    fsync'd). A killed process therefore leaves either a complete,
-///    loadable shard file or nothing -- never a torn one -- which is what
-///    makes "kill anywhere, resume, merge" safe.
+///    fsync'd). close() after fsync is checked too -- NFS and quota-full
+///    filesystems surface deferred write errors there, and a shard that
+///    hit one must never be renamed into place. A killed process
+///    therefore leaves either a complete, loadable shard file or nothing
+///    -- never a torn one -- which is what makes "kill anywhere, resume,
+///    merge" safe. Orphaned temp files from killed invocations are swept
+///    on open (only when their writer pid is provably dead), and live
+///    temp names carry a random nonce besides the pid so a recycled pid
+///    can never collide with another writer.
 ///  * Every file carries a format version and the campaign fingerprint
-///    (a digest of the spec that produced the manifest). Opening a
-///    directory written by a different campaign, or loading a shard whose
-///    fingerprint disagrees, fails loudly instead of merging garbage.
+///    (a digest of the spec *shape* that produced the manifest). Opening
+///    a directory written by a different campaign, or loading a shard
+///    whose fingerprint disagrees, fails loudly instead of merging
+///    garbage.
+///  * v2 adds a per-cell header to every shard file: the cell index and
+///    the cell's content fingerprint (in the campaign layer: a digest of
+///    the transfer-function implementation the cell verified). The store
+///    round-trips both; the campaign layer compares the cell fingerprint
+///    on load and re-runs -- after removeShard() GC -- cells whose
+///    operator implementation changed. v1 directories are REFUSED with an
+///    explicit migration message (their shards lack the per-cell header,
+///    so reusing them could serve verdicts of operators that have since
+///    changed).
 ///
 /// Multiple invocations may share one directory concurrently (the
 /// --shards=K / --shard-index=i farming mode): they write disjoint shard
 /// files, and identical manifest rewrites are idempotent.
 ///
-/// Format (v1, line-oriented text; see docs/CAMPAIGN.md):
+/// Format (v2, line-oriented text; see docs/CAMPAIGN.md):
 ///
-///   campaign.manifest:   tnums-campaign-manifest v1
+///   campaign.manifest:   tnums-campaign-manifest v2
 ///                        fingerprint <hex64>
 ///                        shards <N>
 ///
-///   shard-<index>.ckpt:  tnums-campaign-shard v1
+///   shard-<index>.ckpt:  tnums-campaign-shard v2
 ///                        fingerprint <hex64>
 ///                        shard <index>
+///                        cell <index>
+///                        cellfp <hex64>
 ///                        terminal <0|1>
 ///                        <payload lines...>
 ///
@@ -58,6 +76,13 @@ namespace tnums {
 struct ShardRecord {
   std::string Payload;   ///< Campaign-layer serialized shard result.
   bool Terminal = false; ///< Ends its cell early (early-exit witness).
+  /// Index of the campaign cell this shard belongs to.
+  uint64_t Cell = 0;
+  /// Content fingerprint of the cell as the writer computed it (campaign
+  /// layer: the op-fingerprint keying). A stored shard whose CellFingerprint
+  /// no longer matches the current spec's is stale -- the campaign layer
+  /// GCs and re-runs it instead of merging an outdated verdict.
+  uint64_t CellFingerprint = 0;
 };
 
 /// A campaign checkpoint directory. Open it once per invocation; all
@@ -66,10 +91,12 @@ struct ShardRecord {
 class CheckpointStore {
 public:
   /// Opens \p Dir for the campaign identified by \p Fingerprint over
-  /// \p NumShards shards, creating the directory and manifest when absent.
-  /// Fails (nullopt, \p Error set) when the directory already holds a
-  /// manifest for a different campaign -- resuming must never mix state
-  /// from two specs.
+  /// \p NumShards shards, creating the directory and manifest when absent,
+  /// and sweeping temp files orphaned by dead writers. Fails (nullopt,
+  /// \p Error set) when the directory already holds a manifest for a
+  /// different campaign -- resuming must never mix state from two specs --
+  /// or a v1-format manifest (see the file comment: v1 stores are refused,
+  /// not misread).
   static std::optional<CheckpointStore> open(const std::string &Dir,
                                              uint64_t Fingerprint,
                                              uint64_t NumShards,
@@ -85,9 +112,14 @@ public:
 
   /// Loads shard \p Index if its file exists. nullopt with \p Error empty
   /// means "not completed yet"; nullopt with \p Error set means the file
-  /// exists but is unreadable or belongs to a different campaign.
+  /// exists but is unreadable or belongs to a different campaign. The
+  /// caller owns the CellFingerprint staleness decision.
   std::optional<ShardRecord> loadShard(uint64_t Index,
                                        std::string &Error) const;
+
+  /// Removes shard \p Index's file (the invalidated-cell GC). A missing
+  /// file is success -- a concurrent GC may have won the race.
+  bool removeShard(uint64_t Index, std::string &Error) const;
 
   /// True when shard \p Index has a completed file.
   bool hasShard(uint64_t Index) const;

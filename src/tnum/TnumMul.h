@@ -196,6 +196,14 @@ inline constexpr MulAlgorithm AllMulAlgorithms[] = {
 /// Short stable name used in benchmark output ("kern_mul", "our_mul", ...).
 const char *mulAlgorithmName(MulAlgorithm Algorithm);
 
+/// Implementation version tag of \p Algorithm -- the multiplication
+/// counterpart of tnumOpVersions() (TnumOps.h). MUST be bumped in
+/// TnumMul.cpp whenever the named algorithm's input/output behavior
+/// changes (this codebase exists because the kernel's mul algorithm
+/// changed once already); the campaign layer keys checkpointed mul cells
+/// on it, so a stale tag silently serves outdated verdicts.
+const char *mulAlgorithmVersion(MulAlgorithm Algorithm);
+
 /// Runs \p Algorithm on (\p P, \p Q) and truncates the result to \p Width
 /// bits. Dispatch layer for the sweeping harnesses; performance benchmarks
 /// call the concrete functions directly.

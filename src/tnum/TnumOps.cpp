@@ -167,3 +167,25 @@ Tnum tnums::tnumArshiftByTnum(Tnum P, Tnum Amount, unsigned Width) {
     return tnumArshift(P, Amt, Width);
   });
 }
+
+//===----------------------------------------------------------------------===//
+// Implementation version tags (see TnumOps.h). Bump a tag whenever the
+// algorithm behind it changes behavior; the campaign layer invalidates
+// exactly the checkpointed cells that verified the bumped operator.
+//===----------------------------------------------------------------------===//
+
+const TnumOpVersions &tnums::tnumOpVersions() {
+  static const TnumOpVersions Versions = {
+      /*Add=*/"tnum_add v1 kernel-listing1",
+      /*Sub=*/"tnum_sub v1 kernel-listing6",
+      /*And=*/"tnum_and v1 mine-bitfield",
+      /*Or=*/"tnum_or v1 mine-bitfield",
+      /*Xor=*/"tnum_xor v1 mine-bitfield",
+      /*Div=*/"tnum_div v1 constant-else-top",
+      /*Mod=*/"tnum_mod v1 constant-else-top",
+      /*Lshift=*/"tnum_lsh v1 join-over-amounts",
+      /*Rshift=*/"tnum_rsh v1 join-over-amounts",
+      /*Arshift=*/"tnum_arsh v1 join-over-amounts",
+  };
+  return Versions;
+}

@@ -207,6 +207,39 @@ inline bool tnumIsAligned(Tnum P, uint64_t Size) {
   return ((P.value() | P.mask()) & (Size - 1)) == 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Implementation version tags. The whole reason this codebase exists is
+// that transfer functions EVOLVE (the paper was written because the
+// kernel's mul algorithm changed), so every operator implementation
+// carries a content-version tag the verification campaigns key cached
+// results on: a checkpointed cell is reusable exactly while the tag of
+// the operator it verified is unchanged. MUST be bumped in TnumOps.cpp
+// whenever the corresponding algorithm's input/output behavior changes
+// (a pure refactor keeps the tag); stale tags silently serve outdated
+// verdicts from checkpoint stores. Multiplication algorithms have their
+// own per-algorithm tags (mulAlgorithmVersion, TnumMul.h).
+//===----------------------------------------------------------------------===//
+
+/// Version tags of the non-multiplication transfer functions, one string
+/// per distinct algorithm (shift-by-tnum operators share the join-over-
+/// amounts skeleton but are tagged separately: each can change alone).
+struct TnumOpVersions {
+  const char *Add;
+  const char *Sub;
+  const char *And;
+  const char *Or;
+  const char *Xor;
+  const char *Div;
+  const char *Mod;
+  const char *Lshift;
+  const char *Rshift;
+  const char *Arshift;
+};
+
+/// The current tags (constants in TnumOps.cpp, next to the out-of-line
+/// operator definitions).
+const TnumOpVersions &tnumOpVersions();
+
 } // namespace tnums
 
 #endif // TNUMS_TNUM_TNUMOPS_H

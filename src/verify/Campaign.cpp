@@ -22,6 +22,8 @@
 #include <cstring>
 #include <map>
 
+#include <sys/stat.h>
+
 using namespace tnums;
 
 const char *tnums::campaignPropertyName(CampaignProperty Property) {
@@ -44,6 +46,16 @@ void CampaignSpec::addGrid(BinaryOp Op, MulAlgorithm Mul,
       Cells.push_back(CampaignCell{Op, Mul, Width, Property});
 }
 
+bool CampaignSpec::overrideApplies(const CampaignCell &Cell) const {
+  if (!SoundnessOverride || Cell.Property != CampaignProperty::Soundness)
+    return false;
+  if (OverrideOp && Cell.Op != *OverrideOp)
+    return false;
+  if (OverrideMul && (Cell.Op != BinaryOp::Mul || Cell.Mul != *OverrideMul))
+    return false;
+  return true;
+}
+
 bool CampaignCellResult::holds() const {
   switch (Cell.Property) {
   case CampaignProperty::Soundness:
@@ -59,6 +71,7 @@ bool CampaignCellResult::holds() const {
 void tnums::printCampaignStatus(uint64_t ShardsTotal, uint64_t ShardsRun,
                                 uint64_t ShardsResumed,
                                 uint64_t ShardsSkipped,
+                                uint64_t ShardsInvalidated,
                                 const std::string &CheckpointDir) {
   std::printf("campaign: %llu shards total, %llu run here, %llu resumed "
               "from checkpoint",
@@ -68,6 +81,9 @@ void tnums::printCampaignStatus(uint64_t ShardsTotal, uint64_t ShardsRun,
   if (ShardsSkipped)
     std::printf(", %llu skipped past early-exit witnesses",
                 static_cast<unsigned long long>(ShardsSkipped));
+  if (ShardsInvalidated)
+    std::printf(", %llu invalidated by operator changes",
+                static_cast<unsigned long long>(ShardsInvalidated));
   if (!CheckpointDir.empty())
     std::printf("; checkpoint dir %s", CheckpointDir.c_str());
   std::printf("\n");
@@ -99,8 +115,11 @@ bool tnums::matchCampaignArgs(ArgParser &Args, CampaignIO &IO) {
 
 uint64_t tnums::campaignFingerprint(const CampaignSpec &Spec,
                                     const CampaignIO &IO) {
+  // The SHAPE only: operator implementation versions and the override tag
+  // key individual cells (campaignCellFingerprint), never the directory --
+  // an algorithm change must invalidate cells, not refuse the store.
   Fnv1a Hash;
-  Hash.mixString("tnums-campaign v1");
+  Hash.mixString("tnums-campaign v2");
   Hash.mixU64(Spec.Cells.size());
   for (const CampaignCell &Cell : Spec.Cells) {
     Hash.mixU64(static_cast<uint64_t>(Cell.Op));
@@ -109,8 +128,26 @@ uint64_t tnums::campaignFingerprint(const CampaignSpec &Spec,
     Hash.mixU64(static_cast<uint64_t>(Cell.Property));
   }
   Hash.mixU64(Spec.OptimalityEarlyExit ? 1 : 0);
-  Hash.mixString(Spec.OverrideTag);
   Hash.mixU64(IO.ShardPairs);
+  return Hash.digest();
+}
+
+uint64_t tnums::campaignCellFingerprint(const CampaignSpec &Spec,
+                                        const CampaignCell &Cell) {
+  Fnv1a Hash;
+  Hash.mixString("tnums-campaign-cell v2");
+  Hash.mixU64(static_cast<uint64_t>(Cell.Op));
+  Hash.mixU64(static_cast<uint64_t>(Cell.Mul));
+  Hash.mixU64(Cell.Width);
+  Hash.mixU64(static_cast<uint64_t>(Cell.Property));
+  if (Spec.overrideApplies(Cell)) {
+    // The override IS the implementation under test; its tag stands in
+    // for the unhashable function.
+    Hash.mixString("override");
+    Hash.mixString(Spec.OverrideTag);
+  } else {
+    Hash.mixU64(opFingerprint(Cell.Op, Cell.Mul));
+  }
   return Hash.digest();
 }
 
@@ -154,10 +191,14 @@ std::vector<ShardRef> buildManifest(const std::vector<uint64_t> &CellPairs,
 } // namespace
 
 ShardDriveResult tnums::driveCampaignShards(
-    const std::vector<uint64_t> &CellTotalPairs, uint64_t Fingerprint,
+    const std::vector<uint64_t> &CellTotalPairs,
+    const std::vector<uint64_t> &CellFingerprints, uint64_t Fingerprint,
     const CampaignIO &IO, const RunShardFn &Run, const MergeShardFn &Merge,
-    std::vector<bool> *CellComplete) {
+    std::vector<bool> *CellComplete,
+    std::vector<CellShardCounts> *CellCounts) {
   ShardDriveResult Result;
+  assert(CellFingerprints.size() == CellTotalPairs.size() &&
+         "one content fingerprint per cell");
   if (IO.Shards == 0 || IO.ShardIndex >= IO.Shards) {
     Result.Error = formatString("bad shard split: index %u of %u",
                                 IO.ShardIndex, IO.Shards);
@@ -176,6 +217,8 @@ ShardDriveResult tnums::driveCampaignShards(
   const std::vector<ShardRef> Manifest =
       buildManifest(CellTotalPairs, IO.ShardPairs);
   Result.ShardsTotal = Manifest.size();
+  if (CellCounts)
+    CellCounts->assign(CellTotalPairs.size(), CellShardCounts{});
 
   std::optional<CheckpointStore> Store;
   if (!IO.CheckpointDir.empty()) {
@@ -213,32 +256,85 @@ ShardDriveResult tnums::driveCampaignShards(
     return It != CellTerminalShard.end() && Id > It->second;
   };
 
+  /// Loads shard \p Id from the store and classifies it: a record whose
+  /// cell fingerprint still matches is CURRENT (cached, terminal
+  /// bookkeeping applied); a mismatch is STALE -- the operator
+  /// implementation changed since it was written, so its verdict must
+  /// not be merged; a file that disappeared between hasShard and
+  /// loadShard is MISSING (another invocation's owner GC'd a stale shard
+  /// under us -- the replacement, if any, lands later). A stored cell
+  /// index disagreeing with the manifest is corruption, reported as a
+  /// hard error.
+  enum class Stored { Current, Stale, Missing, Error };
+  auto classifyStored = [&](uint64_t Id, const ShardRef &Ref) -> Stored {
+    std::string Error;
+    std::optional<ShardRecord> Record = Store->loadShard(Id, Error);
+    if (!Record) {
+      if (Error.empty())
+        return Stored::Missing;
+      Result.Error = std::move(Error);
+      return Stored::Error;
+    }
+    if (Record->Cell != Ref.Cell) {
+      Result.Error = formatString(
+          "shard %" PRIu64 " in %s records cell %" PRIu64
+          " but the manifest places it in cell %zu; the store is corrupt",
+          Id, IO.CheckpointDir.c_str(), Record->Cell, Ref.Cell);
+      return Stored::Error;
+    }
+    if (Record->CellFingerprint != CellFingerprints[Ref.Cell])
+      return Stored::Stale;
+    if (Record->Terminal)
+      CellTerminalShard.emplace(Ref.Cell, Id);
+    Cache.emplace(Id, std::move(*Record));
+    return Stored::Current;
+  };
+
   //===--------------------------------------------------------------------===//
-  // Execution: walk the manifest in order, running owned shards and
-  // absorbing already-checkpointed ones.
+  // Execution: walk the manifest in order, running owned shards,
+  // absorbing checkpointed ones whose cell fingerprint still matches,
+  // and GC-ing + re-running owned shards invalidated by an operator
+  // change.
   //===--------------------------------------------------------------------===//
   for (uint64_t Id = 0; Id != Manifest.size(); ++Id) {
     const ShardRef &Ref = Manifest[Id];
     if (isDead(Ref, Id)) {
       ++Result.ShardsSkipped;
+      if (CellCounts)
+        ++(*CellCounts)[Ref.Cell].Skipped;
       continue;
     }
     const bool Owned = Id % IO.Shards == IO.ShardIndex;
     if (Store && Store->hasShard(Id)) {
-      std::string Error;
-      std::optional<ShardRecord> Record = Store->loadShard(Id, Error);
-      if (!Record) {
-        Result.Error = Error.empty()
-                           ? formatString("shard %" PRIu64 " vanished", Id)
-                           : std::move(Error);
+      switch (classifyStored(Id, Ref)) {
+      case Stored::Error:
         return Result;
+      case Stored::Missing:
+        break; // Vanished under us: fall through and run if owned.
+      case Stored::Current:
+        if (Owned) {
+          ++Result.ShardsResumed;
+          if (CellCounts)
+            ++(*CellCounts)[Ref.Cell].Resumed;
+        }
+        continue;
+      case Stored::Stale: {
+        // Only the OWNER may GC: a non-owner unlinking here could race
+        // the owner's re-run and delete the freshly renamed replacement.
+        // Non-owners simply treat the stale shard as absent.
+        if (!Owned)
+          break;
+        ++Result.ShardsInvalidated;
+        if (CellCounts)
+          ++(*CellCounts)[Ref.Cell].Invalidated;
+        std::string Error;
+        if (!Store->removeShard(Id, Error)) {
+          Result.Error = std::move(Error);
+          return Result;
+        }
+        break; // Fall through to re-run below.
       }
-      if (Record->Terminal)
-        CellTerminalShard.emplace(Ref.Cell, Id);
-      Cache.emplace(Id, std::move(*Record));
-      if (Owned)
-        ++Result.ShardsResumed;
-      continue;
+      }
     }
     if (!Owned)
       continue;
@@ -246,6 +342,8 @@ ShardDriveResult tnums::driveCampaignShards(
       continue; // Time-box hit: leave the rest for a resume.
     ShardRecord Record;
     Run(Ref.Cell, Ref.Begin, Ref.End, Record);
+    Record.Cell = Ref.Cell;
+    Record.CellFingerprint = CellFingerprints[Ref.Cell];
     if (Store) {
       std::string Error;
       if (!Store->storeShard(Id, Record, Error)) {
@@ -257,13 +355,16 @@ ShardDriveResult tnums::driveCampaignShards(
       CellTerminalShard.emplace(Ref.Cell, Id);
     Cache.emplace(Id, std::move(Record));
     ++Result.ShardsRun;
+    if (CellCounts)
+      ++(*CellCounts)[Ref.Cell].Run;
   }
 
   //===--------------------------------------------------------------------===//
   // Merge: manifest order, stopping each cell at its terminal shard (or
-  // its first missing one). Because the order is fixed and every payload
-  // is deterministic, the merged result is bit-identical no matter which
-  // invocations produced which shards, or in how many runs.
+  // its first missing/stale one). Because the order is fixed and every
+  // payload is deterministic, the merged result is bit-identical no
+  // matter which invocations produced which shards, in how many runs, or
+  // how many cells were served from the store vs recomputed.
   //===--------------------------------------------------------------------===//
   if (CellComplete)
     CellComplete->assign(CellTotalPairs.size(), false);
@@ -279,15 +380,17 @@ ShardDriveResult tnums::driveCampaignShards(
       if (It != Cache.end()) {
         Record = &It->second;
       } else if (Store && Store->hasShard(Id)) {
-        std::string Error;
-        std::optional<ShardRecord> Loaded = Store->loadShard(Id, Error);
-        if (!Loaded) {
-          Result.Error = Error.empty()
-                             ? formatString("shard %" PRIu64 " vanished", Id)
-                             : std::move(Error);
+        switch (classifyStored(Id, Ref)) {
+        case Stored::Error:
           return Result;
+        case Stored::Current:
+          Record = &Cache.find(Id)->second;
+          break;
+        case Stored::Stale:
+        case Stored::Missing:
+          Record = nullptr; // No current verdict: the cell stays partial.
+          break;
         }
-        Record = &Cache.emplace(Id, std::move(*Loaded)).first->second;
       }
       if (!Record) {
         Complete = false;
@@ -484,6 +587,58 @@ bool parseMonotonicityShard(const std::string &Payload,
   return true;
 }
 
+/// Parses \p Record's payload and folds it into \p Cell according to the
+/// cell's property -- the one merge used by both runCampaign and the
+/// baseline loader, so a --diff-baseline merge can never drift from the
+/// live one. False (with \p Error set) on a malformed payload.
+bool mergePropertyShard(CampaignCellResult &Cell, size_t CellIndex,
+                        const ShardRecord &Record, std::string &Error) {
+  double Seconds = 0;
+  bool Ok = false;
+  switch (Cell.Cell.Property) {
+  case CampaignProperty::Soundness: {
+    SoundnessReport Shard;
+    Ok = parseSoundnessShard(Record.Payload, Shard, Seconds);
+    if (Ok) {
+      Cell.Soundness.PairsChecked += Shard.PairsChecked;
+      Cell.Soundness.ConcreteChecked += Shard.ConcreteChecked;
+      if (Shard.Failure && !Cell.Soundness.Failure)
+        Cell.Soundness.Failure = Shard.Failure;
+    }
+    break;
+  }
+  case CampaignProperty::Optimality: {
+    OptimalityReport Shard;
+    Ok = parseOptimalityShard(Record.Payload, Shard, Seconds);
+    if (Ok) {
+      Cell.Optimality.PairsChecked += Shard.PairsChecked;
+      Cell.Optimality.OptimalPairs += Shard.OptimalPairs;
+      if (Shard.Failure && !Cell.Optimality.Failure)
+        Cell.Optimality.Failure = Shard.Failure;
+    }
+    break;
+  }
+  case CampaignProperty::Monotonicity: {
+    MonotonicityReport Shard;
+    Ok = parseMonotonicityShard(Record.Payload, Shard, Seconds);
+    if (Ok) {
+      Cell.Monotonicity.QuadruplesChecked += Shard.QuadruplesChecked;
+      if (Shard.Failure && !Cell.Monotonicity.Failure)
+        Cell.Monotonicity.Failure = Shard.Failure;
+    }
+    break;
+  }
+  }
+  if (!Ok) {
+    Error = formatString("malformed %s shard payload for cell %zu",
+                         campaignPropertyName(Cell.Cell.Property), CellIndex);
+    return false;
+  }
+  Cell.Seconds += Seconds;
+  ++Cell.ShardsMerged;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Serial-prefix normalization
 //
@@ -636,6 +791,26 @@ void normalizeOptimalityFailure(BinaryOp Op, MulAlgorithm Mul,
   Report.OptimalPairs = Optimal;
 }
 
+/// The per-cell pair totals of \p Spec (one grid dimension per width).
+std::vector<uint64_t> specCellPairs(const CampaignSpec &Spec) {
+  std::vector<uint64_t> CellPairs;
+  CellPairs.reserve(Spec.Cells.size());
+  for (const CampaignCell &Cell : Spec.Cells) {
+    uint64_t NumTnums = numWellFormedTnums(Cell.Width);
+    CellPairs.push_back(NumTnums * NumTnums);
+  }
+  return CellPairs;
+}
+
+/// The per-cell content fingerprints of \p Spec.
+std::vector<uint64_t> specCellFingerprints(const CampaignSpec &Spec) {
+  std::vector<uint64_t> Fingerprints;
+  Fingerprints.reserve(Spec.Cells.size());
+  for (const CampaignCell &Cell : Spec.Cells)
+    Fingerprints.push_back(campaignCellFingerprint(Spec, Cell));
+  return Fingerprints;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -671,23 +846,23 @@ CampaignResult tnums::runCampaign(const CampaignSpec &Spec,
     return It->second;
   };
 
-  std::vector<uint64_t> CellPairs;
-  CellPairs.reserve(Spec.Cells.size());
-  for (const CampaignCell &Cell : Spec.Cells) {
-    uint64_t NumTnums = numWellFormedTnums(Cell.Width);
-    CellPairs.push_back(NumTnums * NumTnums);
-  }
+  std::vector<uint64_t> CellPairs = specCellPairs(Spec);
+  std::vector<uint64_t> CellFingerprints = specCellFingerprints(Spec);
 
   Result.Cells.resize(Spec.Cells.size());
   for (size_t I = 0; I != Spec.Cells.size(); ++I)
     Result.Cells[I].Cell = Spec.Cells[I];
 
   auto abstractFor = [&](const CampaignCell &Cell) -> AbstractBinaryFn {
-    if (Spec.SoundnessOverride)
-      return Spec.SoundnessOverride;
+    unsigned Width = Cell.Width;
+    if (Spec.overrideApplies(Cell)) {
+      SoundnessOverrideFn Override = Spec.SoundnessOverride;
+      return [Override, Width](const Tnum &P, const Tnum &Q) {
+        return Override(P, Q, Width);
+      };
+    }
     BinaryOp Op = Cell.Op;
     MulAlgorithm Mul = Cell.Mul;
-    unsigned Width = Cell.Width;
     return [Op, Mul, Width](const Tnum &P, const Tnum &Q) {
       return applyAbstractBinary(Op, P, Q, Width, Mul);
     };
@@ -746,62 +921,21 @@ CampaignResult tnums::runCampaign(const CampaignSpec &Spec,
   MergeShardFn Merge = [&](size_t CellIndex, uint64_t, uint64_t,
                            const ShardRecord &Record,
                            std::string &Error) -> bool {
-    CampaignCellResult &Cell = Result.Cells[CellIndex];
-    double Seconds = 0;
-    bool Ok = false;
-    switch (Cell.Cell.Property) {
-    case CampaignProperty::Soundness: {
-      SoundnessReport Shard;
-      Ok = parseSoundnessShard(Record.Payload, Shard, Seconds);
-      if (Ok) {
-        Cell.Soundness.PairsChecked += Shard.PairsChecked;
-        Cell.Soundness.ConcreteChecked += Shard.ConcreteChecked;
-        if (Shard.Failure && !Cell.Soundness.Failure)
-          Cell.Soundness.Failure = Shard.Failure;
-      }
-      break;
-    }
-    case CampaignProperty::Optimality: {
-      OptimalityReport Shard;
-      Ok = parseOptimalityShard(Record.Payload, Shard, Seconds);
-      if (Ok) {
-        Cell.Optimality.PairsChecked += Shard.PairsChecked;
-        Cell.Optimality.OptimalPairs += Shard.OptimalPairs;
-        if (Shard.Failure && !Cell.Optimality.Failure)
-          Cell.Optimality.Failure = Shard.Failure;
-      }
-      break;
-    }
-    case CampaignProperty::Monotonicity: {
-      MonotonicityReport Shard;
-      Ok = parseMonotonicityShard(Record.Payload, Shard, Seconds);
-      if (Ok) {
-        Cell.Monotonicity.QuadruplesChecked += Shard.QuadruplesChecked;
-        if (Shard.Failure && !Cell.Monotonicity.Failure)
-          Cell.Monotonicity.Failure = Shard.Failure;
-      }
-      break;
-    }
-    }
-    if (!Ok) {
-      Error = formatString("malformed %s shard payload for cell %zu",
-                           campaignPropertyName(Cell.Cell.Property),
-                           CellIndex);
-      return false;
-    }
-    Cell.Seconds += Seconds;
-    ++Cell.ShardsMerged;
-    return true;
+    return mergePropertyShard(Result.Cells[CellIndex], CellIndex, Record,
+                              Error);
   };
 
   std::vector<bool> CellComplete;
+  std::vector<CellShardCounts> CellCounts;
   uint64_t Fingerprint = campaignFingerprint(Spec, IO);
-  ShardDriveResult Drive = driveCampaignShards(CellPairs, Fingerprint, IO,
-                                               Run, Merge, &CellComplete);
+  ShardDriveResult Drive =
+      driveCampaignShards(CellPairs, CellFingerprints, Fingerprint, IO, Run,
+                          Merge, &CellComplete, &CellCounts);
   Result.ShardsTotal = Drive.ShardsTotal;
   Result.ShardsRun = Drive.ShardsRun;
   Result.ShardsResumed = Drive.ShardsResumed;
   Result.ShardsSkipped = Drive.ShardsSkipped;
+  Result.ShardsInvalidated = Drive.ShardsInvalidated;
   if (!Drive.ok()) {
     Result.Error = std::move(Drive.Error);
     return Result;
@@ -809,6 +943,10 @@ CampaignResult tnums::runCampaign(const CampaignSpec &Spec,
   Result.Complete = Drive.Complete;
   for (size_t I = 0; I != Result.Cells.size(); ++I) {
     Result.Cells[I].Complete = CellComplete[I];
+    Result.Cells[I].ShardsRun = CellCounts[I].Run;
+    Result.Cells[I].ShardsResumed = CellCounts[I].Resumed;
+    Result.Cells[I].ShardsInvalidated = CellCounts[I].Invalidated;
+    Result.Cells[I].ShardsSkipped = CellCounts[I].Skipped;
     // ShardsTotal per cell: count manifest entries (recompute cheaply;
     // the (Total - 1) form cannot overflow for huge ShardPairs).
     uint64_t Total = CellPairs[I];
@@ -816,6 +954,159 @@ CampaignResult tnums::runCampaign(const CampaignSpec &Spec,
         Total == 0 ? 1 : (Total - 1) / IO.ShardPairs + 1;
   }
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// diffCampaignBaseline
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Field-wise equality of the property-relevant report of two merged
+/// cells (counters AND witness; the informational Seconds is ignored).
+bool sameMergedReport(const CampaignCellResult &A,
+                      const CampaignCellResult &B) {
+  switch (A.Cell.Property) {
+  case CampaignProperty::Soundness: {
+    if (A.Soundness.PairsChecked != B.Soundness.PairsChecked ||
+        A.Soundness.ConcreteChecked != B.Soundness.ConcreteChecked ||
+        A.Soundness.Failure.has_value() != B.Soundness.Failure.has_value())
+      return false;
+    if (!A.Soundness.Failure)
+      return true;
+    const SoundnessCounterexample &X = *A.Soundness.Failure;
+    const SoundnessCounterexample &Y = *B.Soundness.Failure;
+    return X.P == Y.P && X.Q == Y.Q && X.X == Y.X && X.Y == Y.Y &&
+           X.Z == Y.Z && X.R == Y.R;
+  }
+  case CampaignProperty::Optimality: {
+    if (A.Optimality.PairsChecked != B.Optimality.PairsChecked ||
+        A.Optimality.OptimalPairs != B.Optimality.OptimalPairs ||
+        A.Optimality.Failure.has_value() != B.Optimality.Failure.has_value())
+      return false;
+    if (!A.Optimality.Failure)
+      return true;
+    const OptimalityCounterexample &X = *A.Optimality.Failure;
+    const OptimalityCounterexample &Y = *B.Optimality.Failure;
+    return X.P == Y.P && X.Q == Y.Q && X.Actual == Y.Actual &&
+           X.Optimal == Y.Optimal;
+  }
+  case CampaignProperty::Monotonicity: {
+    if (A.Monotonicity.QuadruplesChecked !=
+            B.Monotonicity.QuadruplesChecked ||
+        A.Monotonicity.Failure.has_value() !=
+            B.Monotonicity.Failure.has_value())
+      return false;
+    if (!A.Monotonicity.Failure)
+      return true;
+    const MonotonicityCounterexample &X = *A.Monotonicity.Failure;
+    const MonotonicityCounterexample &Y = *B.Monotonicity.Failure;
+    return X.P1 == Y.P1 && X.Q1 == Y.Q1 && X.P2 == Y.P2 && X.Q2 == Y.Q2 &&
+           X.R1 == Y.R1 && X.R2 == Y.R2;
+  }
+  }
+  return false;
+}
+
+} // namespace
+
+CampaignDiffResult tnums::diffCampaignBaseline(const CampaignSpec &Spec,
+                                               const CampaignIO &IO,
+                                               const std::string &BaselineDir,
+                                               const CampaignResult &Current) {
+  CampaignDiffResult Diff;
+  if (Current.Cells.size() != Spec.Cells.size()) {
+    Diff.Error = "diff baseline: Current does not match Spec";
+    return Diff;
+  }
+  std::vector<uint64_t> CellPairs = specCellPairs(Spec);
+  std::vector<uint64_t> CellFingerprints = specCellFingerprints(Spec);
+  const std::vector<ShardRef> Manifest =
+      buildManifest(CellPairs, IO.ShardPairs);
+
+  // A diff is a READ: a mistyped baseline path must be a hard error, not
+  // a freshly created empty store reporting "0 cells reused" -- so check
+  // for the manifest before open() (which would create dir + manifest).
+  struct stat St;
+  if (::stat((BaselineDir + "/campaign.manifest").c_str(), &St) != 0) {
+    Diff.Error = formatString(
+        "%s is not a campaign checkpoint directory (no campaign.manifest)",
+        BaselineDir.c_str());
+    return Diff;
+  }
+
+  // The baseline must be the same campaign SHAPE; its cell fingerprints
+  // may of course differ -- that difference is the report.
+  std::string Error;
+  std::optional<CheckpointStore> Store = CheckpointStore::open(
+      BaselineDir, campaignFingerprint(Spec, IO), Manifest.size(), Error);
+  if (!Store) {
+    Diff.Error = std::move(Error);
+    return Diff;
+  }
+
+  Diff.Cells.resize(Spec.Cells.size());
+  for (size_t Cell = 0; Cell != Spec.Cells.size(); ++Cell) {
+    CampaignCellDiff &Out = Diff.Cells[Cell];
+    Out.Cell = Spec.Cells[Cell];
+    Out.Baseline.Cell = Spec.Cells[Cell];
+    bool Complete = true;
+    bool Consistent = true;
+    for (uint64_t Id = 0; Id != Manifest.size() && Consistent; ++Id) {
+      const ShardRef &Ref = Manifest[Id];
+      if (Ref.Cell != Cell)
+        continue;
+      if (!Store->hasShard(Id)) {
+        Complete = false;
+        break;
+      }
+      std::optional<ShardRecord> Record = Store->loadShard(Id, Error);
+      if (!Record) {
+        Diff.Error = Error.empty()
+                         ? formatString("baseline shard %" PRIu64
+                                        " vanished",
+                                        Id)
+                         : std::move(Error);
+        return Diff;
+      }
+      if (Record->Cell != Ref.Cell) {
+        Diff.Error = formatString(
+            "baseline shard %" PRIu64 " records cell %" PRIu64
+            " but the manifest places it in cell %zu; the store is corrupt",
+            Id, Record->Cell, Ref.Cell);
+        return Diff;
+      }
+      if (!Out.InBaseline) {
+        Out.InBaseline = true;
+        Out.BaselineFingerprint = Record->CellFingerprint;
+      } else if (Record->CellFingerprint != Out.BaselineFingerprint) {
+        // A half-migrated cell (some shards re-run under a newer operator
+        // than others) has no single coherent baseline verdict.
+        Consistent = false;
+        break;
+      }
+      if (!mergePropertyShard(Out.Baseline, Cell, *Record, Error)) {
+        Diff.Error = std::move(Error);
+        return Diff;
+      }
+      if (Record->Terminal)
+        break; // The cell's merge ends here by construction.
+    }
+    Out.BaselineComplete = Out.InBaseline && Complete && Consistent;
+    Out.Baseline.Complete = Out.BaselineComplete;
+    Out.Reused = Out.InBaseline &&
+                 Out.BaselineFingerprint == CellFingerprints[Cell];
+    if (Out.InBaseline)
+      ++(Out.Reused ? Diff.CellsReused : Diff.CellsRerun);
+    if (Out.BaselineComplete && Current.Cells[Cell].Complete) {
+      Out.ReportChanged = !sameMergedReport(Out.Baseline, Current.Cells[Cell]);
+      Out.VerdictChanged =
+          Out.Baseline.holds() != Current.Cells[Cell].holds();
+      if (Out.VerdictChanged)
+        ++Diff.CellsVerdictChanged;
+    }
+  }
+  return Diff;
 }
 
 //===----------------------------------------------------------------------===//

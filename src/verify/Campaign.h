@@ -10,8 +10,10 @@
 /// monotonicity verification restated as a declarative spec that compiles
 /// to a deterministic shard manifest, survives preemption through the
 /// durable shard store (support/Checkpoint.h), splits across machines
-/// (--shards=K / --shard-index=i), and merges order-independently into
-/// reports that are bit-identical to an uninterrupted serial run.
+/// (--shards=K / --shard-index=i), merges order-independently into
+/// reports that are bit-identical to an uninterrupted serial run, and --
+/// since the v2 store -- re-verifies *incrementally* across transfer-
+/// function changes.
 ///
 ///  * A CampaignSpec is a list of cells (operator x mul-algorithm x width
 ///    x property). Each cell's row-major (P, Q) pair grid is cut into
@@ -21,6 +23,17 @@
 ///    chunk size -- agrees on shard identities. That is what lets shard
 ///    files from different machines and different runs merge.
 ///
+///  * Every cell is content-fingerprinted (campaignCellFingerprint): a
+///    digest of the cell coordinates plus the *implementation version* of
+///    the transfer function it verifies (Oracle::opFingerprint over the
+///    version tags in tnum/TnumOps.cpp and tnum/TnumMul.cpp). Shard files
+///    carry their cell's fingerprint; on resume, shards whose fingerprint
+///    still matches are served from the store and only invalidated cells
+///    -- exactly the ones whose operator changed -- are GC'd and re-run.
+///    Swapping one mul algorithm therefore re-verifies only the mul
+///    cells, which is the paper's whole re-checking workflow (it was
+///    written because the kernel's mul changed) made cheap.
+///
 ///  * Shard results are normalized before they are recorded: a failing
 ///    shard stores the exact *serial-prefix* counters (what the serial
 ///    checker would have counted walking the shard's range and stopping
@@ -28,7 +41,8 @@
 ///    dependent progress counters. Merging therefore reproduces the
 ///    serial checkers' reports bit-for-bit -- including the serial-order
 ///    first counterexample -- from ANY interleaving of shard
-///    completions, partial resumes, or multi-invocation splits.
+///    completions, partial resumes, multi-invocation splits, or
+///    incremental re-runs.
 ///
 ///  * Optimality cells default to full scans (exact OptimalPairs totals,
 ///    matching checkOptimalityExhaustive with StopAtFirst = false). With
@@ -40,9 +54,13 @@
 ///
 /// The generic driver underneath (driveCampaignShards) is also exposed:
 /// the Table I / Fig. 4 front ends run their custom order-independent
-/// reductions through the same manifest / checkpoint / merge machinery,
-/// which is how every sweep front end shares one resume story. See
-/// docs/CAMPAIGN.md for the format and the determinism contract.
+/// reductions through the same manifest / checkpoint / merge / reuse
+/// machinery, which is how every sweep front end shares one resume story.
+/// diffCampaignBaseline compares a finished run against an earlier
+/// checkpoint directory -- the --diff-baseline report of which cells an
+/// incremental resume would reuse, which it would re-run, and whether any
+/// verdict changed. See docs/CAMPAIGN.md for the format and the
+/// determinism contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +71,7 @@
 #include "verify/ParallelSweep.h"
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +97,11 @@ struct CampaignCell {
   CampaignProperty Property = CampaignProperty::Soundness;
 };
 
+/// A width-aware injectable transfer function: the cell's width is the
+/// third argument, so one override can serve cells of several widths.
+using SoundnessOverrideFn =
+    std::function<Tnum(const Tnum &, const Tnum &, unsigned)>;
+
 /// A declarative campaign: which cells to verify and how optimality
 /// cells terminate.
 struct CampaignSpec {
@@ -89,13 +113,27 @@ struct CampaignSpec {
   /// checker's StopAtFirst = true report.
   bool OptimalityEarlyExit = false;
 
-  /// Test hook: when set, every Soundness cell verifies this operator
-  /// instead of applyAbstractBinary(Op, ...), so deliberately broken
-  /// transfer functions flow through the full shard/checkpoint/merge
-  /// machinery. OverrideTag must then name the override -- it is folded
-  /// into the fingerprint in place of the (unhashable) function.
-  AbstractBinaryFn SoundnessOverride;
+  /// Test hook: when set, the Soundness cells selected by OverrideOp /
+  /// OverrideMul verify this operator instead of applyAbstractBinary, so
+  /// deliberately broken (or deliberately *changed*) transfer functions
+  /// flow through the full shard/checkpoint/merge machinery. OverrideTag
+  /// must then name the override -- it stands in for the (unhashable)
+  /// function in the affected cells' content fingerprints, which is also
+  /// how the incremental tests emulate "this operator's implementation
+  /// changed": same spec shape, different cell fingerprint, so a resume
+  /// invalidates and re-runs exactly the overridden cells.
+  SoundnessOverrideFn SoundnessOverride;
   std::string OverrideTag;
+
+  /// Scope of SoundnessOverride: unset applies it to every Soundness
+  /// cell; OverrideOp restricts it to that operator's Soundness cells,
+  /// and OverrideMul (meaningful with OverrideOp == Mul) to one named
+  /// multiplication algorithm's.
+  std::optional<BinaryOp> OverrideOp;
+  std::optional<MulAlgorithm> OverrideMul;
+
+  /// True when SoundnessOverride replaces \p Cell's transfer function.
+  bool overrideApplies(const CampaignCell &Cell) const;
 
   /// Appends the cross product of \p Properties over \p Widths for one
   /// (Op, Mul) -- the "algorithms x widths x properties" builder.
@@ -115,7 +153,9 @@ struct CampaignIO {
   /// already holds owned shards, so stale state is never reused by
   /// accident. Shards owned by OTHER invocations of a --shards split are
   /// always readable at merge time -- that is the farming mode's data
-  /// path, not a resume.
+  /// path, not a resume. Incremental re-verification IS a resume: pass
+  /// --resume after a transfer-function change and only the invalidated
+  /// cells re-run.
   bool Resume = false;
 
   /// Split the manifest across \p Shards invocations; this invocation
@@ -149,6 +189,16 @@ struct CampaignCellResult {
   bool Complete = false;
   uint64_t ShardsTotal = 0;
   uint64_t ShardsMerged = 0;
+  /// Executed-cell accounting: shards of THIS cell executed by this
+  /// invocation, served from the store, found stale (op-fingerprint
+  /// mismatch, GC'd and re-run), and skipped past an early-exit terminal
+  /// shard. A cell with ShardsRun == 0 and ShardsResumed == ShardsMerged
+  /// was reused wholesale; a cell with ShardsInvalidated > 0 is one an
+  /// operator change forced back through the engine.
+  uint64_t ShardsRun = 0;
+  uint64_t ShardsResumed = 0;
+  uint64_t ShardsInvalidated = 0;
+  uint64_t ShardsSkipped = 0;
   /// Compute seconds summed over merged shards (informational: it is the
   /// one merged quantity that is NOT deterministic).
   double Seconds = 0;
@@ -169,6 +219,9 @@ struct CampaignResult {
   uint64_t ShardsRun = 0;     ///< Executed by this invocation.
   uint64_t ShardsResumed = 0; ///< Owned shards satisfied from checkpoint.
   uint64_t ShardsSkipped = 0; ///< Skipped past a terminal (early-exit) shard.
+  /// Owned shards whose stored cell fingerprint no longer matched the
+  /// spec (the operator implementation changed): GC'd and re-run.
+  uint64_t ShardsInvalidated = 0;
 
   /// Non-empty on hard failure (bad IO config, checkpoint mismatch, I/O
   /// error); Cells are then meaningless.
@@ -193,17 +246,78 @@ inline constexpr const char *CampaignArgsUsage =
     "[--checkpoint-dir D] [--resume] [--shards K] [--shard-index I] "
     "[--shard-pairs N] [--max-shards N]";
 
-/// The spec fingerprint guarding checkpoint directories: a digest of the
-/// format version, every cell, the early-exit mode, the override tag, and
-/// ShardPairs. Scheduling knobs (threads, chunk size, SIMD mode, member
-/// table cap) are deliberately excluded -- reports are bit-identical
-/// across them, so resuming under a different configuration is sound.
+/// The spec SHAPE fingerprint guarding checkpoint directories: a digest
+/// of the format version, every cell's coordinates, the early-exit mode,
+/// and ShardPairs. Deliberately excluded: scheduling knobs (threads,
+/// chunk size, SIMD mode, member table cap -- reports are bit-identical
+/// across them) AND the operator implementation versions / override tag
+/// -- those key individual CELLS (campaignCellFingerprint), not the
+/// directory, so that a transfer-function change invalidates cells
+/// instead of the whole store.
 uint64_t campaignFingerprint(const CampaignSpec &Spec, const CampaignIO &IO);
+
+/// The per-cell content fingerprint: cell coordinates plus the
+/// implementation version of the transfer function the cell verifies
+/// (opFingerprint, or Spec.OverrideTag where the override applies).
+/// Stored in every shard file; a mismatch on resume means the operator
+/// changed and the shard must be re-run.
+uint64_t campaignCellFingerprint(const CampaignSpec &Spec,
+                                 const CampaignCell &Cell);
 
 /// Runs (its slice of) the campaign, checkpointing each completed shard,
 /// then merges every available shard in manifest order.
 CampaignResult runCampaign(const CampaignSpec &Spec, const CampaignIO &IO,
                            const SweepConfig &Config);
+
+//===----------------------------------------------------------------------===//
+// Baseline diffing -- the --diff-baseline report
+//===----------------------------------------------------------------------===//
+
+/// One cell of a diffCampaignBaseline report.
+struct CampaignCellDiff {
+  CampaignCell Cell;
+  /// The baseline directory held at least one shard of this cell.
+  bool InBaseline = false;
+  /// The baseline's stored cell fingerprint (of its first present shard).
+  uint64_t BaselineFingerprint = 0;
+  /// The baseline fingerprint matches the current spec's: an incremental
+  /// resume against this baseline would serve the cell from the store.
+  bool Reused = false;
+  /// Every shard the cell needs is present and fingerprint-consistent in
+  /// the baseline, so a baseline verdict exists to compare against.
+  bool BaselineComplete = false;
+  /// The baseline's merged report for this cell (meaningful when
+  /// BaselineComplete).
+  CampaignCellResult Baseline;
+  /// holds() flipped between the baseline merge and \p Current.
+  bool VerdictChanged = false;
+  /// Any merged counter or witness differs (a superset of VerdictChanged;
+  /// e.g. an optimality cell may stay non-optimal with a different
+  /// OptimalPairs count).
+  bool ReportChanged = false;
+};
+
+/// Outcome of diffCampaignBaseline.
+struct CampaignDiffResult {
+  std::vector<CampaignCellDiff> Cells; ///< 1:1 with the spec's cells.
+  uint64_t CellsReused = 0;
+  uint64_t CellsRerun = 0; ///< In baseline but fingerprint-stale.
+  uint64_t CellsVerdictChanged = 0;
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+};
+
+/// Compares \p Current -- a completed runCampaign result for \p Spec /
+/// \p IO -- against the shard store in \p BaselineDir written by an
+/// earlier run of the same campaign SHAPE (same cells and ShardPairs;
+/// anything else is a hard error). Reports, per cell, whether an
+/// incremental resume would reuse or re-run it (op-fingerprint match)
+/// and whether the merged verdict/report changed -- the workflow for
+/// "the kernel swapped its mul algorithm; what did that change?".
+CampaignDiffResult diffCampaignBaseline(const CampaignSpec &Spec,
+                                        const CampaignIO &IO,
+                                        const std::string &BaselineDir,
+                                        const CampaignResult &Current);
 
 //===----------------------------------------------------------------------===//
 // Generic sharded reduction -- the driver under runCampaign, exposed for
@@ -218,14 +332,24 @@ struct ShardDriveResult {
   uint64_t ShardsRun = 0;
   uint64_t ShardsResumed = 0;
   uint64_t ShardsSkipped = 0;
+  uint64_t ShardsInvalidated = 0;
   std::string Error;
 
   bool ok() const { return Error.empty(); }
 };
 
+/// Per-cell shard accounting driveCampaignShards can report back.
+struct CellShardCounts {
+  uint64_t Run = 0;
+  uint64_t Resumed = 0;
+  uint64_t Invalidated = 0;
+  uint64_t Skipped = 0;
+};
+
 /// Computes one shard: fill \p Out with the serialized, deterministic
 /// result of pair range [\p Begin, \p End) of cell \p Cell. Set
-/// Out.Terminal to end the cell at this shard (early exit).
+/// Out.Terminal to end the cell at this shard (early exit). The driver
+/// stamps Out.Cell / Out.CellFingerprint itself.
 using RunShardFn = std::function<void(size_t Cell, uint64_t Begin,
                                       uint64_t End, ShardRecord &Out)>;
 
@@ -238,21 +362,28 @@ using MergeShardFn =
 
 /// Prints the one-line shard-progress banner every campaign front end
 /// emits ("campaign: N shards total, ..."), so the wording cannot drift
-/// between benches. The skipped count only appears when nonzero (it is
-/// only meaningful for early-exit property campaigns).
+/// between benches. The skipped and invalidated counts only appear when
+/// nonzero (skips need an early-exit property campaign; invalidations
+/// need an operator change since the checkpoint was written).
 void printCampaignStatus(uint64_t ShardsTotal, uint64_t ShardsRun,
                          uint64_t ShardsResumed, uint64_t ShardsSkipped,
+                         uint64_t ShardsInvalidated,
                          const std::string &CheckpointDir);
 
 /// Shards each cell's [0, CellTotalPairs[c]) range per \p IO, executes
 /// this invocation's slice via \p Run (persisting to IO.CheckpointDir when
 /// set), then merges every available shard in manifest order via
-/// \p Merge. \p CellComplete (optional, resized to the cell count)
-/// reports which cells merged to completion.
+/// \p Merge. \p CellFingerprints (1:1 with CellTotalPairs) are the cells'
+/// content fingerprints: stored shards are served only while theirs still
+/// matches; stale owned shards are GC'd and re-executed. \p CellComplete
+/// (optional, resized to the cell count) reports which cells merged to
+/// completion; \p CellCounts (optional) the per-cell execution accounting.
 ShardDriveResult driveCampaignShards(
-    const std::vector<uint64_t> &CellTotalPairs, uint64_t Fingerprint,
+    const std::vector<uint64_t> &CellTotalPairs,
+    const std::vector<uint64_t> &CellFingerprints, uint64_t Fingerprint,
     const CampaignIO &IO, const RunShardFn &Run, const MergeShardFn &Merge,
-    std::vector<bool> *CellComplete = nullptr);
+    std::vector<bool> *CellComplete = nullptr,
+    std::vector<CellShardCounts> *CellCounts = nullptr);
 
 } // namespace tnums
 

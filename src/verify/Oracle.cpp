@@ -7,6 +7,7 @@
 
 #include "verify/Oracle.h"
 
+#include "support/Checkpoint.h"
 #include "tnum/TnumOps.h"
 
 using namespace tnums;
@@ -199,6 +200,54 @@ void tnums::applyConcreteBinaryBatchLhs(BinaryOp Op, const uint64_t *Xs,
     return;
   }
   assert(false && "unknown binary op");
+}
+
+uint64_t tnums::opFingerprint(BinaryOp Op, MulAlgorithm Mul) {
+  const TnumOpVersions &Versions = tnumOpVersions();
+  const char *Tag = nullptr;
+  switch (Op) {
+  case BinaryOp::Add:
+    Tag = Versions.Add;
+    break;
+  case BinaryOp::Sub:
+    Tag = Versions.Sub;
+    break;
+  case BinaryOp::Mul:
+    Tag = mulAlgorithmVersion(Mul);
+    break;
+  case BinaryOp::Div:
+    Tag = Versions.Div;
+    break;
+  case BinaryOp::Mod:
+    Tag = Versions.Mod;
+    break;
+  case BinaryOp::And:
+    Tag = Versions.And;
+    break;
+  case BinaryOp::Or:
+    Tag = Versions.Or;
+    break;
+  case BinaryOp::Xor:
+    Tag = Versions.Xor;
+    break;
+  case BinaryOp::Lsh:
+    Tag = Versions.Lshift;
+    break;
+  case BinaryOp::Rsh:
+    Tag = Versions.Rshift;
+    break;
+  case BinaryOp::Arsh:
+    Tag = Versions.Arshift;
+    break;
+  }
+  assert(Tag && "unknown binary op");
+  Fnv1a Hash;
+  Hash.mixString("tnums-op-fingerprint v1");
+  // The operator identity AND the implementation tag: two operators
+  // sharing a tag string must still fingerprint apart.
+  Hash.mixString(binaryOpName(Op));
+  Hash.mixString(Tag);
+  return Hash.digest();
 }
 
 Tnum tnums::applyAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width,

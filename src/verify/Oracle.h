@@ -84,6 +84,16 @@ void applyConcreteBinaryBatchLhs(BinaryOp Op, const uint64_t *Xs, uint64_t Y,
 Tnum applyAbstractBinary(BinaryOp Op, Tnum P, Tnum Q, unsigned Width,
                          MulAlgorithm Mul = MulAlgorithm::Our);
 
+/// Content fingerprint of the transfer-function implementation that
+/// applyAbstractBinary dispatches (\p Op, \p Mul) to: a digest of the
+/// operator's version tag (tnumOpVersions / mulAlgorithmVersion, bumped
+/// whenever the algorithm changes). \p Mul only participates for
+/// BinaryOp::Mul -- all other operators fingerprint identically for every
+/// Mul value, mirroring applyAbstractBinary's dispatch. The campaign
+/// layer keys checkpointed cells on this digest so that changing one
+/// transfer function invalidates exactly the cells that verified it.
+uint64_t opFingerprint(BinaryOp Op, MulAlgorithm Mul = MulAlgorithm::Our);
+
 } // namespace tnums
 
 #endif // TNUMS_VERIFY_ORACLE_H

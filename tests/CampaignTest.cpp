@@ -9,12 +9,16 @@
 /// The campaign engine's contract is that the merged report is
 /// bit-identical to the serial checkers' -- counters AND witness -- no
 /// matter how the shard manifest was split across invocations, killed at
-/// shard boundaries, resumed, or scheduled. These tests drive exactly
-/// those interleavings: multi-shard in-memory runs across scheduler
-/// configs, kill-and-resume at several boundaries, --shards splits
-/// executed out of order in separate invocations, a deliberately broken
-/// operator flowing through checkpoint files, and the durable store's
-/// fingerprint guards.
+/// shard boundaries, resumed, scheduled, or (since the v2 store)
+/// incrementally re-verified after a transfer-function change. These
+/// tests drive exactly those interleavings: multi-shard in-memory runs
+/// across scheduler configs, kill-and-resume at several boundaries,
+/// --shards splits executed out of order in separate invocations, a
+/// deliberately broken operator flowing through checkpoint files, the
+/// incremental op-fingerprint invalidation path (only changed cells
+/// re-run; merged reports identical to from-scratch; kill mid-incremental
+/// stays identical), the --diff-baseline report, and the durable store's
+/// fingerprint / format-version guards and temp-file hygiene.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,9 +29,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 
 #include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
 
 using namespace tnums;
 
@@ -280,8 +288,8 @@ TEST(Campaign, BrokenOperatorWitnessSurvivesKillResumeAndSplit) {
   CampaignSpec Spec;
   Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, Width,
                         CampaignProperty::Soundness});
-  Spec.SoundnessOverride = [](const Tnum &P, const Tnum &Q) {
-    return brokenAdd(P, Q, Width);
+  Spec.SoundnessOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
+    return brokenAdd(P, Q, W);
   };
   Spec.OverrideTag = "broken-add-v1";
 
@@ -290,7 +298,9 @@ TEST(Campaign, BrokenOperatorWitnessSurvivesKillResumeAndSplit) {
   // serial-prefix counts the campaign must reproduce.
   SweepConfig Serial{/*NumThreads=*/1, /*ChunkPairs=*/1};
   SoundnessReport Want = checkSoundnessExhaustiveParallel(
-      BinaryOp::Add, Spec.SoundnessOverride, Width, Serial);
+      BinaryOp::Add,
+      [](const Tnum &P, const Tnum &Q) { return brokenAdd(P, Q, Width); },
+      Width, Serial);
   ASSERT_TRUE(Want.Failure.has_value());
 
   for (const SweepConfig &Config : kConfigs) {
@@ -368,6 +378,8 @@ TEST(Campaign, StoreRoundTripsShardsAndRejectsForeignFiles) {
   ShardRecord Record;
   Record.Payload = "pairs 1\nconcrete 2\nseconds 0\n";
   Record.Terminal = true;
+  Record.Cell = 7;
+  Record.CellFingerprint = 0xFEEDFACE12345678ull;
   ASSERT_TRUE(Store->storeShard(2, Record, Error)) << Error;
   EXPECT_TRUE(Store->hasShard(2));
   EXPECT_FALSE(Store->hasShard(1));
@@ -375,7 +387,18 @@ TEST(Campaign, StoreRoundTripsShardsAndRejectsForeignFiles) {
   ASSERT_TRUE(Loaded.has_value()) << Error;
   EXPECT_EQ(Loaded->Payload, Record.Payload);
   EXPECT_TRUE(Loaded->Terminal);
+  // The v2 per-cell header round-trips: the campaign layer's staleness
+  // decision depends on it.
+  EXPECT_EQ(Loaded->Cell, Record.Cell);
+  EXPECT_EQ(Loaded->CellFingerprint, Record.CellFingerprint);
   EXPECT_EQ(Store->completedShards(), std::vector<uint64_t>{2});
+
+  // removeShard is the invalidated-cell GC; removing twice is fine (a
+  // concurrent GC may win the race).
+  ASSERT_TRUE(Store->removeShard(2, Error)) << Error;
+  EXPECT_FALSE(Store->hasShard(2));
+  EXPECT_TRUE(Store->removeShard(2, Error)) << Error;
+  ASSERT_TRUE(Store->storeShard(2, Record, Error)) << Error;
 
   // A store opened with a different fingerprint must refuse the dir.
   EXPECT_FALSE(
@@ -389,6 +412,311 @@ TEST(Campaign, StoreRoundTripsShardsAndRejectsForeignFiles) {
   std::fclose(File);
   EXPECT_FALSE(Store->loadShard(3, Error).has_value());
   EXPECT_FALSE(Error.empty());
+}
+
+TEST(Campaign, RefusesV1CheckpointStoreWithMigrationMessage) {
+  // A v1-era store must be refused outright -- its shards carry no
+  // per-cell operator fingerprint, so "just reading" it could silently
+  // serve verdicts of transfer functions that have since changed.
+  std::string Dir = makeCheckpointDir();
+  ASSERT_EQ(::mkdir(Dir.c_str(), 0755), 0);
+  {
+    std::FILE *File = std::fopen((Dir + "/campaign.manifest").c_str(), "w");
+    ASSERT_NE(File, nullptr);
+    std::fputs("tnums-campaign-manifest v1\n"
+               "fingerprint 00000000000000ab\nshards 4\n",
+               File);
+    std::fclose(File);
+  }
+  std::string Error;
+  EXPECT_FALSE(CheckpointStore::open(Dir, 0xab, 4, Error).has_value());
+  EXPECT_NE(Error.find("v1"), std::string::npos) << Error;
+
+  // A stray v1 shard inside an otherwise-v2 store is likewise a load
+  // error naming the version, not a generic parse failure.
+  std::string V2Dir = makeCheckpointDir();
+  std::optional<CheckpointStore> Store =
+      CheckpointStore::open(V2Dir, 0xab, 4, Error);
+  ASSERT_TRUE(Store.has_value()) << Error;
+  {
+    std::FILE *File =
+        std::fopen((V2Dir + "/shard-00000001.ckpt").c_str(), "w");
+    ASSERT_NE(File, nullptr);
+    std::fputs("tnums-campaign-shard v1\nfingerprint 00000000000000ab\n"
+               "shard 1\nterminal 0\npairs 1\n",
+               File);
+    std::fclose(File);
+  }
+  EXPECT_FALSE(Store->loadShard(1, Error).has_value());
+  EXPECT_NE(Error.find("v1"), std::string::npos) << Error;
+}
+
+TEST(Campaign, OpenSweepsOrphanedTempFilesButSparesLiveWriters) {
+  std::string Dir = makeCheckpointDir();
+  std::string Error;
+  ASSERT_TRUE(CheckpointStore::open(Dir, 0x1, 2, Error).has_value())
+      << Error;
+  // An old orphan from a writer whose pid cannot exist (beyond
+  // PID_MAX_LIMIT), a FRESH temp with the same dead pid (could be a
+  // remote farming machine's live writer -- the pid test is only
+  // meaningful locally), and a temp owned by THIS live process.
+  std::string Orphan = Dir + "/shard-00000000.ckpt.tmp.536870911.deadbeef";
+  std::string FreshDeadPid =
+      Dir + "/shard-00000000.ckpt.tmp.536870911.0badf00d";
+  std::string Live = Dir + "/shard-00000001.ckpt.tmp." +
+                     std::to_string(static_cast<long>(::getpid())) +
+                     ".00c0ffee";
+  for (const std::string &Path : {Orphan, FreshDeadPid, Live}) {
+    std::FILE *File = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(File, nullptr);
+    std::fputs("partial", File);
+    std::fclose(File);
+  }
+  // Age the orphan past the sweep's grace period (an hour is plenty).
+  struct utimbuf Old;
+  Old.actime = Old.modtime = ::time(nullptr) - 3600;
+  ASSERT_EQ(::utime(Orphan.c_str(), &Old), 0);
+  ASSERT_TRUE(CheckpointStore::open(Dir, 0x1, 2, Error).has_value())
+      << Error;
+  EXPECT_NE(::access(Orphan.c_str(), F_OK), 0)
+      << "dead writer's old temp survived the sweep";
+  EXPECT_EQ(::access(FreshDeadPid.c_str(), F_OK), 0)
+      << "fresh temp was swept inside the grace period";
+  EXPECT_EQ(::access(Live.c_str(), F_OK), 0)
+      << "live writer's temp was swept";
+  ::unlink(FreshDeadPid.c_str());
+  ::unlink(Live.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental re-verification across transfer-function changes
+//===----------------------------------------------------------------------===//
+
+/// our_mul, except one specific pair's result drops members -- the
+/// "changed (and now broken) multiplication" the incremental tests swap
+/// in. Re-verification must both RE-RUN the mul cells (not serve the old
+/// sound verdict from the store) and surface the new witness.
+Tnum brokenMul(const Tnum &P, const Tnum &Q, unsigned Width) {
+  Tnum R = applyAbstractBinary(BinaryOp::Mul, P, Q, Width);
+  Tnum BadP(1, 2); // 0b0?1: members {1, 3}
+  Tnum BadQ(0, 1); // 0b00?: members {0, 1}
+  if (P == BadP && Q == BadQ)
+    return Tnum(R.value(), 0); // Forget the unknown bits: drops members.
+  return R;
+}
+
+/// The spec the incremental tests run: mul cells of two algorithms plus
+/// non-mul neighbors, every property represented.
+CampaignSpec incrementalSpec() {
+  CampaignSpec Spec;
+  Spec.OptimalityEarlyExit = true;
+  Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, 4,
+                        CampaignProperty::Soundness});
+  Spec.Cells.push_back({BinaryOp::Xor, MulAlgorithm::Our, 4,
+                        CampaignProperty::Soundness});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Soundness}); // Index 2: the target.
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Kern, 4,
+                        CampaignProperty::Soundness});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Optimality});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Kern, 5,
+                        CampaignProperty::Monotonicity});
+  return Spec;
+}
+
+constexpr size_t ChangedCellIndex = 2; ///< Mul/Our soundness in the spec.
+
+/// incrementalSpec with our_mul's soundness "implementation changed" to
+/// brokenMul: same campaign shape, different cell fingerprint for exactly
+/// the Mul/Our soundness cell.
+CampaignSpec changedSpec() {
+  CampaignSpec Spec = incrementalSpec();
+  Spec.SoundnessOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
+    return brokenMul(P, Q, W);
+  };
+  Spec.OverrideTag = "our-mul-changed-v2";
+  Spec.OverrideOp = BinaryOp::Mul;
+  Spec.OverrideMul = MulAlgorithm::Our;
+  return Spec;
+}
+
+/// Field-wise comparison of two complete campaign results (the
+/// "incremental merge == from-scratch merge" bit-identity assertion).
+void expectSameCampaign(const CampaignResult &Want,
+                        const CampaignResult &Got) {
+  ASSERT_TRUE(Want.ok()) << Want.Error;
+  ASSERT_TRUE(Got.ok()) << Got.Error;
+  ASSERT_TRUE(Want.Complete);
+  ASSERT_TRUE(Got.Complete);
+  ASSERT_EQ(Want.Cells.size(), Got.Cells.size());
+  for (size_t I = 0; I != Want.Cells.size(); ++I) {
+    SCOPED_TRACE(testing::Message() << "cell " << I);
+    switch (Want.Cells[I].Cell.Property) {
+    case CampaignProperty::Soundness:
+      expectSameSoundness(Want.Cells[I].Soundness, Got.Cells[I].Soundness);
+      break;
+    case CampaignProperty::Optimality:
+      expectSameOptimality(Want.Cells[I].Optimality,
+                           Got.Cells[I].Optimality);
+      break;
+    case CampaignProperty::Monotonicity:
+      expectSameMonotonicity(Want.Cells[I].Monotonicity,
+                             Got.Cells[I].Monotonicity);
+      break;
+    }
+  }
+}
+
+TEST(Campaign, IncrementalResumeReRunsOnlyTheChangedCells) {
+  CampaignSpec Spec = incrementalSpec();
+  std::string Dir = makeCheckpointDir();
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997; // Prime: shard edges never align with grid rows.
+  CampaignResult Baseline = runCampaign(Spec, IO, kConfigs[1]);
+  ASSERT_TRUE(Baseline.ok()) << Baseline.Error;
+  ASSERT_TRUE(Baseline.Complete);
+  ASSERT_TRUE(Baseline.Cells[ChangedCellIndex].holds());
+
+  // "The kernel swapped its mul algorithm": resume the SAME directory
+  // with the changed spec, on a different scheduler for good measure.
+  CampaignSpec Changed = changedSpec();
+  CampaignIO ResumeIO = IO;
+  ResumeIO.Resume = true;
+  CampaignResult Inc = runCampaign(Changed, ResumeIO, kConfigs[2]);
+  ASSERT_TRUE(Inc.ok()) << Inc.Error;
+  ASSERT_TRUE(Inc.Complete);
+
+  // Executed-cell accounting: ONLY the changed cell was invalidated and
+  // re-run; every other cell was served from the store wholesale.
+  EXPECT_GT(Inc.ShardsInvalidated, 0u);
+  for (size_t I = 0; I != Inc.Cells.size(); ++I) {
+    SCOPED_TRACE(testing::Message() << "cell " << I);
+    const CampaignCellResult &Cell = Inc.Cells[I];
+    if (I == ChangedCellIndex) {
+      EXPECT_GT(Cell.ShardsRun, 0u);
+      EXPECT_EQ(Cell.ShardsInvalidated, Cell.ShardsRun);
+      EXPECT_EQ(Cell.ShardsResumed, 0u);
+    } else {
+      EXPECT_EQ(Cell.ShardsRun, 0u);
+      EXPECT_EQ(Cell.ShardsInvalidated, 0u);
+      EXPECT_EQ(Cell.ShardsResumed, Cell.ShardsMerged);
+    }
+  }
+
+  // The re-run really used the new implementation: the changed cell now
+  // carries the broken mul's witness, with exact serial-prefix counters.
+  ASSERT_TRUE(Inc.Cells[ChangedCellIndex].Soundness.Failure.has_value());
+  SweepConfig Serial{/*NumThreads=*/1, /*ChunkPairs=*/1};
+  SoundnessReport Want = checkSoundnessExhaustiveParallel(
+      BinaryOp::Mul,
+      [](const Tnum &P, const Tnum &Q) { return brokenMul(P, Q, 4); },
+      /*Width=*/4, Serial);
+  expectSameSoundness(Want, Inc.Cells[ChangedCellIndex].Soundness);
+
+  // And the merged report is bit-identical to a from-scratch run of the
+  // changed spec -- reused cells and recomputed cells merge alike.
+  CampaignIO FreshIO;
+  FreshIO.ShardPairs = IO.ShardPairs;
+  CampaignResult Fresh = runCampaign(Changed, FreshIO, kConfigs[0]);
+  expectSameCampaign(Fresh, Inc);
+}
+
+TEST(Campaign, KillMidIncrementalResumeStaysBitIdentical) {
+  CampaignSpec Spec = incrementalSpec();
+  std::string Dir = makeCheckpointDir();
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997;
+  ASSERT_TRUE(runCampaign(Spec, IO, kConfigs[0]).Complete);
+
+  // Kill the incremental re-run after one shard (some stale shards may
+  // already be GC'd but not yet recomputed -- that must not matter)...
+  CampaignSpec Changed = changedSpec();
+  CampaignIO KillIO = IO;
+  KillIO.Resume = true;
+  KillIO.MaxShardsThisRun = 1;
+  CampaignResult Killed = runCampaign(Changed, KillIO, kConfigs[1]);
+  ASSERT_TRUE(Killed.ok()) << Killed.Error;
+  EXPECT_EQ(Killed.ShardsRun, 1u);
+
+  // ...then resume to completion under yet another scheduler.
+  CampaignIO ResumeIO = IO;
+  ResumeIO.Resume = true;
+  CampaignResult Inc = runCampaign(Changed, ResumeIO, kConfigs[2]);
+  ASSERT_TRUE(Inc.ok()) << Inc.Error;
+  ASSERT_TRUE(Inc.Complete);
+
+  CampaignIO FreshIO;
+  FreshIO.ShardPairs = IO.ShardPairs;
+  CampaignResult Fresh = runCampaign(Changed, FreshIO, kConfigs[0]);
+  expectSameCampaign(Fresh, Inc);
+
+  // The unchanged cells were still never recomputed across BOTH
+  // incremental invocations.
+  for (size_t I = 0; I != Inc.Cells.size(); ++I) {
+    if (I == ChangedCellIndex)
+      continue;
+    EXPECT_EQ(Killed.Cells[I].ShardsRun + Inc.Cells[I].ShardsRun, 0u)
+        << "cell " << I;
+  }
+}
+
+TEST(Campaign, DiffBaselineReportsReuseAndVerdictChanges) {
+  CampaignSpec Spec = incrementalSpec();
+  std::string Dir = makeCheckpointDir();
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997;
+  ASSERT_TRUE(runCampaign(Spec, IO, kConfigs[1]).Complete);
+
+  // Current state of the world: the changed spec, run in memory.
+  CampaignSpec Changed = changedSpec();
+  CampaignIO MemIO;
+  MemIO.ShardPairs = IO.ShardPairs;
+  CampaignResult Current = runCampaign(Changed, MemIO, kConfigs[0]);
+  ASSERT_TRUE(Current.Complete);
+
+  CampaignDiffResult Diff =
+      diffCampaignBaseline(Changed, MemIO, Dir, Current);
+  ASSERT_TRUE(Diff.ok()) << Diff.Error;
+  ASSERT_EQ(Diff.Cells.size(), Changed.Cells.size());
+  EXPECT_EQ(Diff.CellsReused, Changed.Cells.size() - 1);
+  EXPECT_EQ(Diff.CellsRerun, 1u);
+  EXPECT_EQ(Diff.CellsVerdictChanged, 1u);
+  for (size_t I = 0; I != Diff.Cells.size(); ++I) {
+    SCOPED_TRACE(testing::Message() << "cell " << I);
+    const CampaignCellDiff &Cell = Diff.Cells[I];
+    EXPECT_TRUE(Cell.InBaseline);
+    EXPECT_TRUE(Cell.BaselineComplete);
+    if (I == ChangedCellIndex) {
+      EXPECT_FALSE(Cell.Reused);
+      EXPECT_TRUE(Cell.VerdictChanged); // Sound before, witness now.
+      EXPECT_TRUE(Cell.ReportChanged);
+      EXPECT_TRUE(Cell.Baseline.holds());
+    } else {
+      EXPECT_TRUE(Cell.Reused);
+      EXPECT_FALSE(Cell.VerdictChanged);
+      EXPECT_FALSE(Cell.ReportChanged);
+    }
+  }
+
+  // A baseline of a different shape (different ShardPairs) is refused.
+  CampaignIO OtherIO = MemIO;
+  OtherIO.ShardPairs = 500;
+  CampaignResult OtherCurrent = runCampaign(Changed, OtherIO, kConfigs[0]);
+  EXPECT_FALSE(
+      diffCampaignBaseline(Changed, OtherIO, Dir, OtherCurrent).ok());
+
+  // A nonexistent baseline path is a hard error -- and is NOT created (a
+  // typo must not fabricate an empty store and report a clean diff).
+  std::string Typo = Dir + "-typo";
+  CampaignDiffResult Bad =
+      diffCampaignBaseline(Changed, MemIO, Typo, Current);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(::access(Typo.c_str(), F_OK), 0)
+      << "--diff-baseline created the mistyped directory";
 }
 
 } // namespace

@@ -169,6 +169,87 @@ TEST(Service, StopAtFirstRejectMatchesSerialOrderFirstReject) {
   }
 }
 
+TEST(Service, StopAtFirstRejectWithDedupKeepsSerialFirstIndex) {
+  // StopAtFirstReject x DedupPrograms: dedup compacts the batch into a
+  // unique stream before chunking, so the rejecting program's scheduled
+  // (canonical) instance can sit in a different chunk -- and a different
+  // pool worker -- than its request index suggests, and its duplicates
+  // elsewhere in the batch are backfilled, not run. FirstRejected must
+  // still be the exact serial-order first rejected REQUEST index.
+  std::vector<VerifyRequest> Base = makeBatch(99, 40, GenProfile::AluMix);
+  for (VerifyRequest &Request : makeBatch(17, 400))
+    Base.push_back(std::move(Request));
+  BatchResult Probe = VerificationService(ServiceConfig()).verifyBatch(Base);
+  ASSERT_TRUE(Probe.FirstRejected.has_value())
+      << "batch has no reject; pick another seed";
+  size_t BaseFirst = *Probe.FirstRejected;
+  ASSERT_GT(BaseFirst, 2u) << "need accepted programs before the reject";
+
+  // Skew the unique stream: duplicates of early ACCEPTED programs before
+  // the first reject (they dedup away, shifting every later unique
+  // position), and duplicates of the rejecting program itself later in
+  // the batch (their canonical instance is the serial-first reject).
+  std::vector<VerifyRequest> Requests;
+  for (size_t I = 0; I != Base.size(); ++I) {
+    if (I < BaseFirst && I % 3 == 0)
+      Requests.push_back(Base[I % 2]); // Duplicate of an accepted program.
+    Requests.push_back(Base[I]);
+    if (I == BaseFirst + 50 || I + 1 == Base.size())
+      Requests.push_back(Base[BaseFirst]); // Late duplicate of the reject.
+  }
+
+  // Ground truth: full scan, dedup off.
+  ServiceConfig FullConfig;
+  FullConfig.DedupPrograms = false;
+  BatchResult Full = VerificationService(FullConfig).verifyBatch(Requests);
+  ASSERT_TRUE(Full.FirstRejected.has_value());
+
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    for (uint64_t Chunk : {uint64_t(1), uint64_t(7), uint64_t(16)}) {
+      SCOPED_TRACE(testing::Message()
+                   << "jobs " << Jobs << " chunk " << Chunk);
+      ServiceConfig Config;
+      Config.NumThreads = Jobs;
+      Config.ChunkPrograms = Chunk;
+      Config.StopAtFirstReject = true;
+      Config.DedupPrograms = true;
+      BatchResult Stopped =
+          VerificationService(Config).verifyBatch(Requests);
+      ASSERT_TRUE(Stopped.FirstRejected.has_value());
+      EXPECT_EQ(*Stopped.FirstRejected, *Full.FirstRejected);
+      // Every request at or below the witness is filled, and agrees with
+      // the full scan.
+      for (size_t I = 0; I <= *Full.FirstRejected; ++I) {
+        ASSERT_TRUE(Stopped.Results[I].Done) << "index " << I;
+        EXPECT_EQ(Stopped.Results[I].Accepted, Full.Results[I].Accepted)
+            << "index " << I;
+      }
+    }
+  }
+}
+
+TEST(Service, FuzzFlagsZeroCoverageCampaigns) {
+  // A step budget so small every accepted program exhausts it on every
+  // run: individually tolerated (oracle 1's StepLimit contract), but the
+  // campaign as a whole checked nothing and must say so instead of
+  // reporting a vacuous clean pass.
+  FuzzConfig Config;
+  Config.Programs = 60;
+  Config.StepLimit = 1;
+  FuzzReport Report = runDifferentialFuzz(0xF00D, Config);
+  ASSERT_GT(Report.Accepted, 0u);
+  EXPECT_EQ(Report.ZeroCoveragePrograms, Report.Accepted);
+  EXPECT_FALSE(Report.clean());
+  ASSERT_EQ(Report.Findings.size(), 1u);
+  EXPECT_EQ(Report.Findings[0].Kind, "zero-coverage-campaign");
+
+  // The same campaign with a real budget has coverage and is clean.
+  Config.StepLimit = 1 << 20;
+  FuzzReport Healthy = runDifferentialFuzz(0xF00D, Config);
+  EXPECT_LT(Healthy.ZeroCoveragePrograms, Healthy.Accepted);
+  EXPECT_TRUE(Healthy.clean()) << Healthy.toString();
+}
+
 TEST(Service, DifferentialFuzzSmokeFindsNothing) {
   // The default-tier fuzz smoke from the issue checklist: N ~= 500
   // programs across the whole scenario space, mutants included, on the
@@ -265,6 +346,7 @@ TEST(Service, FuzzReportIsDeterministic) {
   EXPECT_EQ(A.RejectedSemantic, B.RejectedSemantic);
   EXPECT_EQ(A.ConcreteRuns, B.ConcreteRuns);
   EXPECT_EQ(A.StepLimitRuns, B.StepLimitRuns);
+  EXPECT_EQ(A.ZeroCoveragePrograms, B.ZeroCoveragePrograms);
   EXPECT_EQ(A.Findings.size(), B.Findings.size());
 }
 
