@@ -1,0 +1,406 @@
+//===- bench/daemon_throughput.cpp - tnumsd closed-loop latency bench -----===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-loop multi-client driver for the verification daemon
+/// (service/Daemon.h): N clients each submit the same seeded program
+/// stream in a client-specific shuffled order, one request outstanding
+/// per client, absorbing Busy backpressure by retrying. Reports p50/p99
+/// request latency and saturation throughput, and enforces the service's
+/// determinism contract:
+///
+///  * every client's verdict stream, reassembled into canonical request
+///    order, must produce the same verdictFingerprint as every other
+///    client's, regardless of interleaving, and
+///  * that fingerprint must be bit-identical to the in-process
+///    VerificationService verifying the same requests (unless --connect
+///    points at an external daemon whose version fingerprint differs).
+///
+/// The run fails (exit 1) on any divergence -- this is the bench leg of
+/// tests/DaemonTest.cpp's identity battery, sized for CI smoke runs.
+///
+/// Usage: daemon_throughput [--clients N] [--programs N] [--seed S]
+///                          [--profile {alu,bounds,packet,loops,mixed}]
+///                          [--mem N] [--jobs N] [--cache DIR]
+///                          [--connect PATH] [--socket PATH] [--json FILE]
+///
+///   --connect PATH  drive an already-running daemon instead of spawning
+///                   one in-process (its stats deltas are still queried).
+///   --socket PATH   socket path for the in-process daemon (default:
+///                   /tmp/tnumsd-bench-<pid>.sock).
+///   --jobs N        in-process daemon worker threads (0 = hardware).
+///   --cache DIR     verdict-cache directory for the in-process daemon.
+///   --json FILE     machine-readable dump (BENCH_daemon.json): latency
+///                   percentiles, throughput, fingerprints, stats deltas.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Daemon.h"
+#include "service/DaemonClient.h"
+#include "service/ProgramGen.h"
+#include "service/VerificationService.h"
+#include "support/ArgParse.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace tnums;
+using namespace tnums::service;
+
+namespace {
+
+/// What one client brings back: canonical-order results plus its raw
+/// request latencies.
+struct ClientRun {
+  std::vector<VerifyResult> Results; ///< Indexed like the request stream.
+  std::vector<double> LatenciesMs;
+  uint64_t CacheHits = 0;
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Client-specific deterministic shuffle (SplitMix64-driven Fisher-Yates)
+/// so interleavings differ across clients but never across runs.
+std::vector<size_t> shuffledOrder(size_t Count, uint64_t Seed) {
+  std::vector<size_t> Order(Count);
+  for (size_t Index = 0; Index != Count; ++Index)
+    Order[Index] = Index;
+  uint64_t State = Seed;
+  auto Next = [&State] {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  };
+  for (size_t Index = Count; Index > 1; --Index)
+    std::swap(Order[Index - 1], Order[Next() % Index]);
+  return Order;
+}
+
+void runClient(const std::string &SocketPath, unsigned ClientIndex,
+               uint64_t Seed, const std::vector<VerifyRequest> &Requests,
+               ClientRun &Out) {
+  Out.Results.resize(Requests.size());
+  Out.LatenciesMs.reserve(Requests.size());
+  std::string Tenant = formatString("client%u", ClientIndex);
+  std::optional<DaemonClient> Client = DaemonClient::connectUnixSocket(
+      SocketPath, Tenant, /*TimeoutMs=*/5000, Out.Error);
+  if (!Client)
+    return;
+  std::vector<size_t> Order =
+      shuffledOrder(Requests.size(), Seed ^ (0xC11E47ull + ClientIndex));
+  using Clock = std::chrono::steady_clock;
+  for (size_t Index : Order) {
+    Clock::time_point Start = Clock::now();
+    VerdictMsg Verdict;
+    if (!Client->submitWithRetry(Requests[Index], /*Priority=*/0,
+                                 /*TimeoutMs=*/120000, Verdict, Out.Error))
+      return;
+    std::chrono::duration<double, std::milli> Elapsed = Clock::now() - Start;
+    Out.LatenciesMs.push_back(Elapsed.count());
+    if (Verdict.CacheHit)
+      ++Out.CacheHits;
+    Out.Results[Index] = verdictToResult(Verdict);
+  }
+  Out.Ok = true;
+}
+
+double percentile(std::vector<double> Sorted, double Fraction) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Rank = static_cast<size_t>(Fraction * (Sorted.size() - 1));
+  return Sorted[Rank];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Clients = 4;
+  uint64_t Programs = 2000;
+  uint64_t Seed = 2022;
+  uint64_t MemSize = 32;
+  unsigned Jobs = 0;
+  const char *ProfileText = "mixed";
+  const char *ConnectPath = nullptr;
+  const char *SocketPathText = nullptr;
+  const char *CacheDir = nullptr;
+  const char *JsonPath = nullptr;
+
+  ArgParser Args(Argc, Argv);
+  while (Args.more()) {
+    if (Args.matchU64("--clients", 1, 256, Clients))
+      continue;
+    if (Args.matchU64("--programs", 1, uint64_t(1) << 24, Programs))
+      continue;
+    if (Args.matchU64("--seed", 0, UINT64_MAX, Seed))
+      continue;
+    if (Args.matchU64("--mem", 16, uint64_t(1) << 20, MemSize))
+      continue;
+    if (Args.matchJobs(Jobs))
+      continue;
+    if (Args.matchString("--profile", ProfileText))
+      continue;
+    if (Args.matchString("--connect", ConnectPath))
+      continue;
+    if (Args.matchString("--socket", SocketPathText))
+      continue;
+    if (Args.matchString("--cache", CacheDir))
+      continue;
+    if (Args.matchString("--json", JsonPath))
+      continue;
+    Args.reject();
+  }
+  std::optional<GenProfile> Profile =
+      Args.failed() ? std::nullopt : parseGenProfile(ProfileText);
+  if (!Profile) {
+    std::fprintf(stderr,
+                 "usage: %s [--clients N] [--programs N] [--seed S] "
+                 "[--profile {alu,bounds,packet,loops,mixed}] [--mem N] "
+                 "[--jobs 0..1024] [--cache DIR] [--connect PATH] "
+                 "[--socket PATH] [--json FILE]\n",
+                 Argv[0]);
+    return 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // The shared request stream: every client submits exactly these, in its
+  // own shuffled order.
+  //===--------------------------------------------------------------------===//
+  GenOptions Gen;
+  Gen.Profile = *Profile;
+  Gen.MemSize = MemSize;
+  ProgramGen Generator(Seed, Gen);
+  std::vector<VerifyRequest> Requests;
+  Requests.reserve(Programs);
+  for (uint64_t Index = 0; Index != Programs; ++Index) {
+    VerifyRequest Request;
+    Request.Prog = Generator.next();
+    Request.MemSize = MemSize;
+    Requests.push_back(std::move(Request));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Daemon: external (--connect) or spawned in-process.
+  //===--------------------------------------------------------------------===//
+  std::string SocketPath;
+  std::optional<Daemon> Spawned;
+  std::thread DaemonThread;
+  std::string DaemonError;
+  if (ConnectPath) {
+    SocketPath = ConnectPath;
+  } else {
+    SocketPath = SocketPathText
+                     ? std::string(SocketPathText)
+                     : formatString("/tmp/tnumsd-bench-%d.sock", int(getpid()));
+    DaemonConfig Config;
+    Config.SocketPath = SocketPath;
+    Config.NumThreads = Jobs;
+    Config.CacheDir = CacheDir ? CacheDir : "";
+    std::string Error;
+    Spawned = Daemon::create(Config, Error);
+    if (!Spawned) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    DaemonThread = std::thread(
+        [&] { Spawned->run(DaemonError); });
+  }
+
+  std::printf("daemon throughput: %llu clients x %llu %s-profile programs "
+              "(seed %llu) against %s\n\n",
+              static_cast<unsigned long long>(Clients),
+              static_cast<unsigned long long>(Programs),
+              genProfileName(*Profile),
+              static_cast<unsigned long long>(Seed), SocketPath.c_str());
+
+  //===--------------------------------------------------------------------===//
+  // Stats before, clients, stats after.
+  //===--------------------------------------------------------------------===//
+  StatsReplyMsg StatsBefore, StatsAfter;
+  bool HaveStats = false;
+  {
+    std::string Error;
+    std::optional<DaemonClient> Probe = DaemonClient::connectUnixSocket(
+        SocketPath, "bench-probe", /*TimeoutMs=*/5000, Error);
+    if (!Probe) {
+      std::fprintf(stderr, "error: cannot reach daemon: %s\n", Error.c_str());
+      if (Spawned) {
+        Spawned->requestStop();
+        DaemonThread.join();
+      }
+      return 1;
+    }
+    HaveStats = Probe->queryStats(StatsBefore, Error);
+  }
+
+  std::vector<ClientRun> Runs(Clients);
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point WallStart = Clock::now();
+  {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    for (uint64_t Index = 0; Index != Clients; ++Index)
+      Threads.emplace_back(runClient, SocketPath,
+                           static_cast<unsigned>(Index), Seed,
+                           std::cref(Requests), std::ref(Runs[Index]));
+    for (std::thread &Thread : Threads)
+      Thread.join();
+  }
+  std::chrono::duration<double> Wall = Clock::now() - WallStart;
+
+  {
+    std::string Error;
+    std::optional<DaemonClient> Probe = DaemonClient::connectUnixSocket(
+        SocketPath, "bench-probe", /*TimeoutMs=*/5000, Error);
+    if (Probe && HaveStats)
+      HaveStats = Probe->queryStats(StatsAfter, Error);
+    else
+      HaveStats = false;
+  }
+
+  if (Spawned && !ConnectPath) {
+    Spawned->requestStop();
+    DaemonThread.join();
+    if (!DaemonError.empty())
+      std::fprintf(stderr, "warning: daemon loop: %s\n", DaemonError.c_str());
+  }
+
+  for (uint64_t Index = 0; Index != Clients; ++Index)
+    if (!Runs[Index].Ok) {
+      std::fprintf(stderr, "error: client %llu failed: %s\n",
+                   static_cast<unsigned long long>(Index),
+                   Runs[Index].Error.c_str());
+      return 1;
+    }
+
+  //===--------------------------------------------------------------------===//
+  // Identity: every client's canonical-order fingerprint, plus the
+  // in-process engine on the same stream.
+  //===--------------------------------------------------------------------===//
+  std::vector<uint64_t> Fingerprints;
+  uint64_t TotalCacheHits = 0;
+  for (ClientRun &Run : Runs) {
+    BatchResult Batch;
+    Batch.Results = std::move(Run.Results);
+    Fingerprints.push_back(verdictFingerprint(Batch));
+    TotalCacheHits += Run.CacheHits;
+  }
+  bool ClientsAgree = true;
+  for (uint64_t Print : Fingerprints)
+    ClientsAgree &= Print == Fingerprints.front();
+
+  ServiceConfig Reference;
+  Reference.NumThreads = Jobs;
+  BatchResult InProcess = VerificationService(Reference).verifyBatch(Requests);
+  uint64_t InProcessFingerprint = verdictFingerprint(InProcess);
+  bool MatchesInProcess = Fingerprints.front() == InProcessFingerprint;
+
+  //===--------------------------------------------------------------------===//
+  // Latency distribution and throughput.
+  //===--------------------------------------------------------------------===//
+  std::vector<double> Latencies;
+  for (const ClientRun &Run : Runs)
+    Latencies.insert(Latencies.end(), Run.LatenciesMs.begin(),
+                     Run.LatenciesMs.end());
+  std::sort(Latencies.begin(), Latencies.end());
+  double P50 = percentile(Latencies, 0.50);
+  double P99 = percentile(Latencies, 0.99);
+  uint64_t TotalVerdicts = Clients * Programs;
+  double Throughput =
+      Wall.count() > 0 ? static_cast<double>(TotalVerdicts) / Wall.count() : 0;
+
+  TextTable Table({"clients", "verdicts", "seconds", "verdicts/s", "p50 ms",
+                   "p99 ms", "cache hits"});
+  Table.addRowOf(static_cast<unsigned>(Clients),
+                 formatString("%llu",
+                              static_cast<unsigned long long>(TotalVerdicts)),
+                 formatString("%.3f", Wall.count()),
+                 formatString("%.0f", Throughput), formatString("%.3f", P50),
+                 formatString("%.3f", P99),
+                 formatString("%llu",
+                              static_cast<unsigned long long>(TotalCacheHits)));
+  Table.printAligned(stdout);
+
+  uint64_t AnalysesDelta =
+      HaveStats ? StatsAfter.Analyses - StatsBefore.Analyses : 0;
+  uint64_t CacheHitsDelta =
+      HaveStats ? StatsAfter.cacheHits() - StatsBefore.cacheHits() : 0;
+  uint64_t BusyDelta = HaveStats ? (StatsAfter.BusyPool + StatsAfter.BusyQuota) -
+                                       (StatsBefore.BusyPool + StatsBefore.BusyQuota)
+                                 : 0;
+  if (HaveStats)
+    std::printf("\ndaemon stats delta: %llu analyses, %llu cache hits, "
+                "%llu busy replies\n",
+                static_cast<unsigned long long>(AnalysesDelta),
+                static_cast<unsigned long long>(CacheHitsDelta),
+                static_cast<unsigned long long>(BusyDelta));
+  std::printf("identity: clients %s; in-process engine %s (fingerprint "
+              "%016llx)\n",
+              ClientsAgree ? "bit-identical" : "DIVERGED",
+              MatchesInProcess ? "bit-identical" : "DIVERGED",
+              static_cast<unsigned long long>(InProcessFingerprint));
+
+  //===--------------------------------------------------------------------===//
+  // Machine-readable dump for the CI perf-trajectory artifact.
+  //===--------------------------------------------------------------------===//
+  if (JsonPath) {
+    std::FILE *Json = std::fopen(JsonPath, "w");
+    if (!Json) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(Json,
+                 "{\n"
+                 "  \"bench\": \"daemon_throughput\",\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"profile\": \"%s\",\n"
+                 "  \"clients\": %llu,\n"
+                 "  \"programs\": %llu,\n"
+                 "  \"mem_size\": %llu,\n"
+                 "  \"total_verdicts\": %llu,\n"
+                 "  \"seconds\": %.6f,\n"
+                 "  \"verdicts_per_s\": %.1f,\n"
+                 "  \"latency_p50_ms\": %.6f,\n"
+                 "  \"latency_p99_ms\": %.6f,\n"
+                 "  \"cache_hits\": %llu,\n"
+                 "  \"analyses_delta\": %llu,\n"
+                 "  \"cache_hits_delta\": %llu,\n"
+                 "  \"busy_delta\": %llu,\n"
+                 "  \"deterministic\": %s,\n"
+                 "  \"matches_in_process\": %s,\n"
+                 "  \"verdict_fingerprint\": \"%016llx\"\n"
+                 "}\n",
+                 static_cast<unsigned long long>(Seed),
+                 genProfileName(*Profile),
+                 static_cast<unsigned long long>(Clients),
+                 static_cast<unsigned long long>(Programs),
+                 static_cast<unsigned long long>(MemSize),
+                 static_cast<unsigned long long>(TotalVerdicts), Wall.count(),
+                 Throughput, P50, P99,
+                 static_cast<unsigned long long>(TotalCacheHits),
+                 static_cast<unsigned long long>(AnalysesDelta),
+                 static_cast<unsigned long long>(CacheHitsDelta),
+                 static_cast<unsigned long long>(BusyDelta),
+                 ClientsAgree ? "true" : "false",
+                 MatchesInProcess ? "true" : "false",
+                 static_cast<unsigned long long>(Fingerprints.front()));
+    std::fclose(Json);
+    std::printf("\nwrote %s\n", JsonPath);
+  }
+
+  return ClientsAgree && MatchesInProcess ? 0 : 1;
+}

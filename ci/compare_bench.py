@@ -1,23 +1,34 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for BENCH_verifier.json.
+"""CI perf-regression gate for the committed bench baselines.
 
-Compares the verifier-throughput numbers a CI run just produced against
-the committed snapshot in bench/baselines/. Two classes of check:
+Compares the JSON a CI bench run just produced against the committed
+snapshot in bench/baselines/. The gate dispatches on the "bench" key and
+applies two classes of check to each harness:
 
  * Verdict identity (exact): the generator is seeded and every verdict is
    a pure function of its program, so accepted/rejected counts, the
-   verdict fingerprint, insn visits, and the determinism flag must match
-   the baseline bit for bit on ANY machine. A mismatch means the analyzer
-   or generator semantics changed -- refresh the baseline deliberately
+   verdict fingerprint, and the determinism flags must match the baseline
+   bit for bit on ANY machine. A mismatch means the analyzer, generator,
+   or wire-protocol semantics changed -- refresh the baseline deliberately
    (rerun the bench with the baseline's command line and commit the new
    JSON) or find the bug.
 
- * Throughput (generous tolerance): CI runners vary wildly, so the gate
-   only fails when single-job programs/s falls below ``--min-throughput-
-   ratio`` (default 0.4) of the baseline -- a 2.5x slowdown. That catches
-   accidental algorithmic regressions (e.g. losing the per-worker engine
-   reuse) while shrugging off runner noise. Tune the ratio per workflow
-   if a runner class proves noisier.
+ * Performance (generous tolerance): CI runners vary wildly, so the gate
+   only fails when throughput falls below ``--min-throughput-ratio``
+   (default 0.4) of the baseline -- a 2.5x slowdown -- or, for the daemon
+   bench, when p99 latency balloons past the reciprocal multiple of the
+   baseline. That catches accidental algorithmic regressions (losing
+   per-worker engine reuse, an accidental O(clients) scan in the event
+   loop) while shrugging off runner noise. Tune the ratio per workflow if
+   a runner class proves noisier.
+
+Supported "bench" values:
+
+ * ``verifier_throughput`` (also the default when the key is absent, for
+   pre-daemon baselines): exact verdict counts + jobs=1 scaling floor.
+ * ``daemon_throughput``: exact fingerprint/identity flags, p50/p99
+   latency sanity (present, positive, ordered), saturation-throughput
+   floor and p99 ceiling.
 
 Exit status: 0 ok, 1 regression, 2 usage/IO error.
 """
@@ -36,33 +47,14 @@ def load(path):
         sys.exit(2)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="BENCH_verifier.json from this run")
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument(
-        "--min-throughput-ratio",
-        type=float,
-        default=0.4,
-        help="fail if jobs=1 programs/s drops below this fraction of the "
-        "baseline (default %(default)s; generous on purpose)",
-    )
-    args = parser.parse_args()
-
-    current = load(args.current)
-    baseline = load(args.baseline)
-    failures = []
-
-    def same(key):
+def check_workload(current, baseline, keys, failures):
+    """The workload must be the same experiment before numbers compare."""
+    for key in keys:
         if current.get(key) != baseline.get(key):
             failures.append(
                 f"{key}: current {current.get(key)!r} != baseline "
                 f"{baseline.get(key)!r}"
             )
-
-    # The workload must be the same experiment before numbers compare.
-    for key in ("bench", "seed", "profile", "programs", "mem_size"):
-        same(key)
     if failures:
         print("bench gate: baseline and run are DIFFERENT experiments:")
         for failure in failures:
@@ -71,7 +63,18 @@ def main():
             "refresh bench/baselines/ with the workflow's exact bench "
             "command if the workload change was intentional"
         )
-        return 1
+    return not failures
+
+
+def gate_verifier(current, baseline, args):
+    failures = []
+    if not check_workload(
+        current,
+        baseline,
+        ("bench", "seed", "profile", "programs", "mem_size"),
+        failures,
+    ):
+        return failures
 
     # Machine-independent semantics: exact.
     for key in (
@@ -83,7 +86,11 @@ def main():
         "verdict_fingerprint",
         "deterministic",
     ):
-        same(key)
+        if current.get(key) != baseline.get(key):
+            failures.append(
+                f"{key}: current {current.get(key)!r} != baseline "
+                f"{baseline.get(key)!r}"
+            )
 
     # Machine-dependent throughput: generous floor on the jobs=1 point
     # (every run records it; higher job counts depend on runner cores).
@@ -108,13 +115,119 @@ def main():
                 f"jobs=1 throughput regressed to {ratio:.2f}x of baseline "
                 f"(floor {floor})"
             )
+    return failures
 
+
+def gate_daemon(current, baseline, args):
+    failures = []
+    if not check_workload(
+        current,
+        baseline,
+        ("bench", "seed", "profile", "clients", "programs", "mem_size"),
+        failures,
+    ):
+        return failures
+
+    # Machine-independent semantics: exact. The fingerprint covers every
+    # verdict field; deterministic/matches_in_process are the bench's own
+    # cross-client and daemon-vs-in-process identity checks and must hold
+    # on every machine, not merely match the baseline.
+    for key in ("total_verdicts", "verdict_fingerprint"):
+        if current.get(key) != baseline.get(key):
+            failures.append(
+                f"{key}: current {current.get(key)!r} != baseline "
+                f"{baseline.get(key)!r}"
+            )
+    for key in ("deterministic", "matches_in_process"):
+        if current.get(key) is not True:
+            failures.append(f"{key} is {current.get(key)!r}, expected true")
+
+    # Latency sanity: the fields must exist, be positive, and be ordered.
+    # (A zero p50 means the bench stopped measuring; a p50 above p99 means
+    # the percentile math broke.)
+    p50 = current.get("latency_p50_ms")
+    p99 = current.get("latency_p99_ms")
+    if not isinstance(p50, (int, float)) or p50 <= 0:
+        failures.append(f"latency_p50_ms is {p50!r}, expected > 0")
+    if not isinstance(p99, (int, float)) or p99 <= 0:
+        failures.append(f"latency_p99_ms is {p99!r}, expected > 0")
+    if (
+        isinstance(p50, (int, float))
+        and isinstance(p99, (int, float))
+        and p50 > p99
+    ):
+        failures.append(f"latency_p50_ms {p50} > latency_p99_ms {p99}")
+
+    # Machine-dependent perf, generous in both directions: saturation
+    # throughput may not fall below the floor fraction of the baseline,
+    # and p99 latency may not balloon past the reciprocal multiple.
+    floor = args.min_throughput_ratio
+    current_rate = current.get("verdicts_per_s", 0.0)
+    baseline_rate = baseline.get("verdicts_per_s", 0.0)
+    if baseline_rate and floor > 0:
+        ratio = current_rate / baseline_rate
+        print(
+            f"bench gate: saturation throughput {current_rate:.0f} "
+            f"verdicts/s vs baseline {baseline_rate:.0f} "
+            f"({ratio:.2f}x, floor {floor})"
+        )
+        if ratio < floor:
+            failures.append(
+                f"saturation throughput regressed to {ratio:.2f}x of "
+                f"baseline (floor {floor})"
+            )
+    baseline_p99 = baseline.get("latency_p99_ms", 0.0)
+    if baseline_p99 and floor > 0 and isinstance(p99, (int, float)):
+        ceiling = baseline_p99 / floor
+        print(
+            f"bench gate: p99 latency {p99:.3f} ms vs baseline "
+            f"{baseline_p99:.3f} (ceiling {ceiling:.3f})"
+        )
+        if p99 > ceiling:
+            failures.append(
+                f"p99 latency regressed to {p99:.3f} ms "
+                f"(ceiling {ceiling:.3f} = baseline / {floor})"
+            )
+    return failures
+
+
+GATES = {
+    "verifier_throughput": gate_verifier,
+    "daemon_throughput": gate_daemon,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="bench JSON from this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--min-throughput-ratio",
+        type=float,
+        default=0.4,
+        help="fail if throughput drops below this fraction of the baseline "
+        "(and, for the daemon bench, if p99 latency exceeds baseline "
+        "divided by it); default %(default)s, generous on purpose; 0 "
+        "disables the perf checks (debug/sanitizer legs)",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    name = baseline.get("bench", "verifier_throughput")
+    gate = GATES.get(name)
+    if gate is None:
+        print(f"error: no gate for bench {name!r}", file=sys.stderr)
+        return 2
+
+    failures = gate(current, baseline, args)
     if failures:
         print("bench gate: REGRESSION detected:")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("bench gate: ok (verdicts identical, throughput within tolerance)")
+    print("bench gate: ok (verdicts identical, performance within tolerance)")
     return 0
 
 

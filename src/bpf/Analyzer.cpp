@@ -14,6 +14,12 @@
 using namespace tnums;
 using namespace tnums::bpf;
 
+const char *tnums::bpf::analyzerVersionTag() {
+  // Bump on ANY verdict-affecting change (transfer semantics, violation
+  // wording, worklist order changing InsnVisits, widening policy).
+  return "worklist-rpo-widening-2025-08";
+}
+
 Analyzer::Analyzer(const Program &ProgV, Options OptsV)
     : Prog(&ProgV), Graph(ProgV), Opts(OptsV) {}
 

@@ -37,6 +37,15 @@ struct Violation {
   std::string Message;
 };
 
+/// Content-version tag of the analyzer's verdict semantics, in the same
+/// discipline as tnumOpVersions()/mulAlgorithmVersion(): MUST be bumped
+/// whenever a change can alter any verdict, violation message, or
+/// insn-visit count for some program. The service layer digests it (with
+/// the operator versions) into the fingerprint that guards the persistent
+/// cross-run verdict cache -- a stale tag would serve pre-change verdicts
+/// as if current.
+const char *analyzerVersionTag();
+
 /// Everything the fixpoint produced.
 struct AnalysisResult {
   /// False if the iteration budget ran out before a fixpoint (treat the

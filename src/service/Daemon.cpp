@@ -1,0 +1,608 @@
+//===- service/Daemon.cpp - tnumsd: verification-as-a-service -------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Daemon.h"
+
+#include "service/VerdictCache.h"
+#include "service/VerificationService.h"
+#include "support/Socket.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace tnums;
+using namespace tnums::service;
+
+namespace {
+
+/// One admitted Submit on its way through the worker pool. Identifies its
+/// connection by id, not fd: fds are recycled by the kernel, ids never.
+struct Job {
+  uint64_t ConnId = 0;
+  uint64_t RequestId = 0;
+  uint8_t Priority = 0;
+  std::string Tenant;
+  VerifyRequest Request;
+};
+
+/// What a worker hands back to the event loop: the fully encoded reply
+/// frame plus the bookkeeping the loop must settle (pending counts,
+/// per-tenant in-flight, analysis counters).
+struct Completion {
+  uint64_t ConnId = 0;
+  std::string Tenant;
+  std::string FrameBytes;
+  bool Analyzed = false;
+};
+
+/// One priority class of the job queue: per-tenant FIFO deques served
+/// round-robin by a rotating cursor. Rotation holds exactly the tenants
+/// with queued jobs, so the scan below is O(1) per pop.
+struct PrioClass {
+  std::vector<std::string> Rotation;
+  size_t Cursor = 0;
+  std::unordered_map<std::string, std::deque<Job>> PerTenant;
+};
+
+/// One client connection owned by the event loop.
+struct Connection {
+  OwnedFd Fd;
+  FrameDecoder Decoder;
+  std::string OutBuf;
+  size_t OutOff = 0;       ///< Prefix of OutBuf already written.
+  bool HelloDone = false;
+  bool CloseAfterFlush = false;
+  std::string Tenant;
+};
+
+} // namespace
+
+struct Daemon::Impl {
+  DaemonConfig Config;
+  unsigned Threads = 1;
+  uint64_t MaxPending = 1;
+  uint64_t VersionFp = 0;
+
+  OwnedFd UnixListen;
+  OwnedFd TcpListen; ///< Invalid unless Config.TcpPort >= 0.
+  uint16_t BoundTcpPort = 0;
+  std::optional<SelfPipe> Pipe;
+  std::unique_ptr<VerdictCache> Cache;
+
+  std::atomic<bool> StopFlag{false};
+
+  // Event-loop-only state (no locks needed: one thread touches it).
+  uint64_t NextConnId = 1;
+  std::map<uint64_t, Connection> Conns;
+  uint64_t PendingJobs = 0; ///< Admitted jobs queued or running.
+  std::unordered_map<std::string, uint64_t> TenantInFlight;
+
+  // The job queue, shared between the event loop (push) and pump tasks
+  // (pop). ActivePumps <= Threads pump tasks exist at any moment; each
+  // drains jobs until the queue is empty, so pool occupancy tracks load
+  // without a task per job.
+  std::mutex QueueMutex;
+  std::map<uint8_t, PrioClass, std::greater<uint8_t>> Queue;
+  unsigned ActivePumps = 0;
+
+  std::mutex CompletionMutex;
+  std::vector<Completion> Completions;
+
+  mutable std::mutex StatsMutex;
+  DaemonStats Counters;
+
+  // Declared last so its destructor runs FIRST: workers drain and join
+  // while the cache, pipe, and mutexes above are still alive.
+  std::optional<ThreadPool> Pool;
+
+  //===--------------------------------------------------------------------===//
+  // Worker side
+  //===--------------------------------------------------------------------===//
+
+  bool popJob(Job &Out) {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    for (auto It = Queue.begin(); It != Queue.end(); It = Queue.begin()) {
+      PrioClass &Class = It->second;
+      if (Class.Rotation.empty()) {
+        Queue.erase(It);
+        continue;
+      }
+      if (Class.Cursor >= Class.Rotation.size())
+        Class.Cursor = 0;
+      const std::string Tenant = Class.Rotation[Class.Cursor];
+      std::deque<Job> &Fifo = Class.PerTenant[Tenant];
+      Out = std::move(Fifo.front());
+      Fifo.pop_front();
+      if (Fifo.empty()) {
+        // Cursor now already points at the next tenant.
+        Class.PerTenant.erase(Tenant);
+        Class.Rotation.erase(Class.Rotation.begin() +
+                             static_cast<ptrdiff_t>(Class.Cursor));
+      } else {
+        ++Class.Cursor; // Round-robin: next tenant gets the next pop.
+      }
+      if (Class.Rotation.empty())
+        Queue.erase(Queue.begin());
+      return true;
+    }
+    --ActivePumps;
+    return false;
+  }
+
+  void pumpLoop() {
+    Job Current;
+    while (popJob(Current))
+      processJob(Current);
+  }
+
+  void processJob(const Job &Work) {
+    VerifyResult Result;
+    bool CacheHit = false;
+    bool Analyzed = false;
+    if (Cache) {
+      if (std::optional<VerifyResult> Hit = Cache->lookup(Work.Request)) {
+        Result = std::move(*Hit);
+        CacheHit = true;
+      }
+    }
+    if (!CacheHit) {
+      // One engine per pool worker, reused across every job it runs --
+      // the same amortization the batch engine gets from its chunk
+      // workers.
+      static thread_local bpf::Analyzer Engine;
+      verifyRequestInto(Work.Request, /*KeepStates=*/false, Engine, Result);
+      Analyzed = true;
+      if (Cache) {
+        // A failed store degrades to per-process caching (the verdict is
+        // still correct and still served); VerdictCache already installed
+        // the memory entry.
+        std::string StoreError;
+        Cache->store(Work.Request, Result, StoreError);
+      }
+    }
+
+    Completion Done;
+    Done.ConnId = Work.ConnId;
+    Done.Tenant = Work.Tenant;
+    Done.Analyzed = Analyzed;
+    Done.FrameBytes = encodeFrame(MsgType::Verdict, Work.RequestId,
+                                  encodeVerdict(resultToVerdict(Result, CacheHit)));
+    {
+      std::lock_guard<std::mutex> Lock(CompletionMutex);
+      Completions.push_back(std::move(Done));
+    }
+    Pipe->notify();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Event-loop side
+  //===--------------------------------------------------------------------===//
+
+  void bumpStat(uint64_t DaemonStats::*Field) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++(Counters.*Field);
+  }
+
+  DaemonStats statsSnapshot() const {
+    DaemonStats Out;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      Out = Counters;
+    }
+    if (Cache) {
+      VerdictCacheStats CacheStats = Cache->stats();
+      Out.CacheMemoryHits = CacheStats.MemoryHits;
+      Out.CacheDiskHits = CacheStats.DiskHits;
+      Out.CacheStores = CacheStats.Stores;
+      Out.CacheStaleInvalidated = CacheStats.StaleInvalidated;
+      Out.CachePoisonedRejected = CacheStats.PoisonedRejected;
+    }
+    return Out;
+  }
+
+  void sendFrame(Connection &Conn, MsgType Type, uint64_t RequestId,
+                 const std::string &Payload) {
+    Conn.OutBuf += encodeFrame(Type, RequestId, Payload);
+  }
+
+  /// Protocol failure: count it, answer with Error, drop the connection
+  /// once the reply drains.
+  void failConn(Connection &Conn, WireError Code, uint64_t RequestId,
+                const std::string &Message) {
+    bumpStat(&DaemonStats::ProtocolErrors);
+    ErrorMsg Msg;
+    Msg.Code = Code;
+    Msg.Message = Message;
+    sendFrame(Conn, MsgType::Error, RequestId, encodeError(Msg));
+    Conn.CloseAfterFlush = true;
+  }
+
+  void enqueueJob(Job Work) {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    PrioClass &Class = Queue[Work.Priority];
+    std::deque<Job> &Fifo = Class.PerTenant[Work.Tenant];
+    if (Fifo.empty())
+      Class.Rotation.push_back(Work.Tenant);
+    Fifo.push_back(std::move(Work));
+    if (ActivePumps < Threads) {
+      ++ActivePumps;
+      Pool->submit([this] { pumpLoop(); });
+    }
+  }
+
+  void handleSubmit(Connection &Conn, uint64_t ConnId, const Frame &Msg) {
+    std::string DecodeError;
+    std::optional<SubmitMsg> Submit = decodeSubmit(Msg.Payload, DecodeError);
+    if (!Submit) {
+      failConn(Conn, WireError::MalformedPayload, Msg.RequestId, DecodeError);
+      return;
+    }
+
+    // Admission control: explicit Busy backpressure instead of unbounded
+    // queuing. A stopping daemon admits nothing new.
+    if (StopFlag.load(std::memory_order_relaxed) ||
+        PendingJobs >= MaxPending) {
+      bumpStat(&DaemonStats::BusyPool);
+      BusyMsg Busy;
+      Busy.Reason = 0;
+      Busy.PendingDepth = PendingJobs;
+      sendFrame(Conn, MsgType::Busy, Msg.RequestId, encodeBusy(Busy));
+      return;
+    }
+    if (Config.TenantMaxInFlight != 0 &&
+        TenantInFlight[Conn.Tenant] >= Config.TenantMaxInFlight) {
+      bumpStat(&DaemonStats::BusyQuota);
+      BusyMsg Busy;
+      Busy.Reason = 1;
+      Busy.PendingDepth = PendingJobs;
+      sendFrame(Conn, MsgType::Busy, Msg.RequestId, encodeBusy(Busy));
+      return;
+    }
+
+    bumpStat(&DaemonStats::Submits);
+    ++PendingJobs;
+    ++TenantInFlight[Conn.Tenant];
+
+    Job Work;
+    Work.ConnId = ConnId;
+    Work.RequestId = Msg.RequestId;
+    Work.Priority = Submit->Priority;
+    Work.Tenant = Conn.Tenant;
+    Work.Request = std::move(Submit->Request);
+    enqueueJob(std::move(Work));
+  }
+
+  void handleFrame(Connection &Conn, uint64_t ConnId, const Frame &Msg) {
+    if (!isRequestType(Msg.Type)) {
+      failConn(Conn, WireError::BadType, Msg.RequestId,
+               "reply-direction frame from client");
+      return;
+    }
+    if (!Conn.HelloDone && Msg.Type != MsgType::Hello) {
+      failConn(Conn, WireError::HelloRequired, Msg.RequestId,
+               "first frame must be Hello");
+      return;
+    }
+    switch (Msg.Type) {
+    case MsgType::Hello: {
+      std::string DecodeError;
+      std::optional<HelloMsg> Hello = decodeHello(Msg.Payload, DecodeError);
+      if (!Hello) {
+        failConn(Conn, WireError::MalformedPayload, Msg.RequestId,
+                 DecodeError);
+        return;
+      }
+      Conn.HelloDone = true;
+      Conn.Tenant = Hello->Tenant.empty() ? "anon" : Hello->Tenant;
+      HelloAckMsg Ack;
+      Ack.VersionFingerprint = VersionFp;
+      sendFrame(Conn, MsgType::HelloAck, Msg.RequestId, encodeHelloAck(Ack));
+      return;
+    }
+    case MsgType::Submit:
+      handleSubmit(Conn, ConnId, Msg);
+      return;
+    case MsgType::StatsQuery:
+      sendFrame(Conn, MsgType::StatsReply, Msg.RequestId,
+                encodeStatsReply(statsSnapshot()));
+      return;
+    case MsgType::Shutdown:
+      sendFrame(Conn, MsgType::ShutdownAck, Msg.RequestId, std::string());
+      Conn.CloseAfterFlush = true;
+      StopFlag.store(true, std::memory_order_relaxed);
+      return;
+    default:
+      failConn(Conn, WireError::BadType, Msg.RequestId, "unhandled type");
+      return;
+    }
+  }
+
+  /// Reads everything available, then pops and handles complete frames.
+  /// Returns false when the connection must be dropped immediately
+  /// (orderly EOF or a read failure).
+  bool serviceReadable(Connection &Conn, uint64_t ConnId) {
+    char Buf[16384];
+    for (;;) {
+      ssize_t Count = ::read(Conn.Fd.get(), Buf, sizeof(Buf));
+      if (Count > 0) {
+        Conn.Decoder.feed(Buf, static_cast<size_t>(Count));
+        continue;
+      }
+      if (Count == 0)
+        return false; // Orderly EOF.
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      return false;
+    }
+    Frame Msg;
+    WireError Code;
+    std::string DecodeError;
+    while (!Conn.CloseAfterFlush) {
+      FrameDecoder::Status Status = Conn.Decoder.next(Msg, Code, DecodeError);
+      if (Status == FrameDecoder::Status::NeedMore)
+        break;
+      if (Status == FrameDecoder::Status::Corrupt) {
+        failConn(Conn, Code, /*RequestId=*/0, DecodeError);
+        break;
+      }
+      handleFrame(Conn, ConnId, Msg);
+    }
+    return true;
+  }
+
+  /// Flushes as much of OutBuf as the socket takes. Returns false when
+  /// the connection must be dropped (write failure).
+  bool serviceWritable(Connection &Conn) {
+    while (Conn.OutOff < Conn.OutBuf.size()) {
+      ssize_t Count = ::write(Conn.Fd.get(), Conn.OutBuf.data() + Conn.OutOff,
+                              Conn.OutBuf.size() - Conn.OutOff);
+      if (Count > 0) {
+        Conn.OutOff += static_cast<size_t>(Count);
+        continue;
+      }
+      if (Count < 0 && errno == EINTR)
+        continue;
+      if (Count < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return true;
+      return false;
+    }
+    Conn.OutBuf.clear();
+    Conn.OutOff = 0;
+    return true;
+  }
+
+  void acceptPending(OwnedFd &Listener) {
+    for (;;) {
+      int Fd = ::accept(Listener.get(), nullptr, nullptr);
+      if (Fd < 0) {
+        if (errno == EINTR)
+          continue;
+        break; // EAGAIN or a transient accept failure: next poll retries.
+      }
+      std::string IgnoredError;
+      setNonBlocking(Fd, IgnoredError);
+      Connection Conn;
+      Conn.Fd = OwnedFd(Fd);
+      Conns.emplace(NextConnId++, std::move(Conn));
+      bumpStat(&DaemonStats::Connections);
+    }
+  }
+
+  void drainCompletions() {
+    std::vector<Completion> Batch;
+    {
+      std::lock_guard<std::mutex> Lock(CompletionMutex);
+      Batch.swap(Completions);
+    }
+    for (Completion &Done : Batch) {
+      --PendingJobs;
+      auto TenantIt = TenantInFlight.find(Done.Tenant);
+      if (TenantIt != TenantInFlight.end() && --TenantIt->second == 0)
+        TenantInFlight.erase(TenantIt);
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++Counters.Verdicts;
+        if (Done.Analyzed)
+          ++Counters.Analyses;
+      }
+      auto ConnIt = Conns.find(Done.ConnId);
+      if (ConnIt != Conns.end())
+        ConnIt->second.OutBuf += Done.FrameBytes; // Else: client left.
+    }
+  }
+
+  size_t pendingCompletionCount() {
+    std::lock_guard<std::mutex> Lock(CompletionMutex);
+    return Completions.size();
+  }
+
+  bool run(std::string &Error) {
+    ignoreSigpipe();
+    std::string IgnoredError;
+    setNonBlocking(UnixListen.get(), IgnoredError);
+    if (TcpListen.valid())
+      setNonBlocking(TcpListen.get(), IgnoredError);
+
+    using Clock = std::chrono::steady_clock;
+    std::optional<Clock::time_point> FlushDeadline;
+
+    std::vector<pollfd> Polled;
+    std::vector<uint64_t> PolledConn; // Parallel to the connection pollfds.
+
+    for (;;) {
+      drainCompletions();
+
+      // Drop connections whose replies are fully flushed and that were
+      // marked for closing (protocol error, shutdown ack).
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        if (It->second.CloseAfterFlush &&
+            It->second.OutOff >= It->second.OutBuf.size())
+          It = Conns.erase(It);
+        else
+          ++It;
+      }
+
+      bool Stopping = StopFlag.load(std::memory_order_relaxed);
+      if (Stopping && PendingJobs == 0 && pendingCompletionCount() == 0) {
+        bool AllFlushed = true;
+        for (const auto &Entry : Conns)
+          if (Entry.second.OutOff < Entry.second.OutBuf.size())
+            AllFlushed = false;
+        if (AllFlushed)
+          break;
+        // Give stragglers a bounded grace period to take their replies.
+        if (!FlushDeadline)
+          FlushDeadline = Clock::now() + std::chrono::seconds(2);
+        else if (Clock::now() >= *FlushDeadline)
+          break;
+      }
+
+      Polled.clear();
+      PolledConn.clear();
+      Polled.push_back({Pipe->readFd(), POLLIN, 0});
+      if (!Stopping) {
+        Polled.push_back({UnixListen.get(), POLLIN, 0});
+        if (TcpListen.valid())
+          Polled.push_back({TcpListen.get(), POLLIN, 0});
+      }
+      size_t FirstConnSlot = Polled.size();
+      for (auto &Entry : Conns) {
+        Connection &Conn = Entry.second;
+        short Events = 0;
+        if (!Conn.CloseAfterFlush)
+          Events |= POLLIN;
+        if (Conn.OutOff < Conn.OutBuf.size())
+          Events |= POLLOUT;
+        if (Events == 0)
+          continue;
+        Polled.push_back({Conn.Fd.get(), Events, 0});
+        PolledConn.push_back(Entry.first);
+      }
+
+      int Ready = ::poll(Polled.data(), Polled.size(), /*timeout=*/200);
+      if (Ready < 0) {
+        if (errno == EINTR)
+          continue;
+        Error = formatString("poll failed: %s", std::strerror(errno));
+        return false;
+      }
+
+      if (Polled[0].revents & POLLIN)
+        Pipe->drain();
+      if (!Stopping) {
+        if (Polled[1].revents & POLLIN)
+          acceptPending(UnixListen);
+        if (TcpListen.valid() && (Polled[2].revents & POLLIN))
+          acceptPending(TcpListen);
+      }
+
+      for (size_t Slot = FirstConnSlot; Slot != Polled.size(); ++Slot) {
+        uint64_t ConnId = PolledConn[Slot - FirstConnSlot];
+        auto ConnIt = Conns.find(ConnId);
+        if (ConnIt == Conns.end())
+          continue;
+        Connection &Conn = ConnIt->second;
+        short Revents = Polled[Slot].revents;
+        if (Revents == 0)
+          continue;
+        bool Alive = true;
+        if (Revents & (POLLIN | POLLHUP | POLLERR))
+          Alive = serviceReadable(Conn, ConnId);
+        if (Alive && (Revents & POLLOUT))
+          Alive = serviceWritable(Conn);
+        // A half-closed peer that still owes us nothing but has replies
+        // pending keeps its connection until the flush completes.
+        if (!Alive && Conn.OutOff >= Conn.OutBuf.size())
+          Conns.erase(ConnIt);
+        else if (!Alive)
+          Conn.CloseAfterFlush = true;
+      }
+    }
+
+    Conns.clear();
+    ::unlink(Config.SocketPath.c_str());
+    return true;
+  }
+};
+
+std::optional<Daemon> Daemon::create(const DaemonConfig &Config,
+                                     std::string &Error) {
+  if (Config.SocketPath.empty()) {
+    Error = "daemon requires a UNIX socket path";
+    return std::nullopt;
+  }
+  std::unique_ptr<Impl> State(new Impl());
+  State->Config = Config;
+  State->Threads =
+      Config.NumThreads ? Config.NumThreads : ThreadPool::hardwareConcurrency();
+  State->MaxPending = Config.MaxPendingRequests
+                          ? Config.MaxPendingRequests
+                          : 4ull * State->Threads;
+
+  std::optional<OwnedFd> Listener = listenUnix(Config.SocketPath, Error);
+  if (!Listener)
+    return std::nullopt;
+  State->UnixListen = std::move(*Listener);
+
+  if (Config.TcpPort >= 0) {
+    std::optional<OwnedFd> TcpListener = listenTcpLoopback(
+        static_cast<uint16_t>(Config.TcpPort), State->BoundTcpPort, Error);
+    if (!TcpListener)
+      return std::nullopt;
+    State->TcpListen = std::move(*TcpListener);
+  }
+
+  std::optional<SelfPipe> Pipe = SelfPipe::create(Error);
+  if (!Pipe)
+    return std::nullopt;
+  State->Pipe = std::move(*Pipe);
+
+  if (!Config.CacheDir.empty()) {
+    State->Cache = VerdictCache::open(Config.CacheDir, Error);
+    if (!State->Cache)
+      return std::nullopt;
+  }
+  State->VersionFp = State->Cache ? State->Cache->versionFingerprint()
+                                  : analyzerVerdictFingerprint();
+
+  State->Pool.emplace(State->Threads);
+  return Daemon(std::move(State));
+}
+
+Daemon::Daemon(std::unique_ptr<Impl> ImplV) : Pimpl(std::move(ImplV)) {}
+
+Daemon::Daemon(Daemon &&) noexcept = default;
+Daemon &Daemon::operator=(Daemon &&) noexcept = default;
+Daemon::~Daemon() = default;
+
+bool Daemon::run(std::string &Error) { return Pimpl->run(Error); }
+
+void Daemon::requestStop() {
+  Pimpl->StopFlag.store(true, std::memory_order_relaxed);
+  Pimpl->Pipe->notify();
+}
+
+uint16_t Daemon::tcpPort() const { return Pimpl->BoundTcpPort; }
+
+DaemonStats Daemon::stats() const { return Pimpl->statsSnapshot(); }
+
+uint64_t Daemon::versionFingerprint() const { return Pimpl->VersionFp; }

@@ -1,0 +1,119 @@
+//===- service/Daemon.h - tnumsd: verification-as-a-service -----*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived verification daemon: many clients connect over a
+/// UNIX-domain (and optionally loopback-TCP) socket, speak the
+/// length-prefixed protocol in WireProtocol.h, and submit programs for
+/// verdicts. This is the production face the ROADMAP's north star asks
+/// for -- PR 3's VerificationService is batch-only and in-process; tnumsd
+/// serves the same verdicts to concurrent untrusted clients with
+/// admission control and a persistent cross-run verdict cache.
+///
+/// Architecture (one poll() event loop + the shared ThreadPool):
+///
+///  * The event loop owns every socket and all admission bookkeeping.
+///    Frames are reassembled per connection (FrameDecoder); a protocol
+///    violation earns an Error reply and a close.
+///  * Admitted Submits enter a priority/fair-share queue: higher Priority
+///    bytes run strictly first; within a priority class, tenants are
+///    served round-robin (per-tenant FIFO preserved) so one tenant's
+///    backlog cannot starve another's single request.
+///  * Admission control produces explicit backpressure, never silent
+///    queuing: when queued+running reaches MaxPendingRequests the daemon
+///    replies Busy(pool); when a tenant exceeds TenantMaxInFlight it
+///    replies Busy(quota). Clients retry.
+///  * Workers (ThreadPool) pop jobs, consult the VerdictCache (memory,
+///    then disk), analyze on miss with a per-worker recycled Analyzer
+///    engine, store the verdict durably, and hand the encoded reply to a
+///    completion queue; a self-pipe wakes the event loop to flush it.
+///
+/// Determinism contract: a verdict is a pure function of the canonical
+/// request (VerificationService's contract), so every client receives
+/// bit-identical verdict frames for identical submissions regardless of
+/// connection count, interleaving, priorities, cache state, or daemon
+/// restarts -- cache hits serve the same bytes analysis would produce.
+/// tests/DaemonTest.cpp pins this against the in-process engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SERVICE_DAEMON_H
+#define TNUMS_SERVICE_DAEMON_H
+
+#include "service/WireProtocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace tnums {
+namespace service {
+
+struct DaemonConfig {
+  /// Path of the UNIX-domain listening socket (required).
+  std::string SocketPath;
+  /// Also listen on loopback TCP when >= 0 (0 picks an ephemeral port;
+  /// see Daemon::tcpPort()).
+  int TcpPort = -1;
+  /// Worker threads; 0 means hardware concurrency.
+  unsigned NumThreads = 0;
+  /// Verdict-cache directory; empty disables persistence (the daemon
+  /// still runs, every verdict is analyzed).
+  std::string CacheDir;
+  /// Backpressure threshold: jobs queued+running before Submits are
+  /// refused with Busy(pool). 0 means 4x worker threads.
+  uint64_t MaxPendingRequests = 0;
+  /// Per-tenant in-flight cap before Busy(quota); 0 means unlimited.
+  uint64_t TenantMaxInFlight = 0;
+};
+
+/// Live counters (mirrors wire StatsReplyMsg; see WireProtocol.h).
+using DaemonStats = StatsReplyMsg;
+
+/// One daemon instance. create() binds the sockets; run() blocks serving
+/// until requestStop() (any thread / signal context) or a Shutdown frame.
+/// Tests run() it on a thread in-process; tools/tnumsd.cpp wraps it as a
+/// standalone binary.
+class Daemon {
+public:
+  static std::optional<Daemon> create(const DaemonConfig &Config,
+                                      std::string &Error);
+
+  Daemon(Daemon &&) noexcept;
+  Daemon &operator=(Daemon &&) noexcept;
+  ~Daemon();
+
+  /// Serves until stopped. Returns false with \p Error set only on a
+  /// fatal event-loop failure (never on client misbehavior).
+  bool run(std::string &Error);
+
+  /// Requests a graceful stop: the event loop finishes in-flight work,
+  /// flushes replies, and run() returns. Async-signal-safe.
+  void requestStop();
+
+  /// The bound TCP port (valid once create() returned with TcpPort >= 0).
+  uint16_t tcpPort() const;
+
+  /// Counter snapshot (thread-safe; the same numbers StatsReply serves).
+  DaemonStats stats() const;
+
+  /// The version fingerprint guarding the cache (HelloAck advertises it).
+  uint64_t versionFingerprint() const;
+
+private:
+  struct Impl;
+  explicit Daemon(std::unique_ptr<Impl> ImplV);
+
+  std::unique_ptr<Impl> Pimpl;
+};
+
+} // namespace service
+} // namespace tnums
+
+#endif // TNUMS_SERVICE_DAEMON_H

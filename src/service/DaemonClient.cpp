@@ -1,0 +1,250 @@
+//===- service/DaemonClient.cpp - Blocking tnumsd client ------------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DaemonClient.h"
+
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+using namespace tnums;
+using namespace tnums::service;
+
+namespace {
+
+uint64_t readLittleU64(const unsigned char *Bytes) {
+  uint64_t Value = 0;
+  for (unsigned Byte = 0; Byte != 8; ++Byte)
+    Value |= static_cast<uint64_t>(Bytes[Byte]) << (8 * Byte);
+  return Value;
+}
+
+uint32_t readLittleU32(const unsigned char *Bytes) {
+  uint32_t Value = 0;
+  for (unsigned Byte = 0; Byte != 4; ++Byte)
+    Value |= static_cast<uint32_t>(Bytes[Byte]) << (8 * Byte);
+  return Value;
+}
+
+} // namespace
+
+bool DaemonClient::writeFrame(MsgType Type, uint64_t RequestId,
+                              const std::string &Payload,
+                              std::string &Error) {
+  std::string Bytes = encodeFrame(Type, RequestId, Payload);
+  return writeAll(Fd.get(), Bytes.data(), Bytes.size(), Error);
+}
+
+bool DaemonClient::readFrame(Frame &Out, std::string &Error) {
+  unsigned char Header[FrameHeaderBytes];
+  if (!readAll(Fd.get(), Header, sizeof(Header), Error)) {
+    if (Error.empty())
+      Error = "daemon closed the connection";
+    return false;
+  }
+  uint32_t Magic = readLittleU32(Header);
+  uint8_t Version = Header[4];
+  uint8_t Type = Header[5];
+  uint16_t Reserved =
+      static_cast<uint16_t>(Header[6] | (uint16_t(Header[7]) << 8));
+  uint64_t RequestId = readLittleU64(Header + 8);
+  uint32_t PayloadLen = readLittleU32(Header + 16);
+  if (Magic != FrameMagic || Version != ProtocolVersion || Reserved != 0) {
+    Error = "malformed reply header";
+    return false;
+  }
+  if (Type < static_cast<uint8_t>(MsgType::Hello) ||
+      Type > static_cast<uint8_t>(MsgType::ShutdownAck)) {
+    Error = formatString("unknown reply type %u", unsigned(Type));
+    return false;
+  }
+  if (PayloadLen > MaxPayloadBytes) {
+    Error = "oversized reply frame";
+    return false;
+  }
+  Out.Type = static_cast<MsgType>(Type);
+  Out.RequestId = RequestId;
+  Out.Payload.resize(PayloadLen);
+  if (PayloadLen != 0 &&
+      !readAll(Fd.get(), Out.Payload.data(), PayloadLen, Error)) {
+    if (Error.empty())
+      Error = "daemon closed the connection mid-frame";
+    return false;
+  }
+  return true;
+}
+
+bool DaemonClient::handshake(const std::string &Tenant, std::string &Error) {
+  HelloMsg Hello;
+  Hello.Tenant = Tenant;
+  uint64_t RequestId = NextRequestId++;
+  if (!writeFrame(MsgType::Hello, RequestId, encodeHello(Hello), Error))
+    return false;
+  Frame Reply;
+  if (!readFrame(Reply, Error))
+    return false;
+  if (Reply.Type != MsgType::HelloAck) {
+    Error = formatString("expected HelloAck, got type %u",
+                         unsigned(static_cast<uint8_t>(Reply.Type)));
+    return false;
+  }
+  std::optional<HelloAckMsg> Decoded = decodeHelloAck(Reply.Payload, Error);
+  if (!Decoded)
+    return false;
+  Ack = *Decoded;
+  return true;
+}
+
+std::optional<DaemonClient>
+DaemonClient::connectUnixSocket(const std::string &Path,
+                                const std::string &Tenant, unsigned TimeoutMs,
+                                std::string &Error) {
+  std::optional<OwnedFd> Fd = connectUnixRetry(Path, TimeoutMs, Error);
+  if (!Fd)
+    return std::nullopt;
+  DaemonClient Client(std::move(*Fd));
+  if (!Client.handshake(Tenant, Error))
+    return std::nullopt;
+  return Client;
+}
+
+std::optional<DaemonClient> DaemonClient::connectTcp(uint16_t Port,
+                                                     const std::string &Tenant,
+                                                     std::string &Error) {
+  std::optional<OwnedFd> Fd = connectTcpLoopback(Port, Error);
+  if (!Fd)
+    return std::nullopt;
+  DaemonClient Client(std::move(*Fd));
+  if (!Client.handshake(Tenant, Error))
+    return std::nullopt;
+  return Client;
+}
+
+bool DaemonClient::submitAsync(const VerifyRequest &Request, uint8_t Priority,
+                               uint64_t &RequestId, std::string &Error) {
+  SubmitMsg Msg;
+  Msg.Priority = Priority;
+  Msg.Request = Request;
+  RequestId = NextRequestId++;
+  return writeFrame(MsgType::Submit, RequestId, encodeSubmit(Msg), Error);
+}
+
+bool DaemonClient::readReply(ClientReply &Reply, std::string &Error) {
+  Frame Incoming;
+  if (!readFrame(Incoming, Error))
+    return false;
+  Reply.Type = Incoming.Type;
+  Reply.RequestId = Incoming.RequestId;
+  switch (Incoming.Type) {
+  case MsgType::Verdict: {
+    std::optional<VerdictMsg> Msg = decodeVerdict(Incoming.Payload, Error);
+    if (!Msg)
+      return false;
+    Reply.Verdict = std::move(*Msg);
+    return true;
+  }
+  case MsgType::Busy: {
+    std::optional<BusyMsg> Msg = decodeBusy(Incoming.Payload, Error);
+    if (!Msg)
+      return false;
+    Reply.Busy = *Msg;
+    return true;
+  }
+  case MsgType::Error: {
+    std::optional<ErrorMsg> Msg = decodeError(Incoming.Payload, Error);
+    if (!Msg)
+      return false;
+    Reply.Err = std::move(*Msg);
+    return true;
+  }
+  case MsgType::StatsReply: {
+    std::optional<StatsReplyMsg> Msg =
+        decodeStatsReply(Incoming.Payload, Error);
+    if (!Msg)
+      return false;
+    Reply.Stats = *Msg;
+    return true;
+  }
+  case MsgType::ShutdownAck:
+    return true;
+  default:
+    Error = formatString("unexpected reply type %u",
+                         unsigned(static_cast<uint8_t>(Incoming.Type)));
+    return false;
+  }
+}
+
+bool DaemonClient::submit(const VerifyRequest &Request, uint8_t Priority,
+                          ClientReply &Reply, std::string &Error) {
+  uint64_t RequestId = 0;
+  if (!submitAsync(Request, Priority, RequestId, Error))
+    return false;
+  return readReply(Reply, Error);
+}
+
+bool DaemonClient::submitWithRetry(const VerifyRequest &Request,
+                                   uint8_t Priority, unsigned TimeoutMs,
+                                   VerdictMsg &Verdict, std::string &Error) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    ClientReply Reply;
+    if (!submit(Request, Priority, Reply, Error))
+      return false;
+    if (Reply.Type == MsgType::Verdict) {
+      Verdict = std::move(Reply.Verdict);
+      return true;
+    }
+    if (Reply.Type == MsgType::Error) {
+      Error = formatString("daemon error %s: %s",
+                           wireErrorName(Reply.Err.Code),
+                           Reply.Err.Message.c_str());
+      return false;
+    }
+    if (Reply.Type != MsgType::Busy) {
+      Error = "unexpected reply to Submit";
+      return false;
+    }
+    if (Clock::now() >= Deadline) {
+      Error = "daemon stayed busy past the retry deadline";
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool DaemonClient::queryStats(StatsReplyMsg &Stats, std::string &Error) {
+  uint64_t RequestId = NextRequestId++;
+  if (!writeFrame(MsgType::StatsQuery, RequestId, std::string(), Error))
+    return false;
+  ClientReply Reply;
+  if (!readReply(Reply, Error))
+    return false;
+  if (Reply.Type != MsgType::StatsReply) {
+    Error = "expected StatsReply";
+    return false;
+  }
+  Stats = Reply.Stats;
+  return true;
+}
+
+bool DaemonClient::shutdownServer(std::string &Error) {
+  uint64_t RequestId = NextRequestId++;
+  if (!writeFrame(MsgType::Shutdown, RequestId, std::string(), Error))
+    return false;
+  ClientReply Reply;
+  if (!readReply(Reply, Error))
+    return false;
+  if (Reply.Type != MsgType::ShutdownAck) {
+    Error = "expected ShutdownAck";
+    return false;
+  }
+  return true;
+}

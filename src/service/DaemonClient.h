@@ -1,0 +1,115 @@
+//===- service/DaemonClient.h - Blocking tnumsd client ----------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the tnumsd protocol (service/Daemon.h): connect,
+/// Hello, then submit programs and read verdicts. Two usage shapes:
+///
+///  * Synchronous: submit() writes one Submit and blocks for its reply --
+///    the simple path for tests and tools.
+///  * Pipelined: submitAsync() queues any number of Submits, readReply()
+///    drains replies in order; the bench uses this to keep the daemon's
+///    admission window full. Replies carry the echoed request id, so a
+///    client can always match them up.
+///
+/// submitWithRetry() additionally absorbs Busy backpressure (bounded
+/// retry with a small sleep), which is what a well-behaved production
+/// client does when the daemon refuses admission.
+///
+/// All methods are blocking and this class is NOT thread-safe: one client
+/// per thread (the daemon, of course, serves many clients at once).
+/// Errors follow the repo convention -- bool plus an Error out-string,
+/// nothing throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SERVICE_DAEMONCLIENT_H
+#define TNUMS_SERVICE_DAEMONCLIENT_H
+
+#include "service/WireProtocol.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tnums {
+namespace service {
+
+/// One daemon reply, whichever type arrived. Exactly one of the payload
+/// members matching Type is meaningful.
+struct ClientReply {
+  MsgType Type = MsgType::Error;
+  uint64_t RequestId = 0;
+  VerdictMsg Verdict;
+  BusyMsg Busy;
+  ErrorMsg Err;
+  StatsReplyMsg Stats;
+};
+
+class DaemonClient {
+public:
+  /// Connects over the UNIX socket at \p Path (retrying for up to
+  /// \p TimeoutMs to absorb the daemon-startup race) and performs the
+  /// Hello handshake as \p Tenant.
+  static std::optional<DaemonClient> connectUnixSocket(const std::string &Path,
+                                                       const std::string &Tenant,
+                                                       unsigned TimeoutMs,
+                                                       std::string &Error);
+
+  /// Connects over loopback TCP and performs the Hello handshake.
+  static std::optional<DaemonClient> connectTcp(uint16_t Port,
+                                                const std::string &Tenant,
+                                                std::string &Error);
+
+  /// The HelloAck the daemon answered with (version fingerprint, limits).
+  const HelloAckMsg &serverHello() const { return Ack; }
+
+  /// Writes one Submit and blocks for its reply (Verdict, Busy, or
+  /// Error). False with \p Error only on transport failure -- a Busy or
+  /// Error *reply* is a successful round trip.
+  bool submit(const VerifyRequest &Request, uint8_t Priority,
+              ClientReply &Reply, std::string &Error);
+
+  /// Pipelined submission: writes the Submit and returns its request id
+  /// without waiting. Pair with readReply().
+  bool submitAsync(const VerifyRequest &Request, uint8_t Priority,
+                   uint64_t &RequestId, std::string &Error);
+
+  /// Blocks for the next reply frame of any type.
+  bool readReply(ClientReply &Reply, std::string &Error);
+
+  /// submit() that retries Busy replies (1 ms sleep, bounded by
+  /// \p TimeoutMs) until a Verdict arrives. False on transport failure,
+  /// an Error reply, or timeout.
+  bool submitWithRetry(const VerifyRequest &Request, uint8_t Priority,
+                       unsigned TimeoutMs, VerdictMsg &Verdict,
+                       std::string &Error);
+
+  /// Round-trips a StatsQuery.
+  bool queryStats(StatsReplyMsg &Stats, std::string &Error);
+
+  /// Sends Shutdown and waits for the ShutdownAck.
+  bool shutdownServer(std::string &Error);
+
+private:
+  DaemonClient(OwnedFd FdV) : Fd(std::move(FdV)) {}
+
+  bool handshake(const std::string &Tenant, std::string &Error);
+  bool writeFrame(MsgType Type, uint64_t RequestId,
+                  const std::string &Payload, std::string &Error);
+  bool readFrame(Frame &Out, std::string &Error);
+
+  OwnedFd Fd;
+  HelloAckMsg Ack;
+  uint64_t NextRequestId = 1;
+};
+
+} // namespace service
+} // namespace tnums
+
+#endif // TNUMS_SERVICE_DAEMONCLIENT_H

@@ -1,0 +1,145 @@
+//===- service/VerdictCache.h - Persistent cross-run verdict cache -*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The disk-backed promotion of the batch engine's per-batch content-hash
+/// verdict dedup: a directory of durable verdict entries keyed exactly
+/// like Campaign cells --
+///
+///   key  = FNV-1a(canonical request bytes)   (program x analyzer opts)
+///   guard = analyzerVerdictFingerprint()     (analyzer + tnum-op versions)
+///
+/// so repeat traffic (the production workload is mostly duplicate
+/// filters) is served from disk without re-analysis, and a version bump
+/// of the analyzer or any tnum transfer function invalidates exactly the
+/// stale entries -- the same soundness-preserving versioning discipline
+/// the campaign store applies per cell.
+///
+/// Guarantees (locked by tests/VerdictCacheTest.cpp):
+///
+///  * Entries are written through support/Checkpoint's writeFileDurable
+///    (temp + fsync + close-check + rename + dir fsync): a killed writer
+///    leaves a complete entry or nothing, never a torn file.
+///  * A stored entry embeds the full canonical request bytes; lookup
+///    compares them exactly, so a key collision degrades to a miss,
+///    never a wrong verdict.
+///  * An entry whose version fingerprint differs from the cache's is
+///    stale: lookup treats it as a miss, unlinks it (GC), and counts it
+///    in StaleInvalidated. Entries written under the current fingerprint
+///    are untouched -- invalidation is exact, not whole-store.
+///  * A truncated, bit-flipped, or otherwise unparsable entry is REFUSED
+///    (miss + PoisonedRejected + unlink), never misread as a verdict.
+///
+/// Lookups hit an in-memory map first (entries this process loaded or
+/// stored); disk is consulted once per cold key. All methods are
+/// thread-safe -- daemon workers share one cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SERVICE_VERDICTCACHE_H
+#define TNUMS_SERVICE_VERDICTCACHE_H
+
+#include "service/VerificationService.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace tnums {
+namespace service {
+
+/// Digest of everything that can change a verdict besides the request
+/// itself: the analyzer's version tag (bpf/Analyzer.h) and the content
+/// fingerprints of every tnum transfer function the reduced product
+/// dispatches (verify/Oracle.h opFingerprint over all BinaryOps). Bumping
+/// any of those versions changes this digest, which is what invalidates
+/// stale cache entries.
+uint64_t analyzerVerdictFingerprint();
+
+/// The cache key of \p Request: FNV-1a of its canonical wire encoding
+/// (WireProtocol.h encodeRequestCanonical).
+uint64_t verdictCacheKey(const VerifyRequest &Request);
+
+/// Counters, cumulative since open().
+struct VerdictCacheStats {
+  uint64_t Lookups = 0;
+  uint64_t MemoryHits = 0;
+  uint64_t DiskHits = 0;
+  uint64_t Misses = 0;
+  uint64_t Stores = 0;
+  uint64_t StaleInvalidated = 0;  ///< Version-fingerprint mismatches GC'd.
+  uint64_t PoisonedRejected = 0;  ///< Corrupt entries refused (and GC'd).
+
+  uint64_t hits() const { return MemoryHits + DiskHits; }
+};
+
+/// A persistent verdict store rooted at one directory. Open once per
+/// daemon; safe for concurrent lookup/store from many threads.
+class VerdictCache {
+public:
+  /// Opens (creating if needed) the cache directory \p Dir for the
+  /// current \p VersionFingerprint (defaulted via
+  /// analyzerVerdictFingerprint(); tests inject synthetic values to
+  /// exercise invalidation). Refuses a directory whose manifest is not a
+  /// verdict-cache manifest. Sweeps orphaned temp files. Returned by
+  /// pointer: the cache pins a mutex shared with worker threads, so it
+  /// never moves.
+  static std::unique_ptr<VerdictCache> open(const std::string &Dir,
+                                            std::string &Error);
+  static std::unique_ptr<VerdictCache> open(const std::string &Dir,
+                                            uint64_t VersionFingerprint,
+                                            std::string &Error);
+
+  VerdictCache(const VerdictCache &) = delete;
+  VerdictCache &operator=(const VerdictCache &) = delete;
+
+  /// Returns the cached verdict for \p Request, or nullopt on miss.
+  /// Never returns a verdict for a different request or fingerprint.
+  std::optional<VerifyResult> lookup(const VerifyRequest &Request);
+
+  /// Durably records \p Result as \p Request's verdict under the current
+  /// version fingerprint. KeepStates tables are never persisted (the
+  /// wire verdict fields only). False with \p Error on I/O failure; the
+  /// in-memory entry is installed regardless so a read-only filesystem
+  /// degrades to a per-process cache.
+  bool store(const VerifyRequest &Request, const VerifyResult &Result,
+             std::string &Error);
+
+  VerdictCacheStats stats() const;
+
+  const std::string &path() const { return Dir; }
+  uint64_t versionFingerprint() const { return VersionFp; }
+
+private:
+  VerdictCache(std::string DirV, uint64_t VersionFpV)
+      : Dir(std::move(DirV)), VersionFp(VersionFpV) {}
+
+  std::string entryPath(uint64_t Key) const;
+
+  struct MemEntry {
+    std::string Canonical; ///< Exact-match witness.
+    VerifyResult Result;
+  };
+
+  std::string Dir;
+  uint64_t VersionFp;
+
+  // Shared state behind one mutex: lookups are a hash-map probe plus (on
+  // cold keys) one file read; the analyzer work they replace is orders
+  // of magnitude heavier, so a single lock is nowhere near contention.
+  mutable std::mutex Mutex;
+  std::unordered_map<uint64_t, MemEntry> Memory;
+  VerdictCacheStats Stats;
+};
+
+} // namespace service
+} // namespace tnums
+
+#endif // TNUMS_SERVICE_VERDICTCACHE_H

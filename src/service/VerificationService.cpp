@@ -23,26 +23,6 @@ using namespace tnums::service;
 
 namespace {
 
-/// Verifies one request into \p Out with a caller-owned (per-worker,
-/// reused) analyzer engine.
-void verifyInto(const VerifyRequest &Request, const ServiceConfig &Config,
-                Analyzer &Engine, VerifyResult &Out) {
-  Out.Done = true;
-  if (std::optional<std::string> Error = Request.Prog.validate()) {
-    Out.Accepted = false;
-    Out.StructuralError = std::move(*Error);
-    return;
-  }
-  Analyzer::Options Opts = Request.AnalyzerOpts;
-  Opts.MemSize = Request.MemSize;
-  AnalysisResult Result = Engine.analyze(Request.Prog, Opts);
-  Out.Accepted = Result.accepted();
-  Out.Violations = std::move(Result.Violations);
-  Out.InsnVisits = Result.InsnVisits;
-  if (Config.KeepStates)
-    Out.InStates = std::move(Result.InStates);
-}
-
 //===----------------------------------------------------------------------===//
 // Content-hash request dedup
 //
@@ -122,6 +102,25 @@ computeRepresentatives(const std::vector<VerifyRequest> &Requests) {
 
 } // namespace
 
+void tnums::service::verifyRequestInto(const VerifyRequest &Request,
+                                       bool KeepStates, Analyzer &Engine,
+                                       VerifyResult &Out) {
+  Out.Done = true;
+  if (std::optional<std::string> Error = Request.Prog.validate()) {
+    Out.Accepted = false;
+    Out.StructuralError = std::move(*Error);
+    return;
+  }
+  Analyzer::Options Opts = Request.AnalyzerOpts;
+  Opts.MemSize = Request.MemSize;
+  AnalysisResult Result = Engine.analyze(Request.Prog, Opts);
+  Out.Accepted = Result.accepted();
+  Out.Violations = std::move(Result.Violations);
+  Out.InsnVisits = Result.InsnVisits;
+  if (KeepStates)
+    Out.InStates = std::move(Result.InStates);
+}
+
 std::string BatchStats::toString() const {
   return formatString(
       "%llu programs in %.3f s (%.0f programs/s, %.2f Minsn-visits/s): "
@@ -171,7 +170,7 @@ VerifyResult
 VerificationService::verifyOne(const VerifyRequest &Request) const {
   VerifyResult Result;
   Analyzer Engine;
-  verifyInto(Request, Config, Engine, Result);
+  verifyRequestInto(Request, Config.KeepStates, Engine, Result);
   return Result;
 }
 
@@ -227,7 +226,7 @@ VerificationService::verifyBatch(const std::vector<VerifyRequest> &Requests) con
             break;
           size_t Index = Unique[Position];
           VerifyResult &Out = Batch.Results[Index];
-          verifyInto(Requests[Index], Config, Engine, Out);
+          verifyRequestInto(Requests[Index], Config.KeepStates, Engine, Out);
           if (!Out.Accepted && Config.StopAtFirstReject) {
             atomicMinU64(FirstRejectChunk, Chunk);
             break; // This chunk's first (= serial-order) reject stands.

@@ -142,6 +142,13 @@ struct BatchResult {
   std::optional<size_t> FirstRejected;
 };
 
+/// Verifies one request into \p Out (validate -> Analyzer fixpoint) with
+/// a caller-owned, reused engine -- the per-worker amortization shared by
+/// the batch engine and the tnumsd daemon's workers. Sets Out.Done and
+/// fills exactly the fields verifyOne() would.
+void verifyRequestInto(const VerifyRequest &Request, bool KeepStates,
+                       bpf::Analyzer &Engine, VerifyResult &Out);
+
 /// FNV-1a digest of every filled verdict in \p Batch (Done flags,
 /// accept/reject, structural errors, violation lists, visit counts) --
 /// the cross-jobs/cross-run bit-identity check the tests and the

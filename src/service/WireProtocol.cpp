@@ -1,0 +1,520 @@
+//===- service/WireProtocol.cpp - tnumsd framing and codec ----------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/WireProtocol.h"
+
+#include "support/Table.h"
+
+#include <cstring>
+
+using namespace tnums;
+using namespace tnums::bpf;
+using namespace tnums::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Byte-level cursors
+//
+// Writer appends little-endian fields to a std::string; Reader walks a
+// byte range with bounds checks on every read and a latched failure flag,
+// so a malformed buffer can never cause an over-read -- only a clean
+// decode error.
+//===----------------------------------------------------------------------===//
+
+class Writer {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u16(uint16_t V) {
+    u8(static_cast<uint8_t>(V));
+    u8(static_cast<uint8_t>(V >> 8));
+  }
+  void u32(uint32_t V) {
+    u16(static_cast<uint16_t>(V));
+    u16(static_cast<uint16_t>(V >> 16));
+  }
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+  /// Length-prefixed string (u32 length + raw bytes).
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.append(S);
+  }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+class Reader {
+public:
+  Reader(const std::string &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  bool u8(uint8_t &V) {
+    if (!need(1))
+      return false;
+    V = static_cast<uint8_t>(Data[Pos++]);
+    return true;
+  }
+  bool u16(uint16_t &V) {
+    uint8_t Lo, Hi;
+    if (!u8(Lo) || !u8(Hi))
+      return false;
+    V = static_cast<uint16_t>(Lo | (static_cast<uint16_t>(Hi) << 8));
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    uint16_t Lo, Hi;
+    if (!u16(Lo) || !u16(Hi))
+      return false;
+    V = Lo | (static_cast<uint32_t>(Hi) << 16);
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    uint32_t Lo, Hi;
+    if (!u32(Lo) || !u32(Hi))
+      return false;
+    V = Lo | (static_cast<uint64_t>(Hi) << 32);
+    return true;
+  }
+  /// Bounded length-prefixed string.
+  bool str(std::string &S, uint32_t MaxLen = MaxWireString) {
+    uint32_t Len;
+    if (!u32(Len))
+      return false;
+    if (Len > MaxLen || !need(Len)) {
+      Failed = true;
+      return false;
+    }
+    S.assign(Data + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+  /// True when the whole buffer was consumed with no read failure --
+  /// trailing garbage makes a payload malformed.
+  bool done() const { return !Failed && Pos == Size; }
+  bool failed() const { return Failed; }
+
+private:
+  bool need(size_t N) {
+    if (Failed || Size - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  const char *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// The shared "decode failed" epilogue.
+template <typename T>
+std::optional<T> malformed(const char *What, std::string &Error) {
+  Error = formatString("malformed %s payload (truncated, out of bounds, "
+                       "or trailing bytes)",
+                       What);
+  return std::nullopt;
+}
+
+/// Enum-range guards: the decoder refuses out-of-range discriminants so
+/// downstream switches never see an invalid enum value.
+constexpr uint8_t MaxInsnKind = static_cast<uint8_t>(Insn::Kind::Exit);
+constexpr uint8_t MaxAluOp = static_cast<uint8_t>(AluOp::Neg);
+constexpr uint8_t MaxCompareOp = static_cast<uint8_t>(CompareOp::Set);
+
+} // namespace
+
+bool tnums::service::isRequestType(MsgType Type) {
+  switch (Type) {
+  case MsgType::Hello:
+  case MsgType::Submit:
+  case MsgType::StatsQuery:
+  case MsgType::Shutdown:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *tnums::service::wireErrorName(WireError Error) {
+  switch (Error) {
+  case WireError::None:
+    return "none";
+  case WireError::BadMagic:
+    return "bad-magic";
+  case WireError::BadVersion:
+    return "bad-version";
+  case WireError::BadType:
+    return "bad-type";
+  case WireError::OversizedFrame:
+    return "oversized-frame";
+  case WireError::MalformedPayload:
+    return "malformed-payload";
+  case WireError::HelloRequired:
+    return "hello-required";
+  case WireError::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+std::string tnums::service::encodeFrame(MsgType Type, uint64_t RequestId,
+                                        const std::string &Payload) {
+  Writer W;
+  W.u32(FrameMagic);
+  W.u8(ProtocolVersion);
+  W.u8(static_cast<uint8_t>(Type));
+  W.u16(0); // reserved
+  W.u64(RequestId);
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  std::string Head = W.take();
+  Head.append(Payload);
+  return Head;
+}
+
+std::string
+tnums::service::encodeRequestCanonical(const VerifyRequest &Request) {
+  Writer W;
+  W.u64(Request.MemSize);
+  W.u64(Request.AnalyzerOpts.WideningThreshold);
+  W.u64(Request.AnalyzerOpts.MaxInsnVisits);
+  W.u32(static_cast<uint32_t>(Request.Prog.size()));
+  for (const Insn &I : Request.Prog) {
+    W.u8(static_cast<uint8_t>(I.InsnKind));
+    W.u8(static_cast<uint8_t>(I.Alu));
+    W.u8(static_cast<uint8_t>(I.Cmp));
+    W.u8(I.Dst);
+    W.u8(I.Src);
+    W.u8(I.UsesImm ? 1 : 0);
+    W.u8(I.Size);
+    W.u8(I.Is32 ? 1 : 0);
+    W.u64(static_cast<uint64_t>(I.Imm));
+    W.u64(static_cast<uint64_t>(static_cast<int64_t>(I.Offset)));
+  }
+  return W.take();
+}
+
+namespace {
+
+/// Canonical-request decoder over an open Reader (shared by Submit and
+/// the standalone form; the standalone form additionally requires the
+/// buffer to end here).
+bool readRequestCanonical(Reader &R, VerifyRequest &Out) {
+  uint64_t Widening;
+  uint32_t InsnCount;
+  if (!R.u64(Out.MemSize) || !R.u64(Widening) ||
+      !R.u64(Out.AnalyzerOpts.MaxInsnVisits) || !R.u32(InsnCount))
+    return false;
+  if (Widening > UINT32_MAX || InsnCount > MaxWireInsns)
+    return false;
+  Out.AnalyzerOpts.WideningThreshold = static_cast<unsigned>(Widening);
+  std::vector<Insn> Insns;
+  Insns.reserve(InsnCount);
+  for (uint32_t N = 0; N != InsnCount; ++N) {
+    Insn I;
+    uint8_t Kind, Alu, Cmp, UsesImm, Is32;
+    uint64_t Imm, Offset;
+    if (!R.u8(Kind) || !R.u8(Alu) || !R.u8(Cmp) || !R.u8(I.Dst) ||
+        !R.u8(I.Src) || !R.u8(UsesImm) || !R.u8(I.Size) || !R.u8(Is32) ||
+        !R.u64(Imm) || !R.u64(Offset))
+      return false;
+    // Range-check every discriminant and flag byte; structural program
+    // checks (register numbers, jump targets) remain validate()'s job.
+    if (Kind > MaxInsnKind || Alu > MaxAluOp || Cmp > MaxCompareOp ||
+        UsesImm > 1 || Is32 > 1)
+      return false;
+    int64_t SignedOffset = static_cast<int64_t>(Offset);
+    if (SignedOffset < INT32_MIN || SignedOffset > INT32_MAX)
+      return false;
+    I.InsnKind = static_cast<Insn::Kind>(Kind);
+    I.Alu = static_cast<AluOp>(Alu);
+    I.Cmp = static_cast<CompareOp>(Cmp);
+    I.UsesImm = UsesImm == 1;
+    I.Is32 = Is32 == 1;
+    I.Imm = static_cast<int64_t>(Imm);
+    I.Offset = static_cast<int32_t>(SignedOffset);
+    Insns.push_back(I);
+  }
+  Out.Prog = Program(std::move(Insns));
+  return true;
+}
+
+} // namespace
+
+std::optional<VerifyRequest>
+tnums::service::decodeRequestCanonical(const std::string &Bytes,
+                                       std::string &Error) {
+  Reader R(Bytes);
+  VerifyRequest Request;
+  if (!readRequestCanonical(R, Request) || !R.done())
+    return malformed<VerifyRequest>("canonical-request", Error);
+  return Request;
+}
+
+std::string tnums::service::encodeHello(const HelloMsg &Msg) {
+  Writer W;
+  W.str(Msg.Tenant);
+  return W.take();
+}
+
+std::optional<HelloMsg>
+tnums::service::decodeHello(const std::string &Payload, std::string &Error) {
+  Reader R(Payload);
+  HelloMsg Msg;
+  if (!R.str(Msg.Tenant, 256) || !R.done())
+    return malformed<HelloMsg>("hello", Error);
+  return Msg;
+}
+
+std::string tnums::service::encodeHelloAck(const HelloAckMsg &Msg) {
+  Writer W;
+  W.u64(Msg.VersionFingerprint);
+  W.u32(Msg.MaxPayload);
+  W.u8(Msg.Version);
+  return W.take();
+}
+
+std::optional<HelloAckMsg>
+tnums::service::decodeHelloAck(const std::string &Payload,
+                               std::string &Error) {
+  Reader R(Payload);
+  HelloAckMsg Msg;
+  if (!R.u64(Msg.VersionFingerprint) || !R.u32(Msg.MaxPayload) ||
+      !R.u8(Msg.Version) || !R.done())
+    return malformed<HelloAckMsg>("hello-ack", Error);
+  return Msg;
+}
+
+std::string tnums::service::encodeSubmit(const SubmitMsg &Msg) {
+  Writer W;
+  W.u8(Msg.Priority);
+  std::string Head = W.take();
+  Head.append(encodeRequestCanonical(Msg.Request));
+  return Head;
+}
+
+std::optional<SubmitMsg>
+tnums::service::decodeSubmit(const std::string &Payload, std::string &Error) {
+  Reader R(Payload);
+  SubmitMsg Msg;
+  if (!R.u8(Msg.Priority) || !readRequestCanonical(R, Msg.Request) ||
+      !R.done())
+    return malformed<SubmitMsg>("submit", Error);
+  return Msg;
+}
+
+std::string tnums::service::encodeVerdict(const VerdictMsg &Msg) {
+  Writer W;
+  W.u8(Msg.Accepted ? 1 : 0);
+  W.u8(Msg.CacheHit ? 1 : 0);
+  W.u64(Msg.InsnVisits);
+  W.str(Msg.StructuralError);
+  W.u32(static_cast<uint32_t>(Msg.Violations.size()));
+  for (const Violation &V : Msg.Violations) {
+    W.u64(V.Pc);
+    W.str(V.Message);
+  }
+  return W.take();
+}
+
+std::optional<VerdictMsg>
+tnums::service::decodeVerdict(const std::string &Payload,
+                              std::string &Error) {
+  Reader R(Payload);
+  VerdictMsg Msg;
+  uint8_t Accepted, CacheHit;
+  uint32_t NumViolations;
+  if (!R.u8(Accepted) || !R.u8(CacheHit) || !R.u64(Msg.InsnVisits) ||
+      !R.str(Msg.StructuralError) || !R.u32(NumViolations) ||
+      Accepted > 1 || CacheHit > 1 || NumViolations > MaxWireViolations)
+    return malformed<VerdictMsg>("verdict", Error);
+  Msg.Accepted = Accepted == 1;
+  Msg.CacheHit = CacheHit == 1;
+  Msg.Violations.reserve(NumViolations);
+  for (uint32_t N = 0; N != NumViolations; ++N) {
+    Violation V;
+    uint64_t Pc;
+    if (!R.u64(Pc) || !R.str(V.Message))
+      return malformed<VerdictMsg>("verdict", Error);
+    V.Pc = static_cast<size_t>(Pc);
+    Msg.Violations.push_back(std::move(V));
+  }
+  if (!R.done())
+    return malformed<VerdictMsg>("verdict", Error);
+  return Msg;
+}
+
+std::string tnums::service::encodeBusy(const BusyMsg &Msg) {
+  Writer W;
+  W.u8(Msg.Reason);
+  W.u64(Msg.PendingDepth);
+  return W.take();
+}
+
+std::optional<BusyMsg>
+tnums::service::decodeBusy(const std::string &Payload, std::string &Error) {
+  Reader R(Payload);
+  BusyMsg Msg;
+  if (!R.u8(Msg.Reason) || !R.u64(Msg.PendingDepth) || Msg.Reason > 1 ||
+      !R.done())
+    return malformed<BusyMsg>("busy", Error);
+  return Msg;
+}
+
+std::string tnums::service::encodeError(const ErrorMsg &Msg) {
+  Writer W;
+  W.u16(static_cast<uint16_t>(Msg.Code));
+  W.str(Msg.Message);
+  return W.take();
+}
+
+std::optional<ErrorMsg>
+tnums::service::decodeError(const std::string &Payload, std::string &Error) {
+  Reader R(Payload);
+  uint16_t Code;
+  ErrorMsg Msg;
+  if (!R.u16(Code) || !R.str(Msg.Message) ||
+      Code > static_cast<uint16_t>(WireError::Internal) || !R.done())
+    return malformed<ErrorMsg>("error", Error);
+  Msg.Code = static_cast<WireError>(Code);
+  return Msg;
+}
+
+std::string tnums::service::encodeStatsReply(const StatsReplyMsg &Msg) {
+  Writer W;
+  W.u64(Msg.Connections);
+  W.u64(Msg.Submits);
+  W.u64(Msg.Verdicts);
+  W.u64(Msg.Analyses);
+  W.u64(Msg.CacheMemoryHits);
+  W.u64(Msg.CacheDiskHits);
+  W.u64(Msg.CacheStores);
+  W.u64(Msg.CacheStaleInvalidated);
+  W.u64(Msg.CachePoisonedRejected);
+  W.u64(Msg.BusyPool);
+  W.u64(Msg.BusyQuota);
+  W.u64(Msg.ProtocolErrors);
+  return W.take();
+}
+
+std::optional<StatsReplyMsg>
+tnums::service::decodeStatsReply(const std::string &Payload,
+                                 std::string &Error) {
+  Reader R(Payload);
+  StatsReplyMsg Msg;
+  if (!R.u64(Msg.Connections) || !R.u64(Msg.Submits) ||
+      !R.u64(Msg.Verdicts) || !R.u64(Msg.Analyses) ||
+      !R.u64(Msg.CacheMemoryHits) || !R.u64(Msg.CacheDiskHits) ||
+      !R.u64(Msg.CacheStores) || !R.u64(Msg.CacheStaleInvalidated) ||
+      !R.u64(Msg.CachePoisonedRejected) || !R.u64(Msg.BusyPool) ||
+      !R.u64(Msg.BusyQuota) || !R.u64(Msg.ProtocolErrors) || !R.done())
+    return malformed<StatsReplyMsg>("stats-reply", Error);
+  return Msg;
+}
+
+VerifyResult tnums::service::verdictToResult(const VerdictMsg &Msg) {
+  VerifyResult Result;
+  Result.Done = true;
+  Result.Accepted = Msg.Accepted;
+  Result.InsnVisits = Msg.InsnVisits;
+  Result.StructuralError = Msg.StructuralError;
+  Result.Violations = Msg.Violations;
+  return Result;
+}
+
+VerdictMsg tnums::service::resultToVerdict(const VerifyResult &Result,
+                                           bool CacheHit) {
+  VerdictMsg Msg;
+  Msg.Accepted = Result.Accepted;
+  Msg.CacheHit = CacheHit;
+  Msg.InsnVisits = Result.InsnVisits;
+  Msg.StructuralError = Result.StructuralError;
+  Msg.Violations = Result.Violations;
+  return Msg;
+}
+
+//===----------------------------------------------------------------------===//
+// FrameDecoder
+//===----------------------------------------------------------------------===//
+
+void FrameDecoder::feed(const char *Data, size_t Size) {
+  // Compact lazily so a long-lived connection's buffer does not grow
+  // without bound while staying O(1) amortized.
+  if (Consumed > 4096 && Consumed > Buffer.size() / 2) {
+    Buffer.erase(0, Consumed);
+    Consumed = 0;
+  }
+  Buffer.append(Data, Size);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame &Out, WireError &Code,
+                                        std::string &Error) {
+  if (Broken) {
+    Code = BrokenCode;
+    Error = BrokenError;
+    return Status::Corrupt;
+  }
+  size_t Avail = Buffer.size() - Consumed;
+  if (Avail < FrameHeaderBytes)
+    return Status::NeedMore;
+  const char *Head = Buffer.data() + Consumed;
+  auto U8 = [&](size_t I) {
+    return static_cast<uint8_t>(Head[I]);
+  };
+  auto U16 = [&](size_t I) {
+    return static_cast<uint16_t>(U8(I) | (static_cast<uint16_t>(U8(I + 1))
+                                          << 8));
+  };
+  auto U32 = [&](size_t I) {
+    return U16(I) | (static_cast<uint32_t>(U16(I + 2)) << 16);
+  };
+  auto U64 = [&](size_t I) {
+    return U32(I) | (static_cast<uint64_t>(U32(I + 4)) << 32);
+  };
+
+  auto Fail = [&](WireError C, std::string Message) {
+    Broken = true;
+    BrokenCode = C;
+    BrokenError = std::move(Message);
+    Code = BrokenCode;
+    Error = BrokenError;
+    return Status::Corrupt;
+  };
+
+  if (U32(0) != FrameMagic)
+    return Fail(WireError::BadMagic,
+                formatString("frame magic %08x != %08x", U32(0), FrameMagic));
+  if (U8(4) != ProtocolVersion)
+    return Fail(WireError::BadVersion,
+                formatString("protocol version %u unsupported", U8(4)));
+  uint8_t TypeByte = U8(5);
+  if (TypeByte < static_cast<uint8_t>(MsgType::Hello) ||
+      TypeByte > static_cast<uint8_t>(MsgType::ShutdownAck))
+    return Fail(WireError::BadType,
+                formatString("unknown frame type %u", TypeByte));
+  if (U16(6) != 0)
+    return Fail(WireError::BadMagic, "reserved header bytes nonzero");
+  uint32_t PayloadLen = U32(16);
+  if (PayloadLen > MaxPayloadBytes)
+    return Fail(WireError::OversizedFrame,
+                formatString("payload length %u exceeds cap %u", PayloadLen,
+                             MaxPayloadBytes));
+  if (Avail < FrameHeaderBytes + PayloadLen)
+    return Status::NeedMore;
+
+  Out.Type = static_cast<MsgType>(TypeByte);
+  Out.RequestId = U64(8);
+  Out.Payload.assign(Head + FrameHeaderBytes, PayloadLen);
+  Consumed += FrameHeaderBytes + PayloadLen;
+  return Status::Ready;
+}

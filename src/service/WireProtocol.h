@@ -1,0 +1,247 @@
+//===- service/WireProtocol.h - tnumsd framing and codec --------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary protocol the verification daemon (tnumsd,
+/// service/Daemon.h) speaks over its UNIX/TCP sockets. Full spec in
+/// docs/SERVICE.md; the shape:
+///
+///   frame := header payload
+///   header (20 bytes, little-endian):
+///     u32 magic       0x544E5531 ("TNU1")
+///     u8  version     1
+///     u8  type        MsgType
+///     u16 reserved    must be 0
+///     u64 request id  client-chosen token, echoed on every reply
+///     u32 payload len bounded by MaxPayloadBytes
+///
+/// Every multi-byte field is little-endian and encoded/decoded field-wise
+/// (never memcpy of structs), so the wire format is identical across
+/// platforms and struct padding can neither leak nor desynchronize.
+///
+/// Robustness contract (locked by tests/WireProtocolTest.cpp): decoders
+/// never read past the supplied buffer, reject every truncated, oversized,
+/// out-of-range, or trailing-garbage input with an error (latched, not
+/// thrown), and a FrameDecoder fed arbitrary bytes either produces valid
+/// frames or reports a protocol error -- it cannot crash, hang, or yield a
+/// partial frame. The daemon answers a protocol error with MsgType::Error
+/// and closes the connection.
+///
+/// The Submit payload embeds the *canonical request encoding*
+/// (encodeRequestCanonical): exactly the verdict-relevant fields of a
+/// VerifyRequest. The persistent VerdictCache reuses the same bytes as its
+/// key material and stored exact-match witness, so "identical request" has
+/// one definition protocol-wide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SERVICE_WIREPROTOCOL_H
+#define TNUMS_SERVICE_WIREPROTOCOL_H
+
+#include "service/VerificationService.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tnums {
+namespace service {
+
+/// \name Protocol constants
+/// @{
+inline constexpr uint32_t FrameMagic = 0x544E5531; // "TNU1"
+inline constexpr uint8_t ProtocolVersion = 1;
+/// Frames above this payload size are refused outright (backpressure on
+/// memory: a hostile length prefix cannot make the daemon allocate).
+inline constexpr uint32_t MaxPayloadBytes = 1u << 20;
+inline constexpr size_t FrameHeaderBytes = 20;
+/// Submit programs above this instruction count are malformed (far above
+/// anything the generator or the kernel's 4k insn cap would produce).
+inline constexpr uint32_t MaxWireInsns = 1u << 16;
+/// Violation lists and strings are bounded the same way.
+inline constexpr uint32_t MaxWireViolations = 1u << 12;
+inline constexpr uint32_t MaxWireString = 1u << 16;
+/// @}
+
+/// Frame types. Requests flow client -> daemon, replies daemon -> client;
+/// every reply echoes the request's id.
+enum class MsgType : uint8_t {
+  Hello = 1,    ///< Client: tenant name; must be the first frame.
+  HelloAck,     ///< Daemon: version fingerprint + limits.
+  Submit,       ///< Client: priority + canonical request.
+  Verdict,      ///< Daemon: the verdict (+witness on reject).
+  Busy,         ///< Daemon: admission refused; retry later.
+  Error,        ///< Daemon: protocol error; connection closes after.
+  StatsQuery,   ///< Client: empty.
+  StatsReply,   ///< Daemon: counter snapshot.
+  Shutdown,     ///< Client: stop the daemon.
+  ShutdownAck,  ///< Daemon: acknowledged; daemon exits after flush.
+};
+
+/// True for the types a client may send.
+bool isRequestType(MsgType Type);
+
+/// Why an Error frame was sent. u16 on the wire.
+enum class WireError : uint16_t {
+  None = 0,
+  BadMagic,         ///< Header magic mismatch (stream desync).
+  BadVersion,       ///< Unsupported protocol version.
+  BadType,          ///< Unknown or direction-invalid frame type.
+  OversizedFrame,   ///< Payload length above MaxPayloadBytes.
+  MalformedPayload, ///< Payload failed to decode.
+  HelloRequired,    ///< First frame was not Hello.
+  Internal,         ///< Daemon-side failure (cache I/O, ...).
+};
+
+/// Stable name for diagnostics ("bad-magic", ...).
+const char *wireErrorName(WireError Error);
+
+/// One decoded frame: header fields plus raw payload bytes.
+struct Frame {
+  MsgType Type = MsgType::Error;
+  uint64_t RequestId = 0;
+  std::string Payload;
+};
+
+/// \name Payload structs
+/// @{
+struct HelloMsg {
+  std::string Tenant; ///< Admission/quota identity; empty -> "anon".
+};
+
+struct HelloAckMsg {
+  uint64_t VersionFingerprint = 0; ///< analyzerVerdictFingerprint().
+  uint32_t MaxPayload = MaxPayloadBytes;
+  uint8_t Version = ProtocolVersion;
+};
+
+struct SubmitMsg {
+  uint8_t Priority = 0; ///< Higher runs first.
+  VerifyRequest Request;
+};
+
+struct VerdictMsg {
+  bool Accepted = false;
+  bool CacheHit = false; ///< Served from the verdict cache, no analysis.
+  uint64_t InsnVisits = 0;
+  std::string StructuralError;
+  std::vector<bpf::Violation> Violations; ///< The witness on reject.
+};
+
+struct BusyMsg {
+  /// 0 = pool/queue saturated, 1 = per-tenant quota exceeded.
+  uint8_t Reason = 0;
+  uint64_t PendingDepth = 0; ///< Jobs queued+running at refusal time.
+};
+
+struct ErrorMsg {
+  WireError Code = WireError::None;
+  std::string Message;
+};
+
+struct StatsReplyMsg {
+  uint64_t Connections = 0;
+  uint64_t Submits = 0;
+  uint64_t Verdicts = 0;
+  uint64_t Analyses = 0; ///< Verdicts computed by running the analyzer.
+  uint64_t CacheMemoryHits = 0;
+  uint64_t CacheDiskHits = 0;
+  uint64_t CacheStores = 0;
+  uint64_t CacheStaleInvalidated = 0;
+  uint64_t CachePoisonedRejected = 0;
+  uint64_t BusyPool = 0;
+  uint64_t BusyQuota = 0;
+  uint64_t ProtocolErrors = 0;
+
+  uint64_t cacheHits() const { return CacheMemoryHits + CacheDiskHits; }
+};
+/// @}
+
+/// \name Encoders
+/// Frame encoders produce a complete wire frame (header + payload);
+/// payload encoders produce just the payload bytes.
+/// @{
+std::string encodeFrame(MsgType Type, uint64_t RequestId,
+                        const std::string &Payload);
+
+/// The canonical byte encoding of every verdict-relevant VerifyRequest
+/// field (MemSize, analyzer knobs, instructions field-wise). Two requests
+/// have equal canonical encodings iff they must produce equal verdicts;
+/// the VerdictCache keys and exact-matches on these bytes.
+std::string encodeRequestCanonical(const VerifyRequest &Request);
+
+std::string encodeHello(const HelloMsg &Msg);
+std::string encodeHelloAck(const HelloAckMsg &Msg);
+std::string encodeSubmit(const SubmitMsg &Msg);
+std::string encodeVerdict(const VerdictMsg &Msg);
+std::string encodeBusy(const BusyMsg &Msg);
+std::string encodeError(const ErrorMsg &Msg);
+std::string encodeStatsReply(const StatsReplyMsg &Msg);
+/// @}
+
+/// \name Decoders
+/// nullopt with \p Error set on any malformed input (truncation, bound
+/// violations, out-of-range enums, trailing bytes). Never over-read.
+/// @{
+std::optional<VerifyRequest> decodeRequestCanonical(const std::string &Bytes,
+                                                    std::string &Error);
+std::optional<HelloMsg> decodeHello(const std::string &Payload,
+                                    std::string &Error);
+std::optional<HelloAckMsg> decodeHelloAck(const std::string &Payload,
+                                          std::string &Error);
+std::optional<SubmitMsg> decodeSubmit(const std::string &Payload,
+                                      std::string &Error);
+std::optional<VerdictMsg> decodeVerdict(const std::string &Payload,
+                                        std::string &Error);
+std::optional<BusyMsg> decodeBusy(const std::string &Payload,
+                                  std::string &Error);
+std::optional<ErrorMsg> decodeError(const std::string &Payload,
+                                    std::string &Error);
+std::optional<StatsReplyMsg> decodeStatsReply(const std::string &Payload,
+                                              std::string &Error);
+/// @}
+
+/// Converts a VerdictMsg to the in-process result type (Done = true) and
+/// back, so daemon clients can reuse verdictFingerprint() unchanged.
+VerifyResult verdictToResult(const VerdictMsg &Msg);
+VerdictMsg resultToVerdict(const VerifyResult &Result, bool CacheHit);
+
+/// Incremental frame reassembly over a byte stream. feed() bytes as they
+/// arrive; next() pops complete frames. A header violation (bad magic,
+/// bad version, unknown type, oversized length) latches Status::Error
+/// with a WireError -- the stream is desynchronized and the connection
+/// must be dropped after an Error reply.
+class FrameDecoder {
+public:
+  enum class Status : uint8_t {
+    NeedMore, ///< No complete frame buffered yet.
+    Ready,    ///< One frame popped into the out-param.
+    Corrupt,  ///< Stream violated the framing; connection must close.
+  };
+
+  /// Appends raw bytes from the socket.
+  void feed(const char *Data, size_t Size);
+
+  /// Pops the next complete frame. On Corrupt, \p Error names the
+  /// violation (and further calls keep returning Corrupt).
+  Status next(Frame &Out, WireError &Code, std::string &Error);
+
+  /// Bytes buffered but not yet consumed (for tests).
+  size_t bufferedBytes() const { return Buffer.size() - Consumed; }
+
+private:
+  std::string Buffer;
+  size_t Consumed = 0; ///< Prefix of Buffer already handed out.
+  bool Broken = false;
+  WireError BrokenCode = WireError::None;
+  std::string BrokenError;
+};
+
+} // namespace service
+} // namespace tnums
+
+#endif // TNUMS_SERVICE_WIREPROTOCOL_H

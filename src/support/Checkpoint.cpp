@@ -63,13 +63,17 @@ uint64_t tempNonce() {
   return Hash.digest();
 }
 
-/// Writes \p Contents to \p Path durably: temp sibling + fsync + rename +
-/// directory fsync. Returns false with \p Error set on any syscall
-/// failure. The temp name embeds the pid (so open() can sweep temps whose
-/// writer died) plus a random nonce (so writers never collide even across
-/// pid recycling).
-bool writeFileDurable(const std::string &Path, const std::string &Contents,
-                      std::string &Error) {
+} // namespace
+
+// (Declared in Checkpoint.h; the shard store below and the service
+// layer's VerdictCache share this implementation.) Writes \p Contents to
+// \p Path durably: temp sibling + fsync + rename + directory fsync.
+// Returns false with \p Error set on any syscall failure. The temp name
+// embeds the pid (so open() can sweep temps whose writer died) plus a
+// random nonce (so writers never collide even across pid recycling).
+bool tnums::writeFileDurable(const std::string &Path,
+                             const std::string &Contents,
+                             std::string &Error) {
   std::string Temp =
       formatString("%s.tmp.%ld.%016" PRIx64, Path.c_str(),
                    static_cast<long>(::getpid()), tempNonce());
@@ -126,6 +130,8 @@ bool writeFileDurable(const std::string &Path, const std::string &Contents,
   return true;
 }
 
+namespace {
+
 /// Minimum idle age before a dead-pid temp file is considered orphaned.
 /// The pid test is only meaningful on the machine that created the file;
 /// in the cross-machine farming mode (one checkpoint dir on NFS) a
@@ -135,14 +141,16 @@ bool writeFileDurable(const std::string &Path, const std::string &Contents,
 /// opens the store after the grace period.
 constexpr time_t OrphanTempGraceSeconds = 15 * 60;
 
-/// Unlinks temp files in \p Dir whose writer is provably dead. A temp
-/// name is "<target>.tmp.<pid>[.<nonce>]"; the file is an orphan when
-/// kill(pid, 0) reports ESRCH AND its mtime is older than the grace
-/// period above. A live pid -- even one recycled to an unrelated process
-/// -- leaves the file alone: sweeping is an opportunistic cleanup, and
-/// the nonce already guarantees no live writer can be addressed by a new
-/// one.
-void sweepOrphanedTemps(const std::string &Dir) {
+} // namespace
+
+// (Declared in Checkpoint.h.) Unlinks temp files in \p Dir whose writer
+// is provably dead. A temp name is "<target>.tmp.<pid>[.<nonce>]"; the
+// file is an orphan when kill(pid, 0) reports ESRCH AND its mtime is
+// older than the grace period above. A live pid -- even one recycled to
+// an unrelated process -- leaves the file alone: sweeping is an
+// opportunistic cleanup, and the nonce already guarantees no live writer
+// can be addressed by a new one.
+void tnums::sweepOrphanedTempFiles(const std::string &Dir) {
   std::error_code Ec;
   const time_t Now = ::time(nullptr);
   for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, Ec)) {
@@ -167,6 +175,8 @@ void sweepOrphanedTemps(const std::string &Dir) {
     ::unlink(Entry.path().c_str()); // Best-effort; races are benign.
   }
 }
+
+namespace {
 
 std::optional<std::string> readFile(const std::string &Path) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
@@ -227,7 +237,7 @@ CheckpointStore::open(const std::string &Dir, uint64_t Fingerprint,
                          Dir.c_str(), Ec.message().c_str());
     return std::nullopt;
   }
-  sweepOrphanedTemps(Dir);
+  sweepOrphanedTempFiles(Dir);
   std::string ManifestPath = Dir + "/" + ManifestName;
   if (std::optional<std::string> Existing = readFile(ManifestPath)) {
     // Resuming: the directory must belong to this exact campaign.

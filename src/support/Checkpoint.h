@@ -139,6 +139,26 @@ private:
   uint64_t Fingerprint;
 };
 
+/// \name Durability primitives
+/// The atomic-write discipline CheckpointStore's shards are built on,
+/// exported for other durable stores (the service layer's cross-run
+/// VerdictCache persists verdict entries through exactly this path, so
+/// its files inherit the same torn-write guarantee).
+/// @{
+
+/// Writes \p Contents to \p Path durably: pid+nonce temp sibling + fsync
+/// + close-check + rename + directory fsync. A killed writer leaves
+/// either the complete new file or the old state -- never a torn file.
+/// False with \p Error set on any syscall failure.
+bool writeFileDurable(const std::string &Path, const std::string &Contents,
+                      std::string &Error);
+
+/// Unlinks "<target>.tmp.<pid>.<nonce>" temp files in \p Dir whose writer
+/// pid is provably dead and whose mtime is past the cross-machine grace
+/// period. Best-effort cleanup; call once when opening a durable store.
+void sweepOrphanedTempFiles(const std::string &Dir);
+/// @}
+
 /// FNV-1a over a byte run -- the digest the campaign layer fingerprints
 /// specs with (shared here so every front end hashes identically).
 class Fnv1a {

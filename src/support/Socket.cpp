@@ -1,0 +1,259 @@
+//===- support/Socket.cpp - Socket and event-loop helpers ----------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include "support/Table.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tnums;
+
+void OwnedFd::reset() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+namespace {
+
+std::optional<OwnedFd> makeSocket(int Domain, std::string &Error) {
+  int Fd = ::socket(Domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Error = formatString("socket(): %s", std::strerror(errno));
+    return std::nullopt;
+  }
+  return OwnedFd(Fd);
+}
+
+/// Fills \p Addr for \p Path; false when the path does not fit (the
+/// classic sockaddr_un limitation surfaces as a clean error, not
+/// truncation).
+bool fillUnixAddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string &Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    Error = formatString("unix socket path %s is empty or longer than %zu",
+                         Path.c_str(), sizeof(Addr.sun_path) - 1);
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+std::optional<OwnedFd> tnums::listenUnix(const std::string &Path,
+                                         std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, Error))
+    return std::nullopt;
+  std::optional<OwnedFd> Fd = makeSocket(AF_UNIX, Error);
+  if (!Fd)
+    return std::nullopt;
+  // A daemon killed without cleanup leaves its socket file behind; bind
+  // would fail with EADDRINUSE forever. Only ever unlink sockets -- a
+  // regular file at the path is a configuration error worth surfacing.
+  struct stat St;
+  if (::lstat(Path.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      Error = formatString("%s exists and is not a socket", Path.c_str());
+      return std::nullopt;
+    }
+    ::unlink(Path.c_str());
+  }
+  if (::bind(Fd->get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Error = formatString("bind(%s): %s", Path.c_str(), std::strerror(errno));
+    return std::nullopt;
+  }
+  if (::listen(Fd->get(), 64) != 0) {
+    Error = formatString("listen(%s): %s", Path.c_str(),
+                         std::strerror(errno));
+    return std::nullopt;
+  }
+  return Fd;
+}
+
+std::optional<OwnedFd> tnums::listenTcpLoopback(uint16_t Port,
+                                                uint16_t &BoundPort,
+                                                std::string &Error) {
+  std::optional<OwnedFd> Fd = makeSocket(AF_INET, Error);
+  if (!Fd)
+    return std::nullopt;
+  int One = 1;
+  ::setsockopt(Fd->get(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd->get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Error = formatString("bind(127.0.0.1:%u): %s", Port,
+                         std::strerror(errno));
+    return std::nullopt;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd->get(), reinterpret_cast<sockaddr *>(&Addr), &Len) !=
+      0) {
+    Error = formatString("getsockname(): %s", std::strerror(errno));
+    return std::nullopt;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  if (::listen(Fd->get(), 64) != 0) {
+    Error = formatString("listen(127.0.0.1:%u): %s", BoundPort,
+                         std::strerror(errno));
+    return std::nullopt;
+  }
+  return Fd;
+}
+
+std::optional<OwnedFd> tnums::connectUnix(const std::string &Path,
+                                          std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, Error))
+    return std::nullopt;
+  std::optional<OwnedFd> Fd = makeSocket(AF_UNIX, Error);
+  if (!Fd)
+    return std::nullopt;
+  if (::connect(Fd->get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = formatString("connect(%s): %s", Path.c_str(),
+                         std::strerror(errno));
+    return std::nullopt;
+  }
+  return Fd;
+}
+
+std::optional<OwnedFd> tnums::connectTcpLoopback(uint16_t Port,
+                                                 std::string &Error) {
+  std::optional<OwnedFd> Fd = makeSocket(AF_INET, Error);
+  if (!Fd)
+    return std::nullopt;
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd->get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = formatString("connect(127.0.0.1:%u): %s", Port,
+                         std::strerror(errno));
+    return std::nullopt;
+  }
+  return Fd;
+}
+
+std::optional<OwnedFd> tnums::connectUnixRetry(const std::string &Path,
+                                               unsigned TimeoutMs,
+                                               std::string &Error) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    if (std::optional<OwnedFd> Fd = connectUnix(Path, Error))
+      return Fd;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return std::nullopt; // Error from the last attempt stands.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+bool tnums::writeAll(int Fd, const void *Data, size_t Size,
+                     std::string &Error) {
+  const char *Bytes = static_cast<const char *>(Data);
+  size_t Written = 0;
+  while (Written != Size) {
+    ssize_t N = ::write(Fd, Bytes + Written, Size - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = formatString("write(): %s", std::strerror(errno));
+      return false;
+    }
+    Written += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool tnums::readAll(int Fd, void *Data, size_t Size, std::string &Error) {
+  char *Bytes = static_cast<char *>(Data);
+  size_t Got = 0;
+  while (Got != Size) {
+    ssize_t N = ::read(Fd, Bytes + Got, Size - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = formatString("read(): %s", std::strerror(errno));
+      return false;
+    }
+    if (N == 0) {
+      if (Got == 0) {
+        Error.clear(); // Orderly EOF at a message boundary.
+      } else {
+        Error = formatString("connection closed mid-message (%zu of %zu "
+                             "bytes)",
+                             Got, Size);
+      }
+      return false;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool tnums::setNonBlocking(int Fd, std::string &Error) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0) {
+    Error = formatString("fcntl(O_NONBLOCK): %s", std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+void tnums::ignoreSigpipe() {
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+std::optional<SelfPipe> SelfPipe::create(std::string &Error) {
+  int Fds[2];
+  if (::pipe(Fds) != 0) {
+    Error = formatString("pipe(): %s", std::strerror(errno));
+    return std::nullopt;
+  }
+  OwnedFd Read(Fds[0]), Write(Fds[1]);
+  if (!setNonBlocking(Read.get(), Error) ||
+      !setNonBlocking(Write.get(), Error))
+    return std::nullopt;
+  return SelfPipe(std::move(Read), std::move(Write));
+}
+
+void SelfPipe::notify() const {
+  char Byte = 1;
+  // EAGAIN (pipe full) is success: a wakeup is already pending. EINTR is
+  // retried; anything else is unreachable for a valid pipe.
+  while (::write(Write.get(), &Byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void SelfPipe::drain() const {
+  char Buf[256];
+  while (::read(Read.get(), Buf, sizeof(Buf)) > 0) {
+  }
+}

@@ -1,0 +1,136 @@
+//===- support/Socket.h - Socket and event-loop helpers --------*- C++ -*-===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX socket wrappers shared by the verification daemon
+/// (service/Daemon.h) and its client (service/DaemonClient.h): RAII file
+/// descriptors, UNIX-domain and loopback-TCP listeners/connectors, short
+/// retrying connect for daemon-startup races, full-buffer read/write
+/// helpers, and a self-pipe for waking a poll() loop from worker threads
+/// (the completion-queue handshake the daemon's event loop relies on).
+///
+/// Everything reports failure via a bool/optional plus an Error string --
+/// the same convention as support/Checkpoint.h -- and nothing here throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_SOCKET_H
+#define TNUMS_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tnums {
+
+/// Owns one file descriptor; closes it on destruction. Movable, not
+/// copyable.
+class OwnedFd {
+public:
+  OwnedFd() = default;
+  explicit OwnedFd(int FdV) : Fd(FdV) {}
+  ~OwnedFd() { reset(); }
+  OwnedFd(OwnedFd &&Other) noexcept : Fd(Other.release()) {}
+  OwnedFd &operator=(OwnedFd &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Fd = Other.release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd &) = delete;
+  OwnedFd &operator=(const OwnedFd &) = delete;
+
+  int get() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+  int release() { return std::exchange(Fd, -1); }
+  void reset();
+
+private:
+  int Fd = -1;
+};
+
+/// \name Listeners and connectors
+/// Blocking sockets with CLOEXEC set; callers flip individual connections
+/// nonblocking when they hand them to a poll() loop.
+/// @{
+
+/// Binds and listens on a UNIX-domain socket at \p Path, unlinking any
+/// stale socket file left by a dead daemon first. Fails when \p Path
+/// exceeds sockaddr_un::sun_path.
+std::optional<OwnedFd> listenUnix(const std::string &Path,
+                                  std::string &Error);
+
+/// Binds and listens on loopback TCP port \p Port (0 picks an ephemeral
+/// port); the bound port is returned through \p BoundPort.
+std::optional<OwnedFd> listenTcpLoopback(uint16_t Port, uint16_t &BoundPort,
+                                         std::string &Error);
+
+/// Connects to the UNIX-domain socket at \p Path.
+std::optional<OwnedFd> connectUnix(const std::string &Path,
+                                   std::string &Error);
+
+/// Connects to loopback TCP port \p Port.
+std::optional<OwnedFd> connectTcpLoopback(uint16_t Port, std::string &Error);
+
+/// connectUnix with retries for up to \p TimeoutMs: the daemon-startup
+/// race (client launched before the daemon finished binding) resolves by
+/// polling instead of failing.
+std::optional<OwnedFd> connectUnixRetry(const std::string &Path,
+                                        unsigned TimeoutMs,
+                                        std::string &Error);
+/// @}
+
+/// Writes all \p Size bytes of \p Data to \p Fd, riding out EINTR and
+/// short writes. False with \p Error set on any hard failure (including
+/// the peer closing: EPIPE is an error here, not a signal -- callers
+/// install SIG_IGN or MSG_NOSIGNAL-equivalent themselves; see
+/// ignoreSigpipe()).
+bool writeAll(int Fd, const void *Data, size_t Size, std::string &Error);
+
+/// Reads exactly \p Size bytes into \p Data. False with \p Error empty
+/// means orderly EOF before any byte; \p Error set means a read failure
+/// or EOF mid-buffer.
+bool readAll(int Fd, void *Data, size_t Size, std::string &Error);
+
+/// Marks \p Fd nonblocking. False with \p Error set on failure.
+bool setNonBlocking(int Fd, std::string &Error);
+
+/// Ignores SIGPIPE process-wide (idempotent): a daemon writing to a
+/// client that vanished must see EPIPE from write(), not die.
+void ignoreSigpipe();
+
+/// The classic self-pipe: worker threads notify() (async-signal-safe, one
+/// byte, saturating), the poll() loop watches readFd() and drain()s when
+/// it wakes. Created nonblocking on both ends so a full pipe can never
+/// block a notifier.
+class SelfPipe {
+public:
+  static std::optional<SelfPipe> create(std::string &Error);
+
+  int readFd() const { return Read.get(); }
+
+  /// Wakes the poller; safe from any thread. A full pipe is success (the
+  /// poller is already pending a wakeup).
+  void notify() const;
+
+  /// Drains every pending wakeup byte.
+  void drain() const;
+
+private:
+  SelfPipe(OwnedFd ReadV, OwnedFd WriteV)
+      : Read(std::move(ReadV)), Write(std::move(WriteV)) {}
+
+  OwnedFd Read;
+  OwnedFd Write;
+};
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_SOCKET_H

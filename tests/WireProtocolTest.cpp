@@ -1,0 +1,427 @@
+//===- tests/WireProtocolTest.cpp - tnumsd wire protocol battery ----------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locks the robustness contract of the daemon protocol (WireProtocol.h):
+/// every payload codec round-trips exactly; the canonical request
+/// encoding is a faithful equality witness; and -- the fuzz battery -- a
+/// FrameDecoder or payload decoder fed truncated, oversized, bit-flipped,
+/// or arbitrary seeded-random bytes must either produce a valid frame or
+/// report a protocol error. It must never crash, hang, over-read (the
+/// ASan/UBSan CI leg runs this same battery sanitized), or yield a
+/// partial verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ProgramGen.h"
+#include "service/WireProtocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace tnums;
+using namespace tnums::bpf;
+using namespace tnums::service;
+
+namespace {
+
+constexpr uint64_t MemSize = 32;
+
+/// SplitMix64: seeded, stdlib-free randomness for the fuzz legs.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+  uint64_t below(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+};
+
+std::vector<VerifyRequest> makeRequests(uint64_t Seed, uint64_t Count) {
+  GenOptions Opts;
+  Opts.Profile = GenProfile::Mixed;
+  Opts.MemSize = MemSize;
+  ProgramGen Gen(Seed, Opts);
+  std::vector<VerifyRequest> Requests;
+  for (uint64_t I = 0; I != Count; ++I) {
+    VerifyRequest Request;
+    Request.Prog = Gen.next();
+    Request.MemSize = MemSize;
+    Requests.push_back(std::move(Request));
+  }
+  return Requests;
+}
+
+bool sameInsn(const Insn &A, const Insn &B) {
+  return A.InsnKind == B.InsnKind && A.Alu == B.Alu && A.Cmp == B.Cmp &&
+         A.Dst == B.Dst && A.Src == B.Src && A.UsesImm == B.UsesImm &&
+         A.Imm == B.Imm && A.Offset == B.Offset && A.Size == B.Size &&
+         A.Is32 == B.Is32;
+}
+
+bool sameRequest(const VerifyRequest &A, const VerifyRequest &B) {
+  if (A.MemSize != B.MemSize ||
+      A.AnalyzerOpts.WideningThreshold != B.AnalyzerOpts.WideningThreshold ||
+      A.AnalyzerOpts.MaxInsnVisits != B.AnalyzerOpts.MaxInsnVisits ||
+      A.Prog.size() != B.Prog.size())
+    return false;
+  for (size_t I = 0; I != A.Prog.size(); ++I)
+    if (!sameInsn(A.Prog.insn(I), B.Prog.insn(I)))
+      return false;
+  return true;
+}
+
+/// Drains every complete frame; returns frames popped, stops on Corrupt.
+/// The bounded loop doubles as the no-hang assertion.
+size_t drainDecoder(FrameDecoder &Decoder, bool &Corrupt) {
+  Frame Out;
+  WireError Code;
+  std::string Error;
+  size_t Popped = 0;
+  for (size_t Guard = 0; Guard != 1u << 16; ++Guard) {
+    FrameDecoder::Status Status = Decoder.next(Out, Code, Error);
+    if (Status == FrameDecoder::Status::Ready) {
+      EXPECT_LE(Out.Payload.size(), MaxPayloadBytes);
+      ++Popped;
+      continue;
+    }
+    Corrupt = Status == FrameDecoder::Status::Corrupt;
+    if (Corrupt) {
+      EXPECT_FALSE(Error.empty());
+    }
+    return Popped;
+  }
+  ADD_FAILURE() << "decoder did not converge";
+  return Popped;
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(WireProtocol, CanonicalRequestRoundTripsExactly) {
+  for (VerifyRequest &Request : makeRequests(7, 200)) {
+    Request.AnalyzerOpts.WideningThreshold = 5;
+    Request.AnalyzerOpts.MaxInsnVisits = 100000;
+    std::string Bytes = encodeRequestCanonical(Request);
+    std::string Error;
+    std::optional<VerifyRequest> Decoded =
+        decodeRequestCanonical(Bytes, Error);
+    ASSERT_TRUE(Decoded) << Error;
+    EXPECT_TRUE(sameRequest(Request, *Decoded));
+    // Equality witness: re-encoding the decode reproduces the bytes.
+    EXPECT_EQ(Bytes, encodeRequestCanonical(*Decoded));
+  }
+}
+
+TEST(WireProtocol, PayloadCodecsRoundTrip) {
+  std::string Error;
+
+  HelloMsg Hello;
+  Hello.Tenant = "tenant-a";
+  std::optional<HelloMsg> Hello2 = decodeHello(encodeHello(Hello), Error);
+  ASSERT_TRUE(Hello2) << Error;
+  EXPECT_EQ(Hello2->Tenant, "tenant-a");
+
+  HelloAckMsg Ack;
+  Ack.VersionFingerprint = 0xDEADBEEFCAFEF00Dull;
+  std::optional<HelloAckMsg> Ack2 = decodeHelloAck(encodeHelloAck(Ack), Error);
+  ASSERT_TRUE(Ack2) << Error;
+  EXPECT_EQ(Ack2->VersionFingerprint, Ack.VersionFingerprint);
+  EXPECT_EQ(Ack2->MaxPayload, MaxPayloadBytes);
+  EXPECT_EQ(Ack2->Version, ProtocolVersion);
+
+  SubmitMsg Submit;
+  Submit.Priority = 3;
+  Submit.Request = makeRequests(9, 1).front();
+  std::optional<SubmitMsg> Submit2 = decodeSubmit(encodeSubmit(Submit), Error);
+  ASSERT_TRUE(Submit2) << Error;
+  EXPECT_EQ(Submit2->Priority, 3);
+  EXPECT_TRUE(sameRequest(Submit.Request, Submit2->Request));
+
+  VerdictMsg Verdict;
+  Verdict.Accepted = false;
+  Verdict.CacheHit = true;
+  Verdict.InsnVisits = 12345;
+  Verdict.StructuralError = "";
+  Violation Bad;
+  Bad.Pc = 7;
+  Bad.Message = "r1 out of bounds";
+  Verdict.Violations.push_back(Bad);
+  std::optional<VerdictMsg> Verdict2 =
+      decodeVerdict(encodeVerdict(Verdict), Error);
+  ASSERT_TRUE(Verdict2) << Error;
+  EXPECT_EQ(Verdict2->Accepted, false);
+  EXPECT_EQ(Verdict2->CacheHit, true);
+  EXPECT_EQ(Verdict2->InsnVisits, 12345u);
+  ASSERT_EQ(Verdict2->Violations.size(), 1u);
+  EXPECT_EQ(Verdict2->Violations[0].Pc, 7u);
+  EXPECT_EQ(Verdict2->Violations[0].Message, "r1 out of bounds");
+
+  BusyMsg Busy;
+  Busy.Reason = 1;
+  Busy.PendingDepth = 42;
+  std::optional<BusyMsg> Busy2 = decodeBusy(encodeBusy(Busy), Error);
+  ASSERT_TRUE(Busy2) << Error;
+  EXPECT_EQ(Busy2->Reason, 1);
+  EXPECT_EQ(Busy2->PendingDepth, 42u);
+
+  ErrorMsg Err;
+  Err.Code = WireError::HelloRequired;
+  Err.Message = "first frame must be Hello";
+  std::optional<ErrorMsg> Err2 = decodeError(encodeError(Err), Error);
+  ASSERT_TRUE(Err2) << Error;
+  EXPECT_EQ(Err2->Code, WireError::HelloRequired);
+  EXPECT_EQ(Err2->Message, "first frame must be Hello");
+
+  StatsReplyMsg Stats;
+  Stats.Submits = 10;
+  Stats.Analyses = 4;
+  Stats.CacheDiskHits = 6;
+  std::optional<StatsReplyMsg> Stats2 =
+      decodeStatsReply(encodeStatsReply(Stats), Error);
+  ASSERT_TRUE(Stats2) << Error;
+  EXPECT_EQ(Stats2->Submits, 10u);
+  EXPECT_EQ(Stats2->Analyses, 4u);
+  EXPECT_EQ(Stats2->cacheHits(), 6u);
+}
+
+TEST(WireProtocol, VerdictResultConversionRoundTrips) {
+  VerifyResult Result;
+  Result.Done = true;
+  Result.Accepted = false;
+  Result.InsnVisits = 999;
+  Violation Bad;
+  Bad.Pc = 3;
+  Bad.Message = "oops";
+  Result.Violations.push_back(Bad);
+  VerifyResult Back = verdictToResult(resultToVerdict(Result, false));
+  EXPECT_TRUE(Back.Done);
+  EXPECT_EQ(Back.Accepted, Result.Accepted);
+  EXPECT_EQ(Back.InsnVisits, Result.InsnVisits);
+  ASSERT_EQ(Back.Violations.size(), 1u);
+  EXPECT_EQ(Back.Violations[0].Message, "oops");
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(WireProtocol, FrameDecoderReassemblesByteByByte) {
+  std::string Stream = encodeFrame(MsgType::Hello, 17, encodeHello({"t"})) +
+                       encodeFrame(MsgType::StatsQuery, 18, "");
+  FrameDecoder Decoder;
+  std::vector<Frame> Frames;
+  Frame Out;
+  WireError Code;
+  std::string Error;
+  for (char Byte : Stream) {
+    Decoder.feed(&Byte, 1);
+    while (Decoder.next(Out, Code, Error) == FrameDecoder::Status::Ready)
+      Frames.push_back(Out);
+  }
+  ASSERT_EQ(Frames.size(), 2u);
+  EXPECT_EQ(Frames[0].Type, MsgType::Hello);
+  EXPECT_EQ(Frames[0].RequestId, 17u);
+  EXPECT_EQ(Frames[1].Type, MsgType::StatsQuery);
+  EXPECT_EQ(Frames[1].RequestId, 18u);
+  EXPECT_EQ(Decoder.bufferedBytes(), 0u);
+}
+
+TEST(WireProtocol, FrameDecoderRejectsHeaderViolations) {
+  struct Case {
+    const char *Name;
+    size_t Offset; ///< Byte to corrupt in a valid header.
+    char Value;
+    WireError Expect;
+  };
+  const Case Cases[] = {
+      {"magic", 0, 0x00, WireError::BadMagic},
+      {"version", 4, 0x7F, WireError::BadVersion},
+      {"type", 5, 0x7F, WireError::BadType},
+      {"type-zero", 5, 0x00, WireError::BadType},
+      {"reserved", 6, 0x01, WireError::BadMagic},
+  };
+  for (const Case &C : Cases) {
+    std::string Bytes = encodeFrame(MsgType::Hello, 1, encodeHello({"x"}));
+    Bytes[C.Offset] = C.Value;
+    FrameDecoder Decoder;
+    Decoder.feed(Bytes.data(), Bytes.size());
+    Frame Out;
+    WireError Code;
+    std::string Error;
+    EXPECT_EQ(Decoder.next(Out, Code, Error), FrameDecoder::Status::Corrupt)
+        << C.Name;
+    EXPECT_EQ(Code, C.Expect) << C.Name;
+    // Corrupt latches: more input cannot resurrect the stream.
+    Decoder.feed(Bytes.data(), Bytes.size());
+    EXPECT_EQ(Decoder.next(Out, Code, Error), FrameDecoder::Status::Corrupt)
+        << C.Name;
+  }
+}
+
+TEST(WireProtocol, FrameDecoderRejectsOversizedLength) {
+  std::string Bytes = encodeFrame(MsgType::Submit, 1, "");
+  uint32_t Huge = MaxPayloadBytes + 1;
+  for (unsigned Byte = 0; Byte != 4; ++Byte)
+    Bytes[16 + Byte] = static_cast<char>(Huge >> (8 * Byte));
+  FrameDecoder Decoder;
+  Decoder.feed(Bytes.data(), Bytes.size());
+  Frame Out;
+  WireError Code;
+  std::string Error;
+  EXPECT_EQ(Decoder.next(Out, Code, Error), FrameDecoder::Status::Corrupt);
+  EXPECT_EQ(Code, WireError::OversizedFrame);
+}
+
+TEST(WireProtocol, TruncatedFrameIsNeedMoreNeverPartial) {
+  std::string Bytes =
+      encodeFrame(MsgType::Submit, 5,
+                  encodeSubmit({2, makeRequests(3, 1).front()}));
+  for (size_t Cut = 0; Cut != Bytes.size(); ++Cut) {
+    FrameDecoder Decoder;
+    Decoder.feed(Bytes.data(), Cut);
+    Frame Out;
+    WireError Code;
+    std::string Error;
+    EXPECT_EQ(Decoder.next(Out, Code, Error), FrameDecoder::Status::NeedMore)
+        << "cut at " << Cut;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz battery (seeded, deterministic; the sanitizer leg re-runs these)
+//===----------------------------------------------------------------------===//
+
+TEST(WireProtocolFuzz, BitFlippedFramesNeverYieldPartialVerdicts) {
+  Rng Random(0xF1A5);
+  std::vector<VerifyRequest> Requests = makeRequests(41, 32);
+  for (unsigned Round = 0; Round != 400; ++Round) {
+    SubmitMsg Submit;
+    Submit.Priority = static_cast<uint8_t>(Random.below(4));
+    Submit.Request = Requests[Random.below(Requests.size())];
+    std::string Bytes =
+        encodeFrame(MsgType::Submit, Random.next(), encodeSubmit(Submit));
+    // Flip 1-4 random bits.
+    unsigned Flips = 1 + unsigned(Random.below(4));
+    for (unsigned F = 0; F != Flips; ++F)
+      Bytes[Random.below(Bytes.size())] ^=
+          static_cast<char>(1u << Random.below(8));
+
+    FrameDecoder Decoder;
+    Decoder.feed(Bytes.data(), Bytes.size());
+    Frame Out;
+    WireError Code;
+    std::string Error;
+    FrameDecoder::Status Status = Decoder.next(Out, Code, Error);
+    if (Status == FrameDecoder::Status::Ready) {
+      // Header survived; the payload decoder must either fully decode or
+      // cleanly refuse -- a flipped length that desyncs fields cannot
+      // produce a half-request.
+      std::string DecodeError;
+      std::optional<SubmitMsg> Decoded = decodeSubmit(Out.Payload, DecodeError);
+      if (Decoded) {
+        EXPECT_TRUE(DecodeError.empty());
+        EXPECT_EQ(encodeSubmit(*Decoded).size(), Out.Payload.size());
+      } else {
+        EXPECT_FALSE(DecodeError.empty());
+      }
+    } else if (Status == FrameDecoder::Status::Corrupt) {
+      EXPECT_NE(Code, WireError::None);
+    }
+  }
+}
+
+TEST(WireProtocolFuzz, ArbitraryStreamsNeverCrashOrHang) {
+  Rng Random(0xBEEF);
+  for (unsigned Round = 0; Round != 200; ++Round) {
+    FrameDecoder Decoder;
+    // A few chunks of garbage, occasionally seeded with a valid prefix so
+    // the decoder reaches the deeper header states.
+    std::string Stream;
+    if (Random.below(2) == 0)
+      Stream = encodeFrame(MsgType::Hello, 1, encodeHello({"x"}));
+    size_t Garbage = 1 + Random.below(256);
+    for (size_t I = 0; I != Garbage; ++I)
+      Stream.push_back(static_cast<char>(Random.next()));
+    size_t Offset = 0;
+    bool Corrupt = false;
+    while (Offset < Stream.size() && !Corrupt) {
+      size_t Chunk = 1 + Random.below(64);
+      Chunk = std::min(Chunk, Stream.size() - Offset);
+      Decoder.feed(Stream.data() + Offset, Chunk);
+      Offset += Chunk;
+      drainDecoder(Decoder, Corrupt);
+    }
+    // Either the stream desynced (Corrupt latched) or the tail is a
+    // partial frame (NeedMore) -- both are clean outcomes.
+  }
+}
+
+TEST(WireProtocolFuzz, TruncatedPayloadsAlwaysRefused) {
+  std::vector<VerifyRequest> Requests = makeRequests(43, 8);
+  for (const VerifyRequest &Request : Requests) {
+    SubmitMsg Submit;
+    Submit.Priority = 1;
+    Submit.Request = Request;
+    std::string Payload = encodeSubmit(Submit);
+    for (size_t Cut = 0; Cut != Payload.size(); ++Cut) {
+      std::string Error;
+      EXPECT_FALSE(decodeSubmit(Payload.substr(0, Cut), Error))
+          << "truncated payload decoded at " << Cut << "/" << Payload.size();
+      EXPECT_FALSE(Error.empty());
+    }
+    // Trailing garbage is just as malformed as truncation.
+    std::string Error;
+    EXPECT_FALSE(decodeSubmit(Payload + '\0', Error));
+    EXPECT_FALSE(decodeSubmit(Payload + Payload, Error));
+  }
+}
+
+TEST(WireProtocolFuzz, RandomBytesIntoEveryDecoder) {
+  Rng Random(0x5EED);
+  for (unsigned Round = 0; Round != 500; ++Round) {
+    std::string Bytes;
+    size_t Size = Random.below(128);
+    for (size_t I = 0; I != Size; ++I)
+      Bytes.push_back(static_cast<char>(Random.next()));
+    std::string Error;
+    // None of these may crash, hang, or over-read; outcomes are checked
+    // only for the decode/refuse dichotomy.
+    if (auto Decoded = decodeRequestCanonical(Bytes, Error)) {
+      EXPECT_EQ(encodeRequestCanonical(*Decoded), Bytes);
+    }
+    (void)decodeHello(Bytes, Error);
+    (void)decodeHelloAck(Bytes, Error);
+    (void)decodeSubmit(Bytes, Error);
+    (void)decodeVerdict(Bytes, Error);
+    (void)decodeBusy(Bytes, Error);
+    (void)decodeError(Bytes, Error);
+    (void)decodeStatsReply(Bytes, Error);
+  }
+}
+
+TEST(WireProtocol, CanonicalRejectsOutOfRangeEnums) {
+  VerifyRequest Request = makeRequests(11, 1).front();
+  std::string Bytes = encodeRequestCanonical(Request);
+  ASSERT_GE(Request.Prog.size(), 1u);
+  // Layout: u64 MemSize, u64 Widening, u64 MaxVisits, u32 count, then the
+  // first insn starts with its kind byte.
+  size_t KindOffset = 8 + 8 + 8 + 4;
+  std::string Broken = Bytes;
+  Broken[KindOffset] = 0x7F; // No such Insn::Kind.
+  std::string Error;
+  EXPECT_FALSE(decodeRequestCanonical(Broken, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+} // namespace

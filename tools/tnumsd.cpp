@@ -1,0 +1,159 @@
+//===- tools/tnumsd.cpp - The tnums verification daemon binary ------------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standalone wrapper over service/Daemon.h: bind, serve, stop on
+/// SIGINT/SIGTERM or a client Shutdown frame. Ops quickstart in
+/// docs/SERVICE.md.
+///
+/// Usage: tnumsd --socket PATH [--tcp PORT] [--jobs N] [--cache DIR]
+///               [--max-pending N] [--tenant-quota N]
+///        tnumsd --socket PATH --stop
+///
+///   --socket PATH    UNIX-domain socket to serve on (required).
+///   --tcp PORT       also listen on loopback TCP (0 = ephemeral; the
+///                    bound port is printed on startup).
+///   --jobs N         worker threads (0 = hardware concurrency).
+///   --cache DIR      persistent verdict-cache directory; omit to run
+///                    without cross-run caching.
+///   --max-pending N  admission window before Busy(pool) replies
+///                    (0 = 4x workers).
+///   --tenant-quota N per-tenant in-flight cap before Busy(quota)
+///                    (0 = unlimited).
+///   --stop           client mode: ask the daemon at --socket to shut
+///                    down gracefully and wait for the acknowledgment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Daemon.h"
+#include "service/DaemonClient.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+
+#include <signal.h>
+
+using namespace tnums;
+using namespace tnums::service;
+
+namespace {
+
+Daemon *ActiveDaemon = nullptr;
+
+void handleStopSignal(int) {
+  if (ActiveDaemon)
+    ActiveDaemon->requestStop(); // Async-signal-safe: atomic + pipe write.
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *SocketPath = nullptr;
+  const char *CacheDir = nullptr;
+  uint64_t TcpPort = UINT64_MAX; // Sentinel: no TCP listener.
+  unsigned Jobs = 0;
+  uint64_t MaxPending = 0;
+  uint64_t TenantQuota = 0;
+  bool Stop = false;
+
+  ArgParser Args(Argc, Argv);
+  while (Args.more()) {
+    if (Args.matchString("--socket", SocketPath))
+      continue;
+    if (Args.matchString("--cache", CacheDir))
+      continue;
+    if (Args.matchU64("--tcp", 0, 65535, TcpPort))
+      continue;
+    if (Args.matchJobs(Jobs))
+      continue;
+    if (Args.matchU64("--max-pending", 0, uint64_t(1) << 32, MaxPending))
+      continue;
+    if (Args.matchU64("--tenant-quota", 0, uint64_t(1) << 32, TenantQuota))
+      continue;
+    if (Args.matchFlag("--stop")) {
+      Stop = true;
+      continue;
+    }
+    Args.reject();
+  }
+  if (Args.failed() || !SocketPath) {
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--tcp PORT] [--jobs 0..1024] "
+                 "[--cache DIR] [--max-pending N] [--tenant-quota N] "
+                 "[--stop]\n",
+                 Argv[0]);
+    return 1;
+  }
+
+  if (Stop) {
+    std::string Error;
+    std::optional<DaemonClient> Client = DaemonClient::connectUnixSocket(
+        SocketPath, "tnumsd-stop", /*TimeoutMs=*/2000, Error);
+    if (!Client) {
+      std::fprintf(stderr, "error: cannot reach daemon at %s: %s\n",
+                   SocketPath, Error.c_str());
+      return 1;
+    }
+    if (!Client->shutdownServer(Error)) {
+      std::fprintf(stderr, "error: shutdown failed: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("tnumsd at %s acknowledged shutdown\n", SocketPath);
+    return 0;
+  }
+
+  DaemonConfig Config;
+  Config.SocketPath = SocketPath;
+  Config.TcpPort = TcpPort == UINT64_MAX ? -1 : static_cast<int>(TcpPort);
+  Config.NumThreads = Jobs;
+  Config.CacheDir = CacheDir ? CacheDir : "";
+  Config.MaxPendingRequests = MaxPending;
+  Config.TenantMaxInFlight = TenantQuota;
+
+  std::string Error;
+  std::optional<Daemon> Served = Daemon::create(Config, Error);
+  if (!Served) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  ActiveDaemon = &*Served;
+  struct sigaction Action = {};
+  Action.sa_handler = handleStopSignal;
+  sigaction(SIGINT, &Action, nullptr);
+  sigaction(SIGTERM, &Action, nullptr);
+
+  std::printf("tnumsd serving on %s", SocketPath);
+  if (Config.TcpPort >= 0)
+    std::printf(" and tcp 127.0.0.1:%u", unsigned(Served->tcpPort()));
+  if (CacheDir)
+    std::printf(" (verdict cache: %s)", CacheDir);
+  std::printf("\n");
+  std::printf("version fingerprint %016llx\n",
+              static_cast<unsigned long long>(Served->versionFingerprint()));
+  std::fflush(stdout);
+
+  bool Ok = Served->run(Error);
+  ActiveDaemon = nullptr;
+  if (!Ok) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  DaemonStats Stats = Served->stats();
+  std::printf("tnumsd exiting: %llu connections, %llu submits, "
+              "%llu verdicts (%llu analyzed, %llu cache hits), "
+              "%llu busy, %llu protocol errors\n",
+              static_cast<unsigned long long>(Stats.Connections),
+              static_cast<unsigned long long>(Stats.Submits),
+              static_cast<unsigned long long>(Stats.Verdicts),
+              static_cast<unsigned long long>(Stats.Analyses),
+              static_cast<unsigned long long>(Stats.cacheHits()),
+              static_cast<unsigned long long>(Stats.BusyPool + Stats.BusyQuota),
+              static_cast<unsigned long long>(Stats.ProtocolErrors));
+  return 0;
+}
