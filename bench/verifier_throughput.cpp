@@ -16,9 +16,11 @@
 /// fails (exit 1) if any diverges.
 ///
 /// Usage: verifier_throughput [--programs N] [--seed S]
-///                            [--profile {alu,bounds,packet,loops,mixed}]
+///                            [--profile {alu,bounds,packet,loops,
+///                                        maskidx,scaled,mixed}]
 ///                            [--jobs N] [--scaling] [--mem N]
 ///                            [--fuzz N] [--json FILE]
+///                            [--replay FILE] [--dump-corpus FILE]
 ///
 ///   --jobs N     max worker count (default: hardware concurrency); the
 ///                batch always also runs at --jobs 1 for the baseline.
@@ -28,9 +30,17 @@
 ///                and fail on any finding.
 ///   --json FILE  append-free machine-readable dump of the scaling table
 ///                (the CI perf-trajectory artifact BENCH_verifier.json).
+///   --replay FILE
+///                verify a saved corpus (service/Corpus.h) instead of
+///                generating programs; with --fuzz N the differential
+///                campaign replays the same corpus (N is ignored).
+///   --dump-corpus FILE
+///                save the request stream as a corpus after the run, so
+///                this exact workload can be replayed later.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "service/Corpus.h"
 #include "service/DifferentialFuzz.h"
 #include "service/ProgramGen.h"
 #include "service/VerificationService.h"
@@ -64,6 +74,8 @@ int main(int Argc, char **Argv) {
   bool Scaling = false;
   const char *ProfileText = "mixed";
   const char *JsonPath = nullptr;
+  const char *ReplayPath = nullptr;
+  const char *DumpCorpusPath = nullptr;
 
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
@@ -85,6 +97,10 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchString("--json", JsonPath))
       continue;
+    if (Args.matchString("--replay", ReplayPath))
+      continue;
+    if (Args.matchString("--dump-corpus", DumpCorpusPath))
+      continue;
     Args.reject();
   }
   std::optional<GenProfile> Profile =
@@ -92,9 +108,9 @@ int main(int Argc, char **Argv) {
   if (!Profile) {
     std::fprintf(stderr,
                  "usage: %s [--programs N] [--seed S] "
-                 "[--profile {alu,bounds,packet,loops,mixed}] "
+                 "[--profile {alu,bounds,packet,loops,maskidx,scaled,mixed}] "
                  "[--jobs 0..1024] [--scaling] [--mem N] [--fuzz N] "
-                 "[--json FILE]\n",
+                 "[--json FILE] [--replay FILE] [--dump-corpus FILE]\n",
                  Argv[0]);
     return 1;
   }
@@ -110,22 +126,50 @@ int main(int Argc, char **Argv) {
   Gen.MemSize = MemSize;
   ProgramGen Generator(Seed, Gen);
   std::vector<VerifyRequest> Requests;
-  Requests.reserve(Programs);
   uint64_t TotalInsns = 0;
-  for (uint64_t Index = 0; Index != Programs; ++Index) {
-    VerifyRequest Request;
-    Request.Prog = Generator.next();
-    Request.MemSize = MemSize;
-    TotalInsns += Request.Prog.size();
-    Requests.push_back(std::move(Request));
+  if (ReplayPath) {
+    std::string CorpusError;
+    std::optional<std::vector<VerifyRequest>> Corpus =
+        loadCorpus(ReplayPath, CorpusError);
+    if (!Corpus) {
+      std::fprintf(stderr, "error: %s\n", CorpusError.c_str());
+      return 1;
+    }
+    Requests = std::move(*Corpus);
+    Programs = Requests.size();
+    for (const VerifyRequest &Request : Requests)
+      TotalInsns += Request.Prog.size();
+    std::printf("batched verification: %llu replayed programs from %s "
+                "(%.1f insns/program)\n\n",
+                static_cast<unsigned long long>(Programs), ReplayPath,
+                Programs ? static_cast<double>(TotalInsns) / Programs : 0.0);
+  } else {
+    Requests.reserve(Programs);
+    for (uint64_t Index = 0; Index != Programs; ++Index) {
+      VerifyRequest Request;
+      Request.Prog = Generator.next();
+      Request.MemSize = MemSize;
+      TotalInsns += Request.Prog.size();
+      Requests.push_back(std::move(Request));
+    }
+    std::printf("batched verification: %llu %s-profile programs "
+                "(%.1f insns/program, seed %llu, %llu-byte region)\n\n",
+                static_cast<unsigned long long>(Programs),
+                genProfileName(*Profile),
+                Programs ? static_cast<double>(TotalInsns) / Programs : 0.0,
+                static_cast<unsigned long long>(Seed),
+                static_cast<unsigned long long>(MemSize));
   }
-  std::printf("batched verification: %llu %s-profile programs "
-              "(%.1f insns/program, seed %llu, %llu-byte region)\n\n",
-              static_cast<unsigned long long>(Programs),
-              genProfileName(*Profile),
-              Programs ? static_cast<double>(TotalInsns) / Programs : 0.0,
-              static_cast<unsigned long long>(Seed),
-              static_cast<unsigned long long>(MemSize));
+  if (DumpCorpusPath) {
+    std::string CorpusError;
+    if (!saveCorpus(DumpCorpusPath, Requests, CorpusError)) {
+      std::fprintf(stderr, "error: %s\n", CorpusError.c_str());
+      return 1;
+    }
+    std::printf("wrote %llu-program corpus to %s\n\n",
+                static_cast<unsigned long long>(Requests.size()),
+                DumpCorpusPath);
+  }
 
   std::vector<unsigned> JobCounts{1};
   if (Scaling)
@@ -181,6 +225,8 @@ int main(int Argc, char **Argv) {
     Fuzz.Programs = FuzzPrograms;
     Fuzz.Gen = Gen;
     Fuzz.Service.NumThreads = Jobs;
+    if (ReplayPath)
+      Fuzz.Replay = Requests; // Replay the corpus through the oracles too.
     FuzzReport Report = runDifferentialFuzz(Seed, Fuzz);
     FuzzClean = Report.clean();
     std::printf("\ndifferential fuzz: %s\n", Report.toString().c_str());

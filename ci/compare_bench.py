@@ -29,6 +29,11 @@ Supported "bench" values:
  * ``daemon_throughput``: exact fingerprint/identity flags, p50/p99
    latency sanity (present, positive, ordered), saturation-throughput
    floor and p99 ceiling.
+ * ``interpreter_throughput``: exact run-outcome counts + result
+   fingerprint, the decoded-vs-legacy identity flag must be true, and --
+   on perf-gated legs only -- a floor on the decoded executor's speedup
+   over the legacy interpreter. The speedup is a same-process ratio, so
+   unlike absolute throughput it barely depends on the runner class.
 
 Exit status: 0 ok, 1 regression, 2 usage/IO error.
 """
@@ -191,9 +196,71 @@ def gate_daemon(current, baseline, args):
     return failures
 
 
+def gate_interp(current, baseline, args):
+    failures = []
+    if not check_workload(
+        current,
+        baseline,
+        (
+            "bench",
+            "seed",
+            "profile",
+            "programs",
+            "runs_per_program",
+            "mem_size",
+            "step_limit",
+            "reps",
+        ),
+        failures,
+    ):
+        return failures
+
+    # Machine-independent semantics: exact. The fingerprint hashes every
+    # run's full outcome (status, return value, steps, final registers),
+    # and ``identical`` is the bench's own decoded-vs-legacy bit-identity
+    # check -- it must hold on every machine, not merely match the
+    # baseline.
+    for key in ("ok_runs", "trap_runs", "step_limit_runs",
+                "result_fingerprint"):
+        if current.get(key) != baseline.get(key):
+            failures.append(
+                f"{key}: current {current.get(key)!r} != baseline "
+                f"{baseline.get(key)!r}"
+            )
+    if current.get("identical") is not True:
+        failures.append(
+            f"identical is {current.get('identical')!r}, expected true "
+            "(decoded executor diverged from the legacy interpreter)"
+        )
+
+    # Machine-dependent perf: the decoded executor must stay meaningfully
+    # faster than the legacy interpreter. A within-process ratio, so the
+    # floor can be much tighter than an absolute-throughput one; still
+    # skipped entirely on debug/sanitizer legs (ratio 0) where neither
+    # engine is optimized. Threaded dispatch is a compiler feature
+    # (computed goto), so the floor adapts when only the switch engine is
+    # available.
+    if args.min_throughput_ratio > 0:
+        best = current.get("best_speedup", 0.0)
+        threaded = current.get("threaded_available")
+        floor = 5.0 if threaded else 2.5
+        print(
+            f"bench gate: decoded-executor best speedup {best:.3f}x vs "
+            f"legacy (floor {floor}, threaded dispatch "
+            f"{'available' if threaded else 'unavailable'})"
+        )
+        if not isinstance(best, (int, float)) or best < floor:
+            failures.append(
+                f"decoded-executor speedup {best!r} fell below the "
+                f"{floor}x floor"
+            )
+    return failures
+
+
 GATES = {
     "verifier_throughput": gate_verifier,
     "daemon_throughput": gate_daemon,
+    "interpreter_throughput": gate_interp,
 }
 
 

@@ -13,8 +13,7 @@ using namespace tnums;
 using namespace tnums::bpf;
 
 Interpreter::Interpreter(Program ProgV, std::vector<uint8_t> &MemoryV)
-    : Prog(std::move(ProgV)), Memory(MemoryV) {
-  assert(!Prog.validate() && "interpreting a structurally invalid program");
+    : Prog(std::move(ProgV)), Memory(MemoryV), Invalid(Prog.validate()) {
   Regs[R1] = MemBase;
   Regs[R2] = Memory.size();
   Regs[R10] = StackBase;
@@ -124,8 +123,20 @@ ExecResult Interpreter::run(uint64_t StepLimit) {
   };
   auto RequireInit = [&](uint8_t RegNum) { return Inited[RegNum]; };
 
+  // Replayed external programs reach this path without the generator's
+  // validity-by-construction guarantee: refuse with the diagnostic
+  // instead of executing into undefined behavior.
+  if (Invalid)
+    return Trap(ExecResult::Status::InvalidProgram,
+                "structurally invalid program: " + *Invalid);
+
   for (uint64_t Steps = 0; Steps != StepLimit; ++Steps) {
-    assert(Pc < Prog.size() && "validated program cannot run off the end");
+    if (Pc >= Prog.size())
+      return Trap(ExecResult::Status::InvalidProgram,
+                  formatString("pc %zu ran off the end of a %zu-insn "
+                               "program",
+                               Pc, Prog.size()));
+    Result.Steps = Steps + 1;
     const Insn &I = Prog.insn(Pc);
     switch (I.InsnKind) {
     case Insn::Kind::Alu: {

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,10 +37,15 @@ namespace bpf {
 /// Outcome of one concrete execution.
 struct ExecResult {
   enum class Status {
-    Ok,            ///< exit reached; ReturnValue is R0.
-    OutOfBounds,   ///< memory access escaped both regions.
-    UninitRead,    ///< read of a register never written.
-    StepLimit,     ///< ran longer than the step budget.
+    Ok,             ///< exit reached; ReturnValue is R0.
+    OutOfBounds,    ///< memory access escaped both regions.
+    UninitRead,     ///< read of a register never written.
+    StepLimit,      ///< ran longer than the step budget.
+    InvalidProgram, ///< refused to execute: structural validation failed
+                    ///< (corpus-replay inputs reach the interpreter
+                    ///< without the generator's validity-by-construction
+                    ///< guarantee, so this is a real runtime status, not
+                    ///< an assert).
   };
 
   Status St = Status::Ok;
@@ -49,18 +55,24 @@ struct ExecResult {
                           ///< concrete register file against the abstract
                           ///< state at the exit the run actually took.
   size_t FaultPc = 0;     ///< Faulting instruction for non-Ok statuses.
+  uint64_t Steps = 0;     ///< Instructions executed, counting the one that
+                          ///< exited or trapped (== StepLimit when the
+                          ///< budget ran out). Part of the differential
+                          ///< bit-identity contract between engines.
   std::string Message;    ///< Human-readable diagnosis.
 
   bool ok() const { return St == Status::Ok; }
 };
 
-/// Concrete executor over a validated program.
+/// Concrete executor over a program. Structurally invalid programs are
+/// not executed: run() reports Status::InvalidProgram with the validation
+/// diagnostic instead of tripping undefined behavior (replayed external
+/// corpora hit this path; generated programs never do).
 class Interpreter {
 public:
   /// \p Memory is the context region R1 points to; it is read and written
-  /// in place. The program must have passed Program::validate(). The
-  /// interpreter stores its own copy of the program, so temporaries are
-  /// safe to pass.
+  /// in place. The interpreter stores its own copy of the program, so
+  /// temporaries are safe to pass.
   Interpreter(Program Prog, std::vector<uint8_t> &Memory);
 
   /// Runs from instruction 0 until exit, a trap, or \p StepLimit executed
@@ -86,6 +98,9 @@ private:
 
   Program Prog;
   std::vector<uint8_t> &Memory;
+  /// Validation diagnostic captured at construction; run() refuses to
+  /// execute while this is set.
+  std::optional<std::string> Invalid;
   std::array<uint8_t, StackSize> Stack = {};
   std::array<uint64_t, NumRegs> Regs = {};
   std::array<bool, NumRegs> Inited = {};

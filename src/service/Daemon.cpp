@@ -213,6 +213,7 @@ struct Daemon::Impl {
       Out.CacheStores = CacheStats.Stores;
       Out.CacheStaleInvalidated = CacheStats.StaleInvalidated;
       Out.CachePoisonedRejected = CacheStats.PoisonedRejected;
+      Out.CacheEvictions = CacheStats.Evictions;
     }
     return Out;
   }
@@ -577,7 +578,11 @@ std::optional<Daemon> Daemon::create(const DaemonConfig &Config,
   State->Pipe = std::move(*Pipe);
 
   if (!Config.CacheDir.empty()) {
-    State->Cache = VerdictCache::open(Config.CacheDir, Error);
+    VerdictCacheLimits Limits;
+    Limits.MaxEntries = Config.CacheMaxEntries;
+    Limits.MaxBytes = Config.CacheMaxBytes;
+    State->Cache = VerdictCache::open(
+        Config.CacheDir, analyzerVerdictFingerprint(), Limits, Error);
     if (!State->Cache)
       return std::nullopt;
   }

@@ -66,6 +66,12 @@ struct DaemonConfig {
   /// Verdict-cache directory; empty disables persistence (the daemon
   /// still runs, every verdict is analyzed).
   std::string CacheDir;
+  /// Verdict-cache occupancy caps (VerdictCache.h): entry count and total
+  /// entry-file bytes. 0 means unlimited; over-cap stores evict
+  /// least-recently-used entries, and open() sweeps a pre-existing
+  /// over-cap store oldest-first.
+  uint64_t CacheMaxEntries = 0;
+  uint64_t CacheMaxBytes = 0;
   /// Backpressure threshold: jobs queued+running before Submits are
   /// refused with Busy(pool). 0 means 4x worker threads.
   uint64_t MaxPendingRequests = 0;

@@ -7,7 +7,7 @@
 
 #include "service/DifferentialFuzz.h"
 
-#include "bpf/Interpreter.h"
+#include "bpf/Decoded.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -62,17 +62,30 @@ void runOracles(uint64_t Seed, const FuzzConfig &Config, uint64_t SliceBegin,
       continue;
     }
 
+    // Decode once per accepted program; every concrete run below reuses
+    // the decoded form (this loop is the campaign's hot path). decode()
+    // refuses exactly what Program::validate() refuses, and the service
+    // accepted this program, so a failure here is itself a finding.
+    std::string DecodeError;
+    std::optional<DecodedProgram> Exec = DecodedProgram::decode(P, DecodeError);
+    if (!Exec) {
+      Report.Findings.push_back({Index, "undecodable-accepted-program",
+                                 DecodeError + "\n" + P.disassemble()});
+      continue;
+    }
+
     // Runs of this program that got past the step budget: only those
     // exercise oracles 1-2. A program where none did is zero-coverage.
     unsigned CoveredRuns = 0;
     for (unsigned Run = 0; Run != Config.RunsPerProgram; ++Run) {
       Xoshiro256 MemRng(Seed ^ (0x9E3779B97F4A7C15ull * (Index + 1) + Run));
-      std::vector<uint8_t> Mem(Config.Gen.MemSize);
+      // The request's own region size, not the generator default --
+      // replayed corpora carry theirs per entry.
+      std::vector<uint8_t> Mem(Requests[Slot].MemSize);
       for (uint8_t &Byte : Mem)
         Byte = static_cast<uint8_t>(MemRng.next());
 
-      Interpreter Interp(P, Mem);
-      ExecResult R = Interp.run(Config.StepLimit);
+      ExecResult R = Exec->run(Mem, Config.StepLimit);
       ++Report.ConcreteRuns;
 
       if (R.St == ExecResult::Status::StepLimit) {
@@ -105,16 +118,16 @@ void runOracles(uint64_t Seed, const FuzzConfig &Config, uint64_t SliceBegin,
       bool Escaped = false;
       for (unsigned RegNum = 0; RegNum != NumRegs && !Escaped; ++RegNum) {
         const AbsReg &Abs = Final.Regs[RegNum];
-        if (!Abs.isScalar() || !Interp.initialized()[RegNum])
+        if (!Abs.isScalar() || !Exec->initialized()[RegNum])
           continue;
-        if (!Abs.value().contains(Interp.registers()[RegNum])) {
+        if (!Abs.value().contains(Exec->registers()[RegNum])) {
           Report.Findings.push_back(
               {Index, "containment-escape",
                formatString("run %u: r%u = %llu escapes %s at exit insn "
                             "%zu\n",
                             Run, RegNum,
                             static_cast<unsigned long long>(
-                                Interp.registers()[RegNum]),
+                                Exec->registers()[RegNum]),
                             Abs.toString().c_str(), R.ExitPc) +
                    P.disassemble()});
           Escaped = true;
@@ -142,17 +155,27 @@ FuzzReport tnums::service::runDifferentialFuzz(uint64_t Seed,
 
   // The mutation chain crosses slice boundaries: every MutateEvery-th
   // program is a mutant of its predecessor.
+  const bool Replaying = !Config.Replay.empty();
+  const uint64_t TotalPrograms =
+      Replaying ? Config.Replay.size() : Config.Programs;
   Program Predecessor;
   std::vector<VerifyRequest> Requests;
-  for (uint64_t SliceBegin = 0; SliceBegin < Config.Programs;
+  for (uint64_t SliceBegin = 0; SliceBegin < TotalPrograms;
        SliceBegin += SlicePrograms) {
     uint64_t SliceEnd =
-        std::min<uint64_t>(Config.Programs, SliceBegin + SlicePrograms);
+        std::min<uint64_t>(TotalPrograms, SliceBegin + SlicePrograms);
 
-    // Phase 1: the deterministic program stream for this slice.
+    // Phase 1: the deterministic program stream for this slice -- either
+    // the replayed corpus verbatim (structurally unsound entries are not
+    // special-cased: the service rejects them with a witness, which is
+    // exactly what oracle 3 then checks) or fresh generation.
     Requests.clear();
     Requests.reserve(SliceEnd - SliceBegin);
     for (uint64_t Index = SliceBegin; Index != SliceEnd; ++Index) {
+      if (Replaying) {
+        Requests.push_back(Config.Replay[Index]);
+        continue;
+      }
       bool Mutant = Config.MutateEvery && Index > 0 &&
                     Index % Config.MutateEvery == 0;
       Program P = Mutant ? Gen.mutate(Predecessor) : Gen.next();

@@ -8,7 +8,9 @@
 /// \file
 /// Closes the generate -> verify -> execute loop: a deterministic fuzz
 /// campaign over ProgramGen's scenario space, batch-verified by the
-/// VerificationService and cross-checked against the concrete Interpreter.
+/// VerificationService and cross-checked against the concrete executor
+/// (the pre-decoded DecodedProgram; bit-identical to the reference
+/// Interpreter by the differential tests).
 /// Three oracles must hold for every program:
 ///
 ///   1. Accepted programs never trap (no out-of-bounds access, no read of
@@ -55,6 +57,13 @@ struct FuzzConfig {
   /// Concrete step budget per run (see oracle 1 for why exhausting it is
   /// tolerated).
   uint64_t StepLimit = 1 << 20;
+  /// Replay mode: when non-empty, the campaign runs the oracles over
+  /// exactly these requests -- typically a corpus loaded via
+  /// service/Corpus.h -- instead of generating programs (Programs and
+  /// MutateEvery are ignored; Gen.MemSize only seeds defaults). Input
+  /// memories still derive from (Seed, index, run), so a replayed corpus
+  /// plus a seed reproduces a campaign bit-for-bit.
+  std::vector<VerifyRequest> Replay;
 };
 
 /// One oracle violation, with enough context to reproduce it.

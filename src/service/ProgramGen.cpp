@@ -46,6 +46,10 @@ const char *tnums::service::genProfileName(GenProfile Profile) {
     return "packet";
   case GenProfile::Loops:
     return "loops";
+  case GenProfile::MaskIdx:
+    return "maskidx";
+  case GenProfile::Scaled:
+    return "scaled";
   case GenProfile::Mixed:
     return "mixed";
   }
@@ -56,6 +60,7 @@ const char *tnums::service::genProfileName(GenProfile Profile) {
 std::optional<GenProfile> tnums::service::parseGenProfile(const char *Text) {
   for (GenProfile P : {GenProfile::AluMix, GenProfile::BoundsCheck,
                        GenProfile::PacketFilter, GenProfile::Loops,
+                       GenProfile::MaskIdx, GenProfile::Scaled,
                        GenProfile::Mixed})
     if (std::strcmp(Text, genProfileName(P)) == 0)
       return P;
@@ -329,9 +334,79 @@ Program ProgramGen::genLoop() {
   return B.build();
 }
 
+//===----------------------------------------------------------------------===//
+// MaskIdx: access indices composed from independently masked fields. Two
+// bytes are masked, one is shifted, and the halves are OR-combined before
+// the access -- the AND / LSH / OR chain whose known-bits composition
+// tristate numbers track exactly (an interval analysis would smear the
+// low bits). The composed bound straddles the region size, so the stream
+// mixes provably-safe accepts with justified rejects.
+//===----------------------------------------------------------------------===//
+
+Program ProgramGen::genMaskIdx() {
+  ProgramBuilder B;
+  static constexpr uint64_t Masks[] = {1, 3, 7};
+  const uint64_t LowMask = Masks[Rng.nextBelow(std::size(Masks))];
+  const uint64_t HighMask = Masks[Rng.nextBelow(std::size(Masks))];
+  const unsigned Shift = 2 + static_cast<unsigned>(Rng.nextBelow(3));
+  const unsigned Size = Rng.nextChance(1, 2) ? 1 : 2;
+  const int32_t ExtraOff = static_cast<int32_t>(Rng.nextBelow(4));
+
+  B.load(R3, R1, 0, 1);
+  B.aluImm(AluOp::And, R3, static_cast<int64_t>(LowMask));
+  B.load(R4, R1, 1, 1);
+  B.aluImm(AluOp::And, R4, static_cast<int64_t>(HighMask));
+  B.aluImm(AluOp::Lsh, R4, static_cast<int64_t>(Shift));
+  B.alu(AluOp::Or, R3, R4);
+  B.alu(AluOp::Add, R3, R1);
+  B.load(R0, R3, ExtraOff, Size);
+  if (Rng.nextChance(1, 2)) {
+    // Fold the loaded value through the same masked composition once
+    // more, purely arithmetically, to grow the tnum dataflow depth.
+    B.mov(R5, R0);
+    B.aluImm(AluOp::And, R5, static_cast<int64_t>(HighMask));
+    B.alu(AluOp::Xor, R0, R5);
+  }
+  B.exit();
+  return B.build();
+}
+
+//===----------------------------------------------------------------------===//
+// Scaled: a masked index scaled by a power of two -- via LSH or the
+// equivalent MUL, exercising both tnum shift and tnum multiplication on
+// the same shapes -- before the access. Safe iff mask * scale + offset +
+// size fits the region; the constants are drawn to straddle that bound.
+//===----------------------------------------------------------------------===//
+
+Program ProgramGen::genScaled() {
+  ProgramBuilder B;
+  static constexpr uint64_t Masks[] = {1, 3, 7, 15};
+  const uint64_t Mask = Masks[Rng.nextBelow(std::size(Masks))];
+  const unsigned Scale = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  const unsigned Size = 1u << Rng.nextBelow(3);
+  const int32_t ExtraOff = static_cast<int32_t>(Rng.nextBelow(4));
+
+  B.load(R5, R1, 2, 1);
+  B.aluImm(AluOp::And, R5, static_cast<int64_t>(Mask));
+  if (Rng.nextChance(1, 2))
+    B.aluImm(AluOp::Lsh, R5, static_cast<int64_t>(Scale));
+  else
+    B.aluImm(AluOp::Mul, R5, static_cast<int64_t>(1u << Scale));
+  B.alu(AluOp::Add, R5, R1);
+  B.load(R6, R5, ExtraOff, Size);
+  B.mov(R0, R6);
+  if (Rng.nextChance(1, 2))
+    B.aluImm(AluOp::Rsh, R0, static_cast<int64_t>(1 + Rng.nextBelow(7)));
+  B.exit();
+  return B.build();
+}
+
 Program ProgramGen::next() {
   GenProfile Profile = Opts.Profile;
   if (Profile == GenProfile::Mixed) {
+    // Deliberately only the four original shapes: adding draws here would
+    // shift every historical mixed-profile stream. The tnum-stressing
+    // profiles are selected explicitly.
     constexpr GenProfile Concrete[] = {GenProfile::AluMix,
                                        GenProfile::BoundsCheck,
                                        GenProfile::PacketFilter,
@@ -347,6 +422,10 @@ Program ProgramGen::next() {
     return genPacketFilter();
   case GenProfile::Loops:
     return genLoop();
+  case GenProfile::MaskIdx:
+    return genMaskIdx();
+  case GenProfile::Scaled:
+    return genScaled();
   case GenProfile::Mixed:
     break;
   }
@@ -383,7 +462,14 @@ Program ProgramGen::mutate(const Program &Base) {
       break;
     case Insn::Kind::Load:
     case Insn::Kind::Store:
-      if (Rng.nextChance(1, 2))
+      if (Rng.nextChance(1, 3))
+        // Deliberate size narrowing: force a partial 8/16-bit access.
+        // Narrowing a load truncates the value the downstream dataflow
+        // sees (and the abstract load's tnum mask), narrowing a store
+        // leaves stale high bytes in memory -- both shapes the uniform
+        // resize below reaches only rarely.
+        I.Size = Rng.nextChance(1, 2) ? 1 : 2;
+      else if (Rng.nextChance(1, 2))
         I.Size = 1u << Rng.nextBelow(4);
       else
         I.Offset += static_cast<int32_t>(Rng.nextBelow(9)) - 4;

@@ -23,7 +23,16 @@
 ///   * Loops:        bounded counting loops (constant and memory-seeded
 ///                   trip counts) that push the analyzer through join +
 ///                   widening;
-///   * Mixed:        a uniform draw over the four shapes per program.
+///   * MaskIdx:      access indices composed from independently masked
+///                   fields (AND / LSH / OR chains) -- the known-bits
+///                   composition tristate numbers track exactly, with
+///                   composed bounds straddling the region size;
+///   * Scaled:       masked indices scaled by a power of two (LSH or the
+///                   equivalent MUL) before the access -- the paper's
+///                   tnum-multiplication stress shape;
+///   * Mixed:        a uniform draw over the four original shapes per
+///                   program (the tnum-stressing profiles are opt-in, so
+///                   historical mixed-profile streams stay reproducible).
 ///
 /// Every generated program passes Program::validate() by construction
 /// (tests pin this); *semantic* acceptance is intentionally mixed so batch
@@ -54,6 +63,8 @@ enum class GenProfile : uint8_t {
   BoundsCheck,
   PacketFilter,
   Loops,
+  MaskIdx,
+  Scaled,
   Mixed,
 };
 
@@ -82,8 +93,9 @@ public:
 
   /// A structure-preserving mutation of \p Base: 1-3 random edits to
   /// immediates / ALU ops / compares / 32-bit flags / access sizes and
-  /// offsets, never touching jump displacements or destination registers,
-  /// so the result still passes Program::validate().
+  /// offsets (including deliberate narrowing of accesses to 8/16 bits),
+  /// never touching jump displacements or destination registers, so the
+  /// result still passes Program::validate().
   bpf::Program mutate(const bpf::Program &Base);
 
   const GenOptions &options() const { return Opts; }
@@ -93,6 +105,8 @@ private:
   bpf::Program genBoundsCheck();
   bpf::Program genPacketFilter();
   bpf::Program genLoop();
+  bpf::Program genMaskIdx();
+  bpf::Program genScaled();
 
   Xoshiro256 Rng;
   GenOptions Opts;

@@ -13,10 +13,13 @@
 #include "support/Table.h"
 #include "verify/Oracle.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <vector>
 
 #include <unistd.h>
 
@@ -164,6 +167,12 @@ std::unique_ptr<VerdictCache> VerdictCache::open(const std::string &Dir,
 std::unique_ptr<VerdictCache>
 VerdictCache::open(const std::string &Dir, uint64_t VersionFingerprint,
                    std::string &Error) {
+  return open(Dir, VersionFingerprint, VerdictCacheLimits(), Error);
+}
+
+std::unique_ptr<VerdictCache>
+VerdictCache::open(const std::string &Dir, uint64_t VersionFingerprint,
+                   const VerdictCacheLimits &Limits, std::string &Error) {
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
   if (Ec) {
@@ -187,8 +196,96 @@ VerdictCache::open(const std::string &Dir, uint64_t VersionFingerprint,
                                std::string(ManifestMagic) + "\n", Error)) {
     return nullptr;
   }
-  return std::unique_ptr<VerdictCache>(
-      new VerdictCache(Dir, VersionFingerprint));
+  std::unique_ptr<VerdictCache> Cache(
+      new VerdictCache(Dir, VersionFingerprint, Limits));
+  Cache->loadDiskIndex();
+  return Cache;
+}
+
+void VerdictCache::loadDiskIndex() {
+  // Scan whatever a previous process (possibly uncapped, possibly a
+  // different cap) left behind. Recency is unknowable across restarts, so
+  // file mtime stands in for it: the sweep below evicts oldest-first,
+  // with the file name as a deterministic tie-break.
+  struct Found {
+    uint64_t Key;
+    uint64_t Bytes;
+    fs::file_time_type MTime;
+    std::string Name;
+  };
+  std::vector<Found> Entries;
+  std::error_code Ec;
+  for (const fs::directory_entry &Ent : fs::directory_iterator(Dir, Ec)) {
+    std::string Name = Ent.path().filename().string();
+    // Exactly "verdict-<16 hex>.vkt"; anything else in the directory (the
+    // manifest, foreign files) is not the cache's to manage.
+    if (Name.size() != 28 || Name.compare(0, 8, "verdict-") != 0 ||
+        Name.compare(24, 4, ".vkt") != 0)
+      continue;
+    char *End = nullptr;
+    errno = 0;
+    unsigned long long Key = std::strtoull(Name.c_str() + 8, &End, 16);
+    if (errno != 0 || End != Name.c_str() + 24)
+      continue;
+    std::error_code SizeEc, TimeEc;
+    uint64_t Bytes = Ent.file_size(SizeEc);
+    fs::file_time_type MTime = Ent.last_write_time(TimeEc);
+    if (SizeEc || TimeEc)
+      continue;
+    Entries.push_back({static_cast<uint64_t>(Key), Bytes, MTime,
+                       std::move(Name)});
+  }
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Found &A, const Found &B) {
+              return A.MTime != B.MTime ? A.MTime < B.MTime : A.Name < B.Name;
+            });
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Found &E : Entries)
+    indexDiskEntryLocked(E.Key, E.Bytes); // Appends: oldest lands in front.
+  evictOverCapLocked();
+}
+
+void VerdictCache::indexDiskEntryLocked(uint64_t Key, uint64_t Bytes) {
+  auto It = Disk.find(Key);
+  if (It != Disk.end()) {
+    DiskBytes -= It->second.Bytes;
+    DiskBytes += Bytes;
+    It->second.Bytes = Bytes;
+    Lru.splice(Lru.end(), Lru, It->second.LruPos);
+    return;
+  }
+  Lru.push_back(Key);
+  Disk.emplace(Key, DiskEntry{Bytes, std::prev(Lru.end())});
+  DiskBytes += Bytes;
+}
+
+void VerdictCache::touchDiskEntryLocked(uint64_t Key) {
+  auto It = Disk.find(Key);
+  if (It != Disk.end())
+    Lru.splice(Lru.end(), Lru, It->second.LruPos);
+}
+
+void VerdictCache::forgetDiskEntryLocked(uint64_t Key) {
+  auto It = Disk.find(Key);
+  if (It == Disk.end())
+    return;
+  DiskBytes -= It->second.Bytes;
+  Lru.erase(It->second.LruPos);
+  Disk.erase(It);
+}
+
+void VerdictCache::evictOverCapLocked() {
+  while (!Lru.empty() &&
+         ((Limits.MaxEntries && Lru.size() > Limits.MaxEntries) ||
+          (Limits.MaxBytes && DiskBytes > Limits.MaxBytes))) {
+    // The caps are hard bounds: the least-recently-used entry goes even
+    // if it is the one just stored (a single entry above MaxBytes).
+    uint64_t Victim = Lru.front();
+    ::unlink(entryPath(Victim).c_str());
+    Memory.erase(Victim);
+    forgetDiskEntryLocked(Victim);
+    ++Stats.Evictions;
+  }
 }
 
 std::optional<VerifyResult>
@@ -203,6 +300,7 @@ VerdictCache::lookup(const VerifyRequest &Request) {
   if (It != Memory.end()) {
     if (It->second.Canonical == Canonical) {
       ++Stats.MemoryHits;
+      touchDiskEntryLocked(Key); // A hit is a use: protect from eviction.
       return It->second.Result;
     }
     ++Stats.Misses; // Key collision: a different request owns the slot.
@@ -213,13 +311,16 @@ VerdictCache::lookup(const VerifyRequest &Request) {
   std::optional<std::string> Contents = readFile(Path);
   if (!Contents) {
     ++Stats.Misses;
+    forgetDiskEntryLocked(Key); // Vanished externally; stop tracking it.
     return std::nullopt;
   }
+  const uint64_t EntryBytes = Contents->size();
 
   // Parse strictly; anything unexpected is poison -- refuse and GC.
   auto Poisoned = [&]() -> std::optional<VerifyResult> {
     ++Stats.PoisonedRejected;
     ::unlink(Path.c_str());
+    forgetDiskEntryLocked(Key);
     return std::nullopt;
   };
   std::string Text = std::move(*Contents);
@@ -248,6 +349,7 @@ VerdictCache::lookup(const VerifyRequest &Request) {
     ++Stats.StaleInvalidated;
     ++Stats.Misses;
     ::unlink(Path.c_str());
+    forgetDiskEntryLocked(Key); // GC'd, not evicted: no Evictions count.
     return std::nullopt;
   }
   if (EntryCanonical != Canonical) {
@@ -256,6 +358,7 @@ VerdictCache::lookup(const VerifyRequest &Request) {
   }
 
   ++Stats.DiskHits;
+  indexDiskEntryLocked(Key, EntryBytes);
   Memory.emplace(Key, MemEntry{std::move(Canonical), Result});
   return Result;
 }
@@ -279,7 +382,11 @@ bool VerdictCache::store(const VerifyRequest &Request,
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Stats.Stores;
   Memory[Key] = MemEntry{std::move(Canonical), std::move(Slim)};
-  return writeFileDurable(entryPath(Key), Contents, Error);
+  if (!writeFileDurable(entryPath(Key), Contents, Error))
+    return false; // In-memory entry stays; nothing on disk to track.
+  indexDiskEntryLocked(Key, Contents.size());
+  evictOverCapLocked(); // The insert may have pushed the cache over a cap.
+  return true;
 }
 
 VerdictCacheStats VerdictCache::stats() const {

@@ -401,6 +401,7 @@ std::string tnums::service::encodeStatsReply(const StatsReplyMsg &Msg) {
   W.u64(Msg.CacheStores);
   W.u64(Msg.CacheStaleInvalidated);
   W.u64(Msg.CachePoisonedRejected);
+  W.u64(Msg.CacheEvictions);
   W.u64(Msg.BusyPool);
   W.u64(Msg.BusyQuota);
   W.u64(Msg.ProtocolErrors);
@@ -416,7 +417,8 @@ tnums::service::decodeStatsReply(const std::string &Payload,
       !R.u64(Msg.Verdicts) || !R.u64(Msg.Analyses) ||
       !R.u64(Msg.CacheMemoryHits) || !R.u64(Msg.CacheDiskHits) ||
       !R.u64(Msg.CacheStores) || !R.u64(Msg.CacheStaleInvalidated) ||
-      !R.u64(Msg.CachePoisonedRejected) || !R.u64(Msg.BusyPool) ||
+      !R.u64(Msg.CachePoisonedRejected) || !R.u64(Msg.CacheEvictions) ||
+      !R.u64(Msg.BusyPool) ||
       !R.u64(Msg.BusyQuota) || !R.u64(Msg.ProtocolErrors) || !R.done())
     return malformed<StatsReplyMsg>("stats-reply", Error);
   return Msg;

@@ -153,6 +153,7 @@ struct StatsReplyMsg {
   uint64_t CacheStores = 0;
   uint64_t CacheStaleInvalidated = 0;
   uint64_t CachePoisonedRejected = 0;
+  uint64_t CacheEvictions = 0; ///< Capacity (LRU) evictions.
   uint64_t BusyPool = 0;
   uint64_t BusyQuota = 0;
   uint64_t ProtocolErrors = 0;

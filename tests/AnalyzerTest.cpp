@@ -321,6 +321,53 @@ TEST(Analyzer, LoopVariantOffsetIsRejected) {
   EXPECT_FALSE(verify(P, 16).Accepted);
 }
 
+TEST(Analyzer, ByteLoadIsBoundedWithoutAnExplicitCheck) {
+  // An 8-bit load can only produce 0..255; the analyzer's narrow-load
+  // modeling (the partial extensions of §II-C) must carry that bound with
+  // no mask or branch in sight. 255 + an 8-byte access = 263 bytes.
+  Program P = ProgramBuilder()
+                  .load(R3, R1, 0, 1)
+                  .alu(AluOp::Add, R3, R1)
+                  .load(R0, R3, 0, 8)
+                  .exit()
+                  .build();
+  EXPECT_TRUE(verify(P, 263).Accepted) << verify(P, 263).toString(P);
+  // One byte short: the worst-case index must be rejected, witnessed.
+  VerifierReport Tight = verify(P, 262);
+  EXPECT_FALSE(Tight.Accepted);
+  EXPECT_FALSE(Tight.Violations.empty());
+}
+
+TEST(Analyzer, HalfwordLoadIsBoundedWithoutAnExplicitCheck) {
+  // Same for a 16-bit load: 0..65535, so 65535 + 1 byte just fits.
+  Program P = ProgramBuilder()
+                  .load(R3, R1, 0, 2)
+                  .alu(AluOp::Add, R3, R1)
+                  .load(R0, R3, 0, 1)
+                  .exit()
+                  .build();
+  EXPECT_TRUE(verify(P, 65536).Accepted);
+  VerifierReport Tight = verify(P, 65535);
+  EXPECT_FALSE(Tight.Accepted);
+  EXPECT_FALSE(Tight.Violations.empty());
+}
+
+TEST(Analyzer, NarrowLoadShiftComposesKnownBits) {
+  // The high byte of a halfword load: tnum RSH keeps the narrow-load
+  // bound exact (0..255 again), composing the §II-B shift transfer with
+  // the load's implicit zero extension.
+  Program P = ProgramBuilder()
+                  .load(R3, R1, 0, 2)
+                  .aluImm(AluOp::Rsh, R3, 8)
+                  .alu(AluOp::Add, R3, R1)
+                  .load(R0, R3, 0, 8)
+                  .exit()
+                  .build();
+  VerifierReport R = verify(P, 263);
+  EXPECT_TRUE(R.Accepted) << R.toString(P);
+  EXPECT_FALSE(verify(P, 262).Accepted);
+}
+
 TEST(Analyzer, StateDumpMentionsTnums) {
   Program P = ProgramBuilder()
                   .load(R3, R1, 0, 1)

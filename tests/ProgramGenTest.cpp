@@ -26,10 +26,10 @@ using namespace tnums::service;
 
 namespace {
 
-constexpr GenProfile AllProfiles[] = {GenProfile::AluMix,
-                                      GenProfile::BoundsCheck,
-                                      GenProfile::PacketFilter,
-                                      GenProfile::Loops, GenProfile::Mixed};
+constexpr GenProfile AllProfiles[] = {
+    GenProfile::AluMix,  GenProfile::BoundsCheck, GenProfile::PacketFilter,
+    GenProfile::Loops,   GenProfile::MaskIdx,     GenProfile::Scaled,
+    GenProfile::Mixed};
 
 TEST(ProgramGen, EveryProfileEmitsOnlyStructurallyValidPrograms) {
   for (GenProfile Profile : AllProfiles) {
@@ -128,6 +128,96 @@ TEST(ProgramGen, LoopProfileConvergesAndTerminatesConcretely) {
     ExecResult R = Interpreter(P, Mem).run(/*StepLimit=*/4096);
     EXPECT_TRUE(R.ok()) << R.Message << "\n" << P.disassemble();
   }
+}
+
+TEST(ProgramGen, MaskIdxProfileComposesMasksAndMixesVerdicts) {
+  GenOptions Opts;
+  Opts.Profile = GenProfile::MaskIdx;
+  ProgramGen Gen(2022, Opts);
+  unsigned Accepted = 0, Rejected = 0;
+  for (unsigned I = 0; I != 200; ++I) {
+    Program P = Gen.next();
+    // The profile's whole point: indices built by AND/OR/shift chains of
+    // narrow loads, the known-bits composition tnums track exactly.
+    bool HasAnd = false, HasOr = false, HasNarrowLoad = false;
+    for (const Insn &In : P) {
+      HasAnd |= In.InsnKind == Insn::Kind::Alu && In.Alu == AluOp::And;
+      HasOr |= In.InsnKind == Insn::Kind::Alu && In.Alu == AluOp::Or;
+      HasNarrowLoad |= In.InsnKind == Insn::Kind::Load && In.Size <= 2;
+    }
+    EXPECT_TRUE(HasAnd && HasOr && HasNarrowLoad) << P.disassemble();
+    VerifierReport Report = verifyProgram(P, Opts.MemSize);
+    if (Report.Accepted) {
+      ++Accepted;
+    } else {
+      ++Rejected;
+      EXPECT_TRUE(!Report.StructuralError.empty() ||
+                  !Report.Violations.empty())
+          << P.disassemble();
+    }
+  }
+  // Mask/offset draws straddle the region bound by construction, so the
+  // stream must exercise both verdicts.
+  EXPECT_GT(Accepted, 20u);
+  EXPECT_GT(Rejected, 20u);
+}
+
+TEST(ProgramGen, ScaledProfileScalesAMaskedIndex) {
+  GenOptions Opts;
+  Opts.Profile = GenProfile::Scaled;
+  ProgramGen Gen(2022, Opts);
+  unsigned Accepted = 0, Rejected = 0;
+  for (unsigned I = 0; I != 200; ++I) {
+    Program P = Gen.next();
+    // A masked narrow load scaled by a left shift or the equivalent
+    // power-of-two multiply before indexing.
+    bool HasMask = false, HasScale = false;
+    for (const Insn &In : P) {
+      HasMask |= In.InsnKind == Insn::Kind::Alu && In.Alu == AluOp::And;
+      HasScale |= In.InsnKind == Insn::Kind::Alu &&
+                  (In.Alu == AluOp::Lsh || In.Alu == AluOp::Mul);
+    }
+    EXPECT_TRUE(HasMask && HasScale) << P.disassemble();
+    VerifierReport Report = verifyProgram(P, Opts.MemSize);
+    if (Report.Accepted) {
+      ++Accepted;
+    } else {
+      ++Rejected;
+      EXPECT_TRUE(!Report.StructuralError.empty() ||
+                  !Report.Violations.empty())
+          << P.disassemble();
+    }
+  }
+  EXPECT_GT(Accepted, 20u);
+  EXPECT_GT(Rejected, 20u);
+}
+
+TEST(ProgramGen, NarrowingMutationsProduceSubwordAccesses) {
+  GenOptions Opts;
+  Opts.Profile = GenProfile::PacketFilter; // Plenty of loads to edit.
+  ProgramGen Gen(0xD00D, Opts);
+  unsigned Byte = 0, Half = 0, Wide = 0;
+  for (unsigned I = 0; I != 100; ++I) {
+    Program P = Gen.next();
+    for (unsigned Depth = 0; Depth != 8; ++Depth) {
+      P = Gen.mutate(P);
+      ASSERT_FALSE(P.validate().has_value()) << P.disassemble();
+      for (const Insn &In : P) {
+        if (In.InsnKind != Insn::Kind::Load &&
+            In.InsnKind != Insn::Kind::Store)
+          continue;
+        Byte += In.Size == 1;
+        Half += In.Size == 2;
+        Wide += In.Size >= 4;
+      }
+    }
+  }
+  // The mutation operator's narrowing arm must actually bias the stream
+  // toward sub-word accesses (the partial-extension paths of §II-C);
+  // wide accesses still survive (the arm is a bias, not a rewrite).
+  EXPECT_GT(Byte, 100u);
+  EXPECT_GT(Half, 100u);
+  EXPECT_GT(Wide, 100u);
 }
 
 TEST(ProgramGen, ParseAndPrintProfileNamesRoundTrip) {

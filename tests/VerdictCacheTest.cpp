@@ -13,7 +13,10 @@
 /// current-fingerprint entries keep hitting; and a truncated, bit-flipped,
 /// or otherwise torn entry file is refused (miss + PoisonedRejected + GC),
 /// never misread as a verdict. Key collisions degrade to misses via the
-/// embedded canonical-request witness.
+/// embedded canonical-request witness. Occupancy caps (VerdictCacheLimits)
+/// evict least-recently-used entries on over-cap inserts and sweep a
+/// pre-existing over-cap store at open() oldest-mtime-first, while the
+/// retained entries keep warm-hitting byte-identically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +27,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <vector>
@@ -338,6 +343,141 @@ TEST(VerdictCache, StatesAreNeverPersisted) {
   VerifyResult Slim = Result;
   Slim.InStates.clear();
   EXPECT_TRUE(sameVerdict(*Hit, Slim));
+}
+
+TEST(VerdictCache, EntryCapEvictsLeastRecentlyUsedOnInsert) {
+  std::string Dir = makeCacheDir();
+  std::string Error;
+  std::vector<VerifyRequest> Requests = makeRequests(43, 4);
+  VerificationService Service;
+
+  VerdictCacheLimits Limits;
+  Limits.MaxEntries = 3;
+  std::unique_ptr<VerdictCache> Cache =
+      VerdictCache::open(Dir, analyzerVerdictFingerprint(), Limits, Error);
+  ASSERT_TRUE(Cache) << Error;
+
+  std::vector<VerifyResult> Results;
+  for (size_t I = 0; I != 3; ++I) {
+    Results.push_back(Service.verifyOne(Requests[I]));
+    ASSERT_TRUE(Cache->store(Requests[I], Results.back(), Error)) << Error;
+  }
+  EXPECT_EQ(Cache->stats().Evictions, 0u); // At the cap, not over it.
+
+  // A hit is a use: request 0 is now the MOST recently used, so the
+  // over-cap insert below must evict request 1, not 0.
+  ASSERT_TRUE(Cache->lookup(Requests[0]));
+  Results.push_back(Service.verifyOne(Requests[3]));
+  ASSERT_TRUE(Cache->store(Requests[3], Results.back(), Error)) << Error;
+
+  EXPECT_EQ(Cache->stats().Evictions, 1u);
+  EXPECT_FALSE(fileExists(entryFile(*Cache, Requests[1])));
+  EXPECT_FALSE(Cache->lookup(Requests[1])); // Evicted means gone.
+  // The survivors keep serving byte-identical verdicts.
+  for (size_t I : {size_t(0), size_t(2), size_t(3)}) {
+    std::optional<VerifyResult> Hit = Cache->lookup(Requests[I]);
+    ASSERT_TRUE(Hit) << "survivor " << I;
+    EXPECT_TRUE(sameVerdict(*Hit, Results[I == 3 ? 3 : I]));
+    EXPECT_TRUE(fileExists(entryFile(*Cache, Requests[I])));
+  }
+  // An evicted request can simply be re-stored (evicting the next LRU).
+  ASSERT_TRUE(Cache->store(Requests[1], Service.verifyOne(Requests[1]), Error));
+  EXPECT_EQ(Cache->stats().Evictions, 2u);
+  EXPECT_TRUE(Cache->lookup(Requests[1]));
+}
+
+TEST(VerdictCache, OpenSweepsOverCapStoreOldestMtimeFirst) {
+  std::string Dir = makeCacheDir();
+  std::string Error;
+  std::vector<VerifyRequest> Requests = makeRequests(47, 5);
+  VerificationService Service;
+  std::vector<VerifyResult> Results;
+  std::vector<std::string> Files;
+  {
+    // Fill uncapped -- the ops story: caps are introduced (or lowered)
+    // on a store a previous daemon grew without them.
+    std::unique_ptr<VerdictCache> Cache = VerdictCache::open(Dir, Error);
+    ASSERT_TRUE(Cache) << Error;
+    for (const VerifyRequest &Request : Requests) {
+      Results.push_back(Service.verifyOne(Request));
+      ASSERT_TRUE(Cache->store(Request, Results.back(), Error)) << Error;
+      Files.push_back(entryFile(*Cache, Request));
+    }
+  }
+  // Pin distinct, increasing mtimes so "oldest first" is unambiguous
+  // regardless of filesystem timestamp granularity.
+  namespace fs = std::filesystem;
+  fs::file_time_type Base = fs::last_write_time(Files[0]);
+  for (size_t I = 0; I != Files.size(); ++I)
+    fs::last_write_time(Files[I], Base + std::chrono::seconds(I + 1));
+  std::string Retained = slurp(Files[4]);
+
+  VerdictCacheLimits Limits;
+  Limits.MaxEntries = 2;
+  std::unique_ptr<VerdictCache> Capped =
+      VerdictCache::open(Dir, analyzerVerdictFingerprint(), Limits, Error);
+  ASSERT_TRUE(Capped) << Error;
+
+  // The sweep evicted exactly the three oldest, before any lookup ran.
+  EXPECT_EQ(Capped->stats().Evictions, 3u);
+  for (size_t I = 0; I != 3; ++I) {
+    EXPECT_FALSE(fileExists(Files[I])) << "old entry " << I << " kept";
+    EXPECT_FALSE(Capped->lookup(Requests[I]));
+  }
+  // Retained entries are untouched on disk and warm-hit byte-identical.
+  EXPECT_EQ(slurp(Files[4]), Retained);
+  for (size_t I = 3; I != 5; ++I) {
+    std::optional<VerifyResult> Hit = Capped->lookup(Requests[I]);
+    ASSERT_TRUE(Hit) << "retained entry " << I;
+    EXPECT_TRUE(sameVerdict(*Hit, Results[I]));
+  }
+  EXPECT_EQ(Capped->stats().DiskHits, 2u);
+}
+
+TEST(VerdictCache, ByteCapBoundsTheDiskFootprint) {
+  std::string Dir = makeCacheDir();
+  std::string Error;
+  std::vector<VerifyRequest> Requests = makeRequests(53, 4);
+  VerificationService Service;
+  std::vector<uint64_t> Sizes;
+  std::vector<std::string> Files;
+  {
+    std::unique_ptr<VerdictCache> Cache = VerdictCache::open(Dir, Error);
+    ASSERT_TRUE(Cache) << Error;
+    for (const VerifyRequest &Request : Requests) {
+      ASSERT_TRUE(Cache->store(Request, Service.verifyOne(Request), Error));
+      Files.push_back(entryFile(*Cache, Request));
+      Sizes.push_back(std::filesystem::file_size(Files.back()));
+    }
+  }
+  namespace fs = std::filesystem;
+  fs::file_time_type Base = fs::last_write_time(Files[0]);
+  for (size_t I = 0; I != Files.size(); ++I)
+    fs::last_write_time(Files[I], Base + std::chrono::seconds(I + 1));
+
+  // A byte budget that fits exactly the two newest entries: the sweep
+  // must evict the two oldest and then stop -- it never over-evicts.
+  VerdictCacheLimits Limits;
+  Limits.MaxBytes = Sizes[2] + Sizes[3];
+  std::unique_ptr<VerdictCache> Capped =
+      VerdictCache::open(Dir, analyzerVerdictFingerprint(), Limits, Error);
+  ASSERT_TRUE(Capped) << Error;
+  EXPECT_EQ(Capped->stats().Evictions, 2u);
+  EXPECT_FALSE(fileExists(Files[0]));
+  EXPECT_FALSE(fileExists(Files[1]));
+  EXPECT_TRUE(fileExists(Files[2]));
+  EXPECT_TRUE(fileExists(Files[3]));
+
+  // Inserts keep respecting the byte cap: storing request 0 again evicts
+  // from the front until the new entry fits.
+  ASSERT_TRUE(Capped->store(Requests[0], Service.verifyOne(Requests[0]), Error));
+  uint64_t OnDisk = 0;
+  for (const std::string &File : Files)
+    if (fileExists(File))
+      OnDisk += fs::file_size(File);
+  EXPECT_LE(OnDisk, Limits.MaxBytes);
+  EXPECT_GE(Capped->stats().Evictions, 3u);
+  EXPECT_TRUE(Capped->lookup(Requests[0]));
 }
 
 } // namespace

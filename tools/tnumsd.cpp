@@ -11,6 +11,7 @@
 /// docs/SERVICE.md.
 ///
 /// Usage: tnumsd --socket PATH [--tcp PORT] [--jobs N] [--cache DIR]
+///               [--cache-max-entries N] [--cache-max-bytes N]
 ///               [--max-pending N] [--tenant-quota N]
 ///        tnumsd --socket PATH --stop
 ///
@@ -20,6 +21,12 @@
 ///   --jobs N         worker threads (0 = hardware concurrency).
 ///   --cache DIR      persistent verdict-cache directory; omit to run
 ///                    without cross-run caching.
+///   --cache-max-entries N
+///                    cap the cache at N entries (0 = unlimited); over-cap
+///                    inserts evict least-recently-used entries, and
+///                    startup sweeps a pre-existing over-cap store.
+///   --cache-max-bytes N
+///                    cap the cache's total entry-file bytes likewise.
 ///   --max-pending N  admission window before Busy(pool) replies
 ///                    (0 = 4x workers).
 ///   --tenant-quota N per-tenant in-flight cap before Busy(quota)
@@ -54,6 +61,8 @@ void handleStopSignal(int) {
 int main(int Argc, char **Argv) {
   const char *SocketPath = nullptr;
   const char *CacheDir = nullptr;
+  uint64_t CacheMaxEntries = 0;
+  uint64_t CacheMaxBytes = 0;
   uint64_t TcpPort = UINT64_MAX; // Sentinel: no TCP listener.
   unsigned Jobs = 0;
   uint64_t MaxPending = 0;
@@ -65,6 +74,12 @@ int main(int Argc, char **Argv) {
     if (Args.matchString("--socket", SocketPath))
       continue;
     if (Args.matchString("--cache", CacheDir))
+      continue;
+    if (Args.matchU64("--cache-max-entries", 0, uint64_t(1) << 48,
+                      CacheMaxEntries))
+      continue;
+    if (Args.matchU64("--cache-max-bytes", 0, uint64_t(1) << 48,
+                      CacheMaxBytes))
       continue;
     if (Args.matchU64("--tcp", 0, 65535, TcpPort))
       continue;
@@ -83,8 +98,9 @@ int main(int Argc, char **Argv) {
   if (Args.failed() || !SocketPath) {
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--tcp PORT] [--jobs 0..1024] "
-                 "[--cache DIR] [--max-pending N] [--tenant-quota N] "
-                 "[--stop]\n",
+                 "[--cache DIR] [--cache-max-entries N] "
+                 "[--cache-max-bytes N] [--max-pending N] "
+                 "[--tenant-quota N] [--stop]\n",
                  Argv[0]);
     return 1;
   }
@@ -111,6 +127,8 @@ int main(int Argc, char **Argv) {
   Config.TcpPort = TcpPort == UINT64_MAX ? -1 : static_cast<int>(TcpPort);
   Config.NumThreads = Jobs;
   Config.CacheDir = CacheDir ? CacheDir : "";
+  Config.CacheMaxEntries = CacheMaxEntries;
+  Config.CacheMaxBytes = CacheMaxBytes;
   Config.MaxPendingRequests = MaxPending;
   Config.TenantMaxInFlight = TenantQuota;
 
@@ -130,8 +148,16 @@ int main(int Argc, char **Argv) {
   std::printf("tnumsd serving on %s", SocketPath);
   if (Config.TcpPort >= 0)
     std::printf(" and tcp 127.0.0.1:%u", unsigned(Served->tcpPort()));
-  if (CacheDir)
-    std::printf(" (verdict cache: %s)", CacheDir);
+  if (CacheDir) {
+    std::printf(" (verdict cache: %s", CacheDir);
+    if (CacheMaxEntries)
+      std::printf(", max %llu entries",
+                  static_cast<unsigned long long>(CacheMaxEntries));
+    if (CacheMaxBytes)
+      std::printf(", max %llu bytes",
+                  static_cast<unsigned long long>(CacheMaxBytes));
+    std::printf(")");
+  }
   std::printf("\n");
   std::printf("version fingerprint %016llx\n",
               static_cast<unsigned long long>(Served->versionFingerprint()));
