@@ -36,6 +36,10 @@
 ///   --cache DIR     verdict-cache directory for the in-process daemon.
 ///   --json FILE     machine-readable dump (BENCH_daemon.json): latency
 ///                   percentiles, throughput, fingerprints, stats deltas.
+///   --metrics       enable the process metrics recorder for the
+///                   in-process daemon and embed the merged snapshot as a
+///                   "metrics" section of the --json dump (off by
+///                   default; verdict bytes are identical either way).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +48,7 @@
 #include "service/ProgramGen.h"
 #include "service/VerificationService.h"
 #include "support/ArgParse.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
@@ -139,6 +144,7 @@ int main(int Argc, char **Argv) {
   const char *SocketPathText = nullptr;
   const char *CacheDir = nullptr;
   const char *JsonPath = nullptr;
+  bool UseMetrics = false;
 
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
@@ -162,6 +168,10 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchString("--json", JsonPath))
       continue;
+    if (Args.matchFlag("--metrics")) {
+      UseMetrics = true;
+      continue;
+    }
     Args.reject();
   }
   std::optional<GenProfile> Profile =
@@ -171,7 +181,7 @@ int main(int Argc, char **Argv) {
                  "usage: %s [--clients N] [--programs N] [--seed S] "
                  "[--profile {alu,bounds,packet,loops,mixed}] [--mem N] "
                  "[--jobs 0..1024] [--cache DIR] [--connect PATH] "
-                 "[--socket PATH] [--json FILE]\n",
+                 "[--socket PATH] [--json FILE] [--metrics]\n",
                  Argv[0]);
     return 1;
   }
@@ -210,6 +220,8 @@ int main(int Argc, char **Argv) {
     Config.SocketPath = SocketPath;
     Config.NumThreads = Jobs;
     Config.CacheDir = CacheDir ? CacheDir : "";
+    // A bench daemon observes only on request: the run measures latency.
+    Config.EnableMetrics = UseMetrics;
     std::string Error;
     Spawned = Daemon::create(Config, Error);
     if (!Spawned) {
@@ -366,6 +378,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(Json,
                  "{\n"
                  "  \"bench\": \"daemon_throughput\",\n"
+                 "  \"build_info\": %s,\n"
                  "  \"seed\": %llu,\n"
                  "  \"profile\": \"%s\",\n"
                  "  \"clients\": %llu,\n"
@@ -382,8 +395,8 @@ int main(int Argc, char **Argv) {
                  "  \"busy_delta\": %llu,\n"
                  "  \"deterministic\": %s,\n"
                  "  \"matches_in_process\": %s,\n"
-                 "  \"verdict_fingerprint\": \"%016llx\"\n"
-                 "}\n",
+                 "  \"verdict_fingerprint\": \"%016llx\"",
+                 buildInfoJson().c_str(),
                  static_cast<unsigned long long>(Seed),
                  genProfileName(*Profile),
                  static_cast<unsigned long long>(Clients),
@@ -398,6 +411,11 @@ int main(int Argc, char **Argv) {
                  ClientsAgree ? "true" : "false",
                  MatchesInProcess ? "true" : "false",
                  static_cast<unsigned long long>(Fingerprints.front()));
+    if (UseMetrics)
+      std::fprintf(Json, ",\n  \"metrics\": %s\n}\n",
+                   MetricsRegistry::instance().snapshot().toJson().c_str());
+    else
+      std::fprintf(Json, "\n}\n");
     std::fclose(Json);
     std::printf("\nwrote %s\n", JsonPath);
   }

@@ -33,7 +33,12 @@
 ///
 /// Usage: interpreter_throughput [--programs N] [--runs N] [--seed S]
 ///                               [--profile P] [--mem N] [--steps N]
-///                               [--reps N] [--json FILE]
+///                               [--reps N] [--json FILE] [--metrics]
+///
+/// --metrics installs the process metrics recorder (support/Metrics.h) --
+/// deliberately AFTER the timed passes, right before the JSON dump, so
+/// the decode counters it embeds come from one extra untimed decode pass
+/// and the timed numbers stay recorder-free.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +47,7 @@
 #include "service/ProgramGen.h"
 #include "support/ArgParse.h"
 #include "support/Checkpoint.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Table.h"
 
@@ -105,6 +111,7 @@ int main(int Argc, char **Argv) {
   uint64_t Reps = 3;
   const char *ProfileText = "loops";
   const char *JsonPath = nullptr;
+  bool UseMetrics = false;
 
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
@@ -124,6 +131,10 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchString("--json", JsonPath))
       continue;
+    if (Args.matchFlag("--metrics")) {
+      UseMetrics = true;
+      continue;
+    }
     Args.reject();
   }
   std::optional<GenProfile> Profile =
@@ -132,7 +143,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: %s [--programs N] [--runs N] [--seed S] "
                  "[--profile P] [--mem N] [--steps N] [--reps N] "
-                 "[--json FILE]\n",
+                 "[--json FILE] [--metrics]\n",
                  Argv[0]);
     return 1;
   }
@@ -371,8 +382,17 @@ int main(int Argc, char **Argv) {
               threadedDispatchAvailable() ? "available" : "unavailable");
 
   //===--------------------------------------------------------------------===//
-  // Machine-readable dump for the CI gate (BENCH_interp.json).
+  // Machine-readable dump for the CI gate (BENCH_interp.json). With
+  // --metrics, the recorder goes live only now and one untimed decode
+  // pass populates the decode counters for the snapshot.
   //===--------------------------------------------------------------------===//
+  if (UseMetrics) {
+    enableProcessMetrics();
+    for (const Program &P : Stream) {
+      std::string DecodeError;
+      DecodedProgram::decode(P, DecodeError);
+    }
+  }
   if (JsonPath) {
     std::FILE *Json = std::fopen(JsonPath, "w");
     if (!Json) {
@@ -382,6 +402,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(Json,
                  "{\n"
                  "  \"bench\": \"interpreter_throughput\",\n"
+                 "  \"build_info\": %s,\n"
                  "  \"seed\": %llu,\n"
                  "  \"profile\": \"%s\",\n"
                  "  \"programs\": %llu,\n"
@@ -397,6 +418,7 @@ int main(int Argc, char **Argv) {
                  "  \"result_fingerprint\": \"%016llx\",\n"
                  "  \"best_speedup\": %.3f,\n"
                  "  \"engines\": [\n",
+                 buildInfoJson().c_str(),
                  static_cast<unsigned long long>(Seed),
                  genProfileName(*Profile),
                  static_cast<unsigned long long>(Programs),
@@ -421,7 +443,11 @@ int main(int Argc, char **Argv) {
                    Timings[I].Seconds > 0 ? LegacySeconds / Timings[I].Seconds
                                           : 0.0,
                    I + 1 == Timings.size() ? "" : ",");
-    std::fprintf(Json, "  ]\n}\n");
+    if (UseMetrics)
+      std::fprintf(Json, "  ],\n  \"metrics\": %s\n}\n",
+                   MetricsRegistry::instance().snapshot().toJson().c_str());
+    else
+      std::fprintf(Json, "  ]\n}\n");
     std::fclose(Json);
     std::printf("\nwrote %s\n", JsonPath);
   }

@@ -37,6 +37,10 @@
 ///   --dump-corpus FILE
 ///                save the request stream as a corpus after the run, so
 ///                this exact workload can be replayed later.
+///   --metrics    install the process metrics recorder (support/Metrics.h)
+///                and embed the merged snapshot as a "metrics" section of
+///                the --json dump. Off by default; verdicts are identical
+///                either way (the CI overhead guard pins that).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +49,7 @@
 #include "service/ProgramGen.h"
 #include "service/VerificationService.h"
 #include "support/ArgParse.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
@@ -76,6 +81,7 @@ int main(int Argc, char **Argv) {
   const char *JsonPath = nullptr;
   const char *ReplayPath = nullptr;
   const char *DumpCorpusPath = nullptr;
+  bool UseMetrics = false;
 
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
@@ -101,6 +107,10 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchString("--dump-corpus", DumpCorpusPath))
       continue;
+    if (Args.matchFlag("--metrics")) {
+      UseMetrics = true;
+      continue;
+    }
     Args.reject();
   }
   std::optional<GenProfile> Profile =
@@ -110,12 +120,15 @@ int main(int Argc, char **Argv) {
                  "usage: %s [--programs N] [--seed S] "
                  "[--profile {alu,bounds,packet,loops,maskidx,scaled,mixed}] "
                  "[--jobs 0..1024] [--scaling] [--mem N] [--fuzz N] "
-                 "[--json FILE] [--replay FILE] [--dump-corpus FILE]\n",
+                 "[--json FILE] [--replay FILE] [--dump-corpus FILE] "
+                 "[--metrics]\n",
                  Argv[0]);
     return 1;
   }
   if (Jobs == 0)
     Jobs = ThreadPool::hardwareConcurrency();
+  if (UseMetrics)
+    enableProcessMetrics();
 
   //===--------------------------------------------------------------------===//
   // Generate the request stream once; every jobs count verifies the same
@@ -247,6 +260,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(Json,
                  "{\n"
                  "  \"bench\": \"verifier_throughput\",\n"
+                 "  \"build_info\": %s,\n"
                  "  \"seed\": %llu,\n"
                  "  \"profile\": \"%s\",\n"
                  "  \"programs\": %llu,\n"
@@ -259,6 +273,7 @@ int main(int Argc, char **Argv) {
                  "  \"deterministic\": %s,\n"
                  "  \"verdict_fingerprint\": \"%016llx\",\n"
                  "  \"scaling\": [\n",
+                 buildInfoJson().c_str(),
                  static_cast<unsigned long long>(Seed),
                  genProfileName(*Profile),
                  static_cast<unsigned long long>(Programs),
@@ -282,7 +297,11 @@ int main(int Argc, char **Argv) {
                        ? Base.Seconds / Curve[I].Stats.Seconds
                        : 0.0,
                    I + 1 == Curve.size() ? "" : ",");
-    std::fprintf(Json, "  ]\n}\n");
+    if (UseMetrics)
+      std::fprintf(Json, "  ],\n  \"metrics\": %s\n}\n",
+                   MetricsRegistry::instance().snapshot().toJson().c_str());
+    else
+      std::fprintf(Json, "  ]\n}\n");
     std::fclose(Json);
     std::printf("\nwrote %s\n", JsonPath);
   }

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""CI audit for the daemon's observability artifacts.
+
+Takes the three artifacts one metrics-enabled tnumsd run leaves behind --
+the Prometheus-style exposition file (--metrics-text), the request
+lifecycle event log (--event-log), and the driving bench's JSON -- and
+cross-checks them until they account for 100% of the traffic:
+
+ * The exposition parses: every non-comment line is `name value` or
+   `name{labels} value` with a numeric value, and the tnumsd request
+   series are present.
+
+ * The event log is complete: every line is one JSON object; grouped by
+   the (conn, req) correlation key, every request starts with
+   ``received`` and ends with exactly one terminal event -- ``replied``
+   after the full received -> admitted -> queued -> analyzing -> replied
+   phase sequence, or ``busy`` with no admission in between. No request
+   vanishes mid-lifecycle.
+
+ * The three sources agree: the exposition's received / verdict / busy
+   counters equal the event log's per-terminal counts, and the replied
+   count equals the bench's total_verdicts (the daemon served exactly
+   the bench's workload, nothing silently dropped or double-counted).
+
+Exit status: 0 ok, 1 audit failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+LIFECYCLE = ["received", "admitted", "queued", "analyzing", "replied"]
+
+
+def fail(failures):
+    print("metrics audit: FAILED:")
+    for failure in failures:
+        print(f"  {failure}")
+    return 1
+
+
+def parse_exposition(path, failures):
+    """Returns {full_series_name: value}; malformed lines -> failures."""
+    series = {}
+    with open(path) as fh:
+        for number, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.rsplit(" ", 1)
+            if len(parts) != 2:
+                failures.append(f"exposition line {number} malformed: {line!r}")
+                continue
+            name, value = parts
+            try:
+                series[name] = float(value)
+            except ValueError:
+                failures.append(
+                    f"exposition line {number} non-numeric value: {line!r}"
+                )
+    return series
+
+
+def parse_event_log(path, failures):
+    """Returns {(conn, req): [event, ...]} in file (= wall clock) order."""
+    lifecycles = {}
+    with open(path) as fh:
+        for number, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as err:
+                failures.append(f"event log line {number}: bad JSON: {err}")
+                continue
+            for key in ("ts_ms", "event", "conn", "req", "tenant"):
+                if key not in event:
+                    failures.append(
+                        f"event log line {number} lacks {key!r}: {line!r}"
+                    )
+            lifecycles.setdefault(
+                (event.get("conn"), event.get("req")), []
+            ).append(event.get("event"))
+    return lifecycles
+
+
+def audit_lifecycles(lifecycles, failures):
+    """Every request: one terminal, full phase order. Returns counts."""
+    replied = rejected = 0
+    for key, events in sorted(lifecycles.items()):
+        label = f"request conn={key[0]} req={key[1]}"
+        if events[0] != "received":
+            failures.append(f"{label} does not start with received: {events}")
+            continue
+        if events[-1] == "replied":
+            replied += 1
+            if events != LIFECYCLE:
+                failures.append(
+                    f"{label} replied without the full phase sequence: "
+                    f"{events}"
+                )
+        elif events[-1] == "busy":
+            rejected += 1
+            if events != ["received", "busy"]:
+                failures.append(
+                    f"{label} was rejected but ran other phases: {events}"
+                )
+        else:
+            failures.append(f"{label} has no terminal event: {events}")
+    return replied, rejected
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--exposition", required=True,
+                        help="--metrics-text file the daemon maintained")
+    parser.add_argument("--event-log", required=True,
+                        help="--event-log JSONL the daemon wrote")
+    parser.add_argument("--bench", required=True,
+                        help="daemon_throughput --json output for the run")
+    args = parser.parse_args()
+
+    failures = []
+    try:
+        series = parse_exposition(args.exposition, failures)
+        lifecycles = parse_event_log(args.event_log, failures)
+        with open(args.bench) as fh:
+            bench = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    replied, rejected = audit_lifecycles(lifecycles, failures)
+    received = len(lifecycles)
+    print(
+        f"metrics audit: event log holds {received} requests "
+        f"({replied} replied, {rejected} busy-rejected)"
+    )
+
+    # The exposition must carry the request series and agree with the log.
+    def counter(name, variants):
+        total = 0.0
+        found = False
+        for variant in variants:
+            if variant in series:
+                found = True
+                total += series[variant]
+        if not found:
+            failures.append(f"exposition lacks every {name} series")
+        return total
+
+    expo_received = counter(
+        "received", ["tnumsd_requests_received_total"]
+    )
+    expo_verdicts = counter(
+        "verdicts",
+        ['tnumsd_verdicts_total{cache="hit"}',
+         'tnumsd_verdicts_total{cache="miss"}'],
+    )
+    expo_busy = sum(
+        value for name, value in series.items()
+        if name.startswith("tnumsd_busy_total")
+    )
+    checks = [
+        ("exposition received vs event log", expo_received, received),
+        ("exposition verdicts vs event log replied", expo_verdicts, replied),
+        ("exposition busy vs event log rejected", expo_busy, rejected),
+        ("event log received vs replied+busy", received, replied + rejected),
+        ("event log replied vs bench total_verdicts", replied,
+         bench.get("total_verdicts")),
+    ]
+    for label, lhs, rhs in checks:
+        if lhs != rhs:
+            failures.append(f"{label}: {lhs} != {rhs}")
+
+    if failures:
+        return fail(failures)
+    print(
+        "metrics audit: ok (exposition parses; exposition, event log, and "
+        "bench totals account for 100% of the traffic)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,11 @@ Supported "bench" values:
    over the legacy interpreter. The speedup is a same-process ratio, so
    unlike absolute throughput it barely depends on the runner class.
 
+Top-level keys the gate does not recognize (e.g. the "build_info" and
+"metrics" observability sections, or future additions) are TOLERATED in
+both files and listed in the output, so baselines and runs from
+different bench versions keep comparing on the fields they share.
+
 Exit status: 0 ok, 1 regression, 2 usage/IO error.
 """
 
@@ -263,6 +268,43 @@ GATES = {
     "interpreter_throughput": gate_interp,
 }
 
+# Every top-level key each gate reads. Anything else in either file is
+# tolerated -- compared by no check -- and reported, so a run from a newer
+# bench (say, one embedding a "metrics" section) still gates against an
+# older baseline on the fields both understand.
+KNOWN_KEYS = {
+    "verifier_throughput": {
+        "bench", "seed", "profile", "programs", "mem_size", "accepted",
+        "rejected_structural", "rejected_semantic", "insn_visits",
+        "dedup_hits", "verdict_fingerprint", "deterministic", "scaling",
+    },
+    "daemon_throughput": {
+        "bench", "seed", "profile", "clients", "programs", "mem_size",
+        "total_verdicts", "verdict_fingerprint", "deterministic",
+        "matches_in_process", "latency_p50_ms", "latency_p99_ms",
+        "verdicts_per_s", "seconds", "cache_hits", "analyses_delta",
+        "cache_hits_delta", "busy_delta",
+    },
+    "interpreter_throughput": {
+        "bench", "seed", "profile", "programs", "runs_per_program",
+        "mem_size", "step_limit", "reps", "ok_runs", "trap_runs",
+        "step_limit_runs", "result_fingerprint", "identical",
+        "threaded_available", "best_speedup", "engines",
+    },
+}
+
+
+def report_tolerated_keys(name, current, baseline):
+    """Lists top-level keys no check reads, without failing on them."""
+    known = KNOWN_KEYS.get(name, set())
+    for label, data in (("current run", current), ("baseline", baseline)):
+        extra = sorted(set(data) - known)
+        if extra:
+            print(
+                f"bench gate: tolerating unknown top-level keys in "
+                f"{label}: {', '.join(extra)}"
+            )
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -288,6 +330,7 @@ def main():
         print(f"error: no gate for bench {name!r}", file=sys.stderr)
         return 2
 
+    report_tolerated_keys(name, current, baseline)
     failures = gate(current, baseline, args)
     if failures:
         print("bench gate: REGRESSION detected:")

@@ -8,11 +8,50 @@
 #include "bpf/Analyzer.h"
 
 #include "bpf/Interpreter.h" // StackSize
+#include "support/Metrics.h"
 #include "support/Table.h"
-
+#include "support/Trace.h"
 
 using namespace tnums;
 using namespace tnums::bpf;
+
+namespace {
+
+/// Analyzer telemetry handles (support/Metrics.h). Observation only:
+/// nothing here feeds back into states or verdicts, so
+/// analyzerVersionTag() stays untouched and metrics-on runs produce
+/// bit-identical reports to metrics-off runs.
+struct AnalyzerMetrics {
+  Histogram CfgRebuildNs{"tnums_analyzer_phase_ns", "phase=\"cfg_rebuild\""};
+  Histogram FixpointNs{"tnums_analyzer_phase_ns", "phase=\"fixpoint\""};
+  Counter Analyses{"tnums_analyzer_analyses_total"};
+  Counter InsnVisits{"tnums_analyzer_insn_visits_total"};
+  Counter Revisits{"tnums_analyzer_worklist_revisits_total"};
+  Counter NotConverged{"tnums_analyzer_nonconverged_total"};
+  Counter TransferLoadImm{"tnums_analyzer_transfer_total", "op=\"loadimm\""};
+  Counter TransferLoad{"tnums_analyzer_transfer_total", "op=\"load\""};
+  Counter TransferStore{"tnums_analyzer_transfer_total", "op=\"store\""};
+  Counter TransferJmp{"tnums_analyzer_transfer_total", "op=\"jmp\""};
+  Counter TransferJa{"tnums_analyzer_transfer_total", "op=\"ja\""};
+  Counter TransferExit{"tnums_analyzer_transfer_total", "op=\"exit\""};
+  std::vector<Counter> TransferAlu; ///< Indexed by AluOp.
+
+  AnalyzerMetrics() {
+    for (uint8_t Op = 0; Op <= static_cast<uint8_t>(AluOp::Neg); ++Op) {
+      std::string Labels = formatString(
+          "op=\"%s\"", aluOpName(static_cast<AluOp>(Op)));
+      TransferAlu.emplace_back("tnums_analyzer_transfer_total",
+                               Labels.c_str());
+    }
+  }
+};
+
+AnalyzerMetrics &analyzerMetrics() {
+  static AnalyzerMetrics M;
+  return M;
+}
+
+} // namespace
 
 const char *tnums::bpf::analyzerVersionTag() {
   // Bump on ANY verdict-affecting change (transfer semantics, violation
@@ -31,7 +70,10 @@ AnalysisResult Analyzer::analyze() {
 AnalysisResult Analyzer::analyze(const Program &ProgV, const Options &OptsV) {
   Prog = &ProgV;
   Opts = OptsV;
-  Graph.rebuild(ProgV);
+  {
+    ScopedTimer Timer(analyzerMetrics().CfgRebuildNs);
+    Graph.rebuild(ProgV);
+  }
   return run();
 }
 
@@ -165,6 +207,26 @@ AbstractState Analyzer::transfer(size_t Pc, const AbstractState &In,
                                  AnalysisResult &Result) {
   const Insn &I = Prog->insn(Pc);
   AbstractState Out = In;
+
+  if (metricsEnabled()) {
+    AnalyzerMetrics &M = analyzerMetrics();
+    switch (I.InsnKind) {
+    case Insn::Kind::LoadImm:
+      M.TransferLoadImm.add();
+      break;
+    case Insn::Kind::Alu:
+      M.TransferAlu[static_cast<uint8_t>(I.Alu)].add();
+      break;
+    case Insn::Kind::Load:
+      M.TransferLoad.add();
+      break;
+    case Insn::Kind::Store:
+      M.TransferStore.add();
+      break;
+    default:
+      break;
+    }
+  }
 
   switch (I.InsnKind) {
   case Insn::Kind::LoadImm:
@@ -335,6 +397,10 @@ AbstractState Analyzer::transfer(size_t Pc, const AbstractState &In,
 }
 
 AnalysisResult Analyzer::run() {
+  AnalyzerMetrics &Metrics = analyzerMetrics();
+  ScopedTimer FixpointTimer(Metrics.FixpointNs);
+  Metrics.Analyses.add();
+
   AnalysisResult Result;
   size_t N = Prog->size();
   Result.InStates.assign(N, AbstractState::makeUnreachable());
@@ -354,6 +420,12 @@ AnalysisResult Analyzer::run() {
   for (size_t I = 0; I != NumRpo; ++I)
     RpoPosition[Rpo[I]] = I;
   Pending.assign(NumRpo, false);
+  // Metrics-only scratch: which RPO positions have been popped at least
+  // once, so pops beyond the first count as worklist revisits. Kept empty
+  // (never consulted) while the recorder is off.
+  std::vector<uint8_t> Popped;
+  if (metricsEnabled())
+    Popped.assign(NumRpo, 0);
   assert(NumRpo != 0 && RpoPosition[0] == 0 && "entry leads the RPO");
   Pending[0] = true;
   size_t NumPending = 1;
@@ -409,6 +481,7 @@ AnalysisResult Analyzer::run() {
   while (NumPending != 0) {
     if (++Result.InsnVisits > Opts.MaxInsnVisits) {
       Result.Converged = false;
+      Metrics.NotConverged.add();
       report(Result, 0, "analysis did not converge within the visit budget");
       break;
     }
@@ -417,6 +490,13 @@ AnalysisResult Analyzer::run() {
     size_t Pc = Rpo[ScanFrom];
     Pending[ScanFrom] = false;
     --NumPending;
+    Metrics.InsnVisits.add();
+    if (!Popped.empty()) {
+      if (Popped[ScanFrom])
+        Metrics.Revisits.add();
+      else
+        Popped[ScanFrom] = 1;
+    }
 
     const AbstractState &In = Result.InStates[Pc];
     if (!In.Reachable)
@@ -425,6 +505,7 @@ AnalysisResult Analyzer::run() {
 
     switch (I.InsnKind) {
     case Insn::Kind::Exit: {
+      Metrics.TransferExit.add();
       const AbsReg &Ret = In.Regs[R0];
       if (!Ret.isScalar())
         report(Result, Pc,
@@ -433,9 +514,11 @@ AnalysisResult Analyzer::run() {
       break;
     }
     case Insn::Kind::Ja:
+      Metrics.TransferJa.add();
       Propagate(Program::jumpTarget(Pc, I), In);
       break;
     case Insn::Kind::Jmp: {
+      Metrics.TransferJmp.add();
       const AbsReg &Lhs = In.Regs[I.Dst];
       AbsReg Rhs = I.UsesImm ? AbsReg::makeScalar(RegValue::makeConstant(
                                    static_cast<uint64_t>(I.Imm)))

@@ -15,6 +15,7 @@
 
 #include "bpf/Decoded.h"
 
+#include "support/Metrics.h"
 #include "support/Table.h"
 
 #include <cassert>
@@ -798,6 +799,22 @@ std::optional<DecodedProgram> DecodedProgram::decode(const Program &Prog,
       D.Code[Pc].Op = F;
       ++Pc;
     }
+  }
+
+  if (metricsEnabled()) {
+    struct DecodeMetrics {
+      Counter Programs{"tnums_decoded_programs_total"};
+      Counter Insns{"tnums_decoded_insns_total"};
+      Counter FusedHeads{"tnums_decoded_fused_heads_total"};
+    };
+    static DecodeMetrics M;
+    uint64_t FusedHeads = 0;
+    for (const DInsn &Rec : D.Code)
+      if (Rec.Op >= DFuseMovRegAddImm64)
+        ++FusedHeads;
+    M.Programs.add();
+    M.Insns.add(D.Code.size());
+    M.FusedHeads.add(FusedHeads);
   }
   return D;
 }

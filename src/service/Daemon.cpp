@@ -9,14 +9,18 @@
 
 #include "service/VerdictCache.h"
 #include "service/VerificationService.h"
+#include "support/Checkpoint.h"
+#include "support/Metrics.h"
 #include "support/Socket.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <unordered_map>
@@ -38,6 +42,7 @@ struct Job {
   uint64_t ConnId = 0;
   uint64_t RequestId = 0;
   uint8_t Priority = 0;
+  uint64_t AdmitNs = 0; ///< traceNowNs() at admission (span timestamps).
   std::string Tenant;
   VerifyRequest Request;
 };
@@ -47,10 +52,46 @@ struct Job {
 /// per-tenant in-flight, analysis counters).
 struct Completion {
   uint64_t ConnId = 0;
+  uint64_t RequestId = 0;
+  uint64_t AdmitNs = 0;
   std::string Tenant;
   std::string FrameBytes;
   bool Analyzed = false;
+  bool CacheHit = false;
+  bool Accepted = false;
 };
+
+/// Daemon telemetry handles (support/Metrics.h). The lifecycle counters
+/// deliberately mirror the StatsReply fields so the exposition, the wire
+/// stats, and the event log all account for the same requests.
+struct DaemonMetrics {
+  Counter Received{"tnumsd_requests_received_total"};
+  Counter Admitted{"tnumsd_requests_admitted_total"};
+  Counter BusyPool{"tnumsd_busy_total", "reason=\"pool\""};
+  Counter BusyQuota{"tnumsd_busy_total", "reason=\"quota\""};
+  Counter VerdictHit{"tnumsd_verdicts_total", "cache=\"hit\""};
+  Counter VerdictMiss{"tnumsd_verdicts_total", "cache=\"miss\""};
+  Counter ProtocolErrors{"tnumsd_protocol_errors_total"};
+  Counter Connections{"tnumsd_connections_total"};
+  Gauge QueueDepth{"tnumsd_queue_depth"};
+  Gauge InFlight{"tnumsd_inflight_jobs"};
+  Gauge OpenConns{"tnumsd_connections_open"};
+  Histogram QueueWaitNs{"tnumsd_request_phase_ns", "phase=\"queued\""};
+  Histogram AnalyzeNs{"tnumsd_request_phase_ns", "phase=\"analyzing\""};
+  Histogram TotalNs{"tnumsd_request_phase_ns", "phase=\"total\""};
+};
+
+DaemonMetrics &daemonMetrics() {
+  static DaemonMetrics M;
+  return M;
+}
+
+void raiseAtomicMax(std::atomic<uint64_t> &Slot, uint64_t Value) {
+  uint64_t Seen = Slot.load(std::memory_order_relaxed);
+  while (Value > Seen &&
+         !Slot.compare_exchange_weak(Seen, Value, std::memory_order_relaxed))
+    ;
+}
 
 /// One priority class of the job queue: per-tenant FIFO deques served
 /// round-robin by a rotating cursor. Rotation holds exactly the tenants
@@ -108,6 +149,16 @@ struct Daemon::Impl {
   mutable std::mutex StatsMutex;
   DaemonStats Counters;
 
+  // Observability: the structured request-lifecycle log (inert unless
+  // Config.EventLogPath is set) and the queued/running occupancy with
+  // high-water marks for StatsReply and the exit banner. Atomics because
+  // the event loop and workers both move jobs through these states.
+  EventLog Events;
+  std::atomic<uint64_t> QueuedJobs{0};
+  std::atomic<uint64_t> RunningJobs{0};
+  std::atomic<uint64_t> PeakQueuedJobs{0};
+  std::atomic<uint64_t> PeakRunningJobs{0};
+
   // Declared last so its destructor runs FIRST: workers drain and join
   // while the cache, pipe, and mutexes above are still alive.
   std::optional<ThreadPool> Pool;
@@ -115,6 +166,48 @@ struct Daemon::Impl {
   //===--------------------------------------------------------------------===//
   // Worker side
   //===--------------------------------------------------------------------===//
+
+  /// Appends one lifecycle event when the log is active. Every event
+  /// carries (conn, req) -- request ids are only unique per connection,
+  /// so the pair is the correlation key.
+  void logEvent(const char *Event, uint64_t ConnId, uint64_t RequestId,
+                const std::string &Tenant,
+                const std::function<void(JsonLineBuilder &)> &Extra = {}) {
+    if (!Events.active())
+      return;
+    JsonLineBuilder Line;
+    Line.field("ts_ms", traceWallMs())
+        .field("event", Event)
+        .field("conn", ConnId)
+        .field("req", RequestId)
+        .field("tenant", Tenant);
+    if (Extra)
+      Extra(Line);
+    Events.write(Line.str());
+  }
+
+  void noteQueued(uint64_t Delta) {
+    uint64_t Now = Delta ? QueuedJobs.fetch_add(Delta,
+                                                std::memory_order_relaxed) +
+                               Delta
+                         : QueuedJobs.load(std::memory_order_relaxed);
+    raiseAtomicMax(PeakQueuedJobs, Now);
+    daemonMetrics().QueueDepth.set(static_cast<int64_t>(Now));
+  }
+  void noteDequeued() {
+    uint64_t Now =
+        QueuedJobs.fetch_sub(1, std::memory_order_relaxed) - 1;
+    daemonMetrics().QueueDepth.set(static_cast<int64_t>(Now));
+    uint64_t Running =
+        RunningJobs.fetch_add(1, std::memory_order_relaxed) + 1;
+    raiseAtomicMax(PeakRunningJobs, Running);
+    daemonMetrics().InFlight.set(static_cast<int64_t>(Running));
+  }
+  void noteFinished() {
+    uint64_t Running =
+        RunningJobs.fetch_sub(1, std::memory_order_relaxed) - 1;
+    daemonMetrics().InFlight.set(static_cast<int64_t>(Running));
+  }
 
   bool popJob(Job &Out) {
     std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -140,6 +233,7 @@ struct Daemon::Impl {
       }
       if (Class.Rotation.empty())
         Queue.erase(Queue.begin());
+      noteDequeued();
       return true;
     }
     --ActivePumps;
@@ -153,6 +247,17 @@ struct Daemon::Impl {
   }
 
   void processJob(const Job &Work) {
+    DaemonMetrics &M = daemonMetrics();
+    const bool Observing = metricsEnabled() || Events.active();
+    uint64_t StartNs = Observing ? traceNowNs() : 0;
+    if (Observing && Work.AdmitNs)
+      M.QueueWaitNs.record(StartNs - Work.AdmitNs);
+    logEvent("analyzing", Work.ConnId, Work.RequestId, Work.Tenant,
+             [&](JsonLineBuilder &Line) {
+               Line.field("wait_ms",
+                          double(StartNs - Work.AdmitNs) / 1e6);
+             });
+
     VerifyResult Result;
     bool CacheHit = false;
     bool Analyzed = false;
@@ -178,16 +283,24 @@ struct Daemon::Impl {
       }
     }
 
+    if (Observing)
+      M.AnalyzeNs.record(traceNowNs() - StartNs);
+
     Completion Done;
     Done.ConnId = Work.ConnId;
+    Done.RequestId = Work.RequestId;
+    Done.AdmitNs = Work.AdmitNs;
     Done.Tenant = Work.Tenant;
     Done.Analyzed = Analyzed;
+    Done.CacheHit = CacheHit;
+    Done.Accepted = Result.Accepted;
     Done.FrameBytes = encodeFrame(MsgType::Verdict, Work.RequestId,
                                   encodeVerdict(resultToVerdict(Result, CacheHit)));
     {
       std::lock_guard<std::mutex> Lock(CompletionMutex);
       Completions.push_back(std::move(Done));
     }
+    noteFinished();
     Pipe->notify();
   }
 
@@ -215,6 +328,8 @@ struct Daemon::Impl {
       Out.CachePoisonedRejected = CacheStats.PoisonedRejected;
       Out.CacheEvictions = CacheStats.Evictions;
     }
+    Out.PeakInFlight = PeakRunningJobs.load(std::memory_order_relaxed);
+    Out.PeakQueueDepth = PeakQueuedJobs.load(std::memory_order_relaxed);
     return Out;
   }
 
@@ -225,9 +340,14 @@ struct Daemon::Impl {
 
   /// Protocol failure: count it, answer with Error, drop the connection
   /// once the reply drains.
-  void failConn(Connection &Conn, WireError Code, uint64_t RequestId,
-                const std::string &Message) {
+  void failConn(Connection &Conn, uint64_t ConnId, WireError Code,
+                uint64_t RequestId, const std::string &Message) {
     bumpStat(&DaemonStats::ProtocolErrors);
+    daemonMetrics().ProtocolErrors.add();
+    logEvent("protocol-error", ConnId, RequestId, Conn.Tenant,
+             [&](JsonLineBuilder &Line) {
+               Line.field("code", wireErrorName(Code));
+             });
     ErrorMsg Msg;
     Msg.Code = Code;
     Msg.Message = Message;
@@ -236,6 +356,7 @@ struct Daemon::Impl {
   }
 
   void enqueueJob(Job Work) {
+    noteQueued(1);
     std::lock_guard<std::mutex> Lock(QueueMutex);
     PrioClass &Class = Queue[Work.Priority];
     std::deque<Job> &Fifo = Class.PerTenant[Work.Tenant];
@@ -252,15 +373,26 @@ struct Daemon::Impl {
     std::string DecodeError;
     std::optional<SubmitMsg> Submit = decodeSubmit(Msg.Payload, DecodeError);
     if (!Submit) {
-      failConn(Conn, WireError::MalformedPayload, Msg.RequestId, DecodeError);
+      failConn(Conn, ConnId, WireError::MalformedPayload, Msg.RequestId,
+               DecodeError);
       return;
     }
 
+    DaemonMetrics &M = daemonMetrics();
+    M.Received.add();
+    logEvent("received", ConnId, Msg.RequestId, Conn.Tenant);
+
     // Admission control: explicit Busy backpressure instead of unbounded
-    // queuing. A stopping daemon admits nothing new.
+    // queuing. A stopping daemon admits nothing new. A Busy reply is the
+    // request's terminal lifecycle event.
     if (StopFlag.load(std::memory_order_relaxed) ||
         PendingJobs >= MaxPending) {
       bumpStat(&DaemonStats::BusyPool);
+      M.BusyPool.add();
+      logEvent("busy", ConnId, Msg.RequestId, Conn.Tenant,
+               [&](JsonLineBuilder &Line) {
+                 Line.field("reason", "pool").field("depth", PendingJobs);
+               });
       BusyMsg Busy;
       Busy.Reason = 0;
       Busy.PendingDepth = PendingJobs;
@@ -270,6 +402,11 @@ struct Daemon::Impl {
     if (Config.TenantMaxInFlight != 0 &&
         TenantInFlight[Conn.Tenant] >= Config.TenantMaxInFlight) {
       bumpStat(&DaemonStats::BusyQuota);
+      M.BusyQuota.add();
+      logEvent("busy", ConnId, Msg.RequestId, Conn.Tenant,
+               [&](JsonLineBuilder &Line) {
+                 Line.field("reason", "quota").field("depth", PendingJobs);
+               });
       BusyMsg Busy;
       Busy.Reason = 1;
       Busy.PendingDepth = PendingJobs;
@@ -280,24 +417,33 @@ struct Daemon::Impl {
     bumpStat(&DaemonStats::Submits);
     ++PendingJobs;
     ++TenantInFlight[Conn.Tenant];
+    M.Admitted.add();
+    logEvent("admitted", ConnId, Msg.RequestId, Conn.Tenant,
+             [&](JsonLineBuilder &Line) {
+               Line.field("priority", uint64_t(Submit->Priority))
+                   .field("pending", PendingJobs);
+             });
 
     Job Work;
     Work.ConnId = ConnId;
     Work.RequestId = Msg.RequestId;
     Work.Priority = Submit->Priority;
+    Work.AdmitNs =
+        (metricsEnabled() || Events.active()) ? traceNowNs() : 0;
     Work.Tenant = Conn.Tenant;
     Work.Request = std::move(Submit->Request);
+    logEvent("queued", ConnId, Msg.RequestId, Conn.Tenant);
     enqueueJob(std::move(Work));
   }
 
   void handleFrame(Connection &Conn, uint64_t ConnId, const Frame &Msg) {
     if (!isRequestType(Msg.Type)) {
-      failConn(Conn, WireError::BadType, Msg.RequestId,
+      failConn(Conn, ConnId, WireError::BadType, Msg.RequestId,
                "reply-direction frame from client");
       return;
     }
     if (!Conn.HelloDone && Msg.Type != MsgType::Hello) {
-      failConn(Conn, WireError::HelloRequired, Msg.RequestId,
+      failConn(Conn, ConnId, WireError::HelloRequired, Msg.RequestId,
                "first frame must be Hello");
       return;
     }
@@ -306,7 +452,7 @@ struct Daemon::Impl {
       std::string DecodeError;
       std::optional<HelloMsg> Hello = decodeHello(Msg.Payload, DecodeError);
       if (!Hello) {
-        failConn(Conn, WireError::MalformedPayload, Msg.RequestId,
+        failConn(Conn, ConnId, WireError::MalformedPayload, Msg.RequestId,
                  DecodeError);
         return;
       }
@@ -314,6 +460,7 @@ struct Daemon::Impl {
       Conn.Tenant = Hello->Tenant.empty() ? "anon" : Hello->Tenant;
       HelloAckMsg Ack;
       Ack.VersionFingerprint = VersionFp;
+      Ack.BuildInfo = buildInfoJson();
       sendFrame(Conn, MsgType::HelloAck, Msg.RequestId, encodeHelloAck(Ack));
       return;
     }
@@ -324,13 +471,21 @@ struct Daemon::Impl {
       sendFrame(Conn, MsgType::StatsReply, Msg.RequestId,
                 encodeStatsReply(statsSnapshot()));
       return;
+    case MsgType::MetricsQuery: {
+      MetricsReplyMsg Reply;
+      Reply.BuildInfo = buildInfoJson();
+      Reply.Metrics = MetricsRegistry::instance().snapshot().Metrics;
+      sendFrame(Conn, MsgType::MetricsReply, Msg.RequestId,
+                encodeMetricsReply(Reply));
+      return;
+    }
     case MsgType::Shutdown:
       sendFrame(Conn, MsgType::ShutdownAck, Msg.RequestId, std::string());
       Conn.CloseAfterFlush = true;
       StopFlag.store(true, std::memory_order_relaxed);
       return;
     default:
-      failConn(Conn, WireError::BadType, Msg.RequestId, "unhandled type");
+      failConn(Conn, ConnId, WireError::BadType, Msg.RequestId, "unhandled type");
       return;
     }
   }
@@ -362,7 +517,7 @@ struct Daemon::Impl {
       if (Status == FrameDecoder::Status::NeedMore)
         break;
       if (Status == FrameDecoder::Status::Corrupt) {
-        failConn(Conn, Code, /*RequestId=*/0, DecodeError);
+        failConn(Conn, ConnId, Code, /*RequestId=*/0, DecodeError);
         break;
       }
       handleFrame(Conn, ConnId, Msg);
@@ -405,6 +560,7 @@ struct Daemon::Impl {
       Conn.Fd = OwnedFd(Fd);
       Conns.emplace(NextConnId++, std::move(Conn));
       bumpStat(&DaemonStats::Connections);
+      daemonMetrics().Connections.add();
     }
   }
 
@@ -414,6 +570,7 @@ struct Daemon::Impl {
       std::lock_guard<std::mutex> Lock(CompletionMutex);
       Batch.swap(Completions);
     }
+    DaemonMetrics &M = daemonMetrics();
     for (Completion &Done : Batch) {
       --PendingJobs;
       auto TenantIt = TenantInFlight.find(Done.Tenant);
@@ -425,6 +582,17 @@ struct Daemon::Impl {
         if (Done.Analyzed)
           ++Counters.Analyses;
       }
+      (Done.CacheHit ? M.VerdictHit : M.VerdictMiss).add();
+      uint64_t TotalNs = Done.AdmitNs ? traceNowNs() - Done.AdmitNs : 0;
+      if (Done.AdmitNs)
+        M.TotalNs.record(TotalNs);
+      logEvent("replied", Done.ConnId, Done.RequestId, Done.Tenant,
+               [&](JsonLineBuilder &Line) {
+                 Line.field("accepted", Done.Accepted)
+                     .field("cache_hit", Done.CacheHit)
+                     .field("analyzed", Done.Analyzed)
+                     .field("total_ms", double(TotalNs) / 1e6);
+               });
       auto ConnIt = Conns.find(Done.ConnId);
       if (ConnIt != Conns.end())
         ConnIt->second.OutBuf += Done.FrameBytes; // Else: client left.
@@ -436,6 +604,18 @@ struct Daemon::Impl {
     return Completions.size();
   }
 
+  /// Refreshes the Prometheus text exposition atomically (temp+rename), so
+  /// a scraper reading MetricsTextPath never sees a torn file. Failures are
+  /// swallowed: observability must never take the daemon down.
+  void writeExposition() {
+    if (Config.MetricsTextPath.empty() || !metricsEnabled())
+      return;
+    std::string IgnoredError;
+    writeFileDurable(Config.MetricsTextPath,
+                     MetricsRegistry::instance().snapshot().toPrometheusText(),
+                     IgnoredError);
+  }
+
   bool run(std::string &Error) {
     ignoreSigpipe();
     std::string IgnoredError;
@@ -445,12 +625,20 @@ struct Daemon::Impl {
 
     using Clock = std::chrono::steady_clock;
     std::optional<Clock::time_point> FlushDeadline;
+    const std::chrono::milliseconds RefreshPeriod(
+        Config.MetricsRefreshMs ? Config.MetricsRefreshMs : 1000u);
+    Clock::time_point NextExposition = Clock::now() + RefreshPeriod;
 
     std::vector<pollfd> Polled;
     std::vector<uint64_t> PolledConn; // Parallel to the connection pollfds.
 
     for (;;) {
       drainCompletions();
+      daemonMetrics().OpenConns.set(static_cast<int64_t>(Conns.size()));
+      if (!Config.MetricsTextPath.empty() && Clock::now() >= NextExposition) {
+        writeExposition();
+        NextExposition = Clock::now() + RefreshPeriod;
+      }
 
       // Drop connections whose replies are fully flushed and that were
       // marked for closing (protocol error, shutdown ack).
@@ -540,6 +728,8 @@ struct Daemon::Impl {
     }
 
     Conns.clear();
+    writeExposition(); // Final refresh so the file reflects the full run.
+    Events.close();
     ::unlink(Config.SocketPath.c_str());
     return true;
   }
@@ -553,6 +743,11 @@ std::optional<Daemon> Daemon::create(const DaemonConfig &Config,
   }
   std::unique_ptr<Impl> State(new Impl());
   State->Config = Config;
+  if (Config.EnableMetrics)
+    enableProcessMetrics();
+  if (!Config.EventLogPath.empty() &&
+      !State->Events.open(Config.EventLogPath, Error))
+    return std::nullopt;
   State->Threads =
       Config.NumThreads ? Config.NumThreads : ThreadPool::hardwareConcurrency();
   State->MaxPending = Config.MaxPendingRequests

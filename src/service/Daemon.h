@@ -77,6 +77,19 @@ struct DaemonConfig {
   uint64_t MaxPendingRequests = 0;
   /// Per-tenant in-flight cap before Busy(quota); 0 means unlimited.
   uint64_t TenantMaxInFlight = 0;
+  /// Install the process-wide metrics recorder (support/Metrics.h) when
+  /// the daemon starts. Serving metrics is the daemon's job, so this
+  /// defaults on; observation never changes verdict bytes.
+  bool EnableMetrics = true;
+  /// When non-empty, write the Prometheus text exposition here, refreshed
+  /// atomically (temp+rename) every MetricsRefreshMs and once at exit.
+  std::string MetricsTextPath;
+  /// Exposition refresh cadence in milliseconds.
+  unsigned MetricsRefreshMs = 1000;
+  /// When non-empty, append one JSONL event per request-lifecycle step
+  /// (received/admitted/queued/analyzing/replied/busy; see
+  /// docs/OBSERVABILITY.md for the schema).
+  std::string EventLogPath;
 };
 
 /// Live counters (mirrors wire StatsReplyMsg; see WireProtocol.h).

@@ -60,7 +60,7 @@ bool DaemonClient::readFrame(Frame &Out, std::string &Error) {
     return false;
   }
   if (Type < static_cast<uint8_t>(MsgType::Hello) ||
-      Type > static_cast<uint8_t>(MsgType::ShutdownAck)) {
+      Type > static_cast<uint8_t>(MsgType::MetricsReply)) {
     Error = formatString("unknown reply type %u", unsigned(Type));
     return false;
   }
@@ -171,6 +171,14 @@ bool DaemonClient::readReply(ClientReply &Reply, std::string &Error) {
     Reply.Stats = *Msg;
     return true;
   }
+  case MsgType::MetricsReply: {
+    std::optional<MetricsReplyMsg> Msg =
+        decodeMetricsReply(Incoming.Payload, Error);
+    if (!Msg)
+      return false;
+    Reply.Metrics = std::move(*Msg);
+    return true;
+  }
   case MsgType::ShutdownAck:
     return true;
   default:
@@ -232,6 +240,22 @@ bool DaemonClient::queryStats(StatsReplyMsg &Stats, std::string &Error) {
     return false;
   }
   Stats = Reply.Stats;
+  return true;
+}
+
+bool DaemonClient::queryMetrics(MetricsReplyMsg &Metrics,
+                                std::string &Error) {
+  uint64_t RequestId = NextRequestId++;
+  if (!writeFrame(MsgType::MetricsQuery, RequestId, std::string(), Error))
+    return false;
+  ClientReply Reply;
+  if (!readReply(Reply, Error))
+    return false;
+  if (Reply.Type != MsgType::MetricsReply) {
+    Error = "expected MetricsReply";
+    return false;
+  }
+  Metrics = std::move(Reply.Metrics);
   return true;
 }
 

@@ -49,6 +49,7 @@ struct ClientReply {
   BusyMsg Busy;
   ErrorMsg Err;
   StatsReplyMsg Stats;
+  MetricsReplyMsg Metrics;
 };
 
 class DaemonClient {
@@ -92,6 +93,9 @@ public:
 
   /// Round-trips a StatsQuery.
   bool queryStats(StatsReplyMsg &Stats, std::string &Error);
+
+  /// Round-trips a MetricsQuery (full snapshot + build info).
+  bool queryMetrics(MetricsReplyMsg &Metrics, std::string &Error);
 
   /// Sends Shutdown and waits for the ShutdownAck.
   bool shutdownServer(std::string &Error);

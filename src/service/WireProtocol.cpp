@@ -140,6 +140,7 @@ bool tnums::service::isRequestType(MsgType Type) {
   case MsgType::Submit:
   case MsgType::StatsQuery:
   case MsgType::Shutdown:
+  case MsgType::MetricsQuery:
     return true;
   default:
     return false;
@@ -281,6 +282,7 @@ std::string tnums::service::encodeHelloAck(const HelloAckMsg &Msg) {
   W.u64(Msg.VersionFingerprint);
   W.u32(Msg.MaxPayload);
   W.u8(Msg.Version);
+  W.str(Msg.BuildInfo);
   return W.take();
 }
 
@@ -290,7 +292,7 @@ tnums::service::decodeHelloAck(const std::string &Payload,
   Reader R(Payload);
   HelloAckMsg Msg;
   if (!R.u64(Msg.VersionFingerprint) || !R.u32(Msg.MaxPayload) ||
-      !R.u8(Msg.Version) || !R.done())
+      !R.u8(Msg.Version) || !R.str(Msg.BuildInfo) || !R.done())
     return malformed<HelloAckMsg>("hello-ack", Error);
   return Msg;
 }
@@ -405,6 +407,8 @@ std::string tnums::service::encodeStatsReply(const StatsReplyMsg &Msg) {
   W.u64(Msg.BusyPool);
   W.u64(Msg.BusyQuota);
   W.u64(Msg.ProtocolErrors);
+  W.u64(Msg.PeakInFlight);
+  W.u64(Msg.PeakQueueDepth);
   return W.take();
 }
 
@@ -419,8 +423,59 @@ tnums::service::decodeStatsReply(const std::string &Payload,
       !R.u64(Msg.CacheStores) || !R.u64(Msg.CacheStaleInvalidated) ||
       !R.u64(Msg.CachePoisonedRejected) || !R.u64(Msg.CacheEvictions) ||
       !R.u64(Msg.BusyPool) ||
-      !R.u64(Msg.BusyQuota) || !R.u64(Msg.ProtocolErrors) || !R.done())
+      !R.u64(Msg.BusyQuota) || !R.u64(Msg.ProtocolErrors) ||
+      !R.u64(Msg.PeakInFlight) || !R.u64(Msg.PeakQueueDepth) || !R.done())
     return malformed<StatsReplyMsg>("stats-reply", Error);
+  return Msg;
+}
+
+std::string tnums::service::encodeMetricsReply(const MetricsReplyMsg &Msg) {
+  Writer W;
+  W.str(Msg.BuildInfo);
+  W.u32(static_cast<uint32_t>(Msg.Metrics.size()));
+  for (const MetricValue &V : Msg.Metrics) {
+    W.str(V.Name);
+    W.str(V.Labels);
+    W.u8(static_cast<uint8_t>(V.Kind));
+    W.u64(V.Count);
+    W.u64(static_cast<uint64_t>(V.Value));
+    W.u64(static_cast<uint64_t>(V.Peak));
+    W.u64(V.Sum);
+    W.u32(static_cast<uint32_t>(V.Buckets.size()));
+    for (uint64_t Bucket : V.Buckets)
+      W.u64(Bucket);
+  }
+  return W.take();
+}
+
+std::optional<MetricsReplyMsg>
+tnums::service::decodeMetricsReply(const std::string &Payload,
+                                   std::string &Error) {
+  Reader R(Payload);
+  MetricsReplyMsg Msg;
+  uint32_t Count = 0;
+  if (!R.str(Msg.BuildInfo) || !R.u32(Count) || Count > MaxWireMetrics)
+    return malformed<MetricsReplyMsg>("metrics-reply", Error);
+  Msg.Metrics.resize(Count);
+  for (MetricValue &V : Msg.Metrics) {
+    uint8_t Kind = 0;
+    uint64_t Value = 0, Peak = 0;
+    uint32_t NumBuckets = 0;
+    if (!R.str(V.Name) || !R.str(V.Labels) || !R.u8(Kind) ||
+        Kind > static_cast<uint8_t>(MetricKind::Histogram) ||
+        !R.u64(V.Count) || !R.u64(Value) || !R.u64(Peak) || !R.u64(V.Sum) ||
+        !R.u32(NumBuckets) || NumBuckets > MaxWireBuckets)
+      return malformed<MetricsReplyMsg>("metrics-reply", Error);
+    V.Kind = static_cast<MetricKind>(Kind);
+    V.Value = static_cast<int64_t>(Value);
+    V.Peak = static_cast<int64_t>(Peak);
+    V.Buckets.resize(NumBuckets);
+    for (uint64_t &Bucket : V.Buckets)
+      if (!R.u64(Bucket))
+        return malformed<MetricsReplyMsg>("metrics-reply", Error);
+  }
+  if (!R.done())
+    return malformed<MetricsReplyMsg>("metrics-reply", Error);
   return Msg;
 }
 
@@ -501,7 +556,7 @@ FrameDecoder::Status FrameDecoder::next(Frame &Out, WireError &Code,
                 formatString("protocol version %u unsupported", U8(4)));
   uint8_t TypeByte = U8(5);
   if (TypeByte < static_cast<uint8_t>(MsgType::Hello) ||
-      TypeByte > static_cast<uint8_t>(MsgType::ShutdownAck))
+      TypeByte > static_cast<uint8_t>(MsgType::MetricsReply))
     return Fail(WireError::BadType,
                 formatString("unknown frame type %u", TypeByte));
   if (U16(6) != 0)

@@ -43,6 +43,7 @@
 #define TNUMS_SERVICE_WIREPROTOCOL_H
 
 #include "service/VerificationService.h"
+#include "support/Metrics.h"
 
 #include <cstdint>
 #include <optional>
@@ -54,7 +55,10 @@ namespace service {
 /// \name Protocol constants
 /// @{
 inline constexpr uint32_t FrameMagic = 0x544E5531; // "TNU1"
-inline constexpr uint8_t ProtocolVersion = 1;
+/// v1: Hello..ShutdownAck. v2: adds MetricsQuery/MetricsReply, the
+/// HelloAck build-info string, and the StatsReply peak gauges (all three
+/// changed together, so one version bump covers them).
+inline constexpr uint8_t ProtocolVersion = 2;
 /// Frames above this payload size are refused outright (backpressure on
 /// memory: a hostile length prefix cannot make the daemon allocate).
 inline constexpr uint32_t MaxPayloadBytes = 1u << 20;
@@ -65,6 +69,9 @@ inline constexpr uint32_t MaxWireInsns = 1u << 16;
 /// Violation lists and strings are bounded the same way.
 inline constexpr uint32_t MaxWireViolations = 1u << 12;
 inline constexpr uint32_t MaxWireString = 1u << 16;
+/// MetricsReply bounds: snapshot entries and per-histogram bucket counts.
+inline constexpr uint32_t MaxWireMetrics = 1u << 12;
+inline constexpr uint32_t MaxWireBuckets = 128;
 /// @}
 
 /// Frame types. Requests flow client -> daemon, replies daemon -> client;
@@ -80,6 +87,8 @@ enum class MsgType : uint8_t {
   StatsReply,   ///< Daemon: counter snapshot.
   Shutdown,     ///< Client: stop the daemon.
   ShutdownAck,  ///< Daemon: acknowledged; daemon exits after flush.
+  MetricsQuery, ///< Client: empty; asks for the full metrics snapshot.
+  MetricsReply, ///< Daemon: build info + every metric (v2).
 };
 
 /// True for the types a client may send.
@@ -117,6 +126,7 @@ struct HelloAckMsg {
   uint64_t VersionFingerprint = 0; ///< analyzerVerdictFingerprint().
   uint32_t MaxPayload = MaxPayloadBytes;
   uint8_t Version = ProtocolVersion;
+  std::string BuildInfo; ///< buildInfoJson() of the serving daemon (v2).
 };
 
 struct SubmitMsg {
@@ -157,8 +167,19 @@ struct StatsReplyMsg {
   uint64_t BusyPool = 0;
   uint64_t BusyQuota = 0;
   uint64_t ProtocolErrors = 0;
+  uint64_t PeakInFlight = 0;   ///< High-water mark of running jobs (v2).
+  uint64_t PeakQueueDepth = 0; ///< High-water mark of queued jobs (v2).
 
   uint64_t cacheHits() const { return CacheMemoryHits + CacheDiskHits; }
+};
+
+/// The full observability snapshot a MetricsReply carries: the daemon's
+/// build identity plus every registered metric, merged across threads
+/// (support/Metrics.h MetricValue, reused verbatim so client-side
+/// reconstruction is lossless).
+struct MetricsReplyMsg {
+  std::string BuildInfo; ///< buildInfoJson() of the serving process.
+  std::vector<MetricValue> Metrics;
 };
 /// @}
 
@@ -182,6 +203,7 @@ std::string encodeVerdict(const VerdictMsg &Msg);
 std::string encodeBusy(const BusyMsg &Msg);
 std::string encodeError(const ErrorMsg &Msg);
 std::string encodeStatsReply(const StatsReplyMsg &Msg);
+std::string encodeMetricsReply(const MetricsReplyMsg &Msg);
 /// @}
 
 /// \name Decoders
@@ -204,6 +226,8 @@ std::optional<ErrorMsg> decodeError(const std::string &Payload,
                                     std::string &Error);
 std::optional<StatsReplyMsg> decodeStatsReply(const std::string &Payload,
                                               std::string &Error);
+std::optional<MetricsReplyMsg> decodeMetricsReply(const std::string &Payload,
+                                                  std::string &Error);
 /// @}
 
 /// Converts a VerdictMsg to the in-process result type (Done = true) and

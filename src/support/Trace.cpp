@@ -1,0 +1,65 @@
+//===- support/Trace.cpp - Scoped spans and structured event logs ---------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Table.h"
+
+#include <chrono>
+
+using namespace tnums;
+
+uint64_t tnums::traceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t tnums::traceWallMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+JsonLineBuilder &JsonLineBuilder::field(const char *Key, double Value) {
+  rawField(Key, formatString("%.6f", Value));
+  return *this;
+}
+
+bool EventLog::open(const std::string &Path, std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stream) {
+    Error = "event log already open";
+    return false;
+  }
+  FILE *F = fopen(Path.c_str(), "a");
+  if (!F) {
+    Error = "cannot open event log " + Path;
+    return false;
+  }
+  Stream = F;
+  return true;
+}
+
+void EventLog::write(const std::string &JsonLine) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Stream)
+    return;
+  fwrite(JsonLine.data(), 1, JsonLine.size(), Stream);
+  fputc('\n', Stream);
+  fflush(Stream);
+}
+
+void EventLog::close() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Stream)
+    return;
+  fclose(Stream);
+  Stream = nullptr;
+}

@@ -1,0 +1,147 @@
+//===- support/Trace.h - Scoped spans and structured event logs -----------===//
+//
+// Part of the tnums project, reproducing "Sound, Precise, and Fast Abstract
+// Interpretation with Tristate Numbers" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing companions to support/Metrics.h:
+///
+///  * traceNowNs() -- the one monotonic clock every span and event
+///    timestamp uses, so durations computed from mixed call sites agree.
+///
+///  * ScopedTimer -- records the enclosing scope's wall time (ns) into a
+///    Histogram on destruction. Reads the clock only while the recorder
+///    is enabled, so disabled builds pay one branch at construction and
+///    one at destruction.
+///
+///  * EventLog -- an append-only JSONL sink (one JSON object per line)
+///    for structured lifecycle events, shared across threads behind a
+///    mutex. The daemon writes its request lifecycle here
+///    (docs/OBSERVABILITY.md documents the schema).
+///
+///  * JsonLineBuilder -- a tiny escaping helper for composing one event
+///    line without pulling in a JSON library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNUMS_SUPPORT_TRACE_H
+#define TNUMS_SUPPORT_TRACE_H
+
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include <stdio.h>
+
+namespace tnums {
+
+/// Monotonic nanoseconds (steady clock; epoch unspecified, comparable
+/// only within the process).
+uint64_t traceNowNs();
+
+/// Wall-clock milliseconds since the UNIX epoch, for event-log
+/// timestamps that must be meaningful across processes.
+uint64_t traceWallMs();
+
+/// Records the scope's elapsed nanoseconds into \p H on destruction.
+/// When the recorder is disabled at construction the clock is never read.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram &H)
+      : Target(metricsEnabled() ? &H : nullptr),
+        StartNs(Target ? traceNowNs() : 0) {}
+  ~ScopedTimer() {
+    if (Target)
+      Target->record(traceNowNs() - StartNs);
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Histogram *Target;
+  uint64_t StartNs;
+};
+
+/// Composes one JSON object line: {"k":v,...}. Values are escaped; field
+/// order is insertion order. Finish with str() -- no trailing newline.
+class JsonLineBuilder {
+public:
+  JsonLineBuilder &field(const char *Key, const std::string &Value) {
+    rawField(Key, "\"" + jsonEscape(Value) + "\"");
+    return *this;
+  }
+  JsonLineBuilder &field(const char *Key, const char *Value) {
+    return field(Key, std::string(Value));
+  }
+  JsonLineBuilder &field(const char *Key, uint64_t Value) {
+    rawField(Key, std::to_string(Value));
+    return *this;
+  }
+  JsonLineBuilder &field(const char *Key, int64_t Value) {
+    rawField(Key, std::to_string(Value));
+    return *this;
+  }
+  JsonLineBuilder &field(const char *Key, double Value);
+  JsonLineBuilder &field(const char *Key, bool Value) {
+    rawField(Key, Value ? "true" : "false");
+    return *this;
+  }
+  /// Splices \p Json in verbatim (for nested objects built elsewhere).
+  JsonLineBuilder &fieldJson(const char *Key, const std::string &Json) {
+    rawField(Key, Json);
+    return *this;
+  }
+
+  std::string str() const { return "{" + Body + "}"; }
+
+private:
+  void rawField(const char *Key, const std::string &Rendered) {
+    if (!Body.empty())
+      Body += ",";
+    Body += "\"";
+    Body += Key;
+    Body += "\":";
+    Body += Rendered;
+  }
+
+  std::string Body;
+};
+
+/// Append-only JSONL event sink. Thread-safe; each write() appends one
+/// line and flushes so a crash loses at most the in-flight line. Default-
+/// constructed logs are inert (write() drops the line) so call sites can
+/// hold one unconditionally.
+class EventLog {
+public:
+  EventLog() = default;
+  ~EventLog() { close(); }
+
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  /// Opens \p Path for appending. On failure returns false and sets
+  /// \p Error; the log stays inert.
+  bool open(const std::string &Path, std::string &Error);
+
+  /// True when open() succeeded and close() has not run.
+  bool active() const { return Stream != nullptr; }
+
+  /// Appends one line (the terminating newline is added here).
+  void write(const std::string &JsonLine);
+
+  /// Flush and close the sink; further writes are dropped.
+  void close();
+
+private:
+  std::mutex Mutex;
+  FILE *Stream = nullptr;
+};
+
+} // namespace tnums
+
+#endif // TNUMS_SUPPORT_TRACE_H

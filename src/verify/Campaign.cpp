@@ -9,6 +9,7 @@
 
 #include "support/ArgParse.h"
 #include "support/Table.h"
+#include "support/Trace.h"
 #include "tnum/TnumEnum.h"
 
 #include <algorithm>
@@ -242,6 +243,19 @@ ShardDriveResult tnums::driveCampaignShards(
     }
   }
 
+  // Telemetry heartbeats: one JSONL row per shard executed by THIS
+  // invocation plus a final invocation summary, appended to
+  // telemetry.jsonl beside the shard store. The file accumulates across
+  // resumes and is invisible to every fingerprint and bit-identity claim
+  // (it is not a shard file and is never read back); an open failure
+  // leaves the log inert rather than failing the campaign.
+  EventLog Telemetry;
+  if (!IO.CheckpointDir.empty()) {
+    std::string TelemetryError;
+    Telemetry.open(IO.CheckpointDir + "/telemetry.jsonl", TelemetryError);
+  }
+  const uint64_t InvocationStartNs = Telemetry.active() ? traceNowNs() : 0;
+
   // Results this invocation has in hand (computed or loaded), keyed by
   // manifest index. The merge below prefers this cache and falls back to
   // the store for shards other invocations completed after we passed
@@ -340,6 +354,7 @@ ShardDriveResult tnums::driveCampaignShards(
       continue;
     if (IO.MaxShardsThisRun && Result.ShardsRun >= IO.MaxShardsThisRun)
       continue; // Time-box hit: leave the rest for a resume.
+    const uint64_t ShardStartNs = Telemetry.active() ? traceNowNs() : 0;
     ShardRecord Record;
     Run(Ref.Cell, Ref.Begin, Ref.End, Record);
     Record.Cell = Ref.Cell;
@@ -350,6 +365,21 @@ ShardDriveResult tnums::driveCampaignShards(
         Result.Error = std::move(Error);
         return Result;
       }
+    }
+    if (Telemetry.active()) {
+      const double WallS = double(traceNowNs() - ShardStartNs) / 1e9;
+      const uint64_t Pairs = Ref.End - Ref.Begin;
+      JsonLineBuilder Line;
+      Line.field("ts_ms", traceWallMs())
+          .field("event", "shard")
+          .field("shard", Id)
+          .field("cell", static_cast<uint64_t>(Ref.Cell))
+          .field("begin", Ref.Begin)
+          .field("end", Ref.End)
+          .field("wall_s", WallS)
+          .field("pairs_per_s", WallS > 0 ? double(Pairs) / WallS : 0.0)
+          .field("terminal", Record.Terminal);
+      Telemetry.write(Line.str());
     }
     if (Record.Terminal)
       CellTerminalShard.emplace(Ref.Cell, Id);
@@ -412,6 +442,19 @@ ShardDriveResult tnums::driveCampaignShards(
     AllComplete &= Complete;
   }
   Result.Complete = AllComplete;
+  if (Telemetry.active()) {
+    JsonLineBuilder Line;
+    Line.field("ts_ms", traceWallMs())
+        .field("event", "invocation")
+        .field("shards_total", Result.ShardsTotal)
+        .field("run", Result.ShardsRun)
+        .field("resumed", Result.ShardsResumed)
+        .field("skipped", Result.ShardsSkipped)
+        .field("invalidated", Result.ShardsInvalidated)
+        .field("complete", Result.Complete)
+        .field("wall_s", double(traceNowNs() - InvocationStartNs) / 1e9);
+    Telemetry.write(Line.str());
+  }
   return Result;
 }
 

@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <fstream>
 #include <string>
 
 #include <stdlib.h>
@@ -232,6 +233,78 @@ TEST(Campaign, KillAndResumeMergesBitIdentical) {
       expectMatchesSerialCheckers(Spec, Resumed);
     }
   }
+}
+
+/// Row counts from a checkpoint directory's telemetry.jsonl, by "event".
+struct TelemetryRows {
+  unsigned Shards = 0;
+  unsigned Invocations = 0;
+  unsigned Lines = 0;
+};
+
+TelemetryRows readTelemetry(const std::string &Dir) {
+  TelemetryRows Rows;
+  std::ifstream In(Dir + "/telemetry.jsonl");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    ++Rows.Lines;
+    EXPECT_EQ(Line.front(), '{') << Line;
+    EXPECT_EQ(Line.back(), '}') << Line;
+    if (Line.find("\"event\":\"shard\"") != std::string::npos) {
+      ++Rows.Shards;
+      EXPECT_NE(Line.find("\"wall_s\":"), std::string::npos) << Line;
+      EXPECT_NE(Line.find("\"pairs_per_s\":"), std::string::npos) << Line;
+    } else if (Line.find("\"event\":\"invocation\"") != std::string::npos) {
+      ++Rows.Invocations;
+    } else {
+      ADD_FAILURE() << "unrecognized telemetry row: " << Line;
+    }
+  }
+  return Rows;
+}
+
+TEST(Campaign, TelemetryAccumulatesAcrossKillAndResume) {
+  // telemetry.jsonl sits beside the shard store and is append-only: the
+  // killed run leaves its heartbeat rows behind and the resume ADDS its
+  // own, ending with one shard row per shard EXECUTED (resumed shards
+  // are loaded, not re-run, so they heartbeat only once ever) plus one
+  // invocation summary per invocation. The file feeds no fingerprint --
+  // KillAndResumeMergesBitIdentical above pins the reports regardless.
+  CampaignSpec Spec;
+  Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, 4,
+                        CampaignProperty::Soundness});
+  std::string Dir = makeCheckpointDir();
+
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997; // 81*81 = 6561 pairs -> 7 shards.
+  IO.MaxShardsThisRun = 3;
+  CampaignResult Killed = runCampaign(Spec, IO, kConfigs[1]);
+  ASSERT_TRUE(Killed.ok()) << Killed.Error;
+  EXPECT_FALSE(Killed.Complete);
+  ASSERT_EQ(Killed.ShardsRun, 3u);
+
+  TelemetryRows AfterKill = readTelemetry(Dir);
+  EXPECT_EQ(AfterKill.Shards, 3u);
+  EXPECT_EQ(AfterKill.Invocations, 1u);
+
+  CampaignIO ResumeIO;
+  ResumeIO.CheckpointDir = Dir;
+  ResumeIO.ShardPairs = IO.ShardPairs;
+  ResumeIO.Resume = true;
+  CampaignResult Resumed = runCampaign(Spec, ResumeIO, kConfigs[0]);
+  ASSERT_TRUE(Resumed.ok()) << Resumed.Error;
+  EXPECT_TRUE(Resumed.Complete);
+  EXPECT_EQ(Resumed.ShardsResumed, 3u);
+  EXPECT_EQ(Resumed.ShardsRun, 4u);
+
+  TelemetryRows AfterResume = readTelemetry(Dir);
+  EXPECT_EQ(AfterResume.Shards, 7u);
+  EXPECT_EQ(AfterResume.Invocations, 2u);
+  EXPECT_GT(AfterResume.Lines, AfterKill.Lines)
+      << "resume truncated the telemetry file instead of appending";
 }
 
 //===----------------------------------------------------------------------===//

@@ -24,13 +24,18 @@
 #include "service/ProgramGen.h"
 #include "service/VerificationService.h"
 #include "service/WireProtocol.h"
+#include "support/Metrics.h"
 #include "support/Socket.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <stdlib.h>
@@ -497,6 +502,162 @@ TEST(Daemon, TenantQuotaRepliesBusyQuota) {
   EXPECT_GE(Busys, 1u) << "tenant quota never pushed back";
   EXPECT_EQ(Daemon.daemon().stats().BusyQuota, Busys);
   Daemon.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: lifecycle event log, exposition file, MetricsQuery
+//===----------------------------------------------------------------------===//
+
+/// Extracts one top-level field from a line the daemon's own
+/// JsonLineBuilder wrote. Known writer, known escaping -- a targeted
+/// substring scan, not a JSON parser.
+std::string jsonField(const std::string &Line, const std::string &Key) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return "";
+  At += Needle.size();
+  size_t End;
+  if (At < Line.size() && Line[At] == '"') {
+    ++At;
+    End = Line.find('"', At);
+  } else {
+    End = Line.find_first_of(",}", At);
+  }
+  return End == std::string::npos ? "" : Line.substr(At, End - At);
+}
+
+/// Counter value by full exposed name ("name" or "name{labels}"), 0 when
+/// absent. Summed across label variants is deliberately NOT done: the
+/// caller names the exact series it wants.
+uint64_t findCounter(const std::vector<MetricValue> &Metrics,
+                     const std::string &FullName) {
+  for (const MetricValue &Metric : Metrics)
+    if (Metric.fullName() == FullName)
+      return Metric.Count;
+  return 0;
+}
+
+TEST(Daemon, EventLogAccountsForEveryRequestLifecycle) {
+  // Saturate a one-worker, one-slot daemon so the log must record BOTH
+  // outcomes -- fully analyzed lifecycles and Busy rejections -- then
+  // audit the JSONL: every received (conn,req) reaches exactly one
+  // terminal event, replied requests march through every phase in
+  // order, rejected ones are never admitted, and the wire MetricsReply
+  // and the exposition file agree with the log's totals. Metrics are
+  // process-global, so the received counter is checked as a delta.
+  const uint64_t ReceivedBefore =
+      findCounter(MetricsRegistry::instance().snapshot().Metrics,
+                  "tnumsd_requests_received_total");
+
+  DaemonConfig Config;
+  Config.SocketPath = uniqueSocketPath();
+  Config.NumThreads = 1;
+  Config.MaxPendingRequests = 1;
+  Config.EventLogPath = testing::TempDir() + "tnumsd-events-" +
+                        std::to_string(getpid()) + ".jsonl";
+  Config.MetricsTextPath = testing::TempDir() + "tnumsd-metrics-" +
+                           std::to_string(getpid()) + ".prom";
+  ::unlink(Config.EventLogPath.c_str()); // Append-mode sink: start clean.
+  RunningDaemon Daemon;
+  ASSERT_TRUE(Daemon.start(Config));
+
+  std::string Error;
+  std::optional<DaemonClient> Client = DaemonClient::connectUnixSocket(
+      Config.SocketPath, "audited", 5000, Error);
+  ASSERT_TRUE(Client) << Error;
+  EXPECT_NE(Client->serverHello().BuildInfo.find("compiler"),
+            std::string::npos)
+      << "HelloAck should carry buildInfoJson(): "
+      << Client->serverHello().BuildInfo;
+
+  constexpr unsigned Pipelined = 24;
+  for (unsigned Index = 0; Index != Pipelined; ++Index) {
+    uint64_t RequestId = 0;
+    ASSERT_TRUE(Client->submitAsync(slowRequest(Index), 0, RequestId, Error))
+        << Error;
+  }
+  unsigned Verdicts = 0, Busys = 0;
+  for (unsigned Index = 0; Index != Pipelined; ++Index) {
+    ClientReply Reply;
+    ASSERT_TRUE(Client->readReply(Reply, Error)) << Error;
+    if (Reply.Type == MsgType::Verdict) {
+      ++Verdicts;
+    } else {
+      ASSERT_EQ(Reply.Type, MsgType::Busy);
+      ++Busys;
+    }
+  }
+  ASSERT_GE(Verdicts, 1u);
+  ASSERT_GE(Busys, 1u)
+      << "no Busy rejection: the completeness claim needs both outcomes";
+
+  // The wire snapshot must account for exactly this test's traffic and
+  // restate the same build identity the Hello carried.
+  MetricsReplyMsg Wire;
+  ASSERT_TRUE(Client->queryMetrics(Wire, Error)) << Error;
+  EXPECT_EQ(Wire.BuildInfo, Client->serverHello().BuildInfo);
+  EXPECT_EQ(findCounter(Wire.Metrics, "tnumsd_requests_received_total") -
+                ReceivedBefore,
+            Pipelined);
+
+  Daemon.stop(); // Writes the final exposition and closes the log.
+
+  // Audit the event log: group by correlation key, then demand one
+  // terminal per received request and the exact phase sequence.
+  std::ifstream Log(Config.EventLogPath);
+  ASSERT_TRUE(Log.is_open()) << Config.EventLogPath;
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<std::string>>
+      Lifecycles;
+  std::string Line;
+  while (std::getline(Log, Line)) {
+    if (Line.empty())
+      continue;
+    ASSERT_EQ(Line.front(), '{') << Line;
+    ASSERT_EQ(Line.back(), '}') << Line;
+    std::string Event = jsonField(Line, "event");
+    std::string Conn = jsonField(Line, "conn");
+    std::string Req = jsonField(Line, "req");
+    ASSERT_FALSE(Event.empty()) << Line;
+    ASSERT_FALSE(Conn.empty()) << Line;
+    ASSERT_FALSE(Req.empty()) << Line;
+    EXPECT_FALSE(jsonField(Line, "ts_ms").empty()) << Line;
+    Lifecycles[{std::stoull(Conn), std::stoull(Req)}].push_back(Event);
+  }
+
+  unsigned Replied = 0, Rejected = 0;
+  for (const auto &Entry : Lifecycles) {
+    const std::vector<std::string> &Events = Entry.second;
+    SCOPED_TRACE(testing::Message() << "conn " << Entry.first.first << " req "
+                                    << Entry.first.second);
+    ASSERT_FALSE(Events.empty());
+    EXPECT_EQ(Events.front(), "received");
+    if (Events.back() == "replied") {
+      ++Replied;
+      const char *Phases[] = {"received", "admitted", "queued", "analyzing",
+                              "replied"};
+      ASSERT_EQ(Events.size(), 5u);
+      for (size_t Phase = 0; Phase != 5; ++Phase)
+        EXPECT_EQ(Events[Phase], Phases[Phase]);
+    } else {
+      ASSERT_EQ(Events.back(), "busy") << "request left without a terminal";
+      ++Rejected;
+      ASSERT_EQ(Events.size(), 2u)
+          << "a rejected request must not be admitted or analyzed";
+    }
+  }
+  EXPECT_EQ(Replied, Verdicts);
+  EXPECT_EQ(Rejected, Busys);
+
+  // stop() refreshed the exposition one last time: the text format must
+  // carry this daemon's series.
+  std::ifstream Prom(Config.MetricsTextPath);
+  ASSERT_TRUE(Prom.is_open()) << Config.MetricsTextPath;
+  std::stringstream Text;
+  Text << Prom.rdbuf();
+  EXPECT_NE(Text.str().find("tnumsd_requests_received_total"),
+            std::string::npos);
+  EXPECT_NE(Text.str().find("tnumsd_busy_total"), std::string::npos);
 }
 
 } // namespace

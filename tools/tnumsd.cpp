@@ -13,6 +13,8 @@
 /// Usage: tnumsd --socket PATH [--tcp PORT] [--jobs N] [--cache DIR]
 ///               [--cache-max-entries N] [--cache-max-bytes N]
 ///               [--max-pending N] [--tenant-quota N]
+///               [--metrics-text PATH] [--metrics-refresh-ms N]
+///               [--event-log FILE] [--no-metrics]
 ///        tnumsd --socket PATH --stop
 ///
 ///   --socket PATH    UNIX-domain socket to serve on (required).
@@ -31,6 +33,15 @@
 ///                    (0 = 4x workers).
 ///   --tenant-quota N per-tenant in-flight cap before Busy(quota)
 ///                    (0 = unlimited).
+///   --metrics-text PATH
+///                    write the Prometheus text exposition to PATH,
+///                    refreshed atomically (temp+rename) while serving and
+///                    once at exit (docs/OBSERVABILITY.md).
+///   --metrics-refresh-ms N
+///                    exposition refresh cadence (default 1000).
+///   --event-log FILE append one JSONL line per request-lifecycle event.
+///   --no-metrics     do not install the process metrics recorder (the
+///                    daemon enables it by default).
 ///   --stop           client mode: ask the daemon at --socket to shut
 ///                    down gracefully and wait for the acknowledgment.
 ///
@@ -67,6 +78,10 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = 0;
   uint64_t MaxPending = 0;
   uint64_t TenantQuota = 0;
+  const char *MetricsTextPath = nullptr;
+  uint64_t MetricsRefreshMs = 1000;
+  const char *EventLogPath = nullptr;
+  bool NoMetrics = false;
   bool Stop = false;
 
   ArgParser Args(Argc, Argv);
@@ -89,6 +104,16 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchU64("--tenant-quota", 0, uint64_t(1) << 32, TenantQuota))
       continue;
+    if (Args.matchString("--metrics-text", MetricsTextPath))
+      continue;
+    if (Args.matchU64("--metrics-refresh-ms", 1, 3600000, MetricsRefreshMs))
+      continue;
+    if (Args.matchString("--event-log", EventLogPath))
+      continue;
+    if (Args.matchFlag("--no-metrics")) {
+      NoMetrics = true;
+      continue;
+    }
     if (Args.matchFlag("--stop")) {
       Stop = true;
       continue;
@@ -100,7 +125,9 @@ int main(int Argc, char **Argv) {
                  "usage: %s --socket PATH [--tcp PORT] [--jobs 0..1024] "
                  "[--cache DIR] [--cache-max-entries N] "
                  "[--cache-max-bytes N] [--max-pending N] "
-                 "[--tenant-quota N] [--stop]\n",
+                 "[--tenant-quota N] [--metrics-text PATH] "
+                 "[--metrics-refresh-ms N] [--event-log FILE] "
+                 "[--no-metrics] [--stop]\n",
                  Argv[0]);
     return 1;
   }
@@ -131,6 +158,10 @@ int main(int Argc, char **Argv) {
   Config.CacheMaxBytes = CacheMaxBytes;
   Config.MaxPendingRequests = MaxPending;
   Config.TenantMaxInFlight = TenantQuota;
+  Config.EnableMetrics = !NoMetrics;
+  Config.MetricsTextPath = MetricsTextPath ? MetricsTextPath : "";
+  Config.MetricsRefreshMs = static_cast<unsigned>(MetricsRefreshMs);
+  Config.EventLogPath = EventLogPath ? EventLogPath : "";
 
   std::string Error;
   std::optional<Daemon> Served = Daemon::create(Config, Error);
@@ -173,13 +204,17 @@ int main(int Argc, char **Argv) {
   DaemonStats Stats = Served->stats();
   std::printf("tnumsd exiting: %llu connections, %llu submits, "
               "%llu verdicts (%llu analyzed, %llu cache hits), "
-              "%llu busy, %llu protocol errors\n",
+              "%llu cache evictions, %llu busy, %llu protocol errors, "
+              "peak %llu in-flight / %llu queued\n",
               static_cast<unsigned long long>(Stats.Connections),
               static_cast<unsigned long long>(Stats.Submits),
               static_cast<unsigned long long>(Stats.Verdicts),
               static_cast<unsigned long long>(Stats.Analyses),
               static_cast<unsigned long long>(Stats.cacheHits()),
+              static_cast<unsigned long long>(Stats.CacheEvictions),
               static_cast<unsigned long long>(Stats.BusyPool + Stats.BusyQuota),
-              static_cast<unsigned long long>(Stats.ProtocolErrors));
+              static_cast<unsigned long long>(Stats.ProtocolErrors),
+              static_cast<unsigned long long>(Stats.PeakInFlight),
+              static_cast<unsigned long long>(Stats.PeakQueueDepth));
   return 0;
 }
