@@ -15,7 +15,7 @@
 /// are the reproduction target.
 ///
 /// Usage: fig5_mul_cycles [--pairs N] [--trials N] [--low-bits N]
-///                        [--with-naive] [--csv]
+///                        [--with-naive] [--csv] [--json FILE]
 ///   --pairs N     number of random 64-bit tnum pairs (default 1,000,000;
 ///                 pass 40000000 for the paper's full workload)
 ///   --trials N    trials per input, minimum taken (default 10)
@@ -25,10 +25,14 @@
 ///   --with-naive  also measure the unoptimized trit-by-trit bitwise_mul
 ///                 (the paper's 4921-cycle baseline, §IV / E5)
 ///   --csv         dump downsampled CDF points as CSV rows
+///   --json FILE   machine-readable dump of the summary table (the CI
+///                 perf-trajectory artifact BENCH_cycles.json; gated by
+///                 ci/compare_bench.py against bench/baselines/)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "support/CycleTimer.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/Table.h"
@@ -62,6 +66,7 @@ int main(int Argc, char **Argv) {
   unsigned LowBits = 64;
   bool WithNaive = false;
   bool Csv = false;
+  const char *JsonPath = nullptr;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--pairs") == 0 && I + 1 < Argc)
       Pairs = std::strtoull(Argv[++I], nullptr, 10);
@@ -73,10 +78,12 @@ int main(int Argc, char **Argv) {
       WithNaive = true;
     else if (std::strcmp(Argv[I], "--csv") == 0)
       Csv = true;
+    else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
     else {
       std::fprintf(stderr,
                    "usage: %s [--pairs N] [--trials N] [--low-bits N] "
-                   "[--with-naive] [--csv]\n",
+                   "[--with-naive] [--csv] [--json FILE]\n",
                    Argv[0]);
       return 1;
     }
@@ -147,6 +154,51 @@ int main(int Argc, char **Argv) {
       for (const CdfPoint &Point : Run.Cycles.cdf(50))
         std::printf("csv:%s,%.0f,%.6f\n", Run.Name, Point.X,
                     Point.CumulativeFraction);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Machine-readable dump for the CI perf-trajectory artifact. our_mul's
+  // speedup over kern_mul is the primary gated metric: as a
+  // within-process ratio of two algorithms measured back to back on
+  // identical inputs, it is far less runner-sensitive than absolute
+  // cycle counts (which are still recorded, with generous ceilings).
+  //===--------------------------------------------------------------------===//
+  if (JsonPath) {
+    std::FILE *Json = std::fopen(JsonPath, "w");
+    if (!Json) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 1;
+    }
+    double OurMean = 0;
+    for (AlgorithmRun &Run : Runs)
+      if (std::strcmp(Run.Name, "our_mul") == 0)
+        OurMean = Run.Cycles.mean();
+    std::fprintf(Json,
+                 "{\n"
+                 "  \"bench\": \"mul_cycles\",\n"
+                 "  \"build_info\": %s,\n"
+                 "  \"pairs\": %llu,\n"
+                 "  \"trials\": %u,\n"
+                 "  \"low_bits\": %u,\n"
+                 "  \"unit\": \"%s\",\n"
+                 "  \"speedup_our_vs_kern\": %.4f,\n"
+                 "  \"algorithms\": [\n",
+                 buildInfoJson().c_str(),
+                 static_cast<unsigned long long>(Pairs), Trials, LowBits,
+                 cycleCounterUnit(),
+                 OurMean > 0 ? KernMean / OurMean : 0.0);
+    for (size_t I = 0; I != Runs.size(); ++I)
+      std::fprintf(Json,
+                   "    {\"name\": \"%s\", \"mean\": %.2f, \"p50\": %.1f, "
+                   "\"p90\": %.1f, \"p99\": %.1f, \"min\": %llu}%s\n",
+                   Runs[I].Name, Runs[I].Cycles.mean(),
+                   Runs[I].Cycles.percentile(50), Runs[I].Cycles.percentile(90),
+                   Runs[I].Cycles.percentile(99),
+                   static_cast<unsigned long long>(Runs[I].Cycles.min()),
+                   I + 1 == Runs.size() ? "" : ",");
+    std::fprintf(Json, "  ]\n}\n");
+    std::fclose(Json);
+    std::printf("\nwrote %s\n", JsonPath);
   }
 
   std::printf("\npaper reference (Skylake, 40M pairs): kern_mul 393, "

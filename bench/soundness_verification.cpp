@@ -53,20 +53,27 @@
 ///                        exactly that algorithm's soundness cells -- the
 ///                        CI incremental smoke leg drives this
 ///
-/// --simd={auto,on,off} selects the member-scan path (support/SimdBatch.h);
-/// reports are bit-identical across modes, so --simd=on vs --simd=off is
-/// the A/B measurement of the batched kernels. --compare-serial times the
-/// scalar serial checkers on the multiplication campaign.
+/// --simd={auto,off,portable,avx2,avx512,neon} selects the member-scan
+/// path and kernel tier (support/SimdBatch.h; "on" stays accepted as a
+/// legacy alias of auto). Reports are bit-identical across modes, so
+/// --simd=auto vs --simd=off is the A/B measurement of the batched
+/// kernels; forcing an unsupported tier is a hard error naming what this
+/// host supports. --compare-serial times the scalar serial checkers on
+/// the multiplication campaign.
 /// --optimality={first,full} picks first-witness-only (default; the
 /// ROADMAP's deterministic early-exit mode) or exact-total optimality
-/// scans, and --compare-optimality re-times the optimality cells with the
-/// memoized-concretization path disabled to show the per-cell speedup.
+/// scans, and --compare-optimality re-times the optimality cells twice:
+/// with the memoized-concretization path disabled, and with the fused
+/// evaluate-and-reduce alpha loops disabled (SweepConfig::FuseOptimality)
+/// -- both A/Bs must report identically to the main run.
+/// --json FILE dumps the campaign figures of merit as BENCH_sweep.json
+/// for the CI perf gate (ci/compare_bench.py gate_sweep).
 ///
 /// Usage: soundness_verification [--width N] [--mul-width N]
 ///                               [--random-pairs N] [--jobs N]
-///                               [--simd={auto,on,off}] [--compare-serial]
+///                               [--simd=MODE] [--compare-serial]
 ///                               [--optimality={first,full}]
-///                               [--compare-optimality]
+///                               [--compare-optimality] [--json FILE]
 ///                               [--diff-baseline D] [--flip-mul ALGO]
 ///                               [--checkpoint-dir D] [--resume]
 ///                               [--shards K] [--shard-index I]
@@ -75,6 +82,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/ArgParse.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
@@ -138,6 +146,7 @@ int main(int Argc, char **Argv) {
   const char *OptimalityText = nullptr;
   const char *DiffBaselineDir = nullptr;
   const char *FlipMulText = nullptr;
+  const char *JsonPath = nullptr;
   CampaignIO IO;
   ArgParser Args(Argc, Argv);
   while (Args.more()) {
@@ -164,6 +173,9 @@ int main(int Argc, char **Argv) {
     // changing its semantics (the CI incremental smoke leg).
     if (Args.matchString("--flip-mul", FlipMulText))
       continue;
+    // Machine-readable campaign figures of merit (BENCH_sweep.json).
+    if (Args.matchString("--json", JsonPath))
+      continue;
     if (Args.matchFlag("--compare-serial")) {
       CompareSerial = true;
       continue;
@@ -185,10 +197,21 @@ int main(int Argc, char **Argv) {
   }
   bool BadArgs = Args.failed();
   if (SimdText) {
-    if (std::optional<SimdMode> Parsed = parseSimdMode(SimdText))
+    if (std::optional<SimdMode> Parsed = parseSimdMode(SimdText)) {
       Simd = *Parsed;
-    else
+      if (!simdModeSupported(Simd)) {
+        // Forced tiers the host cannot execute are a hard error here
+        // (the library would silently fall back to portable kernels;
+        // a benchmark front end should say so instead).
+        std::fprintf(stderr,
+                     "error: --simd=%s is not supported on this host; "
+                     "supported modes: %s\n",
+                     simdModeName(Simd), supportedSimdModeList().c_str());
+        return 1;
+      }
+    } else {
       BadArgs = true;
+    }
   }
   bool OptimalityEarlyExit = true;
   if (OptimalityText) {
@@ -211,18 +234,18 @@ int main(int Argc, char **Argv) {
     std::fprintf(
         stderr,
         "usage: %s [--width 1..16] [--mul-width 1..16] [--random-pairs N] "
-        "[--jobs 0..1024] [--simd={auto,on,off}] [--compare-serial] "
+        "[--jobs 0..1024] [--simd=%s] [--compare-serial] "
         "[--optimality={first,full}] [--compare-optimality] [--no-timing] "
-        "[--diff-baseline D] [--flip-mul ALGO] "
+        "[--json FILE] [--diff-baseline D] [--flip-mul ALGO] "
         "%s\n",
-        Argv[0], CampaignArgsUsage);
+        Argv[0], SimdModeUsage, CampaignArgsUsage);
     return 1;
   }
   SweepConfig Sweep;
   Sweep.NumThreads = Jobs;
   Sweep.Simd = Simd;
   std::printf("member-scan path: --simd=%s resolves to %s on this host\n\n",
-              simdModeName(Simd), simdPathDescription(Simd));
+              simdModeName(Simd), simdPathDescription(Simd).c_str());
 
   //===--------------------------------------------------------------------===//
   // Compile the exhaustive sections into one campaign spec.
@@ -434,6 +457,44 @@ int main(int Argc, char **Argv) {
     CmpTable.printAligned(stdout);
     std::printf("\n");
     AllHold &= Identical;
+
+    // A/B the fused evaluate-and-reduce alpha loops: rerun the optimality
+    // cells with SweepConfig::FuseOptimality off (two-pass batch +
+    // ReduceAndOr, everything else identical) and diff the reports.
+    SweepConfig Unfused = Sweep;
+    Unfused.FuseOptimality = false;
+    CampaignResult UnfusedRun = runCampaign(OptSpec, CampaignIO(), Unfused);
+    if (!UnfusedRun.ok()) {
+      std::fprintf(stderr, "error: %s\n", UnfusedRun.Error.c_str());
+      return 1;
+    }
+    TextTable FuseTable({"op", "fused s", "unfused s", "speedup", "reports"});
+    bool FusedIdentical = true;
+    for (size_t I = 0; I != OptSpec.Cells.size(); ++I) {
+      size_t Twin = Twins[I];
+      const OptimalityReport &A = Campaign.Cells[Twin].Optimality;
+      const OptimalityReport &B = UnfusedRun.Cells[I].Optimality;
+      bool Same = A.PairsChecked == B.PairsChecked &&
+                  A.OptimalPairs == B.OptimalPairs &&
+                  A.isOptimalEverywhere() == B.isOptimalEverywhere();
+      FusedIdentical &= Same;
+      double FusedSeconds = Campaign.Cells[Twin].Seconds;
+      double UnfusedSeconds = UnfusedRun.Cells[I].Seconds;
+      FuseTable.addRowOf(binaryOpName(OptSpec.Cells[I].Op),
+                         formatString("%.3f", FusedSeconds),
+                         formatString("%.3f", UnfusedSeconds),
+                         formatString("%.2fx", FusedSeconds > 0
+                                                   ? UnfusedSeconds /
+                                                         FusedSeconds
+                                                   : 0.0),
+                         Same ? "identical" : "DIVERGED");
+    }
+    std::printf("fused vs unfused optimality alpha-reduce (evaluation and "
+                "AND/OR accumulation in one register loop vs the two-pass "
+                "batch; only add/sub/mul/and/or/xor have fused loops):\n");
+    FuseTable.printAligned(stdout);
+    std::printf("\n");
+    AllHold &= FusedIdentical;
   }
 
   //===--------------------------------------------------------------------===//
@@ -571,6 +632,55 @@ int main(int Argc, char **Argv) {
               "kern_mul non-monotone at width 5 and our_mul at width 6; "
               "bitwise_mul_opt, a plain composition of monotone operators, "
               "stays monotone. Soundness is unaffected.\n");
+
+  //===--------------------------------------------------------------------===//
+  // BENCH_sweep.json: the campaign figures of merit for the CI perf gate.
+  // Identity fields (width/mul_width/jobs/simd/algorithm totals) are exact
+  // across machines; campaign_mevals_per_s is the machine-dependent perf
+  // number ci/compare_bench.py gate_sweep floors with a generous ratio.
+  //===--------------------------------------------------------------------===//
+  if (JsonPath) {
+    std::FILE *Json = std::fopen(JsonPath, "w");
+    if (!Json) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(Json,
+                 "{\n"
+                 "  \"bench\": \"sweep_campaign\",\n"
+                 "  \"build_info\": %s,\n"
+                 "  \"width\": %u,\n"
+                 "  \"mul_width\": %u,\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"simd\": \"%s\",\n"
+                 "  \"simd_kernels\": \"%s\",\n"
+                 "  \"all_hold\": %s,\n"
+                 "  \"campaign_evals\": %llu,\n"
+                 "  \"campaign_seconds\": %.6f,\n"
+                 "  \"campaign_mevals_per_s\": %.3f,\n"
+                 "  \"algorithms\": [\n",
+                 buildInfoJson().c_str(), Width, MulWidth, Sweep.NumThreads,
+                 simdModeName(Simd), selectSimdKernels(Simd).Name,
+                 AllHold ? "true" : "false",
+                 static_cast<unsigned long long>(CampaignEvals),
+                 ParallelSeconds,
+                 ParallelSeconds > 0 ? CampaignEvals / ParallelSeconds / 1e6
+                                     : 0.0);
+    for (size_t I = 0; I != Sec2.size(); ++I) {
+      const CampaignCellResult &Row = Campaign.Cells[Sec2[I]];
+      std::fprintf(
+          Json,
+          "    {\"name\": \"%s\", \"pairs\": %llu, \"evals\": %llu, "
+          "\"seconds\": %.6f}%s\n",
+          mulAlgorithmName(Row.Cell.Mul),
+          static_cast<unsigned long long>(Row.Soundness.PairsChecked),
+          static_cast<unsigned long long>(Row.Soundness.ConcreteChecked),
+          Row.Seconds, I + 1 == Sec2.size() ? "" : ",");
+    }
+    std::fprintf(Json, "  ]\n}\n");
+    std::fclose(Json);
+    std::printf("\nwrote %s\n", JsonPath);
+  }
 
   std::printf("\noverall: %s\n",
               AllHold ? "ALL CHECKS PASSED" : "SOME CHECKS FAILED");

@@ -34,6 +34,28 @@ Supported "bench" values:
    on perf-gated legs only -- a floor on the decoded executor's speedup
    over the legacy interpreter. The speedup is a same-process ratio, so
    unlike absolute throughput it barely depends on the runner class.
+ * ``mul_cycles`` (bench/fig5_mul_cycles --json): algorithm roster must
+   match the baseline; our_mul's speedup over kern_mul (a within-process
+   ratio of two algorithms timed back to back on identical inputs) must
+   stay above both an absolute floor of 1.0 and a fraction of the
+   baseline's speedup; per-algorithm mean cycles get a generous ceiling,
+   applied only when run and baseline share a cycle-counter unit.
+ * ``sweep_campaign`` (bench/soundness_verification --json): every
+   property must hold, and the per-algorithm pairs/evals totals are
+   seeded exact counts that must match the baseline bit for bit; the
+   campaign-wide Mevals/s gets the generous throughput floor. The
+   resolved simd kernel tier is machine-dependent and only reported.
+
+Trend mode (``--trend``): instead of one current-vs-baseline gate, pass
+the SAME bench's JSON from consecutive CI runs in chronological order
+(oldest first, the current run last). The gate tracks each bench's
+primary metric (verifier jobs=1 programs/s, daemon verdicts/s,
+interpreter best speedup, sweep Mevals/s, mul_cycles speedup) and fails
+only on a sustained slide: ``--trend-window`` (default 3) consecutive
+run-over-run drops whose cumulative loss exceeds ``--trend-tolerance``
+(default 5%). One noisy runner cannot trip it; a slow leak across a
+stack of PRs -- each individually inside the generous single-run floor --
+can.
 
 Top-level keys the gate does not recognize (e.g. the "build_info" and
 "metrics" observability sections, or future additions) are TOLERATED in
@@ -262,10 +284,147 @@ def gate_interp(current, baseline, args):
     return failures
 
 
+def gate_cycles(current, baseline, args):
+    failures = []
+    if not check_workload(
+        current,
+        baseline,
+        ("bench", "pairs", "trials", "low_bits"),
+        failures,
+    ):
+        return failures
+
+    def by_name(data):
+        return {a.get("name"): a for a in data.get("algorithms", [])}
+
+    current_algs = by_name(current)
+    baseline_algs = by_name(baseline)
+    if set(current_algs) != set(baseline_algs):
+        failures.append(
+            f"algorithm roster changed: current {sorted(current_algs)} != "
+            f"baseline {sorted(baseline_algs)}"
+        )
+        return failures
+
+    if args.min_throughput_ratio <= 0:
+        return failures
+
+    # The headline claim of the paper's Figure 5: our_mul beats kern_mul.
+    # A within-process ratio, so it gets both an absolute floor (never
+    # slower than kern_mul) and a baseline-relative one.
+    floor = max(1.0, baseline.get("speedup_our_vs_kern", 0.0) * 0.7)
+    speedup = current.get("speedup_our_vs_kern", 0.0)
+    print(
+        f"bench gate: our_mul speedup over kern_mul {speedup:.3f}x vs "
+        f"baseline {baseline.get('speedup_our_vs_kern', 0.0):.3f}x "
+        f"(floor {floor:.3f})"
+    )
+    if not isinstance(speedup, (int, float)) or speedup < floor:
+        failures.append(
+            f"our_mul speedup over kern_mul {speedup!r} fell below the "
+            f"{floor:.3f}x floor"
+        )
+
+    # Absolute cycle ceilings only compare like with like: a runner whose
+    # cycle counter fell back to a different unit cannot be gated on
+    # magnitudes.
+    if current.get("unit") == baseline.get("unit"):
+        for name, base_alg in baseline_algs.items():
+            base_mean = base_alg.get("mean", 0.0)
+            cur_mean = current_algs[name].get("mean", 0.0)
+            if not base_mean:
+                continue
+            ceiling = base_mean / args.min_throughput_ratio
+            if cur_mean > ceiling:
+                failures.append(
+                    f"{name} mean {cur_mean:.1f} {current.get('unit')} "
+                    f"exceeded ceiling {ceiling:.1f} (baseline "
+                    f"{base_mean:.1f} / {args.min_throughput_ratio})"
+                )
+    else:
+        print(
+            f"bench gate: skipping cycle ceilings (unit "
+            f"{current.get('unit')!r} != baseline {baseline.get('unit')!r})"
+        )
+    return failures
+
+
+def gate_sweep(current, baseline, args):
+    failures = []
+    if not check_workload(
+        current,
+        baseline,
+        ("bench", "width", "mul_width", "jobs", "simd"),
+        failures,
+    ):
+        return failures
+
+    # Machine-independent semantics: the sweep is exhaustive over a fixed
+    # grid (plus a seeded random-pair stage), so every property must hold
+    # and the work totals are exact on any machine and any kernel tier --
+    # THE determinism contract the SIMD tiers promise.
+    if current.get("all_hold") is not True:
+        failures.append(
+            f"all_hold is {current.get('all_hold')!r}, expected true "
+            "(a verified property failed)"
+        )
+    if current.get("campaign_evals") != baseline.get("campaign_evals"):
+        failures.append(
+            f"campaign_evals: current {current.get('campaign_evals')!r} != "
+            f"baseline {baseline.get('campaign_evals')!r}"
+        )
+
+    def by_name(data):
+        return {a.get("name"): a for a in data.get("algorithms", [])}
+
+    current_algs = by_name(current)
+    baseline_algs = by_name(baseline)
+    if set(current_algs) != set(baseline_algs):
+        failures.append(
+            f"algorithm roster changed: current {sorted(current_algs)} != "
+            f"baseline {sorted(baseline_algs)}"
+        )
+    else:
+        for name, base_alg in baseline_algs.items():
+            for key in ("pairs", "evals"):
+                if current_algs[name].get(key) != base_alg.get(key):
+                    failures.append(
+                        f"{name}.{key}: current "
+                        f"{current_algs[name].get(key)!r} != baseline "
+                        f"{base_alg.get(key)!r}"
+                    )
+
+    # The resolved kernel tier depends on the runner's CPU; report, never
+    # gate.
+    print(
+        f"bench gate: simd kernels {current.get('simd_kernels')!r} "
+        f"(baseline recorded {baseline.get('simd_kernels')!r})"
+    )
+
+    # Machine-dependent throughput: generous floor on the campaign rate.
+    floor = args.min_throughput_ratio
+    current_rate = current.get("campaign_mevals_per_s", 0.0)
+    baseline_rate = baseline.get("campaign_mevals_per_s", 0.0)
+    if baseline_rate and floor > 0:
+        ratio = current_rate / baseline_rate
+        print(
+            f"bench gate: campaign throughput {current_rate:.1f} Mevals/s "
+            f"vs baseline {baseline_rate:.1f} ({ratio:.2f}x, floor {floor})"
+        )
+        if ratio < floor:
+            failures.append(
+                f"campaign throughput regressed to {ratio:.2f}x of baseline "
+                f"(floor {floor})"
+            )
+    return failures
+
+
 GATES = {
     "verifier_throughput": gate_verifier,
     "daemon_throughput": gate_daemon,
     "interpreter_throughput": gate_interp,
+    "mul_cycles": gate_cycles,
+    "sweep_campaign": gate_sweep,
 }
 
 # Every top-level key each gate reads. Anything else in either file is
@@ -291,7 +450,109 @@ KNOWN_KEYS = {
         "step_limit_runs", "result_fingerprint", "identical",
         "threaded_available", "best_speedup", "engines",
     },
+    "mul_cycles": {
+        "bench", "pairs", "trials", "low_bits", "unit",
+        "speedup_our_vs_kern", "algorithms",
+    },
+    "sweep_campaign": {
+        "bench", "width", "mul_width", "jobs", "simd", "simd_kernels",
+        "all_hold", "campaign_evals", "campaign_seconds",
+        "campaign_mevals_per_s", "algorithms",
+    },
 }
+
+
+# The one number trend mode tracks per bench: a rate or within-process
+# ratio where bigger is better. Returns 0.0/None-safe floats.
+def _verifier_primary(data):
+    for point in data.get("scaling", []):
+        if point.get("jobs") == 1:
+            return point.get("programs_per_s")
+    return None
+
+
+PRIMARY_METRIC = {
+    "verifier_throughput": ("jobs=1 programs/s", _verifier_primary),
+    "daemon_throughput": (
+        "verdicts/s", lambda d: d.get("verdicts_per_s")),
+    "interpreter_throughput": (
+        "best decoded speedup", lambda d: d.get("best_speedup")),
+    "mul_cycles": (
+        "our_mul speedup vs kern_mul",
+        lambda d: d.get("speedup_our_vs_kern")),
+    "sweep_campaign": (
+        "campaign Mevals/s", lambda d: d.get("campaign_mevals_per_s")),
+}
+
+
+def run_trend(paths, args):
+    """Sustained-slide detector over a chronological series of runs."""
+    series = []
+    name = None
+    for path in paths:
+        data = load(path)
+        bench = data.get("bench", "verifier_throughput")
+        if name is None:
+            name = bench
+        elif bench != name:
+            print(
+                f"error: {path} is bench {bench!r}, series started as "
+                f"{name!r}",
+                file=sys.stderr,
+            )
+            return 2
+        series.append((path, data))
+
+    if name not in PRIMARY_METRIC:
+        print(f"error: no primary metric for bench {name!r}", file=sys.stderr)
+        return 2
+    label, extract = PRIMARY_METRIC[name]
+
+    points = []
+    for path, data in series:
+        value = extract(data)
+        if isinstance(value, (int, float)) and value > 0:
+            points.append((path, float(value)))
+        else:
+            print(f"trend: skipping {path} (no usable {label}: {value!r})")
+
+    print(f"trend: {name} {label}, {len(points)} usable runs "
+          f"(window {args.trend_window}, tolerance "
+          f"{args.trend_tolerance:.0%}):")
+    for path, value in points:
+        print(f"  {value:12.3f}  {path}")
+    if len(points) < args.trend_window + 1:
+        print(
+            f"trend: ok (need {args.trend_window + 1} usable runs for a "
+            f"verdict; collecting history)"
+        )
+        return 0
+
+    # Count the run-over-run drops ending at the newest run.
+    streak = 0
+    for i in range(len(points) - 1, 0, -1):
+        if points[i][1] < points[i - 1][1]:
+            streak += 1
+        else:
+            break
+    newest = points[-1][1]
+    peak = points[-1 - streak][1]
+    loss = 1.0 - newest / peak if peak > 0 else 0.0
+    print(
+        f"trend: {streak} consecutive drop(s); cumulative loss {loss:.1%} "
+        f"from {peak:.3f} to {newest:.3f}"
+    )
+    if streak >= args.trend_window and loss > args.trend_tolerance:
+        print(
+            f"trend: REGRESSION: {label} slid for {streak} consecutive "
+            f"runs, losing {loss:.1%} (> {args.trend_tolerance:.0%}); each "
+            "step may be inside the single-run floor, but the slide is "
+            "sustained -- find the leak or refresh the baseline with "
+            "intent"
+        )
+        return 1
+    print("trend: ok (no sustained slide)")
+    return 0
 
 
 def report_tolerated_keys(name, current, baseline):
@@ -307,9 +568,17 @@ def report_tolerated_keys(name, current, baseline):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="bench JSON from this run")
-    parser.add_argument("baseline", help="committed baseline JSON")
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        help="default mode: CURRENT BASELINE (exactly two); --trend mode: "
+        "the same bench's JSON from consecutive runs, oldest first, the "
+        "current run last",
+    )
     parser.add_argument(
         "--min-throughput-ratio",
         type=float,
@@ -319,10 +588,40 @@ def main():
         "divided by it); default %(default)s, generous on purpose; 0 "
         "disables the perf checks (debug/sanitizer legs)",
     )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="sustained-slide mode over a chronological series instead of "
+        "a single current-vs-baseline gate",
+    )
+    parser.add_argument(
+        "--trend-window",
+        type=int,
+        default=3,
+        help="consecutive run-over-run drops that count as a slide "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--trend-tolerance",
+        type=float,
+        default=0.05,
+        help="cumulative fractional loss a slide must exceed to fail "
+        "(default %(default)s)",
+    )
     args = parser.parse_args()
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    if args.trend:
+        return run_trend(args.files, args)
+
+    if len(args.files) != 2:
+        print(
+            "error: default mode takes exactly CURRENT and BASELINE "
+            "(use --trend for a series)",
+            file=sys.stderr,
+        )
+        return 2
+    current = load(args.files[0])
+    baseline = load(args.files[1])
 
     name = baseline.get("bench", "verifier_throughput")
     gate = GATES.get(name)

@@ -10,10 +10,22 @@
 /// loop of every sweep is the membership predicate c in gamma(R), i.e.
 /// (c & ~R.m) == R.v (Eqn. 9), evaluated billions of times per campaign.
 /// This layer batches that predicate over 64-lane chunks of concrete
-/// values: the portable kernel is a plain loop the compiler can
-/// auto-vectorize, and an AVX2 specialization (4 lanes per ymm compare)
-/// is selected behind *runtime* dispatch, so one binary runs correctly on
-/// any x86-64 host and fast on CI-class hardware.
+/// values behind *runtime* dispatch across three instruction-set tiers:
+///
+///   * portable -- a plain loop the compiler can auto-vectorize; always
+///     present, and the reference every other tier is pinned against;
+///   * avx2 -- 4 lanes per ymm compare, sign bits extracted with
+///     movemask;
+///   * avx512 -- 8 lanes per zmm compare writing an 8-bit mask REGISTER
+///     directly (vpcmpeqq %k), i.e. the 64->8 lane compression of the
+///     occupancy mask happens in hardware instead of via movemask
+///     shuffling;
+///   * neon -- 2 lanes per q-register compare on AArch64, so the whole
+///     differential battery runs natively on ARM hosts.
+///
+/// One binary carries every tier its target can express and selects at
+/// runtime, so the same build runs correctly on any host and fast on
+/// CI-class hardware.
 ///
 /// The kernels return a 64-bit occupancy mask -- bit j set iff lane j
 /// FAILED the membership test -- rather than a boolean, so callers recover
@@ -23,7 +35,9 @@
 ///
 /// Layering: this file knows nothing about tnums; it operates on raw
 /// (value, ~mask) words. The tnum-aware batch enumerator lives in
-/// tnum/TnumMembers.h and the checkers that consume both live in verify/.
+/// tnum/TnumMembers.h and the checkers that consume both live in verify/
+/// (including the fused evaluate-and-test / evaluate-and-reduce loops,
+/// which need the concrete operator semantics this layer does not know).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,15 +47,26 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 
-/// True when this build target can contain AVX2 code paths behind
+/// True when this build target can contain AVX2/AVX-512 code paths behind
 /// per-function target attributes (the functions are only *called* after
-/// cpuHasAvx2() says the host executes them). Shared by SimdBatch.cpp and
-/// the fused per-op scan loops in verify/SoundnessChecker.cpp.
+/// cpuHasAvx2() / cpuHasAvx512() says the host executes them). Shared by
+/// SimdBatch.cpp and the fused per-op scan loops in verify/.
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define TNUMS_SIMD_HAVE_X86_KERNELS 1
 #else
 #define TNUMS_SIMD_HAVE_X86_KERNELS 0
+#endif
+
+/// True when this build target contains the NEON kernels. Advanced SIMD is
+/// architecturally baseline on AArch64, so no runtime probe or target
+/// attribute is needed -- the tier is compiled in iff the target is
+/// AArch64.
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define TNUMS_SIMD_HAVE_NEON_KERNELS 1
+#else
+#define TNUMS_SIMD_HAVE_NEON_KERNELS 0
 #endif
 
 namespace tnums {
@@ -50,31 +75,61 @@ namespace tnums {
 /// one uint64_t occupancy mask.
 inline constexpr unsigned SimdBatchLanes = 64;
 
-/// Byte alignment for batch buffers (one AVX2 ymm register).
+/// Byte alignment for batch buffers (one AVX2 ymm register; the AVX-512
+/// kernels use unaligned loads, so 32 stays sufficient).
 inline constexpr size_t SimdBatchAlign = 32;
 
 /// How a sweep selects its membership path.
 ///
-///   * Off  -- the scalar reference path: one member per callback through
-///             forEachMember x Tnum::contains, exactly the pre-batching
-///             code. This is the baseline the differential tests (and the
-///             --simd A/B benchmark) pin the fast path against.
-///   * Auto -- the batched path with the best kernel the host supports
-///             (AVX2 when the CPU has it, otherwise the portable kernel).
-///   * On   -- the batched path, unconditionally. Same kernel selection as
-///             Auto; the distinct name exists so scripts can assert they
-///             asked for batching rather than inherited a default.
+///   * Off      -- the scalar reference path: one member per callback
+///                 through forEachMember x Tnum::contains, exactly the
+///                 pre-batching code. This is the baseline the
+///                 differential tests (and the --simd A/B benchmark) pin
+///                 the fast path against.
+///   * Auto     -- the batched path with the best kernel tier the host
+///                 supports (avx512 > avx2 > neon > portable).
+///   * On       -- legacy alias of Auto (the pre-tier "batched,
+///                 unconditionally" spelling); kept so existing scripts
+///                 and baselines keep parsing.
+///   * Portable -- the batched path, portable kernels forced (no
+///                 hand-vectorized tier even when the host has one).
+///   * Avx2 / Avx512 / Neon -- the batched path with exactly that kernel
+///                 tier forced. Use simdModeSupported() to test whether
+///                 the running host can honor the request; when it
+///                 cannot, selectSimdKernels() falls back to the portable
+///                 kernels (reports are bit-identical across tiers, so
+///                 the fallback is safe -- front ends that want a hard
+///                 error check simdModeSupported() first).
 enum class SimdMode {
   Auto,
   On,
   Off,
+  Portable,
+  Avx2,
+  Avx512,
+  Neon,
 };
 
-/// Parses "auto" / "on" / "off". Returns std::nullopt on anything else.
+/// The instruction-set tier a resolved kernel set executes.
+enum class SimdTier {
+  Portable,
+  Avx2,
+  Avx512,
+  Neon,
+};
+
+/// Parses "auto" / "on" / "off" / "portable" / "avx2" / "avx512" / "neon".
+/// Returns std::nullopt on anything else. Parsing does NOT check host
+/// support -- use simdModeSupported() for that.
 std::optional<SimdMode> parseSimdMode(const char *Text);
 
-/// Stable lower-case name ("auto", "on", "off").
+/// Stable lower-case name ("auto", "on", "off", "portable", "avx2",
+/// "avx512", "neon").
 const char *simdModeName(SimdMode Mode);
+
+/// The "--simd=..." value list for usage strings and error messages.
+inline constexpr char SimdModeUsage[] =
+    "{auto,off,portable,avx2,avx512,neon}";
 
 /// True when \p Mode routes sweeps through the batched kernels.
 inline bool simdModeBatches(SimdMode Mode) { return Mode != SimdMode::Off; }
@@ -83,8 +138,25 @@ inline bool simdModeBatches(SimdMode Mode) { return Mode != SimdMode::Off; }
 /// compile-time one -- the binary always contains the portable fallback).
 bool cpuHasAvx2();
 
-/// One resolved set of batch kernels. Both implementations compute
-/// identical results; only the instruction mix differs.
+/// True if the running CPU supports the AVX-512 kernels (requires
+/// AVX512F + AVX512BW so both the qword-compare mask forms and the byte
+/// mask-register moves are available).
+bool cpuHasAvx512();
+
+/// True if the running CPU executes the NEON kernels (always true on
+/// AArch64 builds, always false elsewhere).
+bool cpuHasNeon();
+
+/// True when this host can honor \p Mode exactly: Off/Auto/On/Portable
+/// always can; a forced tier requires the matching cpuHas*() probe.
+bool simdModeSupported(SimdMode Mode);
+
+/// Comma-separated list of the modes this host supports, for "--simd=X is
+/// not supported on this host" diagnostics.
+std::string supportedSimdModeList();
+
+/// One resolved set of batch kernels. Every tier computes identical
+/// results; only the instruction mix differs.
 struct SimdKernels {
   /// Returns the occupancy mask of membership FAILURES over \p N lanes
   /// (N <= SimdBatchLanes): bit j is set iff (Z[j] & NotM) != V, i.e. lane
@@ -101,8 +173,14 @@ struct SimdKernels {
   void (*ReduceAndOr)(const uint64_t *Z, unsigned N, uint64_t *AndAcc,
                       uint64_t *OrAcc);
 
-  /// Kernel name for diagnostics: "scalar" or "avx2".
+  /// Kernel name for diagnostics: "scalar", "avx2", "avx512", or "neon".
+  /// (The portable tier keeps its historical "scalar" name so existing
+  /// baselines and scripts keep matching.)
   const char *Name;
+
+  /// Which instruction-set tier this kernel set executes. The fused
+  /// evaluate-and-test loops in verify/ dispatch on this tag.
+  SimdTier Tier;
 };
 
 /// The portable kernels. Always available.
@@ -112,15 +190,24 @@ const SimdKernels &scalarSimdKernels();
 /// cannot execute them.
 const SimdKernels *avx2SimdKernels();
 
-/// The kernels \p Mode resolves to on this host. Off resolves to the
-/// scalar kernels too (callers on the Off path normally bypass batching
-/// entirely, but the resolution is still total so diagnostics can print
-/// it).
+/// The AVX-512 kernels, or nullptr when the build target or running CPU
+/// cannot execute them.
+const SimdKernels *avx512SimdKernels();
+
+/// The NEON kernels, or nullptr when the build target is not AArch64.
+const SimdKernels *neonSimdKernels();
+
+/// The kernels \p Mode resolves to on this host. Off and Portable resolve
+/// to the portable kernels; Auto/On to the best tier the host supports; a
+/// forced tier to its kernels when supported, else the portable fallback
+/// (callers that want a hard error on unsupported tiers check
+/// simdModeSupported() first -- every tier computes bit-identical
+/// results, so the fallback never changes a report).
 const SimdKernels &selectSimdKernels(SimdMode Mode);
 
 /// Human-readable description of what \p Mode runs on this host, e.g.
-/// "batched/avx2" or "scalar reference".
-const char *simdPathDescription(SimdMode Mode);
+/// "batched/avx512", "batched/avx2 (forced)", or "scalar reference".
+std::string simdPathDescription(SimdMode Mode);
 
 } // namespace tnums
 

@@ -45,6 +45,24 @@ bool tnums::isShiftOp(BinaryOp Op) {
   return Op == BinaryOp::Lsh || Op == BinaryOp::Rsh || Op == BinaryOp::Arsh;
 }
 
+bool tnums::hasFusedSimdKernel(BinaryOp Op, unsigned Width) {
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::And:
+  case BinaryOp::Or:
+  case BinaryOp::Xor:
+    return true;
+  case BinaryOp::Mul:
+    // The fused mul lanes use a 32x32 low multiply, exact only while both
+    // operands and the product stay under 2^32 -- i.e. Width <= 16, which
+    // covers every enumerable sweep width.
+    return Width <= 16;
+  default:
+    return false;
+  }
+}
+
 uint64_t tnums::applyConcreteBinary(BinaryOp Op, uint64_t X, uint64_t Y,
                                     unsigned Width) {
   X = truncateToWidth(X, Width);

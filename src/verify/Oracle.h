@@ -56,6 +56,14 @@ const char *binaryOpName(BinaryOp Op);
 /// (shift amounts are masked to Width - 1).
 bool isShiftOp(BinaryOp Op);
 
+/// True when (\p Op, \p Width) has fused evaluate-and-test /
+/// evaluate-and-reduce SIMD loops in verify/ (the soundness scan and the
+/// optimality alpha-reduce): the wrap-around and bitwise operators always,
+/// Mul only while the vector lanes' 32x32 low multiply is exact
+/// (Width <= 16). Everything else takes the two-pass batch path through
+/// applyConcreteBinaryBatch* + the SimdBatch kernels.
+bool hasFusedSimdKernel(BinaryOp Op, unsigned Width);
+
 /// The width-\p Width concrete semantics of \p Op applied to the low
 /// \p Width bits of \p X and \p Y. Result fits the width.
 uint64_t applyConcreteBinary(BinaryOp Op, uint64_t X, uint64_t Y,

@@ -263,13 +263,15 @@ OptimalityReport tnums::checkOptimalityRangeParallel(
                 NumXs = L.Xs.size();
               }
               Optimal = optimalAbstractBinaryMembers(Op, Width, Xs, NumXs,
-                                                     Ys, NumYs, Kernels);
+                                                     Ys, NumYs, Kernels,
+                                                     Config.FuseOptimality);
             } else if (Batched) {
               auto [Ys, NumYs] =
                   resolveMembers(Grid.Members, Index % Grid.NumTnums, Q,
                                  L.Ys);
               Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys, NumYs,
-                                                     Kernels);
+                                                     Kernels,
+                                                     Config.FuseOptimality);
             } else {
               Optimal = optimalAbstractBinary(Op, P, Q, Width);
             }

@@ -92,6 +92,14 @@ struct SweepConfig {
   /// bench/soundness_verification's --compare-optimality. Bit-identical
   /// reports either way.
   bool MemoizeOptimality = true;
+
+  /// Optimality scans only: run the fused evaluate-and-reduce alpha loops
+  /// (concrete evaluation and AND/OR accumulation in one register pass,
+  /// no intermediate result buffer) for the operators that have them
+  /// (hasFusedSimdKernel). Off selects the two-pass batch + ReduceAndOr
+  /// path -- the A/B reference for bench/soundness_verification's
+  /// --compare-optimality. Bit-identical reports either way.
+  bool FuseOptimality = true;
 };
 
 /// An abstract binary transfer function as the sweep sees it: inputs are

@@ -18,6 +18,9 @@
 #if TNUMS_SIMD_HAVE_X86_KERNELS
 #include <immintrin.h>
 #endif
+#if TNUMS_SIMD_HAVE_NEON_KERNELS
+#include <arm_neon.h>
+#endif
 
 using namespace tnums;
 
@@ -71,22 +74,31 @@ static bool checkAllMembers(BinaryOp Op, unsigned Width, const Tnum &P,
 
 namespace {
 
-/// True when \p Op at \p Width has a fused AVX2 scan loop below. The
-/// multiplication loop computes 64-bit lanes with a 32x32 low multiply,
-/// exact only while both operands and the product stay under 2^32 -- i.e.
-/// Width <= 16, which covers every enumerable sweep width.
-bool hasFusedScan(BinaryOp Op, unsigned Width) {
+// Op eligibility is the shared hasFusedSimdKernel(Op, Width) predicate in
+// verify/Oracle.h (also used by the fused optimality alpha-reduce); the
+// loops below exist per tier -- AVX2, AVX-512, and NEON -- and every tier
+// computes the same occupancy mask bit for bit.
+
+/// Scalar evaluation of one fused-eligible op, the tail step shared by
+/// every tier's scan loop.
+inline uint64_t fusedScalarEval(BinaryOp Op, uint64_t X, uint64_t Y,
+                                uint64_t WMask) {
   switch (Op) {
   case BinaryOp::Add:
+    return (X + Y) & WMask;
   case BinaryOp::Sub:
-  case BinaryOp::And:
-  case BinaryOp::Or:
-  case BinaryOp::Xor:
-    return true;
+    return (X - Y) & WMask;
   case BinaryOp::Mul:
-    return Width <= 16;
+    return (X * Y) & WMask;
+  case BinaryOp::And:
+    return X & Y;
+  case BinaryOp::Or:
+    return X | Y;
+  case BinaryOp::Xor:
+    return X ^ Y;
   default:
-    return false;
+    assert(false && "op has no fused scan tail");
+    return 0;
   }
 }
 
@@ -106,7 +118,7 @@ laneFailures(__m256i Z, __m256i NotMv, __m256i Vv) {
 /// Fused AVX2 scan: returns the non-member occupancy mask of
 /// opC(X, Ys[j]) against (V, NotM) over N <= 64 lanes, without
 /// materializing the results. Only called for ops where
-/// hasFusedScan() holds and after cpuHasAvx2() gating.
+/// hasFusedSimdKernel() holds and after cpuHasAvx2() gating.
 __attribute__((target("avx2"))) uint64_t
 fusedNonMemberScanAvx2(BinaryOp Op, uint64_t X, const uint64_t *Ys,
                        unsigned N, uint64_t WMask, uint64_t V,
@@ -169,31 +181,83 @@ fusedNonMemberScanAvx2(BinaryOp Op, uint64_t X, const uint64_t *Ys,
 
   // Scalar tail (N is rarely a multiple of 4 at small widths).
   for (; I != N; ++I) {
-    uint64_t Z;
-    switch (Op) {
-    case BinaryOp::Add:
-      Z = (X + Ys[I]) & WMask;
-      break;
-    case BinaryOp::Sub:
-      Z = (X - Ys[I]) & WMask;
-      break;
-    case BinaryOp::Mul:
-      Z = (X * Ys[I]) & WMask;
-      break;
-    case BinaryOp::And:
-      Z = X & Ys[I];
-      break;
-    case BinaryOp::Or:
-      Z = X | Ys[I];
-      break;
-    case BinaryOp::Xor:
-      Z = X ^ Ys[I];
-      break;
-    default:
-      assert(false && "op has no fused scan tail");
-      Z = 0;
-      break;
+    uint64_t Z = fusedScalarEval(Op, X, Ys[I], WMask);
+    Mask |= uint64_t((Z & NotM) != V) << I;
+  }
+  return Mask;
+}
+
+/// Membership test of eight already-computed result lanes: the 8-bit
+/// failure group of Z against (V, NotM). Members compare equal and the
+/// compare writes a mask REGISTER directly (vpcmpeqq %zmm, %zmm, %k) --
+/// the 64->8 lane compression happens in the compare itself, no movemask
+/// shuffling. (A separate function, not a lambda: lambdas do not inherit
+/// the enclosing function's target attribute.)
+__attribute__((target("avx512f,avx512bw"), always_inline)) inline uint64_t
+laneFailures512(__m512i Z, __m512i NotMv, __m512i Vv) {
+  __mmask8 Members = _mm512_cmpeq_epi64_mask(_mm512_and_si512(Z, NotMv), Vv);
+  return uint64_t(static_cast<uint8_t>(~Members));
+}
+
+/// Fused AVX-512 scan: 8 lanes per zmm with the mask-register lane
+/// compression above. Only called for ops where hasFusedSimdKernel()
+/// holds and after cpuHasAvx512() gating.
+__attribute__((target("avx512f,avx512bw"))) uint64_t
+fusedNonMemberScanAvx512(BinaryOp Op, uint64_t X, const uint64_t *Ys,
+                         unsigned N, uint64_t WMask, uint64_t V,
+                         uint64_t NotM) {
+  const __m512i Xv = _mm512_set1_epi64(static_cast<long long>(X));
+  const __m512i WMaskv = _mm512_set1_epi64(static_cast<long long>(WMask));
+  const __m512i Vv = _mm512_set1_epi64(static_cast<long long>(V));
+  const __m512i NotMv = _mm512_set1_epi64(static_cast<long long>(NotM));
+  uint64_t Mask = 0;
+  unsigned I = 0;
+
+  switch (Op) {
+  case BinaryOp::Add:
+    for (; I + 8 <= N; I += 8) {
+      __m512i Y = _mm512_loadu_si512(Ys + I);
+      Mask |= laneFailures512(_mm512_and_si512(_mm512_add_epi64(Xv, Y), WMaskv), NotMv, Vv) << I;
     }
+    break;
+  case BinaryOp::Sub:
+    for (; I + 8 <= N; I += 8) {
+      __m512i Y = _mm512_loadu_si512(Ys + I);
+      Mask |= laneFailures512(_mm512_and_si512(_mm512_sub_epi64(Xv, Y), WMaskv), NotMv, Vv) << I;
+    }
+    break;
+  case BinaryOp::Mul:
+    // Width <= 16 lanes: high 32 bits zero, so the 32-bit low multiply
+    // yields the exact 64-bit products (odd elements multiply 0 * 0).
+    for (; I + 8 <= N; I += 8) {
+      __m512i Y = _mm512_loadu_si512(Ys + I);
+      Mask |= laneFailures512(_mm512_and_si512(_mm512_mullo_epi32(Xv, Y), WMaskv), NotMv, Vv) << I;
+    }
+    break;
+  case BinaryOp::And:
+    for (; I + 8 <= N; I += 8) {
+      __m512i Y = _mm512_loadu_si512(Ys + I);
+      Mask |= laneFailures512(_mm512_and_si512(Xv, Y), NotMv, Vv) << I;
+    }
+    break;
+  case BinaryOp::Or:
+    for (; I + 8 <= N; I += 8) {
+      __m512i Y = _mm512_loadu_si512(Ys + I);
+      Mask |= laneFailures512(_mm512_or_si512(Xv, Y), NotMv, Vv) << I;
+    }
+    break;
+  case BinaryOp::Xor:
+    for (; I + 8 <= N; I += 8) {
+      __m512i Y = _mm512_loadu_si512(Ys + I);
+      Mask |= laneFailures512(_mm512_xor_si512(Xv, Y), NotMv, Vv) << I;
+    }
+    break;
+  default:
+    assert(false && "op has no fused scan loop");
+  }
+
+  for (; I != N; ++I) {
+    uint64_t Z = fusedScalarEval(Op, X, Ys[I], WMask);
     Mask |= uint64_t((Z & NotM) != V) << I;
   }
   return Mask;
@@ -201,17 +265,119 @@ fusedNonMemberScanAvx2(BinaryOp Op, uint64_t X, const uint64_t *Ys,
 
 #endif // TNUMS_SIMD_HAVE_X86_KERNELS
 
-/// Whether the (Kernels, Op, Width) combination routes through the fused
-/// AVX2 scan instead of the two-pass batch + membership kernel.
+#if TNUMS_SIMD_HAVE_NEON_KERNELS
+
+/// Fused NEON scan: 2 qword lanes per q-register; vceqq yields
+/// all-ones-per-member-lane and the lane LSBs fold into the occupancy
+/// mask. Compiled on AArch64 only (Advanced SIMD is baseline there).
+uint64_t fusedNonMemberScanNeon(BinaryOp Op, uint64_t X, const uint64_t *Ys,
+                                unsigned N, uint64_t WMask, uint64_t V,
+                                uint64_t NotM) {
+  const uint64x2_t Xv = vdupq_n_u64(X);
+  const uint64x2_t WMaskv = vdupq_n_u64(WMask);
+  const uint64x2_t Vv = vdupq_n_u64(V);
+  const uint64x2_t NotMv = vdupq_n_u64(NotM);
+  uint64_t Mask = 0;
+  unsigned I = 0;
+
+  auto Fail = [&](uint64x2_t Z) -> uint64_t {
+    uint64x2_t Eq = vceqq_u64(vandq_u64(Z, NotMv), Vv);
+    uint64_t Members =
+        (vgetq_lane_u64(Eq, 0) & 1) | ((vgetq_lane_u64(Eq, 1) & 1) << 1);
+    return ~Members & 0x3;
+  };
+
+  switch (Op) {
+  case BinaryOp::Add:
+    for (; I + 2 <= N; I += 2) {
+      uint64x2_t Y = vld1q_u64(Ys + I);
+      Mask |= Fail(vandq_u64(vaddq_u64(Xv, Y), WMaskv)) << I;
+    }
+    break;
+  case BinaryOp::Sub:
+    for (; I + 2 <= N; I += 2) {
+      uint64x2_t Y = vld1q_u64(Ys + I);
+      Mask |= Fail(vandq_u64(vsubq_u64(Xv, Y), WMaskv)) << I;
+    }
+    break;
+  case BinaryOp::Mul:
+    // NEON has no 64x64 lane multiply; at Width <= 16 a 32-bit lane
+    // multiply of the low halves is exact, mirroring the x86 loops.
+    for (; I + 2 <= N; I += 2) {
+      uint64x2_t Y = vld1q_u64(Ys + I);
+      uint32x4_t Prod =
+          vmulq_u32(vreinterpretq_u32_u64(Xv), vreinterpretq_u32_u64(Y));
+      Mask |= Fail(vandq_u64(vreinterpretq_u64_u32(Prod), WMaskv)) << I;
+    }
+    break;
+  case BinaryOp::And:
+    for (; I + 2 <= N; I += 2) {
+      uint64x2_t Y = vld1q_u64(Ys + I);
+      Mask |= Fail(vandq_u64(Xv, Y)) << I;
+    }
+    break;
+  case BinaryOp::Or:
+    for (; I + 2 <= N; I += 2) {
+      uint64x2_t Y = vld1q_u64(Ys + I);
+      Mask |= Fail(vorrq_u64(Xv, Y)) << I;
+    }
+    break;
+  case BinaryOp::Xor:
+    for (; I + 2 <= N; I += 2) {
+      uint64x2_t Y = vld1q_u64(Ys + I);
+      Mask |= Fail(veorq_u64(Xv, Y)) << I;
+    }
+    break;
+  default:
+    assert(false && "op has no fused scan loop");
+  }
+
+  for (; I != N; ++I) {
+    uint64_t Z = fusedScalarEval(Op, X, Ys[I], WMask);
+    Mask |= uint64_t((Z & NotM) != V) << I;
+  }
+  return Mask;
+}
+
+#endif // TNUMS_SIMD_HAVE_NEON_KERNELS
+
+/// Whether (Kernels, Op, Width) routes through a fused evaluate-and-test
+/// scan instead of the two-pass batch + membership kernel: any
+/// hand-vectorized tier with a fused-eligible op. The portable tier keeps
+/// the two-pass path -- it IS the reference the fused loops are pinned
+/// against.
 bool useFusedScan(const SimdKernels &Kernels, BinaryOp Op, unsigned Width) {
+  if (Kernels.Tier == SimdTier::Portable)
+    return false;
+  return hasFusedSimdKernel(Op, Width);
+}
+
+/// Dispatches one fused scan call to \p Tier's loop. Only called when
+/// useFusedScan() held, which implies the matching kernels were selected
+/// (and therefore the host executes that tier).
+uint64_t fusedNonMemberScan(SimdTier Tier, BinaryOp Op, uint64_t X,
+                            const uint64_t *Ys, unsigned N, uint64_t WMask,
+                            uint64_t V, uint64_t NotM) {
+  switch (Tier) {
 #if TNUMS_SIMD_HAVE_X86_KERNELS
-  return &Kernels == avx2SimdKernels() && hasFusedScan(Op, Width);
-#else
-  (void)Kernels;
-  (void)Op;
-  (void)Width;
-  return false;
+  case SimdTier::Avx2:
+    return fusedNonMemberScanAvx2(Op, X, Ys, N, WMask, V, NotM);
+  case SimdTier::Avx512:
+    return fusedNonMemberScanAvx512(Op, X, Ys, N, WMask, V, NotM);
 #endif
+#if TNUMS_SIMD_HAVE_NEON_KERNELS
+  case SimdTier::Neon:
+    return fusedNonMemberScanNeon(Op, X, Ys, N, WMask, V, NotM);
+#endif
+  default:
+    assert(false && "fused scan dispatched to a tier without loops");
+    uint64_t Mask = 0;
+    for (unsigned I = 0; I != N; ++I) {
+      uint64_t Z = fusedScalarEval(Op, X, Ys[I], WMask);
+      Mask |= uint64_t((Z & NotM) != V) << I;
+    }
+    return Mask;
+  }
 }
 
 } // namespace
@@ -242,19 +408,13 @@ std::optional<SoundnessCounterexample> tnums::scanPairMembersBatched(
       unsigned N = static_cast<unsigned>(
           std::min<uint64_t>(SimdBatchLanes, NumYs - Base));
       uint64_t Bad;
-#if TNUMS_SIMD_HAVE_X86_KERNELS
       if (Fused) {
-        Bad = fusedNonMemberScanAvx2(Op, X, Ys + Base, N, WMask, V, NotM);
+        Bad = fusedNonMemberScan(Kernels.Tier, Op, X, Ys + Base, N, WMask, V,
+                                 NotM);
       } else {
         applyConcreteBinaryBatch(Op, X, Ys + Base, Zs, N, Width);
         Bad = Kernels.NonMemberMask(Zs, N, V, NotM);
       }
-#else
-      (void)Fused;
-      (void)WMask;
-      applyConcreteBinaryBatch(Op, X, Ys + Base, Zs, N, Width);
-      Bad = Kernels.NonMemberMask(Zs, N, V, NotM);
-#endif
       if (Bad) {
         // The scalar scan counts each evaluation before testing it, so a
         // violation at batch offset J has consumed Base + J + 1 of this

@@ -98,14 +98,15 @@ TEST(TnumMembers, BottomAndConstantEdgeCases) {
 }
 
 //===----------------------------------------------------------------------===//
-// Kernel differential: the AVX2 backend must agree with the portable one
-// on every lane count and every bit pattern we can throw at it.
+// Kernel differential: every hand-vectorized tier the host can execute
+// must agree with the portable one on every lane count and every bit
+// pattern we can throw at it.
 //===----------------------------------------------------------------------===//
 
-TEST(SimdKernels, Avx2AgreesWithScalarOnRandomBatches) {
-  const SimdKernels *Avx2 = avx2SimdKernels();
-  if (!Avx2)
-    GTEST_SKIP() << "host has no AVX2; portable kernels are the only path";
+void expectTierAgreesWithScalar(const SimdKernels *Tier, const char *What) {
+  if (!Tier)
+    GTEST_SKIP() << "host cannot execute the " << What
+                 << " kernels; portable covers it";
   const SimdKernels &Scalar = scalarSimdKernels();
   Xoshiro256 Rng(7);
   alignas(SimdBatchAlign) uint64_t Z[SimdBatchLanes];
@@ -116,32 +117,108 @@ TEST(SimdKernels, Avx2AgreesWithScalarOnRandomBatches) {
     uint64_t M = Rng.next() & 0xFF;
     uint64_t V = Rng.next() & 0xFF & ~M;
     uint64_t ScalarMask = Scalar.NonMemberMask(Z, N, V, ~M);
-    uint64_t Avx2Mask = Avx2->NonMemberMask(Z, N, V, ~M);
-    ASSERT_EQ(ScalarMask, Avx2Mask) << "N=" << N;
+    uint64_t TierMask = Tier->NonMemberMask(Z, N, V, ~M);
+    ASSERT_EQ(ScalarMask, TierMask) << What << " N=" << N;
     if (N < SimdBatchLanes) { // Bits at and above N must stay clear.
       EXPECT_EQ(ScalarMask >> N, 0u);
     }
 
     uint64_t AndS = ~uint64_t(0), OrS = 0, AndV = ~uint64_t(0), OrV = 0;
     Scalar.ReduceAndOr(Z, N, &AndS, &OrS);
-    Avx2->ReduceAndOr(Z, N, &AndV, &OrV);
-    EXPECT_EQ(AndS, AndV);
-    EXPECT_EQ(OrS, OrV);
+    Tier->ReduceAndOr(Z, N, &AndV, &OrV);
+    EXPECT_EQ(AndS, AndV) << What;
+    EXPECT_EQ(OrS, OrV) << What;
+  }
+}
+
+TEST(SimdKernels, Avx2AgreesWithScalarOnRandomBatches) {
+  expectTierAgreesWithScalar(avx2SimdKernels(), "avx2");
+}
+
+TEST(SimdKernels, Avx512AgreesWithScalarOnRandomBatches) {
+  expectTierAgreesWithScalar(avx512SimdKernels(), "avx512");
+}
+
+TEST(SimdKernels, NeonAgreesWithScalarOnRandomBatches) {
+  expectTierAgreesWithScalar(neonSimdKernels(), "neon");
+}
+
+TEST(SimdKernels, ModeParsingIsTotal) {
+  EXPECT_EQ(parseSimdMode("auto"), SimdMode::Auto);
+  EXPECT_EQ(parseSimdMode("on"), SimdMode::On); // Legacy alias of auto.
+  EXPECT_EQ(parseSimdMode("off"), SimdMode::Off);
+  EXPECT_EQ(parseSimdMode("portable"), SimdMode::Portable);
+  EXPECT_EQ(parseSimdMode("avx2"), SimdMode::Avx2);
+  EXPECT_EQ(parseSimdMode("avx512"), SimdMode::Avx512);
+  EXPECT_EQ(parseSimdMode("neon"), SimdMode::Neon);
+  EXPECT_EQ(parseSimdMode("fast"), std::nullopt);
+  EXPECT_EQ(parseSimdMode("AVX2"), std::nullopt); // Spellings are exact.
+  for (SimdMode Mode : {SimdMode::Auto, SimdMode::On, SimdMode::Off,
+                        SimdMode::Portable, SimdMode::Avx2, SimdMode::Avx512,
+                        SimdMode::Neon}) {
+    EXPECT_EQ(parseSimdMode(simdModeName(Mode)), Mode);
   }
 }
 
 TEST(SimdKernels, ModeResolutionIsTotal) {
+  // Off and Portable always resolve to the portable kernels (which keep
+  // the historical "scalar" name).
   EXPECT_STREQ(selectSimdKernels(SimdMode::Off).Name, "scalar");
-  EXPECT_EQ(parseSimdMode("auto"), SimdMode::Auto);
-  EXPECT_EQ(parseSimdMode("on"), SimdMode::On);
-  EXPECT_EQ(parseSimdMode("off"), SimdMode::Off);
-  EXPECT_EQ(parseSimdMode("fast"), std::nullopt);
-  // On/Auto resolve identically; the AVX2 backend is host-dependent.
+  EXPECT_STREQ(selectSimdKernels(SimdMode::Portable).Name, "scalar");
+  EXPECT_EQ(selectSimdKernels(SimdMode::Portable).Tier, SimdTier::Portable);
+
+  // On/Auto resolve identically to the best tier the host supports
+  // (avx512 > avx2 > neon > portable).
   EXPECT_STREQ(selectSimdKernels(SimdMode::On).Name,
                selectSimdKernels(SimdMode::Auto).Name);
-  if (cpuHasAvx2()) {
-    EXPECT_STREQ(selectSimdKernels(SimdMode::On).Name, "avx2");
+  if (cpuHasAvx512())
+    EXPECT_STREQ(selectSimdKernels(SimdMode::Auto).Name, "avx512");
+  else if (cpuHasAvx2())
+    EXPECT_STREQ(selectSimdKernels(SimdMode::Auto).Name, "avx2");
+  else if (cpuHasNeon())
+    EXPECT_STREQ(selectSimdKernels(SimdMode::Auto).Name, "neon");
+  else
+    EXPECT_STREQ(selectSimdKernels(SimdMode::Auto).Name, "scalar");
+
+  // A forced tier resolves to its own kernels when the host supports it
+  // and falls back to the portable kernels (silently -- reports are
+  // bit-identical across tiers) when it does not. simdModeSupported is
+  // how front ends turn the fallback into a hard error.
+  struct ForcedTier {
+    SimdMode Mode;
+    bool Supported;
+    const char *Name;
+    SimdTier Tier;
+  };
+  const ForcedTier Forced[] = {
+      {SimdMode::Avx2, cpuHasAvx2(), "avx2", SimdTier::Avx2},
+      {SimdMode::Avx512, cpuHasAvx512(), "avx512", SimdTier::Avx512},
+      {SimdMode::Neon, cpuHasNeon(), "neon", SimdTier::Neon},
+  };
+  for (const ForcedTier &F : Forced) {
+    SCOPED_TRACE(F.Name);
+    EXPECT_EQ(simdModeSupported(F.Mode), F.Supported);
+    const SimdKernels &K = selectSimdKernels(F.Mode);
+    if (F.Supported) {
+      EXPECT_STREQ(K.Name, F.Name);
+      EXPECT_EQ(K.Tier, F.Tier);
+    } else {
+      EXPECT_STREQ(K.Name, "scalar");
+      EXPECT_EQ(K.Tier, SimdTier::Portable);
+    }
   }
+
+  // The non-forced modes are supported everywhere, and the supported-mode
+  // diagnostic list always offers the portable spellings.
+  for (SimdMode Mode :
+       {SimdMode::Auto, SimdMode::On, SimdMode::Off, SimdMode::Portable})
+    EXPECT_TRUE(simdModeSupported(Mode));
+  std::string Supported = supportedSimdModeList();
+  EXPECT_NE(Supported.find("auto"), std::string::npos);
+  EXPECT_NE(Supported.find("portable"), std::string::npos);
+  EXPECT_EQ(Supported.find("avx2") != std::string::npos, cpuHasAvx2());
+  EXPECT_EQ(Supported.find("avx512") != std::string::npos, cpuHasAvx512());
+  EXPECT_EQ(Supported.find("neon") != std::string::npos, cpuHasNeon());
 }
 
 //===----------------------------------------------------------------------===//
@@ -220,15 +297,22 @@ TEST(BatchedPairScan, AgreesWithScalarScanOnRandomCells) {
 //===----------------------------------------------------------------------===//
 
 TEST(SimdSweep, SerialSoundnessBitIdenticalAcrossModesAtWidth4) {
+  // Forced tiers the host lacks silently fall back to portable, so every
+  // mode -- including neon on x86 or avx512 on an old Xeon -- must still
+  // reproduce the scalar reference report exactly.
   for (BinaryOp Op : AllBinaryOps) {
     SCOPED_TRACE(binaryOpName(Op));
     SoundnessReport Off =
         checkSoundnessExhaustive(Op, 4, MulAlgorithm::Our, SimdMode::Off);
-    SoundnessReport On =
-        checkSoundnessExhaustive(Op, 4, MulAlgorithm::Our, SimdMode::On);
-    EXPECT_EQ(Off.holds(), On.holds());
-    EXPECT_EQ(Off.PairsChecked, On.PairsChecked);
-    EXPECT_EQ(Off.ConcreteChecked, On.ConcreteChecked);
+    for (SimdMode Mode : {SimdMode::On, SimdMode::Portable, SimdMode::Avx2,
+                          SimdMode::Avx512, SimdMode::Neon}) {
+      SCOPED_TRACE(simdModeName(Mode));
+      SoundnessReport On =
+          checkSoundnessExhaustive(Op, 4, MulAlgorithm::Our, Mode);
+      EXPECT_EQ(Off.holds(), On.holds());
+      EXPECT_EQ(Off.PairsChecked, On.PairsChecked);
+      EXPECT_EQ(Off.ConcreteChecked, On.ConcreteChecked);
+    }
   }
 }
 
@@ -259,14 +343,95 @@ TEST(SimdSweep, BatchedOptimalAbstractionMatchesScalarFold) {
       Tnum P = randomWellFormedTnum(Rng, Width);
       Tnum Q = randomWellFormedTnum(Rng, Width);
       materializeMembers(Q, Ys);
-      for (BinaryOp Op : {BinaryOp::Add, BinaryOp::Mul}) {
+      // Sub exercises the operand-order flip in the fused BatchLhs loops;
+      // Div has no fused kernel and pins the two-pass path.
+      for (BinaryOp Op :
+           {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div}) {
         Tnum Scalar = optimalAbstractBinary(Op, P, Q, Width);
-        for (SimdMode Mode : {SimdMode::Off, SimdMode::On}) {
-          Tnum Batched = optimalAbstractBinaryBatched(
-              Op, Width, P, Ys.data(), Ys.size(), selectSimdKernels(Mode));
-          EXPECT_EQ(Scalar, Batched)
-              << binaryOpName(Op) << " width " << Width << " mode "
-              << simdModeName(Mode);
+        for (SimdMode Mode : {SimdMode::Off, SimdMode::On, SimdMode::Portable,
+                              SimdMode::Avx2, SimdMode::Avx512,
+                              SimdMode::Neon}) {
+          for (bool AllowFused : {true, false}) {
+            Tnum Batched = optimalAbstractBinaryBatched(
+                Op, Width, P, Ys.data(), Ys.size(), selectSimdKernels(Mode),
+                AllowFused);
+            EXPECT_EQ(Scalar, Batched)
+                << binaryOpName(Op) << " width " << Width << " mode "
+                << simdModeName(Mode) << (AllowFused ? " fused" : " unfused");
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdSweep, MemoizedOptimalAbstractionMatchesScalarFoldOnBothAxes) {
+  // optimalAbstractBinaryMembers batches over whichever axis is longer;
+  // with |gamma(P)| > |gamma(Q)| the FIXED operand is the rhs, which is
+  // the BatchLhs=true fused loops (the operand-order flip matters only
+  // for Sub, but every fused op goes through the flipped loop shape).
+  Xoshiro256 Rng(11);
+  std::vector<uint64_t> Xs, Ys;
+  for (unsigned Width = 4; Width <= 8; ++Width) {
+    for (int Trial = 0; Trial != 120; ++Trial) {
+      Tnum P = randomWellFormedTnum(Rng, Width);
+      Tnum Q = randomWellFormedTnum(Rng, Width);
+      materializeMembers(P, Xs);
+      materializeMembers(Q, Ys);
+      for (BinaryOp Op :
+           {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div}) {
+        Tnum Scalar = optimalAbstractBinary(Op, P, Q, Width);
+        for (SimdMode Mode :
+             {SimdMode::Off, SimdMode::On, SimdMode::Portable}) {
+          for (bool AllowFused : {true, false}) {
+            Tnum Memoized = optimalAbstractBinaryMembers(
+                Op, Width, Xs.data(), Xs.size(), Ys.data(), Ys.size(),
+                selectSimdKernels(Mode), AllowFused);
+            EXPECT_EQ(Scalar, Memoized)
+                << binaryOpName(Op) << " width " << Width << " mode "
+                << simdModeName(Mode) << (AllowFused ? " fused" : " unfused")
+                << " |gamma(P)|=" << Xs.size() << " |gamma(Q)|=" << Ys.size();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdSweep, FusedOptimalityBitIdenticalAcrossSchedulersAndModes) {
+  // The fused evaluate-and-reduce alpha loops must never change a report:
+  // cross FuseOptimality x simd mode x three scheduler shapes against the
+  // serial scalar reference. Sub exercises the non-commutative fused
+  // path; Mul the width-gated one; Div has no fused kernels at all.
+  constexpr unsigned Width = 4;
+  const SweepConfig Schedulers[] = {
+      {/*NumThreads=*/1, /*ChunkPairs=*/1},
+      {/*NumThreads=*/3, /*ChunkPairs=*/17},
+      {/*NumThreads=*/0, /*ChunkPairs=*/4096},
+  };
+  for (BinaryOp Op : {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul,
+                      BinaryOp::Div}) {
+    SCOPED_TRACE(binaryOpName(Op));
+    OptimalityReport Reference = checkOptimalityExhaustive(
+        Op, Width, MulAlgorithm::Our, /*StopAtFirst=*/false, SimdMode::Off);
+    for (SimdMode Mode : {SimdMode::Off, SimdMode::Portable, SimdMode::Auto}) {
+      for (bool Fuse : {true, false}) {
+        for (SweepConfig Config : Schedulers) {
+          Config.Simd = Mode;
+          Config.FuseOptimality = Fuse;
+          OptimalityReport Report = checkOptimalityExhaustiveParallel(
+              Op, Width, MulAlgorithm::Our, Config);
+          SCOPED_TRACE(std::string(simdModeName(Mode)) +
+                       (Fuse ? " fused" : " unfused"));
+          EXPECT_EQ(Reference.PairsChecked, Report.PairsChecked);
+          EXPECT_EQ(Reference.OptimalPairs, Report.OptimalPairs);
+          ASSERT_EQ(Reference.Failure.has_value(), Report.Failure.has_value());
+          if (Reference.Failure) {
+            EXPECT_EQ(Reference.Failure->P, Report.Failure->P);
+            EXPECT_EQ(Reference.Failure->Q, Report.Failure->Q);
+            EXPECT_EQ(Reference.Failure->Actual, Report.Failure->Actual);
+            EXPECT_EQ(Reference.Failure->Optimal, Report.Failure->Optimal);
+          }
         }
       }
     }
@@ -311,7 +476,8 @@ TEST(SimdSweep, BrokenOperatorWitnessDeterministicAcrossSchedulersAndModes) {
       {/*NumThreads=*/8, /*ChunkPairs=*/4096},
       {/*NumThreads=*/0, /*ChunkPairs=*/257},
   };
-  for (SimdMode Mode : {SimdMode::Off, SimdMode::On, SimdMode::Auto}) {
+  for (SimdMode Mode : {SimdMode::Off, SimdMode::On, SimdMode::Auto,
+                        SimdMode::Portable}) {
     for (SweepConfig Config : Schedulers) {
       Config.Simd = Mode;
       SoundnessReport Report = checkSoundnessExhaustiveParallel(
