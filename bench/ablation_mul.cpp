@@ -18,7 +18,15 @@
 /// paper argues drives both precision and speed), (b) cycle measurements,
 /// and (c) an exhaustive precision comparison at a small width.
 ///
-/// Usage: ablation_mul [--pairs N] [--width N]
+/// `--witness-corpus FILE` replays the worst-case witness pairs emitted by
+/// bench/precision_atlas (tnums-witness-corpus v1): sections (a) and (b)
+/// then sample the corpus's multiplication entries -- shifted through the
+/// 64-bit lane deterministically for variety -- instead of private random
+/// pairs, so the ablation measures the exact operand shapes where the
+/// algorithms lose the most precision. Without the flag the historical
+/// random sampling is unchanged.
+///
+/// Usage: ablation_mul [--pairs N] [--width N] [--witness-corpus FILE]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,9 +39,12 @@
 #include "tnum/TnumOps.h"
 #include "verify/SoundnessChecker.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 
 using namespace tnums;
 
@@ -84,20 +95,110 @@ uint64_t countAddsOur(Tnum P, Tnum Q) {
   return Adds;
 }
 
+//===----------------------------------------------------------------------===//
+// Witness-corpus replay (bench/precision_atlas --witness-corpus output).
+//===----------------------------------------------------------------------===//
+
+/// One corpus pair at its atlas width, kept narrow; the sampler widens it.
+struct WitnessSeed {
+  Tnum P;
+  Tnum Q;
+  unsigned Width;
+};
+
+/// Loads the multiplication entries of a tnums-witness-corpus v1 file.
+/// Hard error (nullopt) on a missing file or wrong header; non-mul entries
+/// are skipped (div/mod witnesses say nothing about the mul ablation).
+std::optional<std::vector<WitnessSeed>> loadWitnessCorpus(const char *Path) {
+  std::FILE *File = std::fopen(Path, "r");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path);
+    return std::nullopt;
+  }
+  char Header[64] = {0};
+  if (!std::fgets(Header, sizeof(Header), File) ||
+      std::strcmp(Header, "tnums-witness-corpus v1\n") != 0) {
+    std::fprintf(stderr, "error: %s is not a tnums-witness-corpus v1 file\n",
+                 Path);
+    std::fclose(File);
+    return std::nullopt;
+  }
+  std::vector<WitnessSeed> Seeds;
+  char Op[32], Alg[32];
+  unsigned SeedWidth, Gap;
+  uint64_t Pv, Pm, Qv, Qm;
+  while (std::fscanf(File, "pair %31s %31s %u %" SCNx64 " %" SCNx64
+                           " %" SCNx64 " %" SCNx64 " %u\n",
+                     Op, Alg, &SeedWidth, &Pv, &Pm, &Qv, &Qm, &Gap) == 8) {
+    if (std::strcmp(Op, "mul") != 0 || SeedWidth == 0 || SeedWidth > 63)
+      continue;
+    Seeds.push_back({Tnum(Pv, Pm), Tnum(Qv, Qm), SeedWidth});
+  }
+  std::fclose(File);
+  if (Seeds.empty())
+    std::fprintf(stderr, "warning: %s has no mul witness pairs; sections "
+                         "(a)/(b) fall back to random sampling\n",
+                 Path);
+  return Seeds;
+}
+
+/// Pair source for sections (a) and (b): replays the witness corpus when
+/// one is loaded (entry i mod N, slid to a rotating bit offset so the
+/// 64-bit lane utilization varies while the operand SHAPE -- the thing
+/// the witnesses capture -- is preserved; shifting value and mask together
+/// keeps the tnum well-formed), otherwise the historical random draw.
+class PairSource {
+public:
+  PairSource(const std::vector<WitnessSeed> &Seeds, uint64_t RngSeed)
+      : Seeds(Seeds), Rng(RngSeed) {}
+
+  std::pair<Tnum, Tnum> next() {
+    if (Seeds.empty())
+      return {randomWellFormedTnum(Rng, 64), randomWellFormedTnum(Rng, 64)};
+    const WitnessSeed &S = Seeds[Index % Seeds.size()];
+    unsigned Shift = (Index * 7) % (64 - S.Width);
+    ++Index;
+    return {Tnum(S.P.value() << Shift, S.P.mask() << Shift),
+            Tnum(S.Q.value() << Shift, S.Q.mask() << Shift)};
+  }
+
+private:
+  const std::vector<WitnessSeed> &Seeds;
+  Xoshiro256 Rng;
+  size_t Index = 0;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   uint64_t Pairs = 200000;
   unsigned Width = 6;
+  const char *CorpusPath = nullptr;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--pairs") == 0 && I + 1 < Argc)
       Pairs = std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(Argv[I], "--width") == 0 && I + 1 < Argc)
       Width = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (std::strcmp(Argv[I], "--witness-corpus") == 0 && I + 1 < Argc)
+      CorpusPath = Argv[++I];
     else {
-      std::fprintf(stderr, "usage: %s [--pairs N] [--width N]\n", Argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--pairs N] [--width N] [--witness-corpus F]\n",
+                   Argv[0]);
       return 1;
     }
+  }
+  std::vector<WitnessSeed> Seeds;
+  if (CorpusPath) {
+    std::optional<std::vector<WitnessSeed>> Loaded =
+        loadWitnessCorpus(CorpusPath);
+    if (!Loaded)
+      return 1;
+    Seeds = std::move(*Loaded);
+    if (!Seeds.empty())
+      std::printf("operand source: %zu mul witness pairs from %s (slid "
+                  "through the 64-bit lane)\n\n",
+                  Seeds.size(), CorpusPath);
   }
 
   //===--------------------------------------------------------------------===//
@@ -105,13 +206,12 @@ int main(int Argc, char **Argv) {
               "random 64-bit pairs)\n\n",
               static_cast<unsigned long long>(Pairs));
   {
-    Xoshiro256 Rng(4242);
+    PairSource Source(Seeds, 4242);
     double SumKern = 0;
     double SumBitwise = 0;
     double SumOur = 0;
     for (uint64_t I = 0; I != Pairs; ++I) {
-      Tnum P = randomWellFormedTnum(Rng, 64);
-      Tnum Q = randomWellFormedTnum(Rng, 64);
+      auto [P, Q] = Source.next();
       SumKern += static_cast<double>(countAddsKern(P, Q));
       SumBitwise += static_cast<double>(countAddsBitwiseOpt(P, Q, 64));
       SumOur += static_cast<double>(countAddsOur(P, Q));
@@ -158,11 +258,10 @@ int main(int Argc, char **Argv) {
 
     // The naive algorithm is ~10x slower; cap its sample count so the
     // ablation stays quick while the others see the full pair budget.
-    Xoshiro256 Rng(777);
+    PairSource Source(Seeds, 777);
     uint64_t Sink = 0;
     for (uint64_t I = 0; I != Pairs; ++I) {
-      Tnum P = randomWellFormedTnum(Rng, 64);
-      Tnum Q = randomWellFormedTnum(Rng, 64);
+      auto [P, Q] = Source.next();
       for (Step &S : Steps) {
         if (S.Fn == NaiveFn && I >= Pairs / 10)
           continue;

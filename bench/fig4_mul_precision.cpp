@@ -24,10 +24,12 @@
 ///   --csv       also dump the CDF points as CSV rows
 ///   --jobs N    worker threads (default: hardware concurrency)
 ///
-/// The pair walk is one cell of a checkpointed campaign
-/// (verify/Campaign.h): counters and CDF buckets are order-independent
-/// multiset reductions, serialized per shard, so the merged figure is
-/// identical for every job count, shard split, or resume.
+/// The pair walk is one cell of a checkpointed property campaign
+/// (verify/Campaign.h): the Figure 4 driver plugs into
+/// runPropertyCampaign, its counters and CDF buckets are
+/// order-independent multiset reductions serialized per shard under the
+/// versioned payload header, so the merged figure is identical for every
+/// job count, shard split, or resume.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -127,6 +129,111 @@ bool parseShard(const std::string &Payload, uint64_t &Total,
   return SawTotal && SawCmp[0] && SawCmp[1];
 }
 
+/// The Figure 4 property driver: the one width cell's pair walk, both
+/// baseline-vs-our_mul comparisons accumulated per shard and folded as
+/// order-independent sums / histogram multisets on merge.
+class Fig4Driver final : public PropertyDriver {
+  const unsigned Width;
+  const uint64_t NumTnums;
+  const SweepConfig &Config;
+  Comparison (&Comparisons)[2];
+  uint64_t &TotalPairs;
+  uint64_t (&EqualBoth)[2];
+  std::vector<Tnum> Universe; // Built lazily: resumed runs may not need it.
+
+public:
+  Fig4Driver(unsigned Width, const SweepConfig &Config,
+             Comparison (&Comparisons)[2], uint64_t &TotalPairs,
+             uint64_t (&EqualBoth)[2])
+      : Width(Width), NumTnums(numWellFormedTnums(Width)), Config(Config),
+        Comparisons(Comparisons), TotalPairs(TotalPairs),
+        EqualBoth(EqualBoth) {}
+
+  const char *name() const override { return "fig4-precision"; }
+  unsigned payloadVersion() const override { return 1; }
+
+  void runShard(size_t, uint64_t Begin, uint64_t End, std::string &Payload,
+                bool &) override {
+    // Resolve the universe BEFORE the parallel walk: the lazy build
+    // must not race between pool workers.
+    if (Universe.empty())
+      Universe = allWellFormedTnums(Width);
+    const std::vector<Tnum> &U = Universe;
+    uint64_t ShardTotal = 0;
+    CmpCounters Shard[2];
+    std::mutex Merge;
+    forEachIndexRangeParallel(
+        Begin, End, Config, [&](uint64_t ChunkBegin, uint64_t ChunkEnd) {
+          // Range-local accumulators; the CDF buckets merge as a
+          // histogram (a multiset is order-independent, so the CDF is
+          // deterministic).
+          uint64_t LTotal = 0;
+          CmpCounters Local[2];
+          for (uint64_t Index = ChunkBegin; Index != ChunkEnd; ++Index) {
+            const Tnum &P = U[Index / NumTnums];
+            const Tnum &Q = U[Index % NumTnums];
+            ++LTotal;
+            Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
+            for (size_t CI = 0; CI != 2; ++CI) {
+              Tnum RBase = tnumMul(P, Q, Comparisons[CI].Baseline, Width);
+              if (RBase == ROur) {
+                ++Local[CI].Equal;
+                continue;
+              }
+              ++Local[CI].Differing;
+              if (!RBase.isComparableTo(ROur))
+                continue;
+              ++Local[CI].Comparable;
+              // Comparable differing tnums differ exactly in
+              // unknown-trit count, so the log2 set-size ratio is the
+              // trit-count difference.
+              int64_t Log2Ratio =
+                  static_cast<int64_t>(RBase.concretizationSizeLog2()) -
+                  static_cast<int64_t>(ROur.concretizationSizeLog2());
+              ++Local[CI].Buckets[Log2Ratio];
+              if (Log2Ratio > 0)
+                ++Local[CI].OurMorePrecise;
+              else
+                ++Local[CI].BaselineMorePrecise;
+            }
+          }
+          std::lock_guard<std::mutex> Lock(Merge);
+          ShardTotal += LTotal;
+          for (size_t CI = 0; CI != 2; ++CI) {
+            Shard[CI].Equal += Local[CI].Equal;
+            Shard[CI].Differing += Local[CI].Differing;
+            Shard[CI].Comparable += Local[CI].Comparable;
+            Shard[CI].OurMorePrecise += Local[CI].OurMorePrecise;
+            Shard[CI].BaselineMorePrecise += Local[CI].BaselineMorePrecise;
+            for (const auto &[Bucket, Count] : Local[CI].Buckets)
+              Shard[CI].Buckets[Bucket] += Count;
+          }
+        });
+    Payload = serializeShard(ShardTotal, Shard);
+  }
+
+  bool mergeShard(size_t, uint64_t, uint64_t, const std::string &Payload,
+                  std::string &Error) override {
+    uint64_t ShardTotal = 0;
+    CmpCounters Shard[2];
+    if (!parseShard(Payload, ShardTotal, Shard)) {
+      Error = "malformed Figure 4 shard payload";
+      return false;
+    }
+    TotalPairs += ShardTotal;
+    for (size_t CI = 0; CI != 2; ++CI) {
+      EqualBoth[CI] += Shard[CI].Equal;
+      Comparisons[CI].Differing += Shard[CI].Differing;
+      Comparisons[CI].Comparable += Shard[CI].Comparable;
+      Comparisons[CI].OurMorePrecise += Shard[CI].OurMorePrecise;
+      Comparisons[CI].BaselineMorePrecise += Shard[CI].BaselineMorePrecise;
+      for (const auto &[Bucket, Count] : Shard[CI].Buckets)
+        Comparisons[CI].RatioCdf.addCount(Bucket, Count);
+    }
+    return true;
+  }
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -167,12 +274,6 @@ int main(int Argc, char **Argv) {
   SweepConfig Config;
   Config.NumThreads = Jobs;
   const uint64_t NumTnums = numWellFormedTnums(Width);
-  std::vector<Tnum> Universe; // Built lazily: resumed runs may not need it.
-  auto universe = [&]() -> const std::vector<Tnum> & {
-    if (Universe.empty())
-      Universe = allWellFormedTnums(Width);
-    return Universe;
-  };
 
   Fnv1a Hash;
   Hash.mixString("tnums-fig4 v2");
@@ -191,87 +292,10 @@ int main(int Argc, char **Argv) {
 
   uint64_t TotalPairs = 0;
   uint64_t EqualBoth[2] = {0, 0};
-  ShardDriveResult Drive = driveCampaignShards(
-      {NumTnums * NumTnums}, {CellHash.digest()}, Hash.digest(), IO,
-      [&](size_t, uint64_t Begin, uint64_t End, ShardRecord &Out) {
-        // Resolve the universe BEFORE the parallel walk: the lazy build
-        // must not race between pool workers.
-        const std::vector<Tnum> &U = universe();
-        uint64_t ShardTotal = 0;
-        CmpCounters Shard[2];
-        std::mutex Merge;
-        forEachIndexRangeParallel(
-            Begin, End, Config, [&](uint64_t ChunkBegin, uint64_t ChunkEnd) {
-              // Range-local accumulators; the CDF buckets merge as a
-              // histogram (a multiset is order-independent, so the CDF is
-              // deterministic).
-              uint64_t LTotal = 0;
-              CmpCounters Local[2];
-              for (uint64_t Index = ChunkBegin; Index != ChunkEnd; ++Index) {
-                const Tnum &P = U[Index / NumTnums];
-                const Tnum &Q = U[Index % NumTnums];
-                ++LTotal;
-                Tnum ROur = tnumMul(P, Q, MulAlgorithm::Our, Width);
-                for (size_t CI = 0; CI != 2; ++CI) {
-                  Tnum RBase =
-                      tnumMul(P, Q, Comparisons[CI].Baseline, Width);
-                  if (RBase == ROur) {
-                    ++Local[CI].Equal;
-                    continue;
-                  }
-                  ++Local[CI].Differing;
-                  if (!RBase.isComparableTo(ROur))
-                    continue;
-                  ++Local[CI].Comparable;
-                  // Comparable differing tnums differ exactly in
-                  // unknown-trit count, so the log2 set-size ratio is the
-                  // trit-count difference.
-                  int64_t Log2Ratio =
-                      static_cast<int64_t>(RBase.concretizationSizeLog2()) -
-                      static_cast<int64_t>(ROur.concretizationSizeLog2());
-                  ++Local[CI].Buckets[Log2Ratio];
-                  if (Log2Ratio > 0)
-                    ++Local[CI].OurMorePrecise;
-                  else
-                    ++Local[CI].BaselineMorePrecise;
-                }
-              }
-              std::lock_guard<std::mutex> Lock(Merge);
-              ShardTotal += LTotal;
-              for (size_t CI = 0; CI != 2; ++CI) {
-                Shard[CI].Equal += Local[CI].Equal;
-                Shard[CI].Differing += Local[CI].Differing;
-                Shard[CI].Comparable += Local[CI].Comparable;
-                Shard[CI].OurMorePrecise += Local[CI].OurMorePrecise;
-                Shard[CI].BaselineMorePrecise +=
-                    Local[CI].BaselineMorePrecise;
-                for (const auto &[Bucket, Count] : Local[CI].Buckets)
-                  Shard[CI].Buckets[Bucket] += Count;
-              }
-            });
-        Out.Payload = serializeShard(ShardTotal, Shard);
-      },
-      [&](size_t, uint64_t, uint64_t, const ShardRecord &Record,
-          std::string &Error) {
-        uint64_t ShardTotal = 0;
-        CmpCounters Shard[2];
-        if (!parseShard(Record.Payload, ShardTotal, Shard)) {
-          Error = "malformed Figure 4 shard payload";
-          return false;
-        }
-        TotalPairs += ShardTotal;
-        for (size_t CI = 0; CI != 2; ++CI) {
-          EqualBoth[CI] += Shard[CI].Equal;
-          Comparisons[CI].Differing += Shard[CI].Differing;
-          Comparisons[CI].Comparable += Shard[CI].Comparable;
-          Comparisons[CI].OurMorePrecise += Shard[CI].OurMorePrecise;
-          Comparisons[CI].BaselineMorePrecise +=
-              Shard[CI].BaselineMorePrecise;
-          for (const auto &[Bucket, Count] : Shard[CI].Buckets)
-            Comparisons[CI].RatioCdf.addCount(Bucket, Count);
-        }
-        return true;
-      });
+  Fig4Driver Driver(Width, Config, Comparisons, TotalPairs, EqualBoth);
+  std::vector<PropertyCampaignCell> Cells = {
+      PropertyCampaignCell{NumTnums * NumTnums, CellHash.digest(), &Driver}};
+  ShardDriveResult Drive = runPropertyCampaign(Cells, Hash.digest(), IO);
   if (!Drive.ok()) {
     std::fprintf(stderr, "error: %s\n", Drive.Error.c_str());
     return 1;

@@ -68,12 +68,17 @@
 /// -- both A/Bs must report identically to the main run.
 /// --json FILE dumps the campaign figures of merit as BENCH_sweep.json
 /// for the CI perf gate (ci/compare_bench.py gate_sweep).
+/// --precision (opt-in) appends precision cells to the campaign -- the
+/// per-operator optimality-gap measurement of docs/ATLAS.md -- printed as
+/// section [7] and diffed by --diff-baseline as "precision deltas";
+/// measurements never affect the exit code.
 ///
 /// Usage: soundness_verification [--width N] [--mul-width N]
 ///                               [--random-pairs N] [--jobs N]
 ///                               [--simd=MODE] [--compare-serial]
 ///                               [--optimality={first,full}]
-///                               [--compare-optimality] [--json FILE]
+///                               [--compare-optimality] [--precision]
+///                               [--json FILE]
 ///                               [--diff-baseline D] [--flip-mul ALGO]
 ///                               [--checkpoint-dir D] [--resume]
 ///                               [--shards K] [--shard-index I]
@@ -142,6 +147,7 @@ int main(int Argc, char **Argv) {
   bool CompareSerial = false;
   bool CompareOptimality = false;
   bool NoTiming = false;
+  bool Precision = false;
   const char *SimdText = nullptr;
   const char *OptimalityText = nullptr;
   const char *DiffBaselineDir = nullptr;
@@ -178,6 +184,12 @@ int main(int Argc, char **Argv) {
       continue;
     if (Args.matchFlag("--compare-serial")) {
       CompareSerial = true;
+      continue;
+    }
+    // Opt-in so the default campaign spec (and CI's exact cell-count
+    // greps over the incremental smoke leg) keeps its historical shape.
+    if (Args.matchFlag("--precision")) {
+      Precision = true;
       continue;
     }
     if (Args.matchFlag("--compare-optimality")) {
@@ -236,7 +248,7 @@ int main(int Argc, char **Argv) {
         "usage: %s [--width 1..16] [--mul-width 1..16] [--random-pairs N] "
         "[--jobs 0..1024] [--simd=%s] [--compare-serial] "
         "[--optimality={first,full}] [--compare-optimality] [--no-timing] "
-        "[--json FILE] [--diff-baseline D] [--flip-mul ALGO] "
+        "[--precision] [--json FILE] [--diff-baseline D] [--flip-mul ALGO] "
         "%s\n",
         Argv[0], SimdModeUsage, CampaignArgsUsage);
     return 1;
@@ -297,13 +309,35 @@ int main(int Argc, char **Argv) {
           {BinaryOp::Mul, Algorithm, W, CampaignProperty::Monotonicity});
     }
 
+  // Section 7 (opt-in --precision): optimality-gap measurement of every
+  // operator at --width plus every mul algorithm at --mul-width. These
+  // are measurements, not verdicts: they never feed the exit code.
+  std::vector<size_t> Sec7;
+  if (Precision) {
+    for (BinaryOp Op : AllBinaryOps) {
+      if (isShiftOp(Op) && (Width & (Width - 1)) != 0)
+        continue;
+      if (Op == BinaryOp::Mul)
+        continue; // Measured per-algorithm at --mul-width below.
+      Sec7.push_back(Spec.Cells.size());
+      Spec.Cells.push_back(
+          {Op, MulAlgorithm::Our, Width, CampaignProperty::Precision});
+    }
+    for (MulAlgorithm Algorithm : AllMulAlgorithms) {
+      Sec7.push_back(Spec.Cells.size());
+      Spec.Cells.push_back({BinaryOp::Mul, Algorithm, MulWidth,
+                            CampaignProperty::Precision});
+    }
+  }
+
   if (FlipMul) {
     // Same semantics, different registered fingerprint: resuming against
     // a pre-flip checkpoint invalidates exactly this algorithm's
-    // soundness cells, and the merged report stays byte-identical.
+    // soundness (and, with --precision, precision) cells, and the merged
+    // report stays byte-identical.
     MulAlgorithm Algorithm = *FlipMul;
-    Spec.SoundnessOverride = [Algorithm](const Tnum &P, const Tnum &Q,
-                                         unsigned Width) {
+    Spec.OperatorOverride = [Algorithm](const Tnum &P, const Tnum &Q,
+                                        unsigned Width) {
       return applyAbstractBinary(BinaryOp::Mul, P, Q, Width, Algorithm);
     };
     Spec.OverrideTag =
@@ -381,6 +415,11 @@ int main(int Argc, char **Argv) {
                                               : "identical");
     }
     DiffTable.printAligned(stdout);
+    // Precision drift is a report change, not a verdict change: name the
+    // cells whose measured gap moved (CI greps "0 precision deltas" on an
+    // identical rerun).
+    if (Precision)
+      printPrecisionDeltas(Spec, Diff, Campaign, stdout);
   }
   std::printf("\n");
 
@@ -632,6 +671,40 @@ int main(int Argc, char **Argv) {
               "kern_mul non-monotone at width 5 and our_mul at width 6; "
               "bitwise_mul_opt, a plain composition of monotone operators, "
               "stays monotone. Soundness is unaffected.\n");
+
+  //===--------------------------------------------------------------------===//
+  if (Precision) {
+    std::printf("\n[7] precision atlas: measured optimality gap per operator "
+                "(ops at width %u, mul algorithms at width %u)\n\n",
+                Width, MulWidth);
+    // Measurement, not verdict: a nonzero gap is the paper's documented
+    // imprecision (div/mod/mul are conservatively imprecise), so this
+    // table never flips AllHold or the exit code.
+    TextTable PrecTable({"op", "width", "pairs", "optimal %", "mean gap",
+                         "max gap", "worst pair", "seconds"});
+    for (size_t Cell : Sec7) {
+      const CampaignCellResult &Row = Campaign.Cells[Cell];
+      const PrecisionReport &R = Row.Precision;
+      std::string Op = binaryOpName(Row.Cell.Op);
+      if (Row.Cell.Op == BinaryOp::Mul)
+        Op += formatString("[%s]", mulAlgorithmName(Row.Cell.Mul));
+      PrecTable.addRowOf(
+          Op, Row.Cell.Width, R.PairsChecked,
+          formatString("%.3f%%",
+                       R.PairsChecked
+                           ? 100.0 * static_cast<double>(R.optimalPairs()) /
+                                 static_cast<double>(R.PairsChecked)
+                           : 0.0),
+          formatString("%.4f", R.meanGap()), R.MaxGap,
+          R.Worst ? R.Worst->toString(Row.Cell.Width) : std::string("-"),
+          NoTiming ? std::string("-")
+                   : formatString("%.3f", Row.Seconds));
+    }
+    PrecTable.printAligned(stdout);
+    std::printf("paper: add/sub/bitwise are optimal (gap 0 everywhere); "
+                "div/mod and every mul algorithm trade precision for "
+                "speed -- the gap histogram quantifies by how much.\n");
+  }
 
   //===--------------------------------------------------------------------===//
   // BENCH_sweep.json: the campaign figures of merit for the CI perf gate.

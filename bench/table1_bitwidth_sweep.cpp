@@ -19,10 +19,12 @@
 ///                              [--shard-pairs N]
 ///
 ///   Widths default to 5..8 exhaustively (9^N pairs). Each width is one
-///   cell of a checkpointed campaign (verify/Campaign.h): its pair walk
-///   shards like the verification sweeps, every shard's six counters are
-///   checkpointed, and the merge is an order-independent sum -- so the
-///   table is identical for every job count, shard split, or resume.
+///   cell of a checkpointed property campaign (verify/Campaign.h): the
+///   Table I driver plugs into runPropertyCampaign, its pair walk shards
+///   like the verification sweeps, every shard's six counters are
+///   checkpointed under the versioned payload header, and the merge is
+///   an order-independent sum -- so the table is identical for every job
+///   count, shard split, or resume.
 ///   Width 9-10 match the paper's full table; with --checkpoint-dir a
 ///   preempted width-10 run resumes instead of restarting.
 ///
@@ -110,6 +112,53 @@ bool parseRow(const std::string &Payload, Row &R) {
                      &R.KernWins, &R.OurWins) == 6;
 }
 
+/// The Table I property driver: one width per cell, one Row of six
+/// order-independent counters per shard, summed on merge. Universes
+/// build lazily, so a resumed invocation whose widths are all
+/// checkpointed never enumerates them.
+class Table1Driver final : public PropertyDriver {
+  const unsigned MinWidth;
+  const SweepConfig &Config;
+  std::vector<Row> &Rows;
+  std::vector<std::vector<Tnum>> Universes;
+
+public:
+  Table1Driver(unsigned MinWidth, unsigned NumWidths,
+               const SweepConfig &Config, std::vector<Row> &Rows)
+      : MinWidth(MinWidth), Config(Config), Rows(Rows),
+        Universes(NumWidths) {}
+
+  const char *name() const override { return "table1-row"; }
+  unsigned payloadVersion() const override { return 1; }
+
+  void runShard(size_t Cell, uint64_t Begin, uint64_t End,
+                std::string &Payload, bool &) override {
+    if (Universes[Cell].empty())
+      Universes[Cell] = allWellFormedTnums(MinWidth + Cell);
+    Row Shard;
+    scanRange(Universes[Cell], MinWidth + Cell, Begin, End, Config, Shard);
+    Payload = serializeRow(Shard);
+  }
+
+  bool mergeShard(size_t Cell, uint64_t, uint64_t,
+                  const std::string &Payload, std::string &Error) override {
+    Row Shard;
+    if (!parseRow(Payload, Shard)) {
+      Error = formatString("malformed Table I shard for width %zu",
+                           MinWidth + Cell);
+      return false;
+    }
+    Row &R = Rows[Cell];
+    R.Total += Shard.Total;
+    R.Equal += Shard.Equal;
+    R.Differ += Shard.Differ;
+    R.Comparable += Shard.Comparable;
+    R.KernWins += Shard.KernWins;
+    R.OurWins += Shard.OurWins;
+    return true;
+  }
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -143,20 +192,7 @@ int main(int Argc, char **Argv) {
   SweepConfig Config;
   Config.NumThreads = Jobs;
 
-  // One campaign cell per width. Universes build lazily: a resumed
-  // invocation whose widths are all checkpointed never enumerates them.
   const unsigned NumWidths = MaxWidth - MinWidth + 1;
-  std::vector<uint64_t> CellPairs;
-  for (unsigned Width = MinWidth; Width <= MaxWidth; ++Width) {
-    uint64_t NumTnums = numWellFormedTnums(Width);
-    CellPairs.push_back(NumTnums * NumTnums);
-  }
-  std::vector<std::vector<Tnum>> Universes(NumWidths);
-  auto universeFor = [&](size_t Cell) -> const std::vector<Tnum> & {
-    if (Universes[Cell].empty())
-      Universes[Cell] = allWellFormedTnums(MinWidth + Cell);
-    return Universes[Cell];
-  };
 
   Fnv1a Hash;
   Hash.mixString("tnums-table1 v2");
@@ -164,46 +200,27 @@ int main(int Argc, char **Argv) {
   Hash.mixU64(MaxWidth);
   Hash.mixU64(IO.ShardPairs);
 
-  // Per-cell content fingerprints: each width cell compares kern_mul
-  // against our_mul, so bumping either algorithm's version tag
+  // One campaign cell per width, all driven by the Table I property
+  // driver. Per-cell content fingerprints: each width cell compares
+  // kern_mul against our_mul, so bumping either algorithm's version tag
   // invalidates (and re-runs) exactly the checkpointed width cells on
-  // resume, like the verification campaigns.
-  std::vector<uint64_t> CellFingerprints;
+  // resume, like the verification campaigns. The registry layer extends
+  // them with the driver's name and payload version.
+  std::vector<Row> Rows(NumWidths);
+  Table1Driver Driver(MinWidth, NumWidths, Config, Rows);
+  std::vector<PropertyCampaignCell> Cells;
   for (unsigned Width = MinWidth; Width <= MaxWidth; ++Width) {
     Fnv1a CellHash;
     CellHash.mixString("tnums-table1-cell v2");
     CellHash.mixU64(Width);
     CellHash.mixU64(opFingerprint(BinaryOp::Mul, MulAlgorithm::Kern));
     CellHash.mixU64(opFingerprint(BinaryOp::Mul, MulAlgorithm::Our));
-    CellFingerprints.push_back(CellHash.digest());
+    uint64_t NumTnums = numWellFormedTnums(Width);
+    Cells.push_back(PropertyCampaignCell{NumTnums * NumTnums,
+                                         CellHash.digest(), &Driver});
   }
 
-  std::vector<Row> Rows(NumWidths);
-  ShardDriveResult Drive = driveCampaignShards(
-      CellPairs, CellFingerprints, Hash.digest(), IO,
-      [&](size_t Cell, uint64_t Begin, uint64_t End, ShardRecord &Out) {
-        Row Shard;
-        scanRange(universeFor(Cell), MinWidth + Cell, Begin, End, Config,
-                  Shard);
-        Out.Payload = serializeRow(Shard);
-      },
-      [&](size_t Cell, uint64_t, uint64_t, const ShardRecord &Record,
-          std::string &Error) {
-        Row Shard;
-        if (!parseRow(Record.Payload, Shard)) {
-          Error = formatString("malformed Table I shard for width %zu",
-                               MinWidth + Cell);
-          return false;
-        }
-        Row &R = Rows[Cell];
-        R.Total += Shard.Total;
-        R.Equal += Shard.Equal;
-        R.Differ += Shard.Differ;
-        R.Comparable += Shard.Comparable;
-        R.KernWins += Shard.KernWins;
-        R.OurWins += Shard.OurWins;
-        return true;
-      });
+  ShardDriveResult Drive = runPropertyCampaign(Cells, Hash.digest(), IO);
   if (!Drive.ok()) {
     std::fprintf(stderr, "error: %s\n", Drive.Error.c_str());
     return 1;

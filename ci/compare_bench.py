@@ -45,12 +45,21 @@ Supported "bench" values:
    seeded exact counts that must match the baseline bit for bit; the
    campaign-wide Mevals/s gets the generous throughput floor. The
    resolved simd kernel tier is machine-dependent and only reported.
+ * ``precision_atlas`` (bench/precision_atlas --json): the gap figures
+   are exhaustive deterministic measurements, so every per-cell field
+   (pairs, sum_gap, max_gap, gap_cdf, witness) and every unary cast row
+   must match the baseline bit for bit on any machine and any SIMD tier;
+   campaign pairs/s gets the generous throughput floor.
+ * ``gbench_ops`` (bench/gbench_ops --json): the benchmark roster must
+   match the baseline exactly; each benchmark's ns/op gets a generous
+   ceiling of baseline divided by the throughput ratio.
 
 Trend mode (``--trend``): instead of one current-vs-baseline gate, pass
 the SAME bench's JSON from consecutive CI runs in chronological order
 (oldest first, the current run last). The gate tracks each bench's
 primary metric (verifier jobs=1 programs/s, daemon verdicts/s,
-interpreter best speedup, sweep Mevals/s, mul_cycles speedup) and fails
+interpreter best speedup, sweep Mevals/s, mul_cycles speedup, atlas
+pairs/s, gbench_ops our_mul ops/s) and fails
 only on a sustained slide: ``--trend-window`` (default 3) consecutive
 run-over-run drops whose cumulative loss exceeds ``--trend-tolerance``
 (default 5%). One noisy runner cannot trip it; a slow leak across a
@@ -419,12 +428,117 @@ def gate_sweep(current, baseline, args):
     return failures
 
 
+def gate_atlas(current, baseline, args):
+    failures = []
+    if not check_workload(
+        current,
+        baseline,
+        ("bench", "width", "shift_width", "cast_width"),
+        failures,
+    ):
+        return failures
+
+    # Machine-independent semantics: the atlas is an exhaustive scan of a
+    # fixed grid, so every measured gap figure -- per cell and per unary
+    # cast row -- is exact on any machine, scheduler, and SIMD tier (the
+    # campaign determinism contract). A mismatch means a transfer
+    # function's precision actually changed; refresh the baseline only if
+    # that change was intentional.
+    def cell_key(cell):
+        return (cell.get("op"), cell.get("algorithm"), cell.get("width"))
+
+    def by_cell(data, section):
+        return {cell_key(c): c for c in data.get(section, [])}
+
+    for section, key_of, exact in (
+        ("cells", cell_key,
+         ("pairs", "sum_gap", "max_gap", "gap_cdf", "witness")),
+        ("cast", lambda c: (c.get("op"), c.get("param")),
+         ("width", "tnums", "sum_gap", "max_gap")),
+    ):
+        current_rows = {key_of(c): c for c in current.get(section, [])}
+        baseline_rows = {key_of(c): c for c in baseline.get(section, [])}
+        if set(current_rows) != set(baseline_rows):
+            failures.append(
+                f"{section} roster changed: current {sorted(current_rows)} "
+                f"!= baseline {sorted(baseline_rows)}"
+            )
+            continue
+        for key, base_row in baseline_rows.items():
+            for field in exact:
+                if current_rows[key].get(field) != base_row.get(field):
+                    failures.append(
+                        f"{section}{key}.{field}: current "
+                        f"{current_rows[key].get(field)!r} != baseline "
+                        f"{base_row.get(field)!r}"
+                    )
+    if current.get("campaign_pairs") != baseline.get("campaign_pairs"):
+        failures.append(
+            f"campaign_pairs: current {current.get('campaign_pairs')!r} != "
+            f"baseline {baseline.get('campaign_pairs')!r}"
+        )
+
+    # Machine-dependent throughput: generous floor on the campaign rate.
+    floor = args.min_throughput_ratio
+    current_rate = current.get("campaign_pairs_per_s", 0.0)
+    baseline_rate = baseline.get("campaign_pairs_per_s", 0.0)
+    if baseline_rate and floor > 0:
+        ratio = current_rate / baseline_rate
+        print(
+            f"bench gate: atlas throughput {current_rate:.0f} pairs/s vs "
+            f"baseline {baseline_rate:.0f} ({ratio:.2f}x, floor {floor})"
+        )
+        if ratio < floor:
+            failures.append(
+                f"atlas throughput regressed to {ratio:.2f}x of baseline "
+                f"(floor {floor})"
+            )
+    return failures
+
+
+def gate_gbops(current, baseline, args):
+    failures = []
+    if not check_workload(current, baseline, ("bench",), failures):
+        return failures
+
+    def by_name(data):
+        return {b.get("name"): b for b in data.get("benchmarks", [])}
+
+    current_benches = by_name(current)
+    baseline_benches = by_name(baseline)
+    if set(current_benches) != set(baseline_benches):
+        failures.append(
+            f"benchmark roster changed: current {sorted(current_benches)} "
+            f"!= baseline {sorted(baseline_benches)}"
+        )
+        return failures
+
+    # Absolute wall-clock numbers, so everything perf is behind the
+    # generous ratio (and skipped on debug/sanitizer legs).
+    if args.min_throughput_ratio <= 0:
+        return failures
+    for name, base_bench in sorted(baseline_benches.items()):
+        base_ns = base_bench.get("ns_per_op", 0.0)
+        cur_ns = current_benches[name].get("ns_per_op", 0.0)
+        if not base_ns:
+            continue
+        ceiling = base_ns / args.min_throughput_ratio
+        if not isinstance(cur_ns, (int, float)) or cur_ns > ceiling:
+            failures.append(
+                f"{name} ns/op {cur_ns!r} exceeded ceiling {ceiling:.1f} "
+                f"(baseline {base_ns:.1f} / {args.min_throughput_ratio})"
+            )
+    return failures
+
+
 GATES = {
     "verifier_throughput": gate_verifier,
     "daemon_throughput": gate_daemon,
     "interpreter_throughput": gate_interp,
     "mul_cycles": gate_cycles,
     "sweep_campaign": gate_sweep,
+    "precision_atlas": gate_atlas,
+    "gbench_ops": gate_gbops,
 }
 
 # Every top-level key each gate reads. Anything else in either file is
@@ -459,6 +573,14 @@ KNOWN_KEYS = {
         "all_hold", "campaign_evals", "campaign_seconds",
         "campaign_mevals_per_s", "algorithms",
     },
+    "precision_atlas": {
+        "bench", "width", "shift_width", "cast_width", "jobs", "simd",
+        "campaign_pairs", "campaign_seconds", "campaign_pairs_per_s",
+        "cells", "cast",
+    },
+    "gbench_ops": {
+        "bench", "benchmarks",
+    },
 }
 
 
@@ -468,6 +590,17 @@ def _verifier_primary(data):
     for point in data.get("scaling", []):
         if point.get("jobs") == 1:
             return point.get("programs_per_s")
+    return None
+
+
+def _gbops_primary(data):
+    # ns/op is smaller-is-better; track the reciprocal rate of the
+    # headline microbenchmark so the slide detector's direction holds.
+    for bench in data.get("benchmarks", []):
+        if bench.get("name") == "mul/our_mul":
+            ns = bench.get("ns_per_op")
+            if isinstance(ns, (int, float)) and ns > 0:
+                return 1e9 / ns
     return None
 
 
@@ -482,6 +615,9 @@ PRIMARY_METRIC = {
         lambda d: d.get("speedup_our_vs_kern")),
     "sweep_campaign": (
         "campaign Mevals/s", lambda d: d.get("campaign_mevals_per_s")),
+    "precision_atlas": (
+        "campaign pairs/s", lambda d: d.get("campaign_pairs_per_s")),
+    "gbench_ops": ("our_mul ops/s", _gbops_primary),
 }
 
 

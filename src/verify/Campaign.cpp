@@ -8,6 +8,7 @@
 #include "verify/Campaign.h"
 
 #include "support/ArgParse.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/Trace.h"
 #include "tnum/TnumEnum.h"
@@ -35,8 +36,24 @@ const char *tnums::campaignPropertyName(CampaignProperty Property) {
     return "optimality";
   case CampaignProperty::Monotonicity:
     return "monotonicity";
+  case CampaignProperty::Precision:
+    return "precision";
   }
   return "?";
+}
+
+unsigned tnums::campaignPropertyPayloadVersion(CampaignProperty Property) {
+  // Bump a property's version whenever its serialize*/parse* pair below
+  // changes format; the fingerprint mix then invalidates stored shards
+  // of that property and nothing else.
+  switch (Property) {
+  case CampaignProperty::Soundness:
+  case CampaignProperty::Optimality:
+  case CampaignProperty::Monotonicity:
+  case CampaignProperty::Precision:
+    return 1;
+  }
+  return 0;
 }
 
 void CampaignSpec::addGrid(BinaryOp Op, MulAlgorithm Mul,
@@ -48,7 +65,12 @@ void CampaignSpec::addGrid(BinaryOp Op, MulAlgorithm Mul,
 }
 
 bool CampaignSpec::overrideApplies(const CampaignCell &Cell) const {
-  if (!SoundnessOverride || Cell.Property != CampaignProperty::Soundness)
+  // The override stands in for the transfer function wherever the cell
+  // EXECUTES it per pair: soundness verification and precision
+  // measurement. Optimality/monotonicity cells always check the real
+  // operator (their semantics are defined against applyAbstractBinary).
+  if (!OperatorOverride || (Cell.Property != CampaignProperty::Soundness &&
+                            Cell.Property != CampaignProperty::Precision))
     return false;
   if (OverrideOp && Cell.Op != *OverrideOp)
     return false;
@@ -65,6 +87,11 @@ bool CampaignCellResult::holds() const {
     return Optimality.isOptimalEverywhere();
   case CampaignProperty::Monotonicity:
     return Monotonicity.holds();
+  case CampaignProperty::Precision:
+    // "Measured optimal everywhere" -- informational for a measurement
+    // property (front ends report precision cells, they do not fail on
+    // them), but exactly what diff-baseline verdict flips should track.
+    return Precision.MaxGap == 0;
   }
   return false;
 }
@@ -133,10 +160,16 @@ uint64_t tnums::campaignFingerprint(const CampaignSpec &Spec,
   return Hash.digest();
 }
 
-uint64_t tnums::campaignCellFingerprint(const CampaignSpec &Spec,
-                                        const CampaignCell &Cell) {
+namespace {
+
+/// The implementation-content half of a built-in cell's fingerprint: the
+/// coordinates plus the version of the transfer function under test.
+/// propertyCellFingerprint extends it with the property name and payload
+/// version to form what shard files actually store.
+uint64_t cellContentFingerprint(const CampaignSpec &Spec,
+                                const CampaignCell &Cell) {
   Fnv1a Hash;
-  Hash.mixString("tnums-campaign-cell v2");
+  Hash.mixString("tnums-campaign-cell v3");
   Hash.mixU64(static_cast<uint64_t>(Cell.Op));
   Hash.mixU64(static_cast<uint64_t>(Cell.Mul));
   Hash.mixU64(Cell.Width);
@@ -150,6 +183,27 @@ uint64_t tnums::campaignCellFingerprint(const CampaignSpec &Spec,
     Hash.mixU64(opFingerprint(Cell.Op, Cell.Mul));
   }
   return Hash.digest();
+}
+
+} // namespace
+
+uint64_t tnums::propertyCellFingerprint(uint64_t ContentFingerprint,
+                                        const char *PropertyName,
+                                        unsigned PayloadVersion) {
+  Fnv1a Hash;
+  Hash.mixString("tnums-property-cell v1");
+  Hash.mixU64(ContentFingerprint);
+  Hash.mixString(PropertyName);
+  Hash.mixU64(PayloadVersion);
+  return Hash.digest();
+}
+
+uint64_t tnums::campaignCellFingerprint(const CampaignSpec &Spec,
+                                        const CampaignCell &Cell) {
+  return propertyCellFingerprint(
+      cellContentFingerprint(Spec, Cell),
+      campaignPropertyName(Cell.Property),
+      campaignPropertyPayloadVersion(Cell.Property));
 }
 
 //===----------------------------------------------------------------------===//
@@ -473,6 +527,38 @@ std::string hexTnum(const Tnum &T) {
   return formatString("%016" PRIx64 " %016" PRIx64, T.value(), T.mask());
 }
 
+/// The engine-stamped first line of every property payload, naming the
+/// driver and its payload-format version. The header travels with the
+/// shard so a store can be refused BY CONTENT, independently of the
+/// fingerprint-level invalidation a version bump triggers.
+std::string payloadHeaderLine(const char *Name, unsigned Version) {
+  return formatString("payload %s %u\n", Name, Version);
+}
+
+/// Verifies and strips \p Payload's header line, leaving the body the
+/// driver's mergeShard parses. A mismatch is the migration refusal: the
+/// stored bytes were written by a different property or payload version
+/// and must not be merged.
+bool stripPayloadHeader(const std::string &Payload, const char *Name,
+                        unsigned Version, size_t CellIndex, std::string &Body,
+                        std::string &Error) {
+  const size_t Eol = Payload.find('\n');
+  const std::string Header =
+      Eol == std::string::npos ? Payload : Payload.substr(0, Eol);
+  const std::string Expected = formatString("payload %s %u", Name, Version);
+  if (Header != Expected) {
+    Error = formatString(
+        "cell %zu shard payload declares format \"%s\" but this binary "
+        "expects \"%s\"; the store was written by an incompatible payload "
+        "version -- re-run the campaign against a fresh checkpoint "
+        "directory to migrate it",
+        CellIndex, Header.c_str(), Expected.c_str());
+    return false;
+  }
+  Body = Eol == std::string::npos ? std::string() : Payload.substr(Eol + 1);
+  return true;
+}
+
 /// Fields shared by every property payload.
 struct PayloadReader {
   std::map<std::string, std::string> Fields;
@@ -630,18 +716,66 @@ bool parseMonotonicityShard(const std::string &Payload,
   return true;
 }
 
-/// Parses \p Record's payload and folds it into \p Cell according to the
-/// cell's property -- the one merge used by both runCampaign and the
-/// baseline loader, so a --diff-baseline merge can never drift from the
-/// live one. False (with \p Error set) on a malformed payload.
+std::string serializePrecisionShard(const PrecisionReport &Report,
+                                    double Seconds) {
+  std::string Payload = formatString(
+      "pairs %" PRIu64 "\nsumgap %" PRIu64 "\nmaxgap %u\nseconds %.9g\n",
+      Report.PairsChecked, Report.SumGap, Report.MaxGap, Seconds);
+  // Sparse histogram, one DISTINCT key per nonzero bucket: PayloadReader
+  // keeps only the first occurrence of a duplicate key, so the buckets
+  // cannot share one.
+  for (unsigned G = 0; G != PrecisionGapBuckets; ++G)
+    if (Report.Buckets[G])
+      Payload += formatString("hist%u %" PRIu64 "\n", G, Report.Buckets[G]);
+  if (Report.Worst) {
+    const PrecisionWitness &W = *Report.Worst;
+    Payload += formatString("witness %s %s %s %s\n", hexTnum(W.P).c_str(),
+                            hexTnum(W.Q).c_str(), hexTnum(W.Actual).c_str(),
+                            hexTnum(W.Optimal).c_str());
+  }
+  return Payload;
+}
+
+bool parsePrecisionShard(const std::string &Payload, PrecisionReport &Out,
+                         double &Seconds) {
+  PayloadReader Reader(Payload);
+  uint64_t MaxGap = 0;
+  if (!Reader.u64("pairs", Out.PairsChecked) ||
+      !Reader.u64("sumgap", Out.SumGap) || !Reader.u64("maxgap", MaxGap) ||
+      MaxGap >= PrecisionGapBuckets || !Reader.seconds(Seconds))
+    return false;
+  Out.MaxGap = static_cast<unsigned>(MaxGap);
+  for (unsigned G = 0; G != PrecisionGapBuckets; ++G) {
+    uint64_t Count = 0;
+    if (Reader.u64(formatString("hist%u", G).c_str(), Count))
+      Out.Buckets[G] = Count;
+  }
+  // The witness, when present, is the shard's worst pair: its gap IS
+  // maxgap, so the value is not serialized separately.
+  if (Reader.has("witness")) {
+    uint64_t W[8];
+    if (!Reader.hexWords("witness", W, 8))
+      return false;
+    Out.Worst = PrecisionWitness{Tnum(W[0], W[1]), Tnum(W[2], W[3]),
+                                 Tnum(W[4], W[5]), Tnum(W[6], W[7]),
+                                 Out.MaxGap};
+  }
+  return true;
+}
+
+/// Parses one shard payload BODY (header already stripped) and folds it
+/// into \p Cell according to the cell's property -- the one merge used
+/// by both the built-in drivers and the baseline loader, so a
+/// --diff-baseline merge can never drift from the live one. False (with
+/// \p Error set) on a malformed payload.
 bool mergePropertyShard(CampaignCellResult &Cell, size_t CellIndex,
-                        const ShardRecord &Record, std::string &Error) {
+                        const std::string &Payload, std::string &Error) {
   double Seconds = 0;
   bool Ok = false;
   switch (Cell.Cell.Property) {
   case CampaignProperty::Soundness: {
     SoundnessReport Shard;
-    Ok = parseSoundnessShard(Record.Payload, Shard, Seconds);
+    Ok = parseSoundnessShard(Payload, Shard, Seconds);
     if (Ok) {
       Cell.Soundness.PairsChecked += Shard.PairsChecked;
       Cell.Soundness.ConcreteChecked += Shard.ConcreteChecked;
@@ -652,7 +786,7 @@ bool mergePropertyShard(CampaignCellResult &Cell, size_t CellIndex,
   }
   case CampaignProperty::Optimality: {
     OptimalityReport Shard;
-    Ok = parseOptimalityShard(Record.Payload, Shard, Seconds);
+    Ok = parseOptimalityShard(Payload, Shard, Seconds);
     if (Ok) {
       Cell.Optimality.PairsChecked += Shard.PairsChecked;
       Cell.Optimality.OptimalPairs += Shard.OptimalPairs;
@@ -663,11 +797,29 @@ bool mergePropertyShard(CampaignCellResult &Cell, size_t CellIndex,
   }
   case CampaignProperty::Monotonicity: {
     MonotonicityReport Shard;
-    Ok = parseMonotonicityShard(Record.Payload, Shard, Seconds);
+    Ok = parseMonotonicityShard(Payload, Shard, Seconds);
     if (Ok) {
       Cell.Monotonicity.QuadruplesChecked += Shard.QuadruplesChecked;
       if (Shard.Failure && !Cell.Monotonicity.Failure)
         Cell.Monotonicity.Failure = Shard.Failure;
+    }
+    break;
+  }
+  case CampaignProperty::Precision: {
+    PrecisionReport Shard;
+    Ok = parsePrecisionShard(Payload, Shard, Seconds);
+    if (Ok) {
+      Cell.Precision.PairsChecked += Shard.PairsChecked;
+      Cell.Precision.SumGap += Shard.SumGap;
+      for (unsigned G = 0; G != PrecisionGapBuckets; ++G)
+        Cell.Precision.Buckets[G] += Shard.Buckets[G];
+      // Strictly-greater replacement in manifest order keeps the
+      // earliest shard's witness on ties -- exactly the serial scan's
+      // first pair attaining the global maximum.
+      if (Shard.MaxGap > Cell.Precision.MaxGap) {
+        Cell.Precision.MaxGap = Shard.MaxGap;
+        Cell.Precision.Worst = Shard.Worst;
+      }
     }
     break;
   }
@@ -857,15 +1009,239 @@ std::vector<uint64_t> specCellFingerprints(const CampaignSpec &Spec) {
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// runCampaign
+// runPropertyCampaign -- the driver-registry layer over
+// driveCampaignShards: derives stored fingerprints from (content,
+// property name, payload version), stamps the payload header on every
+// shard a driver produces, and verifies + strips it before any driver
+// merges bytes back.
 //===----------------------------------------------------------------------===//
+
+ShardDriveResult tnums::runPropertyCampaign(
+    const std::vector<PropertyCampaignCell> &Cells, uint64_t Fingerprint,
+    const CampaignIO &IO, std::vector<bool> *CellComplete,
+    std::vector<CellShardCounts> *CellCounts) {
+  std::vector<uint64_t> CellPairs;
+  std::vector<uint64_t> CellFingerprints;
+  CellPairs.reserve(Cells.size());
+  CellFingerprints.reserve(Cells.size());
+  for (const PropertyCampaignCell &Cell : Cells) {
+    assert(Cell.Driver && "every property cell needs a driver");
+    CellPairs.push_back(Cell.TotalPairs);
+    CellFingerprints.push_back(
+        propertyCellFingerprint(Cell.ContentFingerprint, Cell.Driver->name(),
+                                Cell.Driver->payloadVersion()));
+  }
+  RunShardFn Run = [&](size_t Cell, uint64_t Begin, uint64_t End,
+                       ShardRecord &Out) {
+    PropertyDriver &Driver = *Cells[Cell].Driver;
+    std::string Body;
+    bool Terminal = false;
+    Driver.runShard(Cell, Begin, End, Body, Terminal);
+    Out.Payload = payloadHeaderLine(Driver.name(), Driver.payloadVersion());
+    Out.Payload += Body;
+    Out.Terminal = Terminal;
+  };
+  MergeShardFn Merge = [&](size_t Cell, uint64_t Begin, uint64_t End,
+                           const ShardRecord &Record,
+                           std::string &Error) -> bool {
+    PropertyDriver &Driver = *Cells[Cell].Driver;
+    std::string Body;
+    if (!stripPayloadHeader(Record.Payload, Driver.name(),
+                            Driver.payloadVersion(), Cell, Body, Error))
+      return false;
+    return Driver.mergeShard(Cell, Begin, End, Body, Error);
+  };
+  return driveCampaignShards(CellPairs, CellFingerprints, Fingerprint, IO,
+                             Run, Merge, CellComplete, CellCounts);
+}
+
+//===----------------------------------------------------------------------===//
+// The built-in property drivers + runCampaign
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// State the four built-in drivers share: the spec and scheduling config,
+/// the per-invocation result cells they fold into, and one sweep grid
+/// (universe + member table) per width, shared by every cell, shard, and
+/// property at that width and built on first use.
+struct CampaignEngine {
+  const CampaignSpec &Spec;
+  const SweepConfig &Config;
+  CampaignResult &Result;
+  std::map<unsigned, SweepGrid> Grids;
+
+  const SweepGrid &gridFor(unsigned Width) {
+    auto It = Grids.find(Width);
+    if (It == Grids.end())
+      It = Grids.emplace(Width, makeSweepGrid(Width, Config)).first;
+    return It->second;
+  }
+
+  AbstractBinaryFn abstractFor(const CampaignCell &Cell) const {
+    unsigned Width = Cell.Width;
+    if (Spec.overrideApplies(Cell)) {
+      OperatorOverrideFn Override = Spec.OperatorOverride;
+      return [Override, Width](const Tnum &P, const Tnum &Q) {
+        return Override(P, Q, Width);
+      };
+    }
+    BinaryOp Op = Cell.Op;
+    MulAlgorithm Mul = Cell.Mul;
+    return [Op, Mul, Width](const Tnum &P, const Tnum &Q) {
+      return applyAbstractBinary(Op, P, Q, Width, Mul);
+    };
+  }
+};
+
+/// Built-in driver plumbing: name and payload version come from the
+/// property enum, merging goes through the shared mergePropertyShard
+/// fold (also used by the baseline loader).
+class BuiltinPropertyDriver : public PropertyDriver {
+protected:
+  CampaignEngine &Engine;
+  const CampaignProperty Property;
+
+  BuiltinPropertyDriver(CampaignEngine &Engine, CampaignProperty Property)
+      : Engine(Engine), Property(Property) {}
+
+  const CampaignCell &cell(size_t Index) const {
+    return Engine.Spec.Cells[Index];
+  }
+
+public:
+  const char *name() const override { return campaignPropertyName(Property); }
+  unsigned payloadVersion() const override {
+    return campaignPropertyPayloadVersion(Property);
+  }
+  bool mergeShard(size_t Cell, uint64_t, uint64_t,
+                  const std::string &Payload, std::string &Error) override {
+    return mergePropertyShard(Engine.Result.Cells[Cell], Cell, Payload,
+                              Error);
+  }
+};
+
+class SoundnessDriver final : public BuiltinPropertyDriver {
+public:
+  explicit SoundnessDriver(CampaignEngine &Engine)
+      : BuiltinPropertyDriver(Engine, CampaignProperty::Soundness) {}
+
+  void runShard(size_t CellIndex, uint64_t Begin, uint64_t End,
+                std::string &Payload, bool &Terminal) override {
+    const CampaignCell &Cell = cell(CellIndex);
+    const SweepGrid &Grid = Engine.gridFor(Cell.Width);
+    auto Start = std::chrono::steady_clock::now();
+    std::optional<uint64_t> FailIndex;
+    SoundnessReport Report =
+        checkSoundnessRangeParallel(Cell.Op, Engine.abstractFor(Cell), Grid,
+                                    Begin, End, Engine.Config, &FailIndex);
+    if (Report.Failure) {
+      normalizeSoundnessFailure(Cell.Op, Grid, Begin, *FailIndex, Report);
+      Terminal = true; // Soundness cells stop at the first witness.
+    }
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    Payload = serializeSoundnessShard(Report, Elapsed.count());
+  }
+};
+
+class OptimalityDriver final : public BuiltinPropertyDriver {
+public:
+  explicit OptimalityDriver(CampaignEngine &Engine)
+      : BuiltinPropertyDriver(Engine, CampaignProperty::Optimality) {}
+
+  void runShard(size_t CellIndex, uint64_t Begin, uint64_t End,
+                std::string &Payload, bool &Terminal) override {
+    const CampaignCell &Cell = cell(CellIndex);
+    const SweepGrid &Grid = Engine.gridFor(Cell.Width);
+    auto Start = std::chrono::steady_clock::now();
+    std::optional<uint64_t> FailIndex;
+    OptimalityReport Report = checkOptimalityRangeParallel(
+        Cell.Op, Cell.Mul, Grid, Begin, End, Engine.Config,
+        /*StopAtFirst=*/Engine.Spec.OptimalityEarlyExit, &FailIndex);
+    if (Report.Failure && Engine.Spec.OptimalityEarlyExit) {
+      normalizeOptimalityFailure(Cell.Op, Cell.Mul, Grid, Engine.Config,
+                                 Begin, *FailIndex, Report);
+      Terminal = true;
+    }
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    Payload = serializeOptimalityShard(Report, Elapsed.count());
+  }
+};
+
+class MonotonicityDriver final : public BuiltinPropertyDriver {
+public:
+  explicit MonotonicityDriver(CampaignEngine &Engine)
+      : BuiltinPropertyDriver(Engine, CampaignProperty::Monotonicity) {}
+
+  void runShard(size_t CellIndex, uint64_t Begin, uint64_t End,
+                std::string &Payload, bool &Terminal) override {
+    const CampaignCell &Cell = cell(CellIndex);
+    const SweepGrid &Grid = Engine.gridFor(Cell.Width);
+    auto Start = std::chrono::steady_clock::now();
+    std::optional<uint64_t> FailIndex;
+    MonotonicityReport Report = checkMonotonicityRangeParallel(
+        Cell.Op, Cell.Mul, Grid, Begin, End, Engine.Config, &FailIndex);
+    if (Report.Failure) {
+      normalizeMonotonicityFailure(Cell.Op, Cell.Mul, Grid, Begin,
+                                   *FailIndex, Report);
+      Terminal = true;
+    }
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    Payload = serializeMonotonicityShard(Report, Elapsed.count());
+  }
+};
+
+class PrecisionDriver final : public BuiltinPropertyDriver {
+public:
+  explicit PrecisionDriver(CampaignEngine &Engine)
+      : BuiltinPropertyDriver(Engine, CampaignProperty::Precision) {}
+
+  void runShard(size_t CellIndex, uint64_t Begin, uint64_t End,
+                std::string &Payload, bool &) override {
+    struct ScanMetrics {
+      Counter Cells{"tnums_precision_cells_total"};
+    };
+    static ScanMetrics Metrics;
+    if (Begin == 0)
+      Metrics.Cells.add(1);
+    // A measurement has no terminal shards: every pair is scanned.
+    const CampaignCell &Cell = cell(CellIndex);
+    const SweepGrid &Grid = Engine.gridFor(Cell.Width);
+    auto Start = std::chrono::steady_clock::now();
+    PrecisionReport Report =
+        checkPrecisionRangeParallel(Cell.Op, Engine.abstractFor(Cell), Grid,
+                                    Begin, End, Engine.Config);
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    Payload = serializePrecisionShard(Report, Elapsed.count());
+  }
+
+  bool mergeShard(size_t Cell, uint64_t Begin, uint64_t End,
+                  const std::string &Payload, std::string &Error) override {
+    struct MergeMetrics {
+      Histogram MergeNs{"tnums_precision_merge_ns"};
+    };
+    static MergeMetrics Metrics;
+    const uint64_t StartNs = metricsEnabled() ? traceNowNs() : 0;
+    bool Ok =
+        BuiltinPropertyDriver::mergeShard(Cell, Begin, End, Payload, Error);
+    if (metricsEnabled())
+      Metrics.MergeNs.record(traceNowNs() - StartNs);
+    return Ok;
+  }
+};
+
+} // namespace
 
 CampaignResult tnums::runCampaign(const CampaignSpec &Spec,
                                   const CampaignIO &IO,
                                   const SweepConfig &Config) {
   CampaignResult Result;
-  if (Spec.SoundnessOverride && Spec.OverrideTag.empty()) {
-    Result.Error = "a SoundnessOverride requires an OverrideTag (the "
+  if (Spec.OperatorOverride && Spec.OverrideTag.empty()) {
+    Result.Error = "an OperatorOverride requires an OverrideTag (the "
                    "fingerprint cannot hash a function)";
     return Result;
   }
@@ -879,101 +1255,43 @@ CampaignResult tnums::runCampaign(const CampaignSpec &Spec,
       return Result;
     }
 
-  // One grid (universe + member table) per width, shared by every cell,
-  // shard, and property at that width; built on first use.
-  std::map<unsigned, SweepGrid> Grids;
-  auto gridFor = [&](unsigned Width) -> const SweepGrid & {
-    auto It = Grids.find(Width);
-    if (It == Grids.end())
-      It = Grids.emplace(Width, makeSweepGrid(Width, Config)).first;
-    return It->second;
-  };
-
   std::vector<uint64_t> CellPairs = specCellPairs(Spec);
-  std::vector<uint64_t> CellFingerprints = specCellFingerprints(Spec);
 
   Result.Cells.resize(Spec.Cells.size());
   for (size_t I = 0; I != Spec.Cells.size(); ++I)
     Result.Cells[I].Cell = Spec.Cells[I];
 
-  auto abstractFor = [&](const CampaignCell &Cell) -> AbstractBinaryFn {
-    unsigned Width = Cell.Width;
-    if (Spec.overrideApplies(Cell)) {
-      SoundnessOverrideFn Override = Spec.SoundnessOverride;
-      return [Override, Width](const Tnum &P, const Tnum &Q) {
-        return Override(P, Q, Width);
-      };
+  CampaignEngine Engine{Spec, Config, Result, {}};
+  SoundnessDriver Soundness(Engine);
+  OptimalityDriver Optimality(Engine);
+  MonotonicityDriver Monotonicity(Engine);
+  PrecisionDriver Precision(Engine);
+  auto driverFor = [&](CampaignProperty Property) -> PropertyDriver * {
+    switch (Property) {
+    case CampaignProperty::Soundness:
+      return &Soundness;
+    case CampaignProperty::Optimality:
+      return &Optimality;
+    case CampaignProperty::Monotonicity:
+      return &Monotonicity;
+    case CampaignProperty::Precision:
+      return &Precision;
     }
-    BinaryOp Op = Cell.Op;
-    MulAlgorithm Mul = Cell.Mul;
-    return [Op, Mul, Width](const Tnum &P, const Tnum &Q) {
-      return applyAbstractBinary(Op, P, Q, Width, Mul);
-    };
+    return nullptr;
   };
 
-  RunShardFn Run = [&](size_t CellIndex, uint64_t Begin, uint64_t End,
-                       ShardRecord &Out) {
-    const CampaignCell &Cell = Spec.Cells[CellIndex];
-    const SweepGrid &Grid = gridFor(Cell.Width);
-    auto Start = std::chrono::steady_clock::now();
-    std::optional<uint64_t> FailIndex;
-    switch (Cell.Property) {
-    case CampaignProperty::Soundness: {
-      SoundnessReport Report =
-          checkSoundnessRangeParallel(Cell.Op, abstractFor(Cell), Grid,
-                                      Begin, End, Config, &FailIndex);
-      if (Report.Failure) {
-        normalizeSoundnessFailure(Cell.Op, Grid, Begin, *FailIndex, Report);
-        Out.Terminal = true; // Soundness cells stop at the first witness.
-      }
-      std::chrono::duration<double> Elapsed =
-          std::chrono::steady_clock::now() - Start;
-      Out.Payload = serializeSoundnessShard(Report, Elapsed.count());
-      return;
-    }
-    case CampaignProperty::Optimality: {
-      OptimalityReport Report = checkOptimalityRangeParallel(
-          Cell.Op, Cell.Mul, Grid, Begin, End, Config,
-          /*StopAtFirst=*/Spec.OptimalityEarlyExit, &FailIndex);
-      if (Report.Failure && Spec.OptimalityEarlyExit) {
-        normalizeOptimalityFailure(Cell.Op, Cell.Mul, Grid, Config, Begin,
-                                   *FailIndex, Report);
-        Out.Terminal = true;
-      }
-      std::chrono::duration<double> Elapsed =
-          std::chrono::steady_clock::now() - Start;
-      Out.Payload = serializeOptimalityShard(Report, Elapsed.count());
-      return;
-    }
-    case CampaignProperty::Monotonicity: {
-      MonotonicityReport Report = checkMonotonicityRangeParallel(
-          Cell.Op, Cell.Mul, Grid, Begin, End, Config, &FailIndex);
-      if (Report.Failure) {
-        normalizeMonotonicityFailure(Cell.Op, Cell.Mul, Grid, Begin,
-                                     *FailIndex, Report);
-        Out.Terminal = true;
-      }
-      std::chrono::duration<double> Elapsed =
-          std::chrono::steady_clock::now() - Start;
-      Out.Payload = serializeMonotonicityShard(Report, Elapsed.count());
-      return;
-    }
-    }
-  };
-
-  MergeShardFn Merge = [&](size_t CellIndex, uint64_t, uint64_t,
-                           const ShardRecord &Record,
-                           std::string &Error) -> bool {
-    return mergePropertyShard(Result.Cells[CellIndex], CellIndex, Record,
-                              Error);
-  };
+  std::vector<PropertyCampaignCell> Cells;
+  Cells.reserve(Spec.Cells.size());
+  for (size_t I = 0; I != Spec.Cells.size(); ++I)
+    Cells.push_back(PropertyCampaignCell{
+        CellPairs[I], cellContentFingerprint(Spec, Spec.Cells[I]),
+        driverFor(Spec.Cells[I].Property)});
 
   std::vector<bool> CellComplete;
   std::vector<CellShardCounts> CellCounts;
   uint64_t Fingerprint = campaignFingerprint(Spec, IO);
-  ShardDriveResult Drive =
-      driveCampaignShards(CellPairs, CellFingerprints, Fingerprint, IO, Run,
-                          Merge, &CellComplete, &CellCounts);
+  ShardDriveResult Drive = runPropertyCampaign(Cells, Fingerprint, IO,
+                                               &CellComplete, &CellCounts);
   Result.ShardsTotal = Drive.ShardsTotal;
   Result.ShardsRun = Drive.ShardsRun;
   Result.ShardsResumed = Drive.ShardsResumed;
@@ -1047,8 +1365,33 @@ bool sameMergedReport(const CampaignCellResult &A,
     return X.P1 == Y.P1 && X.Q1 == Y.Q1 && X.P2 == Y.P2 && X.Q2 == Y.Q2 &&
            X.R1 == Y.R1 && X.R2 == Y.R2;
   }
+  case CampaignProperty::Precision: {
+    if (A.Precision.PairsChecked != B.Precision.PairsChecked ||
+        A.Precision.SumGap != B.Precision.SumGap ||
+        A.Precision.MaxGap != B.Precision.MaxGap ||
+        A.Precision.Worst.has_value() != B.Precision.Worst.has_value())
+      return false;
+    for (unsigned G = 0; G != PrecisionGapBuckets; ++G)
+      if (A.Precision.Buckets[G] != B.Precision.Buckets[G])
+        return false;
+    if (!A.Precision.Worst)
+      return true;
+    const PrecisionWitness &X = *A.Precision.Worst;
+    const PrecisionWitness &Y = *B.Precision.Worst;
+    return X.P == Y.P && X.Q == Y.Q && X.Actual == Y.Actual &&
+           X.Optimal == Y.Optimal && X.Gap == Y.Gap;
+  }
   }
   return false;
+}
+
+/// "mul[our_mul]/w6"-style cell coordinates for the precision-delta
+/// lines (the property is implied; only Precision cells are printed).
+std::string precisionCellLabel(const CampaignCell &Cell) {
+  if (Cell.Op == BinaryOp::Mul)
+    return formatString("mul[%s]/w%u", mulAlgorithmName(Cell.Mul),
+                        Cell.Width);
+  return formatString("%s/w%u", binaryOpName(Cell.Op), Cell.Width);
 }
 
 } // namespace
@@ -1128,7 +1471,16 @@ CampaignDiffResult tnums::diffCampaignBaseline(const CampaignSpec &Spec,
         Consistent = false;
         break;
       }
-      if (!mergePropertyShard(Out.Baseline, Cell, *Record, Error)) {
+      // Baseline shards carry the same engine-stamped payload header as
+      // live ones; verify and strip it with the same helper so a
+      // baseline from an incompatible payload version is refused, not
+      // misparsed.
+      std::string Body;
+      if (!stripPayloadHeader(
+              Record->Payload, campaignPropertyName(Out.Cell.Property),
+              campaignPropertyPayloadVersion(Out.Cell.Property), Cell, Body,
+              Error) ||
+          !mergePropertyShard(Out.Baseline, Cell, Body, Error)) {
         Diff.Error = std::move(Error);
         return Diff;
       }
@@ -1150,6 +1502,37 @@ CampaignDiffResult tnums::diffCampaignBaseline(const CampaignSpec &Spec,
     }
   }
   return Diff;
+}
+
+uint64_t tnums::printPrecisionDeltas(const CampaignSpec &Spec,
+                                     const CampaignDiffResult &Diff,
+                                     const CampaignResult &Current,
+                                     std::FILE *Out) {
+  uint64_t Deltas = 0;
+  assert(Diff.Cells.size() == Spec.Cells.size() &&
+         Current.Cells.size() == Spec.Cells.size() &&
+         "diff/current must match the spec");
+  for (size_t I = 0; I != Diff.Cells.size(); ++I) {
+    const CampaignCellDiff &Cell = Diff.Cells[I];
+    if (Cell.Cell.Property != CampaignProperty::Precision)
+      continue;
+    if (!Cell.BaselineComplete || !Current.Cells[I].Complete ||
+        !Cell.ReportChanged)
+      continue;
+    const PrecisionReport &Old = Cell.Baseline.Precision;
+    const PrecisionReport &New = Current.Cells[I].Precision;
+    std::fprintf(Out,
+                 "precision delta %s: sum_gap %llu -> %llu, max_gap %u -> "
+                 "%u\n",
+                 precisionCellLabel(Cell.Cell).c_str(),
+                 static_cast<unsigned long long>(Old.SumGap),
+                 static_cast<unsigned long long>(New.SumGap), Old.MaxGap,
+                 New.MaxGap);
+    ++Deltas;
+  }
+  std::fprintf(Out, "%llu precision deltas vs baseline\n",
+               static_cast<unsigned long long>(Deltas));
+  return Deltas;
 }
 
 //===----------------------------------------------------------------------===//

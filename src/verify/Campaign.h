@@ -7,7 +7,8 @@
 ///
 /// \file
 /// The campaign engine: the paper's exhaustive soundness / optimality /
-/// monotonicity verification restated as a declarative spec that compiles
+/// monotonicity / precision verification restated as a declarative spec
+/// that compiles
 /// to a deterministic shard manifest, survives preemption through the
 /// durable shard store (support/Checkpoint.h), splits across machines
 /// (--shards=K / --shard-index=i), merges order-independently into
@@ -52,10 +53,14 @@
 ///    StopAtFirst = true report. Soundness and monotonicity cells are
 ///    always terminal-on-witness, mirroring their serial checkers.
 ///
-/// The generic driver underneath (driveCampaignShards) is also exposed:
-/// the Table I / Fig. 4 front ends run their custom order-independent
-/// reductions through the same manifest / checkpoint / merge / reuse
-/// machinery, which is how every sweep front end shares one resume story.
+/// Since the property-driver refactor every property IS a driver
+/// (PropertyDriver below): a named, payload-versioned scan/merge pair
+/// that runPropertyCampaign runs through the manifest / checkpoint /
+/// merge / reuse machinery. The four built-in properties are drivers
+/// inside runCampaign, and the Table I / Fig. 4 front ends plug their
+/// custom order-independent reductions in as drivers of their own, which
+/// is how every sweep front end shares one resume story AND one
+/// payload-versioning story.
 /// diffCampaignBaseline compares a finished run against an earlier
 /// checkpoint directory -- the --diff-baseline report of which cells an
 /// incremental resume would reuse, which it would re-run, and whether any
@@ -70,6 +75,7 @@
 #include "support/Checkpoint.h"
 #include "verify/ParallelSweep.h"
 
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <string>
@@ -77,15 +83,29 @@
 
 namespace tnums {
 
-/// The properties a campaign can verify per cell.
+/// The properties a campaign can verify (or, for Precision, measure) per
+/// cell.
 enum class CampaignProperty : uint8_t {
   Soundness,
   Optimality,
   Monotonicity,
+  /// Not a verdict but a measurement: the per-pair distance to the
+  /// optimal abstraction (PrecisionReport's 65-bucket gap histogram plus
+  /// the worst-case witness). holds() means "measured optimal
+  /// everywhere"; front ends treat it as data, not a failure.
+  Precision,
 };
 
 /// Stable lower-case name ("soundness", ...).
 const char *campaignPropertyName(CampaignProperty Property);
+
+/// The payload-format version of a built-in property's shard
+/// serialization. Mixed into every cell fingerprint
+/// (propertyCellFingerprint), so bumping it when a serialize*/parse*
+/// pair changes format invalidates stored shards instead of merging
+/// bytes they cannot parse -- the refusal-safety contract for stores
+/// that outlive binaries.
+unsigned campaignPropertyPayloadVersion(CampaignProperty Property);
 
 /// One (operator, algorithm, width, property) cell of a campaign. Mul is
 /// only meaningful for BinaryOp::Mul cells; keep it MulAlgorithm::Our
@@ -99,7 +119,7 @@ struct CampaignCell {
 
 /// A width-aware injectable transfer function: the cell's width is the
 /// third argument, so one override can serve cells of several widths.
-using SoundnessOverrideFn =
+using OperatorOverrideFn =
     std::function<Tnum(const Tnum &, const Tnum &, unsigned)>;
 
 /// A declarative campaign: which cells to verify and how optimality
@@ -113,26 +133,28 @@ struct CampaignSpec {
   /// checker's StopAtFirst = true report.
   bool OptimalityEarlyExit = false;
 
-  /// Test hook: when set, the Soundness cells selected by OverrideOp /
-  /// OverrideMul verify this operator instead of applyAbstractBinary, so
-  /// deliberately broken (or deliberately *changed*) transfer functions
-  /// flow through the full shard/checkpoint/merge machinery. OverrideTag
-  /// must then name the override -- it stands in for the (unhashable)
-  /// function in the affected cells' content fingerprints, which is also
-  /// how the incremental tests emulate "this operator's implementation
-  /// changed": same spec shape, different cell fingerprint, so a resume
-  /// invalidates and re-runs exactly the overridden cells.
-  SoundnessOverrideFn SoundnessOverride;
+  /// Injectable-operator hook: when set, the Soundness and Precision
+  /// cells selected by OverrideOp / OverrideMul verify (or measure) this
+  /// operator instead of applyAbstractBinary, so deliberately broken (or
+  /// deliberately *changed*) transfer functions flow through the full
+  /// shard/checkpoint/merge machinery. OverrideTag must then name the
+  /// override -- it stands in for the (unhashable) function in the
+  /// affected cells' content fingerprints, which is also how the
+  /// incremental tests emulate "this operator's implementation changed":
+  /// same spec shape, different cell fingerprint, so a resume
+  /// invalidates and re-runs exactly the overridden cells (soundness
+  /// re-verification AND precision re-measurement alike).
+  OperatorOverrideFn OperatorOverride;
   std::string OverrideTag;
 
-  /// Scope of SoundnessOverride: unset applies it to every Soundness
-  /// cell; OverrideOp restricts it to that operator's Soundness cells,
+  /// Scope of OperatorOverride: unset applies it to every Soundness and
+  /// Precision cell; OverrideOp restricts it to that operator's cells,
   /// and OverrideMul (meaningful with OverrideOp == Mul) to one named
   /// multiplication algorithm's.
   std::optional<BinaryOp> OverrideOp;
   std::optional<MulAlgorithm> OverrideMul;
 
-  /// True when SoundnessOverride replaces \p Cell's transfer function.
+  /// True when OperatorOverride replaces \p Cell's transfer function.
   bool overrideApplies(const CampaignCell &Cell) const;
 
   /// Appends the cross product of \p Properties over \p Widths for one
@@ -183,6 +205,7 @@ struct CampaignCellResult {
   SoundnessReport Soundness;
   OptimalityReport Optimality;
   MonotonicityReport Monotonicity;
+  PrecisionReport Precision;
 
   /// All shards this cell needs were available and merged. (An early-exit
   /// optimality cell is complete at its terminal shard.)
@@ -319,10 +342,23 @@ CampaignDiffResult diffCampaignBaseline(const CampaignSpec &Spec,
                                         const std::string &BaselineDir,
                                         const CampaignResult &Current);
 
+/// Renders \p Diff's precision drift -- one line per Precision cell of
+/// \p Spec whose merged measurement differs from the baseline's
+/// ("precision delta <cell>: sum_gap A -> B, max_gap C -> D"), then the
+/// "N precision deltas vs baseline" summary -- and returns the delta
+/// count. Shared by every front end with a --diff-baseline flag so the
+/// wording (and what counts as a delta: ReportChanged on a cell both
+/// sides merged to completion) cannot drift between benches. Prints only
+/// the summary when the spec has no Precision cells with a comparable
+/// baseline verdict.
+uint64_t printPrecisionDeltas(const CampaignSpec &Spec,
+                              const CampaignDiffResult &Diff,
+                              const CampaignResult &Current, std::FILE *Out);
+
 //===----------------------------------------------------------------------===//
-// Generic sharded reduction -- the driver under runCampaign, exposed for
-// front ends whose per-pair work is not one of the three properties (the
-// Table I / Fig. 4 walks). Payloads are opaque deterministic strings.
+// Generic sharded reduction -- the raw driver under runPropertyCampaign.
+// Payloads are opaque deterministic strings; prefer the PropertyDriver
+// layer below, which adds payload-format versioning on top.
 //===----------------------------------------------------------------------===//
 
 /// Aggregate outcome of driveCampaignShards.
@@ -384,6 +420,90 @@ ShardDriveResult driveCampaignShards(
     const CampaignIO &IO, const RunShardFn &Run, const MergeShardFn &Merge,
     std::vector<bool> *CellComplete = nullptr,
     std::vector<CellShardCounts> *CellCounts = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Property drivers -- the extensible registry under runCampaign. A
+// property is a driver: scan a shard range into payload bytes, merge
+// payloads order-independently, version the payload format. The four
+// built-in properties are expressed through it inside runCampaign, and
+// front ends whose per-pair work is not one of them (the Table I /
+// Fig. 4 walks) plug their own drivers into runPropertyCampaign instead
+// of hand-rolling serialization over driveCampaignShards.
+//===----------------------------------------------------------------------===//
+
+/// One campaign property as the engine sees it. A driver owns its
+/// payload format end to end: runShard serializes a deterministic BODY,
+/// mergeShard folds bodies back in manifest order, and payloadVersion
+/// names the format. The engine wraps every body in a
+/// "payload <name> <version>" header line: the header is verified and
+/// stripped before mergeShard ever sees the bytes, so a store whose
+/// payload format predates the binary is refused with a migration
+/// message instead of being misparsed -- defense in depth behind the
+/// fingerprint-level invalidation that a payloadVersion bump triggers.
+class PropertyDriver {
+public:
+  virtual ~PropertyDriver() = default;
+
+  /// Stable lower-case property name; stamped into every payload header
+  /// and mixed into every cell fingerprint.
+  virtual const char *name() const = 0;
+
+  /// Payload-format version; bump on ANY serialization change so stored
+  /// shards invalidate instead of misparse.
+  virtual unsigned payloadVersion() const = 0;
+
+  /// Scans pair range [\p Begin, \p End) of cell \p Cell into a
+  /// deterministic payload body. Set \p Terminal to end the cell at this
+  /// shard (early exit); later shards of the cell are then skipped.
+  virtual void runShard(size_t Cell, uint64_t Begin, uint64_t End,
+                        std::string &Payload, bool &Terminal) = 0;
+
+  /// Folds one payload body into the driver's accumulators. Called in
+  /// manifest order (cell-major, ranges ascending), never past a
+  /// terminal shard. Return false (with \p Error set) on a malformed
+  /// body; the merge fold must be order-independent across shard
+  /// *producers* (any invocation may have written any shard).
+  virtual bool mergeShard(size_t Cell, uint64_t Begin, uint64_t End,
+                          const std::string &Payload,
+                          std::string &Error) = 0;
+};
+
+/// One cell of a property campaign: a pair-range size, the content
+/// fingerprint of whatever implementation the cell measures (operator
+/// version tags, override tag, front-end format tag...), and the driver
+/// that scans and merges it. The engine derives the cell's stored
+/// fingerprint from all three (propertyCellFingerprint), so a change to
+/// the implementation OR the payload format invalidates stored shards.
+struct PropertyCampaignCell {
+  uint64_t TotalPairs = 0;
+  uint64_t ContentFingerprint = 0;
+  PropertyDriver *Driver = nullptr;
+};
+
+/// The fingerprint actually stored in a property campaign's shard files:
+/// the cell's content fingerprint extended by the driver's property name
+/// and payload-format version. This is what makes stores refusal-safe
+/// across format changes -- bumping a driver's payloadVersion changes
+/// every one of its cells' fingerprints, so resumes invalidate and
+/// re-run them instead of parsing bytes written by an older format.
+uint64_t propertyCellFingerprint(uint64_t ContentFingerprint,
+                                 const char *PropertyName,
+                                 unsigned PayloadVersion);
+
+/// Drives a property campaign: shards each cell per \p IO, executes this
+/// invocation's slice through the cells' drivers (stamping the payload
+/// header), and merges every available shard in manifest order through
+/// the drivers' mergeShard (verifying and stripping the header first).
+/// \p Fingerprint guards the store directory as in driveCampaignShards;
+/// \p CellComplete / \p CellCounts as there. This is the one entry point
+/// every payload-carrying front end shares -- runCampaign's four
+/// built-in properties and the Table I / Fig. 4 reductions run through
+/// the same code path.
+ShardDriveResult
+runPropertyCampaign(const std::vector<PropertyCampaignCell> &Cells,
+                    uint64_t Fingerprint, const CampaignIO &IO,
+                    std::vector<bool> *CellComplete = nullptr,
+                    std::vector<CellShardCounts> *CellCounts = nullptr);
 
 } // namespace tnums
 

@@ -12,6 +12,7 @@
 #include "tnum/TnumMembers.h"
 
 #include <algorithm>
+#include <bit>
 
 #if TNUMS_SIMD_HAVE_X86_KERNELS
 #include <immintrin.h>
@@ -521,6 +522,54 @@ std::string OptimalityCounterexample::toString(unsigned Width) const {
                       P.toString(Width).c_str(), Q.toString(Width).c_str(),
                       Actual.toString(Width).c_str(),
                       Optimal.toString(Width).c_str());
+}
+
+std::string PrecisionWitness::toString(unsigned Width) const {
+  return formatString("P=%s Q=%s actual=%s optimal=%s gap=%u",
+                      P.toString(Width).c_str(), Q.toString(Width).c_str(),
+                      Actual.toString(Width).c_str(),
+                      Optimal.toString(Width).c_str(), Gap);
+}
+
+PrecisionReport tnums::measurePrecisionGap(BinaryOp Op, unsigned Width,
+                                           MulAlgorithm Mul, SimdMode Simd) {
+  assert((!isShiftOp(Op) || (Width & (Width - 1)) == 0) &&
+         "shift verification requires a power-of-two width");
+  PrecisionReport Report;
+  std::vector<Tnum> Universe = allWellFormedTnums(Width);
+  const bool Batched = simdModeBatches(Simd);
+  const SimdKernels &Kernels = selectSimdKernels(Simd);
+  std::vector<uint64_t> Xs;
+  std::vector<uint64_t> Ys;
+  for (const Tnum &P : Universe) {
+    if (Batched)
+      materializeMembers(P, Xs);
+    for (const Tnum &Q : Universe) {
+      ++Report.PairsChecked;
+      Tnum Actual = applyAbstractBinary(Op, P, Q, Width, Mul);
+      Tnum Optimal;
+      if (Batched) {
+        materializeMembers(Q, Ys);
+        Optimal = optimalAbstractBinaryMembers(Op, Width, Xs.data(),
+                                               Xs.size(), Ys.data(),
+                                               Ys.size(), Kernels);
+      } else {
+        Optimal = optimalAbstractBinary(Op, P, Q, Width);
+      }
+      // Sound => gamma(Optimal) subseteq gamma(Actual) => the optimal mask
+      // is a submask of the actual mask, so the difference is >= 0; the
+      // clamp only fires for deliberately broken (unsound) operators.
+      int Gap = std::popcount(Actual.mask()) - std::popcount(Optimal.mask());
+      unsigned G = Gap > 0 ? static_cast<unsigned>(Gap) : 0;
+      Report.SumGap += G;
+      ++Report.Buckets[G];
+      if (G > Report.MaxGap) {
+        Report.MaxGap = G;
+        Report.Worst = PrecisionWitness{P, Q, Actual, Optimal, G};
+      }
+    }
+  }
+  return Report;
 }
 
 OptimalityReport tnums::checkOptimalityExhaustive(BinaryOp Op, unsigned Width,

@@ -100,6 +100,60 @@ checkOptimalityExhaustive(BinaryOp Op, unsigned Width,
                           bool StopAtFirst = true,
                           SimdMode Simd = SimdMode::Auto);
 
+//===----------------------------------------------------------------------===//
+// Precision-gap measurement -- the optimality scan generalized from a
+// boolean verdict into a per-pair distance-to-optimal metric.
+//===----------------------------------------------------------------------===//
+
+/// The (P, Q) pair with the worst measured precision gap: the operator's
+/// result carries Gap more unknown bits than the optimal abstraction.
+struct PrecisionWitness {
+  Tnum P;
+  Tnum Q;
+  Tnum Actual;
+  Tnum Optimal;
+  unsigned Gap = 0;
+
+  std::string toString(unsigned Width) const;
+};
+
+/// One bucket per possible gap value (a tnum can lose at most 64 bits).
+constexpr unsigned PrecisionGapBuckets = 65;
+
+/// Outcome of an exhaustive precision-gap measurement. Per (P, Q) pair the
+/// gap is popcount(mu(actual)) - popcount(mu(optimal)) -- how many bits of
+/// knowledge the transfer function gave up relative to alpha ∘ f ∘ gamma
+/// -- clamped at zero (a sound operator's optimal result is a subset of
+/// its actual result, so the clamp only fires for deliberately broken
+/// overrides). Gap 0 means the pair is handled optimally; the full
+/// distribution lands in Buckets (Buckets[g] counts pairs with gap
+/// exactly g), which is what the precision-atlas CDFs render.
+struct PrecisionReport {
+  uint64_t PairsChecked = 0;
+  /// Sum of all gaps: SumGap / PairsChecked is the mean lost bits.
+  uint64_t SumGap = 0;
+  /// Largest gap observed (0 when the operator is optimal everywhere).
+  unsigned MaxGap = 0;
+  /// Buckets[g] = number of pairs with gap exactly g.
+  uint64_t Buckets[PrecisionGapBuckets] = {};
+  /// The serial-order first pair attaining MaxGap; present iff MaxGap > 0.
+  std::optional<PrecisionWitness> Worst;
+
+  uint64_t optimalPairs() const { return Buckets[0]; }
+  double meanGap() const {
+    return PairsChecked ? double(SumGap) / double(PairsChecked) : 0.0;
+  }
+};
+
+/// Exhaustively measures \p Op's precision gap against the optimal
+/// abstraction at \p Width -- the serial reference the parallel sweep
+/// (checkPrecisionRangeParallel) and the campaign merges are bit-identical
+/// to. Always a full scan (a measurement has no early exit). \p Simd as in
+/// checkOptimalityExhaustive; every mode reports identically.
+PrecisionReport measurePrecisionGap(BinaryOp Op, unsigned Width,
+                                    MulAlgorithm Mul = MulAlgorithm::Our,
+                                    SimdMode Simd = SimdMode::Auto);
+
 } // namespace tnums
 
 #endif // TNUMS_VERIFY_OPTIMALITYCHECKER_H

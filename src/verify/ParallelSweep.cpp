@@ -9,10 +9,13 @@
 
 #include "support/Atomic.h"
 #include "support/ChunkSchedule.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "tnum/TnumEnum.h"
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <map>
 #include <mutex>
@@ -346,6 +349,115 @@ MonotonicityReport tnums::checkMonotonicityRangeParallel(
   } else {
     publishFailureIndex(FailurePairIndex, std::nullopt);
   }
+  return Report;
+}
+
+PrecisionReport tnums::checkPrecisionRangeParallel(
+    BinaryOp Op, const AbstractBinaryFn &Abstract, const SweepGrid &Grid,
+    uint64_t Begin, uint64_t End, const SweepConfig &Config) {
+  assert((!isShiftOp(Op) || (Grid.Width & (Grid.Width - 1)) == 0) &&
+         "shift verification requires a power-of-two width");
+  assert(Begin <= End && End <= Grid.TotalPairs && "range out of grid");
+
+  // Precision-scan observability (docs/OBSERVABILITY.md): counters and
+  // per-scan latency, recorded only while the process recorder is enabled
+  // -- never feeding back into the report (no observer effect).
+  struct ScanMetrics {
+    Counter Pairs{"tnums_precision_pairs_total"};
+    Histogram ScanNs{"tnums_precision_scan_ns"};
+  };
+  static ScanMetrics Metrics;
+  const uint64_t ScanStartNs = metricsEnabled() ? traceNowNs() : 0;
+
+  const bool Batched = simdModeBatches(Config.Simd);
+  const bool Memoize = Batched && Config.MemoizeOptimality;
+  const SimdKernels &Kernels = selectSimdKernels(Config.Simd);
+  const unsigned Width = Grid.Width;
+
+  // Chunk-local accumulators: buckets and sums add order-independently,
+  // and each chunk's worst witness carries its pair index so the global
+  // pick (greatest gap, then lowest index) equals the serial scan's
+  // first-attaining-max witness for any scheduling.
+  struct Local {
+    uint64_t Pairs = 0;
+    uint64_t SumGap = 0;
+    unsigned MaxGap = 0;
+    uint64_t Buckets[PrecisionGapBuckets] = {};
+    uint64_t WorstIndex = UINT64_MAX;
+    std::optional<PrecisionWitness> Worst;
+    std::vector<uint64_t> Ys;
+    std::vector<uint64_t> Xs;
+    uint64_t XsIndex = UINT64_MAX;
+  };
+
+  std::mutex Mutex;
+  PrecisionReport Report;
+  uint64_t WorstIndex = UINT64_MAX;
+
+  forEachIndexRangeParallel(Begin, End, Config, [&](uint64_t ChunkBegin,
+                                                    uint64_t ChunkEnd) {
+    Local L;
+    for (uint64_t Index = ChunkBegin; Index != ChunkEnd; ++Index) {
+      const Tnum &P = Grid.Universe[Index / Grid.NumTnums];
+      const Tnum &Q = Grid.Universe[Index % Grid.NumTnums];
+      ++L.Pairs;
+      Tnum Actual = Abstract(P, Q);
+      Tnum Optimal;
+      if (Memoize) {
+        auto [Ys, NumYs] =
+            resolveMembers(Grid.Members, Index % Grid.NumTnums, Q, L.Ys);
+        const uint64_t *Xs;
+        uint64_t NumXs;
+        uint64_t PIndex = Index / Grid.NumTnums;
+        if (Grid.Members) {
+          Xs = Grid.Members->members(PIndex);
+          NumXs = Grid.Members->numMembers(PIndex);
+        } else {
+          if (L.XsIndex != PIndex) {
+            materializeMembers(P, L.Xs);
+            L.XsIndex = PIndex;
+          }
+          Xs = L.Xs.data();
+          NumXs = L.Xs.size();
+        }
+        Optimal = optimalAbstractBinaryMembers(Op, Width, Xs, NumXs, Ys,
+                                               NumYs, Kernels,
+                                               Config.FuseOptimality);
+      } else if (Batched) {
+        auto [Ys, NumYs] =
+            resolveMembers(Grid.Members, Index % Grid.NumTnums, Q, L.Ys);
+        Optimal = optimalAbstractBinaryBatched(Op, Width, P, Ys, NumYs,
+                                               Kernels,
+                                               Config.FuseOptimality);
+      } else {
+        Optimal = optimalAbstractBinary(Op, P, Q, Width);
+      }
+      int Gap = std::popcount(Actual.mask()) - std::popcount(Optimal.mask());
+      unsigned G = Gap > 0 ? static_cast<unsigned>(Gap) : 0;
+      L.SumGap += G;
+      ++L.Buckets[G];
+      if (G > L.MaxGap) {
+        L.MaxGap = G;
+        L.WorstIndex = Index;
+        L.Worst = PrecisionWitness{P, Q, Actual, Optimal, G};
+      }
+    }
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Report.PairsChecked += L.Pairs;
+    Report.SumGap += L.SumGap;
+    for (unsigned I = 0; I != PrecisionGapBuckets; ++I)
+      Report.Buckets[I] += L.Buckets[I];
+    if (L.Worst && (L.MaxGap > Report.MaxGap ||
+                    (L.MaxGap == Report.MaxGap && L.WorstIndex < WorstIndex))) {
+      Report.MaxGap = L.MaxGap;
+      WorstIndex = L.WorstIndex;
+      Report.Worst = L.Worst;
+    }
+  });
+
+  Metrics.Pairs.add(Report.PairsChecked);
+  if (metricsEnabled())
+    Metrics.ScanNs.record(traceNowNs() - ScanStartNs);
   return Report;
 }
 

@@ -150,6 +150,24 @@ MonotonicityReport checkMonotonicityRangeParallel(
     uint64_t End, const SweepConfig &Config,
     std::optional<uint64_t> *FailurePairIndex = nullptr);
 
+/// Parallel precision-gap measurement over [\p Begin, \p End): the range
+/// form of measurePrecisionGap (verify/OptimalityChecker.h), always a
+/// full scan (a measurement has no cancellation protocol). \p Abstract is
+/// the transfer function under measurement (the campaign's override hook
+/// flows through here); \p Op supplies the concrete semantics the optimal
+/// yardstick enumerates. Chunk-local histograms merge order-independently
+/// -- buckets and sums add, and the retained Worst witness is the one with
+/// the greatest gap, ties broken by lowest pair index -- so the report is
+/// bit-identical to the serial reference for every thread count, chunk
+/// size, and SIMD tier. Reuses the memoized concretizations and fused
+/// alpha-reduce paths of the optimality sweep (SweepConfig::
+/// MemoizeOptimality / FuseOptimality apply unchanged).
+PrecisionReport checkPrecisionRangeParallel(BinaryOp Op,
+                                            const AbstractBinaryFn &Abstract,
+                                            const SweepGrid &Grid,
+                                            uint64_t Begin, uint64_t End,
+                                            const SweepConfig &Config);
+
 /// Parallel equivalent of checkSoundnessExhaustive: verifies Eqn. 11 for
 /// \p Op at \p Width over every well-formed tnum pair, multithreaded.
 SoundnessReport

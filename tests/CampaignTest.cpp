@@ -31,6 +31,7 @@
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <stdlib.h>
@@ -122,6 +123,24 @@ void expectSameMonotonicity(const MonotonicityReport &Want,
   }
 }
 
+void expectSamePrecision(const PrecisionReport &Want,
+                         const PrecisionReport &Got) {
+  EXPECT_EQ(Want.PairsChecked, Got.PairsChecked);
+  EXPECT_EQ(Want.SumGap, Got.SumGap);
+  EXPECT_EQ(Want.MaxGap, Got.MaxGap);
+  for (unsigned Bucket = 0; Bucket != PrecisionGapBuckets; ++Bucket)
+    EXPECT_EQ(Want.Buckets[Bucket], Got.Buckets[Bucket]) << "bucket "
+                                                         << Bucket;
+  ASSERT_EQ(Want.Worst.has_value(), Got.Worst.has_value());
+  if (Want.Worst) {
+    EXPECT_EQ(Want.Worst->P, Got.Worst->P);
+    EXPECT_EQ(Want.Worst->Q, Got.Worst->Q);
+    EXPECT_EQ(Want.Worst->Actual, Got.Worst->Actual);
+    EXPECT_EQ(Want.Worst->Optimal, Got.Worst->Optimal);
+    EXPECT_EQ(Want.Worst->Gap, Got.Worst->Gap);
+  }
+}
+
 /// Asserts the merged campaign equals the SERIAL checkers bit for bit:
 /// the strongest form of the determinism contract (the parallel engines'
 /// own counters are only scheduling-independent when the property holds;
@@ -155,6 +174,11 @@ void expectMatchesSerialCheckers(const CampaignSpec &Spec,
       expectSameMonotonicity(
           checkMonotonicityExhaustive(Cell.Op, Cell.Width, Cell.Mul),
           Got.Monotonicity);
+      break;
+    case CampaignProperty::Precision:
+      expectSamePrecision(
+          measurePrecisionGap(Cell.Op, Cell.Width, Cell.Mul),
+          Got.Precision);
       break;
     }
   }
@@ -361,7 +385,7 @@ TEST(Campaign, BrokenOperatorWitnessSurvivesKillResumeAndSplit) {
   CampaignSpec Spec;
   Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, Width,
                         CampaignProperty::Soundness});
-  Spec.SoundnessOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
+  Spec.OperatorOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
     return brokenAdd(P, Q, W);
   };
   Spec.OverrideTag = "broken-add-v1";
@@ -605,7 +629,7 @@ constexpr size_t ChangedCellIndex = 2; ///< Mul/Our soundness in the spec.
 /// the Mul/Our soundness cell.
 CampaignSpec changedSpec() {
   CampaignSpec Spec = incrementalSpec();
-  Spec.SoundnessOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
+  Spec.OperatorOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
     return brokenMul(P, Q, W);
   };
   Spec.OverrideTag = "our-mul-changed-v2";
@@ -636,6 +660,9 @@ void expectSameCampaign(const CampaignResult &Want,
     case CampaignProperty::Monotonicity:
       expectSameMonotonicity(Want.Cells[I].Monotonicity,
                              Got.Cells[I].Monotonicity);
+      break;
+    case CampaignProperty::Precision:
+      expectSamePrecision(Want.Cells[I].Precision, Got.Cells[I].Precision);
       break;
     }
   }
@@ -790,6 +817,243 @@ TEST(Campaign, DiffBaselineReportsReuseAndVerdictChanges) {
   EXPECT_FALSE(Bad.ok());
   EXPECT_NE(::access(Typo.c_str(), F_OK), 0)
       << "--diff-baseline created the mistyped directory";
+}
+
+//===----------------------------------------------------------------------===//
+// Payload-carrying properties: the precision measurement
+//===----------------------------------------------------------------------===//
+
+/// Precision cells spanning an optimal operator (add: gap 0 everywhere),
+/// a conservatively imprecise one (div), and two mul algorithms -- the
+/// histogram-payload merge gets exercised with and without witnesses.
+CampaignSpec precisionSpec() {
+  CampaignSpec Spec;
+  Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, 4,
+                        CampaignProperty::Precision});
+  Spec.Cells.push_back({BinaryOp::Div, MulAlgorithm::Our, 4,
+                        CampaignProperty::Precision});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Precision});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Kern, 4,
+                        CampaignProperty::Precision});
+  return Spec;
+}
+
+TEST(Campaign, PrecisionMergesBitIdenticalToSerialAcrossConfigs) {
+  CampaignSpec Spec = precisionSpec();
+  for (const SweepConfig &Config : kConfigs) {
+    for (uint64_t ShardPairs : {uint64_t(100), uint64_t(1000),
+                                uint64_t(1) << 20}) {
+      SCOPED_TRACE(testing::Message() << "threads " << Config.NumThreads
+                                      << " shard-pairs " << ShardPairs);
+      CampaignIO IO;
+      IO.ShardPairs = ShardPairs;
+      CampaignResult Campaign = runCampaign(Spec, IO, Config);
+      expectMatchesSerialCheckers(Spec, Campaign);
+      // Gap semantics: add measures optimal (an informational holds());
+      // div's conservative imprecision yields a nonzero gap WITH the
+      // serial-order worst witness attached.
+      EXPECT_TRUE(Campaign.Cells[0].holds());
+      EXPECT_EQ(Campaign.Cells[0].Precision.MaxGap, 0u);
+      EXPECT_FALSE(Campaign.Cells[0].Precision.Worst.has_value());
+      EXPECT_FALSE(Campaign.Cells[1].holds());
+      EXPECT_GT(Campaign.Cells[1].Precision.MaxGap, 0u);
+      ASSERT_TRUE(Campaign.Cells[1].Precision.Worst.has_value());
+      EXPECT_EQ(Campaign.Cells[1].Precision.Worst->Gap,
+                Campaign.Cells[1].Precision.MaxGap);
+    }
+  }
+}
+
+TEST(Campaign, PrecisionKillResumeAndSplitStaysBitIdentical) {
+  CampaignSpec Spec = precisionSpec();
+  for (const SweepConfig &Config : kConfigs) {
+    for (uint64_t KillAfter : {uint64_t(1), uint64_t(5)}) {
+      SCOPED_TRACE(testing::Message() << "threads " << Config.NumThreads
+                                      << " kill-after " << KillAfter);
+      std::string Dir = makeCheckpointDir();
+      CampaignIO IO;
+      IO.CheckpointDir = Dir;
+      IO.ShardPairs = 997; // Prime: shard edges never align with rows.
+      IO.MaxShardsThisRun = KillAfter;
+      CampaignResult Killed = runCampaign(Spec, IO, Config);
+      ASSERT_TRUE(Killed.ok()) << Killed.Error;
+      EXPECT_FALSE(Killed.Complete);
+
+      // Resume as a 2-way split executed out of order, each slice under a
+      // different scheduler; the second slice completes the merge.
+      CampaignResult Last;
+      for (unsigned Slice : {1u, 0u}) {
+        CampaignIO SliceIO;
+        SliceIO.CheckpointDir = Dir;
+        SliceIO.ShardPairs = IO.ShardPairs;
+        SliceIO.Shards = 2;
+        SliceIO.ShardIndex = Slice;
+        SliceIO.Resume = true;
+        Last = runCampaign(Spec, SliceIO, kConfigs[(Slice + KillAfter) % 3]);
+        ASSERT_TRUE(Last.ok()) << Last.Error;
+      }
+      ASSERT_TRUE(Last.Complete);
+      expectMatchesSerialCheckers(Spec, Last);
+    }
+  }
+}
+
+TEST(Campaign, RefusesStalePrecisionPayloadVersionWithMigrationMessage) {
+  // The payload-format guard: a stored shard whose payload header
+  // declares an older serialization version -- but whose cell fingerprint
+  // still matches (the fingerprint guards SEMANTIC versions; a payload
+  // format revision without a campaignPropertyPayloadVersion bump is
+  // exactly the bug this refuses) -- must fail the merge with the
+  // migration message, never misparse the old bytes.
+  CampaignSpec Spec = precisionSpec();
+  std::string Dir = makeCheckpointDir();
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997;
+  ASSERT_TRUE(runCampaign(Spec, IO, kConfigs[1]).Complete);
+
+  // Doctor one stored shard's payload header line down a version.
+  std::string Shard = Dir + "/shard-00000000.ckpt";
+  std::ifstream In(Shard);
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  In.close();
+  size_t At = Contents.find("payload precision 1\n");
+  ASSERT_NE(At, std::string::npos) << Contents;
+  Contents.replace(At, std::strlen("payload precision 1\n"),
+                   "payload precision 0\n");
+  {
+    std::ofstream Out(Shard, std::ios::trunc);
+    Out << Contents;
+  }
+
+  CampaignIO ResumeIO = IO;
+  ResumeIO.Resume = true;
+  CampaignResult Refused = runCampaign(Spec, ResumeIO, kConfigs[0]);
+  EXPECT_FALSE(Refused.ok());
+  EXPECT_NE(Refused.Error.find("incompatible payload version"),
+            std::string::npos)
+      << Refused.Error;
+}
+
+/// our_mul, except one pair's result forgets everything it knew: still
+/// sound, strictly less precise -- the "precision regression" the diff
+/// tests must surface as a report (not verdict) change.
+Tnum impreciseMul(const Tnum &P, const Tnum &Q, unsigned Width) {
+  if (P == Tnum(1, 2) && Q == Tnum(0, 1))
+    return Tnum(0, (uint64_t(1) << Width) - 1); // Top: every bit unknown.
+  return applyAbstractBinary(BinaryOp::Mul, P, Q, Width);
+}
+
+TEST(Campaign, IncrementalFlipReRunsOnlyTheFlippedPrecisionCells) {
+  // Mixed spec: precision cells of two mul algorithms and one non-mul
+  // neighbor, plus a mul soundness cell -- the override must invalidate
+  // BOTH properties of the overridden operator and nothing else.
+  CampaignSpec Spec;
+  Spec.Cells.push_back({BinaryOp::Add, MulAlgorithm::Our, 4,
+                        CampaignProperty::Precision});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Precision}); // Index 1: flipped.
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Kern, 4,
+                        CampaignProperty::Precision});
+  Spec.Cells.push_back({BinaryOp::Mul, MulAlgorithm::Our, 4,
+                        CampaignProperty::Soundness}); // Index 3: flipped.
+  std::string Dir = makeCheckpointDir();
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997;
+  CampaignResult Baseline = runCampaign(Spec, IO, kConfigs[1]);
+  ASSERT_TRUE(Baseline.ok()) << Baseline.Error;
+  ASSERT_TRUE(Baseline.Complete);
+
+  // Same semantics under a flipped fingerprint (the --flip-mul idiom).
+  CampaignSpec Changed = Spec;
+  Changed.OperatorOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
+    return applyAbstractBinary(BinaryOp::Mul, P, Q, W, MulAlgorithm::Our);
+  };
+  Changed.OverrideTag = "our-mul-flip-v1";
+  Changed.OverrideOp = BinaryOp::Mul;
+  Changed.OverrideMul = MulAlgorithm::Our;
+  CampaignIO ResumeIO = IO;
+  ResumeIO.Resume = true;
+  CampaignResult Inc = runCampaign(Changed, ResumeIO, kConfigs[2]);
+  ASSERT_TRUE(Inc.ok()) << Inc.Error;
+  ASSERT_TRUE(Inc.Complete);
+
+  for (size_t I = 0; I != Inc.Cells.size(); ++I) {
+    SCOPED_TRACE(testing::Message() << "cell " << I);
+    const CampaignCellResult &Cell = Inc.Cells[I];
+    if (I == 1 || I == 3) { // Mul/Our cells: re-measured.
+      EXPECT_GT(Cell.ShardsRun, 0u);
+      EXPECT_EQ(Cell.ShardsInvalidated, Cell.ShardsRun);
+      EXPECT_EQ(Cell.ShardsResumed, 0u);
+    } else {
+      EXPECT_EQ(Cell.ShardsRun, 0u);
+      EXPECT_EQ(Cell.ShardsInvalidated, 0u);
+      EXPECT_EQ(Cell.ShardsResumed, Cell.ShardsMerged);
+    }
+  }
+
+  // Byte-identical to a from-scratch run of the changed spec -- and,
+  // since the flip preserved semantics, to the original baseline too.
+  CampaignIO FreshIO;
+  FreshIO.ShardPairs = IO.ShardPairs;
+  CampaignResult Fresh = runCampaign(Changed, FreshIO, kConfigs[0]);
+  expectSameCampaign(Fresh, Inc);
+  expectSameCampaign(Baseline, Inc);
+}
+
+TEST(Campaign, DiffBaselineCountsPrecisionDeltas) {
+  CampaignSpec Spec = precisionSpec();
+  std::string Dir = makeCheckpointDir();
+  CampaignIO IO;
+  IO.CheckpointDir = Dir;
+  IO.ShardPairs = 997;
+  ASSERT_TRUE(runCampaign(Spec, IO, kConfigs[1]).Complete);
+
+  // An identical rerun reports zero precision deltas (the CI grep).
+  CampaignIO MemIO;
+  MemIO.ShardPairs = IO.ShardPairs;
+  CampaignResult Same = runCampaign(Spec, MemIO, kConfigs[0]);
+  ASSERT_TRUE(Same.Complete);
+  CampaignDiffResult CleanDiff = diffCampaignBaseline(Spec, MemIO, Dir, Same);
+  ASSERT_TRUE(CleanDiff.ok()) << CleanDiff.Error;
+  std::FILE *Clean = std::tmpfile();
+  ASSERT_NE(Clean, nullptr);
+  EXPECT_EQ(printPrecisionDeltas(Spec, CleanDiff, Same, Clean), 0u);
+  std::fclose(Clean);
+
+  // A sound-but-lazier our_mul changes exactly its own precision report:
+  // one delta, named, with the gap totals drifting upward.
+  CampaignSpec Changed = Spec;
+  Changed.OperatorOverride = [](const Tnum &P, const Tnum &Q, unsigned W) {
+    return impreciseMul(P, Q, W);
+  };
+  Changed.OverrideTag = "imprecise-mul-v1";
+  Changed.OverrideOp = BinaryOp::Mul;
+  Changed.OverrideMul = MulAlgorithm::Our;
+  CampaignResult Current = runCampaign(Changed, MemIO, kConfigs[2]);
+  ASSERT_TRUE(Current.Complete);
+  EXPECT_GT(Current.Cells[2].Precision.SumGap,
+            Same.Cells[2].Precision.SumGap);
+
+  CampaignDiffResult Diff = diffCampaignBaseline(Changed, MemIO, Dir,
+                                                 Current);
+  ASSERT_TRUE(Diff.ok()) << Diff.Error;
+  EXPECT_TRUE(Diff.Cells[2].ReportChanged);
+  std::FILE *Out = std::tmpfile();
+  ASSERT_NE(Out, nullptr);
+  EXPECT_EQ(printPrecisionDeltas(Changed, Diff, Current, Out), 1u);
+  std::rewind(Out);
+  char Buf[512] = {};
+  size_t Read = std::fread(Buf, 1, sizeof(Buf) - 1, Out);
+  std::fclose(Out);
+  std::string Text(Buf, Read);
+  EXPECT_NE(Text.find("precision delta mul[our_mul]/w4"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("1 precision deltas vs baseline"), std::string::npos)
+      << Text;
 }
 
 } // namespace

@@ -12,6 +12,9 @@
 /// with no solver offline, these tests are the falsification analogue:
 /// for sampled well-formed tnum pairs and sampled concrete members, the
 /// concrete result must land in the abstract result's concretization.
+/// Coverage spans the full operator surface: the wrap-around and bitwise
+/// ops, div/mod (BPF zero conventions), the variable shifts, and the
+/// unary narrowing casts.
 ///
 /// Seeds are fixed, so the suite is deterministic; a failure prints the
 /// solver-style counterexample model.
@@ -95,6 +98,80 @@ TEST(TnumOpsRandom64, XorSound) {
   checkOpSoundness(
       "tnumXor", [](Tnum P, Tnum Q) { return tnumXor(P, Q); },
       [](uint64_t X, uint64_t Y) { return X ^ Y; }, 0x804);
+}
+
+// The rest of the BPF operator surface at width 64, same direct property.
+// Div/mod use the BPF conventions (x/0 == 0, x%0 == x); the variable
+// shifts mask the amount to the width like the concrete semantics do.
+
+TEST(TnumOpsRandom64, DivSound) {
+  checkOpSoundness(
+      "tnumDiv", [](Tnum P, Tnum Q) { return tnumDiv(P, Q, kWidth); },
+      [](uint64_t X, uint64_t Y) { return Y == 0 ? 0 : X / Y; }, 0xd1f);
+}
+
+TEST(TnumOpsRandom64, ModSound) {
+  checkOpSoundness(
+      "tnumMod", [](Tnum P, Tnum Q) { return tnumMod(P, Q, kWidth); },
+      [](uint64_t X, uint64_t Y) { return Y == 0 ? X : X % Y; }, 0x30d);
+}
+
+TEST(TnumOpsRandom64, LshSound) {
+  checkOpSoundness(
+      "tnumLshiftByTnum",
+      [](Tnum P, Tnum Q) { return tnumLshiftByTnum(P, Q, kWidth); },
+      [](uint64_t X, uint64_t Y) { return X << (Y & (kWidth - 1)); },
+      0x15f);
+}
+
+TEST(TnumOpsRandom64, RshSound) {
+  checkOpSoundness(
+      "tnumRshiftByTnum",
+      [](Tnum P, Tnum Q) { return tnumRshiftByTnum(P, Q, kWidth); },
+      [](uint64_t X, uint64_t Y) { return X >> (Y & (kWidth - 1)); },
+      0x25f);
+}
+
+TEST(TnumOpsRandom64, ArshSound) {
+  checkOpSoundness(
+      "tnumArshiftByTnum",
+      [](Tnum P, Tnum Q) { return tnumArshiftByTnum(P, Q, kWidth); },
+      [](uint64_t X, uint64_t Y) {
+        return static_cast<uint64_t>(static_cast<int64_t>(X) >>
+                                     (Y & (kWidth - 1)));
+      },
+      0xa25f);
+}
+
+/// The unary narrowing operators, same randomized property: every member
+/// of gamma(P), truncated concretely, must land in the narrowed abstract
+/// result's concretization.
+TEST(TnumOpsRandom64, CastAndTruncateSound) {
+  Xoshiro256 Rng(0xca57);
+  for (int I = 0; I != kPairs; ++I) {
+    Tnum P = randomWellFormedTnum(Rng, kWidth);
+    for (unsigned Bytes = 1; Bytes <= 8; ++Bytes) {
+      Tnum R = tnumCast(P, Bytes);
+      ASSERT_TRUE(R.isWellFormed());
+      const uint64_t Mask =
+          Bytes == 8 ? ~uint64_t(0) : (uint64_t(1) << (8 * Bytes)) - 1;
+      for (uint64_t X : {P.minMember(), P.maxMember(), sampleMember(P, Rng)})
+        ASSERT_TRUE(R.contains(X & Mask))
+            << "tnumCast(" << Bytes << "): x=" << X
+            << " escapes R=" << R.toVmString()
+            << " for P=" << P.toVmString();
+    }
+    for (unsigned Width : {1u, 7u, 33u, 63u}) {
+      Tnum R = tnumTruncate(P, Width);
+      ASSERT_TRUE(R.isWellFormed());
+      const uint64_t Mask = (uint64_t(1) << Width) - 1;
+      for (uint64_t X : {P.minMember(), P.maxMember(), sampleMember(P, Rng)})
+        ASSERT_TRUE(R.contains(X & Mask))
+            << "tnumTruncate(" << Width << "): x=" << X
+            << " escapes R=" << R.toVmString()
+            << " for P=" << P.toVmString();
+    }
+  }
 }
 
 /// The same property driven through the oracle layer for the whole
